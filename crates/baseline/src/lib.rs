@@ -1,0 +1,13 @@
+//! Comparators for the DAISY evaluation.
+//!
+//! * [`trad`] — the "traditional VLIW compiler" of Table 5.2: the same
+//!   scheduling substrate given the advantages the paper attributes to
+//!   an offline compiler (whole-program scope, profile-directed path
+//!   selection, much larger windows and unroll budgets).
+//! * [`ppc604e`] — an in-order superscalar timing model standing in for
+//!   the PowerPC 604E of Table 5.3.
+//! * [`profile`] — edge-profile collection shared by both.
+
+pub mod ppc604e;
+pub mod profile;
+pub mod trad;

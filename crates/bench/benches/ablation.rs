@@ -1,0 +1,40 @@
+//! Ablation benches for the translator's design choices: window size,
+//! renaming, and load speculation all trade compile time for ILP; this
+//! measures the compile-time side (the ILP side is asserted in the
+//! `repro_shapes` integration tests and printed by `repro`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daisy::sched::{translate_group, TranslatorConfig};
+use daisy_ppc::mem::Memory;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let w = daisy_workloads::by_name("compress").unwrap();
+    let prog = w.program();
+    let mut mem = Memory::new(w.mem_size);
+    prog.load_into(&mut mem).unwrap();
+
+    let mut g = c.benchmark_group("ablation");
+    for window in [16u32, 64, 256] {
+        let cfg = TranslatorConfig { window_size: window, ..TranslatorConfig::default() };
+        g.bench_with_input(BenchmarkId::new("window", window), &cfg, |b, cfg| {
+            b.iter(|| black_box(translate_group(cfg, &mem, prog.entry)));
+        });
+    }
+    for (label, rename, spec) in
+        [("full", true, true), ("no_rename", false, true), ("no_load_spec", true, false)]
+    {
+        let cfg = TranslatorConfig {
+            rename,
+            speculate_loads: spec,
+            ..TranslatorConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("mode", label), &cfg, |b, cfg| {
+            b.iter(|| black_box(translate_group(cfg, &mem, prog.entry)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Execution-engine throughput: end-to-end translate-and-run of the
+//! workload suite (the simulation speed that makes the Chapter 5
+//! sweeps practical).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use daisy::system::DaisySystem;
+use std::hint::black_box;
+
+fn bench_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("daisy_run");
+    g.sample_size(10);
+    for name in ["c_sieve", "wc", "fgrep"] {
+        let w = daisy_workloads::by_name(name).unwrap();
+        let prog = w.program();
+        // Base instruction count for throughput reporting.
+        let mut sys = DaisySystem::new(w.mem_size);
+        sys.load(&prog).unwrap();
+        sys.run(10 * w.max_instrs).unwrap();
+        g.throughput(Throughput::Elements(sys.stats.vliws_executed));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sys = DaisySystem::new(w.mem_size);
+                sys.load(&prog).unwrap();
+                black_box(sys.run(10 * w.max_instrs).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_run);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Translator throughput: how fast the one-pass Pathlist scheduler
+//! turns PowerPC pages into VLIW groups. The paper's headline overhead
+//! number (4315 RS/6000 instructions per translated instruction,
+//! reducible to <1000) is about exactly this loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use daisy::sched::{translate_group, TranslatorConfig};
+use daisy_ppc::mem::Memory;
+use std::hint::black_box;
+
+fn bench_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translate_group");
+    for w in daisy_workloads::all() {
+        let prog = w.program();
+        let mut mem = Memory::new(w.mem_size);
+        prog.load_into(&mut mem).unwrap();
+        let cfg = TranslatorConfig::default();
+        // Report throughput in base instructions scheduled per second.
+        let (_, cost) = translate_group(&cfg, &mem, prog.entry);
+        g.throughput(Throughput::Elements(cost.instrs_scheduled));
+        g.bench_function(w.name, |b| {
+            b.iter(|| black_box(translate_group(&cfg, &mem, black_box(prog.entry))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Reproduction harness for every table and figure in the paper's
+//! Chapter 5, plus the oracle study of Chapter 6.
+//!
+//! [`runner`] provides the shared measurement plumbing; [`tables`]
+//! contains one generator per experiment, each returning structured
+//! rows (so integration tests can assert on them) plus a formatter.
+//! The `repro` binary prints any or all of them.
+
+pub mod runner;
+pub mod tables;

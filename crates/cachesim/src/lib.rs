@@ -1,0 +1,367 @@
+//! Multi-level cache hierarchy simulator.
+//!
+//! DAISY's finite-cache results (paper Ch. 5) come from "a simple cache
+//! simulator" attached to the VLIW execution engine: every tree
+//! instruction fetch probes the instruction side, every executed load or
+//! store probes the data side, and miss penalties stretch execution time.
+//! This crate reproduces that simulator with the two hierarchies the
+//! paper measures:
+//!
+//! * [`Hierarchy::paper_default`] — 64 KiB L1 I/D (0 cycles), 4 MiB
+//!   combined L2 (12 cycles), 88-cycle memory (used for Table 5.3).
+//! * [`Hierarchy::paper_eight_issue`] — 4 KiB L1s, 64 KiB L2s, 4 MiB
+//!   combined L3 (16 cycles), 92-cycle memory (used for Table 5.5).
+//!
+//! # Example
+//!
+//! ```
+//! use daisy_cachesim::Hierarchy;
+//!
+//! let mut h = Hierarchy::paper_default();
+//! let first = h.access_data(0x1000, false);
+//! assert_eq!(first.penalty, 100); // cold miss: L2 12 + memory 88
+//! let second = h.access_data(0x1004, false);
+//! assert_eq!(second.penalty, 0); // same 256-byte line
+//! ```
+
+use std::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Display name, e.g. `"L0 DCache"`.
+    pub name: String,
+    /// Total size in bytes.
+    pub size: u32,
+    /// Associativity (1 = direct mapped).
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line: u32,
+    /// Added latency in cycles when the access *misses above* and hits
+    /// here.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a level configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// `assoc * line`, or line not a power of two).
+    pub fn new(name: &str, size: u32, assoc: u32, line: u32, latency: u32) -> CacheConfig {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1 && size.is_multiple_of(assoc * line), "inconsistent cache geometry");
+        CacheConfig { name: name.to_owned(), size, assoc, line, latency }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size / (self.assoc * self.line)
+    }
+}
+
+/// Hit/miss counters for one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses that reached this level.
+    pub accesses: u64,
+    /// Misses at this level.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in percent (0 when never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    last_use: u64,
+    valid: bool,
+}
+
+/// One cache level with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds an empty (cold) cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let n = (cfg.sets() * cfg.assoc) as usize;
+        Cache {
+            cfg,
+            lines: vec![Line { tag: 0, last_use: 0, valid: false }; n],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The level's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The level's counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Probes the cache; fills the line on miss. Returns true on hit.
+    pub fn access(&mut self, addr: u32) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let line_addr = addr / self.cfg.line;
+        let set = line_addr % self.cfg.sets();
+        let tag = line_addr / self.cfg.sets();
+        let base = (set * self.cfg.assoc) as usize;
+        let ways = &mut self.lines[base..base + self.cfg.assoc as usize];
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_use = self.tick;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+            .expect("assoc >= 1");
+        *victim = Line { tag, last_use: self.tick, valid: true };
+        false
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} accesses, {} misses ({:.3}%)",
+            self.cfg.name,
+            self.stats.accesses,
+            self.stats.misses,
+            self.stats.miss_rate()
+        )
+    }
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Total stall cycles added by misses on the path to the hit level.
+    pub penalty: u32,
+    /// True when the first (level-0) cache missed.
+    pub l0_miss: bool,
+}
+
+/// A full memory hierarchy: private instruction levels, private data
+/// levels, shared combined levels, and a flat memory latency behind them.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    ilevels: Vec<Cache>,
+    dlevels: Vec<Cache>,
+    shared: Vec<Cache>,
+    mem_latency: u32,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from per-side levels plus shared levels.
+    pub fn new(
+        ilevels: Vec<CacheConfig>,
+        dlevels: Vec<CacheConfig>,
+        shared: Vec<CacheConfig>,
+        mem_latency: u32,
+    ) -> Hierarchy {
+        Hierarchy {
+            ilevels: ilevels.into_iter().map(Cache::new).collect(),
+            dlevels: dlevels.into_iter().map(Cache::new).collect(),
+            shared: shared.into_iter().map(Cache::new).collect(),
+            mem_latency,
+        }
+    }
+
+    /// The paper's default configuration (Ch. 5): 64 KiB 4-way 256 B L1
+    /// data (0 cycles), 64 KiB direct-mapped 256 B L1 instruction
+    /// (0 cycles), 4 MiB 4-way 256 B combined L2 (12 cycles), 88-cycle
+    /// memory.
+    pub fn paper_default() -> Hierarchy {
+        Hierarchy::new(
+            vec![CacheConfig::new("L0 ICache", 64 << 10, 1, 256, 0)],
+            vec![CacheConfig::new("L0 DCache", 64 << 10, 4, 256, 0)],
+            vec![CacheConfig::new("L1 JCache", 4 << 20, 4, 256, 12)],
+            88,
+        )
+    }
+
+    /// The 8-issue machine's hierarchy (Table 5.5): 4 KiB L1s, 64 KiB
+    /// L2s, 4 MiB combined L3, 92-cycle memory.
+    pub fn paper_eight_issue() -> Hierarchy {
+        Hierarchy::new(
+            vec![
+                CacheConfig::new("L1 ICache", 4 << 10, 1, 64, 0),
+                CacheConfig::new("L2 ICache", 64 << 10, 2, 128, 4),
+            ],
+            vec![
+                CacheConfig::new("L1 DCache", 4 << 10, 4, 64, 0),
+                CacheConfig::new("L2 DCache", 64 << 10, 4, 128, 4),
+            ],
+            vec![CacheConfig::new("L3 JCache", 4 << 20, 4, 256, 16)],
+            92,
+        )
+    }
+
+    /// An infinite cache: every access hits with no penalty. Used for
+    /// the paper's "∞ cache" columns.
+    pub fn infinite() -> Hierarchy {
+        Hierarchy::new(Vec::new(), Vec::new(), Vec::new(), 0)
+    }
+
+    fn walk(levels: &mut [Cache], shared: &mut [Cache], addr: u32, mem_latency: u32) -> Access {
+        let mut penalty = 0;
+        let mut l0_miss = false;
+        let mut first = true;
+        let mut any = false;
+        for c in levels.iter_mut().chain(shared.iter_mut()) {
+            any = true;
+            let hit = c.access(addr);
+            if !hit && first {
+                l0_miss = true;
+            }
+            first = false;
+            penalty += c.cfg.latency;
+            if hit {
+                return Access { penalty, l0_miss };
+            }
+        }
+        if any {
+            Access { penalty: penalty + mem_latency, l0_miss }
+        } else {
+            // No caches at all: the infinite-cache model.
+            Access { penalty: 0, l0_miss: false }
+        }
+    }
+
+    /// Probes the instruction side.
+    pub fn access_instr(&mut self, addr: u32) -> Access {
+        Hierarchy::walk(&mut self.ilevels, &mut self.shared, addr, self.mem_latency)
+    }
+
+    /// Probes the data side.
+    pub fn access_data(&mut self, addr: u32, _write: bool) -> Access {
+        Hierarchy::walk(&mut self.dlevels, &mut self.shared, addr, self.mem_latency)
+    }
+
+    /// Per-level statistics `(name, stats)` in probe order: instruction
+    /// levels, data levels, shared levels.
+    pub fn level_stats(&self) -> Vec<(String, CacheStats)> {
+        self.ilevels
+            .iter()
+            .chain(self.dlevels.iter())
+            .chain(self.shared.iter())
+            .map(|c| (c.cfg.name.clone(), *c.stats()))
+            .collect()
+    }
+
+    /// True when this hierarchy has no cache levels (infinite cache).
+    pub fn is_infinite(&self) -> bool {
+        self.ilevels.is_empty() && self.dlevels.is_empty() && self.shared.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflict() {
+        // 2 lines of 16 bytes, direct mapped: addresses 0 and 32 collide.
+        let mut c = Cache::new(CacheConfig::new("t", 32, 1, 16, 1));
+        assert!(!c.access(0));
+        assert!(c.access(4));
+        assert!(!c.access(32)); // evicts line 0
+        assert!(!c.access(0)); // conflict miss
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn lru_replacement_in_set() {
+        // One set, 2 ways, 16-byte lines: 0, 32, then touch 0, then 64
+        // should evict 32 (LRU), keeping 0.
+        let mut c = Cache::new(CacheConfig::new("t", 32, 2, 16, 1));
+        assert!(!c.access(0));
+        assert!(!c.access(32));
+        assert!(c.access(0));
+        assert!(!c.access(64));
+        assert!(c.access(0));
+        assert!(!c.access(32));
+    }
+
+    #[test]
+    fn hierarchy_penalties_accumulate() {
+        let mut h = Hierarchy::new(
+            vec![CacheConfig::new("L1I", 64, 1, 16, 0)],
+            vec![CacheConfig::new("L1D", 64, 1, 16, 0)],
+            vec![CacheConfig::new("L2", 256, 1, 16, 10)],
+            50,
+        );
+        // Cold: L1 miss (0) + L2 miss (10) + memory (50).
+        assert_eq!(h.access_data(0, false), Access { penalty: 60, l0_miss: true });
+        // L1 hit.
+        assert_eq!(h.access_data(8, false), Access { penalty: 0, l0_miss: false });
+        // Fill the other L1 sets, then wrap to evict line 0 from L1 only.
+        h.access_data(64, false);
+        let a = h.access_data(0, false);
+        assert_eq!(a, Access { penalty: 10, l0_miss: true }); // L1 miss, L2 hit
+    }
+
+    #[test]
+    fn instruction_and_data_sides_are_separate() {
+        let mut h = Hierarchy::new(
+            vec![CacheConfig::new("L1I", 64, 1, 16, 0)],
+            vec![CacheConfig::new("L1D", 64, 1, 16, 0)],
+            vec![],
+            30,
+        );
+        assert!(h.access_instr(0).l0_miss);
+        // Same address on the data side still cold.
+        assert!(h.access_data(0, false).l0_miss);
+        assert!(!h.access_instr(0).l0_miss);
+    }
+
+    #[test]
+    fn infinite_cache_is_free() {
+        let mut h = Hierarchy::infinite();
+        assert_eq!(h.access_data(0x1234, true).penalty, 0);
+        assert_eq!(h.access_instr(0xFFFF_0000).penalty, 0);
+        assert!(h.is_infinite());
+        assert!(h.level_stats().is_empty());
+    }
+
+    #[test]
+    fn paper_hierarchies_construct() {
+        let h = Hierarchy::paper_default();
+        let names: Vec<_> = h.level_stats().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["L0 ICache", "L0 DCache", "L1 JCache"]);
+        let h8 = Hierarchy::paper_eight_issue();
+        assert_eq!(h8.level_stats().len(), 5);
+    }
+
+    #[test]
+    fn miss_rate_percent() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        s.accesses = 200;
+        s.misses = 3;
+        assert!((s.miss_rate() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the cache simulator.
+
+use daisy_cachesim::{Cache, CacheConfig, Hierarchy};
+use proptest::prelude::*;
+
+proptest! {
+    /// Re-accessing an address immediately after an access always hits
+    /// (the line was just filled and nothing evicted it).
+    #[test]
+    fn immediate_reaccess_hits(addrs in prop::collection::vec(any::<u32>(), 1..64)) {
+        let mut c = Cache::new(CacheConfig::new("t", 1 << 12, 2, 32, 1));
+        for a in addrs {
+            let _ = c.access(a);
+            prop_assert!(c.access(a), "address {a:#x} must hit on immediate re-access");
+        }
+    }
+
+    /// Accesses within one line behave identically to the line address.
+    #[test]
+    fn line_granularity(base in any::<u32>(), offsets in prop::collection::vec(0u32..32, 1..16)) {
+        let mut c = Cache::new(CacheConfig::new("t", 1 << 12, 4, 32, 1));
+        let line = base & !31;
+        let _ = c.access(line);
+        for off in offsets {
+            prop_assert!(c.access(line.wrapping_add(off)));
+        }
+    }
+
+    /// A working set no larger than the associativity of one set can
+    /// never conflict-miss after warmup.
+    #[test]
+    fn within_associativity_no_thrash(tags in prop::collection::vec(0u32..8, 2..4)) {
+        // 4-way, one set of 32-byte lines → any ≤4 distinct lines co-reside.
+        let mut c = Cache::new(CacheConfig::new("t", 4 * 32, 4, 32, 1));
+        let lines: Vec<u32> = tags.iter().map(|t| t * 32 * 1).collect();
+        for &l in &lines {
+            let _ = c.access(l);
+        }
+        for &l in &lines {
+            prop_assert!(c.access(l), "line {l:#x} evicted within associativity");
+        }
+    }
+
+    /// Hierarchy penalties are monotone: an access can never be cheaper
+    /// than a hit at the level it lands in, and the infinite hierarchy
+    /// is always free.
+    #[test]
+    fn infinite_hierarchy_is_always_free(addrs in prop::collection::vec(any::<u32>(), 1..64)) {
+        let mut h = Hierarchy::infinite();
+        for a in addrs {
+            prop_assert_eq!(h.access_data(a, false).penalty, 0);
+            prop_assert_eq!(h.access_instr(a).penalty, 0);
+        }
+    }
+
+    /// Miss counts never exceed access counts and stats accumulate.
+    #[test]
+    fn stats_are_consistent(addrs in prop::collection::vec(any::<u32>(), 1..256)) {
+        let mut h = Hierarchy::paper_default();
+        for a in &addrs {
+            let _ = h.access_data(*a, false);
+        }
+        for (_, st) in h.level_stats() {
+            prop_assert!(st.misses <= st.accesses);
+        }
+        let first = &h.level_stats()[1]; // L0 DCache
+        prop_assert_eq!(first.1.accesses, addrs.len() as u64);
+    }
+}

@@ -1,0 +1,683 @@
+//! Conversion of base-architecture instructions into VLIW RISC primitives.
+//!
+//! "Each operation is immediately scheduled in a VLIW … as soon as it is
+//! disassembled from the binary original code, and converted into RISC
+//! primitives (if a CISCy operation)" (paper §2). This module is that
+//! disassemble-and-convert front end, shared by the scheduler, the
+//! oracle schedulers, and the traditional-compiler baseline.
+//!
+//! The produced primitives name *architected* resources; renaming into
+//! the non-architected pool is the scheduler's job.
+
+use daisy_ppc::insn::{
+    bo, Arith2Op, ArithOp, BranchKind, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp,
+};
+use daisy_ppc::reg::{CrField, Gpr};
+use daisy_vliw::op::{OpKind, Operation};
+use daisy_vliw::reg::Reg;
+use daisy_vliw::tree::IndirectVia;
+
+/// A branch condition in architected terms (before renaming): test one
+/// bit of a condition field register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CondSpec {
+    /// The architected register holding the 4-bit condition value. For
+    /// CTR-decrement branches this is a placeholder filled by the
+    /// scheduler with the freshly computed compare result.
+    pub field: Reg,
+    /// Bit mask within the field (LT = 0b1000 … SO = 0b0001).
+    pub mask: u32,
+    /// Taken when the bit equals this.
+    pub want_set: bool,
+}
+
+/// The control behaviour of a converted instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Flow {
+    /// Straight-line: fall through to the next instruction.
+    Fall,
+    /// Unconditional direct branch.
+    Jump {
+        /// Resolved target address.
+        target: u32,
+    },
+    /// Conditional direct branch. When `ctr_compare` is set, the
+    /// scheduler must point the condition at the result of the *last*
+    /// op in `ops` (the CTR-vs-0 compare), not at an architected field.
+    CondJump {
+        /// The tested condition.
+        cond: CondSpec,
+        /// Taken target.
+        target: u32,
+        /// Condition comes from the emitted CTR compare op.
+        ctr_compare: bool,
+    },
+    /// Unconditional indirect branch through LR or CTR.
+    IndirectJump {
+        /// Which register supplies the target.
+        via: IndirectVia,
+    },
+    /// Conditional indirect branch (e.g. `bnelr`).
+    CondIndirect {
+        /// The tested condition.
+        cond: CondSpec,
+        /// Which register supplies the target.
+        via: IndirectVia,
+        /// Condition comes from the emitted CTR compare op.
+        ctr_compare: bool,
+    },
+    /// Must be handed to the VMM's interpreter (`sc`, `rfi`,
+    /// privileged SPR/MSR access, unsupported encodings).
+    Interp,
+}
+
+/// A converted instruction: its RISC primitives plus control behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Converted {
+    /// Primitives in execution order (architected operands).
+    pub ops: Vec<Operation>,
+    /// Control flow after the ops.
+    pub flow: Flow,
+    /// True when the instruction writes the link register (the
+    /// scheduler emits the LR-update primitive itself so it can capture
+    /// the pre-update LR for `bclrl`).
+    pub links: bool,
+}
+
+impl Converted {
+    fn fall(ops: Vec<Operation>) -> Converted {
+        Converted { ops, flow: Flow::Fall, links: false }
+    }
+
+    fn interp() -> Converted {
+        Converted { ops: Vec::new(), flow: Flow::Interp, links: false }
+    }
+}
+
+fn g(r: Gpr) -> Reg {
+    Reg::gpr(r)
+}
+
+/// Source for `ra|0` addressing: register, or `None` meaning literal 0.
+fn base_or_zero(ra: Gpr) -> Option<Reg> {
+    (ra.0 != 0).then(|| g(ra))
+}
+
+/// Appends the record-form compare (`cr0 ← result cmp 0`) used by `.`
+/// instructions.
+fn push_record(ops: &mut Vec<Operation>, result: Reg, addr: u32) {
+    ops.push(
+        Operation::new(OpKind::CmpSImm, addr)
+            .dst(Reg::cr(CrField(0)))
+            .src(result)
+            .src(Reg::SO)
+            .with_imm(0),
+    );
+}
+
+/// Converts the instruction at `addr` into RISC primitives.
+///
+/// OE-form arithmetic (overflow-enable) is routed to the interpreter:
+/// the workloads never use it, and modelling OV/SO updates as extra
+/// primitives would only add parcels the paper's numbers do not contain.
+pub fn convert(insn: &Insn, addr: u32) -> Converted {
+    let op0 = |k: OpKind| Operation::new(k, addr);
+    match *insn {
+        Insn::Addi { rt, ra, si } => {
+            let op = match base_or_zero(ra) {
+                Some(b) => op0(OpKind::AddImm).dst(g(rt)).src(b).with_imm(i32::from(si)),
+                None => op0(OpKind::Li).dst(g(rt)).with_imm(i32::from(si)),
+            };
+            Converted::fall(vec![op])
+        }
+        Insn::Addis { rt, ra, si } => {
+            let v = i32::from(si) << 16;
+            let op = match base_or_zero(ra) {
+                Some(b) => op0(OpKind::AddImm).dst(g(rt)).src(b).with_imm(v),
+                None => op0(OpKind::Li).dst(g(rt)).with_imm(v),
+            };
+            Converted::fall(vec![op])
+        }
+        Insn::Addic { rt, ra, si, rc } => {
+            let mut ops = vec![op0(OpKind::AddImmC)
+                .dst(g(rt))
+                .dst2(Reg::CA)
+                .src(g(ra))
+                .with_imm(i32::from(si))];
+            if rc {
+                push_record(&mut ops, g(rt), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Subfic { rt, ra, si } => Converted::fall(vec![op0(OpKind::SubfImmC)
+            .dst(g(rt))
+            .dst2(Reg::CA)
+            .src(g(ra))
+            .with_imm(i32::from(si))]),
+        Insn::Mulli { rt, ra, si } => Converted::fall(vec![op0(OpKind::MulImm)
+            .dst(g(rt))
+            .src(g(ra))
+            .with_imm(i32::from(si))]),
+        Insn::Arith { op, rt, ra, rb, oe, rc } => {
+            if oe {
+                return Converted::interp();
+            }
+            let (kind, carry) = match op {
+                ArithOp::Add => (OpKind::Add, false),
+                ArithOp::Addc => (OpKind::AddC, true),
+                ArithOp::Adde => (OpKind::AddE, true),
+                ArithOp::Subf => (OpKind::Subf, false),
+                ArithOp::Subfc => (OpKind::SubfC, true),
+                ArithOp::Subfe => (OpKind::SubfE, true),
+                ArithOp::Mullw => (OpKind::Mul, false),
+                ArithOp::Mulhw => (OpKind::Mulh, false),
+                ArithOp::Mulhwu => (OpKind::Mulhu, false),
+                ArithOp::Divw => (OpKind::Div, false),
+                ArithOp::Divwu => (OpKind::Divu, false),
+            };
+            let mut o = op0(kind).dst(g(rt)).src(g(ra)).src(g(rb));
+            if matches!(op, ArithOp::Adde | ArithOp::Subfe) {
+                o = o.src(Reg::CA);
+            }
+            if carry {
+                o = o.dst2(Reg::CA);
+            }
+            let mut ops = vec![o];
+            if rc {
+                push_record(&mut ops, g(rt), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Arith2 { op, rt, ra, oe, rc } => {
+            if oe {
+                return Converted::interp();
+            }
+            let mut ops = match op {
+                Arith2Op::Neg => vec![op0(OpKind::Neg).dst(g(rt)).src(g(ra))],
+                Arith2Op::Addze => {
+                    vec![op0(OpKind::AddZe).dst(g(rt)).dst2(Reg::CA).src(g(ra)).src(Reg::CA)]
+                }
+                Arith2Op::Addme => {
+                    vec![op0(OpKind::AddMe).dst(g(rt)).dst2(Reg::CA).src(g(ra)).src(Reg::CA)]
+                }
+                Arith2Op::Subfze => {
+                    vec![op0(OpKind::SubfZe).dst(g(rt)).dst2(Reg::CA).src(g(ra)).src(Reg::CA)]
+                }
+                Arith2Op::Subfme => {
+                    vec![op0(OpKind::SubfMe).dst(g(rt)).dst2(Reg::CA).src(g(ra)).src(Reg::CA)]
+                }
+            };
+            if rc {
+                push_record(&mut ops, g(rt), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Logic { op, ra, rs, rb, rc } => {
+            let kind = match op {
+                LogicOp::And => OpKind::And,
+                LogicOp::Or => OpKind::Or,
+                LogicOp::Xor => OpKind::Xor,
+                LogicOp::Nand => OpKind::Nand,
+                LogicOp::Nor => OpKind::Nor,
+                LogicOp::Andc => OpKind::Andc,
+                LogicOp::Orc => OpKind::Orc,
+                LogicOp::Eqv => OpKind::Eqv,
+            };
+            let mut ops = vec![op0(kind).dst(g(ra)).src(g(rs)).src(g(rb))];
+            if rc {
+                push_record(&mut ops, g(ra), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::LogicImm { op, ra, rs, ui } => {
+            let (kind, imm2) = match op {
+                LogicImmOp::Andi => (OpKind::AndImm, u32::from(ui)),
+                LogicImmOp::Andis => (OpKind::AndImm, u32::from(ui) << 16),
+                LogicImmOp::Ori => (OpKind::OrImm, u32::from(ui)),
+                LogicImmOp::Oris => (OpKind::OrImm, u32::from(ui) << 16),
+                LogicImmOp::Xori => (OpKind::XorImm, u32::from(ui)),
+                LogicImmOp::Xoris => (OpKind::XorImm, u32::from(ui) << 16),
+            };
+            let mut ops = vec![op0(kind).dst(g(ra)).src(g(rs)).with_imm2(imm2)];
+            if op.records() {
+                push_record(&mut ops, g(ra), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Shift { op, ra, rs, rb, rc } => {
+            let mut o = match op {
+                ShiftOp::Slw => op0(OpKind::Sll).dst(g(ra)).src(g(rs)).src(g(rb)),
+                ShiftOp::Srw => op0(OpKind::Srl).dst(g(ra)).src(g(rs)).src(g(rb)),
+                ShiftOp::Sraw => op0(OpKind::Sra).dst(g(ra)).src(g(rs)).src(g(rb)),
+            };
+            if matches!(op, ShiftOp::Sraw) {
+                o = o.dst2(Reg::CA);
+            }
+            let mut ops = vec![o];
+            if rc {
+                push_record(&mut ops, g(ra), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Srawi { ra, rs, sh, rc } => {
+            let mut ops = vec![op0(OpKind::SraImm)
+                .dst(g(ra))
+                .dst2(Reg::CA)
+                .src(g(rs))
+                .with_imm(i32::from(sh))];
+            if rc {
+                push_record(&mut ops, g(ra), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Rlwinm { ra, rs, sh, mb, me, rc } => {
+            let mut ops = vec![op0(OpKind::RotlImmMask)
+                .dst(g(ra))
+                .src(g(rs))
+                .with_imm(i32::from(sh))
+                .with_imm2(daisy_ppc::interp::rlw_mask(mb, me))];
+            if rc {
+                push_record(&mut ops, g(ra), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Rlwimi { ra, rs, sh, mb, me, rc } => {
+            let mut ops = vec![op0(OpKind::RotlImmInsert)
+                .dst(g(ra))
+                .src(g(rs))
+                .src(g(ra))
+                .with_imm(i32::from(sh))
+                .with_imm2(daisy_ppc::interp::rlw_mask(mb, me))];
+            if rc {
+                push_record(&mut ops, g(ra), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Rlwnm { ra, rs, rb, mb, me, rc } => {
+            let mut ops = vec![op0(OpKind::RotlRegMask)
+                .dst(g(ra))
+                .src(g(rs))
+                .src(g(rb))
+                .with_imm2(daisy_ppc::interp::rlw_mask(mb, me))];
+            if rc {
+                push_record(&mut ops, g(ra), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Unary { op, ra, rs, rc } => {
+            let kind = match op {
+                UnaryOp::Cntlzw => OpKind::Cntlz,
+                UnaryOp::Extsb => OpKind::Extsb,
+                UnaryOp::Extsh => OpKind::Exts,
+            };
+            let mut ops = vec![op0(kind).dst(g(ra)).src(g(rs))];
+            if rc {
+                push_record(&mut ops, g(ra), addr);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Cmp { bf, signed, ra, rb } => {
+            let kind = if signed { OpKind::CmpS } else { OpKind::CmpU };
+            Converted::fall(vec![op0(kind).dst(Reg::cr(bf)).src(g(ra)).src(g(rb)).src(Reg::SO)])
+        }
+        Insn::CmpImm { bf, signed, ra, imm } => {
+            let kind = if signed { OpKind::CmpSImm } else { OpKind::CmpUImm };
+            Converted::fall(vec![op0(kind).dst(Reg::cr(bf)).src(g(ra)).src(Reg::SO).with_imm(imm)])
+        }
+        Insn::Load { width, algebraic, update, indexed, rt, ra, rb, d } => {
+            let mut l = op0(OpKind::Load { width, algebraic }).dst(g(rt));
+            if let Some(b) = base_or_zero(ra) {
+                l = l.src(b);
+            }
+            if indexed {
+                l = l.src(g(rb));
+            } else {
+                l = l.with_imm(i32::from(d));
+            }
+            let mut ops = vec![l];
+            if update {
+                // EA write-back; faults on the load leave ra untouched
+                // because commits are in program order.
+                let upd = if indexed {
+                    op0(OpKind::Add).dst(g(ra)).src(g(ra)).src(g(rb))
+                } else {
+                    op0(OpKind::AddImm).dst(g(ra)).src(g(ra)).with_imm(i32::from(d))
+                };
+                ops.push(upd);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Store { width, update, indexed, rs, ra, rb, d } => {
+            // Store sources: value, then address registers (a missing
+            // base is the architected `ra = 0` literal-zero form).
+            let mut s = op0(OpKind::Store { width }).src(g(rs));
+            if let Some(b) = base_or_zero(ra) {
+                s = s.src(b);
+            }
+            if indexed {
+                s = s.src(g(rb));
+            } else {
+                s = s.with_imm(i32::from(d));
+            }
+            let mut ops = vec![s];
+            if update {
+                let upd = if indexed {
+                    op0(OpKind::Add).dst(g(ra)).src(g(ra)).src(g(rb))
+                } else {
+                    op0(OpKind::AddImm).dst(g(ra)).src(g(ra)).with_imm(i32::from(d))
+                };
+                ops.push(upd);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Lmw { rt, ra, d } => {
+            // CISC decomposition: one load primitive per register.
+            let mut ops = Vec::new();
+            for (i, r) in (rt.0..32).enumerate() {
+                let mut l = op0(OpKind::Load { width: MemWidth::Word, algebraic: false })
+                    .dst(Reg(r))
+                    .with_imm(i32::from(d) + 4 * i as i32);
+                if let Some(b) = base_or_zero(ra) {
+                    l = l.src(b);
+                }
+                ops.push(l);
+            }
+            Converted::fall(ops)
+        }
+        Insn::Stmw { rs, ra, d } => {
+            let mut ops = Vec::new();
+            for (i, r) in (rs.0..32).enumerate() {
+                let mut s = op0(OpKind::Store { width: MemWidth::Word }).src(Reg(r));
+                if let Some(b) = base_or_zero(ra) {
+                    s = s.src(b);
+                }
+                ops.push(s.with_imm(i32::from(d) + 4 * i as i32));
+            }
+            Converted::fall(ops)
+        }
+        Insn::BranchI { lk, .. } => {
+            let Some(info) = insn.branch_info(addr) else { unreachable!() };
+            let BranchKind::Direct(target) = info.kind else { unreachable!() };
+            Converted { ops: Vec::new(), flow: Flow::Jump { target }, links: lk }
+        }
+        Insn::BranchC { bo: b, bi, bd: _, lk, .. } => {
+            let Some(info) = insn.branch_info(addr) else { unreachable!() };
+            let BranchKind::Direct(target) = info.kind else { unreachable!() };
+            convert_cond_branch(addr, b, bi, lk, BranchDest::Direct(target))
+        }
+        Insn::BranchClr { bo: b, bi, lk } => {
+            convert_cond_branch(addr, b, bi, lk, BranchDest::Via(IndirectVia::Lr))
+        }
+        Insn::BranchCctr { bo: b, bi, lk } => {
+            if !bo::ignores_ctr(b) {
+                // bcctr with CTR decrement is an invalid form.
+                return Converted::interp();
+            }
+            convert_cond_branch(addr, b | 0b00100, bi, lk, BranchDest::Via(IndirectVia::Ctr))
+        }
+        Insn::CrLogic { op, bt, ba, bb } => Converted::fall(vec![op0(OpKind::CrBit {
+            op,
+            bt: bt.within(),
+            ba: ba.within(),
+            bb: bb.within(),
+        })
+        .dst(Reg::cr(bt.field()))
+        .src(Reg::cr(ba.field()))
+        .src(Reg::cr(bb.field()))
+        .src(Reg::cr(bt.field()))]),
+        Insn::Mcrf { bf, bfa } => {
+            Converted::fall(vec![op0(OpKind::Copy).dst(Reg::cr(bf)).src(Reg::cr(bfa))])
+        }
+        Insn::Mfcr { rt } => {
+            // Decompose into an insert chain over the 8 fields.
+            let mut ops = vec![op0(OpKind::Li).dst(g(rt)).with_imm(0)];
+            for f in 0..8u8 {
+                ops.push(
+                    op0(OpKind::InsertField)
+                        .dst(g(rt))
+                        .src(g(rt))
+                        .src(Reg::cr(CrField(f)))
+                        .with_imm(i32::from(f)),
+                );
+            }
+            Converted::fall(ops)
+        }
+        Insn::Mtcrf { fxm, rs } => {
+            // One mtcrf2 (paper Appendix D) per selected field.
+            let mut ops = Vec::new();
+            for f in 0..8u8 {
+                if fxm & (0x80 >> f) != 0 {
+                    ops.push(
+                        op0(OpKind::ExtractField)
+                            .dst(Reg::cr(CrField(f)))
+                            .src(g(rs))
+                            .with_imm(i32::from(f)),
+                    );
+                }
+            }
+            Converted::fall(ops)
+        }
+        Insn::Mfspr { rt, spr } => match spr {
+            daisy_ppc::reg::Spr::Lr => {
+                Converted::fall(vec![op0(OpKind::Copy).dst(g(rt)).src(Reg::LR)])
+            }
+            daisy_ppc::reg::Spr::Ctr => {
+                Converted::fall(vec![op0(OpKind::Copy).dst(g(rt)).src(Reg::CTR)])
+            }
+            daisy_ppc::reg::Spr::Xer => Converted::fall(vec![op0(OpKind::XerCompose)
+                .dst(g(rt))
+                .src(Reg::CA)
+                .src(Reg::OV)
+                .src(Reg::SO)]),
+            _ => Converted::interp(),
+        },
+        Insn::Mtspr { spr, rs } => match spr {
+            daisy_ppc::reg::Spr::Lr => {
+                Converted::fall(vec![op0(OpKind::Copy).dst(Reg::LR).src(g(rs))])
+            }
+            daisy_ppc::reg::Spr::Ctr => {
+                Converted::fall(vec![op0(OpKind::Copy).dst(Reg::CTR).src(g(rs))])
+            }
+            daisy_ppc::reg::Spr::Xer => Converted::fall(vec![
+                op0(OpKind::XerExtract).dst(Reg::CA).src(g(rs)).with_imm(29),
+                op0(OpKind::XerExtract).dst(Reg::OV).src(g(rs)).with_imm(30),
+                op0(OpKind::XerExtract).dst(Reg::SO).src(g(rs)).with_imm(31),
+            ]),
+            _ => Converted::interp(),
+        },
+        Insn::Sync | Insn::Isync | Insn::Eieio => {
+            // Strongly consistent memory assumed (paper Appendix E:
+            // "Assume a strongly consistent memory system, not requiring
+            // stop at a serializing op").
+            Converted::fall(Vec::new())
+        }
+        Insn::Tw { to, ra, rb } => {
+            Converted::fall(vec![op0(OpKind::TrapIf { to }).src(g(ra)).src(g(rb))])
+        }
+        Insn::Twi { to, ra, si } => {
+            Converted::fall(vec![op0(OpKind::TrapIf { to }).src(g(ra)).with_imm(i32::from(si))])
+        }
+        Insn::Mfmsr { .. } | Insn::Mtmsr { .. } | Insn::Sc | Insn::Rfi | Insn::Invalid(_) => {
+            Converted::interp()
+        }
+    }
+}
+
+enum BranchDest {
+    Direct(u32),
+    Via(IndirectVia),
+}
+
+fn convert_cond_branch(addr: u32, b: u8, bi: daisy_ppc::reg::CrBit, lk: bool, dest: BranchDest) -> Converted {
+    let mut ops = Vec::new();
+    let mut ctr_compare = false;
+    // CTR-decrementing forms: explicit decrement + compare, so the
+    // count can rename and loop iterations overlap (paper Appendix D).
+    let ctr_cond = if !bo::ignores_ctr(b) {
+        let dec = Operation::new(OpKind::AddImm, addr).dst(Reg::CTR).src(Reg::CTR).with_imm(-1);
+        ops.push(dec);
+        // Compare the *new* CTR against zero. The scheduler points this
+        // at the renamed decrement result.
+        let cmp = Operation::new(OpKind::CmpSImm, addr)
+            .dst(Reg::cr(CrField(0))) // placeholder dest; scheduler renames
+            .src(Reg::CTR)
+            .src(Reg::SO)
+            .with_imm(0);
+        ops.push(cmp);
+        ctr_compare = true;
+        Some(CondSpec {
+            field: Reg::cr(CrField(0)), // placeholder; scheduler substitutes
+            mask: 0b0010,               // EQ bit of the compare
+            want_set: bo::wants_ctr_zero(b),
+        })
+    } else {
+        None
+    };
+    let cr_cond = if bo::ignores_cond(b) {
+        None
+    } else {
+        Some(CondSpec {
+            field: Reg::cr(bi.field()),
+            mask: bi.field_mask(),
+            want_set: bo::wants_true(b),
+        })
+    };
+    // Combined CTR+condition forms (bdnzt …) are rare; route to the
+    // interpreter rather than build two-level conditions.
+    let cond = match (ctr_cond, cr_cond) {
+        (Some(_), Some(_)) => return Converted::interp(),
+        (Some(c), None) | (None, Some(c)) => Some(c),
+        (None, None) => None,
+    };
+    let flow = match (cond, dest) {
+        (None, BranchDest::Direct(target)) => Flow::Jump { target },
+        (None, BranchDest::Via(via)) => Flow::IndirectJump { via },
+        (Some(cond), BranchDest::Direct(target)) => Flow::CondJump { cond, target, ctr_compare },
+        (Some(cond), BranchDest::Via(via)) => Flow::CondIndirect { cond, via, ctr_compare },
+    };
+    Converted { ops, flow, links: lk }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_ppc::reg::CrBit;
+
+    #[test]
+    fn add_converts_to_one_primitive() {
+        let c = convert(
+            &Insn::Arith {
+                op: ArithOp::Add,
+                rt: Gpr(3),
+                ra: Gpr(4),
+                rb: Gpr(5),
+                oe: false,
+                rc: false,
+            },
+            0x100,
+        );
+        assert_eq!(c.ops.len(), 1);
+        assert_eq!(c.ops[0].kind, OpKind::Add);
+        assert_eq!(c.ops[0].dest, Some(Reg::gpr(Gpr(3))));
+        assert_eq!(c.flow, Flow::Fall);
+    }
+
+    #[test]
+    fn record_form_adds_compare() {
+        let c = convert(
+            &Insn::Arith {
+                op: ArithOp::Add,
+                rt: Gpr(3),
+                ra: Gpr(4),
+                rb: Gpr(5),
+                oe: false,
+                rc: true,
+            },
+            0,
+        );
+        assert_eq!(c.ops.len(), 2);
+        assert_eq!(c.ops[1].kind, OpKind::CmpSImm);
+        assert_eq!(c.ops[1].dest, Some(Reg::cr(CrField(0))));
+        assert_eq!(c.ops[1].srcs()[0], Reg::gpr(Gpr(3)));
+    }
+
+    #[test]
+    fn lmw_decomposes_per_register() {
+        let c = convert(&Insn::Lmw { rt: Gpr(28), ra: Gpr(1), d: 8 }, 0);
+        assert_eq!(c.ops.len(), 4);
+        assert_eq!(c.ops[0].dest, Some(Reg::gpr(Gpr(28))));
+        assert_eq!(c.ops[3].dest, Some(Reg::gpr(Gpr(31))));
+        assert_eq!(c.ops[3].imm, 8 + 12);
+    }
+
+    #[test]
+    fn bdnz_emits_decrement_and_compare() {
+        let c = convert(
+            &Insn::BranchC { bo: bo::DNZ, bi: CrBit(0), bd: -8, aa: false, lk: false },
+            0x100,
+        );
+        assert_eq!(c.ops.len(), 2);
+        assert_eq!(c.ops[0].dest, Some(Reg::CTR));
+        assert_eq!(c.ops[0].imm, -1);
+        match c.flow {
+            Flow::CondJump { cond, target, ctr_compare } => {
+                assert_eq!(target, 0xF8);
+                assert!(ctr_compare);
+                assert_eq!(cond.mask, 0b0010);
+                assert!(!cond.want_set); // bdnz: taken when CTR != 0
+            }
+            other => panic!("unexpected flow {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blr_is_indirect_via_lr() {
+        let c = convert(&Insn::BranchClr { bo: bo::ALWAYS, bi: CrBit(0), lk: false }, 0);
+        assert!(c.ops.is_empty());
+        assert_eq!(c.flow, Flow::IndirectJump { via: IndirectVia::Lr });
+    }
+
+    #[test]
+    fn conditional_blr() {
+        let c = convert(&Insn::BranchClr { bo: bo::IF_FALSE, bi: CrBit(2), lk: false }, 0);
+        match c.flow {
+            Flow::CondIndirect { cond, via, ctr_compare } => {
+                assert_eq!(via, IndirectVia::Lr);
+                assert!(!ctr_compare);
+                assert_eq!(cond.mask, 0b0010);
+                assert!(!cond.want_set);
+            }
+            other => panic!("unexpected flow {other:?}"),
+        }
+    }
+
+    #[test]
+    fn privileged_goes_to_interpreter() {
+        assert_eq!(convert(&Insn::Rfi, 0).flow, Flow::Interp);
+        assert_eq!(convert(&Insn::Sc, 0).flow, Flow::Interp);
+        assert_eq!(
+            convert(&Insn::Mfspr { rt: Gpr(1), spr: daisy_ppc::reg::Spr::Srr0 }, 0).flow,
+            Flow::Interp
+        );
+    }
+
+    #[test]
+    fn sync_is_free() {
+        let c = convert(&Insn::Sync, 0);
+        assert!(c.ops.is_empty());
+        assert_eq!(c.flow, Flow::Fall);
+    }
+
+    #[test]
+    fn mfcr_chain_length() {
+        let c = convert(&Insn::Mfcr { rt: Gpr(9) }, 0);
+        assert_eq!(c.ops.len(), 9);
+    }
+
+    #[test]
+    fn bl_marks_link() {
+        let c = convert(&Insn::BranchI { li: 0x40, aa: false, lk: true }, 0x1000);
+        assert!(c.links);
+        assert_eq!(c.flow, Flow::Jump { target: 0x1040 });
+    }
+}

@@ -1,0 +1,561 @@
+//! Execution engine for translated VLIW tree code.
+//!
+//! Walks a group one tree instruction per cycle: conditions route the
+//! root-to-leaf path, parcels on the path execute with the paper's
+//! semantics — speculative parcels poison their (renamed) destinations
+//! with exception tags instead of faulting (§2.1), commits move renamed
+//! results into architected registers in program order, and bypassed
+//! loads are *verified* at commit, restarting on a run-time alias
+//! (Table 5.7). The cache hierarchy is probed per tree-instruction
+//! fetch and per memory parcel.
+
+use crate::precise::ArchEvent;
+use crate::stats::RunStats;
+use daisy_cachesim::Hierarchy;
+use daisy_ppc::insn::MemWidth;
+use daisy_ppc::mem::Memory;
+use daisy_vliw::op::{effective_address, eval, EvalOut, OpKind, Operation};
+use daisy_vliw::reg::{Reg, NUM_REGS};
+use daisy_vliw::regfile::RegFile;
+use daisy_vliw::tree::{Exit, Group, IndirectVia, NodeKind, VliwId, ROOT};
+
+/// A translated group plus the addresses its tree instructions occupy
+/// in the translated-code area (for instruction-cache behaviour).
+#[derive(Debug, Clone)]
+pub struct GroupCode {
+    /// The translated group.
+    pub group: Group,
+    /// Translated-code address of each tree instruction.
+    pub vliw_addrs: Vec<u32>,
+}
+
+/// The kind of a precise exception raised by translated code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExcKind {
+    /// Data storage fault at the given effective address.
+    Dsi {
+        /// Faulting effective address.
+        addr: u32,
+        /// True for a store.
+        write: bool,
+    },
+    /// Trap instruction fired (program interrupt).
+    Trap,
+}
+
+/// How a group finished executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupExit {
+    /// Control leaves to a base-architecture address.
+    Branch {
+        /// Target base address.
+        target: u32,
+        /// `Some` for indirect branches (Table 5.6 typing).
+        via: Option<IndirectVia>,
+    },
+    /// The VMM must interpret the instruction at `addr`.
+    Interp {
+        /// Base address to interpret.
+        addr: u32,
+    },
+    /// Precise exception; architected state is exact just before the
+    /// instruction at `base_addr`.
+    Exception {
+        /// The fault.
+        kind: ExcKind,
+        /// The responsible base instruction (engine metadata; the VMM
+        /// re-derives it with `precise::recover` and cross-checks).
+        base_addr: u32,
+        /// Architected events completed before the fault, for recovery.
+        fault_idx: usize,
+    },
+    /// A store hit a page with its translated bit set (§3.2); resume by
+    /// re-interpreting the modifying instruction at `addr` after
+    /// invalidation.
+    CodeModified {
+        /// Address of the modifying instruction.
+        addr: u32,
+    },
+    /// A bypassed load's commit saw different memory (run-time alias);
+    /// restart at the load's instruction.
+    AliasRestart {
+        /// Address of the load instruction.
+        addr: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingLoad {
+    ea: u32,
+    width: MemWidth,
+    algebraic: bool,
+    value: u32,
+}
+
+fn read_mem(mem: &Memory, ea: u32, width: MemWidth, algebraic: bool) -> Result<u32, ()> {
+    match width {
+        MemWidth::Byte => mem.read_u8(ea).map(u32::from).map_err(|_| ()),
+        MemWidth::Half => mem
+            .read_u16(ea)
+            .map(|v| if algebraic { v as i16 as i32 as u32 } else { u32::from(v) })
+            .map_err(|_| ()),
+        MemWidth::Word => mem.read_u32(ea).map_err(|_| ()),
+    }
+}
+
+fn write_mem(mem: &mut Memory, ea: u32, width: MemWidth, v: u32) -> Result<(), ()> {
+    match width {
+        MemWidth::Byte => mem.write_u8(ea, v as u8).map_err(|_| ()),
+        MemWidth::Half => mem.write_u16(ea, v as u16).map_err(|_| ()),
+        MemWidth::Word => mem.write_u32(ea, v).map_err(|_| ()),
+    }
+}
+
+/// Executes one group to its exit.
+///
+/// `events` is cleared and filled with the architected-commitment
+/// record used for precise-exception recovery.
+pub fn run_group(
+    code: &GroupCode,
+    rf: &mut RegFile,
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    stats: &mut RunStats,
+    events: &mut Vec<ArchEvent>,
+) -> GroupExit {
+    events.clear();
+    let group = &code.group;
+    let mut tag_info: [Option<(u32, bool)>; NUM_REGS] = [None; NUM_REGS];
+    let mut pending: [Option<PendingLoad>; NUM_REGS] = [None; NUM_REGS];
+    let mut last_base = u32::MAX;
+    let mut cur = VliwId(0);
+    stats.groups_entered += 1;
+
+    loop {
+        let vliw = group.vliw(cur);
+        stats.vliws_executed += 1;
+        let iacc = cache.access_instr(code.vliw_addrs[cur.0 as usize]);
+        stats.stall_cycles += u64::from(iacc.penalty);
+
+        let mut node = ROOT;
+        let mut parcels_this_vliw = 0usize;
+        loop {
+            let n = &vliw.nodes()[node.0 as usize];
+            parcels_this_vliw += n.ops.len();
+            for op in &n.ops {
+                match exec_parcel(
+                    op,
+                    rf,
+                    mem,
+                    cache,
+                    stats,
+                    events,
+                    &mut tag_info,
+                    &mut pending,
+                    &mut last_base,
+                ) {
+                    Ok(()) => {}
+                    Err(exit) => return exit,
+                }
+            }
+            match &n.kind {
+                NodeKind::Open => unreachable!("translator seals every node"),
+                NodeKind::Branch { cond, taken, fall } => {
+                    debug_assert!(!rf.tag(cond.src), "branch conditions are committed clean");
+                    let t = cond.holds(rf.get(cond.src));
+                    match cond.spec_target {
+                        // A Ch. 6 indirect-branch specialization: the
+                        // taken side is the true indirect exit, the
+                        // fall side continues inline at the target.
+                        Some(spec) => {
+                            events.push(ArchEvent::IndirectDir(if t { None } else { Some(spec) }));
+                        }
+                        None => events.push(ArchEvent::Dir(t)),
+                    }
+                    stats.base_instrs += 1;
+                    node = if t { *taken } else { *fall };
+                }
+                NodeKind::Exit(e) => {
+                    stats.issue_histogram[parcels_this_vliw.min(24)] += 1;
+                    match e {
+                        Exit::Goto(next) => {
+                            cur = *next;
+                            break;
+                        }
+                        Exit::Branch { target } => {
+                            return GroupExit::Branch { target: *target, via: None }
+                        }
+                        Exit::Indirect { src, via } => {
+                            debug_assert!(!rf.tag(*src), "indirect targets are committed clean");
+                            return GroupExit::Branch {
+                                target: rf.get(*src) & !3,
+                                via: Some(*via),
+                            };
+                        }
+                        Exit::Interp { addr } => return GroupExit::Interp { addr: *addr },
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_parcel(
+    op: &Operation,
+    rf: &mut RegFile,
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    stats: &mut RunStats,
+    events: &mut Vec<ArchEvent>,
+    tag_info: &mut [Option<(u32, bool)>; NUM_REGS],
+    pending: &mut [Option<PendingLoad>; NUM_REGS],
+    last_base: &mut u32,
+) -> Result<(), GroupExit> {
+    let nsrc = op.srcs().len();
+    let mut vals = [0u32; 3];
+    let mut tagged: Option<Reg> = None;
+    for (i, s) in op.srcs().iter().enumerate() {
+        vals[i] = rf.get(*s);
+        if rf.tag(*s) {
+            tagged = Some(*s);
+        }
+    }
+    let vals = &vals[..nsrc];
+
+    // Exception-tag semantics (§2.1): speculative consumers propagate
+    // the poison; non-speculative consumers take the deferred fault.
+    if let Some(t) = tagged {
+        if op.speculative {
+            let info = tag_info[t.index()];
+            for d in [op.dest, op.dest2].into_iter().flatten() {
+                rf.set(d, 0);
+                rf.set_tag(d, true);
+                tag_info[d.index()] = info;
+            }
+            return Ok(());
+        }
+        let (addr, write) = tag_info[t.index()].unwrap_or((0, false));
+        return Err(GroupExit::Exception {
+            kind: ExcKind::Dsi { addr, write },
+            base_addr: op.base_addr,
+            fault_idx: events.len(),
+        });
+    }
+
+    let count_completion = |stats: &mut RunStats, last_base: &mut u32, addr: u32| {
+        if *last_base != addr {
+            *last_base = addr;
+            stats.base_instrs += 1;
+        }
+    };
+
+    match op.kind {
+        OpKind::Load { width, algebraic } => {
+            let ea = effective_address(op, vals);
+            match read_mem(mem, ea, width, algebraic) {
+                Ok(v) => {
+                    let acc = cache.access_data(ea, false);
+                    stats.loads += 1;
+                    if acc.l0_miss {
+                        stats.load_l0_misses += 1;
+                    }
+                    stats.stall_cycles += u64::from(acc.penalty);
+                    let d = op.dest.expect("loads have destinations");
+                    rf.set(d, v);
+                    tag_info[d.index()] = None;
+                    if op.bypassed_store {
+                        pending[d.index()] = Some(PendingLoad { ea, width, algebraic, value: v });
+                    }
+                    if !op.speculative {
+                        events.push(ArchEvent::Def { d1: d, d2: None });
+                        count_completion(stats, last_base, op.base_addr);
+                    }
+                }
+                Err(()) => {
+                    if op.speculative {
+                        // "A speculative operation that causes an error
+                        // … just sets the exception tag bit."
+                        let d = op.dest.expect("loads have destinations");
+                        rf.set(d, 0);
+                        rf.set_tag(d, true);
+                        tag_info[d.index()] = Some((ea, false));
+                    } else {
+                        return Err(GroupExit::Exception {
+                            kind: ExcKind::Dsi { addr: ea, write: false },
+                            base_addr: op.base_addr,
+                            fault_idx: events.len(),
+                        });
+                    }
+                }
+            }
+        }
+        OpKind::Store { width } => {
+            let ea = effective_address(op, vals);
+            match write_mem(mem, ea, width, vals[0]) {
+                Ok(()) => {
+                    let acc = cache.access_data(ea, true);
+                    stats.stores += 1;
+                    if acc.l0_miss {
+                        stats.store_l0_misses += 1;
+                    }
+                    stats.stall_cycles += u64::from(acc.penalty);
+                    events.push(ArchEvent::Store);
+                    count_completion(stats, last_base, op.base_addr);
+                    if mem.has_code_writes() {
+                        stats.code_modifications += 1;
+                        return Err(GroupExit::CodeModified { addr: op.base_addr });
+                    }
+                }
+                Err(()) => {
+                    return Err(GroupExit::Exception {
+                        kind: ExcKind::Dsi { addr: ea, write: true },
+                        base_addr: op.base_addr,
+                        fault_idx: events.len(),
+                    });
+                }
+            }
+        }
+        OpKind::TrapIf { .. } => match eval(op, vals) {
+            EvalOut::Trap(true) => {
+                return Err(GroupExit::Exception {
+                    kind: ExcKind::Trap,
+                    base_addr: op.base_addr,
+                    fault_idx: events.len(),
+                });
+            }
+            EvalOut::Trap(false) => {
+                events.push(ArchEvent::TrapCheck);
+                count_completion(stats, last_base, op.base_addr);
+            }
+            _ => unreachable!("TrapIf evaluates to Trap"),
+        },
+        _ => {
+            let EvalOut::Value { v, carry } = eval(op, vals) else {
+                unreachable!("non-memory ops evaluate to values")
+            };
+            // Load-verify at the commit of a bypassed load (§2.1: "the
+            // value must be reloaded and execution re-commenced from
+            // the point of the load").
+            if op.is_commit && op.bypassed_store {
+                let src = op.srcs()[0];
+                if let Some(pl) = pending[src.index()] {
+                    if read_mem(mem, pl.ea, pl.width, pl.algebraic) != Ok(pl.value) {
+                        stats.alias_failures += 1;
+                        return Err(GroupExit::AliasRestart { addr: op.base_addr });
+                    }
+                }
+            }
+            if let Some(d) = op.dest {
+                rf.set(d, v);
+                tag_info[d.index()] = None;
+            }
+            if let Some(d2) = op.dest2 {
+                rf.set(d2, u32::from(carry.unwrap_or(false)));
+                tag_info[d2.index()] = None;
+            }
+            if !op.speculative {
+                if let Some(d) = op.dest {
+                    events.push(ArchEvent::Def { d1: d, d2: op.dest2 });
+                    count_completion(stats, last_base, op.base_addr);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{translate_group, TranslatorConfig};
+    use daisy_ppc::asm::Asm;
+    use daisy_ppc::interp::Cpu;
+    use daisy_ppc::reg::{CrField, Gpr};
+
+    fn setup(build: impl FnOnce(&mut Asm)) -> (GroupCode, Memory) {
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let prog = a.finish().unwrap();
+        let mut mem = Memory::new(0x40000);
+        prog.load_into(&mut mem).unwrap();
+        let cfg = TranslatorConfig::default();
+        let (group, _) = translate_group(&cfg, &mem, prog.entry);
+        let n = group.len();
+        let code = GroupCode {
+            group,
+            vliw_addrs: (0..n as u32).map(|i| 0x8000_0000 + i * 64).collect(),
+        };
+        (code, mem)
+    }
+
+    fn run(code: &GroupCode, mem: &mut Memory, rf: &mut RegFile) -> (GroupExit, RunStats) {
+        let mut cache = Hierarchy::infinite();
+        let mut stats = RunStats::default();
+        let mut events = Vec::new();
+        let exit = run_group(code, rf, mem, &mut cache, &mut stats, &mut events);
+        (exit, stats)
+    }
+
+    #[test]
+    fn executes_straight_line_arithmetic() {
+        let (code, mut mem) = setup(|a| {
+            a.add(Gpr(3), Gpr(1), Gpr(2));
+            a.add(Gpr(4), Gpr(3), Gpr(3));
+            a.sc();
+        });
+        let mut rf = RegFile::new();
+        rf.set(Reg::gpr(Gpr(1)), 4);
+        rf.set(Reg::gpr(Gpr(2)), 6);
+        let (exit, _) = run(&code, &mut mem, &mut rf);
+        assert_eq!(exit, GroupExit::Interp { addr: 0x1008 });
+        assert_eq!(rf.get(Reg::gpr(Gpr(3))), 10);
+        assert_eq!(rf.get(Reg::gpr(Gpr(4))), 20);
+    }
+
+    #[test]
+    fn tree_branch_selects_path() {
+        let (code, mut mem) = setup(|a| {
+            a.cmpwi(CrField(0), Gpr(3), 0);
+            a.beq(CrField(0), "zero");
+            a.li(Gpr(5), 1);
+            a.sc();
+            a.label("zero");
+            a.li(Gpr(5), 2);
+            a.sc();
+        });
+        let mut rf = RegFile::new();
+        rf.set(Reg::gpr(Gpr(3)), 0);
+        let (_, _) = run(&code, &mut mem, &mut rf);
+        assert_eq!(rf.get(Reg::gpr(Gpr(5))), 2);
+
+        let mut rf = RegFile::new();
+        rf.set(Reg::gpr(Gpr(3)), 7);
+        let (_, _) = run(&code, &mut mem, &mut rf);
+        assert_eq!(rf.get(Reg::gpr(Gpr(5))), 1);
+    }
+
+    #[test]
+    fn speculative_load_fault_is_deferred_until_commit() {
+        // The load is moved above the guarding branch: executed
+        // speculatively it must not fault when r9 is a bad pointer and
+        // the branch skips it.
+        let (code, mut mem) = setup(|a| {
+            a.cmpwi(CrField(0), Gpr(3), 0);
+            a.beq(CrField(0), "skip");
+            a.lwz(Gpr(5), 0, Gpr(9));
+            a.label("skip");
+            a.li(Gpr(6), 9);
+            a.sc();
+        });
+        let mut rf = RegFile::new();
+        rf.set(Reg::gpr(Gpr(3)), 0); // take the skip
+        rf.set(Reg::gpr(Gpr(9)), 0x00F0_0000); // invalid address
+        let (exit, _) = run(&code, &mut mem, &mut rf);
+        assert!(
+            matches!(exit, GroupExit::Interp { .. }),
+            "skipped faulting load must not raise: {exit:?}"
+        );
+        assert_eq!(rf.get(Reg::gpr(Gpr(6))), 9);
+
+        // Fall through: the poisoned value is consumed at commit.
+        let mut rf = RegFile::new();
+        rf.set(Reg::gpr(Gpr(3)), 1);
+        rf.set(Reg::gpr(Gpr(9)), 0x00F0_0000);
+        let (exit, _) = run(&code, &mut mem, &mut rf);
+        match exit {
+            GroupExit::Exception { kind: ExcKind::Dsi { addr, write: false }, base_addr, .. } => {
+                assert_eq!(addr, 0x00F0_0000);
+                assert_eq!(base_addr, 0x1008);
+            }
+            other => panic!("expected deferred DSI, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_restart_on_bypassed_load() {
+        // Store and load overlap at runtime (same address via different
+        // registers); the hoisted load must be caught at commit. The
+        // store's value arrives late so the load truly bypasses it.
+        let (code, mut mem) = setup(|a| {
+            a.add(Gpr(10), Gpr(8), Gpr(9));
+            a.add(Gpr(11), Gpr(10), Gpr(10));
+            a.stw(Gpr(11), 0, Gpr(1));
+            a.lwz(Gpr(4), 0, Gpr(2));
+            a.add(Gpr(5), Gpr(4), Gpr(4));
+            a.sc();
+        });
+        let mut rf = RegFile::new();
+        rf.set(Reg::gpr(Gpr(1)), 0x9000);
+        rf.set(Reg::gpr(Gpr(2)), 0x9000); // alias!
+        rf.set(Reg::gpr(Gpr(8)), 0x55);
+        let (exit, stats) = run(&code, &mut mem, &mut rf);
+        assert_eq!(exit, GroupExit::AliasRestart { addr: 0x100C });
+        assert_eq!(stats.alias_failures, 1);
+
+        // Disjoint addresses execute cleanly.
+        let mut rf = RegFile::new();
+        rf.set(Reg::gpr(Gpr(1)), 0x9000);
+        rf.set(Reg::gpr(Gpr(2)), 0x9100);
+        mem.write_u32(0x9100, 5).unwrap();
+        let (exit, stats) = run(&code, &mut mem, &mut rf);
+        assert!(matches!(exit, GroupExit::Interp { .. }));
+        assert_eq!(stats.alias_failures, 0);
+        assert_eq!(rf.get(Reg::gpr(Gpr(5))), 10);
+    }
+
+    #[test]
+    fn self_modifying_store_reports_code_modification() {
+        let (code, mut mem) = setup(|a| {
+            a.stw(Gpr(3), 0, Gpr(1));
+            a.sc();
+        });
+        mem.set_translated_bit(0x2000);
+        let mut rf = RegFile::new();
+        rf.set(Reg::gpr(Gpr(1)), 0x2004);
+        let (exit, stats) = run(&code, &mut mem, &mut rf);
+        assert_eq!(exit, GroupExit::CodeModified { addr: 0x1000 });
+        assert_eq!(stats.code_modifications, 1);
+    }
+
+    #[test]
+    fn matches_interpreter_on_mixed_code() {
+        let build = |a: &mut Asm| {
+            a.li(Gpr(1), 0x4000 >> 2);
+            a.slwi(Gpr(1), Gpr(1), 2);
+            a.li(Gpr(3), 17);
+            a.stw(Gpr(3), 0, Gpr(1));
+            a.lwz(Gpr(4), 0, Gpr(1));
+            a.addic(Gpr(5), Gpr(4), 0x7FFF);
+            a.adde(Gpr(6), Gpr(5), Gpr(4));
+            a.cmpwi(CrField(0), Gpr(6), 0);
+            a.bgt(CrField(0), "pos");
+            a.li(Gpr(7), 0);
+            a.sc();
+            a.label("pos");
+            a.li(Gpr(7), 1);
+            a.sc();
+        };
+        let (code, mut mem) = setup(build);
+        let mut rf = RegFile::new();
+        let (exit, _) = run(&code, &mut mem, &mut rf);
+
+        // Reference run.
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let prog = a.finish().unwrap();
+        let mut mem2 = Memory::new(0x40000);
+        prog.load_into(&mut mem2).unwrap();
+        let mut cpu = Cpu::new(prog.entry);
+        cpu.run(&mut mem2, 100).unwrap();
+
+        let mut cpu_daisy = Cpu::new(0);
+        rf.write_back(&mut cpu_daisy);
+        for i in 0..32 {
+            assert_eq!(cpu_daisy.gpr[i], cpu.gpr[i], "r{i} mismatch");
+        }
+        assert_eq!(cpu_daisy.cr, cpu.cr);
+        // The Interp exit lands on the sc the interpreter stopped after.
+        assert!(matches!(exit, GroupExit::Interp { addr } if addr + 4 == cpu.pc));
+    }
+}

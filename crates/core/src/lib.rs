@@ -1,0 +1,58 @@
+//! DAISY: dynamic compilation of PowerPC binaries to VLIW tree code.
+//!
+//! This crate is the paper's primary contribution — the Virtual Machine
+//! Monitor (VMM) and its one-pass dynamic parallelizing translator:
+//!
+//! * [`convert`] — decodes base instructions into VLIW RISC primitives
+//!   (CISCy operations like `lmw` decompose; `sc`, `rfi`, and privileged
+//!   operations defer to the VMM).
+//! * [`sched`] — the Pathlist scheduling algorithm of Chapter 2 and
+//!   Appendix A: greedy, multi-path, one pass, renaming speculative
+//!   results into non-architected registers and committing them in
+//!   program order so exceptions stay precise.
+//! * [`vmm`] — page-granular translation management of Chapter 3:
+//!   translation cache, valid entry points, cross-page dispatch,
+//!   invalidation on code modification.
+//! * [`engine`] — executes translated tree instructions against the
+//!   emulated machine, with exception tags, load-verify for speculative
+//!   loads, and the cache hierarchy attached.
+//! * [`precise`] — the table-free exception-address recovery of §3.5
+//!   (forward matching of architected assignments).
+//! * [`system`] — [`system::DaisySystem`] ties memory, VMM, engine, and
+//!   emulated CPU state into a runnable whole.
+//! * [`oracle`] — the oracle-parallelism schedulers of Chapter 6.
+//! * [`overhead`] — the analytic compile-overhead model of §5.1.
+//!
+//! # Quick start
+//!
+//! ```
+//! use daisy::system::DaisySystem;
+//! use daisy_ppc::asm::Asm;
+//! use daisy_ppc::reg::Gpr;
+//!
+//! let mut a = Asm::new(0x1000);
+//! a.li(Gpr(3), 21);
+//! a.add(Gpr(3), Gpr(3), Gpr(3));
+//! a.sc();
+//! let prog = a.finish().unwrap();
+//!
+//! let mut sys = DaisySystem::new(0x40000);
+//! sys.load(&prog).unwrap();
+//! sys.run(1_000_000).unwrap();
+//! assert_eq!(sys.cpu.gpr[3], 42);
+//! ```
+
+pub mod convert;
+pub mod engine;
+pub mod oracle;
+pub mod overhead;
+pub mod precise;
+pub mod sched;
+pub mod stats;
+pub mod system;
+pub mod vmm;
+
+pub use sched::TranslatorConfig;
+pub use stats::RunStats;
+pub use system::DaisySystem;
+pub use vmm::Vmm;

@@ -1,0 +1,210 @@
+//! The analytic compile-overhead model of paper §5.1.
+//!
+//! The paper relates the reuse each page needs for dynamic compilation
+//! to pay off:
+//!
+//! ```text
+//! r·g·i/PR            = T_R   (base architecture time)
+//! r·g·i/PV + g·t      = T_V   (VLIW time incl. translation)
+//! break-even:  t = r·i·(1/PR − 1/PV)
+//! ```
+//!
+//! with `r` the per-page reuse factor, `g` pages touched, `i`
+//! instructions per page, `t` cycles to translate one page, and
+//! `PR`/`PV` the base/VLIW ILP. Table 5.8 instantiates the model for a
+//! two-second, 1 GHz, ILP-4 program; Table 5.9 reports measured reuse
+//! factors.
+
+/// Parameters of the §5.1 model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Average ILP of the VLIW (`PV`, paper uses 4.0).
+    pub pv: f64,
+    /// Average ILP of the base architecture (`PR`, paper uses 1.5).
+    pub pr: f64,
+    /// Instructions per page (`i`, paper uses 1024).
+    pub instrs_per_page: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel { pv: 4.0, pr: 1.5, instrs_per_page: 1024.0 }
+    }
+}
+
+impl OverheadModel {
+    /// Break-even reuse factor for a page that costs `t` cycles to
+    /// translate (Equation 5.2 solved for `r`).
+    pub fn break_even_reuse(&self, t: f64) -> f64 {
+        t / (self.instrs_per_page * (1.0 / self.pr - 1.0 / self.pv))
+    }
+
+    /// Break-even reuse on an `n`-user machine running `n` distinct
+    /// programs (the paper's multi-user variant: `n×` the reuse).
+    pub fn break_even_reuse_multiuser(&self, t: f64, n: f64) -> f64 {
+        n * self.break_even_reuse(t)
+    }
+
+    /// Cycles to translate one page when each instruction costs
+    /// `ins_per_ins` translator instructions executed at ILP
+    /// `translator_ilp`.
+    pub fn page_translate_cycles(&self, ins_per_ins: f64, translator_ilp: f64) -> f64 {
+        ins_per_ins * self.instrs_per_page / translator_ilp
+    }
+}
+
+/// One row of Table 5.8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadRow {
+    /// Translator instructions per translated instruction.
+    pub ins_to_compile: f64,
+    /// Unique code pages touched.
+    pub unique_pages: f64,
+    /// Reuse factor implied by the fixed program length.
+    pub reuse: f64,
+    /// Percent change in run time versus the base architecture.
+    pub time_change_pct: f64,
+}
+
+/// Generates Table 5.8: the extra runtime of a two-second program on a
+/// 1 GHz VLIW with program and compiler ILP 4.
+///
+/// The program executes `2 s × 1 GHz × PV` base instructions; each row
+/// varies the translation cost and footprint. Time change compares
+/// `D/PV + g·i·c` VLIW cycles against `D/PR` base-architecture cycles.
+pub fn table_5_8(model: &OverheadModel) -> Vec<OverheadRow> {
+    let program_cycles = 2.0e9; // two seconds at 1 GHz
+    let dynamic_instrs = program_cycles * model.pv;
+    let mut rows = Vec::new();
+    for &c in &[4000.0, 1000.0] {
+        for &g in &[200.0, 1000.0, 10_000.0] {
+            let static_instrs = g * model.instrs_per_page;
+            let reuse = dynamic_instrs / static_instrs;
+            let vliw = dynamic_instrs / model.pv + g * model.instrs_per_page * c;
+            let base = dynamic_instrs / model.pr;
+            rows.push(OverheadRow {
+                ins_to_compile: c,
+                unique_pages: g,
+                reuse,
+                time_change_pct: 100.0 * (vliw / base - 1.0),
+            });
+        }
+    }
+    rows
+}
+
+/// A reuse-factor measurement (Table 5.9's definition: dynamic
+/// instructions / static instruction words touched).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseFactor {
+    /// Benchmark name.
+    pub name: String,
+    /// Dynamic instructions executed.
+    pub dynamic_instrs: u64,
+    /// Static code size in instruction words.
+    pub static_words: u64,
+}
+
+impl ReuseFactor {
+    /// The reuse factor.
+    pub fn reuse(&self) -> f64 {
+        if self.static_words == 0 {
+            0.0
+        } else {
+            self.dynamic_instrs as f64 / self.static_words as f64
+        }
+    }
+}
+
+/// The paper's Table 5.9 SPEC95 numbers, reprinted for comparison with
+/// the reuse factors measured on this reproduction's workloads.
+pub fn paper_spec95_reuse() -> Vec<ReuseFactor> {
+    let rows: &[(&str, u64, u64)] = &[
+        ("go", 28_484_380_204, 135_852),
+        ("m88ksim", 74_250_235_201, 84_520),
+        ("cc1", 530_917_945, 357_166),
+        ("compress95", 46_447_459_568, 52_172),
+        ("li", 67_032_228_801, 67_084),
+        ("ijpeg", 23_240_395_306, 88_834),
+        ("perl", 31_756_251_781, 138_603),
+        ("vortex", 81_194_315_906, 212_052),
+        ("tomcatv", 19_801_801_846, 81_488),
+        ("swim", 23_285_024_298, 81_041),
+        ("su2cor", 24_910_592_778, 94_390),
+        ("hydro2d", 35_120_255_512, 95_668),
+        ("mgrid", 52_075_609_242, 83_119),
+        ("applu", 36_216_514_505, 99_526),
+        ("turb3d", 61_056_312_213, 90_411),
+        ("apsi", 21_194_979_390, 119_956),
+        ("fpppp", 97_972_804_125, 91_000),
+        ("wave5", 25_265_952_275, 120_091),
+    ];
+    rows.iter()
+        .map(|(n, d, s)| ReuseFactor {
+            name: (*n).to_owned(),
+            dynamic_instrs: *d,
+            static_words: *s,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn break_even_matches_paper_examples() {
+        let m = OverheadModel::default();
+        // Paper: t = 427·r; with t = 998,400 (3,900 ins/ins at ILP 4,
+        // rounded in the text to 4·1024·3900/16 — the paper computes
+        // 3900·1024/4): r ≈ 2340.
+        let t = m.page_translate_cycles(3900.0, 4.0);
+        let r = m.break_even_reuse(t);
+        assert!((r - 2340.0).abs() < 5.0, "r = {r}");
+        // Optimistic bound: PV = ∞, 200 ins/ins at ILP 5 → r ≈ 60.
+        let opt = OverheadModel { pv: f64::INFINITY, pr: 1.5, instrs_per_page: 1024.0 };
+        let t = opt.page_translate_cycles(200.0, 5.0);
+        let r = opt.break_even_reuse(t);
+        assert!((r - 60.0).abs() < 1.0, "r = {r}");
+    }
+
+    #[test]
+    fn multiuser_scales_linearly() {
+        let m = OverheadModel::default();
+        let t = m.page_translate_cycles(3900.0, 4.0);
+        let r1 = m.break_even_reuse(t);
+        let r10 = m.break_even_reuse_multiuser(t, 10.0);
+        assert!((r10 / r1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_5_8_matches_paper() {
+        let rows = table_5_8(&OverheadModel::default());
+        assert_eq!(rows.len(), 6);
+        // Paper's rows: (4000,200,39000,-47), (4000,1000,7800,14),
+        // (4000,10000,780,707), (1000,200,-59), (1000,1000,-43),
+        // (1000,10000,130).
+        let expect = [
+            (4000.0, 200.0, 39000.0, -47.0),
+            (4000.0, 1000.0, 7800.0, 14.0),
+            (4000.0, 10_000.0, 780.0, 707.0),
+            (1000.0, 200.0, 39000.0, -59.0),
+            (1000.0, 1000.0, 7800.0, -43.0),
+            (1000.0, 10_000.0, 780.0, 130.0),
+        ];
+        for (row, (c, g, r, pct)) in rows.iter().zip(expect) {
+            assert_eq!(row.ins_to_compile, c);
+            assert_eq!(row.unique_pages, g);
+            assert!((row.reuse - r).abs() / r < 0.02, "reuse {} vs {r}", row.reuse);
+            assert!((row.time_change_pct - pct).abs() < 3.0, "pct {} vs {pct}", row.time_change_pct);
+        }
+    }
+
+    #[test]
+    fn spec_reuse_factors_mean_is_large() {
+        let rows = paper_spec95_reuse();
+        let mean: f64 = rows.iter().map(ReuseFactor::reuse).sum::<f64>() / rows.len() as f64;
+        // Paper reports a mean over 450,000.
+        assert!(mean > 400_000.0, "mean reuse {mean}");
+    }
+}

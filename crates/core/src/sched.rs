@@ -1,0 +1,1033 @@
+//! The Pathlist scheduling algorithm (paper Chapter 2 and Appendix A).
+//!
+//! One greedy pass over the binary: each base instruction is decoded,
+//! converted to RISC primitives, and each primitive is placed into the
+//! earliest tree instruction on the current path where its operands are
+//! available and resources remain. Results computed before the last
+//! VLIW on the path go to *non-architected rename registers* and are
+//! copied ("committed") to their architected homes in the last VLIW, so
+//! architected state always changes in original program order — the
+//! basis of software-only precise exceptions.
+//!
+//! The translator maintains a list of paths ordered by probability
+//! (the `Pathlist`); conditional branches clone the current path; paths
+//! close at the paper's stopping points (cross-page and indirect
+//! branches, over-visited join points, window exhaustion).
+
+use crate::convert::{convert, CondSpec, Flow};
+use daisy_ppc::decode::decode;
+use daisy_ppc::insn::MemWidth;
+use daisy_ppc::mem::Memory;
+use daisy_vliw::machine::MachineConfig;
+use daisy_vliw::op::{OpKind, Operation};
+use daisy_vliw::reg::{Reg, RenameMask, NUM_REGS};
+use daisy_vliw::tree::{Cond, Exit, Group, IndirectVia, NodeId, VliwId, ROOT};
+use std::collections::{HashMap, HashSet};
+
+/// Tuning knobs of the dynamic translator.
+#[derive(Debug, Clone)]
+pub struct TranslatorConfig {
+    /// Target machine resources.
+    pub machine: MachineConfig,
+    /// Translation unit size in bytes (the paper sweeps 128..16384).
+    pub page_size: u32,
+    /// Maximum base instructions scheduled along one path (the paper's
+    /// window-size code-explosion throttle).
+    pub window_size: u32,
+    /// Maximum times a join point may be re-scheduled (the paper's `k`;
+    /// bounds unrolling so "a base instruction will not belong to more
+    /// than k+1 VLIWs").
+    pub max_join_visits: u32,
+    /// Hard cap on tree instructions per group.
+    pub max_vliws_per_group: u32,
+    /// Hard cap on simultaneously open paths.
+    pub max_paths: u32,
+    /// Move loads above stores optimistically (verified at run time).
+    pub speculate_loads: bool,
+    /// Allow out-of-order placement with renaming; when false every op
+    /// lands in the last VLIW (an ablation of the paper's key idea).
+    pub rename: bool,
+    /// Ignore page boundaries (used by the traditional-compiler
+    /// baseline, never by the real VMM).
+    pub whole_program: bool,
+    /// Taken-probability per branch address from profile feedback; a
+    /// backward-taken/forward-not heuristic is used when absent.
+    pub profile: Option<HashMap<u32, f64>>,
+    /// Interpretive compilation (paper Ch. 6): before translating a
+    /// group, the VMM interprets ahead from the entry point, feeding
+    /// observed branch outcomes (and indirect-branch targets, which get
+    /// specialized as `if (lr == T) goto T`) into the scheduler.
+    pub interpretive: bool,
+}
+
+impl Default for TranslatorConfig {
+    fn default() -> Self {
+        TranslatorConfig {
+            machine: MachineConfig::big(),
+            page_size: daisy_ppc::PAGE_SIZE,
+            window_size: 64,
+            max_join_visits: 3,
+            max_vliws_per_group: 128,
+            max_paths: 12,
+            speculate_loads: true,
+            rename: true,
+            whole_program: false,
+            profile: None,
+            interpretive: false,
+        }
+    }
+}
+
+/// Per-group scheduling hints gathered by interpreting ahead of
+/// translation (paper Ch. 6). Empty hints reproduce the static
+/// behaviour exactly.
+#[derive(Debug, Clone, Default)]
+pub struct Hints {
+    /// Observed taken-probability per conditional branch address;
+    /// overrides `TranslatorConfig::profile`.
+    pub taken_prob: HashMap<u32, f64>,
+    /// First observed target per indirect branch address, for
+    /// `if (reg == T) goto T` specialization.
+    pub indirect_target: HashMap<u32, u32>,
+}
+
+impl TranslatorConfig {
+    fn taken_prob(&self, hints: &Hints, addr: u32, target: u32) -> f64 {
+        if let Some(p) = hints.taken_prob.get(&addr) {
+            return p.clamp(0.01, 0.99);
+        }
+        if let Some(p) = self.profile.as_ref().and_then(|m| m.get(&addr)) {
+            return p.clamp(0.01, 0.99);
+        }
+        // Backward-taken / forward-not-taken heuristic.
+        if target <= addr {
+            0.8
+        } else {
+            0.3
+        }
+    }
+}
+
+/// Cost accounting for one group translation (feeds the §5.1 overhead
+/// analysis and the Criterion benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XlateCost {
+    /// Base instructions scheduled (counting re-visits on other paths).
+    pub instrs_scheduled: u64,
+    /// Primitives placed into VLIWs.
+    pub ops_placed: u64,
+    /// Paths explored.
+    pub paths: u64,
+}
+
+impl XlateCost {
+    /// Accumulates another group's cost.
+    pub fn add(&mut self, other: &XlateCost) {
+        self.instrs_scheduled += other.instrs_scheduled;
+        self.ops_placed += other.ops_placed;
+        self.paths += other.paths;
+    }
+}
+
+const NO_STORE: u32 = u32::MAX;
+
+type RegMap = [Reg; NUM_REGS];
+
+fn identity_map() -> RegMap {
+    let mut m = [Reg(0); NUM_REGS];
+    for (i, r) in m.iter_mut().enumerate() {
+        *r = Reg(i as u8);
+    }
+    m
+}
+
+/// A store remembered for must-alias forwarding ("a load [that] must
+/// alias with a store … is replaced with a copy of the source register
+/// of the store", paper Ch. 5).
+#[derive(Debug, Clone, Copy)]
+struct StoreRec {
+    addr_srcs: [Option<Reg>; 2],
+    imm: i32,
+    width: MemWidth,
+    value: Reg,
+}
+
+/// One entry of the Pathlist.
+#[derive(Debug, Clone)]
+struct Path {
+    /// VLIWs along this path, in order.
+    vliws: Vec<VliwId>,
+    /// This path's tip node within each VLIW.
+    tips: Vec<NodeId>,
+    /// Register name map per position (per-path, as the paper notes a
+    /// shared VLIW can map a register differently on each path).
+    maps: Vec<RegMap>,
+    /// Earliest position where each register's value is available.
+    avail: [u32; NUM_REGS],
+    /// Continuation: next base instruction to schedule.
+    cont: u32,
+    /// Execution probability (product of branch probabilities).
+    prob: f64,
+    /// Base instructions scheduled on this path.
+    window_used: u32,
+    /// Position of the most recent store (`NO_STORE` if none).
+    last_store_pos: u32,
+    /// The most recent store, for must-alias forwarding.
+    recent_store: Option<StoreRec>,
+}
+
+impl Path {
+    fn last(&self) -> u32 {
+        self.vliws.len() as u32 - 1
+    }
+}
+
+/// Where a conditional branch's taken side goes.
+enum TakenKind {
+    /// On-page or off-page direct target — may spawn a new path.
+    Direct(u32),
+    /// Seal the taken side with this exit (indirect branches).
+    Sealed(Exit),
+}
+
+struct Scheduler<'a> {
+    cfg: &'a TranslatorConfig,
+    hints: &'a Hints,
+    mem: &'a Memory,
+    group: Group,
+    /// Rename registers not yet allocated in each VLIW, across *all*
+    /// paths (conservative: paths share tree prefixes, so an allocation
+    /// at a shared VLIW must be visible to every path through it).
+    vliw_free: Vec<RenameMask>,
+    paths: Vec<Path>,
+    visits: HashMap<u32, u32>,
+    branch_targets: HashSet<u32>,
+    cost: XlateCost,
+}
+
+/// Translates the group of VLIWs for the entry point at address `entry`
+/// (the paper's `CreateVLIWGroupForEntry`, Fig. A.1).
+pub fn translate_group(cfg: &TranslatorConfig, mem: &Memory, entry: u32) -> (Group, XlateCost) {
+    translate_group_with_hints(cfg, mem, entry, &Hints::default())
+}
+
+/// [`translate_group`] with interpretive-compilation hints (Ch. 6).
+pub fn translate_group_with_hints(
+    cfg: &TranslatorConfig,
+    mem: &Memory,
+    entry: u32,
+    hints: &Hints,
+) -> (Group, XlateCost) {
+    let mut s = Scheduler {
+        cfg,
+        hints,
+        mem,
+        group: Group::new(entry),
+        vliw_free: vec![RenameMask::ALL_FREE],
+        paths: vec![Path {
+            vliws: vec![VliwId(0)],
+            tips: vec![ROOT],
+            maps: vec![identity_map()],
+            avail: [0; NUM_REGS],
+            cont: entry,
+            prob: 1.0,
+            window_used: 0,
+            last_store_pos: NO_STORE,
+            recent_store: None,
+        }],
+        visits: HashMap::new(),
+        branch_targets: HashSet::new(),
+        cost: XlateCost { paths: 1, ..XlateCost::default() },
+    };
+    while let Some(idx) = s.most_probable() {
+        s.step(idx);
+    }
+    s.group.base_instrs = s.cost.instrs_scheduled as u32;
+    (s.group, s.cost)
+}
+
+impl Scheduler<'_> {
+    fn most_probable(&self) -> Option<usize> {
+        self.paths
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.prob.partial_cmp(&b.1.prob).expect("probs are finite"))
+            .map(|(i, _)| i)
+    }
+
+    fn same_page(&self, a: u32, b: u32) -> bool {
+        self.cfg.whole_program || a / self.cfg.page_size == b / self.cfg.page_size
+    }
+
+    /// The paper's stopping-point test for a path continuation.
+    fn is_stopping(&self, window_used: u32, cont: u32) -> bool {
+        if !self.same_page(self.group.entry, cont) {
+            return true;
+        }
+        if window_used >= self.cfg.window_size {
+            return true;
+        }
+        if self.group.len() as u32 >= self.cfg.max_vliws_per_group {
+            return true;
+        }
+        if self.branch_targets.contains(&cont)
+            && self.visits.get(&cont).copied().unwrap_or(0) >= self.cfg.max_join_visits
+        {
+            return true;
+        }
+        false
+    }
+
+    /// Closes a path by sealing its tip with `exit`.
+    fn close(&mut self, idx: usize, exit: Exit) {
+        let p = &self.paths[idx];
+        let (v, t) = (*p.vliws.last().expect("paths have a VLIW"), *p.tips.last().unwrap());
+        self.group.vliw_mut(v).seal(t, exit);
+        self.paths.swap_remove(idx);
+    }
+
+    /// Opens a new VLIW at the end of a path (paper `OpenNewVLIW`). The
+    /// new position's map is identity: every rename so far committed in
+    /// the then-last VLIW, which the new one follows.
+    fn open_vliw(&mut self, idx: usize) {
+        let anchor = self.paths[idx].cont;
+        let id = self.group.push_vliw(anchor);
+        self.vliw_free.push(RenameMask::ALL_FREE);
+        let p = &mut self.paths[idx];
+        let (ov, ot) = (*p.vliws.last().unwrap(), *p.tips.last().unwrap());
+        self.group.vliw_mut(ov).seal(ot, Exit::Goto(id));
+        p.vliws.push(id);
+        p.tips.push(ROOT);
+        p.maps.push(identity_map());
+    }
+
+    /// Rename registers free from position `pos` to the end of the path
+    /// (the paper's `FreeGprsUntilEnd`).
+    fn free_until_end(&self, idx: usize, pos: u32) -> RenameMask {
+        let mut m = RenameMask::ALL_FREE;
+        for v in &self.paths[idx].vliws[pos as usize..] {
+            m = m.and(self.vliw_free[v.0 as usize]);
+        }
+        m
+    }
+
+    /// Suffix-AND table of `free_until_end` for positions `from..=last`
+    /// — one linear pass instead of one per candidate position (the
+    /// paper's Fig. A.4 does the same backward pass).
+    fn free_suffixes(&self, idx: usize, from: u32) -> Vec<RenameMask> {
+        let vliws = &self.paths[idx].vliws[from as usize..];
+        let mut out = vec![RenameMask::ALL_FREE; vliws.len()];
+        let mut m = RenameMask::ALL_FREE;
+        for (i, v) in vliws.iter().enumerate().rev() {
+            m = m.and(self.vliw_free[v.0 as usize]);
+            out[i] = m;
+        }
+        out
+    }
+
+    /// Marks `r` allocated from `pos` to the end of the path.
+    fn reserve(&mut self, idx: usize, pos: u32, r: Reg) {
+        let ids: Vec<VliwId> = self.paths[idx].vliws[pos as usize..].to_vec();
+        for v in ids {
+            self.vliw_free[v.0 as usize] = self.vliw_free[v.0 as usize].without(r);
+        }
+    }
+
+    fn earliest(&self, idx: usize, op: &Operation) -> u32 {
+        let p = &self.paths[idx];
+        op.srcs().iter().map(|s| p.avail[s.index()]).max().unwrap_or(0)
+    }
+
+    fn rename_srcs(op: &mut Operation, map: &RegMap) {
+        for i in 0..op.srcs().len() {
+            let s = op.srcs()[i];
+            op.set_src(i, map[s.index()]);
+        }
+    }
+
+    fn kill_store_rec(p: &mut Path, def: Reg) {
+        if let Some(rec) = &p.recent_store {
+            if rec.value == def || rec.addr_srcs.iter().flatten().any(|r| *r == def) {
+                p.recent_store = None;
+            }
+        }
+    }
+
+    /// Ensures the last VLIW can take one more parcel of `op`'s class,
+    /// opening a new VLIW otherwise.
+    fn ensure_room(&mut self, idx: usize, op: &Operation) {
+        let p = &self.paths[idx];
+        let vid = *p.vliws.last().unwrap();
+        if !self.group.vliw(vid).has_room(&self.cfg.machine, op) {
+            self.open_vliw(idx);
+        }
+    }
+
+    /// Schedules one RISC primitive with an architected destination —
+    /// the paper's `ScheduleThreeRegOp` (Fig. A.3) generalized to every
+    /// op shape. Returns the position it landed at.
+    fn schedule_op(&mut self, idx: usize, mut op: Operation) -> u32 {
+        self.cost.ops_placed += 1;
+        let is_store = op.kind.is_store();
+        let is_trap = matches!(op.kind, OpKind::TrapIf { .. });
+        let in_order_only = is_store || is_trap || !self.cfg.rename;
+        let mut v = self.earliest(idx, &op);
+
+        if op.kind.is_load() && !self.cfg.speculate_loads {
+            let lsp = self.paths[idx].last_store_pos;
+            if lsp != NO_STORE {
+                v = v.max(lsp);
+            }
+        }
+        if is_store || is_trap {
+            v = v.max(self.paths[idx].last());
+        }
+
+        while v > self.paths[idx].last() {
+            self.open_vliw(idx);
+        }
+
+        if !in_order_only && op.dest.is_some() {
+            let needed = 1 + u32::from(op.dest2.is_some());
+            let suffixes = self.free_suffixes(idx, v);
+            let base = v;
+            while v < self.paths[idx].last() {
+                let vid = self.paths[idx].vliws[v as usize];
+                if self.group.vliw(vid).has_room(&self.cfg.machine, &op)
+                    && suffixes[(v - base) as usize].count() >= needed
+                {
+                    break;
+                }
+                v += 1;
+            }
+            if v < self.paths[idx].last() {
+                if op.kind.is_load() {
+                    let lsp = self.paths[idx].last_store_pos;
+                    op.bypassed_store = lsp != NO_STORE && v < lsp;
+                }
+                return self.place_out_of_order(idx, v, op);
+            }
+        }
+        self.place_in_order(idx, op)
+    }
+
+    /// Out-of-order placement: rename the destination(s), mark
+    /// speculative, and commit in the last VLIW (paper Fig. A.4).
+    fn place_out_of_order(&mut self, idx: usize, v: u32, mut op: Operation) -> u32 {
+        let arch = op.dest.expect("out-of-order ops have a destination");
+        let arch2 = op.dest2;
+
+        let free = self.free_until_end(idx, v);
+        let d1 = free.pick().expect("caller checked free registers");
+        let d2 = arch2.map(|_| free.without(d1).pick().expect("caller checked two"));
+        self.reserve(idx, v, d1);
+        if let Some(d2) = d2 {
+            self.reserve(idx, v, d2);
+        }
+
+        let base_addr = op.base_addr;
+        let bypassed = op.bypassed_store;
+        {
+            let p = &self.paths[idx];
+            let map = p.maps[v as usize];
+            Scheduler::rename_srcs(&mut op, &map);
+        }
+        op.dest = Some(d1);
+        op.dest2 = d2;
+        op.speculative = true;
+        let (vid, tip) = {
+            let p = &self.paths[idx];
+            (p.vliws[v as usize], p.tips[v as usize])
+        };
+        self.group.vliw_mut(vid).add_op(tip, op);
+
+        // Commit copies in the last VLIW, program order.
+        let mut commit = Operation::new(OpKind::Copy, base_addr).dst(arch).src(d1);
+        commit.is_commit = true;
+        commit.bypassed_store = bypassed;
+        self.ensure_room(idx, &commit);
+        {
+            let p = &self.paths[idx];
+            let (cv, ct) = (*p.vliws.last().unwrap(), *p.tips.last().unwrap());
+            self.group.vliw_mut(cv).add_op(ct, commit);
+        }
+        if let (Some(a2), Some(d2)) = (arch2, d2) {
+            let mut c2 = Operation::new(OpKind::Copy, base_addr).dst(a2).src(d2);
+            c2.is_commit = true;
+            self.ensure_room(idx, &c2);
+            let p = &self.paths[idx];
+            let (cv, ct) = (*p.vliws.last().unwrap(), *p.tips.last().unwrap());
+            self.group.vliw_mut(cv).add_op(ct, c2);
+        }
+
+        let p = &mut self.paths[idx];
+        let last = p.last();
+        for pos in (v + 1)..=last {
+            p.maps[pos as usize][arch.index()] = d1;
+            if let (Some(a2), Some(d2)) = (arch2, d2) {
+                p.maps[pos as usize][a2.index()] = d2;
+            }
+        }
+        p.avail[arch.index()] = v + 1;
+        p.avail[d1.index()] = v + 1;
+        if let (Some(a2), Some(d2)) = (arch2, d2) {
+            p.avail[a2.index()] = v + 1;
+            p.avail[d2.index()] = v + 1;
+        }
+        Scheduler::kill_store_rec(p, arch);
+        if let Some(a2) = arch2 {
+            Scheduler::kill_store_rec(p, a2);
+        }
+        v
+    }
+
+    /// In-order placement in the last VLIW, committing directly to the
+    /// architected register (paper Fig. A.5).
+    fn place_in_order(&mut self, idx: usize, mut op: Operation) -> u32 {
+        self.ensure_room(idx, &op);
+        let last = self.paths[idx].last();
+        {
+            let p = &self.paths[idx];
+            let map = p.maps[last as usize];
+            Scheduler::rename_srcs(&mut op, &map);
+        }
+        let store_rec = op.kind.is_store().then(|| StoreRec {
+            addr_srcs: [op.srcs().get(1).copied(), op.srcs().get(2).copied()],
+            imm: op.imm,
+            width: match op.kind {
+                OpKind::Store { width } => width,
+                _ => MemWidth::Word,
+            },
+            value: op.srcs()[0],
+        });
+        let (vid, tip, dests) = {
+            let p = &self.paths[idx];
+            (*p.vliws.last().unwrap(), *p.tips.last().unwrap(), (op.dest, op.dest2))
+        };
+        let is_store = op.kind.is_store();
+        self.group.vliw_mut(vid).add_op(tip, op);
+        let p = &mut self.paths[idx];
+        for d in [dests.0, dests.1].into_iter().flatten() {
+            p.avail[d.index()] = last + 1;
+            // The architected register holds its own value from here on.
+            p.maps[last as usize][d.index()] = d;
+            Scheduler::kill_store_rec(p, d);
+        }
+        if is_store {
+            p.last_store_pos = last;
+            p.recent_store = store_rec;
+        }
+        last
+    }
+
+    /// Schedules an op whose result exists only as a renamed temporary
+    /// (CTR-compare conditions, pre-update LR captures). Returns the
+    /// rename register holding the result.
+    fn schedule_temp(&mut self, idx: usize, mut op: Operation) -> Reg {
+        self.cost.ops_placed += 1;
+        let mut v = self.earliest(idx, &op);
+        while v > self.paths[idx].last() {
+            self.open_vliw(idx);
+        }
+        loop {
+            let last = self.paths[idx].last();
+            let suffixes = self.free_suffixes(idx, v);
+            let base = v;
+            while v <= last {
+                let vid = self.paths[idx].vliws[v as usize];
+                if self.group.vliw(vid).has_room(&self.cfg.machine, &op)
+                    && suffixes[(v - base) as usize].count() >= 1
+                {
+                    break;
+                }
+                v += 1;
+            }
+            if v <= last {
+                break;
+            }
+            self.open_vliw(idx);
+        }
+        let d1 = self.free_until_end(idx, v).pick().expect("free register found above");
+        self.reserve(idx, v, d1);
+        {
+            let p = &self.paths[idx];
+            let map = p.maps[v as usize];
+            Scheduler::rename_srcs(&mut op, &map);
+        }
+        op.dest = Some(d1);
+        op.speculative = true;
+        let (vid, tip) = {
+            let p = &self.paths[idx];
+            (p.vliws[v as usize], p.tips[v as usize])
+        };
+        self.group.vliw_mut(vid).add_op(tip, op);
+        self.paths[idx].avail[d1.index()] = v + 1;
+        d1
+    }
+
+    /// Schedules a conditional branch (paper `ScheduleBranchCond`,
+    /// Fig. A.6): forces the condition into an earlier VLIW, splits the
+    /// tip, and clones or seals the taken side.
+    fn schedule_cond_branch(
+        &mut self,
+        idx: usize,
+        cond: CondSpec,
+        temp: Option<Reg>,
+        addr: u32,
+        taken: TakenKind,
+        spec_target: Option<u32>,
+    ) {
+        let cond_reg = temp.unwrap_or(cond.field);
+        // Branches are scheduled in the last VLIW — later if the
+        // condition is not ready, never earlier (precise interrupts).
+        let v = self.paths[idx].avail[cond_reg.index()].max(self.paths[idx].last());
+        while self.paths[idx].last() < v {
+            self.open_vliw(idx);
+        }
+        {
+            let vid = *self.paths[idx].vliws.last().unwrap();
+            if !self.group.vliw(vid).has_branch_room(&self.cfg.machine) {
+                self.open_vliw(idx);
+            }
+        }
+        let last = self.paths[idx].last();
+        let src = match temp {
+            Some(t) => t,
+            None => self.paths[idx].maps[last as usize][cond.field.index()],
+        };
+        let (vid, tip) = {
+            let p = &self.paths[idx];
+            (*p.vliws.last().unwrap(), *p.tips.last().unwrap())
+        };
+        let (taken_node, fall_node) = self
+            .group
+            .vliw_mut(vid)
+            .split(tip, Cond { src, mask: cond.mask, want_set: cond.want_set, spec_target });
+
+        match taken {
+            TakenKind::Sealed(exit) => {
+                self.group.vliw_mut(vid).seal(taken_node, exit);
+                let p = &mut self.paths[idx];
+                *p.tips.last_mut().unwrap() = fall_node;
+                p.cont = addr.wrapping_add(4);
+            }
+            TakenKind::Direct(target) => {
+                self.branch_targets.insert(target);
+                let pt = self.cfg.taken_prob(self.hints, addr, target);
+                let spawn = (self.paths.len() as u32) < self.cfg.max_paths
+                    && !self.is_stopping(self.paths[idx].window_used, target);
+                if spawn {
+                    let mut p2 = self.paths[idx].clone();
+                    *p2.tips.last_mut().unwrap() = taken_node;
+                    p2.cont = target;
+                    p2.prob = self.paths[idx].prob * pt;
+                    self.cost.paths += 1;
+                    let p = &mut self.paths[idx];
+                    *p.tips.last_mut().unwrap() = fall_node;
+                    p.cont = addr.wrapping_add(4);
+                    p.prob *= 1.0 - pt;
+                    self.paths.push(p2);
+                } else {
+                    self.group.vliw_mut(vid).seal(taken_node, Exit::Branch { target });
+                    let p = &mut self.paths[idx];
+                    *p.tips.last_mut().unwrap() = fall_node;
+                    p.cont = addr.wrapping_add(4);
+                    p.prob *= 1.0 - pt;
+                }
+            }
+        }
+    }
+
+    /// Emits the LR update for a linking branch and, for indirect
+    /// branches through LR, captures the *pre-update* LR first.
+    fn indirect_src(&mut self, idx: usize, via: IndirectVia, links: bool, addr: u32) -> Reg {
+        let arch = match via {
+            IndirectVia::Lr => Reg::LR,
+            IndirectVia::Ctr => Reg::CTR,
+        };
+        if links && via == IndirectVia::Lr {
+            let capture = Operation::new(OpKind::Copy, addr).src(Reg::LR);
+            let tmp = self.schedule_temp(idx, capture);
+            self.schedule_link(idx, addr);
+            return tmp;
+        }
+        if links {
+            self.schedule_link(idx, addr);
+        }
+        let p = &self.paths[idx];
+        p.maps[p.last() as usize][arch.index()]
+    }
+
+    fn schedule_link(&mut self, idx: usize, addr: u32) {
+        let li = Operation::new(OpKind::Li, addr)
+            .dst(Reg::LR)
+            .with_imm(addr.wrapping_add(4) as i32);
+        self.schedule_op(idx, li);
+    }
+
+    /// Schedules a converted straight-line primitive, applying
+    /// must-alias store-to-load forwarding for loads.
+    fn schedule_converted(&mut self, idx: usize, op: Operation) {
+        if let OpKind::Load { width, algebraic: false } = op.kind {
+            let forward = {
+                let p = &self.paths[idx];
+                let map = &p.maps[p.last() as usize];
+                p.recent_store.as_ref().and_then(|rec| {
+                    let mapped: Vec<Reg> =
+                        op.srcs().iter().map(|s| map[s.index()]).collect();
+                    let rec_srcs: Vec<Reg> = rec.addr_srcs.iter().flatten().copied().collect();
+                    (rec.width == width && rec.imm == op.imm && mapped == rec_srcs)
+                        .then_some(rec.value)
+                })
+            };
+            if let Some(value) = forward {
+                // A narrow store keeps only its low bits; the matching
+                // zero-extending load must see them truncated.
+                let dst = op.dest.expect("loads have destinations");
+                let fwd = match width {
+                    MemWidth::Word => Operation::new(OpKind::Copy, op.base_addr).dst(dst).src(value),
+                    MemWidth::Half => Operation::new(OpKind::AndImm, op.base_addr)
+                        .dst(dst)
+                        .src(value)
+                        .with_imm2(0xFFFF),
+                    MemWidth::Byte => Operation::new(OpKind::AndImm, op.base_addr)
+                        .dst(dst)
+                        .src(value)
+                        .with_imm2(0xFF),
+                };
+                self.schedule_op(idx, fwd);
+                return;
+            }
+        }
+        self.schedule_op(idx, op);
+    }
+
+    /// Decodes and schedules the instruction at the path's continuation
+    /// (paper `DecodeAndScheduleOneInstr`, Fig. A.2).
+    fn step(&mut self, idx: usize) {
+        let addr = self.paths[idx].cont;
+        if self.is_stopping(self.paths[idx].window_used, addr) {
+            self.close(idx, Exit::Branch { target: addr });
+            return;
+        }
+        let Ok(word) = self.mem.read_u32(addr) else {
+            self.close(idx, Exit::Interp { addr });
+            return;
+        };
+        let insn = decode(word);
+        *self.visits.entry(addr).or_insert(0) += 1;
+        self.paths[idx].window_used += 1;
+        self.cost.instrs_scheduled += 1;
+
+        let conv = convert(&insn, addr);
+        match conv.flow {
+            Flow::Fall => {
+                for op in conv.ops {
+                    self.schedule_converted(idx, op);
+                }
+                self.paths[idx].cont = addr.wrapping_add(4);
+            }
+            Flow::Jump { target } => {
+                if conv.links {
+                    self.schedule_link(idx, addr);
+                }
+                if self.same_page(self.group.entry, target)
+                    && !self.is_stopping(self.paths[idx].window_used, target)
+                {
+                    // On-page direct jump: continue scheduling at the
+                    // target (join-visit caps bound loop unrolling).
+                    self.branch_targets.insert(target);
+                    self.paths[idx].cont = target;
+                } else {
+                    self.close(idx, Exit::Branch { target });
+                }
+            }
+            Flow::CondJump { cond, target, ctr_compare } => {
+                let temp = self.schedule_flow_ops(idx, conv.ops, ctr_compare);
+                if conv.links {
+                    self.schedule_link(idx, addr);
+                }
+                self.schedule_cond_branch(idx, cond, temp, addr, TakenKind::Direct(target), None);
+            }
+            Flow::IndirectJump { via } => {
+                let src = self.indirect_src(idx, via, conv.links, addr);
+                // Interpretive compilation (Ch. 6): a previously observed
+                // target T turns the serializing indirect branch into
+                // `if (reg == T) goto T` with an indirect fallback, so
+                // scheduling continues through the common case.
+                let hint = self.hints.indirect_target.get(&addr).copied();
+                if let Some(t) = hint {
+                    if self.same_page(self.group.entry, t)
+                        && !self.is_stopping(self.paths[idx].window_used, t)
+                        && t != addr
+                    {
+                        let cmp = Operation::new(OpKind::CmpUImm, addr)
+                            .src(src)
+                            .src(Reg::SO)
+                            .with_imm(t as i32);
+                        let tmp = self.schedule_temp(idx, cmp);
+                        self.branch_targets.insert(t);
+                        // Taken = "not equal" → the true indirect exit;
+                        // fall-through = the specialized direct path.
+                        let cond = CondSpec {
+                            field: tmp,
+                            mask: 0b0010,
+                            want_set: false,
+                        };
+                        self.schedule_cond_branch(
+                            idx,
+                            cond,
+                            Some(tmp),
+                            addr,
+                            TakenKind::Sealed(Exit::Indirect { src, via }),
+                            Some(t),
+                        );
+                        self.paths[idx].cont = t;
+                        return;
+                    }
+                }
+                self.close(idx, Exit::Indirect { src, via });
+            }
+            Flow::CondIndirect { cond, via, ctr_compare } => {
+                let temp = self.schedule_flow_ops(idx, conv.ops, ctr_compare);
+                let src = self.indirect_src(idx, via, conv.links, addr);
+                self.schedule_cond_branch(
+                    idx,
+                    cond,
+                    temp,
+                    addr,
+                    TakenKind::Sealed(Exit::Indirect { src, via }),
+                    None,
+                );
+            }
+            Flow::Interp => {
+                self.close(idx, Exit::Interp { addr });
+            }
+        }
+    }
+
+    /// Schedules a branch's auxiliary ops. For CTR-decrement forms the
+    /// final op is the CTR-vs-0 compare, which lives only in a rename
+    /// register; its name is returned for the condition.
+    fn schedule_flow_ops(&mut self, idx: usize, ops: Vec<Operation>, ctr_compare: bool) -> Option<Reg> {
+        let n = ops.len();
+        let mut temp = None;
+        for (i, mut op) in ops.into_iter().enumerate() {
+            if ctr_compare && i == n - 1 {
+                op.dest = None; // placeholder cr0 dest never materializes
+                temp = Some(self.schedule_temp(idx, op));
+            } else {
+                self.schedule_converted(idx, op);
+            }
+        }
+        temp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_ppc::asm::Asm;
+    use daisy_ppc::reg::{CrField, Gpr};
+    use daisy_vliw::tree::NodeKind;
+
+    fn translate(build: impl FnOnce(&mut Asm)) -> Group {
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let prog = a.finish().unwrap();
+        let mut mem = Memory::new(0x20000);
+        prog.load_into(&mut mem).unwrap();
+        let cfg = TranslatorConfig::default();
+        translate_group(&cfg, &mem, prog.entry).0
+    }
+
+    #[test]
+    fn straight_line_packs_independent_ops() {
+        // Four independent adds + sc: all four should land in VLIW 0.
+        let g = translate(|a| {
+            a.add(Gpr(3), Gpr(1), Gpr(2));
+            a.add(Gpr(4), Gpr(1), Gpr(2));
+            a.add(Gpr(5), Gpr(1), Gpr(2));
+            a.add(Gpr(6), Gpr(1), Gpr(2));
+            a.sc();
+        });
+        assert_eq!(g.vliws[0].counts().alu, 4);
+        // sc seals the path with an Interp exit.
+        let has_interp = g.vliws.iter().any(|v| {
+            v.nodes().iter().any(|n| matches!(n.kind, NodeKind::Exit(Exit::Interp { .. })))
+        });
+        assert!(has_interp);
+    }
+
+    #[test]
+    fn dependent_chain_spans_vliws() {
+        let g = translate(|a| {
+            a.add(Gpr(3), Gpr(1), Gpr(2));
+            a.add(Gpr(4), Gpr(3), Gpr(3));
+            a.add(Gpr(5), Gpr(4), Gpr(4));
+            a.sc();
+        });
+        assert!(g.len() >= 3, "dependence chain needs one VLIW per link, got {}", g.len());
+    }
+
+    #[test]
+    fn paper_figure_2_2_shape() {
+        // The running example of the paper (Fig. 2.2): 11 instructions
+        // fit in 2 VLIWs on the big machine.
+        let g = translate(|a| {
+            a.add(Gpr(1), Gpr(2), Gpr(3)); // 1
+            a.beq(CrField(0), "L1"); // 2
+            a.slwi(Gpr(12), Gpr(1), 3); // 3 (sli)
+            a.xor(Gpr(4), Gpr(5), Gpr(6)); // 4
+            a.and(Gpr(8), Gpr(4), Gpr(7)); // 5
+            a.beq(CrField(1), "L2"); // 6
+            a.b("OFFPAGE"); // 7 — resolved below as cross-page
+            a.label("L1");
+            a.subf(Gpr(9), Gpr(11), Gpr(10)); // 8
+            a.b("OFFPAGE"); // 9
+            a.label("L2");
+            a.cntlzw(Gpr(11), Gpr(4)); // 10
+            a.b("OFFPAGE"); // 11
+            // Place OFFPAGE outside this 4K page.
+            for _ in 0..1024 {
+                a.nop();
+            }
+            a.label("OFFPAGE");
+            a.sc();
+        });
+        assert_eq!(g.len(), 2, "paper's example translates to exactly 2 VLIWs");
+        // The xor's result must be renamed (speculative) in VLIW1.
+        let v1_has_spec_xor = g.vliws[0]
+            .nodes()
+            .iter()
+            .flat_map(|n| n.ops.iter())
+            .any(|o| o.kind == OpKind::Xor && o.speculative && o.dest.unwrap().is_rename());
+        assert!(v1_has_spec_xor, "xor should execute speculatively in VLIW1\n{}", g.vliws[0]);
+        // And commit via a copy in VLIW2.
+        let v2_commits_r4 = g.vliws[1]
+            .nodes()
+            .iter()
+            .flat_map(|n| n.ops.iter())
+            .any(|o| o.is_commit && o.dest == Some(Reg::gpr(Gpr(4))));
+        assert!(v2_commits_r4, "r4 commit belongs in VLIW2\n{}", g.vliws[1]);
+    }
+
+    #[test]
+    fn loop_unrolling_is_bounded_by_join_visits() {
+        let g = translate(|a| {
+            a.li(Gpr(3), 100);
+            a.label("loop");
+            a.addi(Gpr(3), Gpr(3), -1);
+            a.cmpwi(CrField(0), Gpr(3), 0);
+            a.bne(CrField(0), "loop");
+            a.sc();
+        });
+        // The loop body appears at most k+1 times; the group stays small.
+        assert!(g.len() <= 40, "group exploded: {} VLIWs", g.len());
+        // Some exit must branch back to the loop header (0x1004).
+        let exits: Vec<_> = g
+            .vliws
+            .iter()
+            .flat_map(|v| v.nodes().iter())
+            .filter_map(|n| match n.kind {
+                NodeKind::Exit(Exit::Branch { target }) => Some(target),
+                _ => None,
+            })
+            .collect();
+        assert!(exits.contains(&0x1004), "loop header re-entry exit missing: {exits:x?}");
+    }
+
+    #[test]
+    fn stores_stay_in_program_order() {
+        let g = translate(|a| {
+            a.stw(Gpr(3), 0, Gpr(1));
+            a.stw(Gpr(4), 4, Gpr(1));
+            a.sc();
+        });
+        // Both stores are on the root path in order.
+        let stores: Vec<u32> = g
+            .vliws
+            .iter()
+            .flat_map(|v| v.nodes().iter())
+            .flat_map(|n| n.ops.iter())
+            .filter(|o| o.kind.is_store())
+            .map(|o| o.base_addr)
+            .collect();
+        assert_eq!(stores, vec![0x1000, 0x1004]);
+    }
+
+    #[test]
+    fn load_forwards_from_matching_store() {
+        let g = translate(|a| {
+            a.stw(Gpr(3), 8, Gpr(1));
+            a.lwz(Gpr(4), 8, Gpr(1)); // must-alias: becomes a copy
+            a.sc();
+        });
+        let loads = g
+            .vliws
+            .iter()
+            .flat_map(|v| v.nodes().iter())
+            .flat_map(|n| n.ops.iter())
+            .filter(|o| o.kind.is_load())
+            .count();
+        assert_eq!(loads, 0, "the load should have been forwarded to a copy");
+    }
+
+    #[test]
+    fn load_above_store_is_marked_bypassed() {
+        // The store's value arrives late (dependence chain), pushing it
+        // to a later VLIW; the independent load hoists above it.
+        let g = translate(|a| {
+            a.add(Gpr(10), Gpr(8), Gpr(9));
+            a.add(Gpr(11), Gpr(10), Gpr(10));
+            a.stw(Gpr(11), 0, Gpr(1));
+            a.lwz(Gpr(4), 0, Gpr(2)); // may alias, moved up speculatively
+            a.add(Gpr(5), Gpr(4), Gpr(4));
+            a.sc();
+        });
+        let bypassed = g
+            .vliws
+            .iter()
+            .flat_map(|v| v.nodes().iter())
+            .flat_map(|n| n.ops.iter())
+            .any(|o| o.kind.is_load() && o.bypassed_store);
+        assert!(bypassed, "load moved above the store must be flagged for load-verify");
+    }
+
+    #[test]
+    fn no_rename_mode_serializes() {
+        let mut a = Asm::new(0x1000);
+        a.add(Gpr(3), Gpr(1), Gpr(2));
+        a.xor(Gpr(4), Gpr(5), Gpr(6));
+        a.sc();
+        let prog = a.finish().unwrap();
+        let mut mem = Memory::new(0x20000);
+        prog.load_into(&mut mem).unwrap();
+        let cfg = TranslatorConfig { rename: false, ..TranslatorConfig::default() };
+        let (g, _) = translate_group(&cfg, &mem, prog.entry);
+        // Without renaming both ops still fit the first VLIW (both are
+        // ready at entry), but nothing is speculative.
+        let spec = g
+            .vliws
+            .iter()
+            .flat_map(|v| v.nodes().iter())
+            .flat_map(|n| n.ops.iter())
+            .any(|o| o.speculative);
+        assert!(!spec);
+    }
+
+    #[test]
+    fn cost_accounting_counts_instructions() {
+        let mut a = Asm::new(0x1000);
+        a.add(Gpr(3), Gpr(1), Gpr(2));
+        a.add(Gpr(4), Gpr(3), Gpr(3));
+        a.sc();
+        let prog = a.finish().unwrap();
+        let mut mem = Memory::new(0x20000);
+        prog.load_into(&mut mem).unwrap();
+        let cfg = TranslatorConfig::default();
+        let (_, cost) = translate_group(&cfg, &mem, prog.entry);
+        assert_eq!(cost.instrs_scheduled, 3); // two adds + sc
+        assert!(cost.ops_placed >= 2);
+    }
+}

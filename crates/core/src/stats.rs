@@ -1,0 +1,155 @@
+//! Runtime statistics of a DAISY execution — the raw material for every
+//! table and figure of the paper's Chapter 5.
+
+/// Cross-page branch counts by type (Table 5.6: PowerPC's three kinds
+/// of cross-page branch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossPage {
+    /// Direct branches whose target lies on another page.
+    pub direct: u64,
+    /// Branches via the link register.
+    pub via_lr: u64,
+    /// Branches via the count register.
+    pub via_ctr: u64,
+}
+
+impl CrossPage {
+    /// All cross-page branches.
+    pub fn total(&self) -> u64 {
+        self.direct + self.via_lr + self.via_ctr
+    }
+}
+
+/// Counters accumulated while running translated code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Tree instructions executed (one cycle each before stalls).
+    pub vliws_executed: u64,
+    /// Cycles lost to cache misses.
+    pub stall_cycles: u64,
+    /// Instructions executed by the VMM's interpreter (`sc`, `rfi`,
+    /// post-`rfi` windows, alias restarts); charged one cycle each.
+    pub interp_instrs: u64,
+    /// Load parcels executed.
+    pub loads: u64,
+    /// Store parcels executed.
+    pub stores: u64,
+    /// Loads missing the first-level data cache.
+    pub load_l0_misses: u64,
+    /// Stores missing the first-level data cache.
+    pub store_l0_misses: u64,
+    /// Run-time load-store alias failures (Table 5.7).
+    pub alias_failures: u64,
+    /// Cross-page branches executed, by type (Table 5.6).
+    pub crosspage: CrossPage,
+    /// Dispatches that stayed on the same page.
+    pub onpage_dispatches: u64,
+    /// Group entries (dispatches through the VMM).
+    pub groups_entered: u64,
+    /// Precise exceptions delivered.
+    pub exceptions: u64,
+    /// Code-modification (self-modifying code) invalidations taken.
+    pub code_modifications: u64,
+    /// Base instructions completed, *approximately*: counted at
+    /// architected-commit boundaries and branch resolutions, so
+    /// event-less instructions (`nop`, unconditional `b`) are missed
+    /// and multi-event instructions may count twice. The harness uses
+    /// the reference interpreter's exact count for ILP; this field is
+    /// for coarse progress monitoring only.
+    pub base_instrs: u64,
+    /// Histogram of parcels executed per tree instruction (taken path;
+    /// index 24 buckets everything ≥ 24) — the paper's "ALU usage
+    /// histograms and other statistical data … obtained at the end of
+    /// the run".
+    pub issue_histogram: [u64; 25],
+}
+
+impl RunStats {
+    /// Total simulated cycles: one per VLIW, plus stalls, plus one per
+    /// interpreted instruction.
+    pub fn cycles(&self) -> u64 {
+        self.vliws_executed + self.stall_cycles + self.interp_instrs
+    }
+
+    /// Infinite-cache ILP ("pathlength reduction"): base instructions
+    /// per VLIW, ignoring stalls.
+    pub fn pathlength_reduction(&self, base_instrs: u64) -> f64 {
+        if self.vliws_executed + self.interp_instrs == 0 {
+            0.0
+        } else {
+            base_instrs as f64 / (self.vliws_executed + self.interp_instrs) as f64
+        }
+    }
+
+    /// Finite-cache ILP: base instructions per cycle including stalls.
+    pub fn finite_ilp(&self, base_instrs: u64) -> f64 {
+        if self.cycles() == 0 {
+            0.0
+        } else {
+            base_instrs as f64 / self.cycles() as f64
+        }
+    }
+
+    /// Loads per VLIW (Table 5.4).
+    pub fn loads_per_vliw(&self) -> f64 {
+        if self.vliws_executed == 0 {
+            0.0
+        } else {
+            self.loads as f64 / self.vliws_executed as f64
+        }
+    }
+
+    /// Stores per VLIW (Table 5.4).
+    pub fn stores_per_vliw(&self) -> f64 {
+        if self.vliws_executed == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.vliws_executed as f64
+        }
+    }
+
+    /// Mean VLIWs between events of the given count (Tables 5.4, 5.6,
+    /// 5.7); `None` when the event never occurred.
+    pub fn vliws_between(&self, events: u64) -> Option<f64> {
+        (events > 0).then(|| self.vliws_executed as f64 / events as f64)
+    }
+
+    /// Mean parcels executed per tree instruction (issue-slot
+    /// utilization on the taken path).
+    pub fn mean_parcels_per_vliw(&self) -> f64 {
+        let (mut n, mut sum) = (0u64, 0u64);
+        for (i, c) in self.issue_histogram.iter().enumerate() {
+            n += c;
+            sum += c * i as u64;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = RunStats {
+            vliws_executed: 100,
+            stall_cycles: 50,
+            interp_instrs: 10,
+            loads: 150,
+            stores: 25,
+            alias_failures: 4,
+            ..RunStats::default()
+        };
+        assert_eq!(s.cycles(), 160);
+        assert!((s.pathlength_reduction(440) - 4.0).abs() < 1e-12);
+        assert!((s.finite_ilp(320) - 2.0).abs() < 1e-12);
+        assert!((s.loads_per_vliw() - 1.5).abs() < 1e-12);
+        assert_eq!(s.vliws_between(4), Some(25.0));
+        assert_eq!(s.vliws_between(0), None);
+    }
+}

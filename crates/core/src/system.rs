@@ -1,0 +1,533 @@
+//! The complete DAISY machine: emulated memory, base-architecture
+//! state, VMM, translated-code engine, and cache hierarchy.
+//!
+//! [`DaisySystem::run`] is the paper's execution model end to end:
+//! dispatch the current PC through the VMM (translating on first
+//! touch), execute tree instructions until the group exits, and handle
+//! the exit — cross-page and indirect branches re-dispatch, `sc`/`rfi`
+//! and privileged instructions drop to the VMM's interpreter, stores
+//! into translated pages invalidate and resume, precise exceptions are
+//! delivered to the base architecture's own vectors.
+
+use crate::engine::{run_group, ExcKind, GroupExit};
+use crate::precise::{self, ArchEvent, RecoverError};
+use crate::sched::TranslatorConfig;
+use crate::stats::RunStats;
+use crate::vmm::Vmm;
+use daisy_cachesim::Hierarchy;
+use daisy_ppc::asm::Program;
+use daisy_ppc::insn::{BranchKind, Insn};
+use daisy_ppc::interp::{Cpu, Event, StopReason};
+use daisy_ppc::mem::{MemFault, Memory};
+use daisy_ppc::vectors;
+use daisy_vliw::regfile::RegFile;
+use daisy_vliw::tree::IndirectVia;
+
+/// A fully wired DAISY machine.
+#[derive(Debug)]
+pub struct DaisySystem {
+    /// Emulated base-architecture physical memory.
+    pub mem: Memory,
+    /// Architected base state (GPRs, CR, SPRs, PC, MSR, page table).
+    pub cpu: Cpu,
+    /// The Virtual Machine Monitor.
+    pub vmm: Vmm,
+    /// Cache hierarchy probed by the engine.
+    pub cache: Hierarchy,
+    /// Run statistics.
+    pub stats: RunStats,
+    /// Cross-check the §3.5 recovery algorithm against parcel metadata
+    /// on every exception (cheap: exceptions are rare).
+    pub check_precise_recovery: bool,
+    /// Deliver an external interrupt every this many cycles (a timer
+    /// tick), when the emulated MSR has EE set. External interrupts are
+    /// taken at group boundaries — the translated-code analogue of the
+    /// paper's "to the external interrupt handler the program will
+    /// appear to be at [a precise] point" (§3.7).
+    pub timer_period: Option<u64>,
+    next_timer: u64,
+    pending_external: bool,
+    events: Vec<ArchEvent>,
+}
+
+impl DaisySystem {
+    /// Creates a system with `mem_size` bytes of base memory, the
+    /// default translator configuration, and an infinite cache (the
+    /// paper's pathlength-reduction setup).
+    pub fn new(mem_size: u32) -> DaisySystem {
+        DaisySystem::with_config(mem_size, TranslatorConfig::default(), Hierarchy::infinite())
+    }
+
+    /// Creates a system with explicit translator and cache
+    /// configurations.
+    pub fn with_config(mem_size: u32, cfg: TranslatorConfig, cache: Hierarchy) -> DaisySystem {
+        DaisySystem {
+            mem: Memory::new(mem_size),
+            cpu: Cpu::new(0),
+            vmm: Vmm::new(cfg),
+            cache,
+            stats: RunStats::default(),
+            check_precise_recovery: true,
+            timer_period: None,
+            next_timer: 0,
+            pending_external: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Posts an external interrupt, delivered at the next group
+    /// boundary while the emulated MSR has EE set.
+    pub fn post_external_interrupt(&mut self) {
+        self.pending_external = true;
+    }
+
+    /// Loads a program image and points the PC at its entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the image does not fit in memory.
+    pub fn load(&mut self, prog: &Program) -> Result<(), MemFault> {
+        prog.load_into(&mut self.mem)?;
+        self.cpu.pc = prog.entry;
+        Ok(())
+    }
+
+    fn handle_code_writes(&mut self) {
+        for unit in self.mem.drain_code_writes() {
+            self.vmm.invalidate_unit(&mut self.mem, unit);
+        }
+    }
+
+    /// Runs translated execution until a stop condition or until the
+    /// simulated cycle count reaches `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoverError`] only if the §3.5 recovery algorithm
+    /// disagrees with the engine's metadata — a translator-invariant
+    /// violation, never expected in a correct build.
+    pub fn run(&mut self, max_cycles: u64) -> Result<StopReason, RecoverError> {
+        loop {
+            if self.stats.cycles() >= max_cycles {
+                return Ok(StopReason::MaxInstrs);
+            }
+            self.handle_code_writes();
+            // Timer tick / posted external interrupts, at precise group
+            // boundaries (every architected register is exact here).
+            if let Some(period) = self.timer_period {
+                if self.stats.cycles() >= self.next_timer {
+                    self.next_timer = self.stats.cycles() + period;
+                    self.pending_external = true;
+                }
+            }
+            // Gated by the architected EE bit alone (clear by default),
+            // so harnesses can take timer ticks while still stopping at
+            // a final `sc` with `vectored` off.
+            if self.pending_external && self.cpu.msr & daisy_ppc::reg::msr_bits::EE != 0 {
+                self.pending_external = false;
+                self.stats.exceptions += 1;
+                self.cpu.deliver(vectors::EXTERNAL, self.cpu.pc);
+            }
+            let pc = self.cpu.pc;
+            let code = self.vmm.entry_with_cpu(&mut self.mem, pc, Some(&self.cpu));
+            let from_page = pc / self.vmm.cfg.page_size;
+
+            let mut rf = RegFile::from_cpu(&self.cpu);
+            let exit = run_group(
+                &code,
+                &mut rf,
+                &mut self.mem,
+                &mut self.cache,
+                &mut self.stats,
+                &mut self.events,
+            );
+            rf.write_back(&mut self.cpu);
+
+            match exit {
+                GroupExit::Branch { target, via } => {
+                    if target / self.vmm.cfg.page_size == from_page {
+                        self.stats.onpage_dispatches += 1;
+                    } else {
+                        match via {
+                            None => self.stats.crosspage.direct += 1,
+                            Some(IndirectVia::Lr) => self.stats.crosspage.via_lr += 1,
+                            Some(IndirectVia::Ctr) => self.stats.crosspage.via_ctr += 1,
+                        }
+                    }
+                    self.cpu.pc = target;
+                }
+                GroupExit::Interp { addr } => {
+                    self.cpu.pc = addr;
+                    if let Some(stop) = self.interp_service() {
+                        return Ok(stop);
+                    }
+                }
+                GroupExit::CodeModified { addr } => {
+                    // §3.2: invalidate, then restart by re-interpreting
+                    // the modifying instruction (its store is
+                    // idempotent — same values to the same addresses).
+                    self.handle_code_writes();
+                    self.cpu.pc = addr;
+                    if let Some(stop) = self.interp_one() {
+                        return Ok(stop);
+                    }
+                }
+                GroupExit::Exception { kind, base_addr, fault_idx } => {
+                    self.stats.exceptions += 1;
+                    if self.check_precise_recovery {
+                        let recovered = precise::recover(
+                            &self.mem,
+                            code.group.entry,
+                            &self.events[..fault_idx.min(self.events.len())],
+                            fault_idx,
+                        )?;
+                        if recovered != base_addr {
+                            return Err(RecoverError {
+                                message: format!(
+                                    "recovered {recovered:#x} but engine reports {base_addr:#x}"
+                                ),
+                            });
+                        }
+                    }
+                    if !self.cpu.vectored {
+                        return Ok(match kind {
+                            ExcKind::Dsi { addr, write } => {
+                                self.cpu.dar = addr;
+                                StopReason::StorageFault { addr, write, fetch: false }
+                            }
+                            ExcKind::Trap => StopReason::Trap,
+                        });
+                    }
+                    match kind {
+                        ExcKind::Dsi { addr, write } => {
+                            // §3.3's PowerPC example: DAR, DSISR, SRR0,
+                            // SRR1, then the 0x300 handler.
+                            self.cpu.dar = addr;
+                            self.cpu.dsisr = if write { 0x4200_0000 } else { 0x4000_0000 };
+                            self.cpu.deliver(vectors::DSI, base_addr);
+                        }
+                        ExcKind::Trap => self.cpu.deliver(vectors::PROGRAM, base_addr),
+                    }
+                }
+                GroupExit::AliasRestart { addr } => {
+                    // Re-commence from the point of the load; the fresh
+                    // dispatch re-executes it after the aliasing store.
+                    // Repeated offenders may trigger a conservative
+                    // retranslation of their entry point.
+                    self.vmm.note_alias_restart(code.group.entry);
+                    self.cpu.pc = addr;
+                }
+            }
+        }
+    }
+
+    /// Interprets exactly one instruction, handling its events. Returns
+    /// a stop reason when execution cannot continue.
+    fn interp_one(&mut self) -> Option<StopReason> {
+        let insn = match self.cpu.fetch(&self.mem) {
+            Ok(i) => i,
+            Err(_) => {
+                return Some(StopReason::StorageFault {
+                    addr: self.cpu.pc,
+                    write: false,
+                    fetch: true,
+                })
+            }
+        };
+        let ev = self.cpu.execute(&mut self.mem, insn);
+        match ev {
+            Event::Continue | Event::Syscall => {
+                self.stats.interp_instrs += 1;
+                self.stats.base_instrs += 1;
+            }
+            _ => {}
+        }
+        match ev {
+            Event::Continue => {
+                if matches!(insn, Insn::Rfi) {
+                    // §3.4: after an rfi, interpret until the next
+                    // subroutine call, cross-page branch, or backward
+                    // branch, to limit entry-point creation.
+                    return self.interp_window();
+                }
+                None
+            }
+            Event::Syscall => {
+                if self.cpu.vectored {
+                    self.cpu.deliver(vectors::SYSCALL, self.cpu.pc);
+                    None
+                } else {
+                    Some(StopReason::Syscall)
+                }
+            }
+            Event::Trap | Event::Program => {
+                if self.cpu.vectored {
+                    self.cpu.deliver(vectors::PROGRAM, self.cpu.pc);
+                    None
+                } else if ev == Event::Trap {
+                    Some(StopReason::Trap)
+                } else {
+                    Some(StopReason::Program)
+                }
+            }
+            Event::Dsi { addr, write } => {
+                if self.cpu.vectored {
+                    self.cpu.deliver(vectors::DSI, self.cpu.pc);
+                    None
+                } else {
+                    Some(StopReason::StorageFault { addr, write, fetch: false })
+                }
+            }
+            Event::Isi => {
+                if self.cpu.vectored {
+                    self.cpu.deliver(vectors::ISI, self.cpu.pc);
+                    None
+                } else {
+                    Some(StopReason::StorageFault { addr: self.cpu.pc, write: false, fetch: true })
+                }
+            }
+        }
+    }
+
+    /// One VMM interpreter service: execute the instruction the group
+    /// deferred (sc, rfi, privileged, unsupported).
+    fn interp_service(&mut self) -> Option<StopReason> {
+        self.interp_one()
+    }
+
+    /// Post-`rfi` interpretation window (§3.4).
+    fn interp_window(&mut self) -> Option<StopReason> {
+        for _ in 0..256 {
+            let pc = self.cpu.pc;
+            let insn = match self.cpu.fetch(&self.mem) {
+                Ok(i) => i,
+                Err(_) => {
+                    return Some(StopReason::StorageFault { addr: pc, write: false, fetch: true })
+                }
+            };
+            // Boundary test: subroutine call, cross-page branch, or
+            // backward branch ends interpretation (after executing it).
+            let boundary = insn.branch_info(pc).map(|info| {
+                info.links
+                    || match info.kind {
+                        BranchKind::Direct(t) => {
+                            t <= pc || t / self.vmm.cfg.page_size != pc / self.vmm.cfg.page_size
+                        }
+                        BranchKind::ViaLr | BranchKind::ViaCtr => true,
+                    }
+            });
+            if let Some(stop) = self.interp_one_decoded(insn) {
+                return Some(stop);
+            }
+            if boundary == Some(true) {
+                break;
+            }
+        }
+        None
+    }
+
+    fn interp_one_decoded(&mut self, insn: Insn) -> Option<StopReason> {
+        let ev = self.cpu.execute(&mut self.mem, insn);
+        match ev {
+            Event::Continue | Event::Syscall => {
+                self.stats.interp_instrs += 1;
+                self.stats.base_instrs += 1;
+            }
+            _ => {}
+        }
+        match ev {
+            Event::Continue => None,
+            Event::Syscall => {
+                if self.cpu.vectored {
+                    self.cpu.deliver(vectors::SYSCALL, self.cpu.pc);
+                    None
+                } else {
+                    Some(StopReason::Syscall)
+                }
+            }
+            Event::Trap => Some(StopReason::Trap),
+            Event::Program => Some(StopReason::Program),
+            Event::Dsi { addr, write } => {
+                if self.cpu.vectored {
+                    self.cpu.deliver(vectors::DSI, self.cpu.pc);
+                    None
+                } else {
+                    Some(StopReason::StorageFault { addr, write, fetch: false })
+                }
+            }
+            Event::Isi => {
+                Some(StopReason::StorageFault { addr: self.cpu.pc, write: false, fetch: true })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_ppc::asm::Asm;
+    use daisy_ppc::reg::{CrField, Gpr};
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> (DaisySystem, StopReason) {
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let prog = a.finish().unwrap();
+        let mut sys = DaisySystem::new(0x40000);
+        sys.load(&prog).unwrap();
+        let stop = sys.run(10_000_000).unwrap();
+        (sys, stop)
+    }
+
+    /// Runs the same program on the reference interpreter and asserts
+    /// identical final architected state.
+    fn check_against_interpreter(build: impl Fn(&mut Asm)) -> DaisySystem {
+        let (sys, stop) = run_program(&build);
+
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let prog = a.finish().unwrap();
+        let mut mem = Memory::new(0x40000);
+        prog.load_into(&mut mem).unwrap();
+        let mut cpu = Cpu::new(prog.entry);
+        let ref_stop = cpu.run(&mut mem, 100_000_000).unwrap();
+
+        assert_eq!(stop, ref_stop, "stop reasons must agree");
+        assert_eq!(sys.cpu.gpr, cpu.gpr, "GPR state must agree");
+        assert_eq!(sys.cpu.cr, cpu.cr, "CR must agree");
+        assert_eq!(sys.cpu.lr, cpu.lr, "LR must agree");
+        assert_eq!(sys.cpu.ctr, cpu.ctr, "CTR must agree");
+        assert_eq!(sys.cpu.pc, cpu.pc, "PC must agree");
+        sys
+    }
+
+    #[test]
+    fn quickstart_runs() {
+        let (sys, stop) = run_program(|a| {
+            a.li(Gpr(3), 21);
+            a.add(Gpr(3), Gpr(3), Gpr(3));
+            a.sc();
+        });
+        assert_eq!(stop, StopReason::Syscall);
+        assert_eq!(sys.cpu.gpr[3], 42);
+        assert!(sys.stats.vliws_executed >= 1);
+    }
+
+    #[test]
+    fn loop_matches_interpreter() {
+        check_against_interpreter(|a| {
+            a.li(Gpr(3), 0);
+            a.li(Gpr(4), 100);
+            a.mtctr(Gpr(4));
+            a.label("loop");
+            a.addi(Gpr(3), Gpr(3), 7);
+            a.bdnz("loop");
+            a.sc();
+        });
+    }
+
+    #[test]
+    fn calls_and_memory_match_interpreter() {
+        check_against_interpreter(|a| {
+            a.li32(Gpr(1), 0x9000);
+            a.li(Gpr(3), 5);
+            a.bl("store_sq");
+            a.li(Gpr(3), 9);
+            a.bl("store_sq");
+            a.lwz(Gpr(6), 0, Gpr(1));
+            a.sc();
+            a.label("store_sq");
+            a.mullw(Gpr(4), Gpr(3), Gpr(3));
+            a.stw(Gpr(4), 0, Gpr(1));
+            a.addi(Gpr(1), Gpr(1), 4);
+            a.blr();
+        });
+    }
+
+    #[test]
+    fn self_modifying_code_is_retranslated() {
+        // The program overwrites the instruction at `patch` (li r5,1)
+        // with `li r5,99`, then executes it — both on the same page.
+        let (sys, stop) = run_program(|a| {
+            // Build the encoding of "li r5,99" in r4.
+            a.li32(Gpr(4), daisy_ppc::encode(&Insn::Addi {
+                rt: Gpr(5),
+                ra: Gpr(0),
+                si: 99,
+            }));
+            a.la(Gpr(3), "patch");
+            a.stw(Gpr(4), 0, Gpr(3)); // modifies code!
+            a.label("patch");
+            a.li(Gpr(5), 1);
+            a.sc();
+        });
+        assert_eq!(stop, StopReason::Syscall);
+        assert_eq!(sys.cpu.gpr[5], 99, "modified instruction must execute");
+        assert!(sys.stats.code_modifications >= 1);
+        assert!(sys.vmm.stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn precise_exception_reported_with_faulting_address() {
+        let (sys, stop) = run_program(|a| {
+            a.li(Gpr(3), 1); // completes
+            a.li32(Gpr(9), 0x00F0_0000);
+            a.lwz(Gpr(5), 8, Gpr(9)); // faults
+            a.li(Gpr(3), 2); // must not complete
+            a.sc();
+        });
+        assert_eq!(
+            stop,
+            StopReason::StorageFault { addr: 0x00F0_0008, write: false, fetch: false }
+        );
+        assert_eq!(sys.cpu.gpr[3], 1, "state precise at the faulting load");
+        assert_eq!(sys.cpu.dar, 0x00F0_0008);
+        assert_eq!(sys.stats.exceptions, 1);
+    }
+
+    #[test]
+    fn vectored_dsi_reaches_emulated_os_handler() {
+        let mut a = Asm::new(0x1000);
+        a.li32(Gpr(9), 0x00F0_0000);
+        a.lwz(Gpr(5), 0, Gpr(9)); // faults → handler
+        a.label("after");
+        a.sc();
+        let prog = a.finish().unwrap();
+
+        // A tiny "OS": the DSI handler at 0x300 records DAR into r7 and
+        // returns past the faulting instruction.
+        let mut os = Asm::new(vectors::DSI);
+        os.emit(Insn::Mfspr { rt: Gpr(7), spr: daisy_ppc::reg::Spr::Dar });
+        os.emit(Insn::Mfspr { rt: Gpr(8), spr: daisy_ppc::reg::Spr::Srr0 });
+        os.addi(Gpr(8), Gpr(8), 4);
+        os.emit(Insn::Mtspr { spr: daisy_ppc::reg::Spr::Srr0, rs: Gpr(8) });
+        os.rfi();
+        let os_prog = os.finish().unwrap();
+
+        let mut sys = DaisySystem::new(0x40000);
+        sys.load(&prog).unwrap();
+        os_prog.load_into(&mut sys.mem).unwrap();
+        sys.cpu.vectored = true;
+        let stop = sys.run(1_000_000).unwrap();
+        // The final sc vectors to 0xC00 where memory is zero (invalid)
+        // → program stop; what matters is the handler ran.
+        let _ = stop;
+        assert_eq!(sys.cpu.gpr[7], 0x00F0_0000, "handler saw DAR");
+        assert_eq!(sys.cpu.gpr[8], prog.addr_of("after"));
+    }
+
+    #[test]
+    fn indirect_branches_count_by_type() {
+        let (sys, _) = run_program(|a| {
+            a.la(Gpr(4), "faraway");
+            a.mtctr(Gpr(4));
+            a.bctr();
+            // Force the target onto another page.
+            for _ in 0..1100 {
+                a.nop();
+            }
+            a.label("faraway");
+            a.sc();
+        });
+        assert_eq!(sys.stats.crosspage.via_ctr, 1);
+    }
+}

@@ -1,0 +1,435 @@
+//! The Virtual Machine Monitor: page-granular translation management
+//! (paper Chapter 3).
+//!
+//! The VMM owns the translated-code area. Translations are created the
+//! first time execution reaches an entry point ("VLIW translation
+//! missing" / "invalid entry point" exceptions in the paper collapse,
+//! in this functional model, into a map miss), are keyed by page, and
+//! are destroyed when a store touches a page whose read-only
+//! (translated) bit is set.
+//!
+//! Code layout uses the paper's *second* mapping option (start of
+//! Ch. 3): a hash table from base address to translated code, with each
+//! group allocated contiguously — "code for a translated page can be
+//! contiguous … and there is less wastage". The first option's fixed
+//! `N×` expansion factor is still tracked for the code-size statistics
+//! of Table 5.1.
+
+use crate::engine::GroupCode;
+use crate::sched::{translate_group_with_hints, Hints, TranslatorConfig, XlateCost};
+use daisy_ppc::insn::BranchKind;
+use daisy_ppc::interp::{Cpu, Event};
+use daisy_ppc::mem::Memory;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Where the translated-code area begins in VLIW address space
+/// (paper Fig. 3.1 uses this same value).
+pub const VLIW_BASE: u32 = 0x8000_0000;
+
+/// VMM-level statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmmStats {
+    /// Pages with at least one translation created.
+    pub pages_translated: u64,
+    /// Groups (entry points) translated.
+    pub groups_translated: u64,
+    /// Page translations destroyed by code modification.
+    pub invalidations: u64,
+    /// Page translations evicted to stay within the translated-code
+    /// area's capacity (the paper's LRU page-frame pool).
+    pub cast_outs: u64,
+    /// Entry points retranslated with load speculation inhibited after
+    /// repeated run-time aliasing (the paper's proposed-but-unbuilt
+    /// remedy in Ch. 5, implemented here).
+    pub alias_retranslations: u64,
+    /// Bytes of translated VLIW code currently live.
+    pub code_bytes: u64,
+    /// Bytes of translated code ever produced (monotone; Fig. 5.4).
+    pub code_bytes_total: u64,
+}
+
+/// The Virtual Machine Monitor's translation cache.
+#[derive(Debug)]
+pub struct Vmm {
+    /// Translator configuration (machine, page size, window…).
+    pub cfg: TranslatorConfig,
+    /// page index → (entry address → translated group).
+    pages: HashMap<u32, HashMap<u32, Rc<GroupCode>>>,
+    /// Per-page last-use tick for LRU cast-out.
+    last_use: HashMap<u32, u64>,
+    tick: u64,
+    /// Capacity of the translated-code area, if bounded.
+    capacity: Option<u64>,
+    /// After this many alias restarts, an entry is retranslated with
+    /// load speculation off (None = keep speculating, as the paper's
+    /// measured system did).
+    pub alias_retranslate_after: Option<u32>,
+    alias_counts: HashMap<u32, u32>,
+    no_spec_entries: HashSet<u32>,
+    next_code_addr: u32,
+    /// Cumulative translation cost.
+    pub cost: XlateCost,
+    /// Counters.
+    pub stats: VmmStats,
+}
+
+impl Vmm {
+    /// Creates an empty VMM with the given translator configuration and
+    /// an unbounded translated-code area.
+    pub fn new(cfg: TranslatorConfig) -> Vmm {
+        Vmm {
+            cfg,
+            pages: HashMap::new(),
+            last_use: HashMap::new(),
+            tick: 0,
+            capacity: None,
+            alias_retranslate_after: None,
+            alias_counts: HashMap::new(),
+            no_spec_entries: HashSet::new(),
+            next_code_addr: VLIW_BASE,
+            cost: XlateCost::default(),
+            stats: VmmStats::default(),
+        }
+    }
+
+    /// Bounds the translated-code area: when live code exceeds
+    /// `bytes`, least-recently-used page translations are cast out
+    /// (the paper's "pool of page frames in the upper part of VLIW real
+    /// storage (discarding the least recently used ones in the pool)").
+    /// An undersized pool thrashes, exactly as §5.1 warns.
+    pub fn set_code_capacity(&mut self, bytes: Option<u64>) {
+        self.capacity = bytes;
+    }
+
+    fn cast_out_lru(&mut self, keep: u32) {
+        let Some(cap) = self.capacity else { return };
+        while self.stats.code_bytes > cap && self.pages.len() > 1 {
+            let Some((&victim, _)) = self
+                .last_use
+                .iter()
+                .filter(|(p, _)| **p != keep && self.pages.contains_key(*p))
+                .min_by_key(|(_, t)| **t)
+            else {
+                return;
+            };
+            if let Some(groups) = self.pages.remove(&victim) {
+                for g in groups.values() {
+                    self.stats.code_bytes = self
+                        .stats
+                        .code_bytes
+                        .saturating_sub(u64::from(g.group.code_bytes()));
+                }
+                self.stats.cast_outs += 1;
+            }
+            self.last_use.remove(&victim);
+        }
+    }
+
+    fn page_of(&self, addr: u32) -> u32 {
+        addr / self.cfg.page_size
+    }
+
+    /// Looks up the translation for `addr`, creating it (and marking
+    /// the page's translated bit) on first use.
+    pub fn entry(&mut self, mem: &mut Memory, addr: u32) -> Rc<GroupCode> {
+        self.entry_with_cpu(mem, addr, None)
+    }
+
+    /// Like [`Vmm::entry`], with the architected CPU state available so
+    /// interpretive compilation (paper Ch. 6) can interpret ahead from
+    /// the entry point before scheduling.
+    pub fn entry_with_cpu(
+        &mut self,
+        mem: &mut Memory,
+        addr: u32,
+        cpu: Option<&Cpu>,
+    ) -> Rc<GroupCode> {
+        let page = self.page_of(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        self.last_use.insert(page, tick);
+        if let Some(g) = self.pages.get(&page).and_then(|m| m.get(&addr)) {
+            return Rc::clone(g);
+        }
+        let hints = match cpu {
+            Some(cpu) if self.cfg.interpretive => gather_hints(&self.cfg, mem, cpu, addr),
+            _ => Hints::default(),
+        };
+        let (group, cost) = if self.no_spec_entries.contains(&addr) {
+            // This entry aliased too often: rebuild it conservatively.
+            let cfg = TranslatorConfig { speculate_loads: false, ..self.cfg.clone() };
+            translate_group_with_hints(&cfg, mem, addr, &hints)
+        } else {
+            translate_group_with_hints(&self.cfg, mem, addr, &hints)
+        };
+        self.cost.add(&cost);
+        self.stats.groups_translated += 1;
+        // Lay the group's tree instructions out contiguously in the
+        // translated-code area.
+        let mut vliw_addrs = Vec::with_capacity(group.len());
+        let mut at = self.next_code_addr;
+        for v in &group.vliws {
+            vliw_addrs.push(at);
+            at = at.wrapping_add(v.code_bytes());
+        }
+        let bytes = at.wrapping_sub(self.next_code_addr);
+        self.next_code_addr = at;
+        self.stats.code_bytes += u64::from(bytes);
+        self.stats.code_bytes_total += u64::from(bytes);
+
+        // §3.2: mark every 4 KiB base-architecture unit we translated
+        // from, so stores into it raise code-modification events. (A
+        // group is contained in one translation page by construction;
+        // translation pages are ≥ the 4 KiB unit or smaller — mark the
+        // 4 KiB unit(s) covering the translation page.)
+        let lo = page * self.cfg.page_size;
+        let hi = lo + self.cfg.page_size - 1;
+        let mut unit = lo / daisy_ppc::PAGE_SIZE * daisy_ppc::PAGE_SIZE;
+        while unit <= hi {
+            mem.set_translated_bit(unit);
+            unit += daisy_ppc::PAGE_SIZE;
+        }
+
+        let entry_map = self.pages.entry(page).or_insert_with(|| {
+            // First translation for this page.
+            HashMap::new()
+        });
+        if entry_map.is_empty() {
+            self.stats.pages_translated += 1;
+        }
+        let rc = Rc::new(GroupCode { group, vliw_addrs });
+        entry_map.insert(addr, Rc::clone(&rc));
+        // Stay within the translated-code area, casting out LRU pages
+        // (their stale read-only bits are harmless: a store there takes
+        // one spurious, idempotent code-modification service).
+        self.cast_out_lru(page);
+        rc
+    }
+
+    /// Records a run-time alias restart against the group entered at
+    /// `entry`. When the configured threshold is crossed, the entry's
+    /// translation is dropped and marked for conservative retranslation
+    /// (no load-over-store motion) — the remedy the paper sketches for
+    /// "benchmarks with high amounts of runtime aliasing".
+    pub fn note_alias_restart(&mut self, entry: u32) {
+        let Some(limit) = self.alias_retranslate_after else { return };
+        let c = self.alias_counts.entry(entry).or_insert(0);
+        *c += 1;
+        if *c >= limit && self.no_spec_entries.insert(entry) {
+            self.stats.alias_retranslations += 1;
+            let page = self.page_of(entry);
+            if let Some(groups) = self.pages.get_mut(&page) {
+                if let Some(g) = groups.remove(&entry) {
+                    self.stats.code_bytes = self
+                        .stats
+                        .code_bytes
+                        .saturating_sub(u64::from(g.group.code_bytes()));
+                }
+            }
+        }
+    }
+
+    /// Returns the existing translation for `addr`, if any.
+    pub fn lookup(&self, addr: u32) -> Option<Rc<GroupCode>> {
+        self.pages.get(&self.page_of(addr)).and_then(|m| m.get(&addr)).cloned()
+    }
+
+    /// Destroys every translation overlapping the 4 KiB base unit with
+    /// index `unit_index` (a code-modification event, §3.2), clearing
+    /// the unit's translated bit.
+    pub fn invalidate_unit(&mut self, mem: &mut Memory, unit_index: u32) {
+        let unit_lo = unit_index * daisy_ppc::PAGE_SIZE;
+        let unit_hi = unit_lo + daisy_ppc::PAGE_SIZE - 1;
+        let first_page = unit_lo / self.cfg.page_size;
+        let last_page = unit_hi / self.cfg.page_size;
+        for page in first_page..=last_page {
+            if let Some(groups) = self.pages.remove(&page) {
+                self.stats.invalidations += 1;
+                for g in groups.values() {
+                    self.stats.code_bytes = self
+                        .stats
+                        .code_bytes
+                        .saturating_sub(u64::from(g.group.code_bytes()));
+                }
+            }
+        }
+        mem.clear_translated_bit(unit_lo);
+    }
+
+    /// Number of live translated pages.
+    pub fn live_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of live groups (entry points).
+    pub fn live_groups(&self) -> usize {
+        self.pages.values().map(HashMap::len).sum()
+    }
+
+    /// Live code size under the paper's *first* mapping option: each
+    /// translated page reserves `n×` its size regardless of use.
+    pub fn fixed_expansion_bytes(&self, n: u32) -> u64 {
+        self.pages.len() as u64 * u64::from(self.cfg.page_size) * u64::from(n)
+    }
+}
+
+/// Interprets ahead of translation on cloned state, recording branch
+/// outcomes and indirect targets — the paper's "interpreting each
+/// instruction after decoding it … a potentially more accurate form of
+/// branch prediction" (Ch. 6).
+fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> Hints {
+    let mut sim_mem = mem.clone();
+    let mut sim = cpu.clone();
+    sim.pc = addr;
+    let mut counts: HashMap<u32, (u64, u64)> = HashMap::new();
+    let mut indirect = HashMap::new();
+    let budget = u64::from(cfg.window_size) * 8;
+    for _ in 0..budget {
+        let Ok(insn) = sim.fetch(&sim_mem) else { break };
+        let pc = sim.pc;
+        let info = insn.branch_info(pc);
+        if !matches!(sim.execute(&mut sim_mem, insn), Event::Continue) {
+            break;
+        }
+        if let Some(info) = info {
+            match info.kind {
+                BranchKind::Direct(_) => {
+                    if !info.unconditional {
+                        let c = counts.entry(pc).or_insert((0, 0));
+                        c.0 += 1;
+                        if sim.pc != pc.wrapping_add(4) {
+                            c.1 += 1;
+                        }
+                    }
+                }
+                BranchKind::ViaLr | BranchKind::ViaCtr => {
+                    indirect.entry(pc).or_insert(sim.pc);
+                }
+            }
+        }
+    }
+    Hints {
+        taken_prob: counts
+            .into_iter()
+            .map(|(pc, (n, t))| (pc, t as f64 / n.max(1) as f64))
+            .collect(),
+        indirect_target: indirect,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_ppc::asm::Asm;
+    use daisy_ppc::reg::Gpr;
+
+    fn mem_with_program() -> Memory {
+        let mut a = Asm::new(0x1000);
+        a.li(Gpr(3), 1);
+        a.sc();
+        let prog = a.finish().unwrap();
+        let mut mem = Memory::new(0x20000);
+        prog.load_into(&mut mem).unwrap();
+        mem
+    }
+
+    #[test]
+    fn translation_is_cached() {
+        let mut mem = mem_with_program();
+        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let g1 = vmm.entry(&mut mem, 0x1000);
+        let g2 = vmm.entry(&mut mem, 0x1000);
+        assert!(Rc::ptr_eq(&g1, &g2));
+        assert_eq!(vmm.stats.groups_translated, 1);
+        assert!(mem.translated_bit(0x1000));
+    }
+
+    #[test]
+    fn separate_entries_same_page() {
+        let mut mem = mem_with_program();
+        let mut vmm = Vmm::new(TranslatorConfig::default());
+        vmm.entry(&mut mem, 0x1000);
+        vmm.entry(&mut mem, 0x1004);
+        assert_eq!(vmm.stats.groups_translated, 2);
+        assert_eq!(vmm.stats.pages_translated, 1);
+        assert_eq!(vmm.live_groups(), 2);
+    }
+
+    #[test]
+    fn invalidation_clears_page() {
+        let mut mem = mem_with_program();
+        let mut vmm = Vmm::new(TranslatorConfig::default());
+        vmm.entry(&mut mem, 0x1000);
+        assert_eq!(vmm.live_pages(), 1);
+        vmm.invalidate_unit(&mut mem, 0x1000 / daisy_ppc::PAGE_SIZE);
+        assert_eq!(vmm.live_pages(), 0);
+        assert!(!mem.translated_bit(0x1000));
+        assert_eq!(vmm.stats.invalidations, 1);
+        // Retranslation works and counts again.
+        vmm.entry(&mut mem, 0x1000);
+        assert_eq!(vmm.stats.groups_translated, 2);
+    }
+
+    #[test]
+    fn code_layout_is_contiguous_from_vliw_base() {
+        let mut mem = mem_with_program();
+        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let g = vmm.entry(&mut mem, 0x1000);
+        assert_eq!(g.vliw_addrs[0], VLIW_BASE);
+        for w in g.vliw_addrs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(vmm.stats.code_bytes > 0);
+    }
+
+    #[test]
+    fn lru_cast_out_evicts_cold_pages() {
+        // Three single-entry pages with a capacity that holds ~one.
+        let mut a = Asm::new(0x1000);
+        for _ in 0..3 * 1024 {
+            a.nop();
+        }
+        a.sc();
+        let prog = a.finish().unwrap();
+        let mut mem = Memory::new(0x20000);
+        prog.load_into(&mut mem).unwrap();
+
+        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let g1 = vmm.entry(&mut mem, 0x1000);
+        let one_page = u64::from(g1.group.code_bytes());
+        vmm.set_code_capacity(Some(one_page + one_page / 2));
+        vmm.entry(&mut mem, 0x2000); // casts out page 1 (LRU)
+        assert_eq!(vmm.stats.cast_outs, 1);
+        assert!(vmm.lookup(0x1000).is_none(), "page 1 was cast out");
+        assert!(vmm.lookup(0x2000).is_some());
+        assert!(vmm.stats.code_bytes <= one_page + one_page / 2);
+        // Re-entry retranslates.
+        vmm.entry(&mut mem, 0x1000);
+        assert_eq!(vmm.stats.groups_translated, 3);
+    }
+
+    #[test]
+    fn unbounded_vmm_never_casts_out() {
+        let mut mem = mem_with_program();
+        let mut vmm = Vmm::new(TranslatorConfig::default());
+        for i in 0..4 {
+            vmm.entry(&mut mem, 0x1000 + 4 * i);
+        }
+        assert_eq!(vmm.stats.cast_outs, 0);
+    }
+
+    #[test]
+    fn small_translation_pages_invalidate_with_their_unit() {
+        // 256-byte translation pages: a store into the 4 KiB unit kills
+        // all of them.
+        let mut mem = mem_with_program();
+        let cfg = TranslatorConfig { page_size: 256, ..TranslatorConfig::default() };
+        let mut vmm = Vmm::new(cfg);
+        vmm.entry(&mut mem, 0x1000);
+        vmm.entry(&mut mem, 0x1100);
+        assert_eq!(vmm.live_pages(), 2);
+        vmm.invalidate_unit(&mut mem, 1); // unit 1 = 0x1000..0x2000
+        assert_eq!(vmm.live_pages(), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Emulated base-architecture physical memory and address translation.
+//!
+//! Two pieces of paper machinery live here:
+//!
+//! * **Read-only (translated) bits** (§3.2): each 4 KiB unit of base
+//!   physical memory carries a bit, invisible to the base architecture,
+//!   that the VMM sets when it translates code from that unit. Stores to
+//!   marked units are recorded so the VMM can invalidate the translation
+//!   (self-modifying code, overlays, program loads).
+//! * **The base architecture's own virtual memory** ([`Mmu`]): when the
+//!   emulated MSR enables relocation, data and instruction accesses go
+//!   through a page table; a missing or protection-violating mapping
+//!   raises the storage interrupts that the VMM forwards to the emulated
+//!   operating system (§3.3).
+
+use crate::PAGE_SIZE;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A failed physical memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting physical address.
+    pub addr: u32,
+    /// True when the access was a store.
+    pub write: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault at physical address {:#010x}",
+            if self.write { "store" } else { "load" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Emulated physical memory of the base architecture.
+///
+/// This corresponds to the identity-mapped low section of the VLIW
+/// virtual address space in paper Fig. 3.1. The VLIW's own translated
+/// code lives *outside* this array (in the VMM's data structures), just
+/// as the paper keeps it in a region the base architecture cannot see.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    /// Per-4K-page "read-only because translated" bit (§3.2).
+    translated: Vec<bool>,
+    /// Pages whose translated bit was set when a store hit them, in
+    /// order of first occurrence since the last [`Memory::drain_code_writes`].
+    code_writes: Vec<u32>,
+    code_write_seen: Vec<bool>,
+}
+
+impl Memory {
+    /// Creates `size` bytes of zeroed physical memory (rounded up to a
+    /// whole number of pages).
+    pub fn new(size: u32) -> Memory {
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let pages = (size / PAGE_SIZE) as usize;
+        Memory {
+            bytes: vec![0; size as usize],
+            translated: vec![false; pages],
+            code_writes: Vec::new(),
+            code_write_seen: vec![false; pages],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn check(&self, addr: u32, len: u32, write: bool) -> Result<usize, MemFault> {
+        let end = addr as u64 + len as u64;
+        if end > self.bytes.len() as u64 {
+            Err(MemFault { addr, write })
+        } else {
+            Ok(addr as usize)
+        }
+    }
+
+    fn note_store(&mut self, addr: u32, len: u32) {
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            let i = page as usize;
+            if self.translated[i] && !self.code_write_seen[i] {
+                self.code_write_seen[i] = true;
+                self.code_writes.push(page);
+            }
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MemFault> {
+        let i = self.check(addr, 1, false)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Reads a big-endian halfword.
+    pub fn read_u16(&self, addr: u32) -> Result<u16, MemFault> {
+        let i = self.check(addr, 2, false)?;
+        Ok(u16::from_be_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Reads a big-endian word.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        let i = self.check(addr, 4, false)?;
+        Ok(u32::from_be_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Writes one byte, recording code-modification events.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), MemFault> {
+        let i = self.check(addr, 1, true)?;
+        self.note_store(addr, 1);
+        self.bytes[i] = v;
+        Ok(())
+    }
+
+    /// Writes a big-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), MemFault> {
+        let i = self.check(addr, 2, true)?;
+        self.note_store(addr, 2);
+        self.bytes[i..i + 2].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Writes a big-endian word.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+        let i = self.check(addr, 4, true)?;
+        self.note_store(addr, 4);
+        self.bytes[i..i + 4].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory (used by program loading; does
+    /// *not* count as a store for code-modification purposes).
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), MemFault> {
+        let i = self.check(addr, data.len() as u32, true)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], MemFault> {
+        let i = self.check(addr, len, false)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// Marks a page's read-only (translated) bit. The VMM calls this
+    /// whenever it translates code from the page (§3.2).
+    pub fn set_translated_bit(&mut self, page_addr: u32) {
+        let i = (page_addr / PAGE_SIZE) as usize;
+        if i < self.translated.len() {
+            self.translated[i] = true;
+        }
+    }
+
+    /// Clears a page's read-only (translated) bit (translation cast out
+    /// or invalidated).
+    pub fn clear_translated_bit(&mut self, page_addr: u32) {
+        let i = (page_addr / PAGE_SIZE) as usize;
+        if i < self.translated.len() {
+            self.translated[i] = false;
+            self.code_write_seen[i] = false;
+        }
+    }
+
+    /// True if the page holding `page_addr` has its translated bit set.
+    pub fn translated_bit(&self, page_addr: u32) -> bool {
+        let i = (page_addr / PAGE_SIZE) as usize;
+        i < self.translated.len() && self.translated[i]
+    }
+
+    /// Returns (and clears) the list of translated pages that have been
+    /// stored to since the last call — the code-modification interrupts
+    /// of §3.2, delivered in batch to the VMM. Page *indices* (address /
+    /// 4 KiB) are returned.
+    pub fn drain_code_writes(&mut self) -> Vec<u32> {
+        for &p in &self.code_writes {
+            self.code_write_seen[p as usize] = false;
+        }
+        std::mem::take(&mut self.code_writes)
+    }
+
+    /// True if any code-modification event is pending.
+    pub fn has_code_writes(&self) -> bool {
+        !self.code_writes.is_empty()
+    }
+}
+
+/// Why an address translation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XlateFault {
+    /// No mapping for the virtual page.
+    NotMapped,
+    /// Mapping exists but forbids writes.
+    Protection,
+}
+
+/// A virtual→physical page mapping entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMapping {
+    /// Physical page address (page-aligned).
+    pub phys: u32,
+    /// Whether stores are permitted.
+    pub writable: bool,
+}
+
+/// The base architecture's page table, consulted when the emulated MSR
+/// enables instruction or data relocation.
+///
+/// Real PowerPC uses hashed page tables; the structure is irrelevant to
+/// DAISY's mechanisms (the VMM only needs *a* virtual-to-physical map to
+/// implement `GO_ACROSS_PAGE`'s effective-address translation), so a
+/// software-managed map keyed by virtual page number stands in.
+#[derive(Debug, Clone, Default)]
+pub struct Mmu {
+    map: HashMap<u32, PageMapping>,
+}
+
+impl Mmu {
+    /// Creates an empty page table.
+    pub fn new() -> Mmu {
+        Mmu::default()
+    }
+
+    /// Maps the virtual page containing `virt` to the physical page
+    /// containing `phys`.
+    pub fn map(&mut self, virt: u32, phys: u32, writable: bool) {
+        self.map.insert(
+            virt / PAGE_SIZE,
+            PageMapping { phys: phys / PAGE_SIZE * PAGE_SIZE, writable },
+        );
+    }
+
+    /// Removes the mapping for the virtual page containing `virt`.
+    pub fn unmap(&mut self, virt: u32) {
+        self.map.remove(&(virt / PAGE_SIZE));
+    }
+
+    /// Translates a virtual address, honoring write protection.
+    pub fn translate(&self, virt: u32, write: bool) -> Result<u32, XlateFault> {
+        match self.map.get(&(virt / PAGE_SIZE)) {
+            None => Err(XlateFault::NotMapped),
+            Some(m) if write && !m.writable => Err(XlateFault::Protection),
+            Some(m) => Ok(m.phys + virt % PAGE_SIZE),
+        }
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_layout() {
+        let mut m = Memory::new(0x1000);
+        m.write_u32(0x10, 0x1122_3344).unwrap();
+        assert_eq!(m.read_u8(0x10).unwrap(), 0x11);
+        assert_eq!(m.read_u8(0x13).unwrap(), 0x44);
+        assert_eq!(m.read_u16(0x12).unwrap(), 0x3344);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = Memory::new(0x1000);
+        assert!(m.read_u32(0x0FFE).is_err());
+        assert!(m.write_u8(0x1000, 0).is_err());
+        assert_eq!(m.read_u32(0x0FFC).unwrap(), 0);
+    }
+
+    #[test]
+    fn translated_bit_records_code_writes() {
+        let mut m = Memory::new(0x4000);
+        m.set_translated_bit(0x2000);
+        m.write_u32(0x1000, 1).unwrap();
+        assert!(!m.has_code_writes());
+        m.write_u32(0x2008, 2).unwrap();
+        m.write_u8(0x2100, 3).unwrap(); // same page: recorded once
+        assert_eq!(m.drain_code_writes(), vec![2]);
+        assert!(!m.has_code_writes());
+        // After draining, a new store records again.
+        m.write_u8(0x2000, 4).unwrap();
+        assert_eq!(m.drain_code_writes(), vec![2]);
+    }
+
+    #[test]
+    fn straddling_store_marks_both_pages() {
+        let mut m = Memory::new(0x4000);
+        m.set_translated_bit(0x1000);
+        m.set_translated_bit(0x2000);
+        m.write_u32(0x1FFE, 0xAABB_CCDD).unwrap();
+        assert_eq!(m.drain_code_writes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn mmu_translate() {
+        let mut mmu = Mmu::new();
+        mmu.map(0x0003_0000, 0x2000, true);
+        mmu.map(0x0003_1000, 0x5000, false);
+        assert_eq!(mmu.translate(0x0003_0104, false), Ok(0x2104));
+        assert_eq!(mmu.translate(0x0003_1004, false), Ok(0x5004));
+        assert_eq!(mmu.translate(0x0003_1004, true), Err(XlateFault::Protection));
+        assert_eq!(mmu.translate(0x0004_0000, false), Err(XlateFault::NotMapped));
+    }
+}

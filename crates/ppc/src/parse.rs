@@ -1,0 +1,653 @@
+//! Textual PowerPC assembly parser.
+//!
+//! A front end over [`crate::asm::Asm`] accepting the familiar
+//! AIX-style syntax, so programs can be written as text instead of
+//! builder calls:
+//!
+//! ```
+//! use daisy_ppc::parse::assemble;
+//!
+//! let prog = assemble(
+//!     0x1000,
+//!     r"
+//!     ; sum 1..10
+//!         li      r3, 0
+//!         li      r4, 10
+//!         mtctr   r4
+//!     loop:
+//!         mfctr   r5
+//!         add     r3, r3, r5
+//!         bdnz    loop
+//!         sc
+//!     ",
+//! )
+//! .unwrap();
+//! assert_eq!(prog.code.len(), 7);
+//! ```
+//!
+//! Supported: the fixed-point subset this crate architects — register
+//! and immediate arithmetic/logic, shifts and rotates, `d(rA)` and
+//! indexed loads/stores, `lmw`/`stmw`, compares, CR logic, SPR moves,
+//! all branch forms with label targets, `sc`/`rfi`/`sync`/`tw[i]`,
+//! comments (`#` or `;`), and `label:` definitions.
+
+use crate::asm::{Asm, AsmError, Program};
+use crate::insn::{bo, Insn, MemWidth};
+use crate::reg::{CrBit, CrField, Gpr, Spr};
+use std::fmt;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Assembler-or-parse error from [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextAsmError {
+    /// The text failed to parse.
+    Parse(ParseError),
+    /// Labels failed to resolve or a branch went out of range.
+    Asm(AsmError),
+}
+
+impl fmt::Display for TextAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextAsmError::Parse(e) => e.fmt(f),
+            TextAsmError::Asm(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TextAsmError {}
+
+impl From<ParseError> for TextAsmError {
+    fn from(e: ParseError) -> Self {
+        TextAsmError::Parse(e)
+    }
+}
+
+impl From<AsmError> for TextAsmError {
+    fn from(e: AsmError) -> Self {
+        TextAsmError::Asm(e)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+struct Operands<'a> {
+    parts: Vec<&'a str>,
+    at: usize,
+    line: usize,
+}
+
+impl<'a> Operands<'a> {
+    fn new(rest: &'a str, line: usize) -> Operands<'a> {
+        let parts = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        Operands { parts, at: 0, line }
+    }
+
+    fn next(&mut self) -> Result<&'a str, ParseError> {
+        let p = self
+            .parts
+            .get(self.at)
+            .ok_or_else(|| err(self.line, "missing operand"))?;
+        self.at += 1;
+        Ok(p)
+    }
+
+    fn done(&self) -> Result<(), ParseError> {
+        if self.at == self.parts.len() {
+            Ok(())
+        } else {
+            Err(err(self.line, format!("unexpected extra operand `{}`", self.parts[self.at])))
+        }
+    }
+
+    fn gpr(&mut self) -> Result<Gpr, ParseError> {
+        let t = self.next()?;
+        parse_gpr(t).ok_or_else(|| err(self.line, format!("expected a GPR, got `{t}`")))
+    }
+
+    fn crf(&mut self) -> Result<CrField, ParseError> {
+        let t = self.next()?;
+        let n = t
+            .strip_prefix("cr")
+            .and_then(|s| s.parse::<u8>().ok())
+            .filter(|n| *n < 8)
+            .ok_or_else(|| err(self.line, format!("expected cr0..cr7, got `{t}`")))?;
+        Ok(CrField(n))
+    }
+
+    fn imm(&mut self) -> Result<i64, ParseError> {
+        let t = self.next()?;
+        parse_imm(t).ok_or_else(|| err(self.line, format!("expected an immediate, got `{t}`")))
+    }
+
+    fn label(&mut self) -> Result<&'a str, ParseError> {
+        self.next()
+    }
+
+    /// Parses `d(rA)` memory syntax.
+    fn mem(&mut self) -> Result<(i16, Gpr), ParseError> {
+        let t = self.next()?;
+        let open = t
+            .find('(')
+            .ok_or_else(|| err(self.line, format!("expected `d(rA)`, got `{t}`")))?;
+        let close = t
+            .strip_suffix(')')
+            .ok_or_else(|| err(self.line, format!("missing `)` in `{t}`")))?;
+        let d = parse_imm(t[..open].trim())
+            .and_then(|v| i16::try_from(v).ok())
+            .ok_or_else(|| err(self.line, format!("bad displacement in `{t}`")))?;
+        let ra = parse_gpr(close[open + 1..].trim())
+            .ok_or_else(|| err(self.line, format!("bad base register in `{t}`")))?;
+        Ok((d, ra))
+    }
+}
+
+fn parse_gpr(t: &str) -> Option<Gpr> {
+    t.strip_prefix('r')
+        .and_then(|s| s.parse::<u8>().ok())
+        .filter(|n| *n < 32)
+        .map(Gpr)
+}
+
+fn parse_imm(t: &str) -> Option<i64> {
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn i16_of(line: usize, v: i64) -> Result<i16, ParseError> {
+    i16::try_from(v).map_err(|_| err(line, format!("immediate {v} does not fit 16 signed bits")))
+}
+
+fn u16_of(line: usize, v: i64) -> Result<u16, ParseError> {
+    if (0..=0xFFFF).contains(&v) {
+        Ok(v as u16)
+    } else {
+        Err(err(line, format!("immediate {v} does not fit 16 unsigned bits")))
+    }
+}
+
+fn sh_of(line: usize, v: i64) -> Result<u8, ParseError> {
+    if (0..32).contains(&v) {
+        Ok(v as u8)
+    } else {
+        Err(err(line, format!("shift/rotate amount {v} out of 0..32")))
+    }
+}
+
+/// Assembles a text listing at `base`.
+///
+/// # Errors
+///
+/// Returns [`TextAsmError::Parse`] for syntax errors (with line
+/// numbers) and [`TextAsmError::Asm`] for unresolved labels or
+/// out-of-range branches.
+pub fn assemble(base: u32, src: &str) -> Result<Program, TextAsmError> {
+    let mut a = Asm::new(base);
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let line = if let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            a.label(label.trim());
+            rest[1..].trim()
+        } else {
+            line
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let (mnem, rest) = match line.find(char::is_whitespace) {
+            Some(sp) => line.split_at(sp),
+            None => (line, ""),
+        };
+        parse_insn(&mut a, line_no, &mnem.to_ascii_lowercase(), rest.trim())?;
+    }
+    Ok(a.finish()?)
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_insn(a: &mut Asm, line: usize, mnem: &str, rest: &str) -> Result<(), ParseError> {
+    let mut o = Operands::new(rest, line);
+    match mnem {
+        "li" => {
+            let (rt, v) = (o.gpr()?, o.imm()?);
+            // Accept any 32-bit constant; widen to lis/ori as needed.
+            if let Ok(si) = i16::try_from(v) {
+                a.li(rt, si);
+            } else if (0..=0xFFFF_FFFF).contains(&v) || i32::try_from(v).is_ok() {
+                a.li32(rt, v as u32);
+            } else {
+                return Err(err(line, format!("constant {v} does not fit 32 bits")));
+            }
+        }
+        "lis" => {
+            let (rt, v) = (o.gpr()?, o.imm()?);
+            a.lis(rt, i16_of(line, v)?);
+        }
+        "mr" => {
+            let (rt, rs) = (o.gpr()?, o.gpr()?);
+            a.mr(rt, rs);
+        }
+        "la" => {
+            let rt = o.gpr()?;
+            let l = o.label()?;
+            a.la(rt, l);
+        }
+        "nop" => a.nop(),
+        "addi" | "addic" | "addic." | "subfic" | "mulli" => {
+            let (rt, ra, v) = (o.gpr()?, o.gpr()?, o.imm()?);
+            let si = i16_of(line, v)?;
+            match mnem {
+                "addi" => a.addi(rt, ra, si),
+                "addic" => a.addic(rt, ra, si),
+                "addic." => a.addic_(rt, ra, si),
+                "subfic" => a.subfic(rt, ra, si),
+                _ => a.mulli(rt, ra, si),
+            }
+        }
+        "add" | "add." | "addc" | "adde" | "subf" | "subf." | "subfc" | "subfe" | "mullw"
+        | "mulhwu" | "divw" | "divwu" | "and" | "and." | "or" | "xor" | "nor" | "andc" => {
+            let (d, x, y) = (o.gpr()?, o.gpr()?, o.gpr()?);
+            match mnem {
+                "add" => a.add(d, x, y),
+                "add." => a.add_(d, x, y),
+                "addc" => a.addc(d, x, y),
+                "adde" => a.adde(d, x, y),
+                "subf" => a.subf(d, x, y),
+                "subf." => a.subf_(d, x, y),
+                "subfc" => a.subfc(d, x, y),
+                "subfe" => a.subfe(d, x, y),
+                "mullw" => a.mullw(d, x, y),
+                "mulhwu" => a.mulhwu(d, x, y),
+                "divw" => a.divw(d, x, y),
+                "divwu" => a.divwu(d, x, y),
+                "and" => a.and(d, x, y),
+                "and." => a.and_(d, x, y),
+                "or" => a.or(d, x, y),
+                "xor" => a.xor(d, x, y),
+                "nor" => a.nor(d, x, y),
+                _ => a.andc(d, x, y),
+            }
+        }
+        "neg" | "addze" | "extsb" | "extsh" | "cntlzw" => {
+            let (d, s) = (o.gpr()?, o.gpr()?);
+            match mnem {
+                "neg" => a.neg(d, s),
+                "addze" => a.addze(d, s),
+                "extsb" => a.extsb(d, s),
+                "extsh" => a.extsh(d, s),
+                _ => a.cntlzw(d, s),
+            }
+        }
+        "andi." | "ori" | "xori" => {
+            let (d, s, v) = (o.gpr()?, o.gpr()?, o.imm()?);
+            let ui = u16_of(line, v)?;
+            match mnem {
+                "andi." => a.andi_(d, s, ui),
+                "ori" => a.ori(d, s, ui),
+                _ => a.xori(d, s, ui),
+            }
+        }
+        "slw" | "srw" | "sraw" => {
+            let (d, s, b) = (o.gpr()?, o.gpr()?, o.gpr()?);
+            match mnem {
+                "slw" => a.slw(d, s, b),
+                "srw" => a.srw(d, s, b),
+                _ => a.sraw(d, s, b),
+            }
+        }
+        "slwi" | "srwi" | "srawi" | "clrlwi" => {
+            let (d, s, v) = (o.gpr()?, o.gpr()?, o.imm()?);
+            let sh = sh_of(line, v)?;
+            match mnem {
+                "slwi" => a.slwi(d, s, sh),
+                "srwi" => a.srwi(d, s, sh),
+                "srawi" => a.srawi(d, s, sh),
+                _ => a.clrlwi(d, s, sh),
+            }
+        }
+        "rlwinm" => {
+            let (d, s) = (o.gpr()?, o.gpr()?);
+            let (sh, mb, me) =
+                (sh_of(line, o.imm()?)?, sh_of(line, o.imm()?)?, sh_of(line, o.imm()?)?);
+            a.rlwinm(d, s, sh, mb, me);
+        }
+        "cmpw" | "cmplw" => {
+            let bf = o.crf()?;
+            let (x, y) = (o.gpr()?, o.gpr()?);
+            if mnem == "cmpw" {
+                a.cmpw(bf, x, y);
+            } else {
+                a.cmplw(bf, x, y);
+            }
+        }
+        "cmpwi" => {
+            let bf = o.crf()?;
+            let x = o.gpr()?;
+            let v = i16_of(line, o.imm()?)?;
+            a.cmpwi(bf, x, v);
+        }
+        "cmplwi" => {
+            let bf = o.crf()?;
+            let x = o.gpr()?;
+            let v = u16_of(line, o.imm()?)?;
+            a.cmplwi(bf, x, v);
+        }
+        "lwz" | "lbz" | "lhz" | "lha" | "lwzu" | "lbzu" | "stw" | "stb" | "sth" | "stwu"
+        | "stbu" => {
+            let r = o.gpr()?;
+            let (d, ra) = o.mem()?;
+            match mnem {
+                "lwz" => a.lwz(r, d, ra),
+                "lbz" => a.lbz(r, d, ra),
+                "lhz" => a.lhz(r, d, ra),
+                "lha" => a.lha(r, d, ra),
+                "lwzu" => a.lwzu(r, d, ra),
+                "lbzu" => a.lbzu(r, d, ra),
+                "stw" => a.stw(r, d, ra),
+                "stb" => a.stb(r, d, ra),
+                "sth" => a.sth(r, d, ra),
+                "stwu" => a.stwu(r, d, ra),
+                _ => a.stbu(r, d, ra),
+            }
+        }
+        "lwzx" | "lbzx" | "lhzx" | "stwx" | "stbx" | "sthx" => {
+            let (r, x, y) = (o.gpr()?, o.gpr()?, o.gpr()?);
+            match mnem {
+                "lwzx" => a.lwzx(r, x, y),
+                "lbzx" => a.lbzx(r, x, y),
+                "lhzx" => a.lhzx(r, x, y),
+                "stwx" => a.stwx(r, x, y),
+                "stbx" => a.stbx(r, x, y),
+                _ => a.sthx(r, x, y),
+            }
+        }
+        "lmw" | "stmw" => {
+            let r = o.gpr()?;
+            let (d, ra) = o.mem()?;
+            if mnem == "lmw" {
+                a.lmw(r, d, ra);
+            } else {
+                a.stmw(r, d, ra);
+            }
+        }
+        "b" | "bl" => {
+            let l = o.label()?;
+            if mnem == "b" {
+                a.b(l);
+            } else {
+                a.bl(l);
+            }
+        }
+        "blr" => a.blr(),
+        "bctr" => a.bctr(),
+        "bctrl" => a.bctrl(),
+        "bdnz" | "bdz" => {
+            let l = o.label()?;
+            if mnem == "bdnz" {
+                a.bdnz(l);
+            } else {
+                a.bdz(l);
+            }
+        }
+        "beq" | "bne" | "blt" | "bge" | "bgt" | "ble" => {
+            // Optional leading crN operand, defaulting to cr0.
+            let (bf, l) = if o.parts.len() == 2 {
+                (o.crf()?, o.label()?)
+            } else {
+                (CrField(0), o.label()?)
+            };
+            match mnem {
+                "beq" => a.beq(bf, l),
+                "bne" => a.bne(bf, l),
+                "blt" => a.blt(bf, l),
+                "bge" => a.bge(bf, l),
+                "bgt" => a.bgt(bf, l),
+                _ => a.ble(bf, l),
+            }
+        }
+        "mflr" => a.mflr(o.gpr()?),
+        "mtlr" => a.mtlr(o.gpr()?),
+        "mfctr" => a.mfctr(o.gpr()?),
+        "mtctr" => a.mtctr(o.gpr()?),
+        "mfcr" => a.mfcr(o.gpr()?),
+        "mfspr" => {
+            let rt = o.gpr()?;
+            let spr = parse_spr(o.next()?).ok_or_else(|| err(line, "unknown SPR"))?;
+            a.emit(Insn::Mfspr { rt, spr });
+        }
+        "mtspr" => {
+            let spr = parse_spr(o.next()?).ok_or_else(|| err(line, "unknown SPR"))?;
+            let rs = o.gpr()?;
+            a.emit(Insn::Mtspr { spr, rs });
+        }
+        "cror" => {
+            let (bt, ba, bb) = (crbit(&mut o)?, crbit(&mut o)?, crbit(&mut o)?);
+            a.cror(bt, ba, bb);
+        }
+        "crand" => {
+            let (bt, ba, bb) = (crbit(&mut o)?, crbit(&mut o)?, crbit(&mut o)?);
+            a.crand(bt, ba, bb);
+        }
+        "sc" => a.sc(),
+        "rfi" => a.rfi(),
+        "sync" => a.emit(Insn::Sync),
+        "isync" => a.emit(Insn::Isync),
+        "twi" => {
+            let to = o.imm()?;
+            let ra = o.gpr()?;
+            let si = i16_of(line, o.imm()?)?;
+            if !(0..32).contains(&to) {
+                return Err(err(line, "trap TO field out of 0..32"));
+            }
+            a.twi(to as u8, ra, si);
+        }
+        ".word" => {
+            let v = o.imm()?;
+            a.word(v as u32);
+        }
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+    o.done()
+}
+
+fn crbit(o: &mut Operands) -> Result<CrBit, ParseError> {
+    let v = o.imm()?;
+    if (0..32).contains(&v) {
+        Ok(CrBit(v as u8))
+    } else {
+        Err(err(o.line, format!("CR bit {v} out of 0..32")))
+    }
+}
+
+fn parse_spr(t: &str) -> Option<Spr> {
+    Some(match t {
+        "xer" => Spr::Xer,
+        "lr" => Spr::Lr,
+        "ctr" => Spr::Ctr,
+        "srr0" => Spr::Srr0,
+        "srr1" => Spr::Srr1,
+        "dar" => Spr::Dar,
+        "dsisr" => Spr::Dsisr,
+        "sprg0" => Spr::Sprg0,
+        "sprg1" => Spr::Sprg1,
+        _ => return None,
+    })
+}
+
+/// Width helper kept public for tooling that wants to classify parsed
+/// memory mnemonics.
+pub fn width_of_mnemonic(mnem: &str) -> Option<MemWidth> {
+    match mnem {
+        "lbz" | "lbzx" | "lbzu" | "stb" | "stbx" | "stbu" => Some(MemWidth::Byte),
+        "lhz" | "lhzx" | "lha" | "sth" | "sthx" => Some(MemWidth::Half),
+        "lwz" | "lwzx" | "lwzu" | "stw" | "stwx" | "stwu" | "lmw" | "stmw" => {
+            Some(MemWidth::Word)
+        }
+        _ => None,
+    }
+}
+
+/// Returns the BO field a simplified conditional mnemonic uses (for
+/// tests and tooling).
+pub fn bo_of(mnem: &str) -> Option<u8> {
+    Some(match mnem {
+        "beq" | "blt" | "bgt" => bo::IF_TRUE,
+        "bne" | "bge" | "ble" => bo::IF_FALSE,
+        "bdnz" => bo::DNZ,
+        "bdz" => bo::DZ,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Cpu, StopReason};
+    use crate::mem::Memory;
+
+    fn run(src: &str) -> Cpu {
+        let prog = assemble(0x1000, src).unwrap();
+        let mut mem = Memory::new(0x20000);
+        prog.load_into(&mut mem).unwrap();
+        let mut cpu = Cpu::new(prog.entry);
+        assert_eq!(cpu.run(&mut mem, 1_000_000).unwrap(), StopReason::Syscall);
+        cpu
+    }
+
+    #[test]
+    fn sum_loop_from_text() {
+        let cpu = run(r"
+            li r3, 0
+            li r4, 10
+            mtctr r4
+        loop:
+            mfctr r5
+            add r3, r3, r5
+            bdnz loop
+            sc
+        ");
+        assert_eq!(cpu.gpr[3], 55);
+    }
+
+    #[test]
+    fn memory_and_hex_immediates() {
+        let cpu = run(r"
+            li r1, 0x8000          ; data window
+            li r3, -2
+            stw r3, 8(r1)
+            lhz r4, 8(r1)          # high half of 0xFFFFFFFE
+            lbz r5, 11(r1)
+            lwzx r6, r1, r0
+            sc
+        ");
+        assert_eq!(cpu.gpr[4], 0xFFFF);
+        assert_eq!(cpu.gpr[5], 0xFE);
+    }
+
+    #[test]
+    fn conditional_branches_with_and_without_cr() {
+        let cpu = run(r"
+            li r3, 7
+            cmpwi cr0, r3, 7
+            beq hit
+            li r4, 0
+            sc
+        hit:
+            cmpwi cr2, r3, 9
+            blt cr2, hit2
+            li r4, 1
+            sc
+        hit2:
+            li r4, 42
+            sc
+        ");
+        assert_eq!(cpu.gpr[4], 42);
+    }
+
+    #[test]
+    fn calls_and_large_constants() {
+        let cpu = run(r"
+            li r3, 0x12345678
+            bl double
+            sc
+        double:
+            add r3, r3, r3
+            blr
+        ");
+        assert_eq!(cpu.gpr[3], 0x2468_ACF0);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = assemble(0, "li r3, 1\n frobnicate r1\n").unwrap_err();
+        match e {
+            TextAsmError::Parse(p) => {
+                assert_eq!(p.line, 2);
+                assert!(p.message.contains("frobnicate"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let e = assemble(0, "li r3, 99999999999").unwrap_err();
+        assert!(matches!(e, TextAsmError::Parse(_)));
+        let e = assemble(0, "b nowhere").unwrap_err();
+        assert!(matches!(e, TextAsmError::Asm(AsmError::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn operand_count_is_checked() {
+        assert!(assemble(0, "add r1, r2").is_err());
+        assert!(assemble(0, "add r1, r2, r3, r4").is_err());
+        assert!(assemble(0, "lwz r1, 4").is_err());
+    }
+
+    #[test]
+    fn text_matches_builder_encoding() {
+        let text = assemble(0x1000, "addi r3, r4, -5\nsrawi r6, r7, 3\nsc\n").unwrap();
+        let mut b = Asm::new(0x1000);
+        b.addi(Gpr(3), Gpr(4), -5);
+        b.srawi(Gpr(6), Gpr(7), 3);
+        b.sc();
+        assert_eq!(text.code, b.finish().unwrap().code);
+    }
+
+    #[test]
+    fn helpers_classify() {
+        assert_eq!(width_of_mnemonic("lhz"), Some(MemWidth::Half));
+        assert_eq!(width_of_mnemonic("bogus"), None);
+        assert_eq!(bo_of("bdnz"), Some(bo::DNZ));
+    }
+}

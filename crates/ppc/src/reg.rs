@@ -1,0 +1,252 @@
+//! Architected register names of the PowerPC base architecture.
+
+use std::fmt;
+
+/// A general-purpose register, `r0`–`r31`.
+///
+/// The PowerPC architects 32 GPRs; DAISY's migrant VLIW extends the file
+/// to 64, with `r32`–`r63` invisible to the base architecture (see
+/// `daisy_vliw::reg`). This type only ever names the architected 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gpr(pub u8);
+
+impl Gpr {
+    /// Returns the register number, guaranteed `< 32` for valid values.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Returns true if this names one of the 32 architected GPRs.
+    pub fn is_valid(self) -> bool {
+        self.0 < 32
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A condition-register field, `cr0`–`cr7`.
+///
+/// Each field holds four bits: LT, GT, EQ, SO (most significant first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CrField(pub u8);
+
+impl CrField {
+    /// Returns the field number, `< 8` for valid values.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Returns true if this names one of the 8 architected CR fields.
+    pub fn is_valid(self) -> bool {
+        self.0 < 8
+    }
+}
+
+impl fmt::Display for CrField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cr{}", self.0)
+    }
+}
+
+/// Bit masks within a 4-bit CR field value.
+pub mod cr_bits {
+    /// Less than.
+    pub const LT: u32 = 0b1000;
+    /// Greater than.
+    pub const GT: u32 = 0b0100;
+    /// Equal.
+    pub const EQ: u32 = 0b0010;
+    /// Summary overflow copy.
+    pub const SO: u32 = 0b0001;
+}
+
+/// A single condition-register bit, numbered 0–31 (bit 0 = cr0.LT).
+///
+/// Conditional branches (`bc`) and CR-logical operations (`crand` …)
+/// address the CR at bit granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CrBit(pub u8);
+
+impl CrBit {
+    /// Builds a CR bit from a field and a bit index within the field
+    /// (0 = LT, 1 = GT, 2 = EQ, 3 = SO).
+    pub fn new(field: CrField, bit: u8) -> CrBit {
+        CrBit(field.0 * 4 + bit)
+    }
+
+    /// The CR field this bit belongs to.
+    pub fn field(self) -> CrField {
+        CrField(self.0 / 4)
+    }
+
+    /// Index within the field: 0 = LT, 1 = GT, 2 = EQ, 3 = SO.
+    pub fn within(self) -> u8 {
+        self.0 % 4
+    }
+
+    /// Mask of this bit inside a 4-bit field value.
+    pub fn field_mask(self) -> u32 {
+        0b1000 >> self.within()
+    }
+}
+
+impl fmt::Display for CrBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = ["lt", "gt", "eq", "so"];
+        write!(f, "cr{}.{}", self.field().0, names[self.within() as usize])
+    }
+}
+
+/// Special-purpose registers reachable through `mfspr`/`mtspr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Spr {
+    /// Fixed-point exception register (CA/OV/SO bits).
+    Xer,
+    /// Link register.
+    Lr,
+    /// Count register.
+    Ctr,
+    /// Save/restore register 0 (interrupted address).
+    Srr0,
+    /// Save/restore register 1 (interrupted MSR).
+    Srr1,
+    /// Data address register (faulting data address).
+    Dar,
+    /// Data storage interrupt status register.
+    Dsisr,
+    /// SPR general 0 (scratch for OS handlers).
+    Sprg0,
+    /// SPR general 1.
+    Sprg1,
+}
+
+impl Spr {
+    /// The architected SPR number used in the instruction encoding.
+    pub fn number(self) -> u16 {
+        match self {
+            Spr::Xer => 1,
+            Spr::Lr => 8,
+            Spr::Ctr => 9,
+            Spr::Dsisr => 18,
+            Spr::Dar => 19,
+            Spr::Srr0 => 26,
+            Spr::Srr1 => 27,
+            Spr::Sprg0 => 272,
+            Spr::Sprg1 => 273,
+        }
+    }
+
+    /// Decodes an SPR number; returns `None` for unsupported SPRs.
+    pub fn from_number(n: u16) -> Option<Spr> {
+        Some(match n {
+            1 => Spr::Xer,
+            8 => Spr::Lr,
+            9 => Spr::Ctr,
+            18 => Spr::Dsisr,
+            19 => Spr::Dar,
+            26 => Spr::Srr0,
+            27 => Spr::Srr1,
+            272 => Spr::Sprg0,
+            273 => Spr::Sprg1,
+            _ => return None,
+        })
+    }
+
+    /// True if user-mode code may touch this SPR.
+    pub fn user_accessible(self) -> bool {
+        matches!(self, Spr::Xer | Spr::Lr | Spr::Ctr)
+    }
+}
+
+impl fmt::Display for Spr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Spr::Xer => "xer",
+            Spr::Lr => "lr",
+            Spr::Ctr => "ctr",
+            Spr::Srr0 => "srr0",
+            Spr::Srr1 => "srr1",
+            Spr::Dar => "dar",
+            Spr::Dsisr => "dsisr",
+            Spr::Sprg0 => "sprg0",
+            Spr::Sprg1 => "sprg1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// XER bit masks (big-endian PowerPC bit numbering: SO is bit 0).
+pub mod xer_bits {
+    /// Summary overflow.
+    pub const SO: u32 = 0x8000_0000;
+    /// Overflow.
+    pub const OV: u32 = 0x4000_0000;
+    /// Carry.
+    pub const CA: u32 = 0x2000_0000;
+}
+
+/// MSR bit masks (subset used by the reproduction).
+pub mod msr_bits {
+    /// External interrupts enabled.
+    pub const EE: u32 = 0x0000_8000;
+    /// Problem (user) state when set; supervisor when clear.
+    pub const PR: u32 = 0x0000_4000;
+    /// Instruction relocation enabled.
+    pub const IR: u32 = 0x0000_0020;
+    /// Data relocation enabled.
+    pub const DR: u32 = 0x0000_0010;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cr_bit_roundtrip() {
+        for f in 0..8u8 {
+            for b in 0..4u8 {
+                let bit = CrBit::new(CrField(f), b);
+                assert_eq!(bit.field(), CrField(f));
+                assert_eq!(bit.within(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn cr_bit_field_mask() {
+        assert_eq!(CrBit::new(CrField(0), 0).field_mask(), cr_bits::LT);
+        assert_eq!(CrBit::new(CrField(3), 1).field_mask(), cr_bits::GT);
+        assert_eq!(CrBit::new(CrField(7), 2).field_mask(), cr_bits::EQ);
+        assert_eq!(CrBit::new(CrField(1), 3).field_mask(), cr_bits::SO);
+    }
+
+    #[test]
+    fn spr_numbers_roundtrip() {
+        for spr in [
+            Spr::Xer,
+            Spr::Lr,
+            Spr::Ctr,
+            Spr::Srr0,
+            Spr::Srr1,
+            Spr::Dar,
+            Spr::Dsisr,
+            Spr::Sprg0,
+            Spr::Sprg1,
+        ] {
+            assert_eq!(Spr::from_number(spr.number()), Some(spr));
+        }
+        assert_eq!(Spr::from_number(999), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gpr(13).to_string(), "r13");
+        assert_eq!(CrField(2).to_string(), "cr2");
+        assert_eq!(CrBit::new(CrField(0), 2).to_string(), "cr0.eq");
+        assert_eq!(Spr::Lr.to_string(), "lr");
+    }
+}

@@ -1,0 +1,39 @@
+//! The DAISY migrant VLIW architecture.
+//!
+//! The paper's VLIW is designed *for emulation*: its instruction set is a
+//! superset of the base architecture's RISC primitives, its register file
+//! extends the base architecture's with non-architected rename registers
+//! and per-register exception tag bits (§2.1), and its instructions are
+//! *trees* of operations with multiple conditional branches whose
+//! conditions are all evaluated against instruction-entry state
+//! (Ebcioglu 1988).
+//!
+//! This crate defines that machine:
+//!
+//! * [`reg`] — the unified register file name space (architected GPRs,
+//!   rename pool, CR fields, LR/CTR, XER bits),
+//! * [`op`] — RISC primitive operations and their pure evaluation
+//!   semantics,
+//! * [`tree`] — tree instructions, groups of tree instructions, and
+//!   resource accounting,
+//! * [`machine`] — parameterized machine configurations, including the
+//!   ten configurations of the paper's Figure 5.1,
+//! * [`regfile`] — the runtime register file with exception tags.
+//!
+//! Execution of translated code (which needs the emulated memory, the
+//! VMM, and load-verify) lives in the `daisy` core crate; this crate is
+//! purely the architecture definition plus side-effect-free operation
+//! semantics, so it can be reused by the translator, the execution
+//! engine, the oracle scheduler, and the baselines.
+
+pub mod machine;
+pub mod op;
+pub mod reg;
+pub mod regfile;
+pub mod tree;
+
+pub use machine::MachineConfig;
+pub use op::{OpKind, Operation};
+pub use reg::Reg;
+pub use regfile::RegFile;
+pub use tree::{Exit, Group, NodeId, Vliw, VliwId};

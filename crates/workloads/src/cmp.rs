@@ -1,0 +1,71 @@
+//! `cmp` — byte-wise comparison of two buffers, the AIX utility
+//! measured in the paper.
+
+use crate::{prose, Workload};
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr};
+
+const A: u32 = 0x3_0000;
+const B: u32 = 0x4_0000;
+const LEN: usize = 40 * 1024;
+const DIFF_AT: usize = LEN - 37;
+const SEED: u32 = 0xC0FF_EE01;
+
+fn inputs() -> (Vec<u8>, Vec<u8>) {
+    let a = prose(LEN, SEED);
+    let mut b = a.clone();
+    b[DIFF_AT] ^= 0x20;
+    (a, b)
+}
+
+fn build() -> Program {
+    let mut a = Asm::new(0x1000);
+    let (res, i, ca, cb, basea, baseb, len) =
+        (Gpr(3), Gpr(7), Gpr(8), Gpr(9), Gpr(14), Gpr(15), Gpr(16));
+    let cr = CrField(0);
+    let (bufa, bufb) = inputs();
+
+    a.li(i, 0);
+    a.li32(basea, A);
+    a.li32(baseb, B);
+    a.li32(len, LEN as u32);
+
+    a.label("loop");
+    a.lbzx(ca, basea, i);
+    a.lbzx(cb, baseb, i);
+    a.cmpw(cr, ca, cb);
+    a.bne(cr, "found");
+    a.addi(i, i, 1);
+    a.cmpw(cr, i, len);
+    a.blt(cr, "loop");
+    a.li(res, -1);
+    a.sc();
+    a.label("found");
+    a.mr(res, i);
+    a.sc();
+
+    a.data(A, &bufa);
+    a.data(B, &bufb);
+    a.finish().expect("cmp assembles")
+}
+
+fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
+    if cpu.gpr[3] == DIFF_AT as u32 {
+        Ok(())
+    } else {
+        Err(format!("cmp: got index {}, want {DIFF_AT}", cpu.gpr[3] as i32))
+    }
+}
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "cmp",
+        mem_size: 0x6_0000,
+        max_instrs: 10_000_000,
+        build,
+        check,
+    }
+}

@@ -1,0 +1,173 @@
+//! `compress` — an LZW compressor with an open-hashing code table, the
+//! SPECint95 benchmark whose kernel the paper's `compress` measures
+//! (it reaches the suite's highest ILP in Table 5.1).
+
+use crate::{prose, Workload};
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr};
+
+const TEXT: u32 = 0x3_0000;
+const OUT: u32 = 0x5_0000;
+const HTAB: u32 = 0x6_0000;
+const LEN: usize = 24 * 1024;
+const SEED: u32 = 0x1F2E_3D4C;
+const HASH_MUL: u32 = 40503;
+/// Insertion cap: bounds the hash table's load factor at ~75% so open-
+/// addressing probe chains stay short (real `compress` resets its table
+/// when full for the same reason).
+const MAX_CODE: u32 = 256 + 3 * 1024;
+
+fn build() -> Program {
+    let mut a = Asm::new(0x1000);
+    let cr = CrField(0);
+    let cr1 = CrField(1);
+    let (ncodes, chksum, prefix, c, key, h, ekey, nc) =
+        (Gpr(3), Gpr(4), Gpr(5), Gpr(6), Gpr(7), Gpr(8), Gpr(9), Gpr(10));
+    let (hmul, off, tmp, i) = (Gpr(11), Gpr(12), Gpr(13), Gpr(17));
+    let (inbase, len, tbase, obase) = (Gpr(14), Gpr(15), Gpr(18), Gpr(19));
+
+    a.li32(inbase, TEXT);
+    a.li32(len, LEN as u32);
+    a.li32(tbase, HTAB);
+    a.li32(obase, OUT);
+    a.li32(hmul, HASH_MUL);
+    a.li(ncodes, 0);
+    a.li(chksum, 0);
+    a.li32(nc, 256);
+    a.lbz(prefix, 0, inbase);
+    a.li(i, 1);
+
+    a.label("loop");
+    a.cmpw(cr, i, len);
+    a.bge(cr, "finish");
+    a.lbzx(c, inbase, i);
+    // key = prefix << 8 | c
+    a.slwi(key, prefix, 8);
+    a.or(key, key, c);
+    // h = (key * HASH_MUL) & 0xFFF
+    a.mullw(h, key, hmul);
+    a.clrlwi(h, h, 20);
+    a.label("probe");
+    a.slwi(off, h, 3);
+    a.lwzx(ekey, tbase, off);
+    a.cmpwi(cr, ekey, 0);
+    a.beq(cr, "miss");
+    a.addi(tmp, key, 1);
+    a.cmpw(cr1, ekey, tmp);
+    a.beq(cr1, "hit");
+    a.addi(h, h, 1);
+    a.clrlwi(h, h, 20);
+    a.b("probe");
+
+    a.label("hit");
+    // prefix = table[h].code
+    a.addi(off, off, 4);
+    a.lwzx(prefix, tbase, off);
+    a.addi(i, i, 1);
+    a.b("loop");
+
+    a.label("miss");
+    // emit(prefix) — a call to the output routine on the next page, so
+    // the benchmark exercises cross-page calls and returns the way a
+    // real compress calls its output/libc layer (Table 5.6).
+    a.bl("emit_fn");
+    // Insert (key+1, nc) unless the dictionary is full.
+    a.cmplwi(cr, nc, MAX_CODE as u16);
+    a.bge(cr, "noinsert");
+    a.slwi(off, h, 3);
+    a.addi(tmp, key, 1);
+    a.stwx(tmp, tbase, off);
+    a.addi(off, off, 4);
+    a.stwx(nc, tbase, off);
+    a.addi(nc, nc, 1);
+    a.label("noinsert");
+    a.mr(prefix, c);
+    a.addi(i, i, 1);
+    a.b("loop");
+
+    a.label("finish");
+    a.bl("emit_fn");
+    a.sc();
+
+    // The output routine lives on the next 4 KiB page.
+    while a.here() < 0x2000 {
+        a.nop();
+    }
+    a.label("emit_fn");
+    a.slwi(tmp, ncodes, 1);
+    a.sthx(prefix, obase, tmp);
+    a.addi(ncodes, ncodes, 1);
+    a.rlwinm(chksum, chksum, 1, 0, 31);
+    a.xor(chksum, chksum, prefix);
+    a.blr();
+
+    a.data(TEXT, &prose(LEN, SEED));
+    a.finish().expect("compress assembles")
+}
+
+/// Rust recomputation of `(codes emitted, checksum)`.
+pub fn expected() -> (u32, u32) {
+    let text = prose(LEN, SEED);
+    let mut table = vec![(0u32, 0u32); 4096];
+    let mut prefix = u32::from(text[0]);
+    let (mut ncodes, mut chk, mut nc) = (0u32, 0u32, 256u32);
+    let mut i = 1usize;
+    while i < text.len() {
+        let c = u32::from(text[i]);
+        let key = (prefix << 8) | c;
+        let mut h = key.wrapping_mul(HASH_MUL) & 0xFFF;
+        loop {
+            let e = table[h as usize];
+            if e.0 == 0 {
+                ncodes += 1;
+                chk = chk.rotate_left(1) ^ prefix;
+                if nc < MAX_CODE {
+                    table[h as usize] = (key + 1, nc);
+                    nc += 1;
+                }
+                prefix = c;
+                i += 1;
+                break;
+            }
+            if e.0 == key + 1 {
+                prefix = e.1;
+                i += 1;
+                break;
+            }
+            h = (h + 1) & 0xFFF;
+        }
+    }
+    ncodes += 1;
+    chk = chk.rotate_left(1) ^ prefix;
+    (ncodes, chk)
+}
+
+fn check(cpu: &Cpu, mem: &Memory) -> Result<(), String> {
+    let (codes, chk) = expected();
+    if cpu.gpr[3] != codes {
+        return Err(format!("compress: {} codes, want {codes}", cpu.gpr[3]));
+    }
+    if cpu.gpr[4] != chk {
+        return Err(format!("compress: checksum {:#x}, want {chk:#x}", cpu.gpr[4]));
+    }
+    // The first output code is the first input byte's code.
+    let first = mem.read_u16(OUT).map_err(|e| e.to_string())?;
+    let text0 = prose(LEN, SEED)[0];
+    if u32::from(first) != u32::from(text0) {
+        return Err(format!("compress: first code {first}, want {text0}"));
+    }
+    Ok(())
+}
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "compress",
+        mem_size: 0x8_0000,
+        max_instrs: 30_000_000,
+        build,
+        check,
+    }
+}

@@ -1,0 +1,99 @@
+//! `fgrep` — fixed-string search over a synthetic text, the AIX
+//! utility measured in the paper.
+
+use crate::{prose, Workload};
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr};
+
+const TEXT: u32 = 0x3_0000;
+const PAT: u32 = 0x4_8000;
+const LEN: usize = 32 * 1024;
+const PATTERN: &[u8] = b"needle";
+const SEED: u32 = 0xF6E3_0007;
+
+fn build() -> Program {
+    let mut a = Asm::new(0x1000);
+    let (count, i, j, tc, pc, tbase, pbase, limit, plen, at) = (
+        Gpr(3),
+        Gpr(7),
+        Gpr(8),
+        Gpr(9),
+        Gpr(10),
+        Gpr(14),
+        Gpr(15),
+        Gpr(16),
+        Gpr(17),
+        Gpr(18),
+    );
+    let cr = CrField(0);
+
+    a.li(count, 0);
+    a.li(i, 0);
+    a.li32(tbase, TEXT);
+    a.li32(pbase, PAT);
+    a.li32(limit, (LEN - PATTERN.len()) as u32);
+    a.li(plen, PATTERN.len() as i16);
+
+    a.label("outer");
+    // First-byte filter keeps the common path short, like real fgrep.
+    a.lbzx(tc, tbase, i);
+    a.lbz(pc, 0, pbase);
+    a.cmpw(cr, tc, pc);
+    a.bne(cr, "advance");
+    a.li(j, 1);
+    a.add(at, tbase, i);
+    a.label("inner");
+    a.cmpw(cr, j, plen);
+    a.bge(cr, "matched");
+    a.lbzx(tc, at, j);
+    a.lbzx(pc, pbase, j);
+    a.cmpw(cr, tc, pc);
+    a.bne(cr, "advance");
+    a.addi(j, j, 1);
+    a.b("inner");
+    a.label("matched");
+    a.addi(count, count, 1);
+    a.label("advance");
+    a.addi(i, i, 1);
+    a.cmpw(cr, i, limit);
+    a.ble(cr, "outer");
+    a.sc();
+
+    a.data(TEXT, &prose(LEN, SEED));
+    a.data(PAT, PATTERN);
+    a.finish().expect("fgrep assembles")
+}
+
+/// Rust recomputation of the match count.
+pub fn expected() -> u32 {
+    let text = prose(LEN, SEED);
+    let mut count = 0u32;
+    for i in 0..=(LEN - PATTERN.len()) {
+        if &text[i..i + PATTERN.len()] == PATTERN {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
+    let want = expected();
+    if cpu.gpr[3] == want {
+        Ok(())
+    } else {
+        Err(format!("fgrep: got {} matches, want {want}", cpu.gpr[3]))
+    }
+}
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "fgrep",
+        mem_size: 0x6_0000,
+        max_instrs: 20_000_000,
+        build,
+        check,
+    }
+}

@@ -1,0 +1,173 @@
+//! `lex` — a table-driven DFA tokenizer over synthetic source text,
+//! standing in for the AIX `lex` utility measured in the paper. The
+//! kernel is the classic scanner inner loop: classify the byte, index
+//! the transition table, count token boundaries.
+
+use crate::{source_text, Workload};
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr};
+
+const TEXT: u32 = 0x3_0000;
+const CLASS: u32 = 0x4_8000;
+const TRANS: u32 = 0x4_9000;
+const LEN: usize = 40 * 1024;
+const SEED: u32 = 0x1E8A_77C3;
+
+/// Character classes.
+const CL_LETTER: u8 = 0;
+const CL_DIGIT: u8 = 1;
+const CL_SPACE: u8 = 2;
+const CL_NEWLINE: u8 = 3;
+const CL_PUNCT: u8 = 4;
+/// Number of character classes (must fit the 8-byte table stride).
+pub const NUM_CLASSES: usize = 5;
+
+/// DFA states (low 7 bits); bit 0x80 marks "a token just ended".
+const ST_START: u8 = 0;
+const ST_IDENT: u8 = 1;
+const ST_NUMBER: u8 = 2;
+const EMIT: u8 = 0x80;
+
+/// The byte→class table.
+pub fn class_table() -> [u8; 256] {
+    let mut t = [CL_PUNCT; 256];
+    for c in b'a'..=b'z' {
+        t[c as usize] = CL_LETTER;
+    }
+    for c in b'A'..=b'Z' {
+        t[c as usize] = CL_LETTER;
+    }
+    t[b'_' as usize] = CL_LETTER;
+    for c in b'0'..=b'9' {
+        t[c as usize] = CL_DIGIT;
+    }
+    t[b' ' as usize] = CL_SPACE;
+    t[b'\t' as usize] = CL_SPACE;
+    t[b'\n' as usize] = CL_NEWLINE;
+    t
+}
+
+/// The state-transition table, 8-byte stride per state.
+pub fn trans_table() -> [u8; 3 * 8] {
+    let mut t = [0u8; 3 * 8];
+    let set = |t: &mut [u8], s: u8, c: u8, v: u8| t[s as usize * 8 + c as usize] = v;
+    // start
+    set(&mut t, ST_START, CL_LETTER, ST_IDENT);
+    set(&mut t, ST_START, CL_DIGIT, ST_NUMBER);
+    set(&mut t, ST_START, CL_SPACE, ST_START);
+    set(&mut t, ST_START, CL_NEWLINE, ST_START);
+    set(&mut t, ST_START, CL_PUNCT, ST_START | EMIT); // punct is a token
+    // identifier
+    set(&mut t, ST_IDENT, CL_LETTER, ST_IDENT);
+    set(&mut t, ST_IDENT, CL_DIGIT, ST_IDENT);
+    set(&mut t, ST_IDENT, CL_SPACE, ST_START | EMIT);
+    set(&mut t, ST_IDENT, CL_NEWLINE, ST_START | EMIT);
+    set(&mut t, ST_IDENT, CL_PUNCT, ST_START | EMIT);
+    // number
+    set(&mut t, ST_NUMBER, CL_LETTER, ST_NUMBER); // suffixes stay numeric
+    set(&mut t, ST_NUMBER, CL_DIGIT, ST_NUMBER);
+    set(&mut t, ST_NUMBER, CL_SPACE, ST_START | EMIT);
+    set(&mut t, ST_NUMBER, CL_NEWLINE, ST_START | EMIT);
+    set(&mut t, ST_NUMBER, CL_PUNCT, ST_START | EMIT);
+    t
+}
+
+fn build() -> Program {
+    let mut a = Asm::new(0x1000);
+    let cr = CrField(0);
+    let cr1 = CrField(1);
+    let (tokens, chk, state, clsum, i, c, cls, idx, tmp) =
+        (Gpr(3), Gpr(4), Gpr(5), Gpr(6), Gpr(7), Gpr(8), Gpr(9), Gpr(10), Gpr(11));
+    let (inbase, len, clbase, trbase) = (Gpr(14), Gpr(15), Gpr(16), Gpr(17));
+
+    a.li(tokens, 0);
+    a.li(chk, 0);
+    a.li(clsum, 0);
+    a.li(state, i16::from(ST_START));
+    a.li(i, 0);
+    a.li32(inbase, TEXT);
+    a.li32(len, LEN as u32);
+    a.li32(clbase, CLASS);
+    a.li32(trbase, TRANS);
+
+    a.label("loop");
+    a.lbzx(c, inbase, i);
+    a.lbzx(cls, clbase, c);
+    // Lexeme bookkeeping off the critical state chain, as real lex's
+    // yytext copying and line accounting would be.
+    a.rlwinm(chk, chk, 1, 0, 31);
+    a.xor(chk, chk, c);
+    a.add(clsum, clsum, cls);
+    a.slwi(idx, state, 3);
+    a.add(idx, idx, cls);
+    a.lbzx(state, trbase, idx);
+    a.andi_(tmp, state, u16::from(EMIT));
+    a.beq(cr, "nocount");
+    a.addi(tokens, tokens, 1);
+    a.clrlwi(state, state, 25);
+    a.label("nocount");
+    a.addi(i, i, 1);
+    a.cmpw(cr1, i, len);
+    a.blt(cr1, "loop");
+    a.sc();
+
+    a.data(TEXT, &source_text(LEN, SEED));
+    a.data(CLASS, &class_table());
+    a.data(TRANS, &trans_table());
+    a.finish().expect("lex assembles")
+}
+
+/// Rust recomputation of `(tokens, checksum, class sum)`.
+pub fn expected() -> (u32, u32, u32) {
+    let text = source_text(LEN, SEED);
+    let classes = class_table();
+    let trans = trans_table();
+    let mut state = ST_START;
+    let (mut tokens, mut chk, mut clsum) = (0u32, 0u32, 0u32);
+    for &c in &text {
+        let cls = classes[c as usize];
+        chk = chk.rotate_left(1) ^ u32::from(c);
+        clsum = clsum.wrapping_add(u32::from(cls));
+        state = trans[state as usize * 8 + cls as usize];
+        if state & EMIT != 0 {
+            tokens += 1;
+            state &= 0x7F;
+        }
+    }
+    (tokens, chk, clsum)
+}
+
+fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
+    let (tokens, chk, clsum) = expected();
+    if (cpu.gpr[3], cpu.gpr[4], cpu.gpr[6]) == (tokens, chk, clsum) {
+        Ok(())
+    } else {
+        Err(format!(
+            "lex: got ({}, {:#x}, {}), want ({tokens}, {chk:#x}, {clsum})",
+            cpu.gpr[3], cpu.gpr[4], cpu.gpr[6]
+        ))
+    }
+}
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "lex",
+        mem_size: 0x6_0000,
+        max_instrs: 10_000_000,
+        build,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_classes_fit_stride() {
+        assert!(NUM_CLASSES <= 8);
+    }
+}

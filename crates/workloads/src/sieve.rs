@@ -1,0 +1,113 @@
+//! `c_sieve` — the Stanford integer benchmark's Sieve of Eratosthenes,
+//! as measured in the paper (Table 5.1 reports it reaching 4.6
+//! PowerPC instructions per VLIW).
+
+use crate::Workload;
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr};
+
+const FLAGS: u32 = 0x2_0000;
+const SIZE: i32 = 8190;
+const ITERS: i16 = 3;
+
+fn build() -> Program {
+    let mut a = Asm::new(0x1000);
+    let (count, iters, i, flag, prime, k, one, zero, base, size) = (
+        Gpr(3),
+        Gpr(16),
+        Gpr(4),
+        Gpr(5),
+        Gpr(6),
+        Gpr(7),
+        Gpr(8),
+        Gpr(9),
+        Gpr(14),
+        Gpr(15),
+    );
+    let cr = CrField(0);
+
+    a.li(count, 0);
+    a.li(iters, ITERS);
+    a.li32(base, FLAGS);
+    a.li32(size, SIZE as u32);
+    a.li(one, 1);
+    a.li(zero, 0);
+
+    a.label("outer");
+    // memset(flags, 1, SIZE+1)
+    a.li(i, 0);
+    a.label("fill");
+    a.stbx(one, base, i);
+    a.addi(i, i, 1);
+    a.cmpw(cr, i, size);
+    a.ble(cr, "fill");
+
+    a.li(i, 0);
+    a.label("scan");
+    a.lbzx(flag, base, i);
+    a.cmpwi(cr, flag, 0);
+    a.beq(cr, "next");
+    // prime = i + i + 3; k = i + prime
+    a.add(prime, i, i);
+    a.addi(prime, prime, 3);
+    a.add(k, i, prime);
+    a.label("clear");
+    a.cmpw(cr, k, size);
+    a.bgt(cr, "counted");
+    a.stbx(zero, base, k);
+    a.add(k, k, prime);
+    a.b("clear");
+    a.label("counted");
+    a.addi(count, count, 1);
+    a.label("next");
+    a.addi(i, i, 1);
+    a.cmpw(cr, i, size);
+    a.ble(cr, "scan");
+
+    a.addi(iters, iters, -1);
+    a.cmpwi(cr, iters, 0);
+    a.bne(cr, "outer");
+    a.sc();
+    a.finish().expect("sieve assembles")
+}
+
+/// Rust recomputation of the sieve's prime count.
+pub fn expected_count() -> u32 {
+    let n = SIZE as usize;
+    let mut flags = vec![true; n + 1];
+    let mut count = 0u32;
+    for i in 0..=n {
+        if flags[i] {
+            let prime = i + i + 3;
+            let mut k = i + prime;
+            while k <= n {
+                flags[k] = false;
+                k += prime;
+            }
+            count += 1;
+        }
+    }
+    count * u32::from(ITERS as u16)
+}
+
+fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
+    let want = expected_count();
+    if cpu.gpr[3] == want {
+        Ok(())
+    } else {
+        Err(format!("prime count: got {}, want {want}", cpu.gpr[3]))
+    }
+}
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "c_sieve",
+        mem_size: 0x4_0000,
+        max_instrs: 20_000_000,
+        build,
+        check,
+    }
+}

@@ -1,0 +1,149 @@
+//! `sort` — shellsort over pseudo-random 32-bit keys generated
+//! in-program, standing in for the AIX `sort` utility of the paper.
+
+use crate::Workload;
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr};
+
+const ARRAY: u32 = 0x4_0000;
+const N: u32 = 3000;
+const LCG_A: u32 = 1_103_515_245;
+const LCG_C: u32 = 12_345;
+const SEED: u32 = 0x0BAD_5EED;
+
+fn build() -> Program {
+    let mut a = Asm::new(0x1000);
+    let cr = CrField(0);
+    let cr1 = CrField(1);
+    let (res, chk, x, mul, add, i, off, base, n) =
+        (Gpr(3), Gpr(4), Gpr(5), Gpr(6), Gpr(7), Gpr(8), Gpr(9), Gpr(14), Gpr(15));
+    let (gap, j, v, w, jg, t) = (Gpr(16), Gpr(17), Gpr(18), Gpr(19), Gpr(20), Gpr(21));
+
+    a.li32(base, ARRAY);
+    a.li32(n, N);
+    a.li32(mul, LCG_A);
+    a.li32(add, LCG_C);
+    a.li32(x, SEED);
+
+    // Generate: a[i] = x = x*A + C.
+    a.li(i, 0);
+    a.label("gen");
+    a.mullw(x, x, mul);
+    a.add(x, x, add);
+    a.slwi(off, i, 2);
+    a.stwx(x, base, off);
+    a.addi(i, i, 1);
+    a.cmpw(cr, i, n);
+    a.blt(cr, "gen");
+
+    // Shellsort, gap sequence n/2, n/4, …
+    a.srwi(gap, n, 1);
+    a.label("gap_loop");
+    a.cmpwi(cr, gap, 0);
+    a.beq(cr, "verify");
+    a.mr(i, gap);
+    a.label("insert_loop");
+    a.cmpw(cr, i, n);
+    a.bge(cr, "next_gap");
+    // v = a[i]; j = i
+    a.slwi(off, i, 2);
+    a.lwzx(v, base, off);
+    a.mr(j, i);
+    a.label("sift");
+    a.cmpw(cr, j, gap);
+    a.blt(cr, "place");
+    // w = a[j-gap]; if w <= v stop
+    a.subf(jg, gap, j);
+    a.slwi(off, jg, 2);
+    a.lwzx(w, base, off);
+    a.cmpw(cr1, w, v);
+    a.ble(cr1, "place");
+    // a[j] = w; j -= gap
+    a.slwi(t, j, 2);
+    a.stwx(w, base, t);
+    a.mr(j, jg);
+    a.b("sift");
+    a.label("place");
+    a.slwi(off, j, 2);
+    a.stwx(v, base, off);
+    a.addi(i, i, 1);
+    a.b("insert_loop");
+    a.label("next_gap");
+    a.srwi(gap, gap, 1);
+    a.b("gap_loop");
+
+    // Verify sorted and checksum.
+    a.label("verify");
+    a.li(res, 1);
+    a.li(chk, 0);
+    a.li(i, 0);
+    a.slwi(off, i, 2);
+    a.lwzx(w, base, off); // previous = a[0]
+    a.add(chk, chk, w);
+    a.li(i, 1);
+    a.label("vloop");
+    a.cmpw(cr, i, n);
+    a.bge(cr, "done");
+    a.slwi(off, i, 2);
+    a.lwzx(v, base, off);
+    a.add(chk, chk, v);
+    a.cmpw(cr1, w, v);
+    a.ble(cr1, "vok");
+    a.li(res, 0);
+    a.label("vok");
+    a.mr(w, v);
+    a.addi(i, i, 1);
+    a.b("vloop");
+    a.label("done");
+    a.sc();
+    a.finish().expect("sort assembles")
+}
+
+/// Rust recomputation of the expected checksum.
+pub fn expected_checksum() -> u32 {
+    let mut x = SEED;
+    let mut v = Vec::with_capacity(N as usize);
+    for _ in 0..N {
+        x = x.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+        v.push(x as i32);
+    }
+    v.sort_unstable();
+    v.iter().fold(0u32, |acc, &e| acc.wrapping_add(e as u32))
+}
+
+fn check(cpu: &Cpu, mem: &Memory) -> Result<(), String> {
+    if cpu.gpr[3] != 1 {
+        return Err("sort: output not sorted".to_owned());
+    }
+    let want = expected_checksum();
+    if cpu.gpr[4] != want {
+        return Err(format!("sort: checksum {:#x}, want {want:#x}", cpu.gpr[4]));
+    }
+    // Spot-check the extremes against the Rust sort.
+    let mut x = SEED;
+    let mut v = Vec::with_capacity(N as usize);
+    for _ in 0..N {
+        x = x.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+        v.push(x as i32);
+    }
+    v.sort_unstable();
+    let first = mem.read_u32(ARRAY).map_err(|e| e.to_string())? as i32;
+    let last = mem.read_u32(ARRAY + 4 * (N - 1)).map_err(|e| e.to_string())? as i32;
+    if (first, last) != (v[0], v[N as usize - 1]) {
+        return Err(format!("sort: extremes ({first}, {last}) vs ({}, {})", v[0], v[N as usize - 1]));
+    }
+    Ok(())
+}
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "sort",
+        mem_size: 0x8_0000,
+        max_instrs: 60_000_000,
+        build,
+        check,
+    }
+}

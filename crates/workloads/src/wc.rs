@@ -1,0 +1,99 @@
+//! `wc` — character / word / line counting over a synthetic text, the
+//! AIX utility measured in the paper.
+
+use crate::{prose, Workload};
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr};
+
+const TEXT: u32 = 0x3_0000;
+const LEN: usize = 48 * 1024;
+const SEED: u32 = 0x5EED_0001;
+
+fn build() -> Program {
+    let mut a = Asm::new(0x1000);
+    let (chars, words, lines, inword, i, c, base, len) =
+        (Gpr(3), Gpr(4), Gpr(5), Gpr(6), Gpr(7), Gpr(8), Gpr(14), Gpr(15));
+    let cr = CrField(0);
+
+    a.li(chars, 0);
+    a.li(words, 0);
+    a.li(lines, 0);
+    a.li(inword, 0);
+    a.li(i, 0);
+    a.li32(base, TEXT);
+    a.li32(len, LEN as u32);
+
+    a.label("loop");
+    a.lbzx(c, base, i);
+    a.addi(chars, chars, 1);
+    a.cmpwi(cr, c, i16::from(b'\n'));
+    a.beq(cr, "newline");
+    a.cmpwi(cr, c, i16::from(b' '));
+    a.beq(cr, "space");
+    // In a word: count its start.
+    a.cmpwi(cr, inword, 0);
+    a.bne(cr, "cont");
+    a.addi(words, words, 1);
+    a.li(inword, 1);
+    a.b("cont");
+    a.label("newline");
+    a.addi(lines, lines, 1);
+    a.label("space");
+    a.li(inword, 0);
+    a.label("cont");
+    a.addi(i, i, 1);
+    a.cmpw(cr, i, len);
+    a.blt(cr, "loop");
+    a.sc();
+
+    a.data(TEXT, &prose(LEN, SEED));
+    a.finish().expect("wc assembles")
+}
+
+/// Rust recomputation of the (chars, words, lines) triple.
+pub fn expected() -> (u32, u32, u32) {
+    let text = prose(LEN, SEED);
+    let (mut words, mut lines) = (0u32, 0u32);
+    let mut inword = false;
+    for &c in &text {
+        match c {
+            b'\n' => {
+                lines += 1;
+                inword = false;
+            }
+            b' ' => inword = false,
+            _ => {
+                if !inword {
+                    words += 1;
+                    inword = true;
+                }
+            }
+        }
+    }
+    (LEN as u32, words, lines)
+}
+
+fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
+    let (c, w, l) = expected();
+    if (cpu.gpr[3], cpu.gpr[4], cpu.gpr[5]) == (c, w, l) {
+        Ok(())
+    } else {
+        Err(format!(
+            "wc: got ({}, {}, {}), want ({c}, {w}, {l})",
+            cpu.gpr[3], cpu.gpr[4], cpu.gpr[5]
+        ))
+    }
+}
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "wc",
+        mem_size: 0x6_0000,
+        max_instrs: 10_000_000,
+        build,
+        check,
+    }
+}

@@ -1,0 +1,370 @@
+//! `xlat` — a table-driven bytecode-VM interpreter standing in for the
+//! paper's SPECint95 `gcc`.
+//!
+//! What matters about `gcc` in the paper's evaluation is its *shape*:
+//! a large instruction working set spread over many pages, frequent
+//! indirect branches, a cross-page jump every ~10 VLIWs, and a 19%
+//! first-level I-cache miss rate. `xlat` reproduces that shape: 24
+//! opcode handlers are padded to 512 bytes each so the interpreter's
+//! core loop sprawls over several pages, every dispatch is a `bcctr`
+//! through a computed handler address, and every handler returns to the
+//! dispatcher with a cross-page direct branch.
+
+use crate::Workload;
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr};
+
+const HBASE: u32 = 0x2000;
+const HSIZE: u32 = 512;
+const BC: u32 = 0x3_0000;
+const STK: u32 = 0x5_0000;
+const VARS: u32 = 0x5_4000;
+
+const OUTER: u8 = 100;
+const INNER: u8 = 150;
+
+/// Bytecode opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Stop; result = var 1.
+    Halt = 0,
+    /// Push the zero-extended operand.
+    PushI = 1,
+    /// Pop b, a; push a + b.
+    Add = 2,
+    /// Pop b, a; push a − b.
+    Sub = 3,
+    /// Pop b, a; push a × b.
+    Mul = 4,
+    /// Duplicate the top of stack.
+    Dup = 5,
+    /// Discard the top of stack.
+    Drop = 6,
+    /// Push var\[operand\].
+    LoadV = 7,
+    /// Pop into var\[operand\].
+    StoreV = 8,
+    /// Relative jump (operand = signed instruction offset from next).
+    Jmp = 9,
+    /// Pop; jump if nonzero.
+    Jnz = 10,
+    /// var\[operand\] += 1.
+    Inc = 11,
+    /// var\[operand\] −= 1.
+    Dec = 12,
+    /// Pop b, a; push a & b.
+    And = 13,
+    /// Pop b, a; push a | b.
+    Or = 14,
+    /// Pop b, a; push a ^ b.
+    Xor = 15,
+    /// Negate top of stack.
+    Neg = 16,
+    /// Bitwise-not top of stack.
+    Not = 17,
+    /// Top of stack += sign-extended operand.
+    AddI = 18,
+    /// Pop b, a; push (a < b) signed.
+    CmpLt = 19,
+    /// Swap the two top stack slots.
+    Swap = 20,
+    /// Push the second-from-top slot.
+    Over = 21,
+    /// Top of stack ×= sign-extended operand.
+    MulI = 22,
+    /// Square the top of stack.
+    Sq = 23,
+}
+
+const NUM_OPS: u32 = 24;
+
+/// The benchmark bytecode: `acc = OUTER × Σ_{i=1..INNER} i²`,
+/// exercising dispatch, the stack, variables, and both jumps.
+pub fn bytecode() -> Vec<u8> {
+    // acc = 0; outer counter = OUTER.
+    let mut b: Vec<(Op, u8)> =
+        vec![(Op::PushI, 0), (Op::StoreV, 1), (Op::PushI, OUTER), (Op::StoreV, 2)];
+    let outer_top = b.len();
+    b.push((Op::PushI, INNER));
+    b.push((Op::StoreV, 0));
+    let inner_top = b.len();
+    b.push((Op::LoadV, 0));
+    b.push((Op::Sq, 0));
+    b.push((Op::LoadV, 1));
+    b.push((Op::Add, 0));
+    b.push((Op::StoreV, 1)); // acc += i*i
+    b.push((Op::Dec, 0));
+    b.push((Op::LoadV, 0));
+    let jnz_inner = b.len();
+    b.push((Op::Jnz, 0));
+    b.push((Op::Dec, 2));
+    b.push((Op::LoadV, 2));
+    let jnz_outer = b.len();
+    b.push((Op::Jnz, 0));
+    b.push((Op::Halt, 0));
+    // Fix up the branch offsets (relative to the following instruction).
+    let off = |from: usize, to: usize| (to as i32 - (from as i32 + 1)) as i8 as u8;
+    b[jnz_inner].1 = off(jnz_inner, inner_top);
+    b[jnz_outer].1 = off(jnz_outer, outer_top);
+    b.iter().flat_map(|(op, arg)| [*op as u8, *arg]).collect()
+}
+
+/// Rust replication of the VM run: the expected accumulator.
+pub fn expected_acc() -> u32 {
+    let sum_sq: u32 = (1..=u32::from(INNER)).map(|i| i * i).sum();
+    u32::from(OUTER) * sum_sq
+}
+
+fn build() -> Program {
+    let mut a = Asm::new(0x1000);
+    let cr = CrField(0);
+    let (op, arg, t1, t2, t3) = (Gpr(5), Gpr(6), Gpr(7), Gpr(8), Gpr(9));
+    let (hbase, pc, bcbase, sp, vars) = (Gpr(12), Gpr(13), Gpr(14), Gpr(15), Gpr(16));
+
+    // Init.
+    a.li32(hbase, HBASE);
+    a.li(pc, 0);
+    a.li32(bcbase, BC);
+    a.li32(sp, STK);
+    a.li32(vars, VARS);
+
+    a.label("dispatch");
+    a.lbzx(op, bcbase, pc);
+    a.addi(t1, pc, 1);
+    a.lbzx(arg, bcbase, t1);
+    a.slwi(t2, op, 9);
+    a.add(t2, t2, hbase);
+    a.mtctr(t2);
+    a.bctr();
+
+    let pad_to = |a: &mut Asm, addr: u32| {
+        assert!(a.here() <= addr, "handler overflowed its slot at {addr:#x}");
+        while a.here() < addr {
+            a.nop();
+        }
+    };
+    let push = |a: &mut Asm, r: Gpr| {
+        a.stw(r, 0, sp);
+        a.addi(sp, sp, 4);
+    };
+    let pop = |a: &mut Asm, r: Gpr| {
+        a.lwzu(r, -4, sp);
+    };
+    let next = |a: &mut Asm| {
+        a.addi(pc, pc, 2);
+        a.b("dispatch");
+    };
+
+    for opc in 0..NUM_OPS {
+        pad_to(&mut a, HBASE + opc * HSIZE);
+        match opc {
+            0 => {
+                // HALT: r3 = var[1]; r4 = stack depth in bytes.
+                a.lwz(Gpr(3), 4, vars);
+                a.li32(t1, STK);
+                a.subf(Gpr(4), t1, sp);
+                a.sc();
+            }
+            1 => {
+                push(&mut a, arg);
+                next(&mut a);
+            }
+            2 => {
+                pop(&mut a, t1);
+                pop(&mut a, t2);
+                a.add(t1, t2, t1);
+                push(&mut a, t1);
+                next(&mut a);
+            }
+            3 => {
+                pop(&mut a, t1);
+                pop(&mut a, t2);
+                a.subf(t1, t1, t2);
+                push(&mut a, t1);
+                next(&mut a);
+            }
+            4 => {
+                pop(&mut a, t1);
+                pop(&mut a, t2);
+                a.mullw(t1, t2, t1);
+                push(&mut a, t1);
+                next(&mut a);
+            }
+            5 => {
+                a.lwz(t1, -4, sp);
+                push(&mut a, t1);
+                next(&mut a);
+            }
+            6 => {
+                a.addi(sp, sp, -4);
+                next(&mut a);
+            }
+            7 => {
+                a.slwi(t1, arg, 2);
+                a.lwzx(t2, vars, t1);
+                push(&mut a, t2);
+                next(&mut a);
+            }
+            8 => {
+                pop(&mut a, t2);
+                a.slwi(t1, arg, 2);
+                a.stwx(t2, vars, t1);
+                next(&mut a);
+            }
+            9 => {
+                a.extsb(t1, arg);
+                a.slwi(t1, t1, 1);
+                a.addi(pc, pc, 2);
+                a.add(pc, pc, t1);
+                a.b("dispatch");
+            }
+            10 => {
+                pop(&mut a, t2);
+                a.addi(pc, pc, 2);
+                a.cmpwi(cr, t2, 0);
+                a.beq(cr, "jnz_fall");
+                a.extsb(t1, arg);
+                a.slwi(t1, t1, 1);
+                a.add(pc, pc, t1);
+                a.label("jnz_fall");
+                a.b("dispatch");
+            }
+            11 => {
+                a.slwi(t1, arg, 2);
+                a.lwzx(t2, vars, t1);
+                a.addi(t2, t2, 1);
+                a.stwx(t2, vars, t1);
+                next(&mut a);
+            }
+            12 => {
+                a.slwi(t1, arg, 2);
+                a.lwzx(t2, vars, t1);
+                a.addi(t2, t2, -1);
+                a.stwx(t2, vars, t1);
+                next(&mut a);
+            }
+            13 => {
+                pop(&mut a, t1);
+                pop(&mut a, t2);
+                a.and(t1, t2, t1);
+                push(&mut a, t1);
+                next(&mut a);
+            }
+            14 => {
+                pop(&mut a, t1);
+                pop(&mut a, t2);
+                a.or(t1, t2, t1);
+                push(&mut a, t1);
+                next(&mut a);
+            }
+            15 => {
+                pop(&mut a, t1);
+                pop(&mut a, t2);
+                a.xor(t1, t2, t1);
+                push(&mut a, t1);
+                next(&mut a);
+            }
+            16 => {
+                a.lwz(t1, -4, sp);
+                a.neg(t1, t1);
+                a.stw(t1, -4, sp);
+                next(&mut a);
+            }
+            17 => {
+                a.lwz(t1, -4, sp);
+                a.nor(t1, t1, t1);
+                a.stw(t1, -4, sp);
+                next(&mut a);
+            }
+            18 => {
+                a.lwz(t1, -4, sp);
+                a.extsb(t2, arg);
+                a.add(t1, t1, t2);
+                a.stw(t1, -4, sp);
+                next(&mut a);
+            }
+            19 => {
+                pop(&mut a, t1);
+                pop(&mut a, t2);
+                a.cmpw(cr, t2, t1);
+                a.li(t3, 0);
+                a.bge(cr, "cmplt_done");
+                a.li(t3, 1);
+                a.label("cmplt_done");
+                push(&mut a, t3);
+                next(&mut a);
+            }
+            20 => {
+                a.lwz(t1, -4, sp);
+                a.lwz(t2, -8, sp);
+                a.stw(t1, -8, sp);
+                a.stw(t2, -4, sp);
+                next(&mut a);
+            }
+            21 => {
+                a.lwz(t1, -8, sp);
+                push(&mut a, t1);
+                next(&mut a);
+            }
+            22 => {
+                a.lwz(t1, -4, sp);
+                a.extsb(t2, arg);
+                a.mullw(t1, t1, t2);
+                a.stw(t1, -4, sp);
+                next(&mut a);
+            }
+            23 => {
+                a.lwz(t1, -4, sp);
+                a.mullw(t1, t1, t1);
+                a.stw(t1, -4, sp);
+                next(&mut a);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    a.data(BC, &bytecode());
+    a.finish().expect("xlat assembles")
+}
+
+fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
+    let want = expected_acc();
+    if cpu.gpr[3] != want {
+        return Err(format!("xlat: acc {}, want {want}", cpu.gpr[3]));
+    }
+    if cpu.gpr[4] != 0 {
+        return Err(format!("xlat: stack not empty at halt ({} bytes)", cpu.gpr[4] as i32));
+    }
+    Ok(())
+}
+
+/// The workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "xlat",
+        mem_size: 0x8_0000,
+        max_instrs: 30_000_000,
+        build,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytecode_is_well_formed() {
+        let bc = bytecode();
+        assert_eq!(bc.len() % 2, 0);
+        assert_eq!(bc[bc.len() - 2], Op::Halt as u8);
+    }
+
+    #[test]
+    fn expected_value() {
+        assert_eq!(expected_acc(), 100 * 1_136_275);
+    }
+}

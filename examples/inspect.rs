@@ -1,0 +1,47 @@
+//! Inspect DAISY's output: run a workload, then list the translated
+//! groups — tree instructions, parcels, renames, commits, exits — the
+//! way Appendix C walks through Figure 2.2.
+//!
+//! ```sh
+//! cargo run --release --example inspect [workload] [max_vliws]
+//! ```
+
+use daisy::system::DaisySystem;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "c_sieve".to_owned());
+    let max_vliws: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let w = daisy_workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let prog = w.program();
+
+    let mut sys = DaisySystem::new(w.mem_size);
+    sys.load(&prog).unwrap();
+    sys.run(50 * w.max_instrs).unwrap();
+    w.check(&sys.cpu, &sys.mem).expect("workload result verified");
+
+    println!(
+        "{name}: {} groups on {} pages, {} bytes of VLIW code, {} VLIWs executed\n",
+        sys.vmm.stats.groups_translated,
+        sys.vmm.stats.pages_translated,
+        sys.vmm.stats.code_bytes,
+        sys.stats.vliws_executed
+    );
+
+    // Show the entry group's tree code next to the base instructions.
+    let entry = prog.entry;
+    let code = sys.vmm.lookup(entry).expect("entry translated");
+    println!("=== base instructions at {entry:#x} ===");
+    for i in 0..12u32 {
+        let addr = entry + 4 * i;
+        if let Ok(word) = sys.mem.read_u32(addr) {
+            println!("  {addr:#x}: {}", daisy_ppc::decode(word));
+        }
+    }
+    println!("\n=== translated group at {entry:#x} ({} VLIWs) ===", code.group.len());
+    for (i, v) in code.group.vliws.iter().take(max_vliws).enumerate() {
+        println!("[{i}] {v}");
+    }
+    if code.group.len() > max_vliws {
+        println!("… {} more VLIWs (pass a larger max)", code.group.len() - max_vliws);
+    }
+}

@@ -1,0 +1,49 @@
+//! Approaching oracle parallelism (paper Chapter 6).
+//!
+//! Schedules each workload's dynamic trace at the earliest cycle data
+//! dependences allow — unlimited resources, then capped at the paper's
+//! machines — and compares against what DAISY's real-time translator
+//! achieves.
+//!
+//! ```sh
+//! cargo run --release --example oracle_study
+//! ```
+
+use daisy::oracle::run_oracle_to_stop;
+use daisy::system::DaisySystem;
+use daisy_ppc::mem::Memory;
+use daisy_vliw::machine::MachineConfig;
+
+fn main() {
+    println!(
+        "{:<10} {:>9} {:>12} {:>11} {:>10}",
+        "Program", "DAISY", "oracle(inf)", "oracle(24)", "oracle(8)"
+    );
+    for w in daisy_workloads::all() {
+        let prog = w.program();
+
+        let mut sys = DaisySystem::new(w.mem_size);
+        sys.load(&prog).unwrap();
+        sys.run(50 * w.max_instrs).unwrap();
+
+        let oracle = |machine: Option<MachineConfig>| {
+            let mut mem = Memory::new(w.mem_size);
+            prog.load_into(&mut mem).unwrap();
+            let (r, _) = run_oracle_to_stop(&mut mem, prog.entry, machine, w.max_instrs);
+            (r.ilp(), r.instrs)
+        };
+        let (inf, instrs) = oracle(None);
+        let (big, _) = oracle(Some(MachineConfig::big()));
+        let (eight, _) = oracle(Some(MachineConfig::eight_issue()));
+        println!(
+            "{:<10} {:>9.2} {:>12.2} {:>11.2} {:>10.2}",
+            w.name,
+            sys.stats.pathlength_reduction(instrs),
+            inf,
+            big,
+            eight
+        );
+    }
+    println!("\n(the gap between the DAISY column and the capped-oracle columns is");
+    println!(" the headroom Chapter 6's interpretive-compilation ideas target)");
+}

@@ -1,0 +1,47 @@
+//! The translation-unit-size trade-off (paper Figures 5.3–5.5) on one
+//! workload: larger pages widen the scheduler's scope but grow the
+//! translated code; smaller pages multiply cross-page jumps.
+//!
+//! ```sh
+//! cargo run --release --example pagesize_sweep [workload]
+//! ```
+
+use daisy::sched::TranslatorConfig;
+use daisy::system::DaisySystem;
+use daisy_cachesim::Hierarchy;
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "c_sieve".to_owned());
+    let w = daisy_workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let prog = w.program();
+
+    let mut mem = Memory::new(w.mem_size);
+    prog.load_into(&mut mem).unwrap();
+    let mut cpu = Cpu::new(prog.entry);
+    cpu.run(&mut mem, w.max_instrs).unwrap();
+    let base = cpu.ninstrs;
+
+    println!("{name}: {base} dynamic base instructions");
+    println!(
+        "{:>9} {:>8} {:>12} {:>12} {:>10}",
+        "page", "ILP", "code bytes", "xpage-jumps", "groups"
+    );
+    for page_size in [128u32, 256, 512, 1024, 2048, 4096, 8192, 16384] {
+        let cfg = TranslatorConfig { page_size, ..TranslatorConfig::default() };
+        let mut sys = DaisySystem::with_config(w.mem_size, cfg, Hierarchy::infinite());
+        sys.load(&prog).unwrap();
+        sys.run(50 * w.max_instrs).unwrap();
+        w.check(&sys.cpu, &sys.mem).expect("correct at every page size");
+        println!(
+            "{:>9} {:>8.2} {:>12} {:>12} {:>10}",
+            page_size,
+            sys.stats.pathlength_reduction(base),
+            sys.vmm.stats.code_bytes_total,
+            sys.stats.crosspage.total(),
+            sys.vmm.stats.groups_translated,
+        );
+    }
+}

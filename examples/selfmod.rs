@@ -1,0 +1,46 @@
+//! Self-modifying code under DAISY (paper §3.2).
+//!
+//! The program builds a new instruction in a register, stores it over
+//! its own code, and executes it. The store hits a page whose
+//! read-only (translated) bit is set; the VMM invalidates the page's
+//! translations, re-interprets the modifying instruction, and
+//! retranslates — the program observes exactly the base architecture's
+//! behaviour.
+//!
+//! ```sh
+//! cargo run --release --example selfmod
+//! ```
+
+use daisy::system::DaisySystem;
+use daisy_ppc::asm::Asm;
+use daisy_ppc::encode::encode;
+use daisy_ppc::insn::Insn;
+use daisy_ppc::reg::Gpr;
+
+fn main() {
+    let mut a = Asm::new(0x1000);
+    // Patch target starts as "li r5, 111".
+    // The program overwrites it with "li r5, 999" before reaching it.
+    let patched = encode(&Insn::Addi { rt: Gpr(5), ra: Gpr(0), si: 999 });
+    a.li32(Gpr(4), patched);
+    a.la(Gpr(3), "patch");
+    a.stw(Gpr(4), 0, Gpr(3)); // the code modification
+    a.label("patch");
+    a.li(Gpr(5), 111); // will be replaced at run time
+    a.sc();
+    let prog = a.finish().unwrap();
+
+    let mut sys = DaisySystem::new(0x10000);
+    sys.load(&prog).unwrap();
+    sys.run(1_000_000).unwrap();
+
+    println!("r5 = {} (the patched instruction executed)", sys.cpu.gpr[5]);
+    println!(
+        "code-modification events: {}, page invalidations: {}, groups translated: {}",
+        sys.stats.code_modifications,
+        sys.vmm.stats.invalidations,
+        sys.vmm.stats.groups_translated,
+    );
+    assert_eq!(sys.cpu.gpr[5], 999);
+    assert!(sys.vmm.stats.invalidations >= 1);
+}

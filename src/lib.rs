@@ -1,0 +1,19 @@
+//! Top-level umbrella crate for the DAISY reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can
+//! reach the whole system through one dependency. See the member crates
+//! for the real APIs:
+//!
+//! * [`ppc`] — the PowerPC base-architecture substrate
+//! * [`vliw`] — the migrant VLIW tree-instruction architecture
+//! * [`cachesim`] — the memory-hierarchy simulator
+//! * [`daisy`] — the dynamic translator, VMM, and system driver
+//! * [`baseline`] — traditional-compiler and PowerPC 604E comparators
+//! * [`workloads`] — the benchmark programs of the paper's Chapter 5
+
+pub use daisy;
+pub use daisy_baseline as baseline;
+pub use daisy_cachesim as cachesim;
+pub use daisy_ppc as ppc;
+pub use daisy_vliw as vliw;
+pub use daisy_workloads as workloads;
