@@ -160,7 +160,9 @@ pub fn run(
             Event::Dsi { addr, write } => {
                 break StopReason::StorageFault { addr, write, fetch: false }
             }
-            Event::Isi => break StopReason::StorageFault { addr: cpu.pc, write: false, fetch: true },
+            Event::Isi => {
+                break StopReason::StorageFault { addr: cpu.pc, write: false, fetch: true }
+            }
         }
     };
     P604Result { instrs, cycles: cycle.max(1), stop }

@@ -25,9 +25,8 @@ pub fn collect(mem: &mut Memory, entry: u32, max_instrs: u64) -> HashMap<u32, f6
     for _ in 0..max_instrs {
         let Ok(insn) = cpu.fetch(mem) else { break };
         let pc = cpu.pc;
-        let conditional = insn
-            .branch_info(pc)
-            .is_some_and(|i| !i.unconditional || i.decrements_ctr);
+        let conditional =
+            insn.branch_info(pc).is_some_and(|i| !i.unconditional || i.decrements_ctr);
         match cpu.execute(mem, insn) {
             Event::Continue => {}
             _ => break,
@@ -40,17 +39,14 @@ pub fn collect(mem: &mut Memory, entry: u32, max_instrs: u64) -> HashMap<u32, f6
             }
         }
     }
-    counts
-        .into_iter()
-        .map(|(pc, c)| (pc, c.taken as f64 / c.executed.max(1) as f64))
-        .collect()
+    counts.into_iter().map(|(pc, c)| (pc, c.taken as f64 / c.executed.max(1) as f64)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use daisy_ppc::asm::Asm;
-    use daisy_ppc::reg::{CrField, Gpr};
+    use daisy_ppc::reg::Gpr;
 
     #[test]
     fn loop_branch_profile_is_mostly_taken() {

@@ -24,11 +24,7 @@ fn bench_ablations(c: &mut Criterion) {
     for (label, rename, spec) in
         [("full", true, true), ("no_rename", false, true), ("no_load_spec", true, false)]
     {
-        let cfg = TranslatorConfig {
-            rename,
-            speculate_loads: spec,
-            ..TranslatorConfig::default()
-        };
+        let cfg = TranslatorConfig { rename, speculate_loads: spec, ..TranslatorConfig::default() };
         g.bench_with_input(BenchmarkId::new("mode", label), &cfg, |b, cfg| {
             b.iter(|| black_box(translate_group(cfg, &mem, prog.entry)));
         });

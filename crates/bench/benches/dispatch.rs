@@ -1,0 +1,70 @@
+//! Dispatch-path cost: every group entry through the VMM's page/entry
+//! lookup versus direct group chaining (links followed on hot exits).
+//!
+//! Besides the criterion timings, writes `BENCH_dispatch.json` at the
+//! repository root with the dispatch counters and mean wall-clock time
+//! per mode, so the chaining win is machine-readable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daisy::prelude::*;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKLOADS: &[&str] = &["hist", "compress", "c_sieve"];
+
+fn run_once(w: &Workload, prog: &daisy_ppc::asm::Program, chaining: bool) -> DaisySystem {
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).chaining(chaining).build();
+    sys.load(prog).unwrap();
+    sys.run(10 * w.max_instrs).unwrap();
+    sys
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    g.sample_size(10);
+    let mut rows = Vec::new();
+    for &name in WORKLOADS {
+        let w = daisy_workloads::by_name(name).unwrap();
+        let prog = w.program();
+        for chaining in [true, false] {
+            let mode = if chaining { "chained" } else { "vmm" };
+            g.bench_with_input(BenchmarkId::new(name, mode), &chaining, |b, &ch| {
+                b.iter(|| black_box(run_once(&w, &prog, ch)));
+            });
+        }
+
+        // One measured pass per mode for the JSON report.
+        let cell = |chaining: bool| {
+            let start = Instant::now();
+            let sys = run_once(&w, &prog, chaining);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            format!(
+                concat!(
+                    "{{\"vmm_dispatches\": {}, \"chained_dispatches\": {}, ",
+                    "\"total_dispatches\": {}, \"wall_ms\": {:.3}}}"
+                ),
+                sys.stats.groups_entered,
+                sys.stats.chain.chained_dispatches,
+                sys.stats.total_dispatches(),
+                wall_ms
+            )
+        };
+        let (on, off) = (cell(true), cell(false));
+        let mut row = String::new();
+        let _ =
+            write!(row, "    {{\"name\": \"{name}\", \"chained\": {on}, \"unchained\": {off}}}");
+        rows.push(row);
+    }
+    g.finish();
+
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    std::fs::write(path, json).expect("write BENCH_dispatch.json");
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

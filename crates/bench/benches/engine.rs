@@ -13,13 +13,13 @@ fn bench_run(c: &mut Criterion) {
         let w = daisy_workloads::by_name(name).unwrap();
         let prog = w.program();
         // Base instruction count for throughput reporting.
-        let mut sys = DaisySystem::new(w.mem_size);
+        let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
         sys.load(&prog).unwrap();
         sys.run(10 * w.max_instrs).unwrap();
         g.throughput(Throughput::Elements(sys.stats.vliws_executed));
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut sys = DaisySystem::new(w.mem_size);
+                let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
                 sys.load(&prog).unwrap();
                 black_box(sys.run(10 * w.max_instrs).unwrap());
             });

@@ -15,9 +15,7 @@ use daisy_bench::tables;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| {
-        args.is_empty() || args.iter().any(|a| a == name || a == "all")
-    };
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
     let mut ran = false;
 
     if want("table5.1") {

@@ -62,12 +62,11 @@ pub fn run_daisy(w: &Workload, cfg: TranslatorConfig, cache: Hierarchy) -> Measu
     let base_instrs = run_reference(w).ninstrs;
     let prog = w.program();
     let static_words = u64::from(prog.code_size() / 4);
-    let mut sys = DaisySystem::with_config(w.mem_size, cfg, cache);
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).translator(cfg).cache(cache).build();
     sys.load(&prog).expect("workload fits in memory");
     let stop = sys.run(50 * w.max_instrs).expect("DAISY run");
     assert_eq!(stop, StopReason::Syscall, "{}: DAISY did not complete", w.name);
-    w.check(&sys.cpu, &sys.mem)
-        .unwrap_or_else(|e| panic!("{}: result check failed: {e}", w.name));
+    w.check(&sys.cpu, &sys.mem).unwrap_or_else(|e| panic!("{}: result check failed: {e}", w.name));
     Measurement {
         name: w.name,
         base_instrs,

@@ -60,16 +60,19 @@ pub fn table5_1() -> Vec<Table51Row> {
 pub fn print_table5_1(rows: &[Table51Row]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 5.1: Pathlength reductions and code explosion");
-    let _ = writeln!(s, "{:<10} {:>14} {:>20} {:>11}", "Program", "PPC ins/VLIW", "avg xlated page(KiB)", "expansion");
-    for r in rows {
-        let _ = writeln!(s, "{:<10} {:>14.1} {:>20.1} {:>10.1}x", r.name, r.ilp, r.page_kib, r.expansion);
-    }
     let _ = writeln!(
         s,
-        "{:<10} {:>14.1}",
-        "MEAN",
-        mean(rows.iter().map(|r| r.ilp))
+        "{:<10} {:>14} {:>20} {:>11}",
+        "Program", "PPC ins/VLIW", "avg xlated page(KiB)", "expansion"
     );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>14.1} {:>20.1} {:>10.1}x",
+            r.name, r.ilp, r.page_kib, r.expansion
+        );
+    }
+    let _ = writeln!(s, "{:<10} {:>14.1}", "MEAN", mean(rows.iter().map(|r| r.ilp)));
     s
 }
 
@@ -164,7 +167,11 @@ pub fn table5_2() -> Vec<Table52Row> {
 pub fn print_table5_2(rows: &[Table52Row]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 5.2: DAISY vs traditional VLIW compiler");
-    let _ = writeln!(s, "{:<10} {:>10} {:>10} {:>18}", "Program", "DAISY ILP", "Trad ILP", "compile-cost ratio");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>10} {:>10} {:>18}",
+        "Program", "DAISY ILP", "Trad ILP", "compile-cost ratio"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -205,8 +212,7 @@ pub fn table5_3() -> Vec<Table53Row> {
         .iter()
         .map(|w| {
             let inf = runner::run_default(w);
-            let fin =
-                runner::run_daisy(w, TranslatorConfig::default(), Hierarchy::paper_default());
+            let fin = runner::run_daisy(w, TranslatorConfig::default(), Hierarchy::paper_default());
             let prog = w.program();
             let p = ppc604e::run(
                 &prog,
@@ -230,7 +236,11 @@ pub fn table5_3() -> Vec<Table53Row> {
 pub fn print_table5_3(rows: &[Table53Row]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 5.3: Reduction of ILP from finite caches, vs PowerPC 604E");
-    let _ = writeln!(s, "{:<10} {:>9} {:>13} {:>13}", "Program", "inf cache", "finite cache", "PowerPC 604E");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>9} {:>13} {:>13}",
+        "Program", "inf cache", "finite cache", "PowerPC 604E"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -504,7 +514,8 @@ pub fn table5_7() -> Vec<Table57Row> {
 pub fn print_table5_7(rows: &[Table57Row]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 5.7: VLIWs per runtime load-store alias");
-    let _ = writeln!(s, "{:<10} {:>10} {:>12} {:>13}", "Program", "aliases", "VLIWs", "VLIWs/alias");
+    let _ =
+        writeln!(s, "{:<10} {:>10} {:>12} {:>13}", "Program", "aliases", "VLIWs", "VLIWs/alias");
     for r in rows {
         let _ = writeln!(
             s,
@@ -658,7 +669,10 @@ pub fn print_table5_9(t: &Table59) -> String {
         let _ = writeln!(
             s,
             "{:<12} {:>14} {:>12} {:>10.0}",
-            r.name, r.dynamic_instrs, r.static_words, r.reuse()
+            r.name,
+            r.dynamic_instrs,
+            r.static_words,
+            r.reuse()
         );
     }
     let _ = writeln!(s, "-- paper's SPEC95 numbers (reprinted) --");
@@ -666,7 +680,10 @@ pub fn print_table5_9(t: &Table59) -> String {
         let _ = writeln!(
             s,
             "{:<12} {:>14} {:>12} {:>10.0}",
-            r.name, r.dynamic_instrs, r.static_words, r.reuse()
+            r.name,
+            r.dynamic_instrs,
+            r.static_words,
+            r.reuse()
         );
     }
     s
@@ -760,7 +777,8 @@ pub fn ablation() -> Vec<AblationRow> {
     workloads()
         .iter()
         .map(|w| {
-            let run = |cfg: TranslatorConfig| runner::run_daisy(w, cfg, Hierarchy::infinite()).ilp();
+            let run =
+                |cfg: TranslatorConfig| runner::run_daisy(w, cfg, Hierarchy::infinite()).ilp();
             AblationRow {
                 name: w.name,
                 full: run(TranslatorConfig::default()),
@@ -875,7 +893,8 @@ pub fn oracle_table() -> Vec<OracleRow> {
             let run = |machine: Option<MachineConfig>| {
                 let mut mem = Memory::new(w.mem_size);
                 prog.load_into(&mut mem).expect("fits");
-                let (r, _) = oracle::run_oracle_to_stop(&mut mem, prog.entry, machine, w.max_instrs);
+                let (r, _) =
+                    oracle::run_oracle_to_stop(&mut mem, prog.entry, machine, w.max_instrs);
                 r.ilp()
             };
             OracleRow {

@@ -32,7 +32,7 @@ proptest! {
     fn within_associativity_no_thrash(tags in prop::collection::vec(0u32..8, 2..4)) {
         // 4-way, one set of 32-byte lines → any ≤4 distinct lines co-reside.
         let mut c = Cache::new(CacheConfig::new("t", 4 * 32, 4, 32, 1));
-        let lines: Vec<u32> = tags.iter().map(|t| t * 32 * 1).collect();
+        let lines: Vec<u32> = tags.iter().map(|t| t * 32).collect();
         for &l in &lines {
             let _ = c.access(l);
         }

@@ -154,10 +154,9 @@ pub fn convert(insn: &Insn, addr: u32) -> Converted {
             .dst2(Reg::CA)
             .src(g(ra))
             .with_imm(i32::from(si))]),
-        Insn::Mulli { rt, ra, si } => Converted::fall(vec![op0(OpKind::MulImm)
-            .dst(g(rt))
-            .src(g(ra))
-            .with_imm(i32::from(si))]),
+        Insn::Mulli { rt, ra, si } => {
+            Converted::fall(vec![op0(OpKind::MulImm).dst(g(rt)).src(g(ra)).with_imm(i32::from(si))])
+        }
         Insn::Arith { op, rt, ra, rb, oe, rc } => {
             if oe {
                 return Converted::interp();
@@ -508,7 +507,13 @@ enum BranchDest {
     Via(IndirectVia),
 }
 
-fn convert_cond_branch(addr: u32, b: u8, bi: daisy_ppc::reg::CrBit, lk: bool, dest: BranchDest) -> Converted {
+fn convert_cond_branch(
+    addr: u32,
+    b: u8,
+    bi: daisy_ppc::reg::CrBit,
+    lk: bool,
+    dest: BranchDest,
+) -> Converted {
     let mut ops = Vec::new();
     let mut ctr_compare = false;
     // CTR-decrementing forms: explicit decrement + compare, so the

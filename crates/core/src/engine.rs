@@ -18,15 +18,128 @@ use daisy_vliw::op::{effective_address, eval, EvalOut, OpKind, Operation};
 use daisy_vliw::reg::{Reg, NUM_REGS};
 use daisy_vliw::regfile::RegFile;
 use daisy_vliw::tree::{Exit, Group, IndirectVia, NodeKind, VliwId, ROOT};
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+/// Entries in each group's inline indirect-dispatch cache (direct
+/// mapped by target address).
+const ICACHE_WAYS: usize = 4;
+
+/// One inline indirect-dispatch cache entry: the last translation seen
+/// for a target reached through LR or CTR.
+#[derive(Debug, Clone)]
+struct IndirectEntry {
+    target: u32,
+    code: Weak<GroupCode>,
+}
+
+/// State of a chain link at dispatch time (see [`GroupCode::follow_link`]).
+#[derive(Debug)]
+pub enum ChainLink {
+    /// A link is installed and its target translation is still live.
+    Live(Rc<GroupCode>),
+    /// No link has been installed for this exit yet.
+    Empty,
+    /// A link was installed but its target translation has since been
+    /// dropped (code modification, cast-out, or alias retranslation).
+    Severed,
+}
 
 /// A translated group plus the addresses its tree instructions occupy
-/// in the translated-code area (for instruction-cache behaviour).
+/// in the translated-code area (for instruction-cache behaviour), plus
+/// the direct-chaining state that lets the dispatch loop jump straight
+/// to the next group without re-entering the VMM.
+///
+/// Chain links are [`Weak`]: the VMM's `pages` map holds the only
+/// strong references to translations, so every path that destroys a
+/// translation ([`crate::vmm::Vmm::invalidate_unit`], LRU cast-out,
+/// [`crate::vmm::Vmm::note_alias_restart`]) severs all inbound links
+/// simply by dropping the `Rc` — a dangling link can never be followed.
 #[derive(Debug, Clone)]
 pub struct GroupCode {
     /// The translated group.
     pub group: Group,
     /// Translated-code address of each tree instruction.
     pub vliw_addrs: Vec<u32>,
+    /// Sorted distinct targets of the group's static direct-branch
+    /// exits; parallel to `links`.
+    exit_targets: Vec<u32>,
+    /// Lazily installed group-to-group links, one slot per exit target.
+    links: RefCell<Vec<Option<Weak<GroupCode>>>>,
+    /// Inline dispatch cache for this group's indirect (LR/CTR) exits.
+    icache: RefCell<[Option<IndirectEntry>; ICACHE_WAYS]>,
+}
+
+impl GroupCode {
+    /// Wraps a translated group, deriving one chain-link slot per
+    /// static direct-branch exit target.
+    pub fn new(group: Group, vliw_addrs: Vec<u32>) -> GroupCode {
+        let mut exit_targets: Vec<u32> = group
+            .vliws
+            .iter()
+            .flat_map(|v| v.nodes().iter())
+            .filter_map(|n| match n.kind {
+                NodeKind::Exit(Exit::Branch { target }) => Some(target),
+                _ => None,
+            })
+            .collect();
+        exit_targets.sort_unstable();
+        exit_targets.dedup();
+        let links = RefCell::new(vec![None; exit_targets.len()]);
+        GroupCode {
+            group,
+            vliw_addrs,
+            exit_targets,
+            links,
+            icache: RefCell::new([const { None }; ICACHE_WAYS]),
+        }
+    }
+
+    /// The link slot for a static direct-branch exit `target`, if the
+    /// group has such an exit.
+    pub fn exit_slot(&self, target: u32) -> Option<usize> {
+        self.exit_targets.binary_search(&target).ok()
+    }
+
+    /// Resolves the chain link in `slot`.
+    pub fn follow_link(&self, slot: usize) -> ChainLink {
+        match &self.links.borrow()[slot] {
+            None => ChainLink::Empty,
+            Some(w) => match w.upgrade() {
+                Some(code) => ChainLink::Live(code),
+                None => ChainLink::Severed,
+            },
+        }
+    }
+
+    /// Installs (or replaces) the chain link in `slot`.
+    pub fn install_link(&self, slot: usize, to: &Rc<GroupCode>) {
+        self.links.borrow_mut()[slot] = Some(Rc::downgrade(to));
+    }
+
+    /// Removes the chain link in `slot` (after observing it severed).
+    pub fn clear_link(&self, slot: usize) {
+        self.links.borrow_mut()[slot] = None;
+    }
+
+    /// Looks up a live translation for an indirect-branch `target` in
+    /// this group's inline dispatch cache.
+    pub fn icache_lookup(&self, target: u32) -> Option<Rc<GroupCode>> {
+        self.icache.borrow()[Self::icache_way(target)]
+            .as_ref()
+            .filter(|e| e.target == target)
+            .and_then(|e| e.code.upgrade())
+    }
+
+    /// Records the translation for an indirect-branch `target`.
+    pub fn icache_install(&self, target: u32, to: &Rc<GroupCode>) {
+        self.icache.borrow_mut()[Self::icache_way(target)] =
+            Some(IndirectEntry { target, code: Rc::downgrade(to) });
+    }
+
+    fn icache_way(target: u32) -> usize {
+        (target >> 2) as usize & (ICACHE_WAYS - 1)
+    }
 }
 
 /// The kind of a precise exception raised by translated code.
@@ -129,7 +242,6 @@ pub fn run_group(
     let mut pending: [Option<PendingLoad>; NUM_REGS] = [None; NUM_REGS];
     let mut last_base = u32::MAX;
     let mut cur = VliwId(0);
-    stats.groups_entered += 1;
 
     loop {
         let vliw = group.vliw(cur);
@@ -382,10 +494,7 @@ mod tests {
         let cfg = TranslatorConfig::default();
         let (group, _) = translate_group(&cfg, &mem, prog.entry);
         let n = group.len();
-        let code = GroupCode {
-            group,
-            vliw_addrs: (0..n as u32).map(|i| 0x8000_0000 + i * 64).collect(),
-        };
+        let code = GroupCode::new(group, (0..n as u32).map(|i| 0x8000_0000 + i * 64).collect());
         (code, mem)
     }
 
@@ -464,7 +573,9 @@ mod tests {
         rf.set(Reg::gpr(Gpr(9)), 0x00F0_0000);
         let (exit, _) = run(&code, &mut mem, &mut rf);
         match exit {
-            GroupExit::Exception { kind: ExcKind::Dsi { addr, write: false }, base_addr, .. } => {
+            GroupExit::Exception {
+                kind: ExcKind::Dsi { addr, write: false }, base_addr, ..
+            } => {
                 assert_eq!(addr, 0x00F0_0000);
                 assert_eq!(base_addr, 0x1008);
             }

@@ -26,9 +26,7 @@
 //! # Quick start
 //!
 //! ```
-//! use daisy::system::DaisySystem;
-//! use daisy_ppc::asm::Asm;
-//! use daisy_ppc::reg::Gpr;
+//! use daisy::prelude::*;
 //!
 //! let mut a = Asm::new(0x1000);
 //! a.li(Gpr(3), 21);
@@ -36,7 +34,7 @@
 //! a.sc();
 //! let prog = a.finish().unwrap();
 //!
-//! let mut sys = DaisySystem::new(0x40000);
+//! let mut sys = DaisySystem::builder().mem_size(0x40000).build();
 //! sys.load(&prog).unwrap();
 //! sys.run(1_000_000).unwrap();
 //! assert_eq!(sys.cpu.gpr[3], 42);
@@ -56,3 +54,22 @@ pub use sched::TranslatorConfig;
 pub use stats::RunStats;
 pub use system::DaisySystem;
 pub use vmm::Vmm;
+
+/// Everything a typical harness needs in one import.
+///
+/// ```
+/// use daisy::prelude::*;
+///
+/// let w: Workload = daisy_workloads::by_name("hist").unwrap();
+/// let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+/// sys.load(&w.program()).unwrap();
+/// ```
+pub mod prelude {
+    pub use crate::sched::TranslatorConfig;
+    pub use crate::stats::{ChainStats, RunStats};
+    pub use crate::system::{DaisySystem, DaisySystemBuilder};
+    pub use daisy_cachesim::Hierarchy;
+    pub use daisy_ppc::asm::Asm;
+    pub use daisy_ppc::reg::Gpr;
+    pub use daisy_workloads::Workload;
+}

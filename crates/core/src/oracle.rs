@@ -261,7 +261,9 @@ pub fn run_oracle_to_stop(
             Event::Dsi { addr, write } => {
                 break StopReason::StorageFault { addr, write, fetch: false }
             }
-            Event::Isi => break StopReason::StorageFault { addr: cpu.pc, write: false, fetch: true },
+            Event::Isi => {
+                break StopReason::StorageFault { addr: cpu.pc, write: false, fetch: true }
+            }
         }
         n += 1;
     };

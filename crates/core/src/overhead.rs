@@ -196,7 +196,11 @@ mod tests {
             assert_eq!(row.ins_to_compile, c);
             assert_eq!(row.unique_pages, g);
             assert!((row.reuse - r).abs() / r < 0.02, "reuse {} vs {r}", row.reuse);
-            assert!((row.time_change_pct - pct).abs() < 3.0, "pct {} vs {pct}", row.time_change_pct);
+            assert!(
+                (row.time_change_pct - pct).abs() < 3.0,
+                "pct {} vs {pct}",
+                row.time_change_pct
+            );
         }
     }
 

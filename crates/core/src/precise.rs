@@ -251,10 +251,7 @@ mod tests {
             a.sc();
         });
         // Taken direction: skip the add.
-        let events = [
-            ArchEvent::Def { d1: Reg::cr(CrField(0)), d2: None },
-            ArchEvent::Dir(true),
-        ];
+        let events = [ArchEvent::Def { d1: Reg::cr(CrField(0)), d2: None }, ArchEvent::Dir(true)];
         assert_eq!(recover(&mem, 0x1000, &events, 2), Ok(0x100C));
         // Not-taken direction: the add commits first.
         let events = [

@@ -478,6 +478,14 @@ impl Scheduler<'_> {
         if let Some(a2) = arch2 {
             Scheduler::kill_store_rec(p, a2);
         }
+        // The rename registers now hold new values; if the remembered
+        // store named either of them, its record no longer identifies
+        // the store's address/value and must-alias forwarding would be
+        // unsound.
+        Scheduler::kill_store_rec(p, d1);
+        if let Some(d2) = d2 {
+            Scheduler::kill_store_rec(p, d2);
+        }
         v
     }
 
@@ -561,7 +569,9 @@ impl Scheduler<'_> {
             (p.vliws[v as usize], p.tips[v as usize])
         };
         self.group.vliw_mut(vid).add_op(tip, op);
-        self.paths[idx].avail[d1.index()] = v + 1;
+        let p = &mut self.paths[idx];
+        p.avail[d1.index()] = v + 1;
+        Scheduler::kill_store_rec(p, d1);
         d1
     }
 
@@ -659,9 +669,8 @@ impl Scheduler<'_> {
     }
 
     fn schedule_link(&mut self, idx: usize, addr: u32) {
-        let li = Operation::new(OpKind::Li, addr)
-            .dst(Reg::LR)
-            .with_imm(addr.wrapping_add(4) as i32);
+        let li =
+            Operation::new(OpKind::Li, addr).dst(Reg::LR).with_imm(addr.wrapping_add(4) as i32);
         self.schedule_op(idx, li);
     }
 
@@ -673,8 +682,7 @@ impl Scheduler<'_> {
                 let p = &self.paths[idx];
                 let map = &p.maps[p.last() as usize];
                 p.recent_store.as_ref().and_then(|rec| {
-                    let mapped: Vec<Reg> =
-                        op.srcs().iter().map(|s| map[s.index()]).collect();
+                    let mapped: Vec<Reg> = op.srcs().iter().map(|s| map[s.index()]).collect();
                     let rec_srcs: Vec<Reg> = rec.addr_srcs.iter().flatten().copied().collect();
                     (rec.width == width && rec.imm == op.imm && mapped == rec_srcs)
                         .then_some(rec.value)
@@ -685,7 +693,9 @@ impl Scheduler<'_> {
                 // zero-extending load must see them truncated.
                 let dst = op.dest.expect("loads have destinations");
                 let fwd = match width {
-                    MemWidth::Word => Operation::new(OpKind::Copy, op.base_addr).dst(dst).src(value),
+                    MemWidth::Word => {
+                        Operation::new(OpKind::Copy, op.base_addr).dst(dst).src(value)
+                    }
                     MemWidth::Half => Operation::new(OpKind::AndImm, op.base_addr)
                         .dst(dst)
                         .src(value)
@@ -769,11 +779,7 @@ impl Scheduler<'_> {
                         self.branch_targets.insert(t);
                         // Taken = "not equal" → the true indirect exit;
                         // fall-through = the specialized direct path.
-                        let cond = CondSpec {
-                            field: tmp,
-                            mask: 0b0010,
-                            want_set: false,
-                        };
+                        let cond = CondSpec { field: tmp, mask: 0b0010, want_set: false };
                         self.schedule_cond_branch(
                             idx,
                             cond,
@@ -809,7 +815,12 @@ impl Scheduler<'_> {
     /// Schedules a branch's auxiliary ops. For CTR-decrement forms the
     /// final op is the CTR-vs-0 compare, which lives only in a rename
     /// register; its name is returned for the condition.
-    fn schedule_flow_ops(&mut self, idx: usize, ops: Vec<Operation>, ctr_compare: bool) -> Option<Reg> {
+    fn schedule_flow_ops(
+        &mut self,
+        idx: usize,
+        ops: Vec<Operation>,
+        ctr_compare: bool,
+    ) -> Option<Reg> {
         let n = ops.len();
         let mut temp = None;
         for (i, mut op) in ops.into_iter().enumerate() {
@@ -888,7 +899,7 @@ mod tests {
             a.label("L2");
             a.cntlzw(Gpr(11), Gpr(4)); // 10
             a.b("OFFPAGE"); // 11
-            // Place OFFPAGE outside this 4K page.
+                            // Place OFFPAGE outside this 4K page.
             for _ in 0..1024 {
                 a.nop();
             }

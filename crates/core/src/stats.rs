@@ -20,6 +20,25 @@ impl CrossPage {
     }
 }
 
+/// Direct group-to-group chaining counters: dispatches that skipped the
+/// VMM by following links installed on hot exits, and the bookkeeping
+/// around those links.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Dispatches that followed a live chain link or indirect-cache
+    /// entry straight to the next group, bypassing the VMM.
+    pub chained_dispatches: u64,
+    /// Chain links installed on direct exits.
+    pub link_installs: u64,
+    /// Dispatches that found a severed link (its target translation had
+    /// been invalidated, cast out, or retranslated).
+    pub severs: u64,
+    /// Inline indirect-dispatch cache hits (LR/CTR exits).
+    pub icache_hits: u64,
+    /// Inline indirect-dispatch cache misses (LR/CTR exits).
+    pub icache_misses: u64,
+}
+
 /// Counters accumulated while running translated code.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunStats {
@@ -44,19 +63,18 @@ pub struct RunStats {
     pub crosspage: CrossPage,
     /// Dispatches that stayed on the same page.
     pub onpage_dispatches: u64,
-    /// Group entries (dispatches through the VMM).
+    /// Dispatches that went through the VMM (translation lookup or
+    /// creation). With chaining enabled this counts only VMM entries;
+    /// add [`ChainStats::chained_dispatches`] for total group entries.
     pub groups_entered: u64,
+    /// Direct-chaining counters.
+    pub chain: ChainStats,
     /// Precise exceptions delivered.
     pub exceptions: u64,
     /// Code-modification (self-modifying code) invalidations taken.
     pub code_modifications: u64,
-    /// Base instructions completed, *approximately*: counted at
-    /// architected-commit boundaries and branch resolutions, so
-    /// event-less instructions (`nop`, unconditional `b`) are missed
-    /// and multi-event instructions may count twice. The harness uses
-    /// the reference interpreter's exact count for ILP; this field is
-    /// for coarse progress monitoring only.
-    pub base_instrs: u64,
+    /// See [`RunStats::approx_base_instrs`].
+    pub(crate) base_instrs: u64,
     /// Histogram of parcels executed per tree instruction (taken path;
     /// index 24 buckets everything ≥ 24) — the paper's "ALU usage
     /// histograms and other statistical data … obtained at the end of
@@ -69,6 +87,21 @@ impl RunStats {
     /// interpreted instruction.
     pub fn cycles(&self) -> u64 {
         self.vliws_executed + self.stall_cycles + self.interp_instrs
+    }
+
+    /// Base instructions completed, *approximately*: counted at
+    /// architected-commit boundaries and branch resolutions, so
+    /// event-less instructions (`nop`, unconditional `b`) are missed
+    /// and multi-event instructions may count twice. Use the reference
+    /// interpreter's exact count for ILP figures; this value is for
+    /// coarse progress monitoring only.
+    pub fn approx_base_instrs(&self) -> u64 {
+        self.base_instrs
+    }
+
+    /// All group dispatches: through the VMM plus chained.
+    pub fn total_dispatches(&self) -> u64 {
+        self.groups_entered + self.chain.chained_dispatches
     }
 
     /// Infinite-cache ILP ("pathlength reduction"): base instructions

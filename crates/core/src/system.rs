@@ -9,7 +9,7 @@
 //! into translated pages invalidate and resume, precise exceptions are
 //! delivered to the base architecture's own vectors.
 
-use crate::engine::{run_group, ExcKind, GroupExit};
+use crate::engine::{run_group, ChainLink, ExcKind, GroupCode, GroupExit};
 use crate::precise::{self, ArchEvent, RecoverError};
 use crate::sched::TranslatorConfig;
 use crate::stats::RunStats;
@@ -22,6 +22,19 @@ use daisy_ppc::mem::{MemFault, Memory};
 use daisy_ppc::vectors;
 use daisy_vliw::regfile::RegFile;
 use daisy_vliw::tree::IndirectVia;
+use std::rc::Rc;
+
+/// How the previous group exited, carried to the next dispatch so a
+/// chain link can be followed or installed.
+#[derive(Debug)]
+enum PendingChain {
+    /// A static direct-branch exit: the `from` group has a link slot
+    /// for `target`.
+    Direct { from: Rc<GroupCode>, slot: usize, target: u32 },
+    /// An indirect (LR/CTR) exit, served by `from`'s inline dispatch
+    /// cache.
+    Indirect { from: Rc<GroupCode>, target: u32 },
+}
 
 /// A fully wired DAISY machine.
 #[derive(Debug)]
@@ -48,31 +61,149 @@ pub struct DaisySystem {
     next_timer: u64,
     pending_external: bool,
     events: Vec<ArchEvent>,
+    /// Follow direct group-to-group chain links, skipping the VMM on
+    /// hot exits (on by default; [`DaisySystem::builder`] can disable
+    /// it to reproduce pure per-dispatch VMM counts).
+    chaining: bool,
+    /// The previous group's exit, if a chain link may apply to it.
+    pending_chain: Option<PendingChain>,
+}
+
+/// Configures and creates a [`DaisySystem`]; obtained from
+/// [`DaisySystem::builder`].
+///
+/// ```
+/// use daisy::prelude::*;
+///
+/// let sys = DaisySystem::builder()
+///     .mem_size(0x40000)
+///     .translator(TranslatorConfig::default())
+///     .cache(Hierarchy::infinite())
+///     .build();
+/// assert!(sys.chaining_enabled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DaisySystemBuilder {
+    mem_size: u32,
+    cfg: TranslatorConfig,
+    cache: Hierarchy,
+    timer_period: Option<u64>,
+    check_precise_recovery: bool,
+    code_capacity: Option<u64>,
+    chaining: bool,
+}
+
+impl Default for DaisySystemBuilder {
+    fn default() -> DaisySystemBuilder {
+        DaisySystemBuilder {
+            mem_size: 0x40000,
+            cfg: TranslatorConfig::default(),
+            cache: Hierarchy::infinite(),
+            timer_period: None,
+            check_precise_recovery: true,
+            code_capacity: None,
+            chaining: true,
+        }
+    }
+}
+
+impl DaisySystemBuilder {
+    /// Bytes of emulated base-architecture memory (default 256 KiB).
+    pub fn mem_size(mut self, bytes: u32) -> Self {
+        self.mem_size = bytes;
+        self
+    }
+
+    /// Translator configuration (machine, page size, window…).
+    pub fn translator(mut self, cfg: TranslatorConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Cache hierarchy probed by the engine (default infinite).
+    pub fn cache(mut self, cache: Hierarchy) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Deliver an external interrupt every `cycles` cycles (default:
+    /// no timer).
+    pub fn timer_period(mut self, cycles: u64) -> Self {
+        self.timer_period = Some(cycles);
+        self
+    }
+
+    /// Cross-check §3.5 precise-exception recovery on every exception
+    /// (default on).
+    pub fn check_precise_recovery(mut self, on: bool) -> Self {
+        self.check_precise_recovery = on;
+        self
+    }
+
+    /// Bound the translated-code area to `bytes`, casting out LRU page
+    /// translations beyond it (default unbounded).
+    pub fn code_capacity(mut self, bytes: u64) -> Self {
+        self.code_capacity = Some(bytes);
+        self
+    }
+
+    /// Enable or disable direct group chaining (default on). With
+    /// chaining off every dispatch goes through the VMM, reproducing
+    /// the pre-chaining dispatch counts exactly.
+    pub fn chaining(mut self, on: bool) -> Self {
+        self.chaining = on;
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> DaisySystem {
+        let mut vmm = Vmm::new(self.cfg);
+        vmm.set_code_capacity(self.code_capacity);
+        DaisySystem {
+            mem: Memory::new(self.mem_size),
+            cpu: Cpu::new(0),
+            vmm,
+            cache: self.cache,
+            stats: RunStats::default(),
+            check_precise_recovery: self.check_precise_recovery,
+            timer_period: self.timer_period,
+            next_timer: 0,
+            pending_external: false,
+            events: Vec::new(),
+            chaining: self.chaining,
+            pending_chain: None,
+        }
+    }
 }
 
 impl DaisySystem {
+    /// Starts configuring a system.
+    pub fn builder() -> DaisySystemBuilder {
+        DaisySystemBuilder::default()
+    }
+
     /// Creates a system with `mem_size` bytes of base memory, the
     /// default translator configuration, and an infinite cache (the
     /// paper's pathlength-reduction setup).
+    ///
+    /// Note: prefer [`DaisySystem::builder`], which exposes every
+    /// configuration knob; this constructor remains for convenience.
     pub fn new(mem_size: u32) -> DaisySystem {
-        DaisySystem::with_config(mem_size, TranslatorConfig::default(), Hierarchy::infinite())
+        DaisySystem::builder().mem_size(mem_size).build()
     }
 
     /// Creates a system with explicit translator and cache
     /// configurations.
+    ///
+    /// Note: prefer [`DaisySystem::builder`], which exposes every
+    /// configuration knob; this constructor remains for convenience.
     pub fn with_config(mem_size: u32, cfg: TranslatorConfig, cache: Hierarchy) -> DaisySystem {
-        DaisySystem {
-            mem: Memory::new(mem_size),
-            cpu: Cpu::new(0),
-            vmm: Vmm::new(cfg),
-            cache,
-            stats: RunStats::default(),
-            check_precise_recovery: true,
-            timer_period: None,
-            next_timer: 0,
-            pending_external: false,
-            events: Vec::new(),
-        }
+        DaisySystem::builder().mem_size(mem_size).translator(cfg).cache(cache).build()
+    }
+
+    /// Whether direct group chaining is enabled.
+    pub fn chaining_enabled(&self) -> bool {
+        self.chaining
     }
 
     /// Posts an external interrupt, delivered at the next group
@@ -129,7 +260,62 @@ impl DaisySystem {
                 self.cpu.deliver(vectors::EXTERNAL, self.cpu.pc);
             }
             let pc = self.cpu.pc;
-            let code = self.vmm.entry_with_cpu(&mut self.mem, pc, Some(&self.cpu));
+            // Chained dispatch: follow the link installed on the
+            // previous group's exit straight to the next translation,
+            // bypassing the VMM. The `target == pc` guard keeps this
+            // sound across interrupt delivery and externally swapped
+            // CPU state; weak links make it sound across invalidation
+            // (`handle_code_writes` above already dropped any
+            // translation a store killed, so its links cannot upgrade).
+            let pending = self.pending_chain.take();
+            let mut chained: Option<Rc<GroupCode>> = None;
+            if self.chaining {
+                match &pending {
+                    Some(PendingChain::Direct { from, slot, target }) if *target == pc => {
+                        match from.follow_link(*slot) {
+                            ChainLink::Live(code) => chained = Some(code),
+                            ChainLink::Severed => {
+                                self.stats.chain.severs += 1;
+                                from.clear_link(*slot);
+                            }
+                            ChainLink::Empty => {}
+                        }
+                    }
+                    Some(PendingChain::Indirect { from, target }) if *target == pc => {
+                        match from.icache_lookup(pc) {
+                            Some(code) => {
+                                self.stats.chain.icache_hits += 1;
+                                chained = Some(code);
+                            }
+                            None => self.stats.chain.icache_misses += 1,
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let code = match chained {
+                Some(code) => {
+                    self.stats.chain.chained_dispatches += 1;
+                    code
+                }
+                None => {
+                    self.stats.groups_entered += 1;
+                    let code = self.vmm.entry_with_cpu(&mut self.mem, pc, Some(&self.cpu));
+                    if self.chaining {
+                        match pending {
+                            Some(PendingChain::Direct { from, slot, target }) if target == pc => {
+                                from.install_link(slot, &code);
+                                self.stats.chain.link_installs += 1;
+                            }
+                            Some(PendingChain::Indirect { from, target }) if target == pc => {
+                                from.icache_install(pc, &code);
+                            }
+                            _ => {}
+                        }
+                    }
+                    code
+                }
+            };
             let from_page = pc / self.vmm.cfg.page_size;
 
             let mut rf = RegFile::from_cpu(&self.cpu);
@@ -155,6 +341,18 @@ impl DaisySystem {
                         }
                     }
                     self.cpu.pc = target;
+                    if self.chaining {
+                        self.pending_chain = match via {
+                            None => code.exit_slot(target).map(|slot| PendingChain::Direct {
+                                from: Rc::clone(&code),
+                                slot,
+                                target,
+                            }),
+                            Some(_) => {
+                                Some(PendingChain::Indirect { from: Rc::clone(&code), target })
+                            }
+                        };
+                    }
                 }
                 GroupExit::Interp { addr } => {
                     self.cpu.pc = addr;
@@ -366,7 +564,7 @@ impl DaisySystem {
 mod tests {
     use super::*;
     use daisy_ppc::asm::Asm;
-    use daisy_ppc::reg::{CrField, Gpr};
+    use daisy_ppc::reg::Gpr;
 
     fn run_program(build: impl FnOnce(&mut Asm)) -> (DaisySystem, StopReason) {
         let mut a = Asm::new(0x1000);
@@ -449,11 +647,7 @@ mod tests {
         // with `li r5,99`, then executes it — both on the same page.
         let (sys, stop) = run_program(|a| {
             // Build the encoding of "li r5,99" in r4.
-            a.li32(Gpr(4), daisy_ppc::encode(&Insn::Addi {
-                rt: Gpr(5),
-                ra: Gpr(0),
-                si: 99,
-            }));
+            a.li32(Gpr(4), daisy_ppc::encode(&Insn::Addi { rt: Gpr(5), ra: Gpr(0), si: 99 }));
             a.la(Gpr(3), "patch");
             a.stw(Gpr(4), 0, Gpr(3)); // modifies code!
             a.label("patch");

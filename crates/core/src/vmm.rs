@@ -115,10 +115,8 @@ impl Vmm {
             };
             if let Some(groups) = self.pages.remove(&victim) {
                 for g in groups.values() {
-                    self.stats.code_bytes = self
-                        .stats
-                        .code_bytes
-                        .saturating_sub(u64::from(g.group.code_bytes()));
+                    self.stats.code_bytes =
+                        self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
                 }
                 self.stats.cast_outs += 1;
             }
@@ -198,7 +196,7 @@ impl Vmm {
         if entry_map.is_empty() {
             self.stats.pages_translated += 1;
         }
-        let rc = Rc::new(GroupCode { group, vliw_addrs });
+        let rc = Rc::new(GroupCode::new(group, vliw_addrs));
         entry_map.insert(addr, Rc::clone(&rc));
         // Stay within the translated-code area, casting out LRU pages
         // (their stale read-only bits are harmless: a store there takes
@@ -221,10 +219,8 @@ impl Vmm {
             let page = self.page_of(entry);
             if let Some(groups) = self.pages.get_mut(&page) {
                 if let Some(g) = groups.remove(&entry) {
-                    self.stats.code_bytes = self
-                        .stats
-                        .code_bytes
-                        .saturating_sub(u64::from(g.group.code_bytes()));
+                    self.stats.code_bytes =
+                        self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
                 }
             }
         }
@@ -247,10 +243,8 @@ impl Vmm {
             if let Some(groups) = self.pages.remove(&page) {
                 self.stats.invalidations += 1;
                 for g in groups.values() {
-                    self.stats.code_bytes = self
-                        .stats
-                        .code_bytes
-                        .saturating_sub(u64::from(g.group.code_bytes()));
+                    self.stats.code_bytes =
+                        self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
                 }
             }
         }

@@ -15,7 +15,7 @@ use daisy_ppc::vectors;
 use daisy_vliw::op::OpKind;
 
 fn run_daisy(prog: &daisy_ppc::asm::Program, mem_size: u32) -> (DaisySystem, StopReason) {
-    let mut sys = DaisySystem::new(mem_size);
+    let mut sys = DaisySystem::builder().mem_size(mem_size).build();
     sys.load(prog).unwrap();
     let stop = sys.run(100_000_000).unwrap();
     (sys, stop)
@@ -152,7 +152,7 @@ fn post_rfi_interpretation_window() {
     os.rfi();
     let os_prog = os.finish().unwrap();
 
-    let mut sys = DaisySystem::new(0x20000);
+    let mut sys = DaisySystem::builder().mem_size(0x20000).build();
     sys.load(&prog).unwrap();
     os_prog.load_into(&mut sys.mem).unwrap();
     sys.cpu.vectored = true;
@@ -214,8 +214,8 @@ fn cast_out_thrashing_is_slow_but_correct() {
 
     let cpu = run_interp(&prog, 0x20000);
 
-    let mut sys = DaisySystem::new(0x20000);
-    sys.vmm.set_code_capacity(Some(40)); // far too small: ~one tiny group
+    // Capacity far too small: ~one tiny group.
+    let mut sys = DaisySystem::builder().mem_size(0x20000).code_capacity(40).build();
     sys.load(&prog).unwrap();
     let stop = sys.run(100_000_000).unwrap();
     assert_eq!(stop, StopReason::Syscall);
@@ -260,7 +260,7 @@ fn context_switches_carry_only_architected_state() {
     let ref_b = run_interp(&prog_b, 0x10000);
 
     // One machine, two "processes", round-robin every 200 cycles.
-    let mut sys = DaisySystem::new(0x10000);
+    let mut sys = DaisySystem::builder().mem_size(0x10000).build();
     prog_a.load_into(&mut sys.mem).unwrap();
     prog_b.load_into(&mut sys.mem).unwrap();
     let mut cpus = [Cpu::new(prog_a.entry), Cpu::new(prog_b.entry)];
@@ -308,12 +308,11 @@ fn timer_interrupts_are_transparent_to_the_computation() {
     os.rfi();
     let os_prog = os.finish().unwrap();
 
-    let mut sys = DaisySystem::new(0x20000);
+    // rfi restores EE because SRR1 snapshots the MSR at delivery.
+    let mut sys = DaisySystem::builder().mem_size(0x20000).timer_period(50).build();
     sys.load(&prog).unwrap();
     os_prog.load_into(&mut sys.mem).unwrap();
     sys.cpu.msr |= daisy_ppc::reg::msr_bits::EE;
-    // rfi restores EE because SRR1 snapshots the MSR at delivery.
-    sys.timer_period = Some(50);
     let stop = sys.run(10_000_000).unwrap();
     assert_eq!(stop, StopReason::Syscall);
     assert_eq!(sys.cpu.gpr[3], reference.gpr[3], "computation must be exact under ticks");
@@ -330,14 +329,14 @@ fn alias_heavy_entries_get_retranslated_conservatively() {
     let prog = w.program();
 
     // Baseline: speculation kept, aliases accumulate.
-    let mut base = DaisySystem::new(w.mem_size);
+    let mut base = DaisySystem::builder().mem_size(w.mem_size).build();
     base.load(&prog).unwrap();
     base.run(50 * w.max_instrs).unwrap();
     w.check(&base.cpu, &base.mem).unwrap();
     assert!(base.stats.alias_failures > 100, "hist should alias a lot by default");
 
     // Remedy on: the storm is cut off after the threshold.
-    let mut sys = DaisySystem::new(w.mem_size);
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
     sys.vmm.alias_retranslate_after = Some(5);
     sys.load(&prog).unwrap();
     sys.run(50 * w.max_instrs).unwrap();
@@ -374,7 +373,11 @@ fn interpretive_specializes_on_page_indirect_targets() {
     let cpu = run_interp(&prog, 0x10000);
 
     let cfg = TranslatorConfig { interpretive: true, ..TranslatorConfig::default() };
-    let mut sys = DaisySystem::with_config(0x10000, cfg, Hierarchy::infinite());
+    let mut sys = DaisySystem::builder()
+        .mem_size(0x10000)
+        .translator(cfg)
+        .cache(Hierarchy::infinite())
+        .build();
     sys.load(&prog).unwrap();
     let stop = sys.run(10_000_000).unwrap();
     assert_eq!(stop, StopReason::Syscall);

@@ -1,0 +1,175 @@
+//! A small, self-contained subset of the [criterion](https://docs.rs/criterion)
+//! API, used so this workspace's benches compile and run in environments
+//! with no access to crates.io.
+//!
+//! Behaviour: when the harness is invoked by `cargo bench` (a `--bench`
+//! argument is present) each benchmark is warmed up and timed over a
+//! number of samples, and a mean wall-clock time — plus throughput, if
+//! declared — is printed. Under `cargo test`, benches run a single
+//! iteration each so the target stays a smoke test. There are no
+//! statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// True when the binary is being driven by `cargo bench`.
+fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Declared work per iteration, used for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark name with a parameter, e.g. `window/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of iterations and records the
+    /// total elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 20, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = full_measurement();
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        if !full {
+            // Smoke-test mode (`cargo test`): one iteration, no timing.
+            f(&mut b);
+            return;
+        }
+        // Warm-up.
+        f(&mut b);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let mean = total.as_secs_f64() / iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}  time: {:.3} ms{}", self.name, id, mean * 1e3, rate);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Groups benchmark functions under one name, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

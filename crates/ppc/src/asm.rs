@@ -23,7 +23,9 @@
 //! ```
 
 use crate::encode::encode;
-use crate::insn::{bo, Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp};
+use crate::insn::{
+    bo, Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp,
+};
 use crate::mem::{MemFault, Memory};
 use crate::reg::{CrBit, CrField, Gpr, Spr};
 use std::collections::HashMap;
@@ -63,13 +65,27 @@ impl std::error::Error for AsmError {}
 enum Item {
     Insn(Insn),
     /// `bc` with a label target to fix up.
-    BcTo { bo: u8, bi: CrBit, label: String, lk: bool },
+    BcTo {
+        bo: u8,
+        bi: CrBit,
+        label: String,
+        lk: bool,
+    },
     /// `b`/`bl` with a label target.
-    BTo { label: String, lk: bool },
+    BTo {
+        label: String,
+        lk: bool,
+    },
     /// `addi rt,rt,lo(label)` following `lis rt,hi(label)`.
-    LabelLo { rt: Gpr, label: String },
+    LabelLo {
+        rt: Gpr,
+        label: String,
+    },
     /// `lis rt,hi-adjusted(label)`.
-    LabelHi { rt: Gpr, label: String },
+    LabelHi {
+        rt: Gpr,
+        label: String,
+    },
 }
 
 /// An assembled program image.

@@ -5,9 +5,7 @@
 //! architecture would execute (paper Fig. A.2, `DecodeAndScheduleOneInstr`).
 
 use crate::encode::xops;
-use crate::insn::{
-    Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp,
-};
+use crate::insn::{Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp};
 use crate::reg::{CrBit, CrField, Gpr, Spr};
 
 fn rt(w: u32) -> Gpr {
@@ -81,40 +79,15 @@ fn dload(w: u32, width: MemWidth, algebraic: bool, update: bool) -> Insn {
 }
 
 fn dstore(w: u32, width: MemWidth, update: bool) -> Insn {
-    Insn::Store {
-        width,
-        update,
-        indexed: false,
-        rs: rt(w),
-        ra: ra(w),
-        rb: Gpr(0),
-        d: si(w),
-    }
+    Insn::Store { width, update, indexed: false, rs: rt(w), ra: ra(w), rb: Gpr(0), d: si(w) }
 }
 
 fn xload(w: u32, width: MemWidth, algebraic: bool, update: bool) -> Insn {
-    Insn::Load {
-        width,
-        algebraic,
-        update,
-        indexed: true,
-        rt: rt(w),
-        ra: ra(w),
-        rb: rb(w),
-        d: 0,
-    }
+    Insn::Load { width, algebraic, update, indexed: true, rt: rt(w), ra: ra(w), rb: rb(w), d: 0 }
 }
 
 fn xstore(w: u32, width: MemWidth, update: bool) -> Insn {
-    Insn::Store {
-        width,
-        update,
-        indexed: true,
-        rs: rt(w),
-        ra: ra(w),
-        rb: rb(w),
-        d: 0,
-    }
+    Insn::Store { width, update, indexed: true, rs: rt(w), ra: ra(w), rb: rb(w), d: 0 }
 }
 
 /// Decodes a 32-bit word into an [`Insn`].

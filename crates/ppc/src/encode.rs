@@ -5,9 +5,7 @@
 //! translator re-decodes them, exactly as the paper's system reads pages
 //! of PowerPC code out of memory.
 
-use crate::insn::{
-    Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp,
-};
+use crate::insn::{Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp};
 use crate::reg::Gpr;
 
 fn op(opcode: u32) -> u32 {
@@ -241,7 +239,11 @@ pub fn encode(insn: &Insn) -> u32 {
             op(31) | rt(rs) | ra(a) | xo10(x) | rcb(rc)
         }
         Insn::Cmp { bf, signed, ra: a, rb: b } => {
-            op(31) | (u32::from(bf.0 & 7) << 23) | ra(a) | rb(b) | xo10(if signed { CMP } else { CMPL })
+            op(31)
+                | (u32::from(bf.0 & 7) << 23)
+                | ra(a)
+                | rb(b)
+                | xo10(if signed { CMP } else { CMPL })
         }
         Insn::CmpImm { bf, signed, ra: a, imm } => {
             let p = if signed { 11 } else { 10 };
@@ -313,10 +315,18 @@ pub fn encode(insn: &Insn) -> u32 {
                 | (lk as u32)
         }
         Insn::BranchClr { bo, bi, lk } => {
-            op(19) | (u32::from(bo & 31) << 21) | (u32::from(bi.0 & 31) << 16) | xo10(BCLR) | (lk as u32)
+            op(19)
+                | (u32::from(bo & 31) << 21)
+                | (u32::from(bi.0 & 31) << 16)
+                | xo10(BCLR)
+                | (lk as u32)
         }
         Insn::BranchCctr { bo, bi, lk } => {
-            op(19) | (u32::from(bo & 31) << 21) | (u32::from(bi.0 & 31) << 16) | xo10(BCCTR) | (lk as u32)
+            op(19)
+                | (u32::from(bo & 31) << 21)
+                | (u32::from(bi.0 & 31) << 16)
+                | xo10(BCCTR)
+                | (lk as u32)
         }
         Insn::CrLogic { op: o, bt, ba, bb } => {
             let x = match o {
@@ -349,7 +359,9 @@ pub fn encode(insn: &Insn) -> u32 {
         Insn::Sync => op(31) | xo10(SYNC),
         Insn::Isync => op(19) | xo10(ISYNC),
         Insn::Eieio => op(31) | xo10(EIEIO),
-        Insn::Tw { to, ra: a, rb: b } => op(31) | (u32::from(to & 31) << 21) | ra(a) | rb(b) | xo10(TW),
+        Insn::Tw { to, ra: a, rb: b } => {
+            op(31) | (u32::from(to & 31) << 21) | ra(a) | rb(b) | xo10(TW)
+        }
         Insn::Twi { to, ra: a, si } => op(3) | (u32::from(to & 31) << 21) | ra(a) | d16(si),
         Insn::Invalid(w) => w,
     }
@@ -364,10 +376,7 @@ mod tests {
     fn known_encodings() {
         // Cross-checked against the PowerPC architecture manual examples.
         // addi r3,r0,1  ("li r3,1")
-        assert_eq!(
-            encode(&Insn::Addi { rt: Gpr(3), ra: Gpr(0), si: 1 }),
-            0x3860_0001
-        );
+        assert_eq!(encode(&Insn::Addi { rt: Gpr(3), ra: Gpr(0), si: 1 }), 0x3860_0001);
         // add r4,r5,r6
         assert_eq!(
             encode(&Insn::Arith {
@@ -395,10 +404,7 @@ mod tests {
             0x8121_0008
         );
         // blr == bclr 20,0
-        assert_eq!(
-            encode(&Insn::BranchClr { bo: 20, bi: CrBit(0), lk: false }),
-            0x4E80_0020
-        );
+        assert_eq!(encode(&Insn::BranchClr { bo: 20, bi: CrBit(0), lk: false }), 0x4E80_0020);
         // sc
         assert_eq!(encode(&Insn::Sc), 0x4400_0002);
     }

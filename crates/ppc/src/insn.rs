@@ -219,15 +219,7 @@ pub enum Insn {
         d: i16,
     },
     /// Any store: `st{b,h,w}[u][x]`.
-    Store {
-        width: MemWidth,
-        update: bool,
-        indexed: bool,
-        rs: Gpr,
-        ra: Gpr,
-        rb: Gpr,
-        d: i16,
-    },
+    Store { width: MemWidth, update: bool, indexed: bool, rs: Gpr, ra: Gpr, rb: Gpr, d: i16 },
     /// `lmw rt,d(ra)` — load multiple words rt..r31 (CISCy; decomposed by DAISY).
     Lmw { rt: Gpr, ra: Gpr, d: i16 },
     /// `stmw rs,d(ra)` — store multiple words rs..r31.
@@ -379,7 +371,10 @@ impl Insn {
     pub fn is_branch(&self) -> bool {
         matches!(
             self,
-            Insn::BranchI { .. } | Insn::BranchC { .. } | Insn::BranchClr { .. } | Insn::BranchCctr { .. }
+            Insn::BranchI { .. }
+                | Insn::BranchC { .. }
+                | Insn::BranchClr { .. }
+                | Insn::BranchCctr { .. }
         )
     }
 
@@ -609,13 +604,7 @@ mod tests {
 
     #[test]
     fn conditional_bc_is_not_unconditional() {
-        let i = Insn::BranchC {
-            bo: bo::IF_TRUE,
-            bi: CrBit(2),
-            bd: 16,
-            aa: false,
-            lk: false,
-        };
+        let i = Insn::BranchC { bo: bo::IF_TRUE, bi: CrBit(2), bd: 16, aa: false, lk: false };
         let info = i.branch_info(0x1000).unwrap();
         assert!(!info.unconditional);
         assert_eq!(info.kind, BranchKind::Direct(0x1010));

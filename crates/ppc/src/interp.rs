@@ -13,7 +13,9 @@
 //!    this is the interpreter it uses.
 
 use crate::decode::decode;
-use crate::insn::{bo, Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp};
+use crate::insn::{
+    bo, Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp,
+};
 use crate::mem::{Memory, Mmu, XlateFault};
 use crate::reg::{msr_bits, xer_bits, CrBit, CrField, Gpr, Spr};
 use crate::vectors;
@@ -225,17 +227,18 @@ impl Cpu {
 
     fn load(&self, mem: &Memory, ea: u32, width: MemWidth, algebraic: bool) -> Result<u32, Event> {
         let pa = self.xlate_data(ea, false)?;
-        let v = match width {
-            MemWidth::Byte => mem.read_u8(pa).map(u32::from),
-            MemWidth::Half => mem.read_u16(pa).map(|v| {
-                if algebraic {
-                    v as i16 as i32 as u32
-                } else {
-                    u32::from(v)
-                }
-            }),
-            MemWidth::Word => mem.read_u32(pa),
-        };
+        let v =
+            match width {
+                MemWidth::Byte => mem.read_u8(pa).map(u32::from),
+                MemWidth::Half => mem.read_u16(pa).map(|v| {
+                    if algebraic {
+                        v as i16 as i32 as u32
+                    } else {
+                        u32::from(v)
+                    }
+                }),
+                MemWidth::Word => mem.read_u32(pa),
+            };
         v.map_err(|_| Event::Dsi { addr: ea, write: false })
     }
 
@@ -604,7 +607,10 @@ impl Cpu {
                     }
                 }
             }
-            Insn::BranchI { .. } | Insn::BranchC { .. } | Insn::BranchClr { .. } | Insn::BranchCctr { .. } => {
+            Insn::BranchI { .. }
+            | Insn::BranchC { .. }
+            | Insn::BranchClr { .. }
+            | Insn::BranchCctr { .. } => {
                 return self.branch(insn, next);
             }
             Insn::CrLogic { op, bt, ba, bb } => {
@@ -708,11 +714,7 @@ impl Cpu {
                 (true, t, lk)
             }
             Insn::BranchC { bo: b, bi, bd, aa, lk } => {
-                let t = if aa {
-                    bd as i32 as u32
-                } else {
-                    self.pc.wrapping_add(bd as i32 as u32)
-                };
+                let t = if aa { bd as i32 as u32 } else { self.pc.wrapping_add(bd as i32 as u32) };
                 (self.branch_taken(b, bi), t, lk)
             }
             Insn::BranchClr { bo: b, bi, lk } => (self.branch_taken(b, bi), self.lr & !3, lk),
@@ -872,11 +874,7 @@ impl std::error::Error for MemTooSmall {}
 
 /// 4-bit CR field value comparing `a` against `b`.
 pub fn compare(a: u32, b: u32, signed: bool, so: bool) -> u32 {
-    let ord = if signed {
-        (a as i32).cmp(&(b as i32))
-    } else {
-        a.cmp(&b)
-    };
+    let ord = if signed { (a as i32).cmp(&(b as i32)) } else { a.cmp(&b) };
     let base = match ord {
         std::cmp::Ordering::Less => 0b1000,
         std::cmp::Ordering::Greater => 0b0100,
@@ -947,8 +945,22 @@ mod tests {
     fn carry_chain_64bit_add() {
         // 64-bit add of 0x1_0000_0000 via addc/adde.
         let (mut cpu, mut mem) = setup(&asm(&[
-            Insn::Arith { op: ArithOp::Addc, rt: Gpr(5), ra: Gpr(1), rb: Gpr(3), oe: false, rc: false },
-            Insn::Arith { op: ArithOp::Adde, rt: Gpr(6), ra: Gpr(2), rb: Gpr(4), oe: false, rc: false },
+            Insn::Arith {
+                op: ArithOp::Addc,
+                rt: Gpr(5),
+                ra: Gpr(1),
+                rb: Gpr(3),
+                oe: false,
+                rc: false,
+            },
+            Insn::Arith {
+                op: ArithOp::Adde,
+                rt: Gpr(6),
+                ra: Gpr(2),
+                rb: Gpr(4),
+                oe: false,
+                rc: false,
+            },
             Insn::Sc,
         ]));
         cpu.gpr[1] = 0xFFFF_FFFF; // low a
@@ -979,9 +991,35 @@ mod tests {
     #[test]
     fn load_store_roundtrip_widths() {
         let (mut cpu, mut mem) = setup(&asm(&[
-            Insn::Store { width: MemWidth::Word, update: false, indexed: false, rs: Gpr(3), ra: Gpr(1), rb: Gpr(0), d: 0 },
-            Insn::Load { width: MemWidth::Half, algebraic: true, update: false, indexed: false, rt: Gpr(4), ra: Gpr(1), rb: Gpr(0), d: 0 },
-            Insn::Load { width: MemWidth::Byte, algebraic: false, update: false, indexed: false, rt: Gpr(5), ra: Gpr(1), rb: Gpr(0), d: 3 },
+            Insn::Store {
+                width: MemWidth::Word,
+                update: false,
+                indexed: false,
+                rs: Gpr(3),
+                ra: Gpr(1),
+                rb: Gpr(0),
+                d: 0,
+            },
+            Insn::Load {
+                width: MemWidth::Half,
+                algebraic: true,
+                update: false,
+                indexed: false,
+                rt: Gpr(4),
+                ra: Gpr(1),
+                rb: Gpr(0),
+                d: 0,
+            },
+            Insn::Load {
+                width: MemWidth::Byte,
+                algebraic: false,
+                update: false,
+                indexed: false,
+                rt: Gpr(5),
+                ra: Gpr(1),
+                rb: Gpr(0),
+                d: 3,
+            },
             Insn::Sc,
         ]));
         cpu.gpr[1] = 0x8000;
@@ -994,8 +1032,25 @@ mod tests {
     #[test]
     fn update_forms_write_back_ea() {
         let (mut cpu, mut mem) = setup(&asm(&[
-            Insn::Store { width: MemWidth::Word, update: true, indexed: false, rs: Gpr(3), ra: Gpr(1), rb: Gpr(0), d: 4 },
-            Insn::Load { width: MemWidth::Word, algebraic: false, update: true, indexed: false, rt: Gpr(4), ra: Gpr(2), rb: Gpr(0), d: 4 },
+            Insn::Store {
+                width: MemWidth::Word,
+                update: true,
+                indexed: false,
+                rs: Gpr(3),
+                ra: Gpr(1),
+                rb: Gpr(0),
+                d: 4,
+            },
+            Insn::Load {
+                width: MemWidth::Word,
+                algebraic: false,
+                update: true,
+                indexed: false,
+                rt: Gpr(4),
+                ra: Gpr(2),
+                rb: Gpr(0),
+                d: 4,
+            },
             Insn::Sc,
         ]));
         cpu.gpr[1] = 0x8000;
@@ -1040,19 +1095,15 @@ mod tests {
 
     #[test]
     fn srawi_sets_carry_only_when_ones_lost() {
-        let (mut cpu, mut mem) = setup(&asm(&[
-            Insn::Srawi { ra: Gpr(3), rs: Gpr(1), sh: 2, rc: false },
-            Insn::Sc,
-        ]));
+        let (mut cpu, mut mem) =
+            setup(&asm(&[Insn::Srawi { ra: Gpr(3), rs: Gpr(1), sh: 2, rc: false }, Insn::Sc]));
         cpu.gpr[1] = 0xFFFF_FFFC; // -4: no 1 bits lost
         cpu.run(&mut mem, 10).unwrap();
         assert_eq!(cpu.gpr[3], 0xFFFF_FFFF);
         assert_eq!(cpu.xer & xer_bits::CA, 0);
 
-        let (mut cpu, mut mem) = setup(&asm(&[
-            Insn::Srawi { ra: Gpr(3), rs: Gpr(1), sh: 2, rc: false },
-            Insn::Sc,
-        ]));
+        let (mut cpu, mut mem) =
+            setup(&asm(&[Insn::Srawi { ra: Gpr(3), rs: Gpr(1), sh: 2, rc: false }, Insn::Sc]));
         cpu.gpr[1] = 0xFFFF_FFFD; // -3: a 1 bit is lost
         cpu.run(&mut mem, 10).unwrap();
         assert_eq!(cpu.xer & xer_bits::CA, xer_bits::CA);
@@ -1078,11 +1129,8 @@ mod tests {
     fn vectored_syscall_and_rfi() {
         // Program at 0x1000: sc; then (after return) li r7,1; sc.
         // Handler at 0xC00: rfi (just returns).
-        let (mut cpu, mut mem) = setup(&asm(&[
-            Insn::Sc,
-            Insn::Addi { rt: Gpr(7), ra: Gpr(0), si: 1 },
-            Insn::Sc,
-        ]));
+        let (mut cpu, mut mem) =
+            setup(&asm(&[Insn::Sc, Insn::Addi { rt: Gpr(7), ra: Gpr(0), si: 1 }, Insn::Sc]));
         mem.write_u32(vectors::SYSCALL, encode(&Insn::Addi { rt: Gpr(9), ra: Gpr(0), si: 42 }))
             .unwrap();
         mem.write_u32(vectors::SYSCALL + 4, encode(&Insn::Rfi)).unwrap();
@@ -1108,14 +1156,26 @@ mod tests {
         }]));
         cpu.gpr[1] = 0x00F0_0000; // beyond memory
         let stop = cpu.run(&mut mem, 10).unwrap();
-        assert_eq!(stop, StopReason::StorageFault { addr: 0x00F0_0000, write: false, fetch: false });
+        assert_eq!(
+            stop,
+            StopReason::StorageFault { addr: 0x00F0_0000, write: false, fetch: false }
+        );
         assert_eq!(cpu.dar, 0x00F0_0000);
     }
 
     #[test]
     fn mmu_relocated_load() {
         let (mut cpu, mut mem) = setup(&asm(&[
-            Insn::Load { width: MemWidth::Word, algebraic: false, update: false, indexed: false, rt: Gpr(3), ra: Gpr(1), rb: Gpr(0), d: 0 },
+            Insn::Load {
+                width: MemWidth::Word,
+                algebraic: false,
+                update: false,
+                indexed: false,
+                rt: Gpr(3),
+                ra: Gpr(1),
+                rb: Gpr(0),
+                d: 0,
+            },
             Insn::Sc,
         ]));
         mem.write_u32(0x5008, 0xDEAD_BEEF).unwrap();

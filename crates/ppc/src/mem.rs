@@ -238,10 +238,8 @@ impl Mmu {
     /// Maps the virtual page containing `virt` to the physical page
     /// containing `phys`.
     pub fn map(&mut self, virt: u32, phys: u32, writable: bool) {
-        self.map.insert(
-            virt / PAGE_SIZE,
-            PageMapping { phys: phys / PAGE_SIZE * PAGE_SIZE, writable },
-        );
+        self.map
+            .insert(virt / PAGE_SIZE, PageMapping { phys: phys / PAGE_SIZE * PAGE_SIZE, writable });
     }
 
     /// Removes the mapping for the virtual page containing `virt`.

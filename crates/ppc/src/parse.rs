@@ -97,19 +97,12 @@ struct Operands<'a> {
 
 impl<'a> Operands<'a> {
     fn new(rest: &'a str, line: usize) -> Operands<'a> {
-        let parts = rest
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .collect();
+        let parts = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
         Operands { parts, at: 0, line }
     }
 
     fn next(&mut self) -> Result<&'a str, ParseError> {
-        let p = self
-            .parts
-            .get(self.at)
-            .ok_or_else(|| err(self.line, "missing operand"))?;
+        let p = self.parts.get(self.at).ok_or_else(|| err(self.line, "missing operand"))?;
         self.at += 1;
         Ok(p)
     }
@@ -149,12 +142,10 @@ impl<'a> Operands<'a> {
     /// Parses `d(rA)` memory syntax.
     fn mem(&mut self) -> Result<(i16, Gpr), ParseError> {
         let t = self.next()?;
-        let open = t
-            .find('(')
-            .ok_or_else(|| err(self.line, format!("expected `d(rA)`, got `{t}`")))?;
-        let close = t
-            .strip_suffix(')')
-            .ok_or_else(|| err(self.line, format!("missing `)` in `{t}`")))?;
+        let open =
+            t.find('(').ok_or_else(|| err(self.line, format!("expected `d(rA)`, got `{t}`")))?;
+        let close =
+            t.strip_suffix(')').ok_or_else(|| err(self.line, format!("missing `)` in `{t}`")))?;
         let d = parse_imm(t[..open].trim())
             .and_then(|v| i16::try_from(v).ok())
             .ok_or_else(|| err(self.line, format!("bad displacement in `{t}`")))?;
@@ -165,10 +156,7 @@ impl<'a> Operands<'a> {
 }
 
 fn parse_gpr(t: &str) -> Option<Gpr> {
-    t.strip_prefix('r')
-        .and_then(|s| s.parse::<u8>().ok())
-        .filter(|n| *n < 32)
-        .map(Gpr)
+    t.strip_prefix('r').and_then(|s| s.parse::<u8>().ok()).filter(|n| *n < 32).map(Gpr)
 }
 
 fn parse_imm(t: &str) -> Option<i64> {
@@ -425,11 +413,8 @@ fn parse_insn(a: &mut Asm, line: usize, mnem: &str, rest: &str) -> Result<(), Pa
         }
         "beq" | "bne" | "blt" | "bge" | "bgt" | "ble" => {
             // Optional leading crN operand, defaulting to cr0.
-            let (bf, l) = if o.parts.len() == 2 {
-                (o.crf()?, o.label()?)
-            } else {
-                (CrField(0), o.label()?)
-            };
+            let (bf, l) =
+                if o.parts.len() == 2 { (o.crf()?, o.label()?) } else { (CrField(0), o.label()?) };
             match mnem {
                 "beq" => a.beq(bf, l),
                 "bne" => a.bne(bf, l),
@@ -514,9 +499,7 @@ pub fn width_of_mnemonic(mnem: &str) -> Option<MemWidth> {
     match mnem {
         "lbz" | "lbzx" | "lbzu" | "stb" | "stbx" | "stbu" => Some(MemWidth::Byte),
         "lhz" | "lhzx" | "lha" | "sth" | "sthx" => Some(MemWidth::Half),
-        "lwz" | "lwzx" | "lwzu" | "stw" | "stwx" | "stwu" | "lmw" | "stmw" => {
-            Some(MemWidth::Word)
-        }
+        "lwz" | "lwzx" | "lwzu" | "stw" | "stwx" | "stwu" | "lmw" | "stmw" => Some(MemWidth::Word),
         _ => None,
     }
 }

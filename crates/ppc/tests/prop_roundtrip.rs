@@ -59,8 +59,12 @@ fn insn() -> impl Strategy<Value = Insn> {
     prop_oneof![
         (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, si)| Insn::Addi { rt, ra, si }),
         (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, si)| Insn::Addis { rt, ra, si }),
-        (gpr(), gpr(), any::<i16>(), any::<bool>())
-            .prop_map(|(rt, ra, si, rc)| Insn::Addic { rt, ra, si, rc }),
+        (gpr(), gpr(), any::<i16>(), any::<bool>()).prop_map(|(rt, ra, si, rc)| Insn::Addic {
+            rt,
+            ra,
+            si,
+            rc
+        }),
         (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, si)| Insn::Subfic { rt, ra, si }),
         (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, si)| Insn::Mulli { rt, ra, si }),
         (arith_op(), gpr(), gpr(), gpr(), any::<bool>(), any::<bool>()).prop_map(
@@ -74,30 +78,68 @@ fn insn() -> impl Strategy<Value = Insn> {
                 rc,
             }
         ),
-        (gpr(), gpr(), any::<bool>(), any::<bool>())
-            .prop_map(|(rt, ra, oe, rc)| Insn::Arith2 { op: Arith2Op::Neg, rt, ra, oe, rc }),
+        (gpr(), gpr(), any::<bool>(), any::<bool>()).prop_map(|(rt, ra, oe, rc)| Insn::Arith2 {
+            op: Arith2Op::Neg,
+            rt,
+            ra,
+            oe,
+            rc
+        }),
         (logic_op(), gpr(), gpr(), gpr(), any::<bool>())
             .prop_map(|(op, ra, rs, rb, rc)| Insn::Logic { op, ra, rs, rb, rc }),
-        (gpr(), gpr(), any::<u16>())
-            .prop_map(|(ra, rs, ui)| Insn::LogicImm { op: LogicImmOp::Ori, ra, rs, ui }),
-        (gpr(), gpr(), any::<u16>())
-            .prop_map(|(ra, rs, ui)| Insn::LogicImm { op: LogicImmOp::Andi, ra, rs, ui }),
-        (gpr(), gpr(), gpr(), any::<bool>())
-            .prop_map(|(ra, rs, rb, rc)| Insn::Shift { op: ShiftOp::Sraw, ra, rs, rb, rc }),
-        (gpr(), gpr(), 0u8..32, any::<bool>())
-            .prop_map(|(ra, rs, sh, rc)| Insn::Srawi { ra, rs, sh, rc }),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(ra, rs, ui)| Insn::LogicImm {
+            op: LogicImmOp::Ori,
+            ra,
+            rs,
+            ui
+        }),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(ra, rs, ui)| Insn::LogicImm {
+            op: LogicImmOp::Andi,
+            ra,
+            rs,
+            ui
+        }),
+        (gpr(), gpr(), gpr(), any::<bool>()).prop_map(|(ra, rs, rb, rc)| Insn::Shift {
+            op: ShiftOp::Sraw,
+            ra,
+            rs,
+            rb,
+            rc
+        }),
+        (gpr(), gpr(), 0u8..32, any::<bool>()).prop_map(|(ra, rs, sh, rc)| Insn::Srawi {
+            ra,
+            rs,
+            sh,
+            rc
+        }),
         (gpr(), gpr(), 0u8..32, 0u8..32, 0u8..32, any::<bool>())
             .prop_map(|(ra, rs, sh, mb, me, rc)| Insn::Rlwinm { ra, rs, sh, mb, me, rc }),
         (gpr(), gpr(), 0u8..32, 0u8..32, 0u8..32, any::<bool>())
             .prop_map(|(ra, rs, sh, mb, me, rc)| Insn::Rlwimi { ra, rs, sh, mb, me, rc }),
-        (gpr(), gpr(), any::<bool>())
-            .prop_map(|(ra, rs, rc)| Insn::Unary { op: UnaryOp::Cntlzw, ra, rs, rc }),
-        (crf(), any::<bool>(), gpr(), gpr())
-            .prop_map(|(bf, signed, ra, rb)| Insn::Cmp { bf, signed, ra, rb }),
-        (crf(), gpr(), any::<i16>())
-            .prop_map(|(bf, ra, si)| Insn::CmpImm { bf, signed: true, ra, imm: i32::from(si) }),
-        (crf(), gpr(), any::<u16>())
-            .prop_map(|(bf, ra, ui)| Insn::CmpImm { bf, signed: false, ra, imm: i32::from(ui) }),
+        (gpr(), gpr(), any::<bool>()).prop_map(|(ra, rs, rc)| Insn::Unary {
+            op: UnaryOp::Cntlzw,
+            ra,
+            rs,
+            rc
+        }),
+        (crf(), any::<bool>(), gpr(), gpr()).prop_map(|(bf, signed, ra, rb)| Insn::Cmp {
+            bf,
+            signed,
+            ra,
+            rb
+        }),
+        (crf(), gpr(), any::<i16>()).prop_map(|(bf, ra, si)| Insn::CmpImm {
+            bf,
+            signed: true,
+            ra,
+            imm: i32::from(si)
+        }),
+        (crf(), gpr(), any::<u16>()).prop_map(|(bf, ra, ui)| Insn::CmpImm {
+            bf,
+            signed: false,
+            ra,
+            imm: i32::from(ui)
+        }),
         (width(), any::<bool>(), any::<bool>(), gpr(), gpr(), gpr(), any::<i16>()).prop_map(
             |(width, update, indexed, rt, ra, rb, d)| Insn::Load {
                 width,
@@ -128,13 +170,15 @@ fn insn() -> impl Strategy<Value = Insn> {
             aa,
             lk
         }),
-        (0u8..32, crbit(), any::<i16>(), any::<bool>()).prop_map(|(bo, bi, bd, lk)| {
-            Insn::BranchC { bo, bi, bd: bd & !3, aa: false, lk }
+        (0u8..32, crbit(), any::<i16>(), any::<bool>())
+            .prop_map(|(bo, bi, bd, lk)| { Insn::BranchC { bo, bi, bd: bd & !3, aa: false, lk } }),
+        (0u8..32, crbit(), any::<bool>()).prop_map(|(bo, bi, lk)| Insn::BranchClr { bo, bi, lk }),
+        (crbit(), crbit(), crbit()).prop_map(|(bt, ba, bb)| Insn::CrLogic {
+            op: CrOp::Xor,
+            bt,
+            ba,
+            bb
         }),
-        (0u8..32, crbit(), any::<bool>())
-            .prop_map(|(bo, bi, lk)| Insn::BranchClr { bo, bi, lk }),
-        (crbit(), crbit(), crbit())
-            .prop_map(|(bt, ba, bb)| Insn::CrLogic { op: CrOp::Xor, bt, ba, bb }),
         (crf(), crf()).prop_map(|(bf, bfa)| Insn::Mcrf { bf, bfa }),
         gpr().prop_map(|rt| Insn::Mfcr { rt }),
         (any::<u8>(), gpr()).prop_map(|(fxm, rs)| Insn::Mtcrf { fxm, rs }),

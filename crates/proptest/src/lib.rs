@@ -1,0 +1,120 @@
+//! A small, self-contained subset of the [proptest](https://docs.rs/proptest)
+//! API, used so this workspace builds and tests in environments with no
+//! access to crates.io.
+//!
+//! Behavioural differences from the real crate, all deliberate:
+//!
+//! * generation is deterministic per test (seeded from the test's name),
+//!   so runs are reproducible without a persistence file;
+//! * failing cases are **not shrunk** — the failing inputs are printed
+//!   verbatim instead;
+//! * `proptest-regressions` files are ignored;
+//! * strategies implement only what this repository's tests use: integer
+//!   ranges, `any` for primitives, `Just`, tuples, `prop_map`,
+//!   `prop_oneof!`, and `prop::collection::vec`.
+//!
+//! The number of cases per test defaults to 256 and can be overridden
+//! with `ProptestConfig::with_cases` or the `PROPTEST_CASES` environment
+//! variable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glue that `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced re-exports (`prop::collection::vec(..)` style).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests.
+///
+/// Accepts an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(binding in strategy, ...) { body }` items, exactly
+/// like the real crate.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __cases = __config.effective_cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                // Render the inputs up front: the body may move them,
+                // so the failure reporter owns a preformatted string.
+                let __inputs = ::std::string::String::new();
+                $(let __inputs = format!(
+                    "{}    {} = {:?}\n", __inputs, stringify!($arg), &$arg
+                );)+
+                let __reporter = $crate::test_runner::PanicReporter::new(move || {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} with inputs:\n{}",
+                        stringify!($name), __case, __cases, __inputs
+                    );
+                });
+                $body
+                ::std::mem::forget(__reporter);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Picks one of several strategies (uniformly) per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

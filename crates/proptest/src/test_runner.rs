@@ -1,0 +1,87 @@
+//! Deterministic RNG, per-test configuration, and failure reporting.
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+
+    /// Cases to run after applying the `PROPTEST_CASES` override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+    }
+}
+
+/// SplitMix64: tiny, fast, and plenty for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from a test identifier and case index, so every
+    /// case is reproducible from the test output alone.
+    pub fn for_case(test_id: &str, case: u32) -> TestRng {
+        // FNV-1a over the id, mixed with the case number.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+}
+
+/// Runs a closure when dropped during a panic — used to print the
+/// failing inputs of a property test without catching the unwind.
+pub struct PanicReporter<F: Fn()> {
+    report: F,
+}
+
+impl<F: Fn()> PanicReporter<F> {
+    /// Arms the reporter.
+    pub fn new(report: F) -> PanicReporter<F> {
+        PanicReporter { report }
+    }
+}
+
+impl<F: Fn()> Drop for PanicReporter<F> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            (self.report)();
+        }
+    }
+}

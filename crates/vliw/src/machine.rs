@@ -166,8 +166,7 @@ mod tests {
     #[test]
     fn store_cap_separate_from_mem_cap() {
         let cfg = MachineConfig::big();
-        let mut c = ResCounts::default();
-        c.stores = 8;
+        let mut c = ResCounts { stores: 8, ..ResCounts::default() };
         assert!(!cfg.has_room(&c, ResClass::Store));
         assert!(!cfg.has_room(&c, ResClass::Load)); // mem cap = 8 reached too
         c.stores = 4;

@@ -354,11 +354,7 @@ pub fn eval(op: &Operation, vals: &[u32]) -> EvalOut {
         Mulhu => value(((u64::from(v(0)) * u64::from(v(1))) >> 32) as u32),
         Div => {
             let (a, b) = (v(0) as i32, v(1) as i32);
-            value(if b == 0 || (a == i32::MIN && b == -1) {
-                0
-            } else {
-                (a / b) as u32
-            })
+            value(if b == 0 || (a == i32::MIN && b == -1) { 0 } else { (a / b) as u32 })
         }
         Divu => value(if v(1) == 0 { 0 } else { v(0) / v(1) }),
         Neg => value((!v(0)).wrapping_add(1)),
@@ -426,7 +422,11 @@ pub fn eval(op: &Operation, vals: &[u32]) -> EvalOut {
         InsertField => value(v(0) | ((v(1) & 0xF) << (4 * ((7 - op.imm as u32) & 7)))),
         XerCompose => value(((v(0) & 1) << 29) | ((v(1) & 1) << 30) | ((v(2) & 1) << 31)),
         XerExtract => value((v(0) >> (op.imm as u32 & 31)) & 1),
-        TrapIf { to } => EvalOut::Trap(trap_taken(to, v(0), if op.srcs().len() > 1 { v(1) } else { op.imm as u32 })),
+        TrapIf { to } => EvalOut::Trap(trap_taken(
+            to,
+            v(0),
+            if op.srcs().len() > 1 { v(1) } else { op.imm as u32 },
+        )),
         Load { .. } | Store { .. } => EvalOut::Memory,
     }
 }
@@ -452,9 +452,7 @@ pub fn effective_address(op: &Operation, vals: &[u32]) -> u32 {
         OpKind::Store { .. } => &vals[1..],
         _ => panic!("effective_address on non-memory op"),
     };
-    addr_vals
-        .iter()
-        .fold(op.imm as u32, |acc, v| acc.wrapping_add(*v))
+    addr_vals.iter().fold(op.imm as u32, |acc, v| acc.wrapping_add(*v))
 }
 
 #[cfg(test)]
@@ -479,10 +477,7 @@ mod tests {
     #[test]
     fn carry_ops_match_interpreter_conventions() {
         // subfc of equal values: carry (no borrow) set.
-        assert_eq!(
-            eval(&op(OpKind::SubfC), &[5, 5]),
-            EvalOut::Value { v: 0, carry: Some(true) }
-        );
+        assert_eq!(eval(&op(OpKind::SubfC), &[5, 5]), EvalOut::Value { v: 0, carry: Some(true) });
         // adde with carry-in.
         assert_eq!(
             eval(&op(OpKind::AddE), &[0xFFFF_FFFF, 0, 1]),
@@ -542,9 +537,8 @@ mod tests {
 
     #[test]
     fn effective_addresses() {
-        let l = op(OpKind::Load { width: MemWidth::Word, algebraic: false })
-            .src(Reg(1))
-            .with_imm(8);
+        let l =
+            op(OpKind::Load { width: MemWidth::Word, algebraic: false }).src(Reg(1)).with_imm(8);
         assert_eq!(effective_address(&l, &[100]), 108);
         let s = op(OpKind::Store { width: MemWidth::Byte })
             .src(Reg(2))
@@ -557,9 +551,7 @@ mod tests {
     #[test]
     fn xer_roundtrip() {
         let c = op(OpKind::XerCompose);
-        let EvalOut::Value { v, .. } = eval(&c, &[1, 0, 1]) else {
-            panic!()
-        };
+        let EvalOut::Value { v, .. } = eval(&c, &[1, 0, 1]) else { panic!() };
         assert_eq!(v, 0xA000_0000);
         let x = op(OpKind::XerExtract).with_imm(29);
         assert_eq!(eval(&x, &[v]), EvalOut::Value { v: 1, carry: None });

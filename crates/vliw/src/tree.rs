@@ -231,11 +231,8 @@ impl Vliw {
     /// paper's generated binary VLIW code when measuring code explosion
     /// (Table 5.1, Fig. 5.4).
     pub fn code_bytes(&self) -> u32 {
-        let exits = self
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Exit(_)))
-            .count() as u32;
+        let exits =
+            self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Exit(_))).count() as u32;
         4 * (1 + self.counts.issue() + self.counts.branches + exits)
     }
 
@@ -336,9 +333,8 @@ impl Group {
             for (ni, n) in v.nodes().iter().enumerate() {
                 for op in &n.ops {
                     if op.is_commit {
-                        let d = op
-                            .dest
-                            .ok_or_else(|| format!("v{vi}/n{ni}: commit without dest"))?;
+                        let d =
+                            op.dest.ok_or_else(|| format!("v{vi}/n{ni}: commit without dest"))?;
                         if !d.is_architected() {
                             return Err(format!("v{vi}/n{ni}: commit into rename reg {d}"));
                         }

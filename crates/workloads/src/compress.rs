@@ -163,11 +163,5 @@ fn check(cpu: &Cpu, mem: &Memory) -> Result<(), String> {
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
-    Workload {
-        name: "compress",
-        mem_size: 0x8_0000,
-        max_instrs: 30_000_000,
-        build,
-        check,
-    }
+    Workload { name: "compress", mem_size: 0x8_0000, max_instrs: 30_000_000, build, check }
 }

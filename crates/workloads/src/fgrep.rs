@@ -15,18 +15,8 @@ const SEED: u32 = 0xF6E3_0007;
 
 fn build() -> Program {
     let mut a = Asm::new(0x1000);
-    let (count, i, j, tc, pc, tbase, pbase, limit, plen, at) = (
-        Gpr(3),
-        Gpr(7),
-        Gpr(8),
-        Gpr(9),
-        Gpr(10),
-        Gpr(14),
-        Gpr(15),
-        Gpr(16),
-        Gpr(17),
-        Gpr(18),
-    );
+    let (count, i, j, tc, pc, tbase, pbase, limit, plen, at) =
+        (Gpr(3), Gpr(7), Gpr(8), Gpr(9), Gpr(10), Gpr(14), Gpr(15), Gpr(16), Gpr(17), Gpr(18));
     let cr = CrField(0);
 
     a.li(count, 0);
@@ -89,11 +79,5 @@ fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
-    Workload {
-        name: "fgrep",
-        mem_size: 0x6_0000,
-        max_instrs: 20_000_000,
-        build,
-        check,
-    }
+    Workload { name: "fgrep", mem_size: 0x6_0000, max_instrs: 20_000_000, build, check }
 }

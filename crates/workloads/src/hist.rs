@@ -67,9 +67,7 @@ pub fn expected() -> u32 {
     for &c in &text {
         hist[c as usize] += 1;
     }
-    hist.iter()
-        .enumerate()
-        .fold(0u32, |acc, (i, &n)| acc.wrapping_add(n.wrapping_mul(i as u32)))
+    hist.iter().enumerate().fold(0u32, |acc, (i, &n)| acc.wrapping_add(n.wrapping_mul(i as u32)))
 }
 
 fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
@@ -83,11 +81,5 @@ fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
-    Workload {
-        name: "hist",
-        mem_size: 0x6_0000,
-        max_instrs: 10_000_000,
-        build,
-        check,
-    }
+    Workload { name: "hist", mem_size: 0x6_0000, max_instrs: 10_000_000, build, check }
 }

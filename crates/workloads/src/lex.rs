@@ -59,7 +59,7 @@ pub fn trans_table() -> [u8; 3 * 8] {
     set(&mut t, ST_START, CL_SPACE, ST_START);
     set(&mut t, ST_START, CL_NEWLINE, ST_START);
     set(&mut t, ST_START, CL_PUNCT, ST_START | EMIT); // punct is a token
-    // identifier
+                                                      // identifier
     set(&mut t, ST_IDENT, CL_LETTER, ST_IDENT);
     set(&mut t, ST_IDENT, CL_DIGIT, ST_IDENT);
     set(&mut t, ST_IDENT, CL_SPACE, ST_START | EMIT);
@@ -153,13 +153,7 @@ fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
-    Workload {
-        name: "lex",
-        mem_size: 0x6_0000,
-        max_instrs: 10_000_000,
-        build,
-        check,
-    }
+    Workload { name: "lex", mem_size: 0x6_0000, max_instrs: 10_000_000, build, check }
 }
 
 #[cfg(test)]
@@ -168,6 +162,6 @@ mod tests {
 
     #[test]
     fn num_classes_fit_stride() {
-        assert!(NUM_CLASSES <= 8);
+        const { assert!(NUM_CLASSES <= 8) };
     }
 }

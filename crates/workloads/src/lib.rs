@@ -29,8 +29,8 @@
 //! w.check(&cpu, &mem).unwrap();
 //! ```
 
-pub mod compress;
 pub mod cmp;
+pub mod compress;
 pub mod fgrep;
 pub mod hist;
 pub mod lex;
@@ -152,7 +152,9 @@ pub fn source_text(len: usize, seed: u32) -> Vec<u8> {
     while out.len() < len {
         match rng.next_u32() % 4 {
             0 => {
-                out.extend_from_slice(idents[(rng.next_u32() % idents.len() as u32) as usize].as_bytes());
+                out.extend_from_slice(
+                    idents[(rng.next_u32() % idents.len() as u32) as usize].as_bytes(),
+                );
                 out.push(b' ');
             }
             1 => {
@@ -160,8 +162,9 @@ pub fn source_text(len: usize, seed: u32) -> Vec<u8> {
                 out.extend_from_slice(n.to_string().as_bytes());
                 out.push(b' ');
             }
-            2 => out
-                .extend_from_slice(puncts[(rng.next_u32() % puncts.len() as u32) as usize].as_bytes()),
+            2 => out.extend_from_slice(
+                puncts[(rng.next_u32() % puncts.len() as u32) as usize].as_bytes(),
+            ),
             _ => out.push(b'\n'),
         }
     }

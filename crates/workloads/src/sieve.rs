@@ -14,18 +14,8 @@ const ITERS: i16 = 3;
 
 fn build() -> Program {
     let mut a = Asm::new(0x1000);
-    let (count, iters, i, flag, prime, k, one, zero, base, size) = (
-        Gpr(3),
-        Gpr(16),
-        Gpr(4),
-        Gpr(5),
-        Gpr(6),
-        Gpr(7),
-        Gpr(8),
-        Gpr(9),
-        Gpr(14),
-        Gpr(15),
-    );
+    let (count, iters, i, flag, prime, k, one, zero, base, size) =
+        (Gpr(3), Gpr(16), Gpr(4), Gpr(5), Gpr(6), Gpr(7), Gpr(8), Gpr(9), Gpr(14), Gpr(15));
     let cr = CrField(0);
 
     a.li(count, 0);
@@ -103,11 +93,5 @@ fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
-    Workload {
-        name: "c_sieve",
-        mem_size: 0x4_0000,
-        max_instrs: 20_000_000,
-        build,
-        check,
-    }
+    Workload { name: "c_sieve", mem_size: 0x4_0000, max_instrs: 20_000_000, build, check }
 }

@@ -132,18 +132,16 @@ fn check(cpu: &Cpu, mem: &Memory) -> Result<(), String> {
     let first = mem.read_u32(ARRAY).map_err(|e| e.to_string())? as i32;
     let last = mem.read_u32(ARRAY + 4 * (N - 1)).map_err(|e| e.to_string())? as i32;
     if (first, last) != (v[0], v[N as usize - 1]) {
-        return Err(format!("sort: extremes ({first}, {last}) vs ({}, {})", v[0], v[N as usize - 1]));
+        return Err(format!(
+            "sort: extremes ({first}, {last}) vs ({}, {})",
+            v[0],
+            v[N as usize - 1]
+        ));
     }
     Ok(())
 }
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
-    Workload {
-        name: "sort",
-        mem_size: 0x8_0000,
-        max_instrs: 60_000_000,
-        build,
-        check,
-    }
+    Workload { name: "sort", mem_size: 0x8_0000, max_instrs: 60_000_000, build, check }
 }

@@ -89,11 +89,5 @@ fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
-    Workload {
-        name: "wc",
-        mem_size: 0x6_0000,
-        max_instrs: 10_000_000,
-        build,
-        check,
-    }
+    Workload { name: "wc", mem_size: 0x6_0000, max_instrs: 10_000_000, build, check }
 }

@@ -343,13 +343,7 @@ fn check(cpu: &Cpu, _mem: &Memory) -> Result<(), String> {
 
 /// The workload descriptor.
 pub fn workload() -> Workload {
-    Workload {
-        name: "xlat",
-        mem_size: 0x8_0000,
-        max_instrs: 30_000_000,
-        build,
-        check,
-    }
+    Workload { name: "xlat", mem_size: 0x8_0000, max_instrs: 30_000_000, build, check }
 }
 
 #[cfg(test)]

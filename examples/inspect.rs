@@ -6,7 +6,7 @@
 //! cargo run --release --example inspect [workload] [max_vliws]
 //! ```
 
-use daisy::system::DaisySystem;
+use daisy::prelude::*;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "c_sieve".to_owned());
@@ -14,7 +14,7 @@ fn main() {
     let w = daisy_workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
     let prog = w.program();
 
-    let mut sys = DaisySystem::new(w.mem_size);
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
     sys.load(&prog).unwrap();
     sys.run(50 * w.max_instrs).unwrap();
     w.check(&sys.cpu, &sys.mem).expect("workload result verified");

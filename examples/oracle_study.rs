@@ -10,7 +10,7 @@
 //! ```
 
 use daisy::oracle::run_oracle_to_stop;
-use daisy::system::DaisySystem;
+use daisy::prelude::*;
 use daisy_ppc::mem::Memory;
 use daisy_vliw::machine::MachineConfig;
 
@@ -22,7 +22,7 @@ fn main() {
     for w in daisy_workloads::all() {
         let prog = w.program();
 
-        let mut sys = DaisySystem::new(w.mem_size);
+        let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
         sys.load(&prog).unwrap();
         sys.run(50 * w.max_instrs).unwrap();
 

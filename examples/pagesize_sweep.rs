@@ -6,16 +6,13 @@
 //! cargo run --release --example pagesize_sweep [workload]
 //! ```
 
-use daisy::sched::TranslatorConfig;
-use daisy::system::DaisySystem;
-use daisy_cachesim::Hierarchy;
+use daisy::prelude::*;
 use daisy_ppc::interp::Cpu;
 use daisy_ppc::mem::Memory;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "c_sieve".to_owned());
-    let w = daisy_workloads::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let w = daisy_workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
     let prog = w.program();
 
     let mut mem = Memory::new(w.mem_size);
@@ -31,7 +28,11 @@ fn main() {
     );
     for page_size in [128u32, 256, 512, 1024, 2048, 4096, 8192, 16384] {
         let cfg = TranslatorConfig { page_size, ..TranslatorConfig::default() };
-        let mut sys = DaisySystem::with_config(w.mem_size, cfg, Hierarchy::infinite());
+        let mut sys = DaisySystem::builder()
+            .mem_size(w.mem_size)
+            .translator(cfg)
+            .cache(Hierarchy::infinite())
+            .build();
         sys.load(&prog).unwrap();
         sys.run(50 * w.max_instrs).unwrap();
         w.check(&sys.cpu, &sys.mem).expect("correct at every page size");

@@ -12,10 +12,9 @@
 //! cargo run --release --example precise_exceptions
 //! ```
 
-use daisy::system::DaisySystem;
-use daisy_ppc::asm::Asm;
+use daisy::prelude::*;
 use daisy_ppc::insn::Insn;
-use daisy_ppc::reg::{Gpr, Spr};
+use daisy_ppc::reg::Spr;
 use daisy_ppc::vectors;
 
 fn main() {
@@ -44,7 +43,7 @@ fn main() {
     os.rfi();
     let os_prog = os.finish().unwrap();
 
-    let mut sys = DaisySystem::new(0x20000);
+    let mut sys = DaisySystem::builder().mem_size(0x20000).build();
     sys.load(&prog).unwrap();
     os_prog.load_into(&mut sys.mem).unwrap();
     sys.mem.write_u32(0x8000, 35).unwrap();

@@ -5,11 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use daisy::system::DaisySystem;
-use daisy_ppc::asm::Asm;
+use daisy::prelude::*;
 use daisy_ppc::interp::Cpu;
 use daisy_ppc::mem::Memory;
-use daisy_ppc::reg::{CrField, Gpr};
+use daisy_ppc::reg::CrField;
 
 fn main() {
     // A PowerPC program: sum of squares 1..=100 via a counted loop.
@@ -35,7 +34,7 @@ fn main() {
 
     // The same binary under DAISY: translated to VLIW tree code on
     // first touch, then executed in parallel.
-    let mut sys = DaisySystem::new(0x10000);
+    let mut sys = DaisySystem::builder().mem_size(0x10000).build();
     sys.load(&prog).unwrap();
     sys.run(1_000_000).unwrap();
     println!(

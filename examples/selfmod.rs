@@ -11,11 +11,9 @@
 //! cargo run --release --example selfmod
 //! ```
 
-use daisy::system::DaisySystem;
-use daisy_ppc::asm::Asm;
+use daisy::prelude::*;
 use daisy_ppc::encode::encode;
 use daisy_ppc::insn::Insn;
-use daisy_ppc::reg::Gpr;
 
 fn main() {
     let mut a = Asm::new(0x1000);
@@ -30,16 +28,14 @@ fn main() {
     a.sc();
     let prog = a.finish().unwrap();
 
-    let mut sys = DaisySystem::new(0x10000);
+    let mut sys = DaisySystem::builder().mem_size(0x10000).build();
     sys.load(&prog).unwrap();
     sys.run(1_000_000).unwrap();
 
     println!("r5 = {} (the patched instruction executed)", sys.cpu.gpr[5]);
     println!(
         "code-modification events: {}, page invalidations: {}, groups translated: {}",
-        sys.stats.code_modifications,
-        sys.vmm.stats.invalidations,
-        sys.vmm.stats.groups_translated,
+        sys.stats.code_modifications, sys.vmm.stats.invalidations, sys.vmm.stats.groups_translated,
     );
     assert_eq!(sys.cpu.gpr[5], 999);
     assert!(sys.vmm.stats.invalidations >= 1);

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Lint gate: clippy warnings are errors and formatting is canonical
+# (see rustfmt.toml). Run before sending changes; CI runs the same.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

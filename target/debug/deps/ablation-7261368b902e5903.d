@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-7261368b902e5903.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-7261368b902e5903: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

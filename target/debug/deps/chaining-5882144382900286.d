@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaining-5882144382900286.d: tests/chaining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaining-5882144382900286.rmeta: tests/chaining.rs Cargo.toml
+
+tests/chaining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

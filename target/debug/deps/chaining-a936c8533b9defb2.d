@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaining-a936c8533b9defb2.d: tests/chaining.rs
+
+/root/repo/target/debug/deps/chaining-a936c8533b9defb2: tests/chaining.rs
+
+tests/chaining.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/daisy-d736fd0092310c28.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs
+
+/root/repo/target/debug/deps/libdaisy-d736fd0092310c28.rlib: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs
+
+/root/repo/target/debug/deps/libdaisy-d736fd0092310c28.rmeta: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convert.rs:
+crates/core/src/engine.rs:
+crates/core/src/oracle.rs:
+crates/core/src/overhead.rs:
+crates/core/src/precise.rs:
+crates/core/src/sched.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/vmm.rs:

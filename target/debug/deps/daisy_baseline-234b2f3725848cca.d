@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/daisy_baseline-234b2f3725848cca.d: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+/root/repo/target/debug/deps/libdaisy_baseline-234b2f3725848cca.rlib: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+/root/repo/target/debug/deps/libdaisy_baseline-234b2f3725848cca.rmeta: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/ppc604e.rs:
+crates/baseline/src/profile.rs:
+crates/baseline/src/trad.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/daisy_baseline-59940a8919a754bb.d: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+/root/repo/target/debug/deps/daisy_baseline-59940a8919a754bb: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/ppc604e.rs:
+crates/baseline/src/profile.rs:
+crates/baseline/src/trad.rs:

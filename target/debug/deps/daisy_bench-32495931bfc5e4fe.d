@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daisy_bench-32495931bfc5e4fe.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdaisy_bench-32495931bfc5e4fe.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdaisy_bench-32495931bfc5e4fe.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/daisy_bench-407cf64ccd53ec96.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_bench-407cf64ccd53ec96.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

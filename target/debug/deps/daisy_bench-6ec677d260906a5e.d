@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daisy_bench-6ec677d260906a5e.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdaisy_bench-6ec677d260906a5e.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdaisy_bench-6ec677d260906a5e.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/daisy_bench-8e78b61abd14af5d.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_bench-8e78b61abd14af5d.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

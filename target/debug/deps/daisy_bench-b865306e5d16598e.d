@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/daisy_bench-b865306e5d16598e.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/daisy_bench-b865306e5d16598e: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/daisy_bench-cd91c51ce0a7b126.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/daisy_bench-cd91c51ce0a7b126: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:

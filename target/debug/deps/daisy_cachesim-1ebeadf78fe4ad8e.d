@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daisy_cachesim-1ebeadf78fe4ad8e.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/debug/deps/daisy_cachesim-1ebeadf78fe4ad8e: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

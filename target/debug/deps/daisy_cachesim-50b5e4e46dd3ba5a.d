@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daisy_cachesim-50b5e4e46dd3ba5a.d: crates/cachesim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_cachesim-50b5e4e46dd3ba5a.rmeta: crates/cachesim/src/lib.rs Cargo.toml
+
+crates/cachesim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

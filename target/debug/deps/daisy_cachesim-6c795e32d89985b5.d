@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daisy_cachesim-6c795e32d89985b5.d: crates/cachesim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_cachesim-6c795e32d89985b5.rmeta: crates/cachesim/src/lib.rs Cargo.toml
+
+crates/cachesim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/daisy_cachesim-e4954d6905f2563f.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/debug/deps/libdaisy_cachesim-e4954d6905f2563f.rlib: crates/cachesim/src/lib.rs
+
+/root/repo/target/debug/deps/libdaisy_cachesim-e4954d6905f2563f.rmeta: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/daisy_ppc-5e2984c2d39d3c3b.d: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_ppc-5e2984c2d39d3c3b.rmeta: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs Cargo.toml
+
+crates/ppc/src/lib.rs:
+crates/ppc/src/asm.rs:
+crates/ppc/src/decode.rs:
+crates/ppc/src/encode.rs:
+crates/ppc/src/insn.rs:
+crates/ppc/src/interp.rs:
+crates/ppc/src/mem.rs:
+crates/ppc/src/parse.rs:
+crates/ppc/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/daisy_ppc-7339e57df5f7f264.d: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_ppc-7339e57df5f7f264.rmeta: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs Cargo.toml
+
+crates/ppc/src/lib.rs:
+crates/ppc/src/asm.rs:
+crates/ppc/src/decode.rs:
+crates/ppc/src/encode.rs:
+crates/ppc/src/insn.rs:
+crates/ppc/src/interp.rs:
+crates/ppc/src/mem.rs:
+crates/ppc/src/parse.rs:
+crates/ppc/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

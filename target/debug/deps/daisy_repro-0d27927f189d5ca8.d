@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daisy_repro-0d27927f189d5ca8.d: src/lib.rs
+
+/root/repo/target/debug/deps/daisy_repro-0d27927f189d5ca8: src/lib.rs
+
+src/lib.rs:

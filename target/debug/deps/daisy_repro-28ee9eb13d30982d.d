@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daisy_repro-28ee9eb13d30982d.d: src/lib.rs
+
+/root/repo/target/debug/deps/daisy_repro-28ee9eb13d30982d: src/lib.rs
+
+src/lib.rs:

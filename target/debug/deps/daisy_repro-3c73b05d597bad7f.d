@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/daisy_repro-3c73b05d597bad7f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdaisy_repro-3c73b05d597bad7f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdaisy_repro-3c73b05d597bad7f.rmeta: src/lib.rs
+
+src/lib.rs:

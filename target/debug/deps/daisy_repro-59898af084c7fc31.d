@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daisy_repro-59898af084c7fc31.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_repro-59898af084c7fc31.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

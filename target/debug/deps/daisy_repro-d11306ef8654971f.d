@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/daisy_repro-d11306ef8654971f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdaisy_repro-d11306ef8654971f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdaisy_repro-d11306ef8654971f.rmeta: src/lib.rs
+
+src/lib.rs:

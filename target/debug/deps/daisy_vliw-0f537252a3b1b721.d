@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/daisy_vliw-0f537252a3b1b721.d: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+/root/repo/target/debug/deps/libdaisy_vliw-0f537252a3b1b721.rlib: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+/root/repo/target/debug/deps/libdaisy_vliw-0f537252a3b1b721.rmeta: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+crates/vliw/src/lib.rs:
+crates/vliw/src/machine.rs:
+crates/vliw/src/op.rs:
+crates/vliw/src/reg.rs:
+crates/vliw/src/regfile.rs:
+crates/vliw/src/tree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/daisy_vliw-e82022bd7f479599.d: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_vliw-e82022bd7f479599.rmeta: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs Cargo.toml
+
+crates/vliw/src/lib.rs:
+crates/vliw/src/machine.rs:
+crates/vliw/src/op.rs:
+crates/vliw/src/reg.rs:
+crates/vliw/src/regfile.rs:
+crates/vliw/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

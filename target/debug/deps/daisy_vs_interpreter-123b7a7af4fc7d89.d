@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daisy_vs_interpreter-123b7a7af4fc7d89.d: tests/daisy_vs_interpreter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_vs_interpreter-123b7a7af4fc7d89.rmeta: tests/daisy_vs_interpreter.rs Cargo.toml
+
+tests/daisy_vs_interpreter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daisy_vs_interpreter-3bff59bfaf79ba21.d: tests/daisy_vs_interpreter.rs
+
+/root/repo/target/debug/deps/daisy_vs_interpreter-3bff59bfaf79ba21: tests/daisy_vs_interpreter.rs
+
+tests/daisy_vs_interpreter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daisy_vs_interpreter-d0c5e23169d6627d.d: tests/daisy_vs_interpreter.rs
+
+/root/repo/target/debug/deps/daisy_vs_interpreter-d0c5e23169d6627d: tests/daisy_vs_interpreter.rs
+
+tests/daisy_vs_interpreter.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/daisy_workloads-a2594aa53a4c9647.d: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_workloads-a2594aa53a4c9647.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cmp.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/fgrep.rs:
+crates/workloads/src/hist.rs:
+crates/workloads/src/lex.rs:
+crates/workloads/src/sieve.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wc.rs:
+crates/workloads/src/xlat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dispatch-0540871d3492d8b4.d: crates/bench/benches/dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdispatch-0540871d3492d8b4.rmeta: crates/bench/benches/dispatch.rs Cargo.toml
+
+crates/bench/benches/dispatch.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

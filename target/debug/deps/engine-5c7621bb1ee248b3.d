@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-5c7621bb1ee248b3.d: crates/bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-5c7621bb1ee248b3.rmeta: crates/bench/benches/engine.rs Cargo.toml
+
+crates/bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-d3ea28288dc54f56.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-d3ea28288dc54f56: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/minimize_scratch-e2ce3cb75c4dc183.d: tests/minimize_scratch.rs
+
+/root/repo/target/debug/deps/minimize_scratch-e2ce3cb75c4dc183: tests/minimize_scratch.rs
+
+tests/minimize_scratch.rs:

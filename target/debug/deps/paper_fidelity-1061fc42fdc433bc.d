@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_fidelity-1061fc42fdc433bc.d: crates/core/tests/paper_fidelity.rs
+
+/root/repo/target/debug/deps/paper_fidelity-1061fc42fdc433bc: crates/core/tests/paper_fidelity.rs
+
+crates/core/tests/paper_fidelity.rs:

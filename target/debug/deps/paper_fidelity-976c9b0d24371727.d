@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_fidelity-976c9b0d24371727.d: crates/core/tests/paper_fidelity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_fidelity-976c9b0d24371727.rmeta: crates/core/tests/paper_fidelity.rs Cargo.toml
+
+crates/core/tests/paper_fidelity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_fidelity-d19d52d86a508972.d: crates/core/tests/paper_fidelity.rs
+
+/root/repo/target/debug/deps/paper_fidelity-d19d52d86a508972: crates/core/tests/paper_fidelity.rs
+
+crates/core/tests/paper_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_cache-57625cf533093ab1.d: crates/cachesim/tests/prop_cache.rs
+
+/root/repo/target/debug/deps/prop_cache-57625cf533093ab1: crates/cachesim/tests/prop_cache.rs
+
+crates/cachesim/tests/prop_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_cache-e9fc70016b8f0887.d: crates/cachesim/tests/prop_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_cache-e9fc70016b8f0887.rmeta: crates/cachesim/tests/prop_cache.rs Cargo.toml
+
+crates/cachesim/tests/prop_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_convert_semantics-b9f6049b58243348.d: tests/prop_convert_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_convert_semantics-b9f6049b58243348.rmeta: tests/prop_convert_semantics.rs Cargo.toml
+
+tests/prop_convert_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_convert_semantics-bd1ca0660a54810c.d: tests/prop_convert_semantics.rs
+
+/root/repo/target/debug/deps/prop_convert_semantics-bd1ca0660a54810c: tests/prop_convert_semantics.rs
+
+tests/prop_convert_semantics.rs:

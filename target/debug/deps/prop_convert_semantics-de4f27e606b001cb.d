@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_convert_semantics-de4f27e606b001cb.d: tests/prop_convert_semantics.rs
+
+/root/repo/target/debug/deps/prop_convert_semantics-de4f27e606b001cb: tests/prop_convert_semantics.rs
+
+tests/prop_convert_semantics.rs:

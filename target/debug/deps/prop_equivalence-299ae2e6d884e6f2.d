@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-299ae2e6d884e6f2.d: tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-299ae2e6d884e6f2: tests/prop_equivalence.rs
+
+tests/prop_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-82084a573ced8037.d: tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-82084a573ced8037: tests/prop_equivalence.rs
+
+tests/prop_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_equivalence-f2fc60f4a32ff3d6.d: tests/prop_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_equivalence-f2fc60f4a32ff3d6.rmeta: tests/prop_equivalence.rs Cargo.toml
+
+tests/prop_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

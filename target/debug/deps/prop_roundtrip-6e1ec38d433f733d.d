@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-6e1ec38d433f733d.d: crates/ppc/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-6e1ec38d433f733d.rmeta: crates/ppc/tests/prop_roundtrip.rs Cargo.toml
+
+crates/ppc/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-e607fdea897fd474.d: crates/ppc/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-e607fdea897fd474: crates/ppc/tests/prop_roundtrip.rs
+
+crates/ppc/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-198485a78674d627.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-198485a78674d627: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

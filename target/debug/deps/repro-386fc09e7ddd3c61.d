@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-386fc09e7ddd3c61.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-386fc09e7ddd3c61: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6bcefd1b5290c6c9.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6bcefd1b5290c6c9: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_shapes-dcdc35ec8072c32c.d: tests/repro_shapes.rs
+
+/root/repo/target/debug/deps/repro_shapes-dcdc35ec8072c32c: tests/repro_shapes.rs
+
+tests/repro_shapes.rs:

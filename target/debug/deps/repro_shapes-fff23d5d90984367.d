@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_shapes-fff23d5d90984367.d: tests/repro_shapes.rs
+
+/root/repo/target/debug/deps/repro_shapes-fff23d5d90984367: tests/repro_shapes.rs
+
+tests/repro_shapes.rs:

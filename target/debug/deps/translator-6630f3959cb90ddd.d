@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/translator-6630f3959cb90ddd.d: crates/bench/benches/translator.rs
+
+/root/repo/target/debug/deps/translator-6630f3959cb90ddd: crates/bench/benches/translator.rs
+
+crates/bench/benches/translator.rs:

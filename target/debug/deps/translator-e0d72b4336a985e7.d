@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/translator-e0d72b4336a985e7.d: crates/bench/benches/translator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtranslator-e0d72b4336a985e7.rmeta: crates/bench/benches/translator.rs Cargo.toml
+
+crates/bench/benches/translator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect-8355d14b896b6a19.d: examples/inspect.rs
+
+/root/repo/target/debug/examples/inspect-8355d14b896b6a19: examples/inspect.rs
+
+examples/inspect.rs:

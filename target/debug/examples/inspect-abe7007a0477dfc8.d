@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inspect-abe7007a0477dfc8.d: examples/inspect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinspect-abe7007a0477dfc8.rmeta: examples/inspect.rs Cargo.toml
+
+examples/inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

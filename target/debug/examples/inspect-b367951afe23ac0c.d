@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect-b367951afe23ac0c.d: examples/inspect.rs
+
+/root/repo/target/debug/examples/inspect-b367951afe23ac0c: examples/inspect.rs
+
+examples/inspect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oracle_study-272bd930ef037dab.d: examples/oracle_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboracle_study-272bd930ef037dab.rmeta: examples/oracle_study.rs Cargo.toml
+
+examples/oracle_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oracle_study-621c488797b60054.d: examples/oracle_study.rs
+
+/root/repo/target/debug/examples/oracle_study-621c488797b60054: examples/oracle_study.rs
+
+examples/oracle_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oracle_study-86c8ba853de13cfc.d: examples/oracle_study.rs
+
+/root/repo/target/debug/examples/oracle_study-86c8ba853de13cfc: examples/oracle_study.rs
+
+examples/oracle_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pagesize_sweep-1e7de75d2520e574.d: examples/pagesize_sweep.rs
+
+/root/repo/target/debug/examples/pagesize_sweep-1e7de75d2520e574: examples/pagesize_sweep.rs
+
+examples/pagesize_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pagesize_sweep-2b4b24b35de83359.d: examples/pagesize_sweep.rs
+
+/root/repo/target/debug/examples/pagesize_sweep-2b4b24b35de83359: examples/pagesize_sweep.rs
+
+examples/pagesize_sweep.rs:

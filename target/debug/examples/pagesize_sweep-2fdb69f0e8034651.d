@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pagesize_sweep-2fdb69f0e8034651.d: examples/pagesize_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpagesize_sweep-2fdb69f0e8034651.rmeta: examples/pagesize_sweep.rs Cargo.toml
+
+examples/pagesize_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

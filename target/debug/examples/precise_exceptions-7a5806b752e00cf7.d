@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precise_exceptions-7a5806b752e00cf7.d: examples/precise_exceptions.rs
+
+/root/repo/target/debug/examples/precise_exceptions-7a5806b752e00cf7: examples/precise_exceptions.rs
+
+examples/precise_exceptions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/precise_exceptions-d3d26cf0fb4f2df4.d: examples/precise_exceptions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprecise_exceptions-d3d26cf0fb4f2df4.rmeta: examples/precise_exceptions.rs Cargo.toml
+
+examples/precise_exceptions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

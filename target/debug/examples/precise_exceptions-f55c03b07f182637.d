@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precise_exceptions-f55c03b07f182637.d: examples/precise_exceptions.rs
+
+/root/repo/target/debug/examples/precise_exceptions-f55c03b07f182637: examples/precise_exceptions.rs
+
+examples/precise_exceptions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3f48aa7424322979.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3f48aa7424322979: examples/quickstart.rs
+
+examples/quickstart.rs:

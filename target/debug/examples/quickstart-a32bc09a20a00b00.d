@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a32bc09a20a00b00.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a32bc09a20a00b00: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selfmod-4aff460db51b0fd5.d: examples/selfmod.rs
+
+/root/repo/target/debug/examples/selfmod-4aff460db51b0fd5: examples/selfmod.rs
+
+examples/selfmod.rs:

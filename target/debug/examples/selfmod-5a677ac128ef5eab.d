@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selfmod-5a677ac128ef5eab.d: examples/selfmod.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselfmod-5a677ac128ef5eab.rmeta: examples/selfmod.rs Cargo.toml
+
+examples/selfmod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selfmod-6b6db93b507b456c.d: examples/selfmod.rs
+
+/root/repo/target/debug/examples/selfmod-6b6db93b507b456c: examples/selfmod.rs
+
+examples/selfmod.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libdaisy_cachesim.rlib: /root/repo/crates/cachesim/src/lib.rs

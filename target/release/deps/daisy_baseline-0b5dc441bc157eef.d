@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/daisy_baseline-0b5dc441bc157eef.d: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+/root/repo/target/release/deps/libdaisy_baseline-0b5dc441bc157eef.rlib: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+/root/repo/target/release/deps/libdaisy_baseline-0b5dc441bc157eef.rmeta: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/ppc604e.rs:
+crates/baseline/src/profile.rs:
+crates/baseline/src/trad.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/daisy_bench-76b786f9d6ed3f2a.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libdaisy_bench-76b786f9d6ed3f2a.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libdaisy_bench-76b786f9d6ed3f2a.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/daisy_cachesim-dcb9448d0b3abb1b.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/release/deps/libdaisy_cachesim-dcb9448d0b3abb1b.rlib: crates/cachesim/src/lib.rs
+
+/root/repo/target/release/deps/libdaisy_cachesim-dcb9448d0b3abb1b.rmeta: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/daisy_ppc-abb8d0909857878d.d: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs
+
+/root/repo/target/release/deps/libdaisy_ppc-abb8d0909857878d.rlib: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs
+
+/root/repo/target/release/deps/libdaisy_ppc-abb8d0909857878d.rmeta: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs
+
+crates/ppc/src/lib.rs:
+crates/ppc/src/asm.rs:
+crates/ppc/src/decode.rs:
+crates/ppc/src/encode.rs:
+crates/ppc/src/insn.rs:
+crates/ppc/src/interp.rs:
+crates/ppc/src/mem.rs:
+crates/ppc/src/parse.rs:
+crates/ppc/src/reg.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/daisy_repro-6cd76b3f7e0bdcd7.d: src/lib.rs
+
+/root/repo/target/release/deps/libdaisy_repro-6cd76b3f7e0bdcd7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdaisy_repro-6cd76b3f7e0bdcd7.rmeta: src/lib.rs
+
+src/lib.rs:

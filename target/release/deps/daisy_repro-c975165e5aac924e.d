@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/daisy_repro-c975165e5aac924e.d: src/lib.rs
+
+/root/repo/target/release/deps/libdaisy_repro-c975165e5aac924e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdaisy_repro-c975165e5aac924e.rmeta: src/lib.rs
+
+src/lib.rs:

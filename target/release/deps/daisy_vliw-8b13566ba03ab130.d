@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/daisy_vliw-8b13566ba03ab130.d: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+/root/repo/target/release/deps/libdaisy_vliw-8b13566ba03ab130.rlib: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+/root/repo/target/release/deps/libdaisy_vliw-8b13566ba03ab130.rmeta: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+crates/vliw/src/lib.rs:
+crates/vliw/src/machine.rs:
+crates/vliw/src/op.rs:
+crates/vliw/src/reg.rs:
+crates/vliw/src/regfile.rs:
+crates/vliw/src/tree.rs:

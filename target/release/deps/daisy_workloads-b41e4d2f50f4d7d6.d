@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/daisy_workloads-b41e4d2f50f4d7d6.d: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs
+
+/root/repo/target/release/deps/libdaisy_workloads-b41e4d2f50f4d7d6.rlib: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs
+
+/root/repo/target/release/deps/libdaisy_workloads-b41e4d2f50f4d7d6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cmp.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/fgrep.rs:
+crates/workloads/src/hist.rs:
+crates/workloads/src/lex.rs:
+crates/workloads/src/sieve.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wc.rs:
+crates/workloads/src/xlat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-86746c0ea3bfe168.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-86746c0ea3bfe168: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

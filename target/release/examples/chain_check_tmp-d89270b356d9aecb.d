@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chain_check_tmp-d89270b356d9aecb.d: examples/chain_check_tmp.rs
+
+/root/repo/target/release/examples/chain_check_tmp-d89270b356d9aecb: examples/chain_check_tmp.rs
+
+examples/chain_check_tmp.rs:

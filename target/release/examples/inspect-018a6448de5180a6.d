@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inspect-018a6448de5180a6.d: examples/inspect.rs
+
+/root/repo/target/release/examples/inspect-018a6448de5180a6: examples/inspect.rs
+
+examples/inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pagesize_sweep-c6d2ed5fb7d87629.d: examples/pagesize_sweep.rs
+
+/root/repo/target/release/examples/pagesize_sweep-c6d2ed5fb7d87629: examples/pagesize_sweep.rs
+
+examples/pagesize_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/precise_exceptions-a68c3295ce285691.d: examples/precise_exceptions.rs
+
+/root/repo/target/release/examples/precise_exceptions-a68c3295ce285691: examples/precise_exceptions.rs
+
+examples/precise_exceptions.rs:

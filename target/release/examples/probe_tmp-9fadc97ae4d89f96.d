@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-9fadc97ae4d89f96.d: examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-9fadc97ae4d89f96: examples/probe_tmp.rs
+
+examples/probe_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f6f249416a2950c5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f6f249416a2950c5: examples/quickstart.rs
+
+examples/quickstart.rs:

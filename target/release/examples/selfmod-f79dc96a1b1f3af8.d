@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/selfmod-f79dc96a1b1f3af8.d: examples/selfmod.rs
+
+/root/repo/target/release/examples/selfmod-f79dc96a1b1f3af8: examples/selfmod.rs
+
+examples/selfmod.rs:

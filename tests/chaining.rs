@@ -1,0 +1,215 @@
+//! Direct group-to-group chaining: the dispatch loop may skip the VMM
+//! on hot exits, but never at the expense of architectural
+//! compatibility. These tests drive the two hazards the link/sever
+//! protocol exists for — self-modifying code and alias retranslation —
+//! and pin down the accounting invariants between chained and
+//! unchained runs.
+
+use daisy::prelude::*;
+use daisy_ppc::encode::encode;
+use daisy_ppc::insn::Insn;
+use daisy_ppc::interp::{Cpu, StopReason};
+use daisy_ppc::mem::Memory;
+use proptest::prelude::*;
+
+const PAGE: u32 = 256;
+const TABLE: u32 = 0x8000;
+
+/// A loop that rewrites one of its own instructions every iteration.
+///
+/// Each pass fetches the next encoding of `addi r5, 0, imm` from a data
+/// table, stores it over the `patch:` site, executes the patched
+/// instruction, and accumulates r5 into r7. Stale translations — or
+/// stale chain links — would execute the previous iteration's immediate
+/// and corrupt the accumulator.
+///
+/// The loop starts at 0x1F00 so the patch site (padded up to 0x2000)
+/// lands in the *next* 4 KiB invalidation unit: the store kills only
+/// the patch group, while the storing group — and its chain link into
+/// the patch page — survives to observe the sever.
+fn selfmod_program(imms: &[i16], filler: &[u8]) -> daisy_ppc::asm::Program {
+    let mut a = Asm::new(0x1F00);
+    for r in [0u8, 1, 2, 3, 6] {
+        a.li(Gpr(r), i16::from(r) + 1);
+    }
+    a.li(Gpr(7), 0); // accumulator
+    a.li32(Gpr(9), TABLE);
+    a.li(Gpr(8), 0); // table index
+    a.li(Gpr(31), imms.len() as i16);
+    a.mtctr(Gpr(31));
+    a.label("loop");
+    a.lwzx(Gpr(4), Gpr(9), Gpr(8)); // next encoding
+    a.la(Gpr(3), "patch");
+    a.stw(Gpr(4), 0, Gpr(3)); // the code modification
+    for &op in filler {
+        match op % 6 {
+            0 => a.addi(Gpr(0), Gpr(0), 7),
+            1 => a.add(Gpr(1), Gpr(1), Gpr(0)),
+            2 => a.xor(Gpr(2), Gpr(2), Gpr(1)),
+            3 => a.srwi(Gpr(3), Gpr(2), 3),
+            4 => a.add(Gpr(6), Gpr(1), Gpr(3)),
+            _ => a.mullw(Gpr(1), Gpr(1), Gpr(2)),
+        }
+    }
+    // Park the patch site on its own page: the store above then
+    // invalidates a page other than the one it executes from.
+    while !a.here().is_multiple_of(PAGE) {
+        a.nop();
+    }
+    a.label("patch");
+    a.li(Gpr(5), 0); // overwritten at run time, every iteration
+    a.add(Gpr(7), Gpr(7), Gpr(5));
+    a.addi(Gpr(8), Gpr(8), 4);
+    a.bdnz("loop");
+    a.sc();
+
+    let words: Vec<u32> =
+        imms.iter().map(|&si| encode(&Insn::Addi { rt: Gpr(5), ra: Gpr(0), si })).collect();
+    a.data_words(TABLE, &words);
+    a.finish().expect("selfmod program assembles")
+}
+
+fn small_page_config() -> TranslatorConfig {
+    TranslatorConfig { page_size: PAGE, ..TranslatorConfig::default() }
+}
+
+fn run_reference(prog: &daisy_ppc::asm::Program, mem_size: u32) -> (Cpu, Memory) {
+    let mut mem = Memory::new(mem_size);
+    prog.load_into(&mut mem).unwrap();
+    let mut cpu = Cpu::new(prog.entry);
+    let stop = cpu.run(&mut mem, 1_000_000).unwrap();
+    assert_eq!(stop, StopReason::Syscall, "reference run did not finish");
+    (cpu, mem)
+}
+
+fn run_chained(prog: &daisy_ppc::asm::Program, mem_size: u32, chaining: bool) -> DaisySystem {
+    let mut sys = DaisySystem::builder()
+        .mem_size(mem_size)
+        .translator(small_page_config())
+        .chaining(chaining)
+        .build();
+    sys.load(prog).unwrap();
+    let stop = sys.run(10_000_000).unwrap();
+    assert_eq!(stop, StopReason::Syscall, "DAISY run did not finish");
+    sys
+}
+
+fn assert_state_matches(sys: &DaisySystem, cpu: &Cpu, mem: &Memory, what: &str) {
+    assert_eq!(sys.cpu.gpr, cpu.gpr, "{what}: GPR state diverged");
+    assert_eq!(sys.cpu.cr, cpu.cr, "{what}: CR diverged");
+    assert_eq!(sys.cpu.ctr, cpu.ctr, "{what}: CTR diverged");
+    assert_eq!(sys.cpu.xer, cpu.xer, "{what}: XER diverged");
+    assert_eq!(sys.cpu.pc, cpu.pc, "{what}: PC diverged");
+    let size = mem.size();
+    assert_eq!(
+        sys.mem.read_bytes(0, size).unwrap(),
+        mem.read_bytes(0, size).unwrap(),
+        "{what}: memory image diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chained execution of self-modifying programs is bit-for-bit the
+    /// interpreter's: every store over the patch page must sever the
+    /// inbound links before the next dispatch can follow one.
+    #[test]
+    fn prop_selfmod_chaining_matches_interpreter(
+        imms in proptest::collection::vec(1i16..1000, 1..6),
+        filler in proptest::collection::vec(0u8..6, 0..12),
+    ) {
+        let prog = selfmod_program(&imms, &filler);
+        let (cpu, mem) = run_reference(&prog, 0x2_0000);
+        let sys = run_chained(&prog, 0x2_0000, true);
+        assert_state_matches(&sys, &cpu, &mem, "selfmod");
+        // The first iteration stores before the patch page is ever
+        // translated; only later iterations hit a protected unit.
+        if imms.len() >= 2 {
+            prop_assert!(sys.stats.code_modifications >= 1, "patch stores must invalidate");
+        }
+        let want: u32 = imms.iter().map(|&i| i as u32).sum();
+        prop_assert_eq!(sys.cpu.gpr[7], want, "accumulator saw a stale patch");
+    }
+}
+
+/// Deterministic version with enough iterations to watch the protocol
+/// itself: links get installed into the patch group, each invalidation
+/// drops the only strong reference, and the next dispatch finds the
+/// link severed instead of following it into dead code.
+#[test]
+fn selfmod_loop_severs_chain_links() {
+    let imms: Vec<i16> = (1..=8).collect();
+    let prog = selfmod_program(&imms, &[1, 2]);
+    let (cpu, mem) = run_reference(&prog, 0x2_0000);
+    let sys = run_chained(&prog, 0x2_0000, true);
+    assert_state_matches(&sys, &cpu, &mem, "selfmod sever");
+    assert_eq!(sys.cpu.gpr[7], 36);
+    assert!(sys.stats.chain.link_installs >= 1, "hot exits should get links");
+    assert!(
+        sys.stats.chain.severs >= 1,
+        "invalidating the patch page must sever inbound links; stats: {:?}",
+        sys.stats.chain
+    );
+    assert!(sys.stats.code_modifications >= 2);
+}
+
+/// Alias restarts reached through a chained edge still retranslate the
+/// offending entry conservatively — and the retranslation drops the old
+/// group, severing any chain links that pointed at it.
+#[test]
+fn alias_restart_through_chained_edge_retranslates_conservatively() {
+    let w = daisy_workloads::by_name("hist").expect("hist workload");
+    let prog = w.program();
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+    sys.vmm.alias_retranslate_after = Some(3);
+    sys.load(&prog).unwrap();
+    sys.run(50 * w.max_instrs).unwrap();
+    w.check(&sys.cpu, &sys.mem).expect("hist result exact under retranslation");
+    assert!(sys.vmm.stats.alias_retranslations >= 1, "threshold should trip");
+    assert!(sys.stats.chain.chained_dispatches > 0, "hot loop should chain");
+    assert!(
+        sys.stats.chain.severs >= 1,
+        "retranslation must sever links into the replaced group; stats: {:?}",
+        sys.stats.chain
+    );
+}
+
+/// Chaining is pure plumbing: with it off the dispatch loop goes
+/// through the VMM every time (chain counters stay zero), and with it
+/// on the *total* number of group dispatches is unchanged — links only
+/// reroute lookups, they never add or skip group entries. Architected
+/// results are identical either way, and on hot workloads chaining
+/// absorbs at least half of all VMM dispatches.
+#[test]
+fn chaining_cuts_vmm_dispatches_without_changing_results() {
+    for name in ["hist", "compress"] {
+        let w = daisy_workloads::by_name(name).expect("workload");
+        let prog = w.program();
+        let run = |chaining: bool| {
+            let mut sys = DaisySystem::builder().mem_size(w.mem_size).chaining(chaining).build();
+            sys.load(&prog).unwrap();
+            let stop = sys.run(50 * w.max_instrs).unwrap();
+            assert_eq!(stop, StopReason::Syscall, "{name}: run did not finish");
+            w.check(&sys.cpu, &sys.mem).unwrap();
+            sys
+        };
+        let on = run(true);
+        let off = run(false);
+
+        assert_eq!(off.stats.chain, ChainStats::default(), "{name}: chaining off must be inert");
+        assert_eq!(on.cpu.gpr, off.cpu.gpr, "{name}: GPRs diverged across modes");
+        assert_eq!(on.cpu.pc, off.cpu.pc, "{name}: PC diverged across modes");
+        assert_eq!(
+            on.stats.total_dispatches(),
+            off.stats.groups_entered,
+            "{name}: chaining changed the number of group dispatches"
+        );
+        assert!(
+            2 * on.stats.groups_entered <= off.stats.groups_entered,
+            "{name}: expected >=50% fewer VMM dispatches, got {} chained vs {} unchained",
+            on.stats.groups_entered,
+            off.stats.groups_entered
+        );
+    }
+}

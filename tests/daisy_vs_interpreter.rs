@@ -20,7 +20,7 @@ fn run_reference(w: &Workload) -> (Cpu, Memory) {
 
 fn run_daisy(w: &Workload) -> DaisySystem {
     let prog = w.program();
-    let mut sys = DaisySystem::new(w.mem_size);
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
     sys.load(&prog).unwrap();
     let stop = sys.run(10 * w.max_instrs).unwrap();
     assert_eq!(stop, StopReason::Syscall, "{}: DAISY run did not finish", w.name);
@@ -66,8 +66,11 @@ fn finite_caches_never_change_semantics() {
         let (ref_cpu, _) = run_reference(&w);
         for cache in [Hierarchy::paper_default(), Hierarchy::paper_eight_issue()] {
             let prog = w.program();
-            let mut sys =
-                daisy::system::DaisySystem::with_config(w.mem_size, TranslatorConfig::default(), cache);
+            let mut sys = daisy::system::DaisySystem::builder()
+                .mem_size(w.mem_size)
+                .translator(TranslatorConfig::default())
+                .cache(cache)
+                .build();
             sys.load(&prog).unwrap();
             let stop = sys.run(200 * w.max_instrs).unwrap();
             assert_eq!(stop, StopReason::Syscall, "{name}: finite-cache run did not finish");

@@ -10,9 +10,7 @@
 //! happen.
 
 use daisy::convert::{convert, Flow};
-use daisy_ppc::insn::{
-    Arith2Op, ArithOp, Insn, LogicImmOp, LogicOp, ShiftOp, UnaryOp,
-};
+use daisy_ppc::insn::{Arith2Op, ArithOp, Insn, LogicImmOp, LogicOp, ShiftOp, UnaryOp};
 use daisy_ppc::interp::{Cpu, Event};
 use daisy_ppc::mem::Memory;
 use daisy_ppc::reg::{CrBit, CrField, Gpr};
@@ -76,32 +74,75 @@ fn comp_insn() -> impl Strategy<Value = Insn> {
             oe: false,
             rc
         }),
-        (logic, gpr(), gpr(), gpr(), any::<bool>())
-            .prop_map(|(op, ra, rs, rb, rc)| Insn::Logic { op, ra, rs, rb, rc }),
-        (gpr(), gpr(), any::<i16>(), any::<bool>())
-            .prop_map(|(rt, ra, si, rc)| Insn::Addic { rt, ra, si, rc }),
+        (logic, gpr(), gpr(), gpr(), any::<bool>()).prop_map(|(op, ra, rs, rb, rc)| Insn::Logic {
+            op,
+            ra,
+            rs,
+            rb,
+            rc
+        }),
+        (gpr(), gpr(), any::<i16>(), any::<bool>()).prop_map(|(rt, ra, si, rc)| Insn::Addic {
+            rt,
+            ra,
+            si,
+            rc
+        }),
         (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, si)| Insn::Subfic { rt, ra, si }),
         (gpr(), gpr(), any::<i16>()).prop_map(|(rt, ra, si)| Insn::Mulli { rt, ra, si }),
-        (gpr(), gpr(), any::<u16>())
-            .prop_map(|(ra, rs, ui)| Insn::LogicImm { op: LogicImmOp::Andis, ra, rs, ui }),
-        (gpr(), gpr(), gpr(), any::<bool>())
-            .prop_map(|(ra, rs, rb, rc)| Insn::Shift { op: ShiftOp::Sraw, ra, rs, rb, rc }),
-        (gpr(), gpr(), gpr(), any::<bool>())
-            .prop_map(|(ra, rs, rb, rc)| Insn::Shift { op: ShiftOp::Slw, ra, rs, rb, rc }),
-        (gpr(), gpr(), 0u8..32, any::<bool>())
-            .prop_map(|(ra, rs, sh, rc)| Insn::Srawi { ra, rs, sh, rc }),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(ra, rs, ui)| Insn::LogicImm {
+            op: LogicImmOp::Andis,
+            ra,
+            rs,
+            ui
+        }),
+        (gpr(), gpr(), gpr(), any::<bool>()).prop_map(|(ra, rs, rb, rc)| Insn::Shift {
+            op: ShiftOp::Sraw,
+            ra,
+            rs,
+            rb,
+            rc
+        }),
+        (gpr(), gpr(), gpr(), any::<bool>()).prop_map(|(ra, rs, rb, rc)| Insn::Shift {
+            op: ShiftOp::Slw,
+            ra,
+            rs,
+            rb,
+            rc
+        }),
+        (gpr(), gpr(), 0u8..32, any::<bool>()).prop_map(|(ra, rs, sh, rc)| Insn::Srawi {
+            ra,
+            rs,
+            sh,
+            rc
+        }),
         (gpr(), gpr(), 0u8..32, 0u8..32, 0u8..32, any::<bool>())
             .prop_map(|(ra, rs, sh, mb, me, rc)| Insn::Rlwinm { ra, rs, sh, mb, me, rc }),
         (gpr(), gpr(), 0u8..32, 0u8..32, 0u8..32, any::<bool>())
             .prop_map(|(ra, rs, sh, mb, me, rc)| Insn::Rlwimi { ra, rs, sh, mb, me, rc }),
-        (gpr(), gpr(), any::<bool>())
-            .prop_map(|(ra, rs, rc)| Insn::Unary { op: UnaryOp::Cntlzw, ra, rs, rc }),
-        (gpr(), gpr(), any::<bool>())
-            .prop_map(|(ra, rs, rc)| Insn::Unary { op: UnaryOp::Extsb, ra, rs, rc }),
-        (crf(), any::<bool>(), gpr(), gpr())
-            .prop_map(|(bf, signed, ra, rb)| Insn::Cmp { bf, signed, ra, rb }),
-        (crf(), gpr(), any::<i16>())
-            .prop_map(|(bf, ra, si)| Insn::CmpImm { bf, signed: true, ra, imm: i32::from(si) }),
+        (gpr(), gpr(), any::<bool>()).prop_map(|(ra, rs, rc)| Insn::Unary {
+            op: UnaryOp::Cntlzw,
+            ra,
+            rs,
+            rc
+        }),
+        (gpr(), gpr(), any::<bool>()).prop_map(|(ra, rs, rc)| Insn::Unary {
+            op: UnaryOp::Extsb,
+            ra,
+            rs,
+            rc
+        }),
+        (crf(), any::<bool>(), gpr(), gpr()).prop_map(|(bf, signed, ra, rb)| Insn::Cmp {
+            bf,
+            signed,
+            ra,
+            rb
+        }),
+        (crf(), gpr(), any::<i16>()).prop_map(|(bf, ra, si)| Insn::CmpImm {
+            bf,
+            signed: true,
+            ra,
+            imm: i32::from(si)
+        }),
         ((0u8..32), (0u8..32), (0u8..32)).prop_map(|(bt, ba, bb)| Insn::CrLogic {
             op: daisy_ppc::insn::CrOp::Nand,
             bt: CrBit(bt),

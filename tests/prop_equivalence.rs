@@ -13,7 +13,7 @@ use daisy::sched::TranslatorConfig;
 use daisy::system::DaisySystem;
 use daisy_cachesim::Hierarchy;
 use daisy_ppc::asm::Asm;
-use daisy_ppc::insn::{bo, Insn, MemWidth};
+use daisy_ppc::insn::{bo, Insn};
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
 use daisy_ppc::reg::{CrBit, CrField, Gpr};
@@ -47,20 +47,40 @@ fn step() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0u8..8, 0u8..12, 0u8..12, 0u8..12, any::<bool>())
             .prop_map(|(op, rt, ra, rb, rc)| Step::Alu { op, rt, ra, rb, rc }),
-        (0u8..3, 0u8..12, 0u8..12, any::<i16>())
-            .prop_map(|(op, rt, ra, imm)| Step::AluImm { op, rt, ra, imm }),
-        (0u8..4, 0u8..12, 0u8..12, 0u8..12)
-            .prop_map(|(op, rt, ra, rb)| Step::Carry { op, rt, ra, rb }),
-        (0u8..4, 0u8..12, 0u8..12, 0u8..32)
-            .prop_map(|(op, rt, ra, sh)| Step::Shift { op, rt, ra, sh }),
-        (0u8..4, any::<bool>(), 0u8..12, 0u8..12)
-            .prop_map(|(bf, signed, ra, rb)| Step::Cmp { bf, signed, ra, rb }),
+        (0u8..3, 0u8..12, 0u8..12, any::<i16>()).prop_map(|(op, rt, ra, imm)| Step::AluImm {
+            op,
+            rt,
+            ra,
+            imm
+        }),
+        (0u8..4, 0u8..12, 0u8..12, 0u8..12).prop_map(|(op, rt, ra, rb)| Step::Carry {
+            op,
+            rt,
+            ra,
+            rb
+        }),
+        (0u8..4, 0u8..12, 0u8..12, 0u8..32).prop_map(|(op, rt, ra, sh)| Step::Shift {
+            op,
+            rt,
+            ra,
+            sh
+        }),
+        (0u8..4, any::<bool>(), 0u8..12, 0u8..12).prop_map(|(bf, signed, ra, rb)| Step::Cmp {
+            bf,
+            signed,
+            ra,
+            rb
+        }),
         (0u8..3, 0u8..12, 0u8..64).prop_map(|(width, rt, slot)| Step::Load { width, rt, slot }),
         (0u8..3, 0u8..12, 0u8..64).prop_map(|(width, rs, slot)| Step::Store { width, rs, slot }),
         (0u8..12, 0u8..12).prop_map(|(rt, ridx)| Step::LoadIdx { rt, ridx }),
         (0u8..12, 0u8..12).prop_map(|(rs, ridx)| Step::StoreIdx { rs, ridx }),
-        (0u8..4, 0u8..4, any::<bool>(), 1u8..6)
-            .prop_map(|(bf, bit, want, skip)| Step::SkipIf { bf, bit, want, skip }),
+        (0u8..4, 0u8..4, any::<bool>(), 1u8..6).prop_map(|(bf, bit, want, skip)| Step::SkipIf {
+            bf,
+            bit,
+            want,
+            skip
+        }),
         (1u8..6, 0u8..12).prop_map(|(count, body_rt)| Step::CtrLoop { count, body_rt }),
         (0u8..12, 0u8..12, 0u8..12).prop_map(|(rt, ra, rb)| Step::Call { rt, ra, rb }),
         (0u8..16, 0u8..16, 0u8..16).prop_map(|(bt, ba, bb)| Step::CrOp { bt, ba, bb }),
@@ -237,7 +257,11 @@ fn run_both(steps: &[Step], seeds: &[u32], cfg: TranslatorConfig) -> (Cpu, Daisy
     let stop = cpu.run(&mut mem, 1_000_000).unwrap();
     assert_eq!(stop, StopReason::Syscall);
 
-    let mut sys = DaisySystem::with_config(0x2_0000, cfg, Hierarchy::infinite());
+    let mut sys = DaisySystem::builder()
+        .mem_size(0x2_0000)
+        .translator(cfg)
+        .cache(Hierarchy::infinite())
+        .build();
     sys.load(&prog).unwrap();
     for i in 0..SLOTS {
         sys.mem.write_u32(DATA + 4 * i, i.wrapping_mul(0x9E37_79B9)).unwrap();
@@ -316,6 +340,33 @@ proptest! {
         let (cpu, sys) = run_both(&steps, &seeds, cfg);
         assert_same(&cpu, &sys, "ablation");
     }
+}
+
+/// Regression: must-alias store-to-load forwarding matched on rename
+/// register *names*, so a later out-of-order address computation that
+/// reused the store's rename register made an unrelated load "must
+/// alias" the store and forward a stale value. Minimized from a
+/// generated program on the 4-issue machine with 256-byte pages.
+#[test]
+fn regression_forwarding_must_not_match_reused_rename_regs() {
+    let steps = vec![
+        Step::LoadIdx { rt: 2, ridx: 0 },
+        Step::StoreIdx { rs: 10, ridx: 3 },
+        Step::Alu { op: 1, rt: 1, ra: 10, rb: 4, rc: false },
+        Step::LoadIdx { rt: 6, ridx: 5 },
+        Step::LoadIdx { rt: 5, ridx: 10 },
+    ];
+    let seeds: Vec<u32> = vec![
+        876982966, 3232715410, 1162039537, 114046226, 3492058626, 3919515819, 2759707427,
+        4098963321, 2925207062, 939715675, 269612705, 1212412170,
+    ];
+    let cfg = TranslatorConfig {
+        machine: MachineConfig::paper_configs()[0].clone(),
+        page_size: 256,
+        ..TranslatorConfig::default()
+    };
+    let (cpu, sys) = run_both(&steps, &seeds, cfg);
+    assert_same(&cpu, &sys, "reused rename register in store record");
 }
 
 /// A deterministic regression corpus for the same generator (fast path

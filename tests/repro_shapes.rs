@@ -35,7 +35,7 @@ fn base_instrs(w: &Workload) -> u64 {
 fn ilp_with(w: &Workload, cfg: TranslatorConfig, cache: Hierarchy) -> (f64, DaisySystem) {
     let base = base_instrs(w);
     let prog = w.program();
-    let mut sys = DaisySystem::with_config(w.mem_size, cfg, cache);
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).translator(cfg).cache(cache).build();
     sys.load(&prog).unwrap();
     sys.run(50 * w.max_instrs).unwrap();
     w.check(&sys.cpu, &sys.mem).unwrap();
@@ -70,8 +70,7 @@ fn figure_5_1_shape_ilp_grows_with_machine_size() {
         let mut prev = 0.0;
         let mut vals = Vec::new();
         for &i in &picks {
-            let cfg =
-                TranslatorConfig { machine: cfgs[i].clone(), ..TranslatorConfig::default() };
+            let cfg = TranslatorConfig { machine: cfgs[i].clone(), ..TranslatorConfig::default() };
             let (ilp, _) = ilp_with(&w, cfg, Hierarchy::infinite());
             assert!(
                 ilp + 0.05 >= prev,
@@ -263,8 +262,7 @@ fn chapter_6_shape_oracle_dominates_daisy() {
         let prog = w.program();
         let mut mem = Memory::new(w.mem_size);
         prog.load_into(&mut mem).unwrap();
-        let (inf, _) =
-            daisy::oracle::run_oracle_to_stop(&mut mem, prog.entry, None, w.max_instrs);
+        let (inf, _) = daisy::oracle::run_oracle_to_stop(&mut mem, prog.entry, None, w.max_instrs);
         let mut mem = Memory::new(w.mem_size);
         prog.load_into(&mut mem).unwrap();
         let (capped, _) = daisy::oracle::run_oracle_to_stop(
