@@ -1,0 +1,82 @@
+//! Profile-guided tiered retranslation: cold groups are translated
+//! with the paper-default window; groups that cross the hot dispatch
+//! threshold are dropped and rebuilt with a wider window, deeper
+//! speculation, and interpretive profiling hints (§4.3's reoptimized
+//! translations).
+//!
+//! Besides the criterion timings, writes `BENCH_tiered.json` at the
+//! repository root comparing finite-cache ILP, dispatch counts, and
+//! promotions with tiering off versus on, per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daisy::prelude::*;
+use daisy_bench::runner::{self, Measurement};
+use daisy_cachesim::Hierarchy;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+const WORKLOADS: &[&str] = &["compress", "sort", "xlat"];
+
+fn run_once(w: &Workload, tiered: bool) -> Measurement {
+    let policy = tiered.then(TierPolicy::default);
+    runner::run_daisy_tiered(w, TranslatorConfig::default(), Hierarchy::paper_default(), policy)
+}
+
+fn bench_tiered(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiered");
+    g.sample_size(10);
+    let mut rows = Vec::new();
+    for &name in WORKLOADS {
+        let w = daisy_workloads::by_name(name).unwrap();
+        for tiered in [false, true] {
+            let mode = if tiered { "tiered" } else { "cold" };
+            g.bench_with_input(BenchmarkId::new(name, mode), &tiered, |b, &t| {
+                b.iter(|| black_box(run_once(&w, t)));
+            });
+        }
+
+        // One measured pass per mode for the JSON report.
+        let cell = |m: &Measurement| {
+            format!(
+                concat!(
+                    "{{\"finite_ilp\": {:.4}, \"ilp\": {:.4}, \"vliws\": {}, ",
+                    "\"stall_cycles\": {}, \"total_dispatches\": {}, ",
+                    "\"hot_promotions\": {}}}"
+                ),
+                m.finite_ilp(),
+                m.ilp(),
+                m.stats.vliws_executed,
+                m.stats.stall_cycles,
+                m.stats.total_dispatches(),
+                m.hot_promotions
+            )
+        };
+        let cold = run_once(&w, false);
+        let hot = run_once(&w, true);
+        let delta = (hot.finite_ilp() / cold.finite_ilp() - 1.0) * 100.0;
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            concat!(
+                "    {{\"name\": \"{}\", \"cold\": {}, \"tiered\": {}, ",
+                "\"finite_ilp_delta_pct\": {:.2}}}"
+            ),
+            name,
+            cell(&cold),
+            cell(&hot),
+            delta
+        );
+        rows.push(row);
+    }
+    g.finish();
+
+    let json = format!(
+        "{{\n  \"bench\": \"tiered\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tiered.json");
+    std::fs::write(path, json).expect("write BENCH_tiered.json");
+}
+
+criterion_group!(benches, bench_tiered);
+criterion_main!(benches);

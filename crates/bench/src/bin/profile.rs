@@ -1,0 +1,123 @@
+//! `profile` — per-group execution profile and structured-event report
+//! for one or more workloads.
+//!
+//! ```text
+//! profile [--tiered] [--top N] [--jsonl FILE] [WORKLOAD ...]
+//!
+//!   --tiered      enable profile-guided tiered retranslation
+//!                 (default TierPolicy: promote at 64 dispatches)
+//!   --top N       show the N hottest groups (default 10)
+//!   --jsonl FILE  also stream every trace event to FILE as JSON lines
+//!   WORKLOAD      workload names (default: all nine)
+//! ```
+//!
+//! For each workload this prints the top-N groups by dispatch count
+//! (entry address, tier, dispatches, chained share, VLIWs retired,
+//! stall cycles) and a histogram of structured trace events.
+
+use daisy::prelude::*;
+use std::collections::BTreeMap;
+
+struct Options {
+    tiered: bool,
+    top: usize,
+    jsonl: Option<String>,
+    workloads: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options { tiered: false, top: 10, jsonl: None, workloads: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tiered" => opts.tiered = true,
+            "--top" => {
+                let n = args.next().expect("--top needs a value");
+                opts.top = n.parse().expect("--top needs an integer");
+            }
+            "--jsonl" => opts.jsonl = Some(args.next().expect("--jsonl needs a path")),
+            "--help" | "-h" => {
+                println!("profile [--tiered] [--top N] [--jsonl FILE] [WORKLOAD ...]");
+                std::process::exit(0);
+            }
+            other => opts.workloads.push(other.to_string()),
+        }
+    }
+    opts
+}
+
+fn profile_workload(w: &Workload, opts: &Options) {
+    let sink = RingSink::new(1 << 16);
+    let mut builder =
+        DaisySystem::builder().mem_size(w.mem_size).trace_sink(sink.clone()).profiling(true);
+    if opts.tiered {
+        builder = builder.tiered(TierPolicy::default());
+    }
+    let mut sys = builder.build();
+    sys.load(&w.program()).expect("workload fits in memory");
+    sys.run(50 * w.max_instrs).expect("workload completes");
+    w.check(&sys.cpu, &sys.mem).unwrap_or_else(|e| panic!("{}: check failed: {e}", w.name));
+
+    let profiler = sys.profiler.as_ref().expect("profiling enabled");
+    let mode = if opts.tiered { "tiered" } else { "cold-only" };
+    println!("== {} ({mode}, {} distinct groups) ==", w.name, profiler.len());
+    println!(
+        "{:>10}  {:>5}  {:>10}  {:>8}  {:>12}  {:>12}",
+        "entry", "tier", "dispatches", "chained%", "vliws", "stalls"
+    );
+    for (entry, p) in profiler.top_by_dispatches(opts.top) {
+        let chained_pct = if p.dispatches == 0 {
+            0.0
+        } else {
+            100.0 * p.chained_dispatches as f64 / p.dispatches as f64
+        };
+        println!(
+            "{entry:>#10x}  {:>5}  {:>10}  {chained_pct:>7.1}%  {:>12}  {:>12}",
+            p.tier.name(),
+            p.dispatches,
+            p.vliws_retired,
+            p.stall_cycles
+        );
+    }
+
+    let events = sink.events();
+    let mut hist: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in &events {
+        *hist.entry(ev.kind()).or_default() += 1;
+    }
+    println!("-- events ({} captured, {} dropped) --", events.len(), sink.dropped());
+    for (kind, n) in &hist {
+        println!("{kind:>18}  {n}");
+    }
+    if sys.vmm.stats.hot_promotions > 0 {
+        println!("-- {} hot promotions --", sys.vmm.stats.hot_promotions);
+    }
+    println!();
+
+    if let Some(path) = &opts.jsonl {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open --jsonl file");
+        for ev in &events {
+            writeln!(f, "{}", ev.to_json()).expect("write --jsonl file");
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let workloads: Vec<Workload> = if opts.workloads.is_empty() {
+        daisy_workloads::all()
+    } else {
+        opts.workloads
+            .iter()
+            .map(|n| daisy_workloads::by_name(n).unwrap_or_else(|| panic!("unknown workload: {n}")))
+            .collect()
+    };
+    for w in &workloads {
+        profile_workload(w, &opts);
+    }
+}

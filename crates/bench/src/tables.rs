@@ -295,6 +295,9 @@ pub fn table5_4(t53: &[Table53Row]) -> Vec<Table54Row> {
         .collect()
 }
 
+/// Renders a `RunStats::vliws_between`-style optional mean: `None`
+/// means the event never occurred (see that method's contract), which
+/// the tables print as `-` — never as a number.
 fn opt(v: Option<f64>) -> String {
     v.map_or_else(|| "-".to_owned(), |x| format!("{x:.1}"))
 }
@@ -934,4 +937,18 @@ pub fn print_oracle(rows: &[OracleRow]) -> String {
         mean(rows.iter().map(|r| r.oracle_eight))
     );
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::opt;
+
+    /// The `vliws_between` contract surfaces here: `None` (event never
+    /// occurred) must render as a placeholder, not a number.
+    #[test]
+    fn opt_renders_none_as_dash() {
+        assert_eq!(opt(None), "-");
+        assert_eq!(opt(Some(25.0)), "25.0");
+        assert_eq!(opt(Some(0.04)), "0.0"); // rare-but-present rounds, still numeric
+    }
 }

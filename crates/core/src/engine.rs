@@ -11,6 +11,7 @@
 
 use crate::precise::ArchEvent;
 use crate::stats::RunStats;
+use crate::trace::Tier;
 use daisy_cachesim::Hierarchy;
 use daisy_ppc::insn::MemWidth;
 use daisy_ppc::mem::Memory;
@@ -61,6 +62,10 @@ pub struct GroupCode {
     pub group: Group,
     /// Translated-code address of each tree instruction.
     pub vliw_addrs: Vec<u32>,
+    /// Which translator tier produced this code (cold first-touch or
+    /// profile-guided hot retranslation); carried so the profiler and
+    /// trace events can attribute execution per tier.
+    pub tier: Tier,
     /// Sorted distinct targets of the group's static direct-branch
     /// exits; parallel to `links`.
     exit_targets: Vec<u32>,
@@ -89,10 +94,18 @@ impl GroupCode {
         GroupCode {
             group,
             vliw_addrs,
+            tier: Tier::Cold,
             exit_targets,
             links,
             icache: RefCell::new([const { None }; ICACHE_WAYS]),
         }
+    }
+
+    /// Sets the translation tier (builder style; the VMM tags hot
+    /// retranslations before publishing the code).
+    pub fn with_tier(mut self, tier: Tier) -> GroupCode {
+        self.tier = tier;
+        self
     }
 
     /// The link slot for a static direct-branch exit `target`, if the

@@ -22,6 +22,9 @@
 //!   emulated CPU state into a runnable whole.
 //! * [`oracle`] — the oracle-parallelism schedulers of Chapter 6.
 //! * [`overhead`] — the analytic compile-overhead model of §5.1.
+//! * [`trace`] — structured observability: [`trace::TraceSink`] event
+//!   taps, the per-group execution profiler, and the hot/cold
+//!   translation tiers behind [`sched::TierPolicy`].
 //!
 //! # Quick start
 //!
@@ -40,6 +43,8 @@
 //! assert_eq!(sys.cpu.gpr[3], 42);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod convert;
 pub mod engine;
 pub mod oracle;
@@ -48,9 +53,10 @@ pub mod precise;
 pub mod sched;
 pub mod stats;
 pub mod system;
+pub mod trace;
 pub mod vmm;
 
-pub use sched::TranslatorConfig;
+pub use sched::{TierPolicy, TranslatorConfig};
 pub use stats::RunStats;
 pub use system::DaisySystem;
 pub use vmm::Vmm;
@@ -65,9 +71,10 @@ pub use vmm::Vmm;
 /// sys.load(&w.program()).unwrap();
 /// ```
 pub mod prelude {
-    pub use crate::sched::TranslatorConfig;
+    pub use crate::sched::{TierPolicy, TranslatorConfig};
     pub use crate::stats::{ChainStats, RunStats};
     pub use crate::system::{DaisySystem, DaisySystemBuilder};
+    pub use crate::trace::{GroupProfiler, JsonlSink, NullSink, RingSink, TraceEvent, TraceSink};
     pub use daisy_cachesim::Hierarchy;
     pub use daisy_ppc::asm::Asm;
     pub use daisy_ppc::reg::Gpr;

@@ -142,7 +142,25 @@ impl RunStats {
     }
 
     /// Mean VLIWs between events of the given count (Tables 5.4, 5.6,
-    /// 5.7); `None` when the event never occurred.
+    /// 5.7).
+    ///
+    /// # Contract
+    ///
+    /// Returns `None` — not `0.0`, not infinity — when `events` is
+    /// zero: a mean interval between events that never occurred is
+    /// undefined. Callers rendering tables must print a placeholder
+    /// for `None` (the `repro` tables print `-`) rather than coercing
+    /// to a number; coercing to `0.0` would read as "an event every
+    /// zero VLIWs", the exact opposite of "never".
+    ///
+    /// ```
+    /// use daisy::stats::RunStats;
+    ///
+    /// let mut s = RunStats::default();
+    /// s.vliws_executed = 100;
+    /// assert_eq!(s.vliws_between(4), Some(25.0));
+    /// assert_eq!(s.vliws_between(0), None); // never occurred: undefined
+    /// ```
     pub fn vliws_between(&self, events: u64) -> Option<f64> {
         (events > 0).then(|| self.vliws_executed as f64 / events as f64)
     }

@@ -11,8 +11,9 @@
 
 use crate::engine::{run_group, ChainLink, ExcKind, GroupCode, GroupExit};
 use crate::precise::{self, ArchEvent, RecoverError};
-use crate::sched::TranslatorConfig;
+use crate::sched::{TierPolicy, TranslatorConfig};
 use crate::stats::RunStats;
+use crate::trace::{ExcClass, GroupProfiler, Tier, TraceEvent, TraceSink, Tracer};
 use crate::vmm::Vmm;
 use daisy_cachesim::Hierarchy;
 use daisy_ppc::asm::Program;
@@ -67,6 +68,12 @@ pub struct DaisySystem {
     chaining: bool,
     /// The previous group's exit, if a chain link may apply to it.
     pending_chain: Option<PendingChain>,
+    /// Per-group execution profiler (`None` unless enabled through the
+    /// builder; tiered retranslation enables it implicitly).
+    pub profiler: Option<GroupProfiler>,
+    /// Promotion threshold, copied out of the VMM's tier policy so the
+    /// dispatch loop can test it without borrowing the VMM.
+    hot_threshold: Option<u64>,
 }
 
 /// Configures and creates a [`DaisySystem`]; obtained from
@@ -82,7 +89,7 @@ pub struct DaisySystem {
 ///     .build();
 /// assert!(sys.chaining_enabled());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DaisySystemBuilder {
     mem_size: u32,
     cfg: TranslatorConfig,
@@ -91,6 +98,9 @@ pub struct DaisySystemBuilder {
     check_precise_recovery: bool,
     code_capacity: Option<u64>,
     chaining: bool,
+    trace_sink: Option<Box<dyn TraceSink>>,
+    profiling: bool,
+    tier_policy: Option<TierPolicy>,
 }
 
 impl Default for DaisySystemBuilder {
@@ -103,6 +113,9 @@ impl Default for DaisySystemBuilder {
             check_precise_recovery: true,
             code_capacity: None,
             chaining: true,
+            trace_sink: None,
+            profiling: false,
+            tier_policy: None,
         }
     }
 }
@@ -155,10 +168,49 @@ impl DaisySystemBuilder {
         self
     }
 
+    /// Installs a structured-event sink (see [`crate::trace`]). Without
+    /// one, tracing is disabled and event closures are never evaluated.
+    pub fn trace_sink(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.trace_sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Enables the per-group execution profiler
+    /// ([`DaisySystem::profiler`]): dispatch counts, VLIWs retired, and
+    /// stall cycles attributed per group entry (default off; implied by
+    /// [`DaisySystemBuilder::tiered`]).
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
+    /// Enables profile-guided tiered retranslation under `policy`:
+    /// groups whose dispatch count crosses the policy's hot threshold
+    /// are dropped and rebuilt with the policy's wider scheduling
+    /// window and deeper speculation. Implies [`profiling`].
+    ///
+    /// [`profiling`]: DaisySystemBuilder::profiling
+    pub fn tiered(mut self, policy: TierPolicy) -> Self {
+        self.tier_policy = Some(policy);
+        self.profiling = true;
+        self
+    }
+
+    /// Shorthand for [`DaisySystemBuilder::tiered`] with the default
+    /// [`TierPolicy`] at the given promotion threshold.
+    pub fn hot_threshold(self, dispatches: u64) -> Self {
+        self.tiered(TierPolicy::with_threshold(dispatches))
+    }
+
     /// Builds the system.
     pub fn build(self) -> DaisySystem {
         let mut vmm = Vmm::new(self.cfg);
         vmm.set_code_capacity(self.code_capacity);
+        if let Some(sink) = self.trace_sink {
+            vmm.tracer = Tracer::new(sink);
+        }
+        let hot_threshold = self.tier_policy.as_ref().map(|p| p.hot_threshold);
+        vmm.tier_policy = self.tier_policy;
         DaisySystem {
             mem: Memory::new(self.mem_size),
             cpu: Cpu::new(0),
@@ -172,6 +224,8 @@ impl DaisySystemBuilder {
             events: Vec::new(),
             chaining: self.chaining,
             pending_chain: None,
+            profiler: self.profiling.then(GroupProfiler::new),
+            hot_threshold,
         }
     }
 }
@@ -257,7 +311,9 @@ impl DaisySystem {
             if self.pending_external && self.cpu.msr & daisy_ppc::reg::msr_bits::EE != 0 {
                 self.pending_external = false;
                 self.stats.exceptions += 1;
-                self.cpu.deliver(vectors::EXTERNAL, self.cpu.pc);
+                let at = self.cpu.pc;
+                self.vmm.tracer.emit(|| TraceEvent::ExternalInterrupt { pc: at });
+                self.cpu.deliver(vectors::EXTERNAL, at);
             }
             let pc = self.cpu.pc;
             // Chained dispatch: follow the link installed on the
@@ -277,6 +333,11 @@ impl DaisySystem {
                             ChainLink::Severed => {
                                 self.stats.chain.severs += 1;
                                 from.clear_link(*slot);
+                                let from_entry = from.group.entry;
+                                self.vmm.tracer.emit(|| TraceEvent::ChainSever {
+                                    from: from_entry,
+                                    target: pc,
+                                });
                             }
                             ChainLink::Empty => {}
                         }
@@ -293,6 +354,7 @@ impl DaisySystem {
                     _ => {}
                 }
             }
+            let was_chained = chained.is_some();
             let code = match chained {
                 Some(code) => {
                     self.stats.chain.chained_dispatches += 1;
@@ -306,9 +368,21 @@ impl DaisySystem {
                             Some(PendingChain::Direct { from, slot, target }) if target == pc => {
                                 from.install_link(slot, &code);
                                 self.stats.chain.link_installs += 1;
+                                let from_entry = from.group.entry;
+                                self.vmm.tracer.emit(|| TraceEvent::ChainInstall {
+                                    from: from_entry,
+                                    to: pc,
+                                    indirect: false,
+                                });
                             }
                             Some(PendingChain::Indirect { from, target }) if target == pc => {
                                 from.icache_install(pc, &code);
+                                let from_entry = from.group.entry;
+                                self.vmm.tracer.emit(|| TraceEvent::ChainInstall {
+                                    from: from_entry,
+                                    to: pc,
+                                    indirect: true,
+                                });
                             }
                             _ => {}
                         }
@@ -318,6 +392,10 @@ impl DaisySystem {
             };
             let from_page = pc / self.vmm.cfg.page_size;
 
+            let profiled_before = self
+                .profiler
+                .as_ref()
+                .map(|_| (self.stats.vliws_executed, self.stats.stall_cycles));
             let mut rf = RegFile::from_cpu(&self.cpu);
             let exit = run_group(
                 &code,
@@ -328,6 +406,30 @@ impl DaisySystem {
                 &mut self.events,
             );
             rf.write_back(&mut self.cpu);
+
+            // Attribute this dispatch to the group's entry and promote
+            // it to the hot tier when its dispatch count crosses the
+            // configured threshold (profile-guided retranslation).
+            let mut promoted = false;
+            if let (Some(profiler), Some((v0, s0))) = (&mut self.profiler, profiled_before) {
+                let entry = code.group.entry;
+                profiler.record(
+                    entry,
+                    code.tier,
+                    was_chained,
+                    self.stats.vliws_executed - v0,
+                    self.stats.stall_cycles - s0,
+                );
+                if let Some(threshold) = self.hot_threshold {
+                    if code.tier == Tier::Cold
+                        && !self.vmm.is_hot(entry)
+                        && profiler.get(entry).is_some_and(|p| p.dispatches >= threshold)
+                    {
+                        let dispatches = profiler.get(entry).map_or(0, |p| p.dispatches);
+                        promoted = self.vmm.promote_hot(entry, dispatches);
+                    }
+                }
+            }
 
             match exit {
                 GroupExit::Branch { target, via } => {
@@ -364,6 +466,7 @@ impl DaisySystem {
                     // §3.2: invalidate, then restart by re-interpreting
                     // the modifying instruction (its store is
                     // idempotent — same values to the same addresses).
+                    self.vmm.tracer.emit(|| TraceEvent::CodeModified { addr });
                     self.handle_code_writes();
                     self.cpu.pc = addr;
                     if let Some(stop) = self.interp_one() {
@@ -372,6 +475,14 @@ impl DaisySystem {
                 }
                 GroupExit::Exception { kind, base_addr, fault_idx } => {
                     self.stats.exceptions += 1;
+                    self.vmm.tracer.emit(|| TraceEvent::Exception {
+                        class: match kind {
+                            ExcKind::Dsi { write: true, .. } => ExcClass::StoreFault,
+                            ExcKind::Dsi { write: false, .. } => ExcClass::LoadFault,
+                            ExcKind::Trap => ExcClass::Trap,
+                        },
+                        base_addr,
+                    });
                     if self.check_precise_recovery {
                         let recovered = precise::recover(
                             &self.mem,
@@ -412,9 +523,21 @@ impl DaisySystem {
                     // dispatch re-executes it after the aliasing store.
                     // Repeated offenders may trigger a conservative
                     // retranslation of their entry point.
-                    self.vmm.note_alias_restart(code.group.entry);
+                    let entry = code.group.entry;
+                    self.vmm.tracer.emit(|| TraceEvent::AliasRestart { entry, addr });
+                    self.vmm.note_alias_restart(entry);
                     self.cpu.pc = addr;
                 }
+            }
+            if promoted {
+                // The promoted entry's cold translation may still be
+                // reachable through a pending chain whose `from` is the
+                // group we just ran (a self-loop keeps itself alive via
+                // the strong reference in the pending link, so the weak
+                // auto-sever never fires). Dropping the pending link
+                // forces the next dispatch through the VMM, which
+                // rebuilds the entry under the hot tier.
+                self.pending_chain = None;
             }
         }
     }

@@ -16,7 +16,8 @@
 //! of Table 5.1.
 
 use crate::engine::GroupCode;
-use crate::sched::{translate_group_with_hints, Hints, TranslatorConfig, XlateCost};
+use crate::sched::{translate_group_with_hints, Hints, TierPolicy, TranslatorConfig, XlateCost};
+use crate::trace::{Tier, TraceEvent, Tracer};
 use daisy_ppc::insn::BranchKind;
 use daisy_ppc::interp::{Cpu, Event};
 use daisy_ppc::mem::Memory;
@@ -43,6 +44,9 @@ pub struct VmmStats {
     /// repeated run-time aliasing (the paper's proposed-but-unbuilt
     /// remedy in Ch. 5, implemented here).
     pub alias_retranslations: u64,
+    /// Entry points promoted to the hot tier (dropped for profile-guided
+    /// retranslation under the wider [`TierPolicy`] settings).
+    pub hot_promotions: u64,
     /// Bytes of translated VLIW code currently live.
     pub code_bytes: u64,
     /// Bytes of translated code ever produced (monotone; Fig. 5.4).
@@ -67,11 +71,18 @@ pub struct Vmm {
     pub alias_retranslate_after: Option<u32>,
     alias_counts: HashMap<u32, u32>,
     no_spec_entries: HashSet<u32>,
+    /// Profile-guided tiered retranslation (None = single-tier, the
+    /// paper's measured configuration).
+    pub tier_policy: Option<TierPolicy>,
+    hot_entries: HashSet<u32>,
     next_code_addr: u32,
     /// Cumulative translation cost.
     pub cost: XlateCost,
     /// Counters.
     pub stats: VmmStats,
+    /// Structured-event emission front-end (disabled by default; see
+    /// [`crate::trace`]).
+    pub tracer: Tracer,
 }
 
 impl Vmm {
@@ -87,9 +98,12 @@ impl Vmm {
             alias_retranslate_after: None,
             alias_counts: HashMap::new(),
             no_spec_entries: HashSet::new(),
+            tier_policy: None,
+            hot_entries: HashSet::new(),
             next_code_addr: VLIW_BASE,
             cost: XlateCost::default(),
             stats: VmmStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -119,6 +133,8 @@ impl Vmm {
                         self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
                 }
                 self.stats.cast_outs += 1;
+                self.tracer
+                    .emit(|| TraceEvent::CastOut { page: victim, groups: groups.len() as u32 });
             }
             self.last_use.remove(&victim);
         }
@@ -150,17 +166,26 @@ impl Vmm {
         if let Some(g) = self.pages.get(&page).and_then(|m| m.get(&addr)) {
             return Rc::clone(g);
         }
+        // Pick the tier: hot entries (promoted by the profiler) rebuild
+        // under the wider TierPolicy configuration; everything else uses
+        // the base config. Conservative (no-load-speculation) mode from
+        // repeated aliasing composes with either tier.
+        let hot_cfg = self
+            .tier_policy
+            .as_ref()
+            .filter(|_| self.hot_entries.contains(&addr))
+            .map(|policy| policy.hot_config(&self.cfg));
+        let tier = if hot_cfg.is_some() { Tier::Hot } else { Tier::Cold };
+        let mut cfg = hot_cfg.unwrap_or_else(|| self.cfg.clone());
+        if self.no_spec_entries.contains(&addr) {
+            // This entry aliased too often: rebuild it conservatively.
+            cfg.speculate_loads = false;
+        }
         let hints = match cpu {
-            Some(cpu) if self.cfg.interpretive => gather_hints(&self.cfg, mem, cpu, addr),
+            Some(cpu) if cfg.interpretive => gather_hints(&cfg, mem, cpu, addr),
             _ => Hints::default(),
         };
-        let (group, cost) = if self.no_spec_entries.contains(&addr) {
-            // This entry aliased too often: rebuild it conservatively.
-            let cfg = TranslatorConfig { speculate_loads: false, ..self.cfg.clone() };
-            translate_group_with_hints(&cfg, mem, addr, &hints)
-        } else {
-            translate_group_with_hints(&self.cfg, mem, addr, &hints)
-        };
+        let (group, cost) = translate_group_with_hints(&cfg, mem, addr, &hints);
         self.cost.add(&cost);
         self.stats.groups_translated += 1;
         // Lay the group's tree instructions out contiguously in the
@@ -196,8 +221,18 @@ impl Vmm {
         if entry_map.is_empty() {
             self.stats.pages_translated += 1;
         }
-        let rc = Rc::new(GroupCode::new(group, vliw_addrs));
+        let nvliws = group.len() as u32;
+        let conservative = !cfg.speculate_loads;
+        let rc = Rc::new(GroupCode::new(group, vliw_addrs).with_tier(tier));
         entry_map.insert(addr, Rc::clone(&rc));
+        self.tracer.emit(|| TraceEvent::Translate {
+            entry: addr,
+            page,
+            vliws: nvliws,
+            code_bytes: bytes,
+            tier,
+            conservative,
+        });
         // Stay within the translated-code area, casting out LRU pages
         // (their stale read-only bits are harmless: a store there takes
         // one spurious, idempotent code-modification service).
@@ -216,14 +251,42 @@ impl Vmm {
         *c += 1;
         if *c >= limit && self.no_spec_entries.insert(entry) {
             self.stats.alias_retranslations += 1;
-            let page = self.page_of(entry);
-            if let Some(groups) = self.pages.get_mut(&page) {
-                if let Some(g) = groups.remove(&entry) {
-                    self.stats.code_bytes =
-                        self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
-                }
+            self.drop_entry(entry);
+            self.tracer.emit(|| TraceEvent::AliasRetranslate { entry });
+        }
+    }
+
+    /// Drops the translation for one entry point (leaving the page's
+    /// other entries alone), so the next dispatch retranslates it.
+    /// Inbound chain links sever automatically when the `Rc` drops.
+    fn drop_entry(&mut self, entry: u32) {
+        let page = self.page_of(entry);
+        if let Some(groups) = self.pages.get_mut(&page) {
+            if let Some(g) = groups.remove(&entry) {
+                self.stats.code_bytes =
+                    self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
             }
         }
+    }
+
+    /// Promotes `entry` to the hot tier: its cold translation is
+    /// dropped and the next dispatch rebuilds it under
+    /// [`TierPolicy::hot_config`]. `dispatches` is the profiled count
+    /// at promotion (carried into the trace event). Returns `false`
+    /// when tiering is off or the entry was already hot.
+    pub fn promote_hot(&mut self, entry: u32, dispatches: u64) -> bool {
+        if self.tier_policy.is_none() || !self.hot_entries.insert(entry) {
+            return false;
+        }
+        self.stats.hot_promotions += 1;
+        self.drop_entry(entry);
+        self.tracer.emit(|| TraceEvent::HotPromotion { entry, dispatches });
+        true
+    }
+
+    /// Whether `entry` has been promoted to the hot tier.
+    pub fn is_hot(&self, entry: u32) -> bool {
+        self.hot_entries.contains(&entry)
     }
 
     /// Returns the existing translation for `addr`, if any.
@@ -246,6 +309,7 @@ impl Vmm {
                     self.stats.code_bytes =
                         self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
                 }
+                self.tracer.emit(|| TraceEvent::Invalidate { page });
             }
         }
         mem.clear_translated_bit(unit_lo);

@@ -26,6 +26,8 @@
 //! semantics, so it can be reused by the translator, the execution
 //! engine, the oracle scheduler, and the baselines.
 
+#![warn(missing_docs)]
+
 pub mod machine;
 pub mod op;
 pub mod reg;

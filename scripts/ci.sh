@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Lint gate: clippy warnings are errors and formatting is canonical
-# (see rustfmt.toml). Run before sending changes; CI runs the same.
+# Lint gate: clippy warnings are errors, formatting is canonical
+# (see rustfmt.toml), the API docs must build warning-free, and every
+# doctest must pass. Run before sending changes; CI runs the same.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+cargo test --workspace --doc

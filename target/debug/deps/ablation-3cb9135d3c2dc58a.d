@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3cb9135d3c2dc58a.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3cb9135d3c2dc58a: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/daisy-512d899afcd8cc0a.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs
+/root/repo/target/debug/deps/daisy-512d899afcd8cc0a.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
 
-/root/repo/target/debug/deps/daisy-512d899afcd8cc0a: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs
+/root/repo/target/debug/deps/daisy-512d899afcd8cc0a: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
 
 crates/core/src/lib.rs:
 crates/core/src/convert.rs:
@@ -11,4 +11,5 @@ crates/core/src/precise.rs:
 crates/core/src/sched.rs:
 crates/core/src/stats.rs:
 crates/core/src/system.rs:
+crates/core/src/trace.rs:
 crates/core/src/vmm.rs:

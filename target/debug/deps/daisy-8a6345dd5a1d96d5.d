@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/daisy-8a6345dd5a1d96d5.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs Cargo.toml
+/root/repo/target/debug/deps/daisy-8a6345dd5a1d96d5.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdaisy-8a6345dd5a1d96d5.rmeta: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs Cargo.toml
+/root/repo/target/debug/deps/libdaisy-8a6345dd5a1d96d5.rmeta: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/convert.rs:
@@ -11,6 +11,7 @@ crates/core/src/precise.rs:
 crates/core/src/sched.rs:
 crates/core/src/stats.rs:
 crates/core/src/system.rs:
+crates/core/src/trace.rs:
 crates/core/src/vmm.rs:
 Cargo.toml:
 

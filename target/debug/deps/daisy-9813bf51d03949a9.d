@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/daisy-9813bf51d03949a9.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
+
+/root/repo/target/debug/deps/libdaisy-9813bf51d03949a9.rmeta: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convert.rs:
+crates/core/src/engine.rs:
+crates/core/src/oracle.rs:
+crates/core/src/overhead.rs:
+crates/core/src/precise.rs:
+crates/core/src/sched.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:
+crates/core/src/vmm.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/daisy_baseline-f4891a3fd1436d7f.d: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+/root/repo/target/debug/deps/libdaisy_baseline-f4891a3fd1436d7f.rmeta: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/ppc604e.rs:
+crates/baseline/src/profile.rs:
+crates/baseline/src/trad.rs:

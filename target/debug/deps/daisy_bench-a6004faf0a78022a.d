@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/daisy_bench-a6004faf0a78022a.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdaisy_bench-a6004faf0a78022a.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:

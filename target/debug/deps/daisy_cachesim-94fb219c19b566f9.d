@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daisy_cachesim-94fb219c19b566f9.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/debug/deps/libdaisy_cachesim-94fb219c19b566f9.rmeta: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/daisy_ppc-6ed73b013b4e2f94.d: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs
+
+/root/repo/target/debug/deps/libdaisy_ppc-6ed73b013b4e2f94.rmeta: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs
+
+crates/ppc/src/lib.rs:
+crates/ppc/src/asm.rs:
+crates/ppc/src/decode.rs:
+crates/ppc/src/encode.rs:
+crates/ppc/src/insn.rs:
+crates/ppc/src/interp.rs:
+crates/ppc/src/mem.rs:
+crates/ppc/src/parse.rs:
+crates/ppc/src/reg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/daisy_vliw-f8c1265fb8793d43.d: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+/root/repo/target/debug/deps/libdaisy_vliw-f8c1265fb8793d43.rmeta: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+crates/vliw/src/lib.rs:
+crates/vliw/src/machine.rs:
+crates/vliw/src/op.rs:
+crates/vliw/src/reg.rs:
+crates/vliw/src/regfile.rs:
+crates/vliw/src/tree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/daisy_workloads-adaacfd1caf65977.d: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs
+
+/root/repo/target/debug/deps/libdaisy_workloads-adaacfd1caf65977.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cmp.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/fgrep.rs:
+crates/workloads/src/hist.rs:
+crates/workloads/src/lex.rs:
+crates/workloads/src/sieve.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wc.rs:
+crates/workloads/src/xlat.rs:

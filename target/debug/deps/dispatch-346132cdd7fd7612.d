@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dispatch-346132cdd7fd7612.d: crates/bench/benches/dispatch.rs
+
+/root/repo/target/debug/deps/dispatch-346132cdd7fd7612: crates/bench/benches/dispatch.rs
+
+crates/bench/benches/dispatch.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dispatch-b3bfe08dc0c093aa.d: crates/bench/benches/dispatch.rs
+
+/root/repo/target/debug/deps/dispatch-b3bfe08dc0c093aa: crates/bench/benches/dispatch.rs
+
+crates/bench/benches/dispatch.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

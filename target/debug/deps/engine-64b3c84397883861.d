@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-64b3c84397883861.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-64b3c84397883861: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

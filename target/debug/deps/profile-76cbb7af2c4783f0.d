@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-76cbb7af2c4783f0.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-76cbb7af2c4783f0: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

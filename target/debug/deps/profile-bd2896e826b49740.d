@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-bd2896e826b49740.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-bd2896e826b49740: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

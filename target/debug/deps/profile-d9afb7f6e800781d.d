@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile-d9afb7f6e800781d.d: crates/bench/src/bin/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile-d9afb7f6e800781d.rmeta: crates/bench/src/bin/profile.rs Cargo.toml
+
+crates/bench/src/bin/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tiered-6596928649c464d1.d: crates/bench/benches/tiered.rs
+
+/root/repo/target/debug/deps/tiered-6596928649c464d1: crates/bench/benches/tiered.rs
+
+crates/bench/benches/tiered.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

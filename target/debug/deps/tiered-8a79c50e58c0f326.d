@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiered-8a79c50e58c0f326.d: tests/tiered.rs
+
+/root/repo/target/debug/deps/tiered-8a79c50e58c0f326: tests/tiered.rs
+
+tests/tiered.rs:

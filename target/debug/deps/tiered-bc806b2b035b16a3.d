@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tiered-bc806b2b035b16a3.d: crates/bench/benches/tiered.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiered-bc806b2b035b16a3.rmeta: crates/bench/benches/tiered.rs Cargo.toml
+
+crates/bench/benches/tiered.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

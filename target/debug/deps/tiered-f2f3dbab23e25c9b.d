@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tiered-f2f3dbab23e25c9b.d: tests/tiered.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiered-f2f3dbab23e25c9b.rmeta: tests/tiered.rs Cargo.toml
+
+tests/tiered.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_events-250b4a264419ec04.d: tests/trace_events.rs
+
+/root/repo/target/debug/deps/trace_events-250b4a264419ec04: tests/trace_events.rs
+
+tests/trace_events.rs:

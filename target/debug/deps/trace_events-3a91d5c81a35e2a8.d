@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_events-3a91d5c81a35e2a8.d: tests/trace_events.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_events-3a91d5c81a35e2a8.rmeta: tests/trace_events.rs Cargo.toml
+
+tests/trace_events.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/translator-492b9b784134bd0f.d: crates/bench/benches/translator.rs
+
+/root/repo/target/debug/deps/translator-492b9b784134bd0f: crates/bench/benches/translator.rs
+
+crates/bench/benches/translator.rs:

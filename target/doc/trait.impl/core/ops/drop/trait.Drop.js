@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["proptest",[["impl&lt;F: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/function/trait.Fn.html\" title=\"trait core::ops::function::Fn\">Fn</a>()&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"proptest/test_runner/struct.PanicReporter.html\" title=\"struct proptest::test_runner::PanicReporter\">PanicReporter</a>&lt;F&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[476]}

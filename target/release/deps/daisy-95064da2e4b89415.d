@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/daisy-95064da2e4b89415.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs
+/root/repo/target/release/deps/daisy-95064da2e4b89415.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
 
-/root/repo/target/release/deps/libdaisy-95064da2e4b89415.rlib: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs
+/root/repo/target/release/deps/libdaisy-95064da2e4b89415.rlib: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
 
-/root/repo/target/release/deps/libdaisy-95064da2e4b89415.rmeta: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/vmm.rs
+/root/repo/target/release/deps/libdaisy-95064da2e4b89415.rmeta: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
 
 crates/core/src/lib.rs:
 crates/core/src/convert.rs:
@@ -13,4 +13,5 @@ crates/core/src/precise.rs:
 crates/core/src/sched.rs:
 crates/core/src/stats.rs:
 crates/core/src/system.rs:
+crates/core/src/trace.rs:
 crates/core/src/vmm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dispatch-24aedb80125e1657.d: crates/bench/benches/dispatch.rs
+
+/root/repo/target/release/deps/dispatch-24aedb80125e1657: crates/bench/benches/dispatch.rs
+
+crates/bench/benches/dispatch.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

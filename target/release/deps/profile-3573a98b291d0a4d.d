@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile-3573a98b291d0a4d.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/release/deps/profile-3573a98b291d0a4d: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

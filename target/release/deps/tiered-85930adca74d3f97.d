@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tiered-85930adca74d3f97.d: crates/bench/benches/tiered.rs
+
+/root/repo/target/release/deps/tiered-85930adca74d3f97: crates/bench/benches/tiered.rs
+
+crates/bench/benches/tiered.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

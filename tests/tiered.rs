@@ -1,0 +1,86 @@
+//! Tiered retranslation must never change semantics: with an
+//! aggressively low hot threshold (so every workload takes many hot
+//! promotions mid-run), final architected state must still match the
+//! reference interpreter bit for bit on all nine workloads.
+
+use daisy::prelude::*;
+use daisy_ppc::interp::{Cpu, StopReason};
+use daisy_ppc::mem::Memory;
+use daisy_workloads::Workload;
+
+fn run_reference(w: &Workload) -> (Cpu, Memory) {
+    let prog = w.program();
+    let mut mem = Memory::new(w.mem_size);
+    prog.load_into(&mut mem).unwrap();
+    let mut cpu = Cpu::new(prog.entry);
+    let stop = cpu.run(&mut mem, w.max_instrs).unwrap();
+    assert_eq!(stop, StopReason::Syscall, "{}: reference run did not finish", w.name);
+    (cpu, mem)
+}
+
+#[test]
+fn tiered_retranslation_is_bit_exact_on_all_workloads() {
+    let mut promoted_anywhere = false;
+    for w in daisy_workloads::all() {
+        let (ref_cpu, ref_mem) = run_reference(&w);
+
+        let prog = w.program();
+        let mut sys = DaisySystem::builder()
+            .mem_size(w.mem_size)
+            .tiered(TierPolicy::with_threshold(8))
+            .build();
+        sys.load(&prog).unwrap();
+        let stop = sys.run(10 * w.max_instrs).unwrap();
+        assert_eq!(stop, StopReason::Syscall, "{}: tiered run did not finish", w.name);
+
+        assert_eq!(sys.cpu.gpr, ref_cpu.gpr, "{}: GPR state diverged", w.name);
+        assert_eq!(sys.cpu.cr, ref_cpu.cr, "{}: CR diverged", w.name);
+        assert_eq!(sys.cpu.lr, ref_cpu.lr, "{}: LR diverged", w.name);
+        assert_eq!(sys.cpu.ctr, ref_cpu.ctr, "{}: CTR diverged", w.name);
+        assert_eq!(sys.cpu.xer, ref_cpu.xer, "{}: XER diverged", w.name);
+        assert_eq!(sys.cpu.pc, ref_cpu.pc, "{}: PC diverged", w.name);
+        let size = ref_mem.size();
+        assert_eq!(
+            sys.mem.read_bytes(0, size).unwrap(),
+            ref_mem.read_bytes(0, size).unwrap(),
+            "{}: memory image diverged",
+            w.name
+        );
+        w.check(&sys.cpu, &sys.mem)
+            .unwrap_or_else(|e| panic!("{}: checker failed under tiering: {e}", w.name));
+
+        promoted_anywhere |= sys.vmm.stats.hot_promotions > 0;
+        // The profiler is implied by tiering and must have attributed
+        // every dispatch.
+        let profiler = sys.profiler.as_ref().expect("tiering implies profiling");
+        let attributed: u64 = profiler.iter().map(|(_, p)| p.dispatches).sum();
+        assert_eq!(attributed, sys.stats.total_dispatches(), "{}: dispatches lost", w.name);
+    }
+    assert!(promoted_anywhere, "threshold 8 must promote at least one group somewhere");
+}
+
+#[test]
+fn hot_promotion_retranslates_wider() {
+    // A tight self-loop crosses the threshold and must be rebuilt hot.
+    let mut a = Asm::new(0x1000);
+    a.li(Gpr(3), 0);
+    a.li(Gpr(4), 200);
+    a.mtctr(Gpr(4));
+    a.label("loop");
+    a.addi(Gpr(3), Gpr(3), 3);
+    a.bdnz("loop");
+    a.sc();
+    let prog = a.finish().unwrap();
+
+    let mut sys =
+        DaisySystem::builder().mem_size(0x20000).tiered(TierPolicy::with_threshold(4)).build();
+    sys.load(&prog).unwrap();
+    let stop = sys.run(1_000_000).unwrap();
+    assert_eq!(stop, StopReason::Syscall);
+    assert_eq!(sys.cpu.gpr[3], 600);
+    assert!(sys.vmm.stats.hot_promotions >= 1, "hot loop must be promoted");
+    // The loop entry's profile must have reached the hot tier.
+    let profiler = sys.profiler.as_ref().unwrap();
+    let hot_entries = profiler.iter().filter(|(_, p)| p.tier == daisy::trace::Tier::Hot).count();
+    assert!(hot_entries >= 1, "some entry must have executed hot code");
+}

@@ -1,0 +1,206 @@
+//! Observability contract tests: the tracer must be inert when no sink
+//! is installed, and a ring sink must capture the exact structured
+//! event sequence for a small self-modifying program — translations,
+//! chain installs, the code-modification store, the page invalidation,
+//! and the resulting chain severs, in dispatch order.
+
+use daisy::prelude::*;
+use daisy::trace::Tier;
+use daisy_ppc::encode::encode;
+use daisy_ppc::insn::Insn;
+use daisy_ppc::interp::StopReason;
+
+const PAGE: u32 = 256;
+const TABLE: u32 = 0x8000;
+
+/// Three-iteration self-modifying loop: each pass stores a fresh
+/// `addi r5, 0, imm` encoding over the `patch:` site (parked on the
+/// next page so the store invalidates a unit other than the one it
+/// executes from) and accumulates r5 into r7.
+fn selfmod_program(imms: &[i16]) -> daisy_ppc::asm::Program {
+    let mut a = Asm::new(0x1F00);
+    a.li(Gpr(7), 0);
+    a.li32(Gpr(9), TABLE);
+    a.li(Gpr(8), 0);
+    a.li(Gpr(31), imms.len() as i16);
+    a.mtctr(Gpr(31));
+    a.label("loop");
+    a.lwzx(Gpr(4), Gpr(9), Gpr(8));
+    a.la(Gpr(3), "patch");
+    a.stw(Gpr(4), 0, Gpr(3));
+    while !a.here().is_multiple_of(PAGE) {
+        a.nop();
+    }
+    a.label("patch");
+    a.li(Gpr(5), 0);
+    a.add(Gpr(7), Gpr(7), Gpr(5));
+    a.addi(Gpr(8), Gpr(8), 4);
+    a.bdnz("loop");
+    a.sc();
+    let words: Vec<u32> =
+        imms.iter().map(|&si| encode(&Insn::Addi { rt: Gpr(5), ra: Gpr(0), si })).collect();
+    a.data_words(TABLE, &words);
+    a.finish().expect("selfmod program assembles")
+}
+
+fn small_pages() -> TranslatorConfig {
+    TranslatorConfig { page_size: PAGE, ..TranslatorConfig::default() }
+}
+
+fn run_selfmod(sink: Option<RingSink>) -> DaisySystem {
+    let prog = selfmod_program(&[11, 31, 50]);
+    let mut b = DaisySystem::builder().mem_size(0x2_0000).translator(small_pages());
+    if let Some(sink) = sink {
+        b = b.trace_sink(sink);
+    }
+    let mut sys = b.build();
+    sys.load(&prog).unwrap();
+    let stop = sys.run(1_000_000).unwrap();
+    assert_eq!(stop, StopReason::Syscall);
+    assert_eq!(sys.cpu.gpr[7], 92, "accumulator saw a stale patch");
+    sys
+}
+
+/// Without a sink the tracer is disabled: nothing is recorded anywhere,
+/// and the run still performs the same work (events are a pure tap).
+#[test]
+fn no_sink_records_nothing() {
+    let sys = run_selfmod(None);
+    assert!(!sys.vmm.tracer.enabled());
+    assert!(sys.stats.code_modifications >= 1);
+}
+
+/// `NullSink` accepts every event and stores none of them.
+#[test]
+fn null_sink_stores_no_events() {
+    let prog = selfmod_program(&[11, 31, 50]);
+    let mut sys = DaisySystem::builder()
+        .mem_size(0x2_0000)
+        .translator(small_pages())
+        .trace_sink(NullSink)
+        .build();
+    sys.load(&prog).unwrap();
+    sys.run(1_000_000).unwrap();
+    assert!(sys.vmm.tracer.enabled(), "a null sink still counts as a sink");
+    assert_eq!(sys.cpu.gpr[7], 92);
+}
+
+/// The ring sink sees the exact event sequence of the self-modifying
+/// run: cold translations as each page is first touched, a chain
+/// install on the hot edge, then for every patch store a
+/// code-modification event, the page invalidation, a sever of the link
+/// into the dead group, and the retranslation of the patched page.
+#[test]
+fn ring_sink_captures_selfmod_event_sequence() {
+    let sink = RingSink::new(256);
+    let _ = run_selfmod(Some(sink.clone()));
+
+    let events = sink.events();
+    assert_eq!(sink.dropped(), 0, "256 entries must be enough for this program");
+    let kinds: Vec<&'static str> = events.iter().map(|e| e.kind()).collect();
+
+    // Exact sequence, pinned. Iteration 1 stores before the patch page
+    // is ever translated, so it triggers no protection; iteration 2's
+    // store invalidates the patch unit, but execution resumes past the
+    // store and freshly retranslates, so the dead link into the old
+    // patch group is not *observed* until iteration 3 re-follows it.
+    assert_eq!(
+        kinds,
+        vec![
+            "translate",     // entry group (0x1F00), first touch
+            "translate",     // patch page (0x2000), first touch
+            "chain_install", // entry group -> patch group
+            "translate",     // loop head (0x1F18), back-edge target
+            "chain_install", // patch group -> loop head
+            "code_modified", // iteration 2 rewrites the patch site...
+            "invalidate",    // ...killing the patch page's unit
+            "translate",     // resume group after the store (0x1F28)
+            "translate",     // patch page retranslated
+            "chain_install", // resume group -> new patch group
+            "chain_install", // new patch group -> loop head
+            "code_modified", // iteration 3 rewrites it again...
+            "invalidate",    // ...killing the unit again
+            "chain_sever",   // resume group finds its link dead
+            "translate",     // patch page retranslated once more
+            "chain_install", // link re-established
+        ],
+        "event sequence changed; full events: {events:#?}"
+    );
+
+    // Cross-check the structured payloads, not just the kinds.
+    match &events[0] {
+        TraceEvent::Translate { entry, tier, .. } => {
+            assert_eq!(*entry, 0x1F00);
+            assert_eq!(*tier, Tier::Cold);
+        }
+        other => panic!("expected translate, got {other:?}"),
+    }
+    match &events[6] {
+        TraceEvent::Invalidate { page } => assert_eq!(*page, 0x2000 / PAGE),
+        other => panic!("expected invalidate, got {other:?}"),
+    }
+    // Severed target is the invalidated patch-page group.
+    match &events[13] {
+        TraceEvent::ChainSever { target, .. } => assert_eq!(*target, 0x2000),
+        other => panic!("expected chain_sever, got {other:?}"),
+    }
+
+    // Every event serializes to one JSON object with its kind tagged.
+    for ev in events.iter() {
+        let json = ev.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "bad JSON: {json}");
+        assert!(json.contains(&format!("\"event\": \"{}\"", ev.kind())), "untagged: {json}");
+    }
+}
+
+/// The ring is a *ring*: beyond capacity the oldest events fall off and
+/// the drop counter says how many.
+#[test]
+fn ring_sink_caps_and_counts_drops() {
+    let sink = RingSink::new(3);
+    let _ = run_selfmod(Some(sink.clone()));
+    assert_eq!(sink.len(), 3);
+    assert_eq!(sink.dropped(), 13, "16 events into a 3-slot ring drops 13");
+    // The survivors are the *latest* three.
+    let kinds: Vec<_> = sink.events().iter().map(|e| e.kind()).collect();
+    assert_eq!(kinds, vec!["chain_sever", "translate", "chain_install"]);
+}
+
+/// Hot promotion shows up in the event stream: with a low threshold a
+/// tight loop emits `hot_promotion` followed by a hot-tier translate.
+#[test]
+fn hot_promotion_emits_tagged_retranslation() {
+    let mut a = Asm::new(0x1000);
+    a.li(Gpr(3), 0);
+    a.li(Gpr(4), 50);
+    a.mtctr(Gpr(4));
+    a.label("loop");
+    a.addi(Gpr(3), Gpr(3), 1);
+    a.bdnz("loop");
+    a.sc();
+    let prog = a.finish().unwrap();
+
+    let sink = RingSink::new(256);
+    let mut sys = DaisySystem::builder()
+        .mem_size(0x2_0000)
+        .trace_sink(sink.clone())
+        .tiered(TierPolicy::with_threshold(4))
+        .build();
+    sys.load(&prog).unwrap();
+    sys.run(1_000_000).unwrap();
+    assert_eq!(sys.cpu.gpr[3], 50);
+
+    let events = sink.events();
+    let promo = events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::HotPromotion { .. }))
+        .expect("threshold 4 must promote the loop group");
+    let hot_translate = events[promo..]
+        .iter()
+        .find(|e| matches!(e, TraceEvent::Translate { tier: Tier::Hot, .. }))
+        .expect("promotion must be followed by a hot-tier translation");
+    match hot_translate {
+        TraceEvent::Translate { entry, .. } => assert_eq!(*entry, 0x1000 + 3 * 4),
+        _ => unreachable!(),
+    }
+}
