@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaining-b9b5262e7a6472b3.d: tests/chaining.rs
+
+/root/repo/target/release/deps/chaining-b9b5262e7a6472b3: tests/chaining.rs
+
+tests/chaining.rs:

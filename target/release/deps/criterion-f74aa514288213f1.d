@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-f74aa514288213f1.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-f74aa514288213f1: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

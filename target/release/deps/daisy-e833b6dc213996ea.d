@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/daisy-e833b6dc213996ea.d: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
+
+/root/repo/target/release/deps/daisy-e833b6dc213996ea: crates/core/src/lib.rs crates/core/src/convert.rs crates/core/src/engine.rs crates/core/src/oracle.rs crates/core/src/overhead.rs crates/core/src/precise.rs crates/core/src/sched.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/vmm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/convert.rs:
+crates/core/src/engine.rs:
+crates/core/src/oracle.rs:
+crates/core/src/overhead.rs:
+crates/core/src/precise.rs:
+crates/core/src/sched.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:
+crates/core/src/vmm.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/daisy_baseline-37f7be8acb76c53f.d: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+/root/repo/target/release/deps/daisy_baseline-37f7be8acb76c53f: crates/baseline/src/lib.rs crates/baseline/src/ppc604e.rs crates/baseline/src/profile.rs crates/baseline/src/trad.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/ppc604e.rs:
+crates/baseline/src/profile.rs:
+crates/baseline/src/trad.rs:

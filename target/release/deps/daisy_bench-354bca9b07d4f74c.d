@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/daisy_bench-354bca9b07d4f74c.d: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/daisy_bench-354bca9b07d4f74c: crates/bench/src/lib.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/daisy_cachesim-694843f059fe55d7.d: crates/cachesim/src/lib.rs
+
+/root/repo/target/release/deps/daisy_cachesim-694843f059fe55d7: crates/cachesim/src/lib.rs
+
+crates/cachesim/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/daisy_ppc-5cc3e235be04e00f.d: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs
+
+/root/repo/target/release/deps/daisy_ppc-5cc3e235be04e00f: crates/ppc/src/lib.rs crates/ppc/src/asm.rs crates/ppc/src/decode.rs crates/ppc/src/encode.rs crates/ppc/src/insn.rs crates/ppc/src/interp.rs crates/ppc/src/mem.rs crates/ppc/src/parse.rs crates/ppc/src/reg.rs
+
+crates/ppc/src/lib.rs:
+crates/ppc/src/asm.rs:
+crates/ppc/src/decode.rs:
+crates/ppc/src/encode.rs:
+crates/ppc/src/insn.rs:
+crates/ppc/src/interp.rs:
+crates/ppc/src/mem.rs:
+crates/ppc/src/parse.rs:
+crates/ppc/src/reg.rs:

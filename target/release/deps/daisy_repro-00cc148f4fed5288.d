@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/daisy_repro-00cc148f4fed5288.d: src/lib.rs
+
+/root/repo/target/release/deps/daisy_repro-00cc148f4fed5288: src/lib.rs
+
+src/lib.rs:

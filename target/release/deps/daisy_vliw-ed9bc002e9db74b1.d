@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/daisy_vliw-ed9bc002e9db74b1.d: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+/root/repo/target/release/deps/daisy_vliw-ed9bc002e9db74b1: crates/vliw/src/lib.rs crates/vliw/src/machine.rs crates/vliw/src/op.rs crates/vliw/src/reg.rs crates/vliw/src/regfile.rs crates/vliw/src/tree.rs
+
+crates/vliw/src/lib.rs:
+crates/vliw/src/machine.rs:
+crates/vliw/src/op.rs:
+crates/vliw/src/reg.rs:
+crates/vliw/src/regfile.rs:
+crates/vliw/src/tree.rs:

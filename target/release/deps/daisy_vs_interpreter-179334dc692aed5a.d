@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/daisy_vs_interpreter-179334dc692aed5a.d: tests/daisy_vs_interpreter.rs
+
+/root/repo/target/release/deps/daisy_vs_interpreter-179334dc692aed5a: tests/daisy_vs_interpreter.rs
+
+tests/daisy_vs_interpreter.rs:

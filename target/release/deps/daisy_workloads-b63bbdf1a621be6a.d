@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/daisy_workloads-b63bbdf1a621be6a.d: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs
+
+/root/repo/target/release/deps/daisy_workloads-b63bbdf1a621be6a: crates/workloads/src/lib.rs crates/workloads/src/cmp.rs crates/workloads/src/compress.rs crates/workloads/src/fgrep.rs crates/workloads/src/hist.rs crates/workloads/src/lex.rs crates/workloads/src/sieve.rs crates/workloads/src/sort.rs crates/workloads/src/wc.rs crates/workloads/src/xlat.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cmp.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/fgrep.rs:
+crates/workloads/src/hist.rs:
+crates/workloads/src/lex.rs:
+crates/workloads/src/sieve.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wc.rs:
+crates/workloads/src/xlat.rs:

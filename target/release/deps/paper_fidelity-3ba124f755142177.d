@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_fidelity-3ba124f755142177.d: crates/core/tests/paper_fidelity.rs
+
+/root/repo/target/release/deps/paper_fidelity-3ba124f755142177: crates/core/tests/paper_fidelity.rs
+
+crates/core/tests/paper_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile-90299fa79198dad0.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/release/deps/profile-90299fa79198dad0: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

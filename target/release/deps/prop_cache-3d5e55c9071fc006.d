@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_cache-3d5e55c9071fc006.d: crates/cachesim/tests/prop_cache.rs
+
+/root/repo/target/release/deps/prop_cache-3d5e55c9071fc006: crates/cachesim/tests/prop_cache.rs
+
+crates/cachesim/tests/prop_cache.rs:

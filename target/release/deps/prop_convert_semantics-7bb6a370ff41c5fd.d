@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_convert_semantics-7bb6a370ff41c5fd.d: tests/prop_convert_semantics.rs
+
+/root/repo/target/release/deps/prop_convert_semantics-7bb6a370ff41c5fd: tests/prop_convert_semantics.rs
+
+tests/prop_convert_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_equivalence-c75491583529819f.d: tests/prop_equivalence.rs
+
+/root/repo/target/release/deps/prop_equivalence-c75491583529819f: tests/prop_equivalence.rs
+
+tests/prop_equivalence.rs:

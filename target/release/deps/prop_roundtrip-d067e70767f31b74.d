@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_roundtrip-d067e70767f31b74.d: crates/ppc/tests/prop_roundtrip.rs
+
+/root/repo/target/release/deps/prop_roundtrip-d067e70767f31b74: crates/ppc/tests/prop_roundtrip.rs
+
+crates/ppc/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-559ed476a2c30c46.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-559ed476a2c30c46: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_shapes-a1f1ca4fa99141ec.d: tests/repro_shapes.rs
+
+/root/repo/target/release/deps/repro_shapes-a1f1ca4fa99141ec: tests/repro_shapes.rs
+
+tests/repro_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tiered-2a386dfa7983c55e.d: tests/tiered.rs
+
+/root/repo/target/release/deps/tiered-2a386dfa7983c55e: tests/tiered.rs
+
+tests/tiered.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_events-cb0bc251733cb9f0.d: tests/trace_events.rs
+
+/root/repo/target/release/deps/trace_events-cb0bc251733cb9f0: tests/trace_events.rs
+
+tests/trace_events.rs:

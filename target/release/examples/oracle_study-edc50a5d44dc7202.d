@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/oracle_study-edc50a5d44dc7202.d: examples/oracle_study.rs
+
+/root/repo/target/release/examples/oracle_study-edc50a5d44dc7202: examples/oracle_study.rs
+
+examples/oracle_study.rs:
