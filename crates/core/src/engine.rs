@@ -218,6 +218,53 @@ struct PendingLoad {
     value: u32,
 }
 
+/// Reusable per-dispatch engine state, threaded through
+/// [`run_group`] so the hot dispatch loop performs no per-group
+/// allocation or bulk re-initialisation.
+///
+/// The exception-tag and pending-load tables cover all [`NUM_REGS`]
+/// registers (~3 KiB); rather than zeroing them on every dispatch, the
+/// engine records which slots it populated and [`EngineScratch::reset`]
+/// clears only those — on the common path (no speculative faults, no
+/// bypassed loads) reset is just clearing the event vector's length.
+#[derive(Debug)]
+pub struct EngineScratch {
+    /// Architected-commitment record for precise-exception recovery
+    /// (§3.5); filled afresh by each [`run_group`] call.
+    pub events: Vec<ArchEvent>,
+    tag_info: [Option<(u32, bool)>; NUM_REGS],
+    pending: [Option<PendingLoad>; NUM_REGS],
+    touched: Vec<u8>,
+}
+
+impl EngineScratch {
+    /// Creates empty scratch state.
+    pub fn new() -> EngineScratch {
+        EngineScratch {
+            events: Vec::with_capacity(64),
+            tag_info: [None; NUM_REGS],
+            pending: [None; NUM_REGS],
+            touched: Vec::with_capacity(8),
+        }
+    }
+
+    /// Clears the event record and every table slot populated by the
+    /// previous dispatch.
+    fn reset(&mut self) {
+        self.events.clear();
+        for i in self.touched.drain(..) {
+            self.tag_info[i as usize] = None;
+            self.pending[i as usize] = None;
+        }
+    }
+}
+
+impl Default for EngineScratch {
+    fn default() -> EngineScratch {
+        EngineScratch::new()
+    }
+}
+
 fn read_mem(mem: &Memory, ea: u32, width: MemWidth, algebraic: bool) -> Result<u32, ()> {
     match width {
         MemWidth::Byte => mem.read_u8(ea).map(u32::from).map_err(|_| ()),
@@ -239,20 +286,18 @@ fn write_mem(mem: &mut Memory, ea: u32, width: MemWidth, v: u32) -> Result<(), (
 
 /// Executes one group to its exit.
 ///
-/// `events` is cleared and filled with the architected-commitment
-/// record used for precise-exception recovery.
+/// `scratch` is reset and its event record filled with the
+/// architected-commitment trail used for precise-exception recovery.
 pub fn run_group(
     code: &GroupCode,
     rf: &mut RegFile,
     mem: &mut Memory,
     cache: &mut Hierarchy,
     stats: &mut RunStats,
-    events: &mut Vec<ArchEvent>,
+    scratch: &mut EngineScratch,
 ) -> GroupExit {
-    events.clear();
+    scratch.reset();
     let group = &code.group;
-    let mut tag_info: [Option<(u32, bool)>; NUM_REGS] = [None; NUM_REGS];
-    let mut pending: [Option<PendingLoad>; NUM_REGS] = [None; NUM_REGS];
     let mut last_base = u32::MAX;
     let mut cur = VliwId(0);
 
@@ -268,17 +313,7 @@ pub fn run_group(
             let n = &vliw.nodes()[node.0 as usize];
             parcels_this_vliw += n.ops.len();
             for op in &n.ops {
-                match exec_parcel(
-                    op,
-                    rf,
-                    mem,
-                    cache,
-                    stats,
-                    events,
-                    &mut tag_info,
-                    &mut pending,
-                    &mut last_base,
-                ) {
+                match exec_parcel(op, rf, mem, cache, stats, scratch, &mut last_base) {
                     Ok(()) => {}
                     Err(exit) => return exit,
                 }
@@ -293,9 +328,11 @@ pub fn run_group(
                         // taken side is the true indirect exit, the
                         // fall side continues inline at the target.
                         Some(spec) => {
-                            events.push(ArchEvent::IndirectDir(if t { None } else { Some(spec) }));
+                            scratch
+                                .events
+                                .push(ArchEvent::IndirectDir(if t { None } else { Some(spec) }));
                         }
-                        None => events.push(ArchEvent::Dir(t)),
+                        None => scratch.events.push(ArchEvent::Dir(t)),
                     }
                     stats.base_instrs += 1;
                     node = if t { *taken } else { *fall };
@@ -325,16 +362,13 @@ pub fn run_group(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn exec_parcel(
     op: &Operation,
     rf: &mut RegFile,
     mem: &mut Memory,
     cache: &mut Hierarchy,
     stats: &mut RunStats,
-    events: &mut Vec<ArchEvent>,
-    tag_info: &mut [Option<(u32, bool)>; NUM_REGS],
-    pending: &mut [Option<PendingLoad>; NUM_REGS],
+    scratch: &mut EngineScratch,
     last_base: &mut u32,
 ) -> Result<(), GroupExit> {
     let nsrc = op.srcs().len();
@@ -352,19 +386,20 @@ fn exec_parcel(
     // the poison; non-speculative consumers take the deferred fault.
     if let Some(t) = tagged {
         if op.speculative {
-            let info = tag_info[t.index()];
+            let info = scratch.tag_info[t.index()];
             for d in [op.dest, op.dest2].into_iter().flatten() {
                 rf.set(d, 0);
                 rf.set_tag(d, true);
-                tag_info[d.index()] = info;
+                scratch.tag_info[d.index()] = info;
+                scratch.touched.push(d.index() as u8);
             }
             return Ok(());
         }
-        let (addr, write) = tag_info[t.index()].unwrap_or((0, false));
+        let (addr, write) = scratch.tag_info[t.index()].unwrap_or((0, false));
         return Err(GroupExit::Exception {
             kind: ExcKind::Dsi { addr, write },
             base_addr: op.base_addr,
-            fault_idx: events.len(),
+            fault_idx: scratch.events.len(),
         });
     }
 
@@ -388,12 +423,14 @@ fn exec_parcel(
                     stats.stall_cycles += u64::from(acc.penalty);
                     let d = op.dest.expect("loads have destinations");
                     rf.set(d, v);
-                    tag_info[d.index()] = None;
+                    scratch.tag_info[d.index()] = None;
                     if op.bypassed_store {
-                        pending[d.index()] = Some(PendingLoad { ea, width, algebraic, value: v });
+                        scratch.pending[d.index()] =
+                            Some(PendingLoad { ea, width, algebraic, value: v });
+                        scratch.touched.push(d.index() as u8);
                     }
                     if !op.speculative {
-                        events.push(ArchEvent::Def { d1: d, d2: None });
+                        scratch.events.push(ArchEvent::Def { d1: d, d2: None });
                         count_completion(stats, last_base, op.base_addr);
                     }
                 }
@@ -404,12 +441,13 @@ fn exec_parcel(
                         let d = op.dest.expect("loads have destinations");
                         rf.set(d, 0);
                         rf.set_tag(d, true);
-                        tag_info[d.index()] = Some((ea, false));
+                        scratch.tag_info[d.index()] = Some((ea, false));
+                        scratch.touched.push(d.index() as u8);
                     } else {
                         return Err(GroupExit::Exception {
                             kind: ExcKind::Dsi { addr: ea, write: false },
                             base_addr: op.base_addr,
-                            fault_idx: events.len(),
+                            fault_idx: scratch.events.len(),
                         });
                     }
                 }
@@ -425,7 +463,7 @@ fn exec_parcel(
                         stats.store_l0_misses += 1;
                     }
                     stats.stall_cycles += u64::from(acc.penalty);
-                    events.push(ArchEvent::Store);
+                    scratch.events.push(ArchEvent::Store);
                     count_completion(stats, last_base, op.base_addr);
                     if mem.has_code_writes() {
                         stats.code_modifications += 1;
@@ -436,7 +474,7 @@ fn exec_parcel(
                     return Err(GroupExit::Exception {
                         kind: ExcKind::Dsi { addr: ea, write: true },
                         base_addr: op.base_addr,
-                        fault_idx: events.len(),
+                        fault_idx: scratch.events.len(),
                     });
                 }
             }
@@ -446,11 +484,11 @@ fn exec_parcel(
                 return Err(GroupExit::Exception {
                     kind: ExcKind::Trap,
                     base_addr: op.base_addr,
-                    fault_idx: events.len(),
+                    fault_idx: scratch.events.len(),
                 });
             }
             EvalOut::Trap(false) => {
-                events.push(ArchEvent::TrapCheck);
+                scratch.events.push(ArchEvent::TrapCheck);
                 count_completion(stats, last_base, op.base_addr);
             }
             _ => unreachable!("TrapIf evaluates to Trap"),
@@ -464,7 +502,7 @@ fn exec_parcel(
             // the point of the load").
             if op.is_commit && op.bypassed_store {
                 let src = op.srcs()[0];
-                if let Some(pl) = pending[src.index()] {
+                if let Some(pl) = scratch.pending[src.index()] {
                     if read_mem(mem, pl.ea, pl.width, pl.algebraic) != Ok(pl.value) {
                         stats.alias_failures += 1;
                         return Err(GroupExit::AliasRestart { addr: op.base_addr });
@@ -473,15 +511,15 @@ fn exec_parcel(
             }
             if let Some(d) = op.dest {
                 rf.set(d, v);
-                tag_info[d.index()] = None;
+                scratch.tag_info[d.index()] = None;
             }
             if let Some(d2) = op.dest2 {
                 rf.set(d2, u32::from(carry.unwrap_or(false)));
-                tag_info[d2.index()] = None;
+                scratch.tag_info[d2.index()] = None;
             }
             if !op.speculative {
                 if let Some(d) = op.dest {
-                    events.push(ArchEvent::Def { d1: d, d2: op.dest2 });
+                    scratch.events.push(ArchEvent::Def { d1: d, d2: op.dest2 });
                     count_completion(stats, last_base, op.base_addr);
                 }
             }
@@ -514,8 +552,8 @@ mod tests {
     fn run(code: &GroupCode, mem: &mut Memory, rf: &mut RegFile) -> (GroupExit, RunStats) {
         let mut cache = Hierarchy::infinite();
         let mut stats = RunStats::default();
-        let mut events = Vec::new();
-        let exit = run_group(code, rf, mem, &mut cache, &mut stats, &mut events);
+        let mut scratch = EngineScratch::new();
+        let exit = run_group(code, rf, mem, &mut cache, &mut stats, &mut scratch);
         (exit, stats)
     }
 

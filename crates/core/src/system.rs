@@ -9,8 +9,8 @@
 //! into translated pages invalidate and resume, precise exceptions are
 //! delivered to the base architecture's own vectors.
 
-use crate::engine::{run_group, ChainLink, ExcKind, GroupCode, GroupExit};
-use crate::precise::{self, ArchEvent, RecoverError};
+use crate::engine::{run_group, ChainLink, EngineScratch, ExcKind, GroupCode, GroupExit};
+use crate::precise::{self, RecoverError};
 use crate::sched::{TierPolicy, TranslatorConfig};
 use crate::stats::RunStats;
 use crate::trace::{ExcClass, GroupProfiler, Tier, TraceEvent, TraceSink, Tracer};
@@ -61,7 +61,7 @@ pub struct DaisySystem {
     pub timer_period: Option<u64>,
     next_timer: u64,
     pending_external: bool,
-    events: Vec<ArchEvent>,
+    scratch: EngineScratch,
     /// Follow direct group-to-group chain links, skipping the VMM on
     /// hot exits (on by default; [`DaisySystem::builder`] can disable
     /// it to reproduce pure per-dispatch VMM counts).
@@ -221,7 +221,7 @@ impl DaisySystemBuilder {
             timer_period: self.timer_period,
             next_timer: 0,
             pending_external: false,
-            events: Vec::new(),
+            scratch: EngineScratch::new(),
             chaining: self.chaining,
             pending_chain: None,
             profiler: self.profiling.then(GroupProfiler::new),
@@ -403,7 +403,7 @@ impl DaisySystem {
                 &mut self.mem,
                 &mut self.cache,
                 &mut self.stats,
-                &mut self.events,
+                &mut self.scratch,
             );
             rf.write_back(&mut self.cpu);
 
@@ -484,10 +484,11 @@ impl DaisySystem {
                         base_addr,
                     });
                     if self.check_precise_recovery {
+                        let events = &self.scratch.events;
                         let recovered = precise::recover(
                             &self.mem,
                             code.group.entry,
-                            &self.events[..fault_idx.min(self.events.len())],
+                            &events[..fault_idx.min(events.len())],
                             fault_idx,
                         )?;
                         if recovered != base_addr {
