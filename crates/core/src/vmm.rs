@@ -342,9 +342,10 @@ fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> H
     sim.pc = addr;
     let mut counts: HashMap<u32, (u64, u64)> = HashMap::new();
     let mut indirect = HashMap::new();
+    let mut dcache = daisy_ppc::decode::DecodeCache::new();
     let budget = u64::from(cfg.window_size) * 8;
     for _ in 0..budget {
-        let Ok(insn) = sim.fetch(&sim_mem) else { break };
+        let Ok(insn) = sim.fetch_cached(&sim_mem, &mut dcache) else { break };
         let pc = sim.pc;
         let info = insn.branch_info(pc);
         if !matches!(sim.execute(&mut sim_mem, insn), Event::Continue) {

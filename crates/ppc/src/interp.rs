@@ -12,7 +12,7 @@
 //!    after `rfi` instead of creating new entry points (paper §3.4), and
 //!    this is the interpreter it uses.
 
-use crate::decode::decode;
+use crate::decode::{decode, DecodeCache};
 use crate::insn::{
     bo, Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp,
 };
@@ -257,6 +257,15 @@ impl Cpu {
     pub fn fetch(&self, mem: &Memory) -> Result<Insn, Event> {
         let pa = self.xlate_fetch(self.pc)?;
         mem.read_u32(pa).map(decode).map_err(|_| Event::Isi)
+    }
+
+    /// Like [`Cpu::fetch`], memoizing the decode through `dcache`. The
+    /// raw word is still read every time (so self-modifying code is
+    /// observed), but revisited words skip the decoder.
+    pub fn fetch_cached(&self, mem: &Memory, dcache: &mut DecodeCache) -> Result<Insn, Event> {
+        let pa = self.xlate_fetch(self.pc)?;
+        let word = mem.read_u32(pa).map_err(|_| Event::Isi)?;
+        Ok(dcache.decode_at(pa, word))
     }
 
     /// Executes one instruction. On [`Event::Continue`]/[`Event::Syscall`]
@@ -839,9 +848,10 @@ impl Cpu {
         mut trace: impl FnMut(u32, &Insn),
     ) -> Result<StopReason, MemTooSmall> {
         let limit = self.ninstrs.saturating_add(max_instrs);
+        let mut dcache = DecodeCache::new();
         while self.ninstrs < limit {
             let pc = self.pc;
-            let ev = match self.fetch(mem) {
+            let ev = match self.fetch_cached(mem, &mut dcache) {
                 Ok(insn) => {
                     let ev = self.execute(mem, insn);
                     if matches!(ev, Event::Continue | Event::Syscall) {
