@@ -1,32 +1,129 @@
-//! Execution-engine throughput: end-to-end translate-and-run of the
-//! workload suite (the simulation speed that makes the Chapter 5
-//! sweeps practical).
+//! Execution-engine throughput: the packed execution format versus the
+//! reference tree-walking engine, end-to-end (translate and run) over
+//! all nine paper workloads — the simulation speed that makes the
+//! Chapter 5 sweeps practical.
+//!
+//! Besides the criterion timings, a full `cargo bench` run writes
+//! `BENCH_engine.json` at the repository root: per workload, the
+//! wall-clock time and host nanoseconds per guest instruction for each
+//! engine, the packed-over-tree speedup, and the geometric-mean speedup
+//! across the suite. Both engines live in the same binary
+//! ([`DaisySystemBuilder::packed_execution`]) and the tree engine keeps
+//! its pre-packing code shape, so the ratio is an honest before/after.
+//! Under `cargo test` the suite runs a single quick correctness pass
+//! (both engines, results checked) and leaves the JSON untouched —
+//! debug-build timings would be meaningless.
+//!
+//! [`DaisySystemBuilder::packed_execution`]:
+//! daisy::system::DaisySystemBuilder::packed_execution
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use daisy::system::DaisySystem;
+use daisy_workloads::Workload;
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("daisy_run");
+fn run_once(w: &Workload, prog: &daisy_ppc::asm::Program, packed: bool) -> DaisySystem {
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).packed_execution(packed).build();
+    sys.load(prog).unwrap();
+    sys.run(10 * w.max_instrs).unwrap();
+    w.check(&sys.cpu, &sys.mem)
+        .unwrap_or_else(|e| panic!("{} (packed={packed}): wrong guest result: {e}", w.name));
+    sys
+}
+
+/// Best-of-`reps` wall seconds plus the run's stats.
+fn measure(
+    w: &Workload,
+    prog: &daisy_ppc::asm::Program,
+    packed: bool,
+    reps: u32,
+) -> (f64, DaisySystem) {
+    let mut best = f64::INFINITY;
+    let mut sys = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let s = run_once(w, prog, packed);
+        best = best.min(t.elapsed().as_secs_f64());
+        sys = Some(s);
+    }
+    (best, sys.unwrap())
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let full = std::env::args().any(|a| a == "--bench");
+
+    // Criterion-timed subset (kept small; the JSON below covers the
+    // full suite).
+    let mut g = c.benchmark_group("engine");
     g.sample_size(10);
     for name in ["c_sieve", "wc", "fgrep"] {
         let w = daisy_workloads::by_name(name).unwrap();
         let prog = w.program();
-        // Base instruction count for throughput reporting.
-        let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
-        sys.load(&prog).unwrap();
-        sys.run(10 * w.max_instrs).unwrap();
-        g.throughput(Throughput::Elements(sys.stats.vliws_executed));
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
-                sys.load(&prog).unwrap();
-                black_box(sys.run(10 * w.max_instrs).unwrap());
+        for packed in [true, false] {
+            let mode = if packed { "packed" } else { "tree" };
+            g.bench_with_input(BenchmarkId::new(name, mode), &packed, |b, &p| {
+                b.iter(|| black_box(run_once(&w, &prog, p)));
             });
-        });
+        }
     }
     g.finish();
+
+    if !full {
+        // Smoke mode: the correctness passes above already ran both
+        // engines; don't overwrite the measured JSON with debug noise.
+        return;
+    }
+
+    let mut rows = Vec::new();
+    let mut log_ratio_sum = 0.0;
+    let all = daisy_workloads::all();
+    for w in &all {
+        let prog = w.program();
+        let (tree_s, tsys) = measure(w, &prog, false, 3);
+        let (packed_s, psys) = measure(w, &prog, true, 3);
+        assert_eq!(
+            tsys.stats.vliws_executed, psys.stats.vliws_executed,
+            "{}: engines disagree on work done",
+            w.name
+        );
+        let guest = tsys.stats.approx_base_instrs().max(1) as f64;
+        let ratio = tree_s / packed_s;
+        log_ratio_sum += ratio.ln();
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            concat!(
+                "    {{\"name\": \"{}\", ",
+                "\"tree\": {{\"wall_ms\": {:.3}, \"ns_per_guest_instr\": {:.2}}}, ",
+                "\"packed\": {{\"wall_ms\": {:.3}, \"ns_per_guest_instr\": {:.2}}}, ",
+                "\"speedup\": {:.3}}}"
+            ),
+            w.name,
+            tree_s * 1e3,
+            tree_s * 1e9 / guest,
+            packed_s * 1e3,
+            packed_s * 1e9 / guest,
+            ratio
+        );
+        rows.push(row);
+    }
+    let geomean = (log_ratio_sum / all.len() as f64).exp();
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"engine\",\n",
+            "  \"geomean_speedup\": {:.3},\n",
+            "  \"workloads\": [\n{}\n  ]\n}}\n"
+        ),
+        geomean,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, json).expect("write BENCH_engine.json");
+    println!("engine geomean speedup (packed vs tree): {geomean:.3}x");
 }
 
-criterion_group!(benches, bench_run);
+criterion_group!(benches, bench_engine);
 criterion_main!(benches);

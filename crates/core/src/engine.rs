@@ -14,8 +14,12 @@ use crate::stats::RunStats;
 use crate::trace::Tier;
 use daisy_cachesim::Hierarchy;
 use daisy_ppc::insn::MemWidth;
+use daisy_ppc::interp::compare;
 use daisy_ppc::mem::Memory;
-use daisy_vliw::op::{effective_address, eval, EvalOut, OpKind, Operation};
+use daisy_vliw::op::{
+    effective_address, effective_address_inline, eval, eval_inline, EvalOut, OpKind, Operation,
+};
+use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup};
 use daisy_vliw::reg::{Reg, NUM_REGS};
 use daisy_vliw::regfile::RegFile;
 use daisy_vliw::tree::{Exit, Group, IndirectVia, NodeKind, VliwId, ROOT};
@@ -58,44 +62,38 @@ pub enum ChainLink {
 /// simply by dropping the `Rc` — a dangling link can never be followed.
 #[derive(Debug, Clone)]
 pub struct GroupCode {
-    /// The translated group.
+    /// The translated group (scheduling representation; kept for
+    /// diagnostics, recovery, and the reference tree-walking engine).
     pub group: Group,
+    /// The group lowered to the packed execution format the hot loop
+    /// runs ([`run_group`]). Its exit-target table defines the chain
+    /// link slots.
+    pub packed: PackedGroup,
     /// Translated-code address of each tree instruction.
     pub vliw_addrs: Vec<u32>,
     /// Which translator tier produced this code (cold first-touch or
     /// profile-guided hot retranslation); carried so the profiler and
     /// trace events can attribute execution per tier.
     pub tier: Tier,
-    /// Sorted distinct targets of the group's static direct-branch
-    /// exits; parallel to `links`.
-    exit_targets: Vec<u32>,
-    /// Lazily installed group-to-group links, one slot per exit target.
+    /// Lazily installed group-to-group links, one slot per entry of
+    /// the packed exit-target table.
     links: RefCell<Vec<Option<Weak<GroupCode>>>>,
     /// Inline dispatch cache for this group's indirect (LR/CTR) exits.
     icache: RefCell<[Option<IndirectEntry>; ICACHE_WAYS]>,
 }
 
 impl GroupCode {
-    /// Wraps a translated group, deriving one chain-link slot per
-    /// static direct-branch exit target.
+    /// Wraps a translated group, lowering it to the packed execution
+    /// format and deriving one chain-link slot per static direct-branch
+    /// exit target.
     pub fn new(group: Group, vliw_addrs: Vec<u32>) -> GroupCode {
-        let mut exit_targets: Vec<u32> = group
-            .vliws
-            .iter()
-            .flat_map(|v| v.nodes().iter())
-            .filter_map(|n| match n.kind {
-                NodeKind::Exit(Exit::Branch { target }) => Some(target),
-                _ => None,
-            })
-            .collect();
-        exit_targets.sort_unstable();
-        exit_targets.dedup();
-        let links = RefCell::new(vec![None; exit_targets.len()]);
+        let packed = PackedGroup::lower(&group);
+        let links = RefCell::new(vec![None; packed.exit_targets().len()]);
         GroupCode {
             group,
+            packed,
             vliw_addrs,
             tier: Tier::Cold,
-            exit_targets,
             links,
             icache: RefCell::new([const { None }; ICACHE_WAYS]),
         }
@@ -111,7 +109,7 @@ impl GroupCode {
     /// The link slot for a static direct-branch exit `target`, if the
     /// group has such an exit.
     pub fn exit_slot(&self, target: u32) -> Option<usize> {
-        self.exit_targets.binary_search(&target).ok()
+        self.packed.exit_slot(target)
     }
 
     /// Resolves the chain link in `slot`.
@@ -178,6 +176,11 @@ pub enum GroupExit {
         target: u32,
         /// `Some` for indirect branches (Table 5.6 typing).
         via: Option<IndirectVia>,
+        /// Chain-link slot of this exit in the exiting group (`None`
+        /// for indirect exits). Lowered into the packed format at
+        /// translation time, so the dispatch loop installs and follows
+        /// group-to-group links without re-searching the exit table.
+        slot: Option<usize>,
     },
     /// The VMM must interpret the instruction at `addr`.
     Interp {
@@ -224,7 +227,7 @@ struct PendingLoad {
 ///
 /// The exception-tag and pending-load tables cover all [`NUM_REGS`]
 /// registers (~3 KiB); rather than zeroing them on every dispatch, the
-/// engine records which slots it populated and [`EngineScratch::reset`]
+/// engine records which slots it populated and its internal reset
 /// clears only those — on the common path (no speculative faults, no
 /// bypassed loads) reset is just clearing the event vector's length.
 #[derive(Debug)]
@@ -284,10 +287,38 @@ fn write_mem(mem: &mut Memory, ea: u32, width: MemWidth, v: u32) -> Result<(), (
     }
 }
 
-/// Executes one group to its exit.
+#[inline(always)]
+fn read_mem_fast(mem: &Memory, ea: u32, width: MemWidth, algebraic: bool) -> Result<u32, ()> {
+    match width {
+        MemWidth::Byte => mem.read_u8_inline(ea).map(u32::from).map_err(|_| ()),
+        MemWidth::Half => mem
+            .read_u16_inline(ea)
+            .map(|v| if algebraic { v as i16 as i32 as u32 } else { u32::from(v) })
+            .map_err(|_| ()),
+        MemWidth::Word => mem.read_u32_inline(ea).map_err(|_| ()),
+    }
+}
+
+#[inline(always)]
+fn write_mem_fast(mem: &mut Memory, ea: u32, width: MemWidth, v: u32) -> Result<(), ()> {
+    match width {
+        MemWidth::Byte => mem.write_u8_inline(ea, v as u8).map_err(|_| ()),
+        MemWidth::Half => mem.write_u16_inline(ea, v as u16).map_err(|_| ()),
+        MemWidth::Word => mem.write_u32_inline(ea, v).map_err(|_| ()),
+    }
+}
+
+/// Executes one group to its exit on the packed execution format —
+/// the simulation hot loop. Walks [`GroupCode::packed`]: per tree
+/// instruction, conditions route through the flat node table and the
+/// taken path's parcels execute as dense slices of the op arena.
 ///
 /// `scratch` is reset and its event record filled with the
 /// architected-commitment trail used for precise-exception recovery.
+///
+/// Observably identical to [`run_group_tree`] (same architected state,
+/// same [`RunStats`], same exit, same event record); the property tests
+/// in `tests/prop_packed.rs` pin that equivalence.
 pub fn run_group(
     code: &GroupCode,
     rf: &mut RegFile,
@@ -297,7 +328,497 @@ pub fn run_group(
     scratch: &mut EngineScratch,
 ) -> GroupExit {
     scratch.reset();
+    let packed = &code.packed;
+    let infinite = cache.is_infinite();
+    let (vals, tags) = rf.arrays_mut();
+    let mut last_base = u32::MAX;
+    let mut vliw = 0usize;
+
+    // One completed base instruction per distinct originating address
+    // (several parcels can share one base instruction).
+    macro_rules! commit_base {
+        ($op:expr) => {
+            if last_base != $op.base_addr {
+                last_base = $op.base_addr;
+                stats.base_instrs += 1;
+            }
+        };
+    }
+
+    loop {
+        stats.vliws_executed += 1;
+        if !infinite {
+            let iacc = cache.access_instr(code.vliw_addrs[vliw]);
+            stats.stall_cycles += u64::from(iacc.penalty);
+        }
+
+        let mut node = packed.roots[vliw] as usize;
+        let mut parcels_this_vliw = 0usize;
+        loop {
+            let n = &packed.nodes[node];
+            parcels_this_vliw += n.len as usize;
+            for k in n.start as usize..(n.start + n.len) as usize {
+                let op = &packed.ops[k];
+                let m = &packed.meta[k];
+                let (s0, s1, s2) = (m.s[0] as usize, m.s[1] as usize, m.s[2] as usize);
+                let poisoned =
+                    (tags[s0] & m.smask[0]) | (tags[s1] & m.smask[1]) | (tags[s2] & m.smask[2]);
+                // Poison propagation / deferred faults (§2.1) and the
+                // rare shapes (trap checks, load-verify commits) all go
+                // through the one full-semantics interpreter.
+                if poisoned || m.class == OpClass::General {
+                    match exec_parcel_general(
+                        op,
+                        vals,
+                        tags,
+                        mem,
+                        cache,
+                        infinite,
+                        stats,
+                        scratch,
+                        &mut last_base,
+                    ) {
+                        Ok(()) => continue,
+                        Err(exit) => return exit,
+                    }
+                }
+                match m.class {
+                    // Committed single-destination value ops, by
+                    // descending dynamic frequency. Lowering guarantees
+                    // these have a destination and no carry-out.
+                    OpClass::Copy => {
+                        let d = m.d1 as usize;
+                        vals[d] = vals[s0];
+                        tags[d] = false;
+                        scratch.tag_info[d] = None;
+                        scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                        commit_base!(op);
+                    }
+                    OpClass::LoadImm => {
+                        let d = m.d1 as usize;
+                        vals[d] = op.imm as u32;
+                        tags[d] = false;
+                        scratch.tag_info[d] = None;
+                        scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                        commit_base!(op);
+                    }
+                    OpClass::Add => {
+                        let d = m.d1 as usize;
+                        vals[d] = vals[s0].wrapping_add(vals[s1]);
+                        tags[d] = false;
+                        scratch.tag_info[d] = None;
+                        scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                        commit_base!(op);
+                    }
+                    OpClass::AddImm => {
+                        let d = m.d1 as usize;
+                        vals[d] = vals[s0].wrapping_add(op.imm as u32);
+                        tags[d] = false;
+                        scratch.tag_info[d] = None;
+                        scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                        commit_base!(op);
+                    }
+                    OpClass::CmpSImm => {
+                        let d = m.d1 as usize;
+                        vals[d] = compare(vals[s0], op.imm as u32, true, vals[s1] & 1 != 0);
+                        tags[d] = false;
+                        scratch.tag_info[d] = None;
+                        scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                        commit_base!(op);
+                    }
+                    OpClass::RotlImmMask => {
+                        let d = m.d1 as usize;
+                        vals[d] = vals[s0].rotate_left(op.imm as u32 & 31) & op.imm2;
+                        tags[d] = false;
+                        scratch.tag_info[d] = None;
+                        scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                        commit_base!(op);
+                    }
+                    OpClass::Value => {
+                        let sv = [vals[s0], vals[s1], vals[s2]];
+                        let EvalOut::Value { v, carry } = eval_inline(op, &sv[..m.nsrc as usize])
+                        else {
+                            unreachable!("non-memory ops evaluate to values")
+                        };
+                        if m.d1 != OpMeta::NONE {
+                            let d = m.d1 as usize;
+                            vals[d] = v;
+                            tags[d] = false;
+                            scratch.tag_info[d] = None;
+                        }
+                        if m.d2 != OpMeta::NONE {
+                            let d2 = m.d2 as usize;
+                            vals[d2] = u32::from(carry.unwrap_or(false));
+                            tags[d2] = false;
+                            scratch.tag_info[d2] = None;
+                        }
+                        if m.d1 != OpMeta::NONE {
+                            scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: op.dest2 });
+                            commit_base!(op);
+                        }
+                    }
+                    OpClass::SpecValue => {
+                        let sv = [vals[s0], vals[s1], vals[s2]];
+                        let EvalOut::Value { v, carry } = eval_inline(op, &sv[..m.nsrc as usize])
+                        else {
+                            unreachable!("non-memory ops evaluate to values")
+                        };
+                        if m.d1 != OpMeta::NONE {
+                            let d = m.d1 as usize;
+                            vals[d] = v;
+                            tags[d] = false;
+                            scratch.tag_info[d] = None;
+                        }
+                        if m.d2 != OpMeta::NONE {
+                            let d2 = m.d2 as usize;
+                            vals[d2] = u32::from(carry.unwrap_or(false));
+                            tags[d2] = false;
+                            scratch.tag_info[d2] = None;
+                        }
+                    }
+                    OpClass::Load => {
+                        let OpKind::Load { width, algebraic } = op.kind else {
+                            unreachable!("Load class carries a load op")
+                        };
+                        let sv = [vals[s0], vals[s1], vals[s2]];
+                        let ea = effective_address_inline(op, &sv[..m.nsrc as usize]);
+                        match read_mem_fast(mem, ea, width, algebraic) {
+                            Ok(v) => {
+                                if !infinite {
+                                    let acc = cache.access_data(ea, false);
+                                    if acc.l0_miss {
+                                        stats.load_l0_misses += 1;
+                                    }
+                                    stats.stall_cycles += u64::from(acc.penalty);
+                                }
+                                stats.loads += 1;
+                                let d = m.d1 as usize;
+                                vals[d] = v;
+                                tags[d] = false;
+                                scratch.tag_info[d] = None;
+                                if op.bypassed_store {
+                                    scratch.pending[d] =
+                                        Some(PendingLoad { ea, width, algebraic, value: v });
+                                    scratch.touched.push(d as u8);
+                                }
+                                if !op.speculative {
+                                    scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                                    commit_base!(op);
+                                }
+                            }
+                            Err(()) => {
+                                if op.speculative {
+                                    // "A speculative operation that
+                                    // causes an error … just sets the
+                                    // exception tag bit."
+                                    let d = m.d1 as usize;
+                                    vals[d] = 0;
+                                    tags[d] = true;
+                                    scratch.tag_info[d] = Some((ea, false));
+                                    scratch.touched.push(d as u8);
+                                } else {
+                                    return GroupExit::Exception {
+                                        kind: ExcKind::Dsi { addr: ea, write: false },
+                                        base_addr: op.base_addr,
+                                        fault_idx: scratch.events.len(),
+                                    };
+                                }
+                            }
+                        }
+                    }
+                    OpClass::Store => {
+                        let OpKind::Store { width } = op.kind else {
+                            unreachable!("Store class carries a store op")
+                        };
+                        let sv = [vals[s0], vals[s1], vals[s2]];
+                        let ea = effective_address_inline(op, &sv[..m.nsrc as usize]);
+                        match write_mem_fast(mem, ea, width, sv[0]) {
+                            Ok(()) => {
+                                if !infinite {
+                                    let acc = cache.access_data(ea, true);
+                                    if acc.l0_miss {
+                                        stats.store_l0_misses += 1;
+                                    }
+                                    stats.stall_cycles += u64::from(acc.penalty);
+                                }
+                                stats.stores += 1;
+                                scratch.events.push(ArchEvent::Store);
+                                commit_base!(op);
+                                if mem.has_code_writes_inline() {
+                                    stats.code_modifications += 1;
+                                    return GroupExit::CodeModified { addr: op.base_addr };
+                                }
+                            }
+                            Err(()) => {
+                                return GroupExit::Exception {
+                                    kind: ExcKind::Dsi { addr: ea, write: true },
+                                    base_addr: op.base_addr,
+                                    fault_idx: scratch.events.len(),
+                                };
+                            }
+                        }
+                    }
+                    OpClass::General => unreachable!("routed to exec_parcel_general above"),
+                }
+            }
+            match n.ctrl {
+                PackedCtrl::Cond { cond, taken, fall } => {
+                    debug_assert!(!tags[cond.src.index()], "branch conditions are committed clean");
+                    let t = cond.holds(vals[cond.src.index()]);
+                    match cond.spec_target {
+                        // A Ch. 6 indirect-branch specialization: the
+                        // taken side is the true indirect exit, the
+                        // fall side continues inline at the target.
+                        Some(spec) => {
+                            scratch.events.push(ArchEvent::IndirectDir(if t {
+                                None
+                            } else {
+                                Some(spec)
+                            }));
+                        }
+                        None => scratch.events.push(ArchEvent::Dir(t)),
+                    }
+                    stats.base_instrs += 1;
+                    node = if t { taken } else { fall } as usize;
+                }
+                PackedCtrl::Next { vliw: next } => {
+                    stats.issue_histogram[parcels_this_vliw.min(24)] += 1;
+                    vliw = next as usize;
+                    break;
+                }
+                PackedCtrl::Leave { target, slot } => {
+                    stats.issue_histogram[parcels_this_vliw.min(24)] += 1;
+                    return GroupExit::Branch { target, via: None, slot: Some(slot as usize) };
+                }
+                PackedCtrl::Indirect { src, via } => {
+                    stats.issue_histogram[parcels_this_vliw.min(24)] += 1;
+                    debug_assert!(!tags[src.index()], "indirect targets are committed clean");
+                    return GroupExit::Branch {
+                        target: vals[src.index()] & !3,
+                        via: Some(via),
+                        slot: None,
+                    };
+                }
+                PackedCtrl::Interp { addr } => {
+                    stats.issue_histogram[parcels_this_vliw.min(24)] += 1;
+                    return GroupExit::Interp { addr };
+                }
+            }
+        }
+    }
+}
+
+/// The packed engine's full-semantics parcel interpreter: semantics
+/// identical to `exec_parcel`, but over the register file's raw
+/// arrays and the scratch tables. [`run_group`] routes here whenever a
+/// source carries an exception tag (poison propagation / deferred
+/// faults, §2.1) or the parcel's [`OpClass`] is
+/// [`General`](OpClass::General) (trap checks, load-verify commits);
+/// everything hot runs in the class-dispatched arms inlined into the
+/// walk loop. The tree engine deliberately keeps the outlined
+/// `exec_parcel` so it stays measurable as the pre-packing baseline.
+#[allow(clippy::too_many_arguments)]
+fn exec_parcel_general(
+    op: &Operation,
+    vals: &mut [u32; NUM_REGS],
+    tags: &mut [bool; NUM_REGS],
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    infinite: bool,
+    stats: &mut RunStats,
+    scratch: &mut EngineScratch,
+    last_base: &mut u32,
+) -> Result<(), GroupExit> {
+    let nsrc = op.srcs().len();
+    let mut src_vals = [0u32; 3];
+    let mut tagged: Option<Reg> = None;
+    for (i, s) in op.srcs().iter().enumerate() {
+        src_vals[i] = vals[s.index()];
+        if tags[s.index()] {
+            tagged = Some(*s);
+        }
+    }
+    let src_vals = &src_vals[..nsrc];
+
+    // Exception-tag semantics (§2.1): speculative consumers propagate
+    // the poison; non-speculative consumers take the deferred fault.
+    if let Some(t) = tagged {
+        if op.speculative {
+            let info = scratch.tag_info[t.index()];
+            for d in [op.dest, op.dest2].into_iter().flatten() {
+                vals[d.index()] = 0;
+                tags[d.index()] = true;
+                scratch.tag_info[d.index()] = info;
+                scratch.touched.push(d.index() as u8);
+            }
+            return Ok(());
+        }
+        let (addr, write) = scratch.tag_info[t.index()].unwrap_or((0, false));
+        return Err(GroupExit::Exception {
+            kind: ExcKind::Dsi { addr, write },
+            base_addr: op.base_addr,
+            fault_idx: scratch.events.len(),
+        });
+    }
+
+    let count_completion = |stats: &mut RunStats, last_base: &mut u32, addr: u32| {
+        if *last_base != addr {
+            *last_base = addr;
+            stats.base_instrs += 1;
+        }
+    };
+
+    match op.kind {
+        OpKind::Load { width, algebraic } => {
+            let ea = effective_address_inline(op, src_vals);
+            match read_mem_fast(mem, ea, width, algebraic) {
+                Ok(v) => {
+                    if !infinite {
+                        let acc = cache.access_data(ea, false);
+                        if acc.l0_miss {
+                            stats.load_l0_misses += 1;
+                        }
+                        stats.stall_cycles += u64::from(acc.penalty);
+                    }
+                    stats.loads += 1;
+                    let d = op.dest.expect("loads have destinations");
+                    vals[d.index()] = v;
+                    tags[d.index()] = false;
+                    scratch.tag_info[d.index()] = None;
+                    if op.bypassed_store {
+                        scratch.pending[d.index()] =
+                            Some(PendingLoad { ea, width, algebraic, value: v });
+                        scratch.touched.push(d.index() as u8);
+                    }
+                    if !op.speculative {
+                        scratch.events.push(ArchEvent::Def { d1: d, d2: None });
+                        count_completion(stats, last_base, op.base_addr);
+                    }
+                }
+                Err(()) => {
+                    if op.speculative {
+                        // "A speculative operation that causes an error
+                        // … just sets the exception tag bit."
+                        let d = op.dest.expect("loads have destinations");
+                        vals[d.index()] = 0;
+                        tags[d.index()] = true;
+                        scratch.tag_info[d.index()] = Some((ea, false));
+                        scratch.touched.push(d.index() as u8);
+                    } else {
+                        return Err(GroupExit::Exception {
+                            kind: ExcKind::Dsi { addr: ea, write: false },
+                            base_addr: op.base_addr,
+                            fault_idx: scratch.events.len(),
+                        });
+                    }
+                }
+            }
+        }
+        OpKind::Store { width } => {
+            let ea = effective_address_inline(op, src_vals);
+            match write_mem_fast(mem, ea, width, src_vals[0]) {
+                Ok(()) => {
+                    if !infinite {
+                        let acc = cache.access_data(ea, true);
+                        if acc.l0_miss {
+                            stats.store_l0_misses += 1;
+                        }
+                        stats.stall_cycles += u64::from(acc.penalty);
+                    }
+                    stats.stores += 1;
+                    scratch.events.push(ArchEvent::Store);
+                    count_completion(stats, last_base, op.base_addr);
+                    if mem.has_code_writes_inline() {
+                        stats.code_modifications += 1;
+                        return Err(GroupExit::CodeModified { addr: op.base_addr });
+                    }
+                }
+                Err(()) => {
+                    return Err(GroupExit::Exception {
+                        kind: ExcKind::Dsi { addr: ea, write: true },
+                        base_addr: op.base_addr,
+                        fault_idx: scratch.events.len(),
+                    });
+                }
+            }
+        }
+        OpKind::TrapIf { .. } => match eval_inline(op, src_vals) {
+            EvalOut::Trap(true) => {
+                return Err(GroupExit::Exception {
+                    kind: ExcKind::Trap,
+                    base_addr: op.base_addr,
+                    fault_idx: scratch.events.len(),
+                });
+            }
+            EvalOut::Trap(false) => {
+                scratch.events.push(ArchEvent::TrapCheck);
+                count_completion(stats, last_base, op.base_addr);
+            }
+            _ => unreachable!("TrapIf evaluates to Trap"),
+        },
+        _ => {
+            let EvalOut::Value { v, carry } = eval_inline(op, src_vals) else {
+                unreachable!("non-memory ops evaluate to values")
+            };
+            // Load-verify at the commit of a bypassed load (§2.1: "the
+            // value must be reloaded and execution re-commenced from
+            // the point of the load").
+            if op.is_commit && op.bypassed_store {
+                let src = op.srcs()[0];
+                if let Some(pl) = scratch.pending[src.index()] {
+                    if read_mem_fast(mem, pl.ea, pl.width, pl.algebraic) != Ok(pl.value) {
+                        stats.alias_failures += 1;
+                        return Err(GroupExit::AliasRestart { addr: op.base_addr });
+                    }
+                }
+            }
+            if let Some(d) = op.dest {
+                vals[d.index()] = v;
+                tags[d.index()] = false;
+                scratch.tag_info[d.index()] = None;
+            }
+            if let Some(d2) = op.dest2 {
+                vals[d2.index()] = u32::from(carry.unwrap_or(false));
+                tags[d2.index()] = false;
+                scratch.tag_info[d2.index()] = None;
+            }
+            if !op.speculative {
+                if let Some(d) = op.dest {
+                    scratch.events.push(ArchEvent::Def { d1: d, d2: op.dest2 });
+                    count_completion(stats, last_base, op.base_addr);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes one group to its exit by walking the tree representation
+/// directly — the pre-packing engine, kept byte-for-byte as the
+/// reference the packed walk is verified against (and selectable
+/// through `DaisySystemBuilder::packed_execution(false)` so the
+/// `engine` bench can measure packed against the old engine in the
+/// same binary).
+///
+/// Deliberately *not* optimized: it re-initialises its exception-tag
+/// and pending-load tables on every dispatch, probes the cache
+/// hierarchy unconditionally, and calls the outlined `exec_parcel`
+/// per parcel, exactly as the engine did before the packed format
+/// existed. Only `scratch.events` is used from `scratch` (the event
+/// vector was caller-owned in the old engine too).
+pub fn run_group_tree(
+    code: &GroupCode,
+    rf: &mut RegFile,
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    stats: &mut RunStats,
+    scratch: &mut EngineScratch,
+) -> GroupExit {
+    scratch.reset();
+    let events = &mut scratch.events;
     let group = &code.group;
+    let mut tag_info: [Option<(u32, bool)>; NUM_REGS] = [None; NUM_REGS];
+    let mut pending: [Option<PendingLoad>; NUM_REGS] = [None; NUM_REGS];
     let mut last_base = u32::MAX;
     let mut cur = VliwId(0);
 
@@ -313,7 +834,17 @@ pub fn run_group(
             let n = &vliw.nodes()[node.0 as usize];
             parcels_this_vliw += n.ops.len();
             for op in &n.ops {
-                match exec_parcel(op, rf, mem, cache, stats, scratch, &mut last_base) {
+                match exec_parcel(
+                    op,
+                    rf,
+                    mem,
+                    cache,
+                    stats,
+                    events,
+                    &mut tag_info,
+                    &mut pending,
+                    &mut last_base,
+                ) {
                     Ok(()) => {}
                     Err(exit) => return exit,
                 }
@@ -328,11 +859,9 @@ pub fn run_group(
                         // taken side is the true indirect exit, the
                         // fall side continues inline at the target.
                         Some(spec) => {
-                            scratch
-                                .events
-                                .push(ArchEvent::IndirectDir(if t { None } else { Some(spec) }));
+                            events.push(ArchEvent::IndirectDir(if t { None } else { Some(spec) }));
                         }
-                        None => scratch.events.push(ArchEvent::Dir(t)),
+                        None => events.push(ArchEvent::Dir(t)),
                     }
                     stats.base_instrs += 1;
                     node = if t { *taken } else { *fall };
@@ -345,13 +874,18 @@ pub fn run_group(
                             break;
                         }
                         Exit::Branch { target } => {
-                            return GroupExit::Branch { target: *target, via: None }
+                            return GroupExit::Branch {
+                                target: *target,
+                                via: None,
+                                slot: code.exit_slot(*target),
+                            }
                         }
                         Exit::Indirect { src, via } => {
                             debug_assert!(!rf.tag(*src), "indirect targets are committed clean");
                             return GroupExit::Branch {
                                 target: rf.get(*src) & !3,
                                 via: Some(*via),
+                                slot: None,
                             };
                         }
                         Exit::Interp { addr } => return GroupExit::Interp { addr: *addr },
@@ -362,13 +896,16 @@ pub fn run_group(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_parcel(
     op: &Operation,
     rf: &mut RegFile,
     mem: &mut Memory,
     cache: &mut Hierarchy,
     stats: &mut RunStats,
-    scratch: &mut EngineScratch,
+    events: &mut Vec<ArchEvent>,
+    tag_info: &mut [Option<(u32, bool)>; NUM_REGS],
+    pending: &mut [Option<PendingLoad>; NUM_REGS],
     last_base: &mut u32,
 ) -> Result<(), GroupExit> {
     let nsrc = op.srcs().len();
@@ -386,20 +923,19 @@ fn exec_parcel(
     // the poison; non-speculative consumers take the deferred fault.
     if let Some(t) = tagged {
         if op.speculative {
-            let info = scratch.tag_info[t.index()];
+            let info = tag_info[t.index()];
             for d in [op.dest, op.dest2].into_iter().flatten() {
                 rf.set(d, 0);
                 rf.set_tag(d, true);
-                scratch.tag_info[d.index()] = info;
-                scratch.touched.push(d.index() as u8);
+                tag_info[d.index()] = info;
             }
             return Ok(());
         }
-        let (addr, write) = scratch.tag_info[t.index()].unwrap_or((0, false));
+        let (addr, write) = tag_info[t.index()].unwrap_or((0, false));
         return Err(GroupExit::Exception {
             kind: ExcKind::Dsi { addr, write },
             base_addr: op.base_addr,
-            fault_idx: scratch.events.len(),
+            fault_idx: events.len(),
         });
     }
 
@@ -423,14 +959,12 @@ fn exec_parcel(
                     stats.stall_cycles += u64::from(acc.penalty);
                     let d = op.dest.expect("loads have destinations");
                     rf.set(d, v);
-                    scratch.tag_info[d.index()] = None;
+                    tag_info[d.index()] = None;
                     if op.bypassed_store {
-                        scratch.pending[d.index()] =
-                            Some(PendingLoad { ea, width, algebraic, value: v });
-                        scratch.touched.push(d.index() as u8);
+                        pending[d.index()] = Some(PendingLoad { ea, width, algebraic, value: v });
                     }
                     if !op.speculative {
-                        scratch.events.push(ArchEvent::Def { d1: d, d2: None });
+                        events.push(ArchEvent::Def { d1: d, d2: None });
                         count_completion(stats, last_base, op.base_addr);
                     }
                 }
@@ -441,13 +975,12 @@ fn exec_parcel(
                         let d = op.dest.expect("loads have destinations");
                         rf.set(d, 0);
                         rf.set_tag(d, true);
-                        scratch.tag_info[d.index()] = Some((ea, false));
-                        scratch.touched.push(d.index() as u8);
+                        tag_info[d.index()] = Some((ea, false));
                     } else {
                         return Err(GroupExit::Exception {
                             kind: ExcKind::Dsi { addr: ea, write: false },
                             base_addr: op.base_addr,
-                            fault_idx: scratch.events.len(),
+                            fault_idx: events.len(),
                         });
                     }
                 }
@@ -463,7 +996,7 @@ fn exec_parcel(
                         stats.store_l0_misses += 1;
                     }
                     stats.stall_cycles += u64::from(acc.penalty);
-                    scratch.events.push(ArchEvent::Store);
+                    events.push(ArchEvent::Store);
                     count_completion(stats, last_base, op.base_addr);
                     if mem.has_code_writes() {
                         stats.code_modifications += 1;
@@ -474,7 +1007,7 @@ fn exec_parcel(
                     return Err(GroupExit::Exception {
                         kind: ExcKind::Dsi { addr: ea, write: true },
                         base_addr: op.base_addr,
-                        fault_idx: scratch.events.len(),
+                        fault_idx: events.len(),
                     });
                 }
             }
@@ -484,11 +1017,11 @@ fn exec_parcel(
                 return Err(GroupExit::Exception {
                     kind: ExcKind::Trap,
                     base_addr: op.base_addr,
-                    fault_idx: scratch.events.len(),
+                    fault_idx: events.len(),
                 });
             }
             EvalOut::Trap(false) => {
-                scratch.events.push(ArchEvent::TrapCheck);
+                events.push(ArchEvent::TrapCheck);
                 count_completion(stats, last_base, op.base_addr);
             }
             _ => unreachable!("TrapIf evaluates to Trap"),
@@ -502,7 +1035,7 @@ fn exec_parcel(
             // the point of the load").
             if op.is_commit && op.bypassed_store {
                 let src = op.srcs()[0];
-                if let Some(pl) = scratch.pending[src.index()] {
+                if let Some(pl) = pending[src.index()] {
                     if read_mem(mem, pl.ea, pl.width, pl.algebraic) != Ok(pl.value) {
                         stats.alias_failures += 1;
                         return Err(GroupExit::AliasRestart { addr: op.base_addr });
@@ -511,15 +1044,15 @@ fn exec_parcel(
             }
             if let Some(d) = op.dest {
                 rf.set(d, v);
-                scratch.tag_info[d.index()] = None;
+                tag_info[d.index()] = None;
             }
             if let Some(d2) = op.dest2 {
                 rf.set(d2, u32::from(carry.unwrap_or(false)));
-                scratch.tag_info[d2.index()] = None;
+                tag_info[d2.index()] = None;
             }
             if !op.speculative {
                 if let Some(d) = op.dest {
-                    scratch.events.push(ArchEvent::Def { d1: d, d2: op.dest2 });
+                    events.push(ArchEvent::Def { d1: d, d2: op.dest2 });
                     count_completion(stats, last_base, op.base_addr);
                 }
             }

@@ -40,7 +40,7 @@ pub struct ChainStats {
 }
 
 /// Counters accumulated while running translated code.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Tree instructions executed (one cycle each before stalls).
     pub vliws_executed: u64,

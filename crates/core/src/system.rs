@@ -9,7 +9,9 @@
 //! into translated pages invalidate and resume, precise exceptions are
 //! delivered to the base architecture's own vectors.
 
-use crate::engine::{run_group, ChainLink, EngineScratch, ExcKind, GroupCode, GroupExit};
+use crate::engine::{
+    run_group, run_group_tree, ChainLink, EngineScratch, ExcKind, GroupCode, GroupExit,
+};
 use crate::precise::{self, RecoverError};
 use crate::sched::{TierPolicy, TranslatorConfig};
 use crate::stats::RunStats;
@@ -68,6 +70,9 @@ pub struct DaisySystem {
     chaining: bool,
     /// The previous group's exit, if a chain link may apply to it.
     pending_chain: Option<PendingChain>,
+    /// Execute groups through the packed format (default) or the
+    /// reference tree walk.
+    packed: bool,
     /// Per-group execution profiler (`None` unless enabled through the
     /// builder; tiered retranslation enables it implicitly).
     pub profiler: Option<GroupProfiler>,
@@ -101,6 +106,7 @@ pub struct DaisySystemBuilder {
     trace_sink: Option<Box<dyn TraceSink>>,
     profiling: bool,
     tier_policy: Option<TierPolicy>,
+    packed: bool,
 }
 
 impl Default for DaisySystemBuilder {
@@ -116,6 +122,7 @@ impl Default for DaisySystemBuilder {
             trace_sink: None,
             profiling: false,
             tier_policy: None,
+            packed: true,
         }
     }
 }
@@ -165,6 +172,15 @@ impl DaisySystemBuilder {
     /// the pre-chaining dispatch counts exactly.
     pub fn chaining(mut self, on: bool) -> Self {
         self.chaining = on;
+        self
+    }
+
+    /// Execute translated groups through the packed format (default
+    /// on). Off selects the reference tree-walking engine — observably
+    /// identical, slower; kept for measurement and differential
+    /// testing (see [`crate::engine::run_group_tree`]).
+    pub fn packed_execution(mut self, on: bool) -> Self {
+        self.packed = on;
         self
     }
 
@@ -224,6 +240,7 @@ impl DaisySystemBuilder {
             scratch: EngineScratch::new(),
             chaining: self.chaining,
             pending_chain: None,
+            packed: self.packed,
             profiler: self.profiling.then(GroupProfiler::new),
             hot_threshold,
         }
@@ -397,7 +414,8 @@ impl DaisySystem {
                 .as_ref()
                 .map(|_| (self.stats.vliws_executed, self.stats.stall_cycles));
             let mut rf = RegFile::from_cpu(&self.cpu);
-            let exit = run_group(
+            let engine = if self.packed { run_group } else { run_group_tree };
+            let exit = engine(
                 &code,
                 &mut rf,
                 &mut self.mem,
@@ -432,7 +450,7 @@ impl DaisySystem {
             }
 
             match exit {
-                GroupExit::Branch { target, via } => {
+                GroupExit::Branch { target, via, slot } => {
                     if target / self.vmm.cfg.page_size == from_page {
                         self.stats.onpage_dispatches += 1;
                     } else {
@@ -444,8 +462,10 @@ impl DaisySystem {
                     }
                     self.cpu.pc = target;
                     if self.chaining {
+                        // The slot was lowered into the packed exit at
+                        // translation time — no exit-table search here.
                         self.pending_chain = match via {
-                            None => code.exit_slot(target).map(|slot| PendingChain::Direct {
+                            None => slot.map(|slot| PendingChain::Direct {
                                 from: Rc::clone(&code),
                                 slot,
                                 target,

@@ -53,13 +53,53 @@ pub struct VmmStats {
     pub code_bytes_total: u64,
 }
 
+/// Direct-mapped per-page translation table. Entry points are 4-byte
+/// aligned, so `page_size/4` slots cover every possible entry in the
+/// page and lookup is a single array index by word-offset — the
+/// dispatch path's inner probe is O(1) with no hashing or collision
+/// chains.
+#[derive(Debug)]
+struct PageTable {
+    slots: Box<[Option<Rc<GroupCode>>]>,
+    live: usize,
+}
+
+impl PageTable {
+    fn new(nslots: usize) -> PageTable {
+        PageTable { slots: vec![None; nslots].into_boxed_slice(), live: 0 }
+    }
+
+    fn get(&self, slot: usize) -> Option<&Rc<GroupCode>> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    fn insert(&mut self, slot: usize, code: Rc<GroupCode>) {
+        if self.slots[slot].replace(code).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, slot: usize) -> Option<Rc<GroupCode>> {
+        let g = self.slots.get_mut(slot)?.take();
+        if g.is_some() {
+            self.live -= 1;
+        }
+        g
+    }
+
+    /// Live translations in slot order.
+    fn groups(&self) -> impl Iterator<Item = &Rc<GroupCode>> {
+        self.slots.iter().flatten()
+    }
+}
+
 /// The Virtual Machine Monitor's translation cache.
 #[derive(Debug)]
 pub struct Vmm {
     /// Translator configuration (machine, page size, window…).
     pub cfg: TranslatorConfig,
-    /// page index → (entry address → translated group).
-    pages: HashMap<u32, HashMap<u32, Rc<GroupCode>>>,
+    /// page index → direct-mapped entry table for that page.
+    pages: HashMap<u32, PageTable>,
     /// Per-page last-use tick for LRU cast-out.
     last_use: HashMap<u32, u64>,
     tick: u64,
@@ -127,14 +167,14 @@ impl Vmm {
             else {
                 return;
             };
-            if let Some(groups) = self.pages.remove(&victim) {
-                for g in groups.values() {
+            if let Some(table) = self.pages.remove(&victim) {
+                for g in table.groups() {
                     self.stats.code_bytes =
                         self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
                 }
                 self.stats.cast_outs += 1;
                 self.tracer
-                    .emit(|| TraceEvent::CastOut { page: victim, groups: groups.len() as u32 });
+                    .emit(|| TraceEvent::CastOut { page: victim, groups: table.live as u32 });
             }
             self.last_use.remove(&victim);
         }
@@ -142,6 +182,11 @@ impl Vmm {
 
     fn page_of(&self, addr: u32) -> u32 {
         addr / self.cfg.page_size
+    }
+
+    /// Word-offset slot of `addr` within its page's direct-mapped table.
+    fn slot_of(&self, addr: u32) -> usize {
+        ((addr % self.cfg.page_size) / 4) as usize
     }
 
     /// Looks up the translation for `addr`, creating it (and marking
@@ -160,10 +205,11 @@ impl Vmm {
         cpu: Option<&Cpu>,
     ) -> Rc<GroupCode> {
         let page = self.page_of(addr);
+        let slot = self.slot_of(addr);
         self.tick += 1;
         let tick = self.tick;
         self.last_use.insert(page, tick);
-        if let Some(g) = self.pages.get(&page).and_then(|m| m.get(&addr)) {
+        if let Some(g) = self.pages.get(&page).and_then(|t| t.get(slot)) {
             return Rc::clone(g);
         }
         // Pick the tier: hot entries (promoted by the profiler) rebuild
@@ -214,17 +260,18 @@ impl Vmm {
             unit += daisy_ppc::PAGE_SIZE;
         }
 
-        let entry_map = self.pages.entry(page).or_insert_with(|| {
+        let nslots = (self.cfg.page_size / 4) as usize;
+        let table = self.pages.entry(page).or_insert_with(|| {
             // First translation for this page.
-            HashMap::new()
+            PageTable::new(nslots)
         });
-        if entry_map.is_empty() {
+        if table.live == 0 {
             self.stats.pages_translated += 1;
         }
         let nvliws = group.len() as u32;
         let conservative = !cfg.speculate_loads;
         let rc = Rc::new(GroupCode::new(group, vliw_addrs).with_tier(tier));
-        entry_map.insert(addr, Rc::clone(&rc));
+        table.insert(slot, Rc::clone(&rc));
         self.tracer.emit(|| TraceEvent::Translate {
             entry: addr,
             page,
@@ -261,8 +308,9 @@ impl Vmm {
     /// Inbound chain links sever automatically when the `Rc` drops.
     fn drop_entry(&mut self, entry: u32) {
         let page = self.page_of(entry);
-        if let Some(groups) = self.pages.get_mut(&page) {
-            if let Some(g) = groups.remove(&entry) {
+        let slot = self.slot_of(entry);
+        if let Some(table) = self.pages.get_mut(&page) {
+            if let Some(g) = table.remove(slot) {
                 self.stats.code_bytes =
                     self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
             }
@@ -289,9 +337,10 @@ impl Vmm {
         self.hot_entries.contains(&entry)
     }
 
-    /// Returns the existing translation for `addr`, if any.
+    /// Returns the existing translation for `addr`, if any — one page
+    /// hash plus one array index.
     pub fn lookup(&self, addr: u32) -> Option<Rc<GroupCode>> {
-        self.pages.get(&self.page_of(addr)).and_then(|m| m.get(&addr)).cloned()
+        self.pages.get(&self.page_of(addr)).and_then(|t| t.get(self.slot_of(addr))).cloned()
     }
 
     /// Destroys every translation overlapping the 4 KiB base unit with
@@ -303,9 +352,9 @@ impl Vmm {
         let first_page = unit_lo / self.cfg.page_size;
         let last_page = unit_hi / self.cfg.page_size;
         for page in first_page..=last_page {
-            if let Some(groups) = self.pages.remove(&page) {
+            if let Some(table) = self.pages.remove(&page) {
                 self.stats.invalidations += 1;
-                for g in groups.values() {
+                for g in table.groups() {
                     self.stats.code_bytes =
                         self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
                 }
@@ -322,7 +371,7 @@ impl Vmm {
 
     /// Number of live groups (entry points).
     pub fn live_groups(&self) -> usize {
-        self.pages.values().map(HashMap::len).sum()
+        self.pages.values().map(|t| t.live).sum()
     }
 
     /// Live code size under the paper's *first* mapping option: each

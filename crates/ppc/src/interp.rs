@@ -883,6 +883,7 @@ impl std::fmt::Display for MemTooSmall {
 impl std::error::Error for MemTooSmall {}
 
 /// 4-bit CR field value comparing `a` against `b`.
+#[inline]
 pub fn compare(a: u32, b: u32, signed: bool, so: bool) -> u32 {
     let ord = if signed { (a as i32).cmp(&(b as i32)) } else { a.cmp(&b) };
     let base = match ord {
@@ -894,6 +895,7 @@ pub fn compare(a: u32, b: u32, signed: bool, so: bool) -> u32 {
 }
 
 /// Evaluates a trap-word condition field against two operands.
+#[inline]
 pub fn trap_taken(to: u8, a: u32, b: u32) -> bool {
     let sa = a as i32;
     let sb = b as i32;

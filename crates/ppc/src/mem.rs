@@ -75,6 +75,7 @@ impl Memory {
         self.bytes.len() as u32
     }
 
+    #[inline(always)]
     fn check(&self, addr: u32, len: u32, write: bool) -> Result<usize, MemFault> {
         let end = addr as u64 + len as u64;
         if end > self.bytes.len() as u64 {
@@ -84,6 +85,7 @@ impl Memory {
         }
     }
 
+    #[inline(always)]
     fn note_store(&mut self, addr: u32, len: u32) {
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
@@ -98,18 +100,93 @@ impl Memory {
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u32) -> Result<u8, MemFault> {
-        let i = self.check(addr, 1, false)?;
-        Ok(self.bytes[i])
+        self.read_u8_impl(addr)
     }
 
     /// Reads a big-endian halfword.
     pub fn read_u16(&self, addr: u32) -> Result<u16, MemFault> {
-        let i = self.check(addr, 2, false)?;
-        Ok(u16::from_be_bytes([self.bytes[i], self.bytes[i + 1]]))
+        self.read_u16_impl(addr)
     }
 
     /// Reads a big-endian word.
     pub fn read_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        self.read_u32_impl(addr)
+    }
+
+    /// Writes one byte, recording code-modification events.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), MemFault> {
+        self.write_u8_impl(addr, v)
+    }
+
+    /// Writes a big-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), MemFault> {
+        self.write_u16_impl(addr, v)
+    }
+
+    /// Writes a big-endian word.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+        self.write_u32_impl(addr, v)
+    }
+
+    /// Inlining-guaranteed variant of [`Memory::read_u8`] for the
+    /// packed execution engine's hot loop (the unsuffixed accessors
+    /// deliberately stay outlined calls so the reference tree engine
+    /// keeps its pre-packing code shape).
+    #[inline(always)]
+    pub fn read_u8_inline(&self, addr: u32) -> Result<u8, MemFault> {
+        self.read_u8_impl(addr)
+    }
+
+    /// Inlining-guaranteed variant of [`Memory::read_u16`].
+    #[inline(always)]
+    pub fn read_u16_inline(&self, addr: u32) -> Result<u16, MemFault> {
+        self.read_u16_impl(addr)
+    }
+
+    /// Inlining-guaranteed variant of [`Memory::read_u32`].
+    #[inline(always)]
+    pub fn read_u32_inline(&self, addr: u32) -> Result<u32, MemFault> {
+        self.read_u32_impl(addr)
+    }
+
+    /// Inlining-guaranteed variant of [`Memory::write_u8`].
+    #[inline(always)]
+    pub fn write_u8_inline(&mut self, addr: u32, v: u8) -> Result<(), MemFault> {
+        self.write_u8_impl(addr, v)
+    }
+
+    /// Inlining-guaranteed variant of [`Memory::write_u16`].
+    #[inline(always)]
+    pub fn write_u16_inline(&mut self, addr: u32, v: u16) -> Result<(), MemFault> {
+        self.write_u16_impl(addr, v)
+    }
+
+    /// Inlining-guaranteed variant of [`Memory::write_u32`].
+    #[inline(always)]
+    pub fn write_u32_inline(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+        self.write_u32_impl(addr, v)
+    }
+
+    /// Inlining-guaranteed variant of [`Memory::has_code_writes`].
+    #[inline(always)]
+    pub fn has_code_writes_inline(&self) -> bool {
+        !self.code_writes.is_empty()
+    }
+
+    #[inline(always)]
+    fn read_u8_impl(&self, addr: u32) -> Result<u8, MemFault> {
+        let i = self.check(addr, 1, false)?;
+        Ok(self.bytes[i])
+    }
+
+    #[inline(always)]
+    fn read_u16_impl(&self, addr: u32) -> Result<u16, MemFault> {
+        let i = self.check(addr, 2, false)?;
+        Ok(u16::from_be_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    #[inline(always)]
+    fn read_u32_impl(&self, addr: u32) -> Result<u32, MemFault> {
         let i = self.check(addr, 4, false)?;
         Ok(u32::from_be_bytes([
             self.bytes[i],
@@ -119,24 +196,24 @@ impl Memory {
         ]))
     }
 
-    /// Writes one byte, recording code-modification events.
-    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), MemFault> {
+    #[inline(always)]
+    fn write_u8_impl(&mut self, addr: u32, v: u8) -> Result<(), MemFault> {
         let i = self.check(addr, 1, true)?;
         self.note_store(addr, 1);
         self.bytes[i] = v;
         Ok(())
     }
 
-    /// Writes a big-endian halfword.
-    pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), MemFault> {
+    #[inline(always)]
+    fn write_u16_impl(&mut self, addr: u32, v: u16) -> Result<(), MemFault> {
         let i = self.check(addr, 2, true)?;
         self.note_store(addr, 2);
         self.bytes[i..i + 2].copy_from_slice(&v.to_be_bytes());
         Ok(())
     }
 
-    /// Writes a big-endian word.
-    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
+    #[inline(always)]
+    fn write_u32_impl(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
         let i = self.check(addr, 4, true)?;
         self.note_store(addr, 4);
         self.bytes[i..i + 4].copy_from_slice(&v.to_be_bytes());

@@ -16,6 +16,8 @@
 //!   semantics,
 //! * [`tree`] — tree instructions, groups of tree instructions, and
 //!   resource accounting,
+//! * [`packed`] — the packed execution format: groups lowered into
+//!   flat, execution-ordered arenas for the simulation hot loop,
 //! * [`machine`] — parameterized machine configurations, including the
 //!   ten configurations of the paper's Figure 5.1,
 //! * [`regfile`] — the runtime register file with exception tags.
@@ -30,12 +32,14 @@
 
 pub mod machine;
 pub mod op;
+pub mod packed;
 pub mod reg;
 pub mod regfile;
 pub mod tree;
 
 pub use machine::MachineConfig;
 pub use op::{OpKind, Operation};
+pub use packed::{OpClass, OpMeta, PackedCtrl, PackedGroup, PackedNode};
 pub use reg::Reg;
 pub use regfile::RegFile;
 pub use tree::{Exit, Group, NodeId, Vliw, VliwId};

@@ -5,7 +5,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Build artifacts must never be tracked (target/ is ignored).
+if git ls-files | grep -E '(^|/)target/' >/dev/null; then
+  echo "error: build artifacts under target/ are git-tracked:" >&2
+  git ls-files | grep -E '(^|/)target/' >&2
+  exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo test --workspace --doc
+
+# Bench smoke-run: single-iteration (no timing, no JSON) — keeps the
+# bench harnesses compiling and their correctness asserts honest.
+cargo test -q -p daisy-bench --benches

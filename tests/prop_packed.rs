@@ -1,0 +1,383 @@
+//! The packed execution format is an *observation-preserving* lowering:
+//! running any program with the packed engine must be indistinguishable
+//! from the reference tree-walking engine — same architected state,
+//! same memory image, same [`RunStats`] (to the counter), and the same
+//! structured [`TraceEvent`] sequence. These tests pin that equivalence
+//! over randomized programs and over the packed form of the chain-link
+//! protocol (slot-indexed links must still sever on invalidation).
+
+use daisy::sched::TranslatorConfig;
+use daisy::stats::RunStats;
+use daisy::system::DaisySystem;
+use daisy::trace::{RingSink, TraceEvent};
+use daisy_cachesim::Hierarchy;
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::encode::encode;
+use daisy_ppc::insn::{bo, Insn};
+use daisy_ppc::interp::StopReason;
+use daisy_ppc::reg::{CrBit, CrField, Gpr};
+use daisy_vliw::machine::MachineConfig;
+use proptest::prelude::*;
+
+const DATA: u32 = 0x8000;
+const SLOTS: u32 = 64;
+
+/// One step of a generated program; constrained to terminate and to
+/// touch only the data window (same discipline as `prop_equivalence`).
+#[derive(Debug, Clone)]
+enum Step {
+    Alu { op: u8, rt: u8, ra: u8, rb: u8, rc: bool },
+    AddImm { rt: u8, ra: u8, imm: i16 },
+    Carry { op: u8, rt: u8, ra: u8, rb: u8 },
+    Shift { op: u8, rt: u8, ra: u8, sh: u8 },
+    Cmp { bf: u8, signed: bool, ra: u8, rb: u8 },
+    Load { width: u8, rt: u8, slot: u8 },
+    Store { width: u8, rs: u8, slot: u8 },
+    LoadIdx { rt: u8, ridx: u8 },
+    StoreIdx { rs: u8, ridx: u8 },
+    SkipIf { bf: u8, bit: u8, want: bool, skip: u8 },
+    CtrLoop { count: u8, body_rt: u8 },
+    Call { rt: u8, ra: u8, rb: u8 },
+    Trap,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..8, 0u8..12, 0u8..12, 0u8..12, any::<bool>())
+            .prop_map(|(op, rt, ra, rb, rc)| Step::Alu { op, rt, ra, rb, rc }),
+        (0u8..12, 0u8..12, any::<i16>()).prop_map(|(rt, ra, imm)| Step::AddImm { rt, ra, imm }),
+        (0u8..4, 0u8..12, 0u8..12, 0u8..12).prop_map(|(op, rt, ra, rb)| Step::Carry {
+            op,
+            rt,
+            ra,
+            rb
+        }),
+        (0u8..4, 0u8..12, 0u8..12, 0u8..32).prop_map(|(op, rt, ra, sh)| Step::Shift {
+            op,
+            rt,
+            ra,
+            sh
+        }),
+        (0u8..4, any::<bool>(), 0u8..12, 0u8..12).prop_map(|(bf, signed, ra, rb)| Step::Cmp {
+            bf,
+            signed,
+            ra,
+            rb
+        }),
+        (0u8..3, 0u8..12, 0u8..64).prop_map(|(width, rt, slot)| Step::Load { width, rt, slot }),
+        (0u8..3, 0u8..12, 0u8..64).prop_map(|(width, rs, slot)| Step::Store { width, rs, slot }),
+        (0u8..12, 0u8..12).prop_map(|(rt, ridx)| Step::LoadIdx { rt, ridx }),
+        (0u8..12, 0u8..12).prop_map(|(rs, ridx)| Step::StoreIdx { rs, ridx }),
+        (0u8..4, 0u8..4, any::<bool>(), 1u8..6).prop_map(|(bf, bit, want, skip)| Step::SkipIf {
+            bf,
+            bit,
+            want,
+            skip
+        }),
+        (1u8..6, 0u8..12).prop_map(|(count, body_rt)| Step::CtrLoop { count, body_rt }),
+        (0u8..12, 0u8..12, 0u8..12).prop_map(|(rt, ra, rb)| Step::Call { rt, ra, rb }),
+        Just(Step::Trap),
+    ]
+}
+
+fn emit(a: &mut Asm, steps: &[Step]) {
+    let base = Gpr(20);
+    let idx = Gpr(21);
+    a.li32(base, DATA);
+    a.li(idx, 0);
+    let mut label = 0usize;
+    let mut fresh = || {
+        label += 1;
+        format!("l{label}")
+    };
+    for s in steps {
+        match *s {
+            Step::Alu { op, rt, ra, rb, rc } => {
+                let (rt, ra, rb) = (Gpr(rt), Gpr(ra), Gpr(rb));
+                use daisy_ppc::insn::ArithOp;
+                match op {
+                    0 => a.emit(Insn::Arith { op: ArithOp::Add, rt, ra, rb, oe: false, rc }),
+                    1 => a.emit(Insn::Arith { op: ArithOp::Subf, rt, ra, rb, oe: false, rc }),
+                    2 => a.emit(Insn::Arith { op: ArithOp::Mullw, rt, ra, rb, oe: false, rc }),
+                    3 => a.emit(Insn::Arith { op: ArithOp::Divwu, rt, ra, rb, oe: false, rc }),
+                    4 => a.and(rt, ra, rb),
+                    5 => a.or(rt, ra, rb),
+                    6 => a.xor(rt, ra, rb),
+                    _ => a.nor(rt, ra, rb),
+                }
+            }
+            Step::AddImm { rt, ra, imm } => a.addi(Gpr(rt), Gpr(ra), imm),
+            Step::Carry { op, rt, ra, rb } => match op {
+                0 => a.addc(Gpr(rt), Gpr(ra), Gpr(rb)),
+                1 => a.adde(Gpr(rt), Gpr(ra), Gpr(rb)),
+                2 => a.subfc(Gpr(rt), Gpr(ra), Gpr(rb)),
+                _ => a.addic(Gpr(rt), Gpr(ra), 0x77),
+            },
+            Step::Shift { op, rt, ra, sh } => match op {
+                0 => a.slwi(Gpr(rt), Gpr(ra), sh & 31),
+                1 => a.srwi(Gpr(rt), Gpr(ra), sh & 31),
+                2 => a.srawi(Gpr(rt), Gpr(ra), sh & 31),
+                _ => a.rlwinm(Gpr(rt), Gpr(ra), sh & 31, (sh / 2) & 31, 31),
+            },
+            Step::Cmp { bf, signed, ra, rb } => {
+                a.emit(Insn::Cmp { bf: CrField(bf), signed, ra: Gpr(ra), rb: Gpr(rb) });
+            }
+            Step::Load { width, rt, slot } => {
+                let d = i16::from(slot) * 4;
+                match width {
+                    0 => a.lbz(Gpr(rt), d, base),
+                    1 => a.lhz(Gpr(rt), d, base),
+                    _ => a.lwz(Gpr(rt), d, base),
+                }
+            }
+            Step::Store { width, rs, slot } => {
+                let d = i16::from(slot) * 4;
+                match width {
+                    0 => a.stb(Gpr(rs), d, base),
+                    1 => a.sth(Gpr(rs), d, base),
+                    _ => a.stw(Gpr(rs), d, base),
+                }
+            }
+            Step::LoadIdx { rt, ridx } => {
+                a.rlwinm(idx, Gpr(ridx), 2, 32 - 8, 29);
+                a.lwzx(Gpr(rt), base, idx);
+            }
+            Step::StoreIdx { rs, ridx } => {
+                a.rlwinm(idx, Gpr(ridx), 2, 32 - 8, 29);
+                a.stwx(Gpr(rs), base, idx);
+            }
+            Step::SkipIf { bf, bit, want, skip } => {
+                let l = fresh();
+                let b = if want { bo::IF_TRUE } else { bo::IF_FALSE };
+                a.bc(b, CrBit::new(CrField(bf), bit), &l);
+                for i in 0..skip {
+                    a.addi(Gpr(i % 12), Gpr((i + 1) % 12), 13);
+                }
+                a.label(&l);
+            }
+            Step::CtrLoop { count, body_rt } => {
+                let l = fresh();
+                a.li(Gpr(9), i16::from(count));
+                a.mtctr(Gpr(9));
+                a.label(&l);
+                a.addi(Gpr(body_rt), Gpr(body_rt), 3);
+                a.xor(Gpr((body_rt + 1) % 12), Gpr(body_rt), Gpr(9));
+                a.bdnz(&l);
+            }
+            Step::Call { rt, ra, rb } => {
+                let over = fresh();
+                let func = fresh();
+                a.b(&over);
+                a.label(&func);
+                a.add(Gpr(rt), Gpr(ra), Gpr(rb));
+                a.blr();
+                a.label(&over);
+                a.bl(&func);
+            }
+            Step::Trap => {
+                // Never fires, but schedules and checks the parcel.
+                a.emit(Insn::Tw { to: 16, ra: Gpr(0), rb: Gpr(0) });
+            }
+        }
+    }
+    a.sc();
+}
+
+/// Runs one program under both engines — identical systems except for
+/// `packed_execution` — returning `(tree, packed)` with their traces.
+fn run_twins(
+    prog: &Program,
+    seeds: &[u32],
+    cfg: TranslatorConfig,
+    cache: &Hierarchy,
+) -> ((DaisySystem, Vec<TraceEvent>), (DaisySystem, Vec<TraceEvent>)) {
+    let run = |packed: bool| {
+        let sink = RingSink::new(1 << 16);
+        let mut sys = DaisySystem::builder()
+            .mem_size(0x2_0000)
+            .translator(cfg.clone())
+            .cache(cache.clone())
+            .packed_execution(packed)
+            .trace_sink(sink.clone())
+            .build();
+        sys.load(prog).unwrap();
+        for i in 0..SLOTS {
+            sys.mem.write_u32(DATA + 4 * i, i.wrapping_mul(0x9E37_79B9)).unwrap();
+        }
+        for (i, s) in seeds.iter().enumerate().take(12) {
+            sys.cpu.gpr[i] = *s;
+        }
+        let stop = sys.run(100_000_000).unwrap();
+        assert_eq!(stop, StopReason::Syscall);
+        assert_eq!(sink.dropped(), 0, "trace ring overflowed; grow the cap");
+        (sys, sink.events())
+    };
+    (run(false), run(true))
+}
+
+/// Every observation the two engines make must agree.
+fn assert_indistinguishable(
+    (tree, tree_ev): &(DaisySystem, Vec<TraceEvent>),
+    (packed, packed_ev): &(DaisySystem, Vec<TraceEvent>),
+    ctx: &str,
+) {
+    assert_eq!(packed.cpu.gpr, tree.cpu.gpr, "{ctx}: GPRs diverged");
+    assert_eq!(packed.cpu.cr, tree.cpu.cr, "{ctx}: CR diverged");
+    assert_eq!(packed.cpu.lr, tree.cpu.lr, "{ctx}: LR diverged");
+    assert_eq!(packed.cpu.ctr, tree.cpu.ctr, "{ctx}: CTR diverged");
+    assert_eq!(packed.cpu.xer, tree.cpu.xer, "{ctx}: XER diverged");
+    assert_eq!(packed.cpu.pc, tree.cpu.pc, "{ctx}: PC diverged");
+    let size = tree.mem.size();
+    assert_eq!(
+        packed.mem.read_bytes(0, size).unwrap(),
+        tree.mem.read_bytes(0, size).unwrap(),
+        "{ctx}: memory image diverged"
+    );
+    assert_eq!(packed.stats, tree.stats, "{ctx}: RunStats diverged");
+    assert_eq!(packed_ev, tree_ev, "{ctx}: trace event sequences diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Default machine, infinite cache: random programs.
+    #[test]
+    fn packed_engine_is_observably_the_tree_engine(
+        steps in prop::collection::vec(step(), 1..40),
+        seeds in prop::collection::vec(any::<u32>(), 12),
+    ) {
+        let mut a = Asm::new(0x1000);
+        emit(&mut a, &steps);
+        let prog = a.finish().expect("generated program assembles");
+        let (tree, packed) =
+            run_twins(&prog, &seeds, TranslatorConfig::default(), &Hierarchy::infinite());
+        assert_indistinguishable(&tree, &packed, "default config");
+    }
+
+    /// The smallest paper machine, tiny translation pages, and a
+    /// *finite* cache hierarchy: exercises VLIW splitting, cross-page
+    /// dispatch, and the per-access cache-probe paths of both engines
+    /// (stall cycles must agree to the cycle).
+    #[test]
+    fn packed_engine_matches_on_small_machine_finite_cache(
+        steps in prop::collection::vec(step(), 1..24),
+        seeds in prop::collection::vec(any::<u32>(), 12),
+    ) {
+        let cfg = TranslatorConfig {
+            machine: MachineConfig::paper_configs()[0].clone(),
+            page_size: 256,
+            ..TranslatorConfig::default()
+        };
+        let mut a = Asm::new(0x1000);
+        emit(&mut a, &steps);
+        let prog = a.finish().expect("generated program assembles");
+        let (tree, packed) = run_twins(&prog, &seeds, cfg, &Hierarchy::paper_default());
+        assert_indistinguishable(&tree, &packed, "4-issue, 256-byte pages, finite cache");
+    }
+}
+
+/// All nine paper workloads, packed vs tree: the guest-visible results
+/// must be bit-exact and every runtime counter identical. This is the
+/// acceptance bar for the packed format stated directly as a test.
+#[test]
+fn workloads_bit_exact_across_engines() {
+    for w in daisy_workloads::all() {
+        let prog = w.program();
+        let run = |packed: bool| {
+            let mut sys =
+                DaisySystem::builder().mem_size(w.mem_size).packed_execution(packed).build();
+            sys.load(&prog).unwrap();
+            let stop = sys.run(50 * w.max_instrs).unwrap();
+            assert_eq!(stop, StopReason::Syscall, "{}: did not finish", w.name);
+            w.check(&sys.cpu, &sys.mem).unwrap_or_else(|e| {
+                panic!("{} (packed={packed}): wrong guest result: {e}", w.name)
+            });
+            sys
+        };
+        let tree = run(false);
+        let packed = run(true);
+        assert_eq!(packed.cpu.gpr, tree.cpu.gpr, "{}: GPRs diverged", w.name);
+        assert_eq!(packed.cpu.pc, tree.cpu.pc, "{}: PC diverged", w.name);
+        assert_eq!(packed.stats, tree.stats, "{}: RunStats diverged", w.name);
+    }
+}
+
+/// The packed chain-link protocol under self-modifying code: links are
+/// installed against packed slot indices, and invalidating the patch
+/// page must sever them before the next dispatch — in lockstep with the
+/// tree engine's counters.
+#[test]
+fn packed_links_sever_on_invalidation() {
+    const PAGE: u32 = 256;
+    const TABLE: u32 = 0x8000;
+    let imms: Vec<i16> = (1..=8).collect();
+
+    // A loop that rewrites one of its own instructions each iteration
+    // (patch site parked on the next 4 KiB invalidation unit, so the
+    // storing group survives to observe the sever).
+    let mut a = Asm::new(0x1F00);
+    for r in [0u8, 1, 2, 3, 6] {
+        a.li(Gpr(r), i16::from(r) + 1);
+    }
+    a.li(Gpr(7), 0);
+    a.li32(Gpr(9), TABLE);
+    a.li(Gpr(8), 0);
+    a.li(Gpr(31), imms.len() as i16);
+    a.mtctr(Gpr(31));
+    a.label("loop");
+    a.lwzx(Gpr(4), Gpr(9), Gpr(8));
+    a.la(Gpr(3), "patch");
+    a.stw(Gpr(4), 0, Gpr(3));
+    while !a.here().is_multiple_of(PAGE) {
+        a.nop();
+    }
+    a.label("patch");
+    a.li(Gpr(5), 0);
+    a.add(Gpr(7), Gpr(7), Gpr(5));
+    a.addi(Gpr(8), Gpr(8), 4);
+    a.bdnz("loop");
+    a.sc();
+    let words: Vec<u32> =
+        imms.iter().map(|&si| encode(&Insn::Addi { rt: Gpr(5), ra: Gpr(0), si })).collect();
+    a.data_words(TABLE, &words);
+    let prog = a.finish().expect("selfmod program assembles");
+
+    let cfg = TranslatorConfig { page_size: PAGE, ..TranslatorConfig::default() };
+    let run = |packed: bool| {
+        let mut sys = DaisySystem::builder()
+            .mem_size(0x2_0000)
+            .translator(cfg.clone())
+            .chaining(true)
+            .packed_execution(packed)
+            .build();
+        sys.load(&prog).unwrap();
+        let stop = sys.run(10_000_000).unwrap();
+        assert_eq!(stop, StopReason::Syscall);
+        sys
+    };
+    let tree = run(false);
+    let packed = run(true);
+
+    let want: u32 = imms.iter().map(|&i| i as u32).sum();
+    assert_eq!(packed.cpu.gpr[7], want, "accumulator saw a stale patch");
+    assert!(packed.stats.chain.link_installs >= 1, "hot exits should get links");
+    assert!(
+        packed.stats.chain.severs >= 1,
+        "invalidating the patch page must sever packed slot links; stats: {:?}",
+        packed.stats.chain
+    );
+    assert_eq!(packed.stats, tree.stats, "selfmod: RunStats diverged across engines");
+    assert_eq!(packed.cpu.gpr, tree.cpu.gpr, "selfmod: GPRs diverged across engines");
+}
+
+/// `RunStats` equality in these tests is meaningful only if the type
+/// actually compares every counter; guard against a field being dropped
+/// from the comparison by a future manual `PartialEq` impl.
+#[test]
+fn runstats_equality_covers_counters() {
+    let mut a = RunStats::default();
+    let b = RunStats::default();
+    assert_eq!(a, b);
+    a.issue_histogram[3] = 1;
+    assert_ne!(a, b);
+}
