@@ -395,11 +395,15 @@ pub fn convert(insn: &Insn, addr: u32) -> Converted {
             Converted::fall(ops)
         }
         Insn::BranchI { lk, .. } => {
+            // invariant: `branch_info` is total over branch opcodes, and
+            // an I-form branch is by definition direct.
             let Some(info) = insn.branch_info(addr) else { unreachable!() };
             let BranchKind::Direct(target) = info.kind else { unreachable!() };
             Converted { ops: Vec::new(), flow: Flow::Jump { target }, links: lk }
         }
         Insn::BranchC { bo: b, bi, bd: _, lk, .. } => {
+            // invariant: B-form conditional branches always decode to a
+            // direct target.
             let Some(info) = insn.branch_info(addr) else { unreachable!() };
             let BranchKind::Direct(target) = info.kind else { unreachable!() };
             convert_cond_branch(addr, b, bi, lk, BranchDest::Direct(target))

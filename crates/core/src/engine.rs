@@ -151,6 +151,18 @@ impl GroupCode {
     fn icache_way(target: u32) -> usize {
         (target >> 2) as usize & (ICACHE_WAYS - 1)
     }
+
+    /// Severs every outbound chain link and empties the inline
+    /// indirect-dispatch cache. Inbound links sever on their own when
+    /// the owning `Rc` drops; this is the outbound counterpart, used by
+    /// [`crate::vmm::Vmm::sever_all_links`] (fault-injection campaigns)
+    /// to cut the chain graph while translations stay live.
+    pub fn sever_outbound_links(&self) {
+        for l in self.links.borrow_mut().iter_mut() {
+            *l = None;
+        }
+        *self.icache.borrow_mut() = [const { None }; ICACHE_WAYS];
+    }
 }
 
 /// The kind of a precise exception raised by translated code.
@@ -617,7 +629,10 @@ pub fn run_group(
 /// everything hot runs in the class-dispatched arms inlined into the
 /// walk loop. The tree engine deliberately keeps the outlined
 /// `exec_parcel` so it stays measurable as the pre-packing baseline.
-#[allow(clippy::too_many_arguments)]
+// invariant: the translator only emits `Load` operations with a
+// destination register (convert.rs builds them via `.dst(..)`), so the
+// `op.dest.expect(..)` calls below cannot fire on translated code.
+#[allow(clippy::too_many_arguments, clippy::expect_used)]
 fn exec_parcel_general(
     op: &Operation,
     vals: &mut [u32; NUM_REGS],
@@ -896,7 +911,9 @@ pub fn run_group_tree(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+// invariant: as in `exec_parcel_general`, translated `Load` operations
+// always carry a destination register.
+#[allow(clippy::too_many_arguments, clippy::expect_used)]
 fn exec_parcel(
     op: &Operation,
     rf: &mut RegFile,

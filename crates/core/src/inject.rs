@@ -1,0 +1,540 @@
+//! Deterministic, seed-driven fault injection for the VMM.
+//!
+//! DAISY's compatibility claim is only as strong as its behaviour under
+//! adversarial inputs: illegal opcodes, code rewritten mid-run, a
+//! translation cache too small to hold the working set, interrupts
+//! arriving at every group boundary, chain links cut out from under the
+//! dispatch loop, translations dropped while hot. This module turns
+//! each of those into a reproducible *campaign*: a [`FaultKind`] plus a
+//! seed fully determine every perturbation, the perturbed
+//! [`DaisySystem`] runs to completion on the degradation ladder (see
+//! [`crate::error`]), and the final architected state — GPRs, CR, LR,
+//! CTR, XER, MSR, SRR0/1, DAR, DSISR, and all of memory — is diffed bit
+//! for bit against the pure-interpreter oracle.
+//!
+//! Perturbations are applied at group boundaries via
+//! [`DaisySystem::step`], mirroring the paper's §3.7 observation that
+//! group boundaries are the points where every architected register is
+//! exact. Faults that change guest-visible semantics (illegal-opcode
+//! splices) are applied identically to the oracle's memory image, so
+//! the differential contract is always "same program, same final
+//! state".
+//!
+//! # Example
+//!
+//! ```
+//! use daisy::inject::{run_campaign, CampaignConfig, FaultKind};
+//!
+//! let w = daisy_workloads::by_name("c_sieve").unwrap();
+//! let out = run_campaign(&w, &CampaignConfig::new(FaultKind::ChainSever, 7)).unwrap();
+//! assert!(out.injections > 0);
+//! ```
+
+use crate::error::{DaisyError, DegradeCause};
+use crate::stats::RunStats;
+use crate::system::DaisySystem;
+use crate::vmm::VmmStats;
+use daisy_ppc::asm::Program;
+use daisy_ppc::decode::decode;
+use daisy_ppc::insn::Insn;
+use daisy_ppc::interp::{Cpu, StopReason};
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::msr_bits;
+use daisy_ppc::vectors;
+use daisy_workloads::Workload;
+use std::fmt;
+
+/// SplitMix64: a tiny, high-quality, dependency-free generator. One
+/// seed fully determines a campaign's perturbation schedule.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (`n > 0`; modulo bias is irrelevant
+    /// at campaign scales).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// One family of deterministic perturbations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Illegal/reserved opcodes spliced into the guest text before the
+    /// run (applied to the oracle image too: same program, same final
+    /// state — both halt precisely at the first splice reached).
+    IllegalOp,
+    /// Idempotent rewrites of already-translated code words mid-run:
+    /// architecturally invisible, but each one trips the §3.2
+    /// translated bit and forces invalidation + retranslation.
+    HotPatch,
+    /// Translation-cache capacity clamped to one or two pages' worth of
+    /// code, forcing continuous LRU cast-out thrash.
+    CastOutThrash,
+    /// An external interrupt posted at every group boundary; the guest
+    /// image gets a pure-`rfi` handler at the external vector, so
+    /// delivery is architecturally invisible except through SRR0/SRR1.
+    InterruptStorm,
+    /// Every chain link and inline indirect-cache entry severed at
+    /// every group boundary.
+    ChainSever,
+    /// A randomly chosen live translation dropped out from under the
+    /// dispatch loop every few boundaries.
+    TranslationDrop,
+}
+
+impl FaultKind {
+    /// Every fault kind, for exhaustive campaign matrices.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::IllegalOp,
+        FaultKind::HotPatch,
+        FaultKind::CastOutThrash,
+        FaultKind::InterruptStorm,
+        FaultKind::ChainSever,
+        FaultKind::TranslationDrop,
+    ];
+
+    /// Short lowercase name, for CLIs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::IllegalOp => "illegal_op",
+            FaultKind::HotPatch => "hot_patch",
+            FaultKind::CastOutThrash => "cast_out_thrash",
+            FaultKind::InterruptStorm => "interrupt_storm",
+            FaultKind::ChainSever => "chain_sever",
+            FaultKind::TranslationDrop => "translation_drop",
+        }
+    }
+
+    /// Parses a [`FaultKind::name`] back.
+    pub fn by_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The ladder cause this kind's forced degradations are recorded
+    /// under.
+    pub fn cause(self) -> DegradeCause {
+        match self {
+            FaultKind::IllegalOp => DegradeCause::IllegalOp,
+            FaultKind::HotPatch => DegradeCause::CodeRewrite,
+            FaultKind::CastOutThrash => DegradeCause::CastOutPressure,
+            FaultKind::InterruptStorm => DegradeCause::InterruptStorm,
+            FaultKind::ChainSever => DegradeCause::ChainUnstable,
+            FaultKind::TranslationDrop => DegradeCause::TranslationDropped,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One campaign's full configuration. The `(kind, seed)` pair
+/// determines every perturbation; the remaining knobs select the
+/// system build under test.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Perturbation family.
+    pub kind: FaultKind,
+    /// Seed for the perturbation schedule.
+    pub seed: u64,
+    /// Run the packed engine (true, the default) or the reference tree
+    /// engine, so campaigns can differentially test both.
+    pub packed: bool,
+    /// Enable direct group chaining (default true — chaining is where
+    /// most of the recovery surface lives).
+    pub chaining: bool,
+    /// Ladder steps the campaign driver forces (spread over the run, at
+    /// the then-current PC, recorded under [`FaultKind::cause`]), so
+    /// every campaign also exercises the tree / conservative /
+    /// interpret rungs. Default 3 — one full walk to the floor.
+    pub max_degrades: u32,
+}
+
+impl CampaignConfig {
+    /// A default campaign: packed engine, chaining on, three forced
+    /// ladder steps.
+    pub fn new(kind: FaultKind, seed: u64) -> CampaignConfig {
+        CampaignConfig { kind, seed, packed: true, chaining: true, max_degrades: 3 }
+    }
+}
+
+/// What a completed (non-diverging) campaign did.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Perturbation family.
+    pub kind: FaultKind,
+    /// Seed used.
+    pub seed: u64,
+    /// How the perturbed run stopped (always equal to the oracle's stop
+    /// reason).
+    pub stop: StopReason,
+    /// Group boundaries stepped through.
+    pub boundaries: u64,
+    /// Individual perturbations applied.
+    pub injections: u64,
+    /// Ladder steps recorded (forced and organic).
+    pub degradations: usize,
+    /// Engine statistics of the perturbed run.
+    pub stats: RunStats,
+    /// VMM statistics of the perturbed run.
+    pub vmm_stats: VmmStats,
+}
+
+/// Why a campaign failed. Any of these in a CI smoke run is a real bug:
+/// the system either died, ran away, or — worst — silently computed a
+/// different answer than the architecture defines.
+#[derive(Debug, Clone)]
+pub enum CampaignError {
+    /// Final architected state differed from the oracle.
+    Divergence {
+        /// Perturbation family.
+        kind: FaultKind,
+        /// Seed used.
+        seed: u64,
+        /// First mismatch found.
+        what: String,
+    },
+    /// The system surfaced an unrecoverable [`DaisyError`].
+    Run {
+        /// Perturbation family.
+        kind: FaultKind,
+        /// Seed used.
+        seed: u64,
+        /// The underlying error.
+        error: DaisyError,
+    },
+    /// The perturbed run exceeded its cycle budget (livelock).
+    Budget {
+        /// Perturbation family.
+        kind: FaultKind,
+        /// Seed used.
+        seed: u64,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Divergence { kind, seed, what } => {
+                write!(f, "campaign {kind} seed {seed}: state diverged from oracle: {what}")
+            }
+            CampaignError::Run { kind, seed, error } => {
+                write!(f, "campaign {kind} seed {seed}: unrecoverable: {error}")
+            }
+            CampaignError::Budget { kind, seed } => {
+                write!(f, "campaign {kind} seed {seed}: cycle budget exceeded (livelock?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// An instruction word guaranteed to decode as [`Insn::Invalid`]
+/// (verified against the real decoder, so splices stay honest if the
+/// decoder ever grows).
+fn invalid_word(rng: &mut Rng) -> u32 {
+    // Primary opcodes 1, 5, and 6 are reserved in every PowerPC
+    // generation; 0 is permanently invalid.
+    let candidates = [0x0400_0000u32, 0x1400_0000, 0x1800_0000, 0x0000_0000];
+    let start = rng.below(candidates.len() as u64) as usize;
+    for i in 0..candidates.len() {
+        let w = candidates[(start + i) % candidates.len()];
+        if matches!(decode(w), Insn::Invalid(_)) {
+            return w;
+        }
+    }
+    // invariant: opcode 0 never decodes to a valid instruction.
+    0
+}
+
+/// Splices `1 + seed%3` illegal words into the text region of `mem`
+/// (call once per image — perturbed and oracle — with an identically
+/// seeded generator so both see the same program).
+fn splice_illegal(rng: &mut Rng, prog: &Program, mem: &mut Memory) -> u64 {
+    let n = 1 + rng.below(3);
+    for _ in 0..n {
+        let idx = rng.below(prog.code.len() as u64) as u32;
+        let w = invalid_word(rng);
+        // invariant: the text range was loaded into this memory by the
+        // caller, so writes inside it cannot fault.
+        let _ = mem.write_u32(prog.base + 4 * idx, w);
+    }
+    n
+}
+
+/// Runs one campaign of `cfg` over workload `w` and diffs the final
+/// state against the pure-interpreter oracle.
+///
+/// # Errors
+///
+/// See [`CampaignError`].
+pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
+    run_campaign_on_program(&w.program(), w.mem_size, w.max_instrs, cfg)
+}
+
+/// Runs one campaign of `cfg` over an arbitrary program image.
+/// `oracle_budget` bounds the oracle interpreter (use the workload's
+/// generous `max_instrs`); the perturbed run's cycle budget is derived
+/// from the oracle's actual instruction count.
+///
+/// # Errors
+///
+/// See [`CampaignError`].
+pub fn run_campaign_on_program(
+    prog: &Program,
+    mem_size: u32,
+    oracle_budget: u64,
+    cfg: &CampaignConfig,
+) -> Result<CampaignOutcome, CampaignError> {
+    let kind = cfg.kind;
+    let seed = cfg.seed;
+    let storm = kind == FaultKind::InterruptStorm;
+    let rfi_word = daisy_ppc::encode(&Insn::Rfi);
+
+    // ---- Oracle: the pure interpreter on an identical image. ----
+    let mut omem = Memory::new(mem_size);
+    // invariant: workload images fit their own declared mem_size.
+    prog.load_into(&mut omem).ok();
+    let mut orng = Rng::new(seed);
+    if kind == FaultKind::IllegalOp {
+        splice_illegal(&mut orng, prog, &mut omem);
+    }
+    if storm {
+        let _ = omem.write_u32(vectors::EXTERNAL, rfi_word);
+    }
+    let mut ocpu = Cpu::new(prog.entry);
+    if storm {
+        ocpu.msr |= msr_bits::EE;
+    }
+    let Ok(ostop) = ocpu.run(&mut omem, oracle_budget) else {
+        return Err(CampaignError::Budget { kind, seed });
+    };
+    if ostop == StopReason::MaxInstrs {
+        // The oracle itself ran out of budget; nothing to compare
+        // against at a well-defined point.
+        return Err(CampaignError::Budget { kind, seed });
+    }
+
+    // ---- Perturbed system. ----
+    let mut rng = Rng::new(seed);
+    let mut builder = DaisySystem::builder()
+        .mem_size(mem_size)
+        .chaining(cfg.chaining)
+        .packed_execution(cfg.packed);
+    if kind == FaultKind::CastOutThrash {
+        // Tiny translation pages (so even the most compact workloads
+        // span several) plus a capacity of roughly one or two pages'
+        // translated code: every cross-page entry evicts the pool down
+        // to a single page — continuous LRU cast-out thrash.
+        builder = builder
+            .translator(crate::sched::TranslatorConfig {
+                page_size: 32,
+                ..crate::sched::TranslatorConfig::default()
+            })
+            .code_capacity((1 + (seed % 2)) * 64);
+    }
+    let mut sys = builder.build();
+    // invariant: same image, same fit as the oracle above.
+    prog.load_into(&mut sys.mem).ok();
+    sys.cpu.pc = prog.entry;
+    let mut injections = 0u64;
+    if kind == FaultKind::IllegalOp {
+        injections = splice_illegal(&mut rng, prog, &mut sys.mem);
+    }
+    if storm {
+        let _ = sys.mem.write_u32(vectors::EXTERNAL, rfi_word);
+        sys.cpu.msr |= msr_bits::EE;
+    }
+
+    let max_cycles = ocpu.ninstrs.saturating_mul(8).saturating_add(100_000);
+    let sparse_period = 3 + rng.below(5);
+    let mut degrades_left = cfg.max_degrades;
+    let mut boundaries = 0u64;
+
+    let stop = loop {
+        if sys.stats.cycles() >= max_cycles {
+            return Err(CampaignError::Budget { kind, seed });
+        }
+        match kind {
+            FaultKind::IllegalOp | FaultKind::CastOutThrash => {}
+            FaultKind::InterruptStorm => {
+                sys.post_external_interrupt();
+                injections += 1;
+            }
+            FaultKind::ChainSever => {
+                sys.sever_chains();
+                injections += 1;
+            }
+            FaultKind::HotPatch => {
+                if boundaries.is_multiple_of(sparse_period) {
+                    let entries = sys.vmm.live_entries();
+                    if !entries.is_empty() {
+                        let e = entries[rng.below(entries.len() as u64) as usize];
+                        if let Ok(word) = sys.mem.read_u32(e) {
+                            // Architecturally idempotent — but the
+                            // store trips the §3.2 translated bit and
+                            // forces invalidation + retranslation.
+                            let _ = sys.mem.write_u32(e, word);
+                            injections += 1;
+                        }
+                    }
+                }
+            }
+            FaultKind::TranslationDrop => {
+                if boundaries.is_multiple_of(sparse_period) {
+                    let entries = sys.vmm.live_entries();
+                    if !entries.is_empty() {
+                        let e = entries[rng.below(entries.len() as u64) as usize];
+                        sys.vmm.drop_translation(e);
+                        injections += 1;
+                    }
+                }
+            }
+        }
+        // Ladder driver: walk the current PC's entry down a rung every
+        // few boundaries (starting at the very first, so even runs that
+        // halt immediately — an entry-point splice — take one step) so
+        // every campaign exercises the whole ladder.
+        if degrades_left > 0
+            && boundaries.is_multiple_of(7)
+            && sys.degrade(sys.cpu.pc, kind.cause()).is_some()
+        {
+            degrades_left -= 1;
+        }
+        let stepped = sys.step();
+        boundaries += 1;
+        match stepped {
+            Ok(None) => {}
+            Ok(Some(stop)) => break stop,
+            Err(error) => return Err(CampaignError::Run { kind, seed, error }),
+        }
+    };
+
+    if stop != ostop {
+        return Err(CampaignError::Divergence {
+            kind,
+            seed,
+            what: format!("stop reason: daisy {stop:?} vs oracle {ostop:?}"),
+        });
+    }
+    if let Some(what) = diff_state(&sys, &ocpu, &omem, storm) {
+        return Err(CampaignError::Divergence { kind, seed, what });
+    }
+    if kind == FaultKind::CastOutThrash {
+        // The perturbation is the capacity clamp itself; each forced
+        // eviction it causes is one injection.
+        injections = sys.vmm.stats.cast_outs;
+    }
+    Ok(CampaignOutcome {
+        kind,
+        seed,
+        stop,
+        boundaries,
+        injections,
+        degradations: sys.degradations().len(),
+        stats: sys.stats,
+        vmm_stats: sys.vmm.stats,
+    })
+}
+
+/// First architected-state mismatch between the perturbed system and
+/// the oracle, if any. `skip_srr` excludes SRR0/SRR1 — interrupt-storm
+/// campaigns deliver interrupts the oracle never sees, and SRR0/SRR1
+/// are exactly the registers an in-flight delivery is *supposed* to
+/// clobber (their precision is asserted separately, per delivery, by
+/// the interrupt-storm property tests).
+fn diff_state(sys: &DaisySystem, ocpu: &Cpu, omem: &Memory, skip_srr: bool) -> Option<String> {
+    let cpu = &sys.cpu;
+    for (i, (a, b)) in cpu.gpr.iter().zip(ocpu.gpr.iter()).enumerate() {
+        if a != b {
+            return Some(format!("r{i}: {a:#x} vs {b:#x}"));
+        }
+    }
+    let named: [(&str, u32, u32); 8] = [
+        ("cr", cpu.cr, ocpu.cr),
+        ("lr", cpu.lr, ocpu.lr),
+        ("ctr", cpu.ctr, ocpu.ctr),
+        ("xer", cpu.xer, ocpu.xer),
+        ("msr", cpu.msr, ocpu.msr),
+        ("pc", cpu.pc, ocpu.pc),
+        ("dar", cpu.dar, ocpu.dar),
+        ("dsisr", cpu.dsisr, ocpu.dsisr),
+    ];
+    for (name, a, b) in named {
+        if a != b {
+            return Some(format!("{name}: {a:#x} vs {b:#x}"));
+        }
+    }
+    if !skip_srr {
+        if cpu.srr0 != ocpu.srr0 {
+            return Some(format!("srr0: {:#x} vs {:#x}", cpu.srr0, ocpu.srr0));
+        }
+        if cpu.srr1 != ocpu.srr1 {
+            return Some(format!("srr1: {:#x} vs {:#x}", cpu.srr1, ocpu.srr1));
+        }
+    }
+    let size = sys.mem.size();
+    if size != omem.size() {
+        return Some(format!("mem size: {size} vs {}", omem.size()));
+    }
+    let (Ok(a), Ok(b)) = (sys.mem.read_bytes(0, size), omem.read_bytes(0, size)) else {
+        // invariant: reading all of a memory's own size cannot fault.
+        return Some("memory unreadable".to_owned());
+    };
+    if let Some(at) = a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+        return Some(format!("memory at {at:#x}: {:#04x} vs {:#04x}", a[at], b[at]));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for n in 1..50 {
+            assert!(a.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn invalid_words_really_are_invalid() {
+        let mut rng = Rng::new(1);
+        for _ in 0..32 {
+            let w = invalid_word(&mut rng);
+            assert!(matches!(decode(w), Insn::Invalid(_)), "{w:#x}");
+        }
+    }
+
+    #[test]
+    fn fault_kind_names_round_trip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::by_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::by_name("nope"), None);
+    }
+}

@@ -25,6 +25,10 @@
 //! * [`trace`] — structured observability: [`trace::TraceSink`] event
 //!   taps, the per-group execution profiler, and the hot/cold
 //!   translation tiers behind [`sched::TierPolicy`].
+//! * [`error`] — typed faults: [`DaisyError`], and the graceful
+//!   degradation ladder's [`Rung`]/[`Degradation`] vocabulary.
+//! * [`inject`] — deterministic, seed-driven fault-injection campaigns
+//!   diffed bit-for-bit against the reference interpreter.
 //!
 //! # Quick start
 //!
@@ -44,9 +48,16 @@
 //! ```
 
 #![warn(missing_docs)]
+// Guest-reachable dispatch paths must surface faults as typed
+// `DaisyError` / `Degradation` values, never panic. The few remaining
+// `unwrap`/`expect` sites in non-test code are data-structure
+// invariants, each carrying an explicit allow + `invariant:` note.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod convert;
 pub mod engine;
+pub mod error;
+pub mod inject;
 pub mod oracle;
 pub mod overhead;
 pub mod precise;
@@ -56,6 +67,7 @@ pub mod system;
 pub mod trace;
 pub mod vmm;
 
+pub use error::{DaisyError, Degradation, DegradeCause, Rung};
 pub use sched::{TierPolicy, TranslatorConfig};
 pub use stats::RunStats;
 pub use system::DaisySystem;
@@ -71,6 +83,7 @@ pub use vmm::Vmm;
 /// sys.load(&w.program()).unwrap();
 /// ```
 pub mod prelude {
+    pub use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
     pub use crate::sched::{TierPolicy, TranslatorConfig};
     pub use crate::stats::{ChainStats, RunStats};
     pub use crate::system::{DaisySystem, DaisySystemBuilder};

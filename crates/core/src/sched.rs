@@ -314,6 +314,13 @@ pub fn translate_group_with_hints(
     (s.group, s.cost)
 }
 
+// invariant: every live `Path` keeps `vliws`, `tips`, and `maps`
+// non-empty (seeded at construction, pushed/popped in lockstep), path
+// probabilities are products of finite branch weights, and callers of
+// the placement helpers check register availability before calling —
+// so the `unwrap`/`expect` calls below can only fire on a scheduler
+// bug, never on guest input.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 impl Scheduler<'_> {
     fn most_probable(&self) -> Option<usize> {
         self.paths

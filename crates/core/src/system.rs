@@ -12,7 +12,8 @@
 use crate::engine::{
     run_group, run_group_tree, ChainLink, EngineScratch, ExcKind, GroupCode, GroupExit,
 };
-use crate::precise::{self, RecoverError};
+use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
+use crate::precise::{self, ArchEvent, RecoverError};
 use crate::sched::{TierPolicy, TranslatorConfig};
 use crate::stats::RunStats;
 use crate::trace::{ExcClass, GroupProfiler, Tier, TraceEvent, TraceSink, Tracer};
@@ -25,6 +26,7 @@ use daisy_ppc::mem::{MemFault, Memory};
 use daisy_ppc::vectors;
 use daisy_vliw::regfile::RegFile;
 use daisy_vliw::tree::IndirectVia;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// How the previous group exited, carried to the next dispatch so a
@@ -79,6 +81,16 @@ pub struct DaisySystem {
     /// Promotion threshold, copied out of the VMM's tier policy so the
     /// dispatch loop can test it without borrowing the VMM.
     hot_threshold: Option<u64>,
+    /// Graceful-degradation ladder: entries faulted down from the
+    /// default execution mode (see [`crate::error`]). Empty on the
+    /// happy path.
+    ladder: HashMap<u32, Rung>,
+    /// Translation pages that fell to the bottom rung and are executed
+    /// by the reference interpreter. Empty on the happy path.
+    interp_pages: HashSet<u32>,
+    /// True once anything was ever degraded: the one flag the hot
+    /// dispatch path tests before touching `ladder`/`interp_pages`.
+    ladder_engaged: bool,
 }
 
 /// Configures and creates a [`DaisySystem`]; obtained from
@@ -243,6 +255,9 @@ impl DaisySystemBuilder {
             packed: self.packed,
             profiler: self.profiling.then(GroupProfiler::new),
             hot_threshold,
+            ladder: HashMap::new(),
+            interp_pages: HashSet::new(),
+            ladder_engaged: false,
         }
     }
 }
@@ -305,262 +320,412 @@ impl DaisySystem {
     ///
     /// # Errors
     ///
-    /// Returns [`RecoverError`] only if the §3.5 recovery algorithm
-    /// disagrees with the engine's metadata — a translator-invariant
-    /// violation, never expected in a correct build.
-    pub fn run(&mut self, max_cycles: u64) -> Result<StopReason, RecoverError> {
+    /// Returns [`DaisyError`] only if a fault cannot be absorbed by the
+    /// graceful-degradation ladder (see [`crate::error`]) — a
+    /// translator-invariant violation, never expected in a correct
+    /// build.
+    pub fn run(&mut self, max_cycles: u64) -> Result<StopReason, DaisyError> {
         loop {
             if self.stats.cycles() >= max_cycles {
                 return Ok(StopReason::MaxInstrs);
             }
-            self.handle_code_writes();
-            // Timer tick / posted external interrupts, at precise group
-            // boundaries (every architected register is exact here).
-            if let Some(period) = self.timer_period {
-                if self.stats.cycles() >= self.next_timer {
-                    self.next_timer = self.stats.cycles() + period;
-                    self.pending_external = true;
-                }
-            }
-            // Gated by the architected EE bit alone (clear by default),
-            // so harnesses can take timer ticks while still stopping at
-            // a final `sc` with `vectored` off.
-            if self.pending_external && self.cpu.msr & daisy_ppc::reg::msr_bits::EE != 0 {
-                self.pending_external = false;
-                self.stats.exceptions += 1;
-                let at = self.cpu.pc;
-                self.vmm.tracer.emit(|| TraceEvent::ExternalInterrupt { pc: at });
-                self.cpu.deliver(vectors::EXTERNAL, at);
-            }
-            let pc = self.cpu.pc;
-            // Chained dispatch: follow the link installed on the
-            // previous group's exit straight to the next translation,
-            // bypassing the VMM. The `target == pc` guard keeps this
-            // sound across interrupt delivery and externally swapped
-            // CPU state; weak links make it sound across invalidation
-            // (`handle_code_writes` above already dropped any
-            // translation a store killed, so its links cannot upgrade).
-            let pending = self.pending_chain.take();
-            let mut chained: Option<Rc<GroupCode>> = None;
-            if self.chaining {
-                match &pending {
-                    Some(PendingChain::Direct { from, slot, target }) if *target == pc => {
-                        match from.follow_link(*slot) {
-                            ChainLink::Live(code) => chained = Some(code),
-                            ChainLink::Severed => {
-                                self.stats.chain.severs += 1;
-                                from.clear_link(*slot);
-                                let from_entry = from.group.entry;
-                                self.vmm.tracer.emit(|| TraceEvent::ChainSever {
-                                    from: from_entry,
-                                    target: pc,
-                                });
-                            }
-                            ChainLink::Empty => {}
-                        }
-                    }
-                    Some(PendingChain::Indirect { from, target }) if *target == pc => {
-                        match from.icache_lookup(pc) {
-                            Some(code) => {
-                                self.stats.chain.icache_hits += 1;
-                                chained = Some(code);
-                            }
-                            None => self.stats.chain.icache_misses += 1,
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            let was_chained = chained.is_some();
-            let code = match chained {
-                Some(code) => {
-                    self.stats.chain.chained_dispatches += 1;
-                    code
-                }
-                None => {
-                    self.stats.groups_entered += 1;
-                    let code = self.vmm.entry_with_cpu(&mut self.mem, pc, Some(&self.cpu));
-                    if self.chaining {
-                        match pending {
-                            Some(PendingChain::Direct { from, slot, target }) if target == pc => {
-                                from.install_link(slot, &code);
-                                self.stats.chain.link_installs += 1;
-                                let from_entry = from.group.entry;
-                                self.vmm.tracer.emit(|| TraceEvent::ChainInstall {
-                                    from: from_entry,
-                                    to: pc,
-                                    indirect: false,
-                                });
-                            }
-                            Some(PendingChain::Indirect { from, target }) if target == pc => {
-                                from.icache_install(pc, &code);
-                                let from_entry = from.group.entry;
-                                self.vmm.tracer.emit(|| TraceEvent::ChainInstall {
-                                    from: from_entry,
-                                    to: pc,
-                                    indirect: true,
-                                });
-                            }
-                            _ => {}
-                        }
-                    }
-                    code
-                }
-            };
-            let from_page = pc / self.vmm.cfg.page_size;
-
-            let profiled_before = self
-                .profiler
-                .as_ref()
-                .map(|_| (self.stats.vliws_executed, self.stats.stall_cycles));
-            let mut rf = RegFile::from_cpu(&self.cpu);
-            let engine = if self.packed { run_group } else { run_group_tree };
-            let exit = engine(
-                &code,
-                &mut rf,
-                &mut self.mem,
-                &mut self.cache,
-                &mut self.stats,
-                &mut self.scratch,
-            );
-            rf.write_back(&mut self.cpu);
-
-            // Attribute this dispatch to the group's entry and promote
-            // it to the hot tier when its dispatch count crosses the
-            // configured threshold (profile-guided retranslation).
-            let mut promoted = false;
-            if let (Some(profiler), Some((v0, s0))) = (&mut self.profiler, profiled_before) {
-                let entry = code.group.entry;
-                profiler.record(
-                    entry,
-                    code.tier,
-                    was_chained,
-                    self.stats.vliws_executed - v0,
-                    self.stats.stall_cycles - s0,
-                );
-                if let Some(threshold) = self.hot_threshold {
-                    if code.tier == Tier::Cold
-                        && !self.vmm.is_hot(entry)
-                        && profiler.get(entry).is_some_and(|p| p.dispatches >= threshold)
-                    {
-                        let dispatches = profiler.get(entry).map_or(0, |p| p.dispatches);
-                        promoted = self.vmm.promote_hot(entry, dispatches);
-                    }
-                }
-            }
-
-            match exit {
-                GroupExit::Branch { target, via, slot } => {
-                    if target / self.vmm.cfg.page_size == from_page {
-                        self.stats.onpage_dispatches += 1;
-                    } else {
-                        match via {
-                            None => self.stats.crosspage.direct += 1,
-                            Some(IndirectVia::Lr) => self.stats.crosspage.via_lr += 1,
-                            Some(IndirectVia::Ctr) => self.stats.crosspage.via_ctr += 1,
-                        }
-                    }
-                    self.cpu.pc = target;
-                    if self.chaining {
-                        // The slot was lowered into the packed exit at
-                        // translation time — no exit-table search here.
-                        self.pending_chain = match via {
-                            None => slot.map(|slot| PendingChain::Direct {
-                                from: Rc::clone(&code),
-                                slot,
-                                target,
-                            }),
-                            Some(_) => {
-                                Some(PendingChain::Indirect { from: Rc::clone(&code), target })
-                            }
-                        };
-                    }
-                }
-                GroupExit::Interp { addr } => {
-                    self.cpu.pc = addr;
-                    if let Some(stop) = self.interp_service() {
-                        return Ok(stop);
-                    }
-                }
-                GroupExit::CodeModified { addr } => {
-                    // §3.2: invalidate, then restart by re-interpreting
-                    // the modifying instruction (its store is
-                    // idempotent — same values to the same addresses).
-                    self.vmm.tracer.emit(|| TraceEvent::CodeModified { addr });
-                    self.handle_code_writes();
-                    self.cpu.pc = addr;
-                    if let Some(stop) = self.interp_one() {
-                        return Ok(stop);
-                    }
-                }
-                GroupExit::Exception { kind, base_addr, fault_idx } => {
-                    self.stats.exceptions += 1;
-                    self.vmm.tracer.emit(|| TraceEvent::Exception {
-                        class: match kind {
-                            ExcKind::Dsi { write: true, .. } => ExcClass::StoreFault,
-                            ExcKind::Dsi { write: false, .. } => ExcClass::LoadFault,
-                            ExcKind::Trap => ExcClass::Trap,
-                        },
-                        base_addr,
-                    });
-                    if self.check_precise_recovery {
-                        let events = &self.scratch.events;
-                        let recovered = precise::recover(
-                            &self.mem,
-                            code.group.entry,
-                            &events[..fault_idx.min(events.len())],
-                            fault_idx,
-                        )?;
-                        if recovered != base_addr {
-                            return Err(RecoverError {
-                                message: format!(
-                                    "recovered {recovered:#x} but engine reports {base_addr:#x}"
-                                ),
-                            });
-                        }
-                    }
-                    if !self.cpu.vectored {
-                        return Ok(match kind {
-                            ExcKind::Dsi { addr, write } => {
-                                self.cpu.dar = addr;
-                                StopReason::StorageFault { addr, write, fetch: false }
-                            }
-                            ExcKind::Trap => StopReason::Trap,
-                        });
-                    }
-                    match kind {
-                        ExcKind::Dsi { addr, write } => {
-                            // §3.3's PowerPC example: DAR, DSISR, SRR0,
-                            // SRR1, then the 0x300 handler.
-                            self.cpu.dar = addr;
-                            self.cpu.dsisr = if write { 0x4200_0000 } else { 0x4000_0000 };
-                            self.cpu.deliver(vectors::DSI, base_addr);
-                        }
-                        ExcKind::Trap => self.cpu.deliver(vectors::PROGRAM, base_addr),
-                    }
-                }
-                GroupExit::AliasRestart { addr } => {
-                    // Re-commence from the point of the load; the fresh
-                    // dispatch re-executes it after the aliasing store.
-                    // Repeated offenders may trigger a conservative
-                    // retranslation of their entry point.
-                    let entry = code.group.entry;
-                    self.vmm.tracer.emit(|| TraceEvent::AliasRestart { entry, addr });
-                    self.vmm.note_alias_restart(entry);
-                    self.cpu.pc = addr;
-                }
-            }
-            if promoted {
-                // The promoted entry's cold translation may still be
-                // reachable through a pending chain whose `from` is the
-                // group we just ran (a self-loop keeps itself alive via
-                // the strong reference in the pending link, so the weak
-                // auto-sever never fires). Dropping the pending link
-                // forces the next dispatch through the VMM, which
-                // rebuilds the entry under the hot tier.
-                self.pending_chain = None;
+            if let Some(stop) = self.step()? {
+                return Ok(stop);
             }
         }
+    }
+
+    /// Executes exactly one dispatch step — one group boundary: pending
+    /// code-modification flushes, interrupt delivery, then one group
+    /// execution (or one bounded interpretation burst, for pages on the
+    /// bottom ladder rung). Returns `Ok(Some(stop))` when execution
+    /// cannot continue.
+    ///
+    /// Fault-injection campaigns ([`crate::inject`]) drive this
+    /// directly so they can perturb the system between groups; ordinary
+    /// harnesses should call [`DaisySystem::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DaisySystem::run`].
+    // invariant-free hot path: `run` is a tight trampoline around this,
+    // and the packed engine's short groups make the call boundary
+    // itself measurable — keep it inlinable.
+    #[inline]
+    pub fn step(&mut self) -> Result<Option<StopReason>, DaisyError> {
+        self.handle_code_writes();
+        // Timer tick / posted external interrupts, at precise group
+        // boundaries (every architected register is exact here).
+        if let Some(period) = self.timer_period {
+            if self.stats.cycles() >= self.next_timer {
+                self.next_timer = self.stats.cycles() + period;
+                self.pending_external = true;
+            }
+        }
+        // Gated by the architected EE bit alone (clear by default),
+        // so harnesses can take timer ticks while still stopping at
+        // a final `sc` with `vectored` off.
+        if self.pending_external && self.cpu.msr & daisy_ppc::reg::msr_bits::EE != 0 {
+            self.pending_external = false;
+            self.stats.exceptions += 1;
+            let at = self.cpu.pc;
+            self.vmm.tracer.emit(|| TraceEvent::ExternalInterrupt { pc: at });
+            self.cpu.deliver(vectors::EXTERNAL, at);
+        }
+        let pc = self.cpu.pc;
+        // Pages on the bottom ladder rung bypass translation
+        // entirely: the reference interpreter executes them (groups
+        // never span pages, so page granularity is always sound).
+        if self.ladder_engaged && self.interp_pages.contains(&(pc / self.vmm.cfg.page_size)) {
+            self.pending_chain = None;
+            return Ok(self.interp_burst());
+        }
+        // Chained dispatch: follow the link installed on the
+        // previous group's exit straight to the next translation,
+        // bypassing the VMM. The `target == pc` guard keeps this
+        // sound across interrupt delivery and externally swapped
+        // CPU state; weak links make it sound across invalidation
+        // (`handle_code_writes` above already dropped any
+        // translation a store killed, so its links cannot upgrade).
+        let pending = self.pending_chain.take();
+        let mut chained: Option<Rc<GroupCode>> = None;
+        if self.chaining {
+            match &pending {
+                Some(PendingChain::Direct { from, slot, target }) if *target == pc => {
+                    match from.follow_link(*slot) {
+                        ChainLink::Live(code) => chained = Some(code),
+                        ChainLink::Severed => {
+                            self.stats.chain.severs += 1;
+                            from.clear_link(*slot);
+                            let from_entry = from.group.entry;
+                            self.vmm
+                                .tracer
+                                .emit(|| TraceEvent::ChainSever { from: from_entry, target: pc });
+                        }
+                        ChainLink::Empty => {}
+                    }
+                }
+                Some(PendingChain::Indirect { from, target }) if *target == pc => {
+                    match from.icache_lookup(pc) {
+                        Some(code) => {
+                            self.stats.chain.icache_hits += 1;
+                            chained = Some(code);
+                        }
+                        None => self.stats.chain.icache_misses += 1,
+                    }
+                }
+                _ => {}
+            }
+        }
+        let was_chained = chained.is_some();
+        let code = match chained {
+            Some(code) => {
+                self.stats.chain.chained_dispatches += 1;
+                code
+            }
+            None => {
+                self.stats.groups_entered += 1;
+                let code = self.vmm.entry_with_cpu(&mut self.mem, pc, Some(&self.cpu));
+                if self.chaining {
+                    match pending {
+                        Some(PendingChain::Direct { from, slot, target }) if target == pc => {
+                            from.install_link(slot, &code);
+                            self.stats.chain.link_installs += 1;
+                            let from_entry = from.group.entry;
+                            self.vmm.tracer.emit(|| TraceEvent::ChainInstall {
+                                from: from_entry,
+                                to: pc,
+                                indirect: false,
+                            });
+                        }
+                        Some(PendingChain::Indirect { from, target }) if target == pc => {
+                            from.icache_install(pc, &code);
+                            let from_entry = from.group.entry;
+                            self.vmm.tracer.emit(|| TraceEvent::ChainInstall {
+                                from: from_entry,
+                                to: pc,
+                                indirect: true,
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                code
+            }
+        };
+        let from_page = pc / self.vmm.cfg.page_size;
+
+        let profiled_before =
+            self.profiler.as_ref().map(|_| (self.stats.vliws_executed, self.stats.stall_cycles));
+        let mut rf = RegFile::from_cpu(&self.cpu);
+        // Entries faulted down the ladder run on the reference tree
+        // engine (the conservative rung also retranslated without
+        // load speculation, upstream in the VMM).
+        let rung = if self.ladder_engaged {
+            self.ladder.get(&code.group.entry).copied().unwrap_or(Rung::Packed)
+        } else {
+            Rung::Packed
+        };
+        let engine = if self.packed && rung == Rung::Packed { run_group } else { run_group_tree };
+        let exit = engine(
+            &code,
+            &mut rf,
+            &mut self.mem,
+            &mut self.cache,
+            &mut self.stats,
+            &mut self.scratch,
+        );
+        // §3.5 recovery cross-check, *before* committing the
+        // register file: a failed check means the translation's
+        // metadata cannot be trusted, and retrying the group one
+        // rung down is sound exactly when no architected state was
+        // mutated yet — registers are still in `rf`, and memory is
+        // clean unless a store committed before the fault.
+        if let GroupExit::Exception { base_addr, fault_idx, .. } = exit {
+            if self.check_precise_recovery
+                && self.recovery_cross_check(code.group.entry, base_addr, fault_idx)?
+            {
+                // Discard `rf`; architected state is untouched, so the
+                // next step re-dispatches the same PC one rung down.
+                return Ok(None);
+            }
+        }
+        rf.write_back(&mut self.cpu);
+
+        // Attribute this dispatch to the group's entry and promote
+        // it to the hot tier when its dispatch count crosses the
+        // configured threshold (profile-guided retranslation).
+        let mut promoted = false;
+        if let (Some(profiler), Some((v0, s0))) = (&mut self.profiler, profiled_before) {
+            let entry = code.group.entry;
+            profiler.record(
+                entry,
+                code.tier,
+                was_chained,
+                self.stats.vliws_executed - v0,
+                self.stats.stall_cycles - s0,
+            );
+            if let Some(threshold) = self.hot_threshold {
+                if code.tier == Tier::Cold
+                    && !self.vmm.is_hot(entry)
+                    && profiler.get(entry).is_some_and(|p| p.dispatches >= threshold)
+                {
+                    let dispatches = profiler.get(entry).map_or(0, |p| p.dispatches);
+                    promoted = self.vmm.promote_hot(entry, dispatches);
+                }
+            }
+        }
+
+        match exit {
+            GroupExit::Branch { target, via, slot } => {
+                if target / self.vmm.cfg.page_size == from_page {
+                    self.stats.onpage_dispatches += 1;
+                } else {
+                    match via {
+                        None => self.stats.crosspage.direct += 1,
+                        Some(IndirectVia::Lr) => self.stats.crosspage.via_lr += 1,
+                        Some(IndirectVia::Ctr) => self.stats.crosspage.via_ctr += 1,
+                    }
+                }
+                self.cpu.pc = target;
+                if self.chaining {
+                    // The slot was lowered into the packed exit at
+                    // translation time — no exit-table search here.
+                    self.pending_chain = match via {
+                        None => slot.map(|slot| PendingChain::Direct {
+                            from: Rc::clone(&code),
+                            slot,
+                            target,
+                        }),
+                        Some(_) => Some(PendingChain::Indirect { from: Rc::clone(&code), target }),
+                    };
+                }
+            }
+            GroupExit::Interp { addr } => {
+                self.cpu.pc = addr;
+                if let Some(stop) = self.interp_service() {
+                    return Ok(Some(stop));
+                }
+            }
+            GroupExit::CodeModified { addr } => {
+                // §3.2: invalidate, then restart by re-interpreting
+                // the modifying instruction (its store is
+                // idempotent — same values to the same addresses).
+                self.vmm.tracer.emit(|| TraceEvent::CodeModified { addr });
+                self.handle_code_writes();
+                self.cpu.pc = addr;
+                if let Some(stop) = self.interp_one() {
+                    return Ok(Some(stop));
+                }
+            }
+            GroupExit::Exception { kind, base_addr, fault_idx: _ } => {
+                self.stats.exceptions += 1;
+                self.vmm.tracer.emit(|| TraceEvent::Exception {
+                    class: match kind {
+                        ExcKind::Dsi { write: true, .. } => ExcClass::StoreFault,
+                        ExcKind::Dsi { write: false, .. } => ExcClass::LoadFault,
+                        ExcKind::Trap => ExcClass::Trap,
+                    },
+                    base_addr,
+                });
+                if !self.cpu.vectored {
+                    return Ok(Some(match kind {
+                        ExcKind::Dsi { addr, write } => {
+                            self.cpu.dar = addr;
+                            StopReason::StorageFault { addr, write, fetch: false }
+                        }
+                        ExcKind::Trap => StopReason::Trap,
+                    }));
+                }
+                match kind {
+                    ExcKind::Dsi { addr, write } => {
+                        // §3.3's PowerPC example: DAR, DSISR, SRR0,
+                        // SRR1, then the 0x300 handler.
+                        self.cpu.dar = addr;
+                        self.cpu.dsisr = if write { 0x4200_0000 } else { 0x4000_0000 };
+                        self.cpu.deliver(vectors::DSI, base_addr);
+                    }
+                    ExcKind::Trap => self.cpu.deliver(vectors::PROGRAM, base_addr),
+                }
+            }
+            GroupExit::AliasRestart { addr } => {
+                // Re-commence from the point of the load; the fresh
+                // dispatch re-executes it after the aliasing store.
+                // Repeated offenders may trigger a conservative
+                // retranslation of their entry point.
+                let entry = code.group.entry;
+                self.vmm.tracer.emit(|| TraceEvent::AliasRestart { entry, addr });
+                self.vmm.note_alias_restart(entry);
+                self.cpu.pc = addr;
+            }
+        }
+        if promoted {
+            // The promoted entry's cold translation may still be
+            // reachable through a pending chain whose `from` is the
+            // group we just ran (a self-loop keeps itself alive via
+            // the strong reference in the pending link, so the weak
+            // auto-sever never fires). Dropping the pending link
+            // forces the next dispatch through the VMM, which
+            // rebuilds the entry under the hot tier.
+            self.pending_chain = None;
+        }
+        Ok(None)
+    }
+
+    /// §3.5 recovery cross-check on an exception exit, run *before* the
+    /// register file commits. Returns `Ok(true)` when the translation's
+    /// metadata failed the check but the group can soundly retry one
+    /// rung down (no store had committed, and a rung was left);
+    /// `Ok(false)` when the check passed.
+    ///
+    /// Outlined and cold: the hot dispatch path only pays the call on
+    /// exception exits, and only with `check_precise_recovery` on.
+    #[cold]
+    #[inline(never)]
+    fn recovery_cross_check(
+        &mut self,
+        entry: u32,
+        base_addr: u32,
+        fault_idx: usize,
+    ) -> Result<bool, DaisyError> {
+        let events = &self.scratch.events;
+        let n = fault_idx.min(events.len());
+        let checked = precise::recover(&self.mem, entry, &events[..n], fault_idx);
+        let mismatch = match checked {
+            Ok(recovered) if recovered == base_addr => None,
+            Ok(recovered) => Some(RecoverError {
+                message: format!("recovered {recovered:#x} but engine reports {base_addr:#x}"),
+            }),
+            Err(err) => Some(err),
+        };
+        let Some(err) = mismatch else { return Ok(false) };
+        // Retrying is sound exactly when no architected state was
+        // mutated yet — registers are still in the discarded `rf`, and
+        // memory is clean unless a store committed before the fault.
+        let stores_committed = events[..n].iter().any(|e| matches!(e, ArchEvent::Store));
+        if !stores_committed && self.degrade(entry, DegradeCause::RecoveryMismatch).is_some() {
+            return Ok(true);
+        }
+        Err(DaisyError::Recovery { entry, source: err })
+    }
+
+    /// Steps `entry` one rung down the graceful-degradation ladder (see
+    /// [`crate::error`]), recording the transition in
+    /// [`DaisySystem::degradations`] and emitting it as
+    /// [`TraceEvent::Degraded`]. Returns `None` — and changes nothing —
+    /// when the entry is already at the bottom rung.
+    pub fn degrade(&mut self, entry: u32, cause: DegradeCause) -> Option<Degradation> {
+        self.ladder_engaged = true;
+        let from = self.rung(entry);
+        let to = from.next_down()?;
+        self.ladder.insert(entry, to);
+        match to {
+            Rung::Tree => {}
+            Rung::Conservative => {
+                // Drop the entry's translation; the next dispatch
+                // rebuilds it with load speculation inhibited.
+                self.vmm.force_conservative(entry);
+            }
+            Rung::Interpret => {
+                // Abandon the whole page to the reference interpreter.
+                self.interp_pages.insert(entry / self.vmm.cfg.page_size);
+                self.vmm.drop_page_of(entry);
+            }
+            // invariant: next_down never yields the top rung.
+            Rung::Packed => {}
+        }
+        // The pending chain may target a translation the step above
+        // just dropped, or carry execution past the ladder check.
+        self.pending_chain = None;
+        let d = Degradation { entry, from, to, cause };
+        self.vmm.record_degradation(d);
+        Some(d)
+    }
+
+    /// The ladder rung `entry` currently executes at ([`Rung::Packed`]
+    /// unless it was degraded; every entry on an interpret-rung page
+    /// reports [`Rung::Interpret`]).
+    pub fn rung(&self, entry: u32) -> Rung {
+        if !self.interp_pages.is_empty()
+            && self.interp_pages.contains(&(entry / self.vmm.cfg.page_size))
+        {
+            return Rung::Interpret;
+        }
+        self.ladder.get(&entry).copied().unwrap_or(Rung::Packed)
+    }
+
+    /// Every ladder step taken this run, in order.
+    pub fn degradations(&self) -> &[Degradation] {
+        self.vmm.degradations()
+    }
+
+    /// Severs every chain link in the system: all outbound links and
+    /// inline indirect caches of live translations, plus any pending
+    /// chain from the previous group's exit. Execution recovers through
+    /// the VMM on every cut edge (fault injection's chain-sever
+    /// campaigns exercise exactly this).
+    pub fn sever_chains(&mut self) {
+        self.pending_chain = None;
+        self.vmm.sever_all_links();
+    }
+
+    /// Runs the reference interpreter for one bounded burst on the
+    /// current interpret-rung page, returning early when control leaves
+    /// the page (the next step re-checks the ladder). The bound keeps
+    /// interrupt delivery and the run budget at group-boundary
+    /// granularity even for fully interpreted pages.
+    fn interp_burst(&mut self) -> Option<StopReason> {
+        let page_size = self.vmm.cfg.page_size;
+        let page = self.cpu.pc / page_size;
+        for _ in 0..128 {
+            if self.cpu.pc / page_size != page {
+                return None;
+            }
+            if let Some(stop) = self.interp_one() {
+                return Some(stop);
+            }
+        }
+        None
     }
 
     /// Interprets exactly one instruction, handling its events. Returns

@@ -34,6 +34,7 @@
 //! assert!(matches!(sink.events()[0], TraceEvent::Translate { entry: 0x1000, .. }));
 //! ```
 
+use crate::error::{DegradeCause, Rung};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -169,6 +170,22 @@ pub enum TraceEvent {
         /// Dispatch count at promotion.
         dispatches: u64,
     },
+    /// An entry point stepped down the graceful-degradation ladder
+    /// (see [`crate::error`]): a recoverable fault was absorbed by
+    /// falling back to a slower-but-sound execution mode instead of
+    /// failing the run. `from == to` records a quality degradation
+    /// within the same rung (e.g. a truncated interpret-ahead hint
+    /// budget).
+    Degraded {
+        /// Entry point that degraded.
+        entry: u32,
+        /// Rung before the step.
+        from: Rung,
+        /// Rung after the step.
+        to: Rung,
+        /// Why.
+        cause: DegradeCause,
+    },
 }
 
 impl TraceEvent {
@@ -187,6 +204,7 @@ impl TraceEvent {
             TraceEvent::Exception { .. } => "exception",
             TraceEvent::ExternalInterrupt { .. } => "external_interrupt",
             TraceEvent::HotPromotion { .. } => "hot_promotion",
+            TraceEvent::Degraded { .. } => "degraded",
         }
     }
 
@@ -241,6 +259,15 @@ impl TraceEvent {
             }
             TraceEvent::HotPromotion { entry, dispatches } => {
                 format!("{{\"event\": \"{k}\", \"entry\": {entry}, \"dispatches\": {dispatches}}}")
+            }
+            TraceEvent::Degraded { entry, from, to, cause } => {
+                format!(
+                    "{{\"event\": \"{k}\", \"entry\": {entry}, \"from\": \"{}\", \
+                     \"to\": \"{}\", \"cause\": \"{}\"}}",
+                    from.name(),
+                    to.name(),
+                    cause.name()
+                )
             }
         }
     }
@@ -611,6 +638,12 @@ mod tests {
             TraceEvent::Exception { class: ExcClass::StoreFault, base_addr: 16 },
             TraceEvent::ExternalInterrupt { pc: 20 },
             TraceEvent::HotPromotion { entry: 4, dispatches: 64 },
+            TraceEvent::Degraded {
+                entry: 4,
+                from: Rung::Packed,
+                to: Rung::Tree,
+                cause: DegradeCause::RecoveryMismatch,
+            },
         ];
         for ev in evs {
             let j = ev.to_json();

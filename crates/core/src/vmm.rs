@@ -16,6 +16,7 @@
 //! of Table 5.1.
 
 use crate::engine::GroupCode;
+use crate::error::{Degradation, DegradeCause, Rung};
 use crate::sched::{translate_group_with_hints, Hints, TierPolicy, TranslatorConfig, XlateCost};
 use crate::trace::{Tier, TraceEvent, Tracer};
 use daisy_ppc::insn::BranchKind;
@@ -51,6 +52,10 @@ pub struct VmmStats {
     pub code_bytes: u64,
     /// Bytes of translated code ever produced (monotone; Fig. 5.4).
     pub code_bytes_total: u64,
+    /// Interpret-ahead hint gatherings that ran out of budget before
+    /// reaching a group boundary (each is recorded as a
+    /// [`crate::error::DegradeCause::HintBudget`] degradation).
+    pub hint_budget_exhausted: u64,
 }
 
 /// Direct-mapped per-page translation table. Entry points are 4-byte
@@ -123,6 +128,10 @@ pub struct Vmm {
     /// Structured-event emission front-end (disabled by default; see
     /// [`crate::trace`]).
     pub tracer: Tracer,
+    /// Log of every ladder step taken this run (see [`crate::error`]);
+    /// the system appends its dispatch-path degradations here too, so
+    /// one list holds the run's full fallback history.
+    degradations: Vec<Degradation>,
 }
 
 impl Vmm {
@@ -144,6 +153,7 @@ impl Vmm {
             cost: XlateCost::default(),
             stats: VmmStats::default(),
             tracer: Tracer::disabled(),
+            degradations: Vec::new(),
         }
     }
 
@@ -228,7 +238,24 @@ impl Vmm {
             cfg.speculate_loads = false;
         }
         let hints = match cpu {
-            Some(cpu) if cfg.interpretive => gather_hints(&cfg, mem, cpu, addr),
+            Some(cpu) if cfg.interpretive => {
+                let (hints, exhausted) = gather_hints(&cfg, mem, cpu, addr);
+                if exhausted {
+                    // The interpret-ahead window ran dry before a group
+                    // boundary: the translation built below is sound
+                    // but its hints are truncated. Surface it as a
+                    // typed degradation instead of silently shipping a
+                    // lower-quality translation.
+                    self.record_degradation(Degradation {
+                        entry: addr,
+                        from: Rung::Packed,
+                        to: Rung::Packed,
+                        cause: DegradeCause::HintBudget,
+                    });
+                    self.stats.hint_budget_exhausted += 1;
+                }
+                hints
+            }
             _ => Hints::default(),
         };
         let (group, cost) = translate_group_with_hints(&cfg, mem, addr, &hints);
@@ -379,13 +406,100 @@ impl Vmm {
     pub fn fixed_expansion_bytes(&self, n: u32) -> u64 {
         self.pages.len() as u64 * u64::from(self.cfg.page_size) * u64::from(n)
     }
+
+    /// Every ladder step taken so far this run, in order.
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
+    }
+
+    /// Appends one ladder step to the run's degradation log and emits
+    /// it as [`TraceEvent::Degraded`].
+    pub(crate) fn record_degradation(&mut self, d: Degradation) {
+        self.tracer.emit(|| TraceEvent::Degraded {
+            entry: d.entry,
+            from: d.from,
+            to: d.to,
+            cause: d.cause,
+        });
+        self.degradations.push(d);
+    }
+
+    /// Marks `entry` for conservative (no load speculation)
+    /// retranslation and drops its current translation, exactly as the
+    /// alias-restart threshold does — the ladder's third rung. Returns
+    /// `false` if the entry was already conservative.
+    pub fn force_conservative(&mut self, entry: u32) -> bool {
+        let newly = self.no_spec_entries.insert(entry);
+        self.drop_entry(entry);
+        newly
+    }
+
+    /// Drops the translation for one entry point, forcing the next
+    /// dispatch of it through retranslation. Inbound chain links sever
+    /// automatically when the `Rc` drops. Returns `true` if a live
+    /// translation was dropped.
+    pub fn drop_translation(&mut self, entry: u32) -> bool {
+        let live = self.lookup(entry).is_some();
+        self.drop_entry(entry);
+        live
+    }
+
+    /// Destroys every translation on the page containing `addr`
+    /// (emitting [`TraceEvent::Invalidate`]), used when a page falls to
+    /// the interpret rung. Returns the number of groups destroyed.
+    pub fn drop_page_of(&mut self, addr: u32) -> usize {
+        let page = self.page_of(addr);
+        let Some(table) = self.pages.remove(&page) else { return 0 };
+        for g in table.groups() {
+            self.stats.code_bytes =
+                self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
+        }
+        self.tracer.emit(|| TraceEvent::Invalidate { page });
+        table.live
+    }
+
+    /// Severs every outbound chain link and indirect-cache entry of
+    /// every live translation, cutting the whole chain graph while the
+    /// translations themselves stay live (the fault injector's
+    /// chain-sever campaigns; the dispatch loop must recover through
+    /// the VMM on every severed edge).
+    pub fn sever_all_links(&mut self) {
+        for table in self.pages.values() {
+            for g in table.groups() {
+                g.sever_outbound_links();
+            }
+        }
+    }
+
+    /// Entry points of every live translation, sorted ascending (the
+    /// page map iterates in hash order; sorting keeps seed-driven
+    /// injection campaigns deterministic).
+    pub fn live_entries(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .pages
+            .iter()
+            .flat_map(|(&page, table)| {
+                table.slots.iter().enumerate().filter_map(move |(slot, g)| {
+                    g.as_ref().map(|_| page * self.cfg.page_size + slot as u32 * 4)
+                })
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// Interprets ahead of translation on cloned state, recording branch
 /// outcomes and indirect targets — the paper's "interpreting each
 /// instruction after decoding it … a potentially more accurate form of
 /// branch prediction" (Ch. 6).
-fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> Hints {
+///
+/// The second return is `true` when the interpret-ahead budget
+/// (`window_size * 8` instructions) ran out before a natural stopping
+/// point: the hints are then *truncated*, not complete, and the caller
+/// must surface that as a typed [`Degradation`] rather than silently
+/// building a lower-quality translation from them.
+fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> (Hints, bool) {
     let mut sim_mem = mem.clone();
     let mut sim = cpu.clone();
     sim.pc = addr;
@@ -393,11 +507,16 @@ fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> H
     let mut indirect = HashMap::new();
     let mut dcache = daisy_ppc::decode::DecodeCache::new();
     let budget = u64::from(cfg.window_size) * 8;
+    let mut exhausted = true;
     for _ in 0..budget {
-        let Ok(insn) = sim.fetch_cached(&sim_mem, &mut dcache) else { break };
+        let Ok(insn) = sim.fetch_cached(&sim_mem, &mut dcache) else {
+            exhausted = false;
+            break;
+        };
         let pc = sim.pc;
         let info = insn.branch_info(pc);
         if !matches!(sim.execute(&mut sim_mem, insn), Event::Continue) {
+            exhausted = false;
             break;
         }
         if let Some(info) = info {
@@ -417,13 +536,14 @@ fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> H
             }
         }
     }
-    Hints {
+    let hints = Hints {
         taken_prob: counts
             .into_iter()
             .map(|(pc, (n, t))| (pc, t as f64 / n.max(1) as f64))
             .collect(),
         indirect_target: indirect,
-    }
+    };
+    (hints, exhausted)
 }
 
 #[cfg(test)]

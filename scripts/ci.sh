@@ -20,3 +20,8 @@ cargo test --workspace --doc
 # Bench smoke-run: single-iteration (no timing, no JSON) — keeps the
 # bench harnesses compiling and their correctness asserts honest.
 cargo test -q -p daisy-bench --benches
+
+# Fault-injection smoke: a fixed 32-seed sweep of every fault kind on
+# the fast workloads. Fails on any panic, unrecoverable error, oracle
+# divergence, or a fault kind that never records a ladder step.
+cargo run -q --release -p daisy-bench --bin inject -- --seeds 32

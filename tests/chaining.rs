@@ -213,3 +213,154 @@ fn chaining_cuts_vmm_dispatches_without_changing_results() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Interrupt storms under chaining (§3.7): external interrupts delivered
+// at every group boundary while the dispatch loop is chaining hot exits
+// must still be *precise* — every SRR0 the handler observes is an
+// instruction boundary the reference interpreter actually reached, and
+// SRR1 is the exact pre-delivery MSR.
+
+const STORM_COUNT: u32 = 0x7000;
+// Stop posting after this many boundaries: a pending interrupt at a
+// boundary forces the dispatch back through the VMM, so the tail of the
+// run (storm subsided) is what exercises chaining underneath.
+const STORM_POST_CAP: u32 = 48;
+
+/// An external-interrupt handler that logs each delivery. Saves r3/r4
+/// to SPRG0/1, bumps a counter at `STORM_COUNT`, appends (SRR0, SRR1)
+/// to the log window right after it, restores, and returns via `rfi`.
+fn storm_handler() -> daisy_ppc::asm::Program {
+    use daisy_ppc::reg::Spr;
+    let mut a = Asm::new(daisy_ppc::vectors::EXTERNAL);
+    a.emit(Insn::Mtspr { spr: Spr::Sprg0, rs: Gpr(3) });
+    a.emit(Insn::Mtspr { spr: Spr::Sprg1, rs: Gpr(4) });
+    a.li32(Gpr(3), STORM_COUNT);
+    a.lwz(Gpr(4), 0, Gpr(3));
+    a.addi(Gpr(4), Gpr(4), 1);
+    a.stw(Gpr(4), 0, Gpr(3));
+    a.slwi(Gpr(4), Gpr(4), 3); // slot = COUNT + 8 * new_count
+    a.add(Gpr(3), Gpr(3), Gpr(4));
+    a.emit(Insn::Mfspr { rt: Gpr(4), spr: Spr::Srr0 });
+    a.stw(Gpr(4), 0, Gpr(3));
+    a.emit(Insn::Mfspr { rt: Gpr(4), spr: Spr::Srr1 });
+    a.stw(Gpr(4), 4, Gpr(3));
+    a.emit(Insn::Mfspr { rt: Gpr(3), spr: Spr::Sprg0 });
+    a.emit(Insn::Mfspr { rt: Gpr(4), spr: Spr::Sprg1 });
+    a.rfi();
+    a.finish().expect("storm handler assembles")
+}
+
+/// A plain arithmetic loop — enough boundaries for a storm to matter.
+fn storm_program(iters: i16, filler: &[u8]) -> daisy_ppc::asm::Program {
+    let mut a = Asm::new(0x1000);
+    for r in [0u8, 1, 2, 3, 6] {
+        a.li(Gpr(r), i16::from(r) + 1);
+    }
+    a.li(Gpr(31), iters);
+    a.mtctr(Gpr(31));
+    a.label("loop");
+    for &op in filler {
+        match op % 6 {
+            0 => a.addi(Gpr(0), Gpr(0), 7),
+            1 => a.add(Gpr(1), Gpr(1), Gpr(0)),
+            2 => a.xor(Gpr(2), Gpr(2), Gpr(1)),
+            3 => a.srwi(Gpr(3), Gpr(2), 3),
+            4 => a.add(Gpr(6), Gpr(1), Gpr(3)),
+            _ => a.mullw(Gpr(1), Gpr(1), Gpr(2)),
+        }
+    }
+    a.bdnz("loop");
+    a.sc();
+    a.finish().expect("storm program assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite: an external interrupt posted at (almost) every group
+    /// boundary with chaining enabled. Bit-exact final state, and every
+    /// logged (SRR0, SRR1) pair is precise.
+    #[test]
+    fn prop_interrupt_storm_under_chaining_is_precise(
+        iters in 20i16..60,
+        filler in proptest::collection::vec(0u8..6, 1..10),
+    ) {
+        use daisy_ppc::reg::msr_bits;
+
+        let prog = storm_program(iters, &filler);
+        let handler = storm_handler();
+
+        // Oracle: same image, EE set, no interrupts ever posted. Record
+        // every PC it executes — the universe of precise SRR0 values.
+        let mut ref_mem = Memory::new(0x2_0000);
+        prog.load_into(&mut ref_mem).unwrap();
+        handler.load_into(&mut ref_mem).unwrap();
+        let mut ref_cpu = Cpu::new(prog.entry);
+        ref_cpu.msr |= msr_bits::EE;
+        let mut executed = std::collections::HashSet::new();
+        let stop = ref_cpu
+            .run_traced(&mut ref_mem, 1_000_000, |pc, _| {
+                executed.insert(pc);
+            })
+            .unwrap();
+        prop_assert_eq!(stop, StopReason::Syscall);
+
+        let mut sys =
+            DaisySystem::builder().mem_size(0x2_0000).translator(small_page_config()).build();
+        sys.load(&prog).unwrap();
+        handler.load_into(&mut sys.mem).unwrap();
+        sys.cpu.msr |= msr_bits::EE;
+        let expected_srr1 = sys.cpu.msr;
+
+        let mut posts = 0u32;
+        let stop = loop {
+            if posts < STORM_POST_CAP {
+                sys.post_external_interrupt();
+                posts += 1;
+            }
+            if let Some(s) = sys.step().unwrap() {
+                break s;
+            }
+        };
+        prop_assert_eq!(stop, StopReason::Syscall);
+
+        // The storm must actually have delivered, and chaining must
+        // actually have been exercised underneath it.
+        let delivered = sys.mem.read_u32(STORM_COUNT).unwrap();
+        prop_assert!(delivered >= 1, "no interrupt was ever delivered");
+        prop_assert!(sys.stats.chain.link_installs >= 1, "storm run never chained");
+
+        // Precision: every logged SRR0 is a PC the oracle executed, and
+        // every logged SRR1 is the exact pre-delivery MSR.
+        for i in 1..=delivered {
+            let srr0 = sys.mem.read_u32(STORM_COUNT + 8 * i).unwrap();
+            let srr1 = sys.mem.read_u32(STORM_COUNT + 8 * i + 4).unwrap();
+            prop_assert!(
+                executed.contains(&srr0),
+                "delivery {i}: SRR0 {srr0:#x} is not an executed instruction boundary"
+            );
+            prop_assert_eq!(srr1, expected_srr1, "delivery {} saved a wrong MSR", i);
+        }
+
+        // Bit-exact final state, excluding the handler's log window
+        // (and SRR0/1 + SPRG, which only the stormed run touches).
+        prop_assert_eq!(sys.cpu.gpr, ref_cpu.gpr, "GPR state diverged");
+        prop_assert_eq!(sys.cpu.cr, ref_cpu.cr, "CR diverged");
+        prop_assert_eq!(sys.cpu.ctr, ref_cpu.ctr, "CTR diverged");
+        prop_assert_eq!(sys.cpu.xer, ref_cpu.xer, "XER diverged");
+        prop_assert_eq!(sys.cpu.msr, ref_cpu.msr, "MSR diverged");
+        prop_assert_eq!(sys.cpu.pc, ref_cpu.pc, "PC diverged");
+        let log_end = STORM_COUNT + 8 * (STORM_POST_CAP + 1) + 8;
+        prop_assert_eq!(
+            sys.mem.read_bytes(0, STORM_COUNT).unwrap(),
+            ref_mem.read_bytes(0, STORM_COUNT).unwrap(),
+            "memory below the log window diverged"
+        );
+        prop_assert_eq!(
+            sys.mem.read_bytes(log_end, ref_mem.size() - log_end).unwrap(),
+            ref_mem.read_bytes(log_end, ref_mem.size() - log_end).unwrap(),
+            "memory above the log window diverged"
+        );
+    }
+}

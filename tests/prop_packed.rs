@@ -254,6 +254,32 @@ proptest! {
         assert_indistinguishable(&tree, &packed, "default config");
     }
 
+    /// Injection equivalence: randomized programs under identical
+    /// fault-injection campaigns must stay bit-exact against the
+    /// interpreter oracle on BOTH engines — the packed lowering adds no
+    /// new failure modes under adversarial perturbation. (Equivalence
+    /// between the engines follows transitively through the oracle.)
+    #[test]
+    fn packed_engine_survives_injection_like_the_tree_engine(
+        steps in prop::collection::vec(step(), 1..20),
+        seed in 0u64..1024,
+    ) {
+        use daisy::inject::{run_campaign_on_program, CampaignConfig, FaultKind};
+
+        let mut a = Asm::new(0x1000);
+        emit(&mut a, &steps);
+        let prog = a.finish().expect("generated program assembles");
+        for kind in [FaultKind::IllegalOp, FaultKind::InterruptStorm, FaultKind::ChainSever] {
+            for packed in [false, true] {
+                let cfg = CampaignConfig { packed, ..CampaignConfig::new(kind, seed) };
+                run_campaign_on_program(&prog, 0x2_0000, 1_000_000, &cfg).unwrap_or_else(|e| {
+                    panic!("injection broke the {} engine: {e}",
+                        if packed { "packed" } else { "tree" })
+                });
+            }
+        }
+    }
+
     /// The smallest paper machine, tiny translation pages, and a
     /// *finite* cache hierarchy: exercises VLIW splitting, cross-page
     /// dispatch, and the per-access cache-probe paths of both engines
