@@ -16,6 +16,7 @@
 //! stall cycles) and a histogram of structured trace events.
 
 use daisy::prelude::*;
+use daisy_bench::reporting::{resolve_workloads, run_profiled, RunConfig};
 use std::collections::BTreeMap;
 
 struct Options {
@@ -48,15 +49,14 @@ fn parse_args() -> Options {
 
 fn profile_workload(w: &Workload, opts: &Options) {
     let sink = RingSink::new(1 << 16);
-    let mut builder =
-        DaisySystem::builder().mem_size(w.mem_size).trace_sink(sink.clone()).profiling(true);
-    if opts.tiered {
-        builder = builder.tiered(TierPolicy::default());
-    }
-    let mut sys = builder.build();
-    sys.load(&w.program()).expect("workload fits in memory");
-    sys.run(50 * w.max_instrs).expect("workload completes");
-    w.check(&sys.cpu, &sys.mem).unwrap_or_else(|e| panic!("{}: check failed: {e}", w.name));
+    let sys = run_profiled(
+        w,
+        RunConfig {
+            tiered: opts.tiered.then(TierPolicy::default),
+            sink: Some(sink.clone()),
+            ..RunConfig::default()
+        },
+    );
 
     let profiler = sys.profiler.as_ref().expect("profiling enabled");
     let mode = if opts.tiered { "tiered" } else { "cold-only" };
@@ -109,14 +109,7 @@ fn profile_workload(w: &Workload, opts: &Options) {
 
 fn main() {
     let opts = parse_args();
-    let workloads: Vec<Workload> = if opts.workloads.is_empty() {
-        daisy_workloads::all()
-    } else {
-        opts.workloads
-            .iter()
-            .map(|n| daisy_workloads::by_name(n).unwrap_or_else(|| panic!("unknown workload: {n}")))
-            .collect()
-    };
+    let workloads = resolve_workloads(&opts.workloads);
     for w in &workloads {
         profile_workload(w, &opts);
     }

@@ -6,5 +6,6 @@
 //! rows (so integration tests can assert on them) plus a formatter.
 //! The `repro` binary prints any or all of them.
 
+pub mod reporting;
 pub mod runner;
 pub mod tables;

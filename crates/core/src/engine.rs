@@ -247,6 +247,13 @@ pub struct EngineScratch {
     /// Architected-commitment record for precise-exception recovery
     /// (§3.5); filled afresh by each [`run_group`] call.
     pub events: Vec<ArchEvent>,
+    /// Retirement trace filled only by the profiled engine variants
+    /// ([`run_group_profiled`] / [`run_group_tree_profiled`]): the
+    /// absolute packed-node index of every tree node the dispatch
+    /// visited, in execution order. The non-profiled engines never
+    /// touch it (the `PROFILE` const generic compiles the recording
+    /// out), so the hot loop stays provenance-free.
+    pub(crate) visited: Vec<u32>,
     tag_info: [Option<(u32, bool)>; NUM_REGS],
     pending: [Option<PendingLoad>; NUM_REGS],
     touched: Vec<u8>,
@@ -257,6 +264,7 @@ impl EngineScratch {
     pub fn new() -> EngineScratch {
         EngineScratch {
             events: Vec::with_capacity(64),
+            visited: Vec::new(),
             tag_info: [None; NUM_REGS],
             pending: [None; NUM_REGS],
             touched: Vec::with_capacity(8),
@@ -267,6 +275,7 @@ impl EngineScratch {
     /// previous dispatch.
     fn reset(&mut self) {
         self.events.clear();
+        self.visited.clear();
         for i in self.touched.drain(..) {
             self.tag_info[i as usize] = None;
             self.pending[i as usize] = None;
@@ -331,7 +340,38 @@ fn write_mem_fast(mem: &mut Memory, ea: u32, width: MemWidth, v: u32) -> Result<
 /// Observably identical to [`run_group_tree`] (same architected state,
 /// same [`RunStats`], same exit, same event record); the property tests
 /// in `tests/prop_packed.rs` pin that equivalence.
+#[inline]
 pub fn run_group(
+    code: &GroupCode,
+    rf: &mut RegFile,
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    stats: &mut RunStats,
+    scratch: &mut EngineScratch,
+) -> GroupExit {
+    run_group_impl::<false>(code, rf, mem, cache, stats, scratch)
+}
+
+/// [`run_group`] with guest-PC attribution enabled: identical
+/// semantics, but additionally records the absolute packed-node index
+/// of every visited tree node into the scratch state's `visited` list
+/// so
+/// retirement code (`daisy::profile`) can attribute cycles and
+/// speculation waste per guest instruction. Kept as a separate
+/// monomorphization so [`run_group`] compiles with zero recording code.
+#[inline]
+pub fn run_group_profiled(
+    code: &GroupCode,
+    rf: &mut RegFile,
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    stats: &mut RunStats,
+    scratch: &mut EngineScratch,
+) -> GroupExit {
+    run_group_impl::<true>(code, rf, mem, cache, stats, scratch)
+}
+
+fn run_group_impl<const PROFILE: bool>(
     code: &GroupCode,
     rf: &mut RegFile,
     mem: &mut Memory,
@@ -367,6 +407,9 @@ pub fn run_group(
         let mut node = packed.roots[vliw] as usize;
         let mut parcels_this_vliw = 0usize;
         loop {
+            if PROFILE {
+                scratch.visited.push(node as u32);
+            }
             let n = &packed.nodes[node];
             parcels_this_vliw += n.len as usize;
             for k in n.start as usize..(n.start + n.len) as usize {
@@ -590,7 +633,14 @@ pub fn run_group(
                         }
                         None => scratch.events.push(ArchEvent::Dir(t)),
                     }
-                    stats.base_instrs += 1;
+                    // Resolution completes the branch instruction, but
+                    // a CTR-decrementing branch also commits its count
+                    // register, which already counted it — dedup
+                    // through the same last-base filter as commits.
+                    if last_base != cond.origin {
+                        last_base = cond.origin;
+                        stats.base_instrs += 1;
+                    }
                     node = if t { taken } else { fall } as usize;
                 }
                 PackedCtrl::Next { vliw: next } => {
@@ -821,7 +871,37 @@ fn exec_parcel_general(
 /// per parcel, exactly as the engine did before the packed format
 /// existed. Only `scratch.events` is used from `scratch` (the event
 /// vector was caller-owned in the old engine too).
+#[inline]
 pub fn run_group_tree(
+    code: &GroupCode,
+    rf: &mut RegFile,
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    stats: &mut RunStats,
+    scratch: &mut EngineScratch,
+) -> GroupExit {
+    run_group_tree_impl::<false>(code, rf, mem, cache, stats, scratch)
+}
+
+/// [`run_group_tree`] with guest-PC attribution enabled: records the
+/// same absolute packed-node indices as [`run_group_profiled`]
+/// (translating tree-local `(vliw, node)` coordinates through
+/// [`PackedGroup::roots`]), so attribution computed from the visit
+/// trace is engine-independent — the packed≡tree property the profile
+/// tests pin.
+#[inline]
+pub fn run_group_tree_profiled(
+    code: &GroupCode,
+    rf: &mut RegFile,
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    stats: &mut RunStats,
+    scratch: &mut EngineScratch,
+) -> GroupExit {
+    run_group_tree_impl::<true>(code, rf, mem, cache, stats, scratch)
+}
+
+fn run_group_tree_impl<const PROFILE: bool>(
     code: &GroupCode,
     rf: &mut RegFile,
     mem: &mut Memory,
@@ -846,6 +926,9 @@ pub fn run_group_tree(
         let mut node = ROOT;
         let mut parcels_this_vliw = 0usize;
         loop {
+            if PROFILE {
+                scratch.visited.push(code.packed.roots[cur.0 as usize] + node.0);
+            }
             let n = &vliw.nodes()[node.0 as usize];
             parcels_this_vliw += n.ops.len();
             for op in &n.ops {
@@ -878,7 +961,13 @@ pub fn run_group_tree(
                         }
                         None => events.push(ArchEvent::Dir(t)),
                     }
-                    stats.base_instrs += 1;
+                    // Same dedup as the packed engine's Cond arm: a
+                    // CTR-decrementing branch's commit already counted
+                    // this instruction.
+                    if last_base != cond.origin {
+                        last_base = cond.origin;
+                        stats.base_instrs += 1;
+                    }
                     node = if t { *taken } else { *fall };
                 }
                 NodeKind::Exit(e) => {

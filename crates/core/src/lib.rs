@@ -25,6 +25,10 @@
 //! * [`trace`] — structured observability: [`trace::TraceSink`] event
 //!   taps, the per-group execution profiler, and the hot/cold
 //!   translation tiers behind [`sched::TierPolicy`].
+//! * [`profile`] — guest-level attribution (`perf` for the guest):
+//!   per-guest-PC cycles, stalls, speculation waste, the §4.2
+//!   VMM-overhead clock, and Chrome-trace / flamegraph / annotated
+//!   disassembly exporters.
 //! * [`error`] — typed faults: [`DaisyError`], and the graceful
 //!   degradation ladder's [`Rung`]/[`Degradation`] vocabulary.
 //! * [`inject`] — deterministic, seed-driven fault-injection campaigns
@@ -61,6 +65,7 @@ pub mod inject;
 pub mod oracle;
 pub mod overhead;
 pub mod precise;
+pub mod profile;
 pub mod sched;
 pub mod stats;
 pub mod system;
@@ -84,6 +89,7 @@ pub use vmm::Vmm;
 /// ```
 pub mod prelude {
     pub use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
+    pub use crate::profile::{GuestProfile, OverheadReport, PcStats, TimelineEvent};
     pub use crate::sched::{TierPolicy, TranslatorConfig};
     pub use crate::stats::{ChainStats, RunStats};
     pub use crate::system::{DaisySystem, DaisySystemBuilder};

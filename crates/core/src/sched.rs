@@ -684,10 +684,10 @@ impl Scheduler<'_> {
             let p = &self.paths[idx];
             (*p.vliws.last().unwrap(), *p.tips.last().unwrap())
         };
-        let (taken_node, fall_node) = self
-            .group
-            .vliw_mut(vid)
-            .split(tip, Cond { src, mask: cond.mask, want_set: cond.want_set, spec_target });
+        let (taken_node, fall_node) = self.group.vliw_mut(vid).split(
+            tip,
+            Cond { src, mask: cond.mask, want_set: cond.want_set, spec_target, origin: addr },
+        );
 
         match taken {
             TakenKind::Sealed(exit) => {

@@ -91,10 +91,18 @@ impl RunStats {
 
     /// Base instructions completed, *approximately*: counted at
     /// architected-commit boundaries and branch resolutions, so
-    /// event-less instructions (`nop`, unconditional `b`) are missed
-    /// and multi-event instructions may count twice. Use the reference
-    /// interpreter's exact count for ILP figures; this value is for
-    /// coarse progress monitoring only.
+    /// event-less instructions (unconditional `b`, which neither
+    /// commits a register nor resolves a condition) are missed — the
+    /// canonical `nop` (`ori r0, r0, 0`) *does* count, since it
+    /// commits r0.
+    /// Re-execution paths are deduplicated — a dispatch retried down
+    /// the degradation ladder rolls its partial count back, and the
+    /// idempotent re-interpretation after a code-modification exit does
+    /// not count the modifying store twice (`tests/stats_pin.rs` pins
+    /// both against the reference interpreter). For fully interpreted
+    /// runs the count is exact; for translated runs use the reference
+    /// interpreter's count for ILP figures — this value is for coarse
+    /// progress monitoring.
     pub fn approx_base_instrs(&self) -> u64 {
         self.base_instrs
     }

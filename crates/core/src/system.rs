@@ -10,10 +10,12 @@
 //! delivered to the base architecture's own vectors.
 
 use crate::engine::{
-    run_group, run_group_tree, ChainLink, EngineScratch, ExcKind, GroupCode, GroupExit,
+    run_group, run_group_profiled, run_group_tree, run_group_tree_profiled, ChainLink,
+    EngineScratch, ExcKind, GroupCode, GroupExit,
 };
 use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
 use crate::precise::{self, ArchEvent, RecoverError};
+use crate::profile::GuestProfile;
 use crate::sched::{TierPolicy, TranslatorConfig};
 use crate::stats::RunStats;
 use crate::trace::{ExcClass, GroupProfiler, Tier, TraceEvent, TraceSink, Tracer};
@@ -78,6 +80,11 @@ pub struct DaisySystem {
     /// Per-group execution profiler (`None` unless enabled through the
     /// builder; tiered retranslation enables it implicitly).
     pub profiler: Option<GroupProfiler>,
+    /// Guest-level attribution profile (`None` unless enabled through
+    /// [`DaisySystemBuilder::guest_profiling`]): per-guest-PC cycles,
+    /// stalls, speculation waste, the §4.2 overhead clock, and the
+    /// dispatch timeline the exporters render (see [`crate::profile`]).
+    pub guest_profile: Option<GuestProfile>,
     /// Promotion threshold, copied out of the VMM's tier policy so the
     /// dispatch loop can test it without borrowing the VMM.
     hot_threshold: Option<u64>,
@@ -117,6 +124,7 @@ pub struct DaisySystemBuilder {
     chaining: bool,
     trace_sink: Option<Box<dyn TraceSink>>,
     profiling: bool,
+    guest_profiling: bool,
     tier_policy: Option<TierPolicy>,
     packed: bool,
 }
@@ -133,6 +141,7 @@ impl Default for DaisySystemBuilder {
             chaining: true,
             trace_sink: None,
             profiling: false,
+            guest_profiling: false,
             tier_policy: None,
             packed: true,
         }
@@ -212,6 +221,17 @@ impl DaisySystemBuilder {
         self
     }
 
+    /// Enables guest-level attribution ([`DaisySystem::guest_profile`]):
+    /// per-guest-PC cycle/stall/waste accounting plus the dispatch
+    /// timeline and §4.2 overhead clock behind the exporters in
+    /// [`crate::profile`] (default off). Selects the profiled engine
+    /// variants, which record each dispatch's retirement trace; the
+    /// non-profiled engines carry zero recording code.
+    pub fn guest_profiling(mut self, on: bool) -> Self {
+        self.guest_profiling = on;
+        self
+    }
+
     /// Enables profile-guided tiered retranslation under `policy`:
     /// groups whose dispatch count crosses the policy's hot threshold
     /// are dropped and rebuilt with the policy's wider scheduling
@@ -254,6 +274,7 @@ impl DaisySystemBuilder {
             pending_chain: None,
             packed: self.packed,
             profiler: self.profiling.then(GroupProfiler::new),
+            guest_profile: self.guest_profiling.then(GuestProfile::new),
             hot_threshold,
             ladder: HashMap::new(),
             interp_pages: HashSet::new(),
@@ -325,14 +346,25 @@ impl DaisySystem {
     /// translator-invariant violation, never expected in a correct
     /// build.
     pub fn run(&mut self, max_cycles: u64) -> Result<StopReason, DaisyError> {
-        loop {
+        let stop = loop {
             if self.stats.cycles() >= max_cycles {
-                return Ok(StopReason::MaxInstrs);
+                break StopReason::MaxInstrs;
             }
             if let Some(stop) = self.step()? {
-                return Ok(stop);
+                break stop;
             }
+        };
+        // VMM events are mirrored into the guest profile at the start
+        // of each step; flush whatever the final step produced (e.g. a
+        // cast-out during the last translation) before returning.
+        if let Some(gp) = &mut self.guest_profile {
+            gp.sync_vmm_events(
+                self.vmm.degradations(),
+                self.vmm.stats.cast_outs,
+                self.stats.cycles(),
+            );
         }
+        Ok(stop)
     }
 
     /// Executes exactly one dispatch step — one group boundary: pending
@@ -354,6 +386,16 @@ impl DaisySystem {
     #[inline]
     pub fn step(&mut self) -> Result<Option<StopReason>, DaisyError> {
         self.handle_code_writes();
+        // Mirror VMM events (degradations, cast-outs) into the guest
+        // profile's timeline; syncing at the group boundary keeps the
+        // hot paths that produce them free of profiling hooks.
+        if let Some(gp) = &mut self.guest_profile {
+            gp.sync_vmm_events(
+                self.vmm.degradations(),
+                self.vmm.stats.cast_outs,
+                self.stats.cycles(),
+            );
+        }
         // Timer tick / posted external interrupts, at precise group
         // boundaries (every architected register is exact here).
         if let Some(period) = self.timer_period {
@@ -425,7 +467,19 @@ impl DaisySystem {
             }
             None => {
                 self.stats.groups_entered += 1;
+                let xlate_before = self
+                    .guest_profile
+                    .as_ref()
+                    .map(|_| (self.vmm.stats.groups_translated, self.vmm.cost.instrs_scheduled));
                 let code = self.vmm.entry_with_cpu(&mut self.mem, pc, Some(&self.cpu));
+                // Feed any translation work this dispatch triggered
+                // into the §4.2 overhead clock (first-touch vs
+                // retranslation is classified by the clock itself).
+                if let (Some(gp), Some((g0, i0))) = (&mut self.guest_profile, xlate_before) {
+                    if self.vmm.stats.groups_translated > g0 {
+                        gp.overhead_mut().note_translation(pc, self.vmm.cost.instrs_scheduled - i0);
+                    }
+                }
                 if self.chaining {
                     match pending {
                         Some(PendingChain::Direct { from, slot, target }) if target == pc => {
@@ -457,6 +511,12 @@ impl DaisySystem {
 
         let profiled_before =
             self.profiler.as_ref().map(|_| (self.stats.vliws_executed, self.stats.stall_cycles));
+        let guest_before =
+            self.guest_profile.as_ref().map(|_| (self.stats.cycles(), self.stats.stall_cycles));
+        // Snapshot for the recovery-retry path below: a dispatch whose
+        // recovery cross-check fails is re-run in full one rung down,
+        // so its base-instruction commits must not count twice.
+        let base_instrs_before = self.stats.base_instrs;
         let mut rf = RegFile::from_cpu(&self.cpu);
         // Entries faulted down the ladder run on the reference tree
         // engine (the conservative rung also retranslated without
@@ -466,7 +526,12 @@ impl DaisySystem {
         } else {
             Rung::Packed
         };
-        let engine = if self.packed && rung == Rung::Packed { run_group } else { run_group_tree };
+        let engine = match (self.packed && rung == Rung::Packed, self.guest_profile.is_some()) {
+            (true, false) => run_group,
+            (true, true) => run_group_profiled,
+            (false, false) => run_group_tree,
+            (false, true) => run_group_tree_profiled,
+        };
         let exit = engine(
             &code,
             &mut rf,
@@ -487,10 +552,28 @@ impl DaisySystem {
             {
                 // Discard `rf`; architected state is untouched, so the
                 // next step re-dispatches the same PC one rung down.
+                // The retry re-executes (and re-counts) every base
+                // instruction the aborted attempt committed — roll the
+                // counter back so each executes-once instruction counts
+                // once. Cycles stay: the failed attempt's time is real.
+                self.stats.base_instrs = base_instrs_before;
                 return Ok(None);
             }
         }
         rf.write_back(&mut self.cpu);
+
+        // Guest-level attribution: distribute the dispatch's cycles,
+        // stalls, and speculation waste over the guest PCs on its taken
+        // path, from the retirement trace the profiled engine recorded.
+        if let (Some(gp), Some((c0, s0))) = (&mut self.guest_profile, guest_before) {
+            gp.record_dispatch(
+                &code,
+                &self.scratch.visited,
+                self.stats.stall_cycles - s0,
+                c0,
+                self.stats.cycles() - c0,
+            );
+        }
 
         // Attribute this dispatch to the group's entry and promote
         // it to the hot tier when its dispatch count crosses the
@@ -554,7 +637,16 @@ impl DaisySystem {
                 self.vmm.tracer.emit(|| TraceEvent::CodeModified { addr });
                 self.handle_code_writes();
                 self.cpu.pc = addr;
-                if let Some(stop) = self.interp_one() {
+                // The group already counted the modifying store's
+                // commit; its idempotent re-interpretation must not
+                // count the instruction a second time (the interpreter
+                // cycle stays — the service time is real).
+                let base_before = self.stats.base_instrs;
+                let stop = self.interp_one();
+                if self.stats.base_instrs > base_before {
+                    self.stats.base_instrs -= 1;
+                }
+                if let Some(stop) = stop {
                     return Ok(Some(stop));
                 }
             }

@@ -688,7 +688,8 @@ impl Cpu {
                 }
                 self.msr = self.srr1;
                 self.pc = self.srr0 & !3;
-                self.ninstrs += 1;
+                // Counted by `execute` like every completed
+                // instruction — no extra increment here.
                 return Event::Continue;
             }
             Insn::Sync | Insn::Isync | Insn::Eieio => {}
@@ -738,7 +739,9 @@ impl Cpu {
             self.lr = next;
         }
         self.pc = if taken { target } else { next };
-        self.ninstrs += 1;
+        // Counted by `execute` like every completed instruction — an
+        // extra increment here double-counted every branch, inflating
+        // each ILP denominator (see `tests/stats_pin.rs`).
         Event::Continue
     }
 
@@ -1147,9 +1150,13 @@ mod tests {
             .unwrap();
         mem.write_u32(vectors::SYSCALL + 4, encode(&Insn::Rfi)).unwrap();
         cpu.vectored = true;
-        // First sc vectors, handler sets r9 and rfi's back; after the
-        // second sc we land in the handler again — stop via max instrs.
-        cpu.run(&mut mem, 8).unwrap();
+        // First sc vectors, handler sets r9 and rfi's back; the second
+        // sc vectors again and the handler's rfi is the 7th completed
+        // instruction — stop exactly there via max instrs (running
+        // further would fall off the program into zeroed memory).
+        let stop = cpu.run(&mut mem, 7).unwrap();
+        assert_eq!(stop, StopReason::MaxInstrs);
+        assert_eq!(cpu.ninstrs, 7, "sc/addi/rfi twice plus li r7 count once each");
         assert_eq!(cpu.gpr[9], 42);
         assert_eq!(cpu.gpr[7], 1);
     }

@@ -208,6 +208,17 @@ pub struct PackedGroup {
     /// [`PackedCtrl::Leave::slot`] indexes this table (and the runtime
     /// chain-link table kept parallel to it).
     exit_targets: Vec<u32>,
+    /// Provenance side-table, parallel to `ops`: the base-architecture
+    /// address (`Operation::base_addr`) of the guest instruction each
+    /// arena slot was scheduled from. Kept *outside* [`OpMeta`] on
+    /// purpose — the execution hot loop never reads it; retirement and
+    /// sampling code (`daisy::profile`) indexes it by arena slot.
+    origin: Vec<u32>,
+    /// Owning-VLIW side-table, parallel to `nodes`: the VLIW index each
+    /// flattened node belongs to, so retirement code can map an
+    /// absolute node index back to its VLIW (and from there to the
+    /// VLIW's `base_entry`) without a binary search over `roots`.
+    node_vliw: Vec<u32>,
 }
 
 impl PackedGroup {
@@ -236,14 +247,18 @@ impl PackedGroup {
         let mut meta = Vec::with_capacity(total_ops);
         let mut nodes = Vec::with_capacity(total_nodes);
         let mut roots = Vec::with_capacity(group.vliws.len());
+        let mut origin = Vec::with_capacity(total_ops);
+        let mut node_vliw = Vec::with_capacity(total_nodes);
 
-        for v in &group.vliws {
+        for (vi, v) in group.vliws.iter().enumerate() {
             let base = nodes.len() as u32;
             roots.push(base);
             for n in v.nodes() {
                 let start = ops.len() as u32;
                 ops.extend(n.ops.iter().copied());
                 meta.extend(n.ops.iter().map(OpMeta::decode));
+                origin.extend(n.ops.iter().map(|o| o.base_addr));
+                node_vliw.push(vi as u32);
                 let ctrl = match &n.kind {
                     NodeKind::Open => panic!("cannot lower an open node"),
                     NodeKind::Branch { cond, taken, fall } => {
@@ -265,7 +280,7 @@ impl PackedGroup {
                 nodes.push(PackedNode { start, len: ops.len() as u32 - start, ctrl });
             }
         }
-        PackedGroup { ops, meta, nodes, roots, exit_targets }
+        PackedGroup { ops, meta, nodes, roots, exit_targets, origin, node_vliw }
     }
 
     /// Sorted distinct direct-branch exit targets — one chain-link slot
@@ -285,6 +300,37 @@ impl PackedGroup {
     pub fn node_ops(&self, node: &PackedNode) -> &[Operation] {
         &self.ops[node.start as usize..(node.start + node.len) as usize]
     }
+
+    /// The provenance side-table: `origins()[k]` is the base-architecture
+    /// address of the guest instruction arena slot `k` was scheduled
+    /// from (parallel to [`PackedGroup::ops`]).
+    pub fn origins(&self) -> &[u32] {
+        &self.origin
+    }
+
+    /// Origin guest PC of arena slot `k` (see [`PackedGroup::origins`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of bounds of the op arena.
+    pub fn origin_pc(&self, k: usize) -> u32 {
+        self.origin[k]
+    }
+
+    /// The guest-PC provenance of `node`'s parcel run, parallel to
+    /// [`PackedGroup::node_ops`].
+    pub fn node_origins(&self, node: &PackedNode) -> &[u32] {
+        &self.origin[node.start as usize..(node.start + node.len) as usize]
+    }
+
+    /// The owning VLIW index of the node at absolute index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds of the node table.
+    pub fn node_vliw(&self, idx: usize) -> u32 {
+        self.node_vliw[idx]
+    }
 }
 
 #[cfg(test)]
@@ -301,7 +347,8 @@ mod tests {
         let mut g = Group::new(0x1000);
         let v0 = &mut g.vliws[0];
         v0.add_op(ROOT, alu());
-        let cond = Cond { src: Reg(64), mask: 0b0010, want_set: true, spec_target: None };
+        let cond =
+            Cond { src: Reg(64), mask: 0b0010, want_set: true, spec_target: None, origin: 0x1000 };
         let (t, f) = v0.split(ROOT, cond);
         v0.seal(t, Exit::Branch { target: 0x2000 });
         v0.add_op(f, alu());
@@ -332,6 +379,47 @@ mod tests {
         // Fall side: one parcel, then into VLIW 1.
         assert_eq!(p.nodes[2].ctrl, PackedCtrl::Next { vliw: 1 });
         assert_eq!(p.node_ops(&p.nodes[2]).len(), 1);
+    }
+
+    #[test]
+    fn provenance_side_table_tracks_arena_slots() {
+        let mut g = Group::new(0x1000);
+        let v0 = &mut g.vliws[0];
+        v0.add_op(ROOT, Operation::new(OpKind::Add, 0x1000).dst(Reg(32)).src(Reg(1)).src(Reg(2)));
+        v0.add_op(ROOT, Operation::new(OpKind::Li, 0x1004).dst(Reg(33)));
+        let cond =
+            Cond { src: Reg(64), mask: 0b0010, want_set: true, spec_target: None, origin: 0x1008 };
+        let (t, f) = v0.split(ROOT, cond);
+        v0.add_op(t, Operation::new(OpKind::Add, 0x200c).dst(Reg(34)).src(Reg(1)).src(Reg(2)));
+        v0.seal(t, Exit::Branch { target: 0x2000 });
+        v0.seal(f, Exit::Branch { target: 0x100c });
+        let p = PackedGroup::lower(&g);
+
+        // Arena-slot provenance is parallel to the op arena and mirrors
+        // each parcel's base_addr without the hot loop touching ops.
+        assert_eq!(p.origins(), &[0x1000, 0x1004, 0x200c]);
+        assert_eq!(p.origins().len(), p.ops.len());
+        for (k, op) in p.ops.iter().enumerate() {
+            assert_eq!(p.origin_pc(k), op.base_addr);
+        }
+        // Node-level views line up with node_ops.
+        assert_eq!(p.node_origins(&p.nodes[0]), &[0x1000, 0x1004]);
+        assert_eq!(p.node_origins(&p.nodes[1]), &[0x200c]);
+        assert!(p.node_origins(&p.nodes[2]).is_empty());
+        // Branch provenance rides on the lowered condition.
+        let PackedCtrl::Cond { cond, .. } = p.nodes[0].ctrl else { panic!("root splits") };
+        assert_eq!(cond.origin, 0x1008);
+    }
+
+    #[test]
+    fn node_vliw_side_table_maps_absolute_indices() {
+        let g = two_vliw_group();
+        let p = PackedGroup::lower(&g);
+        // VLIW 0 owns nodes 0..3, VLIW 1 owns node 3.
+        assert_eq!(
+            (0..p.nodes.len()).map(|i| p.node_vliw(i)).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1]
+        );
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct Cond {
     /// (`if reg == T continue at T`, paper Ch. 6); the *fall* side
     /// continues at base address `T`. Needed by exception recovery.
     pub spec_target: Option<u32>,
+    /// Base-architecture address of the branch instruction this split
+    /// was scheduled for. Pure provenance: never consulted on the
+    /// execution fast path, only at retirement/sampling points so
+    /// branch-resolution work can be attributed to the guest PC that
+    /// caused it (`daisy::profile`).
+    pub origin: u32,
 }
 
 impl Cond {
@@ -389,7 +395,8 @@ mod tests {
     fn build_a_tree() {
         let mut v = Vliw::new(0x1000);
         v.add_op(ROOT, alu_op());
-        let cond = Cond { src: Reg(64), mask: 0b0010, want_set: true, spec_target: None };
+        let cond =
+            Cond { src: Reg(64), mask: 0b0010, want_set: true, spec_target: None, origin: 0x1000 };
         let (t, fall) = v.split(ROOT, cond);
         v.seal(t, Exit::Branch { target: 0x2000 });
         v.add_op(fall, alu_op());
@@ -439,10 +446,12 @@ mod tests {
 
     #[test]
     fn cond_evaluation() {
-        let c = Cond { src: Reg(64), mask: 0b0010, want_set: true, spec_target: None };
+        let c =
+            Cond { src: Reg(64), mask: 0b0010, want_set: true, spec_target: None, origin: 0x1000 };
         assert!(c.holds(0b0010));
         assert!(!c.holds(0b1000));
-        let c = Cond { src: Reg(64), mask: 0b0010, want_set: false, spec_target: None };
+        let c =
+            Cond { src: Reg(64), mask: 0b0010, want_set: false, spec_target: None, origin: 0x1000 };
         assert!(!c.holds(0b0010));
         assert!(c.holds(0b0100));
     }

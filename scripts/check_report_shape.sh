@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# JSON-shape assertion for BENCH_report.json: every workload entry must
+# carry all five report metrics, and the document must close with the
+# geomean block. Pure grep — no JSON tooling assumed on the CI host;
+# the strict structural validation lives in
+# crates/bench/tests/report_schema.rs.
+set -euo pipefail
+
+report="${1:?usage: check_report_shape.sh <BENCH_report.json> [expected-workloads]}"
+expected="${2:-}"
+
+[ -s "$report" ] || { echo "error: $report is missing or empty" >&2; exit 1; }
+
+# Count only inside the workloads array — the geomean block repeats
+# the ILP keys.
+workloads_slice() { sed -n '/"workloads":/,/"geomean":/{/"geomean":/!p;}' "$report"; }
+
+entries=$(workloads_slice | grep -c '"name":' || true)
+for key in finite_ilp infinite_ilp ops_per_vliw overhead_per_base_instr waste_fraction; do
+  n=$(workloads_slice | grep -c "\"$key\":" || true)
+  if [ "$n" -ne "$entries" ]; then
+    echo "error: metric '$key' appears $n times for $entries workloads in $report" >&2
+    exit 1
+  fi
+done
+
+grep -q '"geomean":' "$report" || { echo "error: geomean block missing in $report" >&2; exit 1; }
+
+if [ -n "$expected" ] && [ "$entries" -ne "$expected" ]; then
+  echo "error: expected $expected workloads, found $entries in $report" >&2
+  exit 1
+fi
+
+echo "ok: $report carries all five metrics for $entries workload(s)"

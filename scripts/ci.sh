@@ -25,3 +25,19 @@ cargo test -q -p daisy-bench --benches
 # the fast workloads. Fails on any panic, unrecoverable error, oracle
 # divergence, or a fault kind that never records a ladder step.
 cargo run -q --release -p daisy-bench --bin inject -- --seeds 32
+
+# Guest-profile report smoke: two workloads through the full
+# provenance → attribution → export pipeline. The shape assertion
+# checks all five metrics per workload; the sort Chrome trace is kept
+# as a CI artifact (load it in chrome://tracing or Perfetto — see
+# docs/observability.md).
+artifacts=target/ci-artifacts
+mkdir -p "$artifacts"
+cargo run -q --release -p daisy-bench --bin report -- \
+  --out "$artifacts/BENCH_report.smoke.json" \
+  --trace-dir "$artifacts" wc sort
+scripts/check_report_shape.sh "$artifacts/BENCH_report.smoke.json" 2
+[ -s "$artifacts/sort.trace.json" ] || {
+  echo "error: sort Chrome trace artifact missing" >&2
+  exit 1
+}

@@ -139,6 +139,93 @@ fn hint_budget_exhaustion_is_surfaced() {
     );
 }
 
+/// Guest-level attribution must survive the degradation ladder: with
+/// profiling on, a full Packed → Tree → Conservative → Interpret walk
+/// still records every forced step as a `"degrade"` instant on the
+/// timeline, and the conservation invariant (attributed issue and
+/// stall cycles equal the run totals) holds across the tier changes.
+#[test]
+fn guest_profile_survives_ladder_walk() {
+    let w = daisy_workloads::by_name("cmp").expect("known workload");
+    let prog = w.program();
+    let mut sys = DaisySystem::builder().mem_size(w.mem_size).guest_profiling(true).build();
+    sys.load(&prog).unwrap();
+    let entry = prog.entry;
+    // Two rungs down: Conservative still dispatches translated groups,
+    // so attribution keeps flowing after the tier changes.
+    for _ in 0..2 {
+        sys.degrade(entry, DegradeCause::Forced).expect("ladder has a rung left");
+    }
+    let stop = sys.run(50 * w.max_instrs).unwrap();
+    assert_eq!(stop, StopReason::Syscall);
+    w.check(&sys.cpu, &sys.mem).expect("checker passes under profiling + degradation");
+
+    let gp = sys.guest_profile.as_ref().expect("profiling was enabled");
+    let degrade_instants = gp
+        .timeline()
+        .iter()
+        .filter(|e| matches!(e, TimelineEvent::Instant { label: "degrade", .. }))
+        .count();
+    assert_eq!(degrade_instants, 2, "both forced steps must appear on the timeline");
+
+    let issue = gp.total_issue_cycles();
+    let stalls = gp.total_stall_cycles();
+    let tol = |x: f64| 1e-6 * x.max(1.0);
+    assert!(
+        (issue - sys.stats.vliws_executed as f64).abs() <= tol(issue),
+        "attributed issue cycles {} must match vliws_executed {}",
+        issue,
+        sys.stats.vliws_executed
+    );
+    assert!(
+        (stalls - sys.stats.stall_cycles as f64).abs() <= tol(stalls),
+        "attributed stall cycles {} must match stall_cycles {}",
+        stalls,
+        sys.stats.stall_cycles
+    );
+    assert!(gp.dispatches() > 0, "degraded tiers still dispatch translated groups");
+}
+
+/// Cast-outs forced by a clamped translation cache must surface as
+/// `"cast_out"` instants on the profiled timeline, so a trace viewer
+/// shows exactly when the cache thrashed. Every workload must show one
+/// instant per recorded cast-out (including zero for single-page
+/// programs that structurally cannot thrash), and the clamp must force
+/// thrash somewhere in the suite.
+#[test]
+fn guest_profile_records_cast_outs_under_clamp() {
+    let mut cast_outs_total = 0u64;
+    for w in daisy_workloads::all() {
+        let (ref_cpu, ref_mem) = run_reference(&w);
+
+        let prog = w.program();
+        let mut sys = DaisySystem::builder()
+            .mem_size(w.mem_size)
+            .translator(TranslatorConfig { page_size: 256, ..TranslatorConfig::default() })
+            .code_capacity(512)
+            .guest_profiling(true)
+            .build();
+        sys.load(&prog).unwrap();
+        let stop = sys.run(50 * w.max_instrs).unwrap();
+        assert_eq!(stop, StopReason::Syscall, "{}: profiled clamped run did not finish", w.name);
+        assert_state_matches(&w, &sys, &ref_cpu, &ref_mem);
+
+        let gp = sys.guest_profile.as_ref().expect("profiling was enabled");
+        let cast_out_instants = gp
+            .timeline()
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::Instant { label: "cast_out", .. }))
+            .count() as u64;
+        assert_eq!(
+            cast_out_instants, sys.vmm.stats.cast_outs,
+            "{}: every cast-out must appear as a timeline instant",
+            w.name
+        );
+        cast_outs_total += sys.vmm.stats.cast_outs;
+    }
+    assert!(cast_outs_total > 0, "the clamp must force cast-outs somewhere");
+}
+
 /// A short program comfortably inside the budget must NOT trip it:
 /// exhaustion means "ran dry before a natural stopping point", not
 /// "gathered hints at all".
