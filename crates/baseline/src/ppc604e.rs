@@ -13,10 +13,11 @@
 //! primitive converter the translator uses, so CISCy instructions
 //! (`lmw`, record forms) naturally occupy multiple issue slots.
 
-use daisy::convert::{convert, Flow};
-use daisy::oracle::effective_address_of;
 use daisy_cachesim::Hierarchy;
+use daisy_isa::convert::Flow;
+use daisy_isa::GuestCpu;
 use daisy_ppc::asm::Program;
+use daisy_ppc::convert::convert;
 use daisy_ppc::interp::{Cpu, Event, StopReason};
 use daisy_ppc::mem::Memory;
 use daisy_vliw::op::OpKind;
@@ -97,7 +98,7 @@ pub fn run(
             Err(_) => break StopReason::StorageFault { addr: cpu.pc, write: false, fetch: true },
         };
         let pc = cpu.pc;
-        let ea = effective_address_of(&cpu, &insn);
+        let ea = GuestCpu::effective_address(&cpu, &insn);
 
         // Instruction fetch through the I-side hierarchy.
         cycle += u64::from(cache.access_instr(pc).penalty);

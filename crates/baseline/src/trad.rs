@@ -27,6 +27,7 @@ use daisy_cachesim::Hierarchy;
 use daisy_ppc::asm::Program;
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
 use daisy_vliw::machine::MachineConfig;
 
 /// Result of a traditional-compiler run.
@@ -86,7 +87,7 @@ pub fn run_traditional(
     rcpu.run(&mut rmem, max_instrs).expect("reference run");
     let base_instrs = rcpu.ninstrs;
 
-    let mut sys = DaisySystem::with_config(
+    let mut sys = DaisySystem::<PpcIsa>::with_config(
         mem_size,
         traditional_config(machine, prof),
         Hierarchy::infinite(),
@@ -129,7 +130,7 @@ mod tests {
         let trad = run_traditional(&prog, 0x20000, machine.clone(), 1_000_000);
         assert_eq!(trad.stop, StopReason::Syscall);
 
-        let mut sys = DaisySystem::new(0x20000);
+        let mut sys = DaisySystem::<PpcIsa>::new(0x20000);
         sys.load(&prog).unwrap();
         sys.run(10_000_000).unwrap();
         let daisy_ilp = sys.stats.pathlength_reduction(trad.base_instrs);

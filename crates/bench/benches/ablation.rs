@@ -18,7 +18,7 @@ fn bench_ablations(c: &mut Criterion) {
     for window in [16u32, 64, 256] {
         let cfg = TranslatorConfig { window_size: window, ..TranslatorConfig::default() };
         g.bench_with_input(BenchmarkId::new("window", window), &cfg, |b, cfg| {
-            b.iter(|| black_box(translate_group(cfg, &mem, prog.entry)));
+            b.iter(|| black_box(translate_group::<daisy_ppc::PpcIsa>(cfg, &mem, prog.entry)));
         });
     }
     for (label, rename, spec) in
@@ -26,7 +26,7 @@ fn bench_ablations(c: &mut Criterion) {
     {
         let cfg = TranslatorConfig { rename, speculate_loads: spec, ..TranslatorConfig::default() };
         g.bench_with_input(BenchmarkId::new("mode", label), &cfg, |b, cfg| {
-            b.iter(|| black_box(translate_group(cfg, &mem, prog.entry)));
+            b.iter(|| black_box(translate_group::<daisy_ppc::PpcIsa>(cfg, &mem, prog.entry)));
         });
     }
     g.finish();

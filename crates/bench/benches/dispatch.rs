@@ -10,14 +10,20 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use daisy::prelude::*;
+use daisy_workloads::Workload;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 const WORKLOADS: &[&str] = &["hist", "compress", "c_sieve"];
 
-fn run_once(w: &Workload, prog: &daisy_ppc::asm::Program, chaining: bool) -> DaisySystem {
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).chaining(chaining).build();
+fn run_once(
+    w: &Workload,
+    prog: &daisy_ppc::asm::Program,
+    chaining: bool,
+) -> DaisySystem<daisy_ppc::PpcIsa> {
+    let mut sys =
+        DaisySystem::<daisy_ppc::PpcIsa>::builder().mem_size(w.mem_size).chaining(chaining).build();
     sys.load(prog).unwrap();
     sys.run(10 * w.max_instrs).unwrap();
     sys

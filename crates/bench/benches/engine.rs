@@ -24,8 +24,15 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-fn run_once(w: &Workload, prog: &daisy_ppc::asm::Program, packed: bool) -> DaisySystem {
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).packed_execution(packed).build();
+fn run_once(
+    w: &Workload,
+    prog: &daisy_ppc::asm::Program,
+    packed: bool,
+) -> DaisySystem<daisy_ppc::PpcIsa> {
+    let mut sys = DaisySystem::<daisy_ppc::PpcIsa>::builder()
+        .mem_size(w.mem_size)
+        .packed_execution(packed)
+        .build();
     sys.load(prog).unwrap();
     sys.run(10 * w.max_instrs).unwrap();
     w.check(&sys.cpu, &sys.mem)
@@ -39,7 +46,7 @@ fn measure(
     prog: &daisy_ppc::asm::Program,
     packed: bool,
     reps: u32,
-) -> (f64, DaisySystem) {
+) -> (f64, DaisySystem<daisy_ppc::PpcIsa>) {
     let mut best = f64::INFINITY;
     let mut sys = None;
     for _ in 0..reps {

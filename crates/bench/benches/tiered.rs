@@ -12,6 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use daisy::prelude::*;
 use daisy_bench::runner::{self, Measurement};
 use daisy_cachesim::Hierarchy;
+use daisy_workloads::Workload;
 use std::fmt::Write as _;
 use std::hint::black_box;
 

@@ -16,10 +16,12 @@ fn bench_translate(c: &mut Criterion) {
         prog.load_into(&mut mem).unwrap();
         let cfg = TranslatorConfig::default();
         // Report throughput in base instructions scheduled per second.
-        let (_, cost) = translate_group(&cfg, &mem, prog.entry);
+        let (_, cost) = translate_group::<daisy_ppc::PpcIsa>(&cfg, &mem, prog.entry);
         g.throughput(Throughput::Elements(cost.instrs_scheduled));
         g.bench_function(w.name, |b| {
-            b.iter(|| black_box(translate_group(&cfg, &mem, black_box(prog.entry))));
+            b.iter(|| {
+                black_box(translate_group::<daisy_ppc::PpcIsa>(&cfg, &mem, black_box(prog.entry)))
+            });
         });
     }
     g.finish();

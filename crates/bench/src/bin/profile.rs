@@ -47,7 +47,7 @@ fn parse_args() -> Options {
     opts
 }
 
-fn profile_workload(w: &Workload, opts: &Options) {
+fn profile_workload(w: &daisy_workloads::Workload, opts: &Options) {
     let sink = RingSink::new(1 << 16);
     let sys = run_profiled(
         w,

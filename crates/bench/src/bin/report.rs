@@ -103,7 +103,7 @@ fn main() {
             write_artifact(dir, format!("{}.folded", w.name), &folded);
         }
         if let Some(dir) = &opts.annotate_dir {
-            let annotated = annotated_disassembly(gp, &sys.mem, w.name);
+            let annotated = annotated_disassembly::<daisy_ppc::PpcIsa>(gp, &sys.mem, w.name);
             write_artifact(dir, format!("{}.txt", w.name), &annotated);
         }
         reports.push(r);

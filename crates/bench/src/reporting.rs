@@ -11,6 +11,8 @@
 use crate::runner::run_reference;
 use daisy::prelude::*;
 use daisy::profile::chrome_trace_json;
+use daisy_ppc::PpcIsa;
+use daisy_workloads::Workload;
 use std::fmt::Write as _;
 
 /// Configuration for one profiled run (see [`run_profiled`]).
@@ -50,8 +52,8 @@ pub fn resolve_workloads(names: &[String]) -> Vec<Workload> {
 
 /// Runs `w` to completion under DAISY with group profiling always on
 /// and the given extras, asserting the workload's result check.
-pub fn run_profiled(w: &Workload, cfg: RunConfig) -> DaisySystem {
-    let mut builder = DaisySystem::builder()
+pub fn run_profiled(w: &Workload, cfg: RunConfig) -> DaisySystem<PpcIsa> {
+    let mut builder = DaisySystem::<PpcIsa>::builder()
         .mem_size(w.mem_size)
         .cache(cfg.cache)
         .profiling(true)
@@ -99,7 +101,7 @@ pub struct WorkloadReport {
 /// Runs `w` once under the paper's finite cache with guest profiling
 /// and distills the metric bundle; returns the system too so callers
 /// can export traces from the same run.
-pub fn report_workload(w: &Workload) -> (WorkloadReport, DaisySystem) {
+pub fn report_workload(w: &Workload) -> (WorkloadReport, DaisySystem<PpcIsa>) {
     let base_instrs = run_reference(w).ninstrs;
     let sys = run_profiled(
         w,
@@ -126,7 +128,7 @@ pub fn report_workload(w: &Workload) -> (WorkloadReport, DaisySystem) {
 }
 
 /// Renders the Chrome trace for a completed guest-profiled run.
-pub fn chrome_trace_for(sys: &DaisySystem, workload: &str) -> String {
+pub fn chrome_trace_for(sys: &DaisySystem<PpcIsa>, workload: &str) -> String {
     let gp = sys.guest_profile.as_ref().expect("guest profiling enabled");
     chrome_trace_json(gp, workload)
 }

@@ -8,6 +8,7 @@ use daisy::system::DaisySystem;
 use daisy_cachesim::{CacheStats, Hierarchy};
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
 use daisy_workloads::Workload;
 
 /// Everything one DAISY run produces.
@@ -75,7 +76,8 @@ pub fn run_daisy_tiered(
     let base_instrs = run_reference(w).ninstrs;
     let prog = w.program();
     let static_words = u64::from(prog.code_size() / 4);
-    let mut builder = DaisySystem::builder().mem_size(w.mem_size).translator(cfg).cache(cache);
+    let mut builder =
+        DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).translator(cfg).cache(cache);
     if let Some(policy) = policy {
         builder = builder.tiered(policy);
     }

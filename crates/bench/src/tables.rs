@@ -896,8 +896,12 @@ pub fn oracle_table() -> Vec<OracleRow> {
             let run = |machine: Option<MachineConfig>| {
                 let mut mem = Memory::new(w.mem_size);
                 prog.load_into(&mut mem).expect("fits");
-                let (r, _) =
-                    oracle::run_oracle_to_stop(&mut mem, prog.entry, machine, w.max_instrs);
+                let (r, _) = oracle::run_oracle_to_stop::<daisy_ppc::PpcIsa>(
+                    &mut mem,
+                    prog.entry,
+                    machine,
+                    w.max_instrs,
+                );
                 r.ilp()
             };
             OracleRow {

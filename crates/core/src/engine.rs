@@ -13,11 +13,10 @@ use crate::precise::ArchEvent;
 use crate::stats::RunStats;
 use crate::trace::Tier;
 use daisy_cachesim::Hierarchy;
-use daisy_ppc::insn::MemWidth;
-use daisy_ppc::interp::compare;
-use daisy_ppc::mem::Memory;
+use daisy_isa::mem::Memory;
 use daisy_vliw::op::{
-    effective_address, effective_address_inline, eval, eval_inline, EvalOut, OpKind, Operation,
+    compare, effective_address, effective_address_inline, eval, eval_inline, EvalOut, MemWidth,
+    OpKind, Operation,
 };
 use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup};
 use daisy_vliw::reg::{Reg, NUM_REGS};
@@ -1171,6 +1170,7 @@ fn exec_parcel(
 mod tests {
     use super::*;
     use crate::sched::{translate_group, TranslatorConfig};
+    use daisy_isa::GuestCpu as _;
     use daisy_ppc::asm::Asm;
     use daisy_ppc::interp::Cpu;
     use daisy_ppc::reg::{CrField, Gpr};
@@ -1182,7 +1182,7 @@ mod tests {
         let mut mem = Memory::new(0x40000);
         prog.load_into(&mut mem).unwrap();
         let cfg = TranslatorConfig::default();
-        let (group, _) = translate_group(&cfg, &mem, prog.entry);
+        let (group, _) = translate_group::<daisy_ppc::PpcIsa>(&cfg, &mem, prog.entry);
         let n = group.len();
         let code = GroupCode::new(group, (0..n as u32).map(|i| 0x8000_0000 + i * 64).collect());
         (code, mem)
@@ -1351,7 +1351,7 @@ mod tests {
         cpu.run(&mut mem2, 100).unwrap();
 
         let mut cpu_daisy = Cpu::new(0);
-        rf.write_back(&mut cpu_daisy);
+        cpu_daisy.write_back(&rf);
         for i in 0..32 {
             assert_eq!(cpu_daisy.gpr[i], cpu.gpr[i], "r{i} mismatch");
         }

@@ -8,9 +8,9 @@
 //! each of those into a reproducible *campaign*: a [`FaultKind`] plus a
 //! seed fully determine every perturbation, the perturbed
 //! [`DaisySystem`] runs to completion on the degradation ladder (see
-//! [`crate::error`]), and the final architected state — GPRs, CR, LR,
-//! CTR, XER, MSR, SRR0/1, DAR, DSISR, and all of memory — is diffed bit
-//! for bit against the pure-interpreter oracle.
+//! [`crate::error`]), and the final architected state — every guest
+//! register ([`GuestCpu::state_diff`]) and all of memory — is diffed
+//! bit for bit against the pure-interpreter oracle.
 //!
 //! Perturbations are applied at group boundaries via
 //! [`DaisySystem::step`], mirroring the paper's §3.7 observation that
@@ -34,14 +34,8 @@ use crate::error::{DaisyError, DegradeCause};
 use crate::stats::RunStats;
 use crate::system::DaisySystem;
 use crate::vmm::VmmStats;
-use daisy_ppc::asm::Program;
-use daisy_ppc::decode::decode;
-use daisy_ppc::insn::Insn;
-use daisy_ppc::interp::{Cpu, StopReason};
-use daisy_ppc::mem::Memory;
-use daisy_ppc::reg::msr_bits;
-use daisy_ppc::vectors;
-use daisy_workloads::Workload;
+use daisy_isa::mem::Memory;
+use daisy_isa::{GuestCpu, Isa, Program, StopReason, Workload};
 use std::fmt;
 
 /// SplitMix64: a tiny, high-quality, dependency-free generator. One
@@ -247,32 +241,23 @@ impl fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
-/// An instruction word guaranteed to decode as [`Insn::Invalid`]
-/// (verified against the real decoder, so splices stay honest if the
-/// decoder ever grows).
-fn invalid_word(rng: &mut Rng) -> u32 {
-    // Primary opcodes 1, 5, and 6 are reserved in every PowerPC
-    // generation; 0 is permanently invalid.
-    let candidates = [0x0400_0000u32, 0x1400_0000, 0x1800_0000, 0x0000_0000];
-    let start = rng.below(candidates.len() as u64) as usize;
-    for i in 0..candidates.len() {
-        let w = candidates[(start + i) % candidates.len()];
-        if matches!(decode(w), Insn::Invalid(_)) {
-            return w;
-        }
-    }
-    // invariant: opcode 0 never decodes to a valid instruction.
-    0
+/// An instruction word the frontend guarantees never decodes to a
+/// valid instruction ([`Isa::illegal_words`]); the guarantee is
+/// regression-tested per frontend so splices stay honest if a decoder
+/// ever grows.
+fn invalid_word<I: Isa>(rng: &mut Rng) -> u32 {
+    let candidates = I::illegal_words();
+    candidates[rng.below(candidates.len() as u64) as usize]
 }
 
 /// Splices `1 + seed%3` illegal words into the text region of `mem`
 /// (call once per image — perturbed and oracle — with an identically
 /// seeded generator so both see the same program).
-fn splice_illegal(rng: &mut Rng, prog: &Program, mem: &mut Memory) -> u64 {
+fn splice_illegal<I: Isa>(rng: &mut Rng, prog: &Program, mem: &mut Memory) -> u64 {
     let n = 1 + rng.below(3);
     for _ in 0..n {
         let idx = rng.below(prog.code.len() as u64) as u32;
-        let w = invalid_word(rng);
+        let w = invalid_word::<I>(rng);
         // invariant: the text range was loaded into this memory by the
         // caller, so writes inside it cannot fault.
         let _ = mem.write_u32(prog.base + 4 * idx, w);
@@ -286,8 +271,11 @@ fn splice_illegal(rng: &mut Rng, prog: &Program, mem: &mut Memory) -> u64 {
 /// # Errors
 ///
 /// See [`CampaignError`].
-pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
-    run_campaign_on_program(&w.program(), w.mem_size, w.max_instrs, cfg)
+pub fn run_campaign<I: Isa>(
+    w: &Workload<I>,
+    cfg: &CampaignConfig,
+) -> Result<CampaignOutcome, CampaignError> {
+    run_campaign_on_program::<I>(&w.program(), w.mem_size, w.max_instrs, cfg)
 }
 
 /// Runs one campaign of `cfg` over an arbitrary program image.
@@ -298,7 +286,7 @@ pub fn run_campaign(w: &Workload, cfg: &CampaignConfig) -> Result<CampaignOutcom
 /// # Errors
 ///
 /// See [`CampaignError`].
-pub fn run_campaign_on_program(
+pub fn run_campaign_on_program<I: Isa>(
     prog: &Program,
     mem_size: u32,
     oracle_budget: u64,
@@ -307,7 +295,7 @@ pub fn run_campaign_on_program(
     let kind = cfg.kind;
     let seed = cfg.seed;
     let storm = kind == FaultKind::InterruptStorm;
-    let rfi_word = daisy_ppc::encode(&Insn::Rfi);
+    let rfi_word = I::interrupt_return_word();
 
     // ---- Oracle: the pure interpreter on an identical image. ----
     let mut omem = Memory::new(mem_size);
@@ -315,18 +303,16 @@ pub fn run_campaign_on_program(
     prog.load_into(&mut omem).ok();
     let mut orng = Rng::new(seed);
     if kind == FaultKind::IllegalOp {
-        splice_illegal(&mut orng, prog, &mut omem);
+        splice_illegal::<I>(&mut orng, prog, &mut omem);
     }
     if storm {
-        let _ = omem.write_u32(vectors::EXTERNAL, rfi_word);
+        let _ = omem.write_u32(I::external_vector(), rfi_word);
     }
-    let mut ocpu = Cpu::new(prog.entry);
+    let mut ocpu = <I::Cpu as GuestCpu>::new(prog.entry);
     if storm {
-        ocpu.msr |= msr_bits::EE;
+        ocpu.enable_interrupts();
     }
-    let Ok(ostop) = ocpu.run(&mut omem, oracle_budget) else {
-        return Err(CampaignError::Budget { kind, seed });
-    };
+    let ostop = ocpu.interp_run(&mut omem, oracle_budget);
     if ostop == StopReason::MaxInstrs {
         // The oracle itself ran out of budget; nothing to compare
         // against at a well-defined point.
@@ -335,7 +321,7 @@ pub fn run_campaign_on_program(
 
     // ---- Perturbed system. ----
     let mut rng = Rng::new(seed);
-    let mut builder = DaisySystem::builder()
+    let mut builder = DaisySystem::<I>::builder()
         .mem_size(mem_size)
         .chaining(cfg.chaining)
         .packed_execution(cfg.packed);
@@ -354,17 +340,17 @@ pub fn run_campaign_on_program(
     let mut sys = builder.build();
     // invariant: same image, same fit as the oracle above.
     prog.load_into(&mut sys.mem).ok();
-    sys.cpu.pc = prog.entry;
+    sys.cpu.set_pc(prog.entry);
     let mut injections = 0u64;
     if kind == FaultKind::IllegalOp {
-        injections = splice_illegal(&mut rng, prog, &mut sys.mem);
+        injections = splice_illegal::<I>(&mut rng, prog, &mut sys.mem);
     }
     if storm {
-        let _ = sys.mem.write_u32(vectors::EXTERNAL, rfi_word);
-        sys.cpu.msr |= msr_bits::EE;
+        let _ = sys.mem.write_u32(I::external_vector(), rfi_word);
+        sys.cpu.enable_interrupts();
     }
 
-    let max_cycles = ocpu.ninstrs.saturating_mul(8).saturating_add(100_000);
+    let max_cycles = ocpu.instret().saturating_mul(8).saturating_add(100_000);
     let sparse_period = 3 + rng.below(5);
     let mut degrades_left = cfg.max_degrades;
     let mut boundaries = 0u64;
@@ -415,7 +401,7 @@ pub fn run_campaign_on_program(
         // every campaign exercises the whole ladder.
         if degrades_left > 0
             && boundaries.is_multiple_of(7)
-            && sys.degrade(sys.cpu.pc, kind.cause()).is_some()
+            && sys.degrade(sys.cpu.pc(), kind.cause()).is_some()
         {
             degrades_left -= 1;
         }
@@ -456,40 +442,20 @@ pub fn run_campaign_on_program(
 }
 
 /// First architected-state mismatch between the perturbed system and
-/// the oracle, if any. `skip_srr` excludes SRR0/SRR1 — interrupt-storm
-/// campaigns deliver interrupts the oracle never sees, and SRR0/SRR1
-/// are exactly the registers an in-flight delivery is *supposed* to
-/// clobber (their precision is asserted separately, per delivery, by
-/// the interrupt-storm property tests).
-fn diff_state(sys: &DaisySystem, ocpu: &Cpu, omem: &Memory, skip_srr: bool) -> Option<String> {
-    let cpu = &sys.cpu;
-    for (i, (a, b)) in cpu.gpr.iter().zip(ocpu.gpr.iter()).enumerate() {
-        if a != b {
-            return Some(format!("r{i}: {a:#x} vs {b:#x}"));
-        }
-    }
-    let named: [(&str, u32, u32); 8] = [
-        ("cr", cpu.cr, ocpu.cr),
-        ("lr", cpu.lr, ocpu.lr),
-        ("ctr", cpu.ctr, ocpu.ctr),
-        ("xer", cpu.xer, ocpu.xer),
-        ("msr", cpu.msr, ocpu.msr),
-        ("pc", cpu.pc, ocpu.pc),
-        ("dar", cpu.dar, ocpu.dar),
-        ("dsisr", cpu.dsisr, ocpu.dsisr),
-    ];
-    for (name, a, b) in named {
-        if a != b {
-            return Some(format!("{name}: {a:#x} vs {b:#x}"));
-        }
-    }
-    if !skip_srr {
-        if cpu.srr0 != ocpu.srr0 {
-            return Some(format!("srr0: {:#x} vs {:#x}", cpu.srr0, ocpu.srr0));
-        }
-        if cpu.srr1 != ocpu.srr1 {
-            return Some(format!("srr1: {:#x} vs {:#x}", cpu.srr1, ocpu.srr1));
-        }
+/// the oracle, if any. `skip_resume` excludes the guest's resume-point
+/// bookkeeping (e.g. PowerPC SRR0/SRR1) — interrupt-storm campaigns
+/// deliver interrupts the oracle never sees, and those are exactly the
+/// registers an in-flight delivery is *supposed* to clobber (their
+/// precision is asserted separately, per delivery, by the
+/// interrupt-storm property tests).
+fn diff_state<I: Isa>(
+    sys: &DaisySystem<I>,
+    ocpu: &I::Cpu,
+    omem: &Memory,
+    skip_resume: bool,
+) -> Option<String> {
+    if let Some(what) = sys.cpu.state_diff(ocpu, skip_resume) {
+        return Some(what);
     }
     let size = sys.mem.size();
     if size != omem.size() {
@@ -525,8 +491,8 @@ mod tests {
     fn invalid_words_really_are_invalid() {
         let mut rng = Rng::new(1);
         for _ in 0..32 {
-            let w = invalid_word(&mut rng);
-            assert!(matches!(decode(w), Insn::Invalid(_)), "{w:#x}");
+            let w = invalid_word::<daisy_ppc::PpcIsa>(&mut rng);
+            assert!(matches!(daisy_ppc::decode(w), daisy_ppc::Insn::Invalid(_)), "{w:#x}");
         }
     }
 

@@ -1,25 +1,27 @@
-//! DAISY: dynamic compilation of PowerPC binaries to VLIW tree code.
+//! DAISY: dynamic compilation of guest binaries to VLIW tree code.
 //!
 //! This crate is the paper's primary contribution — the Virtual Machine
-//! Monitor (VMM) and its one-pass dynamic parallelizing translator:
+//! Monitor (VMM) and its one-pass dynamic parallelizing translator. It
+//! is **guest-agnostic**: every layer is generic over the
+//! [`daisy_isa::Isa`] frontend boundary, and the in-tree frontends
+//! (`daisy-ppc` for PowerPC, `daisy-rv32` for RV32I) plug in without
+//! this crate naming either of them.
 //!
-//! * [`convert`] — decodes base instructions into VLIW RISC primitives
-//!   (CISCy operations like `lmw` decompose; `sc`, `rfi`, and privileged
-//!   operations defer to the VMM).
 //! * [`sched`] — the Pathlist scheduling algorithm of Chapter 2 and
 //!   Appendix A: greedy, multi-path, one pass, renaming speculative
 //!   results into non-architected registers and committing them in
-//!   program order so exceptions stay precise.
+//!   program order so exceptions stay precise. Consumes the RISC
+//!   primitives the frontend's `Isa::convert` produces.
 //! * [`vmm`] — page-granular translation management of Chapter 3:
-//!   translation cache, valid entry points, cross-page dispatch,
-//!   invalidation on code modification.
+//!   translation cache (keyed by guest ISA *and* page), valid entry
+//!   points, cross-page dispatch, invalidation on code modification.
 //! * [`engine`] — executes translated tree instructions against the
 //!   emulated machine, with exception tags, load-verify for speculative
 //!   loads, and the cache hierarchy attached.
 //! * [`precise`] — the table-free exception-address recovery of §3.5
 //!   (forward matching of architected assignments).
 //! * [`system`] — [`system::DaisySystem`] ties memory, VMM, engine, and
-//!   emulated CPU state into a runnable whole.
+//!   emulated guest CPU state into a runnable whole.
 //! * [`oracle`] — the oracle-parallelism schedulers of Chapter 6.
 //! * [`overhead`] — the analytic compile-overhead model of §5.1.
 //! * [`trace`] — structured observability: [`trace::TraceSink`] event
@@ -36,8 +38,12 @@
 //!
 //! # Quick start
 //!
+//! Pick a frontend (here PowerPC), assemble a guest program, and run it
+//! through translation:
+//!
 //! ```
 //! use daisy::prelude::*;
+//! use daisy_ppc::{Asm, Gpr, PpcIsa};
 //!
 //! let mut a = Asm::new(0x1000);
 //! a.li(Gpr(3), 21);
@@ -45,11 +51,17 @@
 //! a.sc();
 //! let prog = a.finish().unwrap();
 //!
-//! let mut sys = DaisySystem::builder().mem_size(0x40000).build();
+//! let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x40000).build();
 //! sys.load(&prog).unwrap();
 //! sys.run(1_000_000).unwrap();
 //! assert_eq!(sys.cpu.gpr[3], 42);
 //! ```
+//!
+//! The same harness shape works for any [`Isa`](daisy_isa::Isa)
+//! implementation — swap the frontend type and the assembler, keep the
+//! rest (`docs/isa.md` in the repository walks through adding one).
+//! With the `ppc` cargo feature enabled, [`ppc`] re-exports the PowerPC
+//! frontend and a [`ppc::PpcSystem`] alias for convenience.
 
 #![warn(missing_docs)]
 // Guest-reachable dispatch paths must surface faults as typed
@@ -58,7 +70,6 @@
 // invariants, each carrying an explicit allow + `invariant:` note.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-pub mod convert;
 pub mod engine;
 pub mod error;
 pub mod inject;
@@ -78,13 +89,31 @@ pub use stats::RunStats;
 pub use system::DaisySystem;
 pub use vmm::Vmm;
 
-/// Everything a typical harness needs in one import.
+/// The guest-frontend boundary crate, re-exported so harnesses can
+/// write `daisy::isa::Isa` without a separate dependency line.
+pub use daisy_isa as isa;
+
+/// Convenience re-exports for the PowerPC frontend (cargo feature
+/// `ppc`, off by default — the core crate itself never depends on a
+/// frontend).
+#[cfg(feature = "ppc")]
+pub mod ppc {
+    pub use daisy_ppc::*;
+
+    /// A DAISY machine emulating the PowerPC guest.
+    pub type PpcSystem = crate::system::DaisySystem<daisy_ppc::PpcIsa>;
+}
+
+/// Everything a typical harness needs in one import — ISA-neutral
+/// only; frontend types (assemblers, register names, the `Isa` marker
+/// itself) come from the frontend crate you pick.
 ///
 /// ```
 /// use daisy::prelude::*;
+/// use daisy_ppc::PpcIsa;
 ///
-/// let w: Workload = daisy_workloads::by_name("hist").unwrap();
-/// let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+/// let w: Workload<PpcIsa> = daisy_workloads::by_name("hist").unwrap();
+/// let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).build();
 /// sys.load(&w.program()).unwrap();
 /// ```
 pub mod prelude {
@@ -95,7 +124,5 @@ pub mod prelude {
     pub use crate::system::{DaisySystem, DaisySystemBuilder};
     pub use crate::trace::{GroupProfiler, JsonlSink, NullSink, RingSink, TraceEvent, TraceSink};
     pub use daisy_cachesim::Hierarchy;
-    pub use daisy_ppc::asm::Asm;
-    pub use daisy_ppc::reg::Gpr;
-    pub use daisy_workloads::Workload;
+    pub use daisy_isa::{Event, Exception, GuestCpu, Isa, IsaId, Program, StopReason, Workload};
 }

@@ -15,11 +15,9 @@
 //! dependences at word granularity. Loads may bypass stores they do
 //! not conflict with, mirroring DAISY's own aggressive reordering.
 
-use crate::convert::{convert, Flow};
-use daisy_ppc::insn::Insn;
-use daisy_ppc::interp::{Cpu, Event, StopReason};
-use daisy_ppc::mem::Memory;
-use daisy_ppc::reg::Gpr;
+use daisy_isa::convert::Flow;
+use daisy_isa::mem::Memory;
+use daisy_isa::{Event, GuestCpu, Isa, StopReason};
 use daisy_vliw::machine::{MachineConfig, ResClass, ResCounts};
 use daisy_vliw::op::OpKind;
 use daisy_vliw::reg::NUM_REGS;
@@ -130,12 +128,13 @@ impl OracleScheduler {
         }
     }
 
-    /// Feeds one executed instruction. `ea` is the effective address of
-    /// a memory access, when the instruction makes one (pre-execution
-    /// state); multi-word transfers pass their starting address.
-    pub fn feed(&mut self, pc: u32, insn: &Insn, ea: Option<u32>) {
+    /// Feeds one executed instruction of guest ISA `I`. `ea` is the
+    /// effective address of a memory access, when the instruction makes
+    /// one (pre-execution state); multi-word transfers pass their
+    /// starting address.
+    pub fn feed<I: Isa>(&mut self, pc: u32, insn: &I::Insn, ea: Option<u32>) {
         self.instrs += 1;
-        let conv = convert(insn, pc);
+        let conv = I::convert(insn, pc);
         let mut mem_idx = 0u32;
         for op in &conv.ops {
             self.ops += 1;
@@ -188,42 +187,23 @@ impl OracleScheduler {
     }
 }
 
-/// Computes the effective address the instruction at the interpreter's
-/// current state is about to access, if it is a memory instruction.
-pub fn effective_address_of(cpu: &Cpu, insn: &Insn) -> Option<u32> {
-    let base = |ra: Gpr| if ra.0 == 0 { 0 } else { cpu.gpr[ra.0 as usize] };
-    match *insn {
-        Insn::Load { indexed, ra, rb, d, .. } | Insn::Store { indexed, ra, rb, d, .. } => {
-            Some(if indexed {
-                base(ra).wrapping_add(cpu.gpr[rb.0 as usize])
-            } else {
-                base(ra).wrapping_add(d as i32 as u32)
-            })
-        }
-        Insn::Lmw { ra, d, .. } | Insn::Stmw { ra, d, .. } => {
-            Some(base(ra).wrapping_add(d as i32 as u32))
-        }
-        _ => None,
-    }
-}
-
-/// Runs the interpreter over a loaded program, feeding the oracle
-/// scheduler with the dynamic trace.
-pub fn run_oracle(
+/// Runs the guest's reference interpreter over a loaded program,
+/// feeding the oracle scheduler with the dynamic trace.
+pub fn run_oracle<I: Isa>(
     mem: &mut Memory,
     entry: u32,
     machine: Option<MachineConfig>,
     max_instrs: u64,
 ) -> OracleResult {
-    let mut cpu = Cpu::new(entry);
+    let mut cpu = <I::Cpu as GuestCpu>::new(entry);
     let mut sched = OracleScheduler::new(machine);
     for _ in 0..max_instrs {
         let Ok(insn) = cpu.fetch(mem) else { break };
-        let ea = effective_address_of(&cpu, &insn);
-        let pc = cpu.pc;
+        let ea = cpu.effective_address(&insn);
+        let pc = cpu.pc();
         let ev = cpu.execute(mem, insn);
         match ev {
-            Event::Continue => sched.feed(pc, &insn, ea),
+            Event::Continue => sched.feed::<I>(pc, &insn, ea),
             _ => break,
         }
     }
@@ -231,13 +211,13 @@ pub fn run_oracle(
 }
 
 /// Convenience: interpret and schedule, returning `(oracle, stop)`.
-pub fn run_oracle_to_stop(
+pub fn run_oracle_to_stop<I: Isa>(
     mem: &mut Memory,
     entry: u32,
     machine: Option<MachineConfig>,
     max_instrs: u64,
 ) -> (OracleResult, StopReason) {
-    let mut cpu = Cpu::new(entry);
+    let mut cpu = <I::Cpu as GuestCpu>::new(entry);
     let mut sched = OracleScheduler::new(machine);
     let mut n = 0u64;
     let stop = loop {
@@ -246,14 +226,14 @@ pub fn run_oracle_to_stop(
         }
         let insn = match cpu.fetch(mem) {
             Ok(i) => i,
-            Err(_) => break StopReason::StorageFault { addr: cpu.pc, write: false, fetch: true },
+            Err(_) => break StopReason::StorageFault { addr: cpu.pc(), write: false, fetch: true },
         };
-        let ea = effective_address_of(&cpu, &insn);
-        let pc = cpu.pc;
+        let ea = cpu.effective_address(&insn);
+        let pc = cpu.pc();
         match cpu.execute(mem, insn) {
-            Event::Continue => sched.feed(pc, &insn, ea),
+            Event::Continue => sched.feed::<I>(pc, &insn, ea),
             Event::Syscall => {
-                sched.feed(pc, &insn, ea);
+                sched.feed::<I>(pc, &insn, ea);
                 break StopReason::Syscall;
             }
             Event::Trap => break StopReason::Trap,
@@ -262,7 +242,7 @@ pub fn run_oracle_to_stop(
                 break StopReason::StorageFault { addr, write, fetch: false }
             }
             Event::Isi => {
-                break StopReason::StorageFault { addr: cpu.pc, write: false, fetch: true }
+                break StopReason::StorageFault { addr: cpu.pc(), write: false, fetch: true }
             }
         }
         n += 1;
@@ -282,7 +262,8 @@ mod tests {
         let prog = a.finish().unwrap();
         let mut mem = Memory::new(0x40000);
         prog.load_into(&mut mem).unwrap();
-        let (r, stop) = run_oracle_to_stop(&mut mem, prog.entry, machine, 10_000_000);
+        let (r, stop) =
+            run_oracle_to_stop::<daisy_ppc::PpcIsa>(&mut mem, prog.entry, machine, 10_000_000);
         assert_eq!(stop, StopReason::Syscall);
         r
     }

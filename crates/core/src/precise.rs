@@ -17,9 +17,9 @@
 //! metadata — the tests cross-check the recovered address against it,
 //! validating the paper's claim that no side tables are needed.)
 
-use crate::convert::{convert, Flow};
-use daisy_ppc::decode::decode;
-use daisy_ppc::mem::Memory;
+use daisy_isa::convert::Flow;
+use daisy_isa::mem::Memory;
+use daisy_isa::Isa;
 use daisy_vliw::op::OpKind;
 use daisy_vliw::reg::Reg;
 
@@ -71,18 +71,21 @@ impl std::fmt::Display for RecoverError {
 
 impl std::error::Error for RecoverError {}
 
-fn expected_of(mem: &Memory, addr: u32) -> (Vec<Expected>, Flow, bool) {
+fn expected_of<I: Isa>(mem: &Memory, addr: u32) -> (Vec<Expected>, Flow, bool) {
     let word = mem.read_u32(addr).unwrap_or(0);
-    let conv = convert(&decode(word), addr);
+    let conv = match I::decode(word) {
+        Ok(insn) => I::convert(&insn, addr),
+        Err(_) => daisy_isa::convert::Converted::interp(),
+    };
     let mut exp = Vec::new();
     let n = conv.ops.len();
-    let ctr_compare = matches!(
+    let cond_compare = matches!(
         conv.flow,
-        Flow::CondJump { ctr_compare: true, .. } | Flow::CondIndirect { ctr_compare: true, .. }
+        Flow::CondJump { cond_compare: true, .. } | Flow::CondIndirect { cond_compare: true, .. }
     );
     for (i, op) in conv.ops.iter().enumerate() {
-        if ctr_compare && i == n - 1 {
-            continue; // the CTR compare lives only in a rename register
+        if cond_compare && i == n - 1 {
+            continue; // the condition compare lives only in a rename register
         }
         if op.kind.is_store() {
             exp.push(Expected::Store);
@@ -95,7 +98,7 @@ fn expected_of(mem: &Memory, addr: u32) -> (Vec<Expected>, Flow, bool) {
     if conv.links {
         exp.push(Expected::DefGroup(Reg::LR, None));
     }
-    (exp, conv.flow, ctr_compare)
+    (exp, conv.flow, cond_compare)
 }
 
 /// Matches one expected commitment against the event stream starting at
@@ -133,7 +136,7 @@ fn match_expected(exp: &Expected, events: &[ArchEvent], i: usize) -> Option<usiz
 /// Returns [`RecoverError`] if the event stream cannot be matched to
 /// the base instruction stream — which would mean the translator broke
 /// the in-order-commit invariant.
-pub fn recover(
+pub fn recover<I: Isa>(
     mem: &Memory,
     entry: u32,
     events: &[ArchEvent],
@@ -144,7 +147,7 @@ pub fn recover(
     // Bound the walk defensively; each instruction consumes ≥ 0 events
     // but the path length is bounded by the group's window.
     for _ in 0..100_000 {
-        let (exp, flow, _) = expected_of(mem, pc);
+        let (exp, flow, _) = expected_of::<I>(mem, pc);
         for e in &exp {
             if i >= fault_idx {
                 return Ok(pc);
@@ -237,7 +240,7 @@ mod tests {
             ArchEvent::Def { d1: Reg::gpr(Gpr(4)), d2: None },
             // load's Def never completed
         ];
-        assert_eq!(recover(&mem, 0x1000, &events, 2), Ok(0x1008));
+        assert_eq!(recover::<daisy_ppc::PpcIsa>(&mem, 0x1000, &events, 2), Ok(0x1008));
     }
 
     #[test]
@@ -252,14 +255,14 @@ mod tests {
         });
         // Taken direction: skip the add.
         let events = [ArchEvent::Def { d1: Reg::cr(CrField(0)), d2: None }, ArchEvent::Dir(true)];
-        assert_eq!(recover(&mem, 0x1000, &events, 2), Ok(0x100C));
+        assert_eq!(recover::<daisy_ppc::PpcIsa>(&mem, 0x1000, &events, 2), Ok(0x100C));
         // Not-taken direction: the add commits first.
         let events = [
             ArchEvent::Def { d1: Reg::cr(CrField(0)), d2: None },
             ArchEvent::Dir(false),
             ArchEvent::Def { d1: Reg::gpr(Gpr(4)), d2: None },
         ];
-        assert_eq!(recover(&mem, 0x1000, &events, 3), Ok(0x100C));
+        assert_eq!(recover::<daisy_ppc::PpcIsa>(&mem, 0x1000, &events, 3), Ok(0x100C));
     }
 
     #[test]
@@ -274,10 +277,10 @@ mod tests {
             ArchEvent::Def { d1: Reg::gpr(Gpr(3)), d2: None },
             ArchEvent::Def { d1: Reg::CA, d2: None },
         ];
-        assert_eq!(recover(&mem, 0x1000, &events, 2), Ok(0x1004));
+        assert_eq!(recover::<daisy_ppc::PpcIsa>(&mem, 0x1000, &events, 2), Ok(0x1004));
         // In-order execution writes both in one parcel.
         let events = [ArchEvent::Def { d1: Reg::gpr(Gpr(3)), d2: Some(Reg::CA) }];
-        assert_eq!(recover(&mem, 0x1000, &events, 1), Ok(0x1004));
+        assert_eq!(recover::<daisy_ppc::PpcIsa>(&mem, 0x1000, &events, 1), Ok(0x1004));
     }
 
     #[test]
@@ -287,7 +290,7 @@ mod tests {
             a.sc();
         });
         let events = [ArchEvent::Store];
-        assert!(recover(&mem, 0x1000, &events, 1).is_err());
+        assert!(recover::<daisy_ppc::PpcIsa>(&mem, 0x1000, &events, 1).is_err());
     }
 
     #[test]
@@ -296,6 +299,6 @@ mod tests {
             a.lwz(Gpr(5), 0, Gpr(9));
             a.sc();
         });
-        assert_eq!(recover(&mem, 0x1000, &[], 0), Ok(0x1000));
+        assert_eq!(recover::<daisy_ppc::PpcIsa>(&mem, 0x1000, &[], 0), Ok(0x1000));
     }
 }

@@ -57,7 +57,8 @@
 use crate::engine::GroupCode;
 use crate::stats::RunStats;
 use crate::trace::Tier;
-use daisy_ppc::mem::Memory;
+use daisy_isa::mem::Memory;
+use daisy_isa::Isa;
 use daisy_vliw::packed::{OpMeta, PackedCtrl};
 use daisy_vliw::reg::NUM_REGS;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -627,9 +628,10 @@ pub fn folded_stacks(profile: &GuestProfile, workload: &str, page_size: u32) -> 
 /// speculation waste, plus the decoded instruction — the guest-side
 /// equivalent of `perf annotate`.
 ///
-/// Instruction words are fetched from `mem`; addresses that can no
-/// longer be read (unmapped) render as `??`.
-pub fn annotated_disassembly(profile: &GuestProfile, mem: &Memory, title: &str) -> String {
+/// Instruction words are fetched from `mem` and disassembled by the
+/// guest frontend `I`; addresses that can no longer be read (unmapped)
+/// render as `??`.
+pub fn annotated_disassembly<I: Isa>(profile: &GuestProfile, mem: &Memory, title: &str) -> String {
     let by_pc = profile.by_pc();
     let total: f64 = by_pc.values().map(|s| s.cycles + s.stall_cycles).sum();
     let mut out = String::new();
@@ -655,7 +657,7 @@ pub fn annotated_disassembly(profile: &GuestProfile, mem: &Memory, title: &str) 
             let c = s.cycles + s.stall_cycles;
             let pct = if total > 0.0 { 100.0 * c / total } else { 0.0 };
             let insn = match mem.read_u32(*pc) {
-                Ok(w) => daisy_ppc::decode::decode(w).to_string(),
+                Ok(w) => I::disasm(w),
                 Err(_) => "??".to_owned(),
             };
             writeln!(

@@ -14,12 +14,11 @@
 //! close at the paper's stopping points (cross-page and indirect
 //! branches, over-visited join points, window exhaustion).
 
-use crate::convert::{convert, CondSpec, Flow};
-use daisy_ppc::decode::decode;
-use daisy_ppc::insn::MemWidth;
-use daisy_ppc::mem::Memory;
+use daisy_isa::convert::{CondSpec, Converted, Flow};
+use daisy_isa::mem::Memory;
+use daisy_isa::Isa;
 use daisy_vliw::machine::MachineConfig;
-use daisy_vliw::op::{OpKind, Operation};
+use daisy_vliw::op::{MemWidth, OpKind, Operation};
 use daisy_vliw::reg::{Reg, RenameMask, NUM_REGS};
 use daisy_vliw::tree::{Cond, Exit, Group, IndirectVia, NodeId, VliwId, ROOT};
 use std::collections::{HashMap, HashSet};
@@ -64,7 +63,7 @@ impl Default for TranslatorConfig {
     fn default() -> Self {
         TranslatorConfig {
             machine: MachineConfig::big(),
-            page_size: daisy_ppc::PAGE_SIZE,
+            page_size: daisy_isa::PAGE_SIZE,
             window_size: 64,
             max_join_visits: 3,
             max_vliws_per_group: 128,
@@ -274,13 +273,19 @@ struct Scheduler<'a> {
 }
 
 /// Translates the group of VLIWs for the entry point at address `entry`
-/// (the paper's `CreateVLIWGroupForEntry`, Fig. A.1).
-pub fn translate_group(cfg: &TranslatorConfig, mem: &Memory, entry: u32) -> (Group, XlateCost) {
-    translate_group_with_hints(cfg, mem, entry, &Hints::default())
+/// (the paper's `CreateVLIWGroupForEntry`, Fig. A.1). The guest ISA `I`
+/// supplies the decoder and RISC-primitive conversion; everything else
+/// — path management, renaming, commit discipline — is guest-agnostic.
+pub fn translate_group<I: Isa>(
+    cfg: &TranslatorConfig,
+    mem: &Memory,
+    entry: u32,
+) -> (Group, XlateCost) {
+    translate_group_with_hints::<I>(cfg, mem, entry, &Hints::default())
 }
 
 /// [`translate_group`] with interpretive-compilation hints (Ch. 6).
-pub fn translate_group_with_hints(
+pub fn translate_group_with_hints<I: Isa>(
     cfg: &TranslatorConfig,
     mem: &Memory,
     entry: u32,
@@ -308,7 +313,7 @@ pub fn translate_group_with_hints(
         cost: XlateCost { paths: 1, ..XlateCost::default() },
     };
     while let Some(idx) = s.most_probable() {
-        s.step(idx);
+        s.step::<I>(idx);
     }
     s.group.base_instrs = s.cost.instrs_scheduled as u32;
     (s.group, s.cost)
@@ -789,7 +794,7 @@ impl Scheduler<'_> {
 
     /// Decodes and schedules the instruction at the path's continuation
     /// (paper `DecodeAndScheduleOneInstr`, Fig. A.2).
-    fn step(&mut self, idx: usize) {
+    fn step<I: Isa>(&mut self, idx: usize) {
         let addr = self.paths[idx].cont;
         if self.is_stopping(self.paths[idx].window_used, addr) {
             self.close(idx, Exit::Branch { target: addr });
@@ -799,12 +804,17 @@ impl Scheduler<'_> {
             self.close(idx, Exit::Interp { addr });
             return;
         };
-        let insn = decode(word);
         *self.visits.entry(addr).or_insert(0) += 1;
         self.paths[idx].window_used += 1;
         self.cost.instrs_scheduled += 1;
 
-        let conv = convert(&insn, addr);
+        // A word the frontend cannot decode ends the path at the
+        // interpreter, exactly like an instruction it converts to
+        // `Flow::Interp`.
+        let conv = match I::decode(word) {
+            Ok(insn) => I::convert(&insn, addr),
+            Err(_) => Converted::interp(),
+        };
         match conv.flow {
             Flow::Fall => {
                 for op in conv.ops {
@@ -813,6 +823,12 @@ impl Scheduler<'_> {
                 self.paths[idx].cont = addr.wrapping_add(4);
             }
             Flow::Jump { target } => {
+                // Frontends may attach ops to a jump (e.g. RV32 `jal`
+                // writes its link register as an explicit op); schedule
+                // them before the control transfer.
+                for op in conv.ops {
+                    self.schedule_converted(idx, op);
+                }
                 if conv.links {
                     self.schedule_link(idx, addr);
                 }
@@ -827,14 +843,20 @@ impl Scheduler<'_> {
                     self.close(idx, Exit::Branch { target });
                 }
             }
-            Flow::CondJump { cond, target, ctr_compare } => {
-                let temp = self.schedule_flow_ops(idx, conv.ops, ctr_compare);
+            Flow::CondJump { cond, target, cond_compare } => {
+                let temp = self.schedule_flow_ops(idx, conv.ops, cond_compare);
                 if conv.links {
                     self.schedule_link(idx, addr);
                 }
                 self.schedule_cond_branch(idx, cond, temp, addr, TakenKind::Direct(target), None);
             }
             Flow::IndirectJump { via } => {
+                // Ops run first: e.g. RV32 `jalr` computes the target
+                // into LR and writes the link register as ops, then the
+                // indirect source below reads the renamed LR.
+                for op in conv.ops {
+                    self.schedule_converted(idx, op);
+                }
                 let src = self.indirect_src(idx, via, conv.links, addr);
                 // Interpretive compilation (Ch. 6): a previously observed
                 // target T turns the serializing indirect branch into
@@ -869,8 +891,8 @@ impl Scheduler<'_> {
                 }
                 self.close(idx, Exit::Indirect { src, via });
             }
-            Flow::CondIndirect { cond, via, ctr_compare } => {
-                let temp = self.schedule_flow_ops(idx, conv.ops, ctr_compare);
+            Flow::CondIndirect { cond, via, cond_compare } => {
+                let temp = self.schedule_flow_ops(idx, conv.ops, cond_compare);
                 let src = self.indirect_src(idx, via, conv.links, addr);
                 self.schedule_cond_branch(
                     idx,
@@ -887,20 +909,21 @@ impl Scheduler<'_> {
         }
     }
 
-    /// Schedules a branch's auxiliary ops. For CTR-decrement forms the
-    /// final op is the CTR-vs-0 compare, which lives only in a rename
-    /// register; its name is returned for the condition.
+    /// Schedules a branch's auxiliary ops. For condition-compare forms
+    /// (PowerPC CTR-decrement branches, RISC-V compare-and-branch) the
+    /// final op is the compare, which lives only in a rename register;
+    /// its name is returned for the condition.
     fn schedule_flow_ops(
         &mut self,
         idx: usize,
         ops: Vec<Operation>,
-        ctr_compare: bool,
+        cond_compare: bool,
     ) -> Option<Reg> {
         let n = ops.len();
         let mut temp = None;
         for (i, mut op) in ops.into_iter().enumerate() {
-            if ctr_compare && i == n - 1 {
-                op.dest = None; // placeholder cr0 dest never materializes
+            if cond_compare && i == n - 1 {
+                op.dest = None; // placeholder condition dest never materializes
                 temp = Some(self.schedule_temp(idx, op));
             } else {
                 self.schedule_converted(idx, op);
@@ -924,7 +947,7 @@ mod tests {
         let mut mem = Memory::new(0x20000);
         prog.load_into(&mut mem).unwrap();
         let cfg = TranslatorConfig::default();
-        translate_group(&cfg, &mem, prog.entry).0
+        translate_group::<daisy_ppc::PpcIsa>(&cfg, &mem, prog.entry).0
     }
 
     #[test]
@@ -1090,7 +1113,7 @@ mod tests {
         let mut mem = Memory::new(0x20000);
         prog.load_into(&mut mem).unwrap();
         let cfg = TranslatorConfig { rename: false, ..TranslatorConfig::default() };
-        let (g, _) = translate_group(&cfg, &mem, prog.entry);
+        let (g, _) = translate_group::<daisy_ppc::PpcIsa>(&cfg, &mem, prog.entry);
         // Without renaming both ops still fit the first VLIW (both are
         // ready at entry), but nothing is speculative.
         let spec = g
@@ -1112,7 +1135,7 @@ mod tests {
         let mut mem = Memory::new(0x20000);
         prog.load_into(&mut mem).unwrap();
         let cfg = TranslatorConfig::default();
-        let (_, cost) = translate_group(&cfg, &mem, prog.entry);
+        let (_, cost) = translate_group::<daisy_ppc::PpcIsa>(&cfg, &mem, prog.entry);
         assert_eq!(cost.instrs_scheduled, 3); // two adds + sc
         assert!(cost.ops_placed >= 2);
     }

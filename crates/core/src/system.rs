@@ -4,10 +4,17 @@
 //! [`DaisySystem::run`] is the paper's execution model end to end:
 //! dispatch the current PC through the VMM (translating on first
 //! touch), execute tree instructions until the group exits, and handle
-//! the exit — cross-page and indirect branches re-dispatch, `sc`/`rfi`
-//! and privileged instructions drop to the VMM's interpreter, stores
-//! into translated pages invalidate and resume, precise exceptions are
-//! delivered to the base architecture's own vectors.
+//! the exit — cross-page and indirect branches re-dispatch, system
+//! calls, interrupt returns and privileged instructions drop to the
+//! VMM's interpreter, stores into translated pages invalidate and
+//! resume, precise exceptions are delivered to the base architecture's
+//! own vectors.
+//!
+//! The system is generic over the guest: [`DaisySystem<I>`] emulates
+//! whichever [`Isa`] its type parameter names, holding that guest's
+//! architected state as `I::Cpu` and translating its instructions
+//! through `I::decode`/`I::convert`. Nothing in this module knows which
+//! ISA it is running.
 
 use crate::engine::{
     run_group, run_group_profiled, run_group_tree, run_group_tree_profiled, ChainLink,
@@ -21,11 +28,9 @@ use crate::stats::RunStats;
 use crate::trace::{ExcClass, GroupProfiler, Tier, TraceEvent, TraceSink, Tracer};
 use crate::vmm::Vmm;
 use daisy_cachesim::Hierarchy;
-use daisy_ppc::asm::Program;
-use daisy_ppc::insn::{BranchKind, Insn};
-use daisy_ppc::interp::{Cpu, Event, StopReason};
-use daisy_ppc::mem::{MemFault, Memory};
-use daisy_ppc::vectors;
+use daisy_isa::convert::BranchKind;
+use daisy_isa::mem::{MemFault, Memory};
+use daisy_isa::{Event, Exception, GuestCpu, Isa, Program, StopReason};
 use daisy_vliw::regfile::RegFile;
 use daisy_vliw::tree::IndirectVia;
 use std::collections::{HashMap, HashSet};
@@ -43,15 +48,15 @@ enum PendingChain {
     Indirect { from: Rc<GroupCode>, target: u32 },
 }
 
-/// A fully wired DAISY machine.
+/// A fully wired DAISY machine, emulating the guest ISA `I`.
 #[derive(Debug)]
-pub struct DaisySystem {
+pub struct DaisySystem<I: Isa> {
     /// Emulated base-architecture physical memory.
     pub mem: Memory,
-    /// Architected base state (GPRs, CR, SPRs, PC, MSR, page table).
-    pub cpu: Cpu,
+    /// Architected base state (registers, PC, machine state).
+    pub cpu: I::Cpu,
     /// The Virtual Machine Monitor.
-    pub vmm: Vmm,
+    pub vmm: Vmm<I>,
     /// Cache hierarchy probed by the engine.
     pub cache: Hierarchy,
     /// Run statistics.
@@ -60,10 +65,11 @@ pub struct DaisySystem {
     /// on every exception (cheap: exceptions are rare).
     pub check_precise_recovery: bool,
     /// Deliver an external interrupt every this many cycles (a timer
-    /// tick), when the emulated MSR has EE set. External interrupts are
-    /// taken at group boundaries — the translated-code analogue of the
-    /// paper's "to the external interrupt handler the program will
-    /// appear to be at [a precise] point" (§3.7).
+    /// tick), when the emulated machine state has interrupts enabled.
+    /// External interrupts are taken at group boundaries — the
+    /// translated-code analogue of the paper's "to the external
+    /// interrupt handler the program will appear to be at [a precise]
+    /// point" (§3.7).
     pub timer_period: Option<u64>,
     next_timer: u64,
     pending_external: bool,
@@ -101,12 +107,15 @@ pub struct DaisySystem {
 }
 
 /// Configures and creates a [`DaisySystem`]; obtained from
-/// [`DaisySystem::builder`].
+/// [`DaisySystem::builder`]. The builder carries the guest ISA as its
+/// type parameter, so one turbofish (or an inferred binding) selects
+/// the frontend and everything downstream is typed by it.
 ///
 /// ```
 /// use daisy::prelude::*;
+/// use daisy_ppc::PpcIsa;
 ///
-/// let sys = DaisySystem::builder()
+/// let sys = DaisySystem::<PpcIsa>::builder()
 ///     .mem_size(0x40000)
 ///     .translator(TranslatorConfig::default())
 ///     .cache(Hierarchy::infinite())
@@ -114,7 +123,7 @@ pub struct DaisySystem {
 /// assert!(sys.chaining_enabled());
 /// ```
 #[derive(Debug)]
-pub struct DaisySystemBuilder {
+pub struct DaisySystemBuilder<I: Isa> {
     mem_size: u32,
     cfg: TranslatorConfig,
     cache: Hierarchy,
@@ -127,10 +136,11 @@ pub struct DaisySystemBuilder {
     guest_profiling: bool,
     tier_policy: Option<TierPolicy>,
     packed: bool,
+    _isa: std::marker::PhantomData<I>,
 }
 
-impl Default for DaisySystemBuilder {
-    fn default() -> DaisySystemBuilder {
+impl<I: Isa> Default for DaisySystemBuilder<I> {
+    fn default() -> DaisySystemBuilder<I> {
         DaisySystemBuilder {
             mem_size: 0x40000,
             cfg: TranslatorConfig::default(),
@@ -144,11 +154,12 @@ impl Default for DaisySystemBuilder {
             guest_profiling: false,
             tier_policy: None,
             packed: true,
+            _isa: std::marker::PhantomData,
         }
     }
 }
 
-impl DaisySystemBuilder {
+impl<I: Isa> DaisySystemBuilder<I> {
     /// Bytes of emulated base-architecture memory (default 256 KiB).
     pub fn mem_size(mut self, bytes: u32) -> Self {
         self.mem_size = bytes;
@@ -251,7 +262,7 @@ impl DaisySystemBuilder {
     }
 
     /// Builds the system.
-    pub fn build(self) -> DaisySystem {
+    pub fn build(self) -> DaisySystem<I> {
         let mut vmm = Vmm::new(self.cfg);
         vmm.set_code_capacity(self.code_capacity);
         if let Some(sink) = self.trace_sink {
@@ -261,7 +272,7 @@ impl DaisySystemBuilder {
         vmm.tier_policy = self.tier_policy;
         DaisySystem {
             mem: Memory::new(self.mem_size),
-            cpu: Cpu::new(0),
+            cpu: <I::Cpu as GuestCpu>::new(0),
             vmm,
             cache: self.cache,
             stats: RunStats::default(),
@@ -283,9 +294,9 @@ impl DaisySystemBuilder {
     }
 }
 
-impl DaisySystem {
+impl<I: Isa> DaisySystem<I> {
     /// Starts configuring a system.
-    pub fn builder() -> DaisySystemBuilder {
+    pub fn builder() -> DaisySystemBuilder<I> {
         DaisySystemBuilder::default()
     }
 
@@ -295,7 +306,7 @@ impl DaisySystem {
     ///
     /// Note: prefer [`DaisySystem::builder`], which exposes every
     /// configuration knob; this constructor remains for convenience.
-    pub fn new(mem_size: u32) -> DaisySystem {
+    pub fn new(mem_size: u32) -> DaisySystem<I> {
         DaisySystem::builder().mem_size(mem_size).build()
     }
 
@@ -304,7 +315,7 @@ impl DaisySystem {
     ///
     /// Note: prefer [`DaisySystem::builder`], which exposes every
     /// configuration knob; this constructor remains for convenience.
-    pub fn with_config(mem_size: u32, cfg: TranslatorConfig, cache: Hierarchy) -> DaisySystem {
+    pub fn with_config(mem_size: u32, cfg: TranslatorConfig, cache: Hierarchy) -> DaisySystem<I> {
         DaisySystem::builder().mem_size(mem_size).translator(cfg).cache(cache).build()
     }
 
@@ -314,7 +325,8 @@ impl DaisySystem {
     }
 
     /// Posts an external interrupt, delivered at the next group
-    /// boundary while the emulated MSR has EE set.
+    /// boundary while the emulated machine state has interrupts
+    /// enabled.
     pub fn post_external_interrupt(&mut self) {
         self.pending_external = true;
     }
@@ -326,7 +338,7 @@ impl DaisySystem {
     /// Returns [`MemFault`] if the image does not fit in memory.
     pub fn load(&mut self, prog: &Program) -> Result<(), MemFault> {
         prog.load_into(&mut self.mem)?;
-        self.cpu.pc = prog.entry;
+        self.cpu.set_pc(prog.entry);
         Ok(())
     }
 
@@ -404,17 +416,17 @@ impl DaisySystem {
                 self.pending_external = true;
             }
         }
-        // Gated by the architected EE bit alone (clear by default),
-        // so harnesses can take timer ticks while still stopping at
-        // a final `sc` with `vectored` off.
-        if self.pending_external && self.cpu.msr & daisy_ppc::reg::msr_bits::EE != 0 {
+        // Gated by the architected interrupt-enable state alone (clear
+        // by default), so harnesses can take timer ticks while still
+        // stopping at a final system call with vectored delivery off.
+        if self.pending_external && self.cpu.interrupts_enabled() {
             self.pending_external = false;
             self.stats.exceptions += 1;
-            let at = self.cpu.pc;
+            let at = self.cpu.pc();
             self.vmm.tracer.emit(|| TraceEvent::ExternalInterrupt { pc: at });
-            self.cpu.deliver(vectors::EXTERNAL, at);
+            self.cpu.deliver(Exception::External, at);
         }
-        let pc = self.cpu.pc;
+        let pc = self.cpu.pc();
         // Pages on the bottom ladder rung bypass translation
         // entirely: the reference interpreter executes them (groups
         // never span pages, so page granularity is always sound).
@@ -517,7 +529,8 @@ impl DaisySystem {
         // recovery cross-check fails is re-run in full one rung down,
         // so its base-instruction commits must not count twice.
         let base_instrs_before = self.stats.base_instrs;
-        let mut rf = RegFile::from_cpu(&self.cpu);
+        let mut rf = RegFile::new();
+        self.cpu.fill_regfile(&mut rf);
         // Entries faulted down the ladder run on the reference tree
         // engine (the conservative rung also retranslated without
         // load speculation, upstream in the VMM).
@@ -560,7 +573,7 @@ impl DaisySystem {
                 return Ok(None);
             }
         }
-        rf.write_back(&mut self.cpu);
+        self.cpu.write_back(&rf);
 
         // Guest-level attribution: distribute the dispatch's cycles,
         // stalls, and speculation waste over the guest PCs on its taken
@@ -610,7 +623,7 @@ impl DaisySystem {
                         Some(IndirectVia::Ctr) => self.stats.crosspage.via_ctr += 1,
                     }
                 }
-                self.cpu.pc = target;
+                self.cpu.set_pc(target);
                 if self.chaining {
                     // The slot was lowered into the packed exit at
                     // translation time — no exit-table search here.
@@ -625,7 +638,7 @@ impl DaisySystem {
                 }
             }
             GroupExit::Interp { addr } => {
-                self.cpu.pc = addr;
+                self.cpu.set_pc(addr);
                 if let Some(stop) = self.interp_service() {
                     return Ok(Some(stop));
                 }
@@ -636,7 +649,7 @@ impl DaisySystem {
                 // idempotent — same values to the same addresses).
                 self.vmm.tracer.emit(|| TraceEvent::CodeModified { addr });
                 self.handle_code_writes();
-                self.cpu.pc = addr;
+                self.cpu.set_pc(addr);
                 // The group already counted the modifying store's
                 // commit; its idempotent re-interpretation must not
                 // count the instruction a second time (the interpreter
@@ -660,10 +673,10 @@ impl DaisySystem {
                     },
                     base_addr,
                 });
-                if !self.cpu.vectored {
+                if !self.cpu.vectored() {
                     return Ok(Some(match kind {
                         ExcKind::Dsi { addr, write } => {
-                            self.cpu.dar = addr;
+                            self.cpu.record_data_fault(addr, write);
                             StopReason::StorageFault { addr, write, fetch: false }
                         }
                         ExcKind::Trap => StopReason::Trap,
@@ -671,13 +684,12 @@ impl DaisySystem {
                 }
                 match kind {
                     ExcKind::Dsi { addr, write } => {
-                        // §3.3's PowerPC example: DAR, DSISR, SRR0,
-                        // SRR1, then the 0x300 handler.
-                        self.cpu.dar = addr;
-                        self.cpu.dsisr = if write { 0x4200_0000 } else { 0x4000_0000 };
-                        self.cpu.deliver(vectors::DSI, base_addr);
+                        // §3.3's example: fault registers, then
+                        // save/restore state and the guest's own
+                        // data-storage vector.
+                        self.cpu.deliver(Exception::Data { addr, write }, base_addr);
                     }
-                    ExcKind::Trap => self.cpu.deliver(vectors::PROGRAM, base_addr),
+                    ExcKind::Trap => self.cpu.deliver(Exception::Trap, base_addr),
                 }
             }
             GroupExit::AliasRestart { addr } => {
@@ -688,7 +700,7 @@ impl DaisySystem {
                 let entry = code.group.entry;
                 self.vmm.tracer.emit(|| TraceEvent::AliasRestart { entry, addr });
                 self.vmm.note_alias_restart(entry);
-                self.cpu.pc = addr;
+                self.cpu.set_pc(addr);
             }
         }
         if promoted {
@@ -722,7 +734,7 @@ impl DaisySystem {
     ) -> Result<bool, DaisyError> {
         let events = &self.scratch.events;
         let n = fault_idx.min(events.len());
-        let checked = precise::recover(&self.mem, entry, &events[..n], fault_idx);
+        let checked = precise::recover::<I>(&self.mem, entry, &events[..n], fault_idx);
         let mismatch = match checked {
             Ok(recovered) if recovered == base_addr => None,
             Ok(recovered) => Some(RecoverError {
@@ -808,9 +820,9 @@ impl DaisySystem {
     /// granularity even for fully interpreted pages.
     fn interp_burst(&mut self) -> Option<StopReason> {
         let page_size = self.vmm.cfg.page_size;
-        let page = self.cpu.pc / page_size;
+        let page = self.cpu.pc() / page_size;
         for _ in 0..128 {
-            if self.cpu.pc / page_size != page {
+            if self.cpu.pc() / page_size != page {
                 return None;
             }
             if let Some(stop) = self.interp_one() {
@@ -827,77 +839,40 @@ impl DaisySystem {
             Ok(i) => i,
             Err(_) => {
                 return Some(StopReason::StorageFault {
-                    addr: self.cpu.pc,
+                    addr: self.cpu.pc(),
                     write: false,
                     fetch: true,
                 })
             }
         };
         let ev = self.cpu.execute(&mut self.mem, insn);
-        match ev {
-            Event::Continue | Event::Syscall => {
-                self.stats.interp_instrs += 1;
-                self.stats.base_instrs += 1;
-            }
-            _ => {}
+        if matches!(ev, Event::Continue | Event::Syscall) {
+            self.stats.interp_instrs += 1;
+            self.stats.base_instrs += 1;
         }
-        match ev {
-            Event::Continue => {
-                if matches!(insn, Insn::Rfi) {
-                    // §3.4: after an rfi, interpret until the next
-                    // subroutine call, cross-page branch, or backward
-                    // branch, to limit entry-point creation.
-                    return self.interp_window();
-                }
-                None
+        if ev == Event::Continue {
+            if I::ends_interp_window(&insn) {
+                // §3.4: after an interrupt return, interpret until the
+                // next subroutine call, cross-page branch, or backward
+                // branch, to limit entry-point creation.
+                return self.interp_window();
             }
-            Event::Syscall => {
-                if self.cpu.vectored {
-                    self.cpu.deliver(vectors::SYSCALL, self.cpu.pc);
-                    None
-                } else {
-                    Some(StopReason::Syscall)
-                }
-            }
-            Event::Trap | Event::Program => {
-                if self.cpu.vectored {
-                    self.cpu.deliver(vectors::PROGRAM, self.cpu.pc);
-                    None
-                } else if ev == Event::Trap {
-                    Some(StopReason::Trap)
-                } else {
-                    Some(StopReason::Program)
-                }
-            }
-            Event::Dsi { addr, write } => {
-                if self.cpu.vectored {
-                    self.cpu.deliver(vectors::DSI, self.cpu.pc);
-                    None
-                } else {
-                    Some(StopReason::StorageFault { addr, write, fetch: false })
-                }
-            }
-            Event::Isi => {
-                if self.cpu.vectored {
-                    self.cpu.deliver(vectors::ISI, self.cpu.pc);
-                    None
-                } else {
-                    Some(StopReason::StorageFault { addr: self.cpu.pc, write: false, fetch: true })
-                }
-            }
+            return None;
         }
+        self.cpu.handle_event(ev)
     }
 
     /// One VMM interpreter service: execute the instruction the group
-    /// deferred (sc, rfi, privileged, unsupported).
+    /// deferred (system call, interrupt return, privileged,
+    /// unsupported).
     fn interp_service(&mut self) -> Option<StopReason> {
         self.interp_one()
     }
 
-    /// Post-`rfi` interpretation window (§3.4).
+    /// Post-interrupt-return interpretation window (§3.4).
     fn interp_window(&mut self) -> Option<StopReason> {
         for _ in 0..256 {
-            let pc = self.cpu.pc;
+            let pc = self.cpu.pc();
             let insn = match self.cpu.fetch(&self.mem) {
                 Ok(i) => i,
                 Err(_) => {
@@ -906,7 +881,7 @@ impl DaisySystem {
             };
             // Boundary test: subroutine call, cross-page branch, or
             // backward branch ends interpretation (after executing it).
-            let boundary = insn.branch_info(pc).map(|info| {
+            let boundary = I::branch_info(&insn, pc).map(|info| {
                 info.links
                     || match info.kind {
                         BranchKind::Direct(t) => {
@@ -925,38 +900,24 @@ impl DaisySystem {
         None
     }
 
-    fn interp_one_decoded(&mut self, insn: Insn) -> Option<StopReason> {
+    fn interp_one_decoded(&mut self, insn: I::Insn) -> Option<StopReason> {
         let ev = self.cpu.execute(&mut self.mem, insn);
-        match ev {
-            Event::Continue | Event::Syscall => {
-                self.stats.interp_instrs += 1;
-                self.stats.base_instrs += 1;
-            }
-            _ => {}
+        if matches!(ev, Event::Continue | Event::Syscall) {
+            self.stats.interp_instrs += 1;
+            self.stats.base_instrs += 1;
         }
+        // Unlike `interp_one`, traps, program exceptions and fetch
+        // faults inside the post-interrupt-return window always stop
+        // the run; system calls and data faults follow the guest's
+        // vectored-delivery rules.
         match ev {
             Event::Continue => None,
-            Event::Syscall => {
-                if self.cpu.vectored {
-                    self.cpu.deliver(vectors::SYSCALL, self.cpu.pc);
-                    None
-                } else {
-                    Some(StopReason::Syscall)
-                }
-            }
             Event::Trap => Some(StopReason::Trap),
             Event::Program => Some(StopReason::Program),
-            Event::Dsi { addr, write } => {
-                if self.cpu.vectored {
-                    self.cpu.deliver(vectors::DSI, self.cpu.pc);
-                    None
-                } else {
-                    Some(StopReason::StorageFault { addr, write, fetch: false })
-                }
-            }
             Event::Isi => {
-                Some(StopReason::StorageFault { addr: self.cpu.pc, write: false, fetch: true })
+                Some(StopReason::StorageFault { addr: self.cpu.pc(), write: false, fetch: true })
             }
+            ev => self.cpu.handle_event(ev),
         }
     }
 }
@@ -966,12 +927,13 @@ mod tests {
     use super::*;
     use daisy_ppc::asm::Asm;
     use daisy_ppc::reg::Gpr;
+    use daisy_ppc::{vectors, Cpu, Insn, PpcIsa};
 
-    fn run_program(build: impl FnOnce(&mut Asm)) -> (DaisySystem, StopReason) {
+    fn run_program(build: impl FnOnce(&mut Asm)) -> (DaisySystem<PpcIsa>, StopReason) {
         let mut a = Asm::new(0x1000);
         build(&mut a);
         let prog = a.finish().unwrap();
-        let mut sys = DaisySystem::new(0x40000);
+        let mut sys = DaisySystem::<PpcIsa>::new(0x40000);
         sys.load(&prog).unwrap();
         let stop = sys.run(10_000_000).unwrap();
         (sys, stop)
@@ -979,7 +941,7 @@ mod tests {
 
     /// Runs the same program on the reference interpreter and asserts
     /// identical final architected state.
-    fn check_against_interpreter(build: impl Fn(&mut Asm)) -> DaisySystem {
+    fn check_against_interpreter(build: impl Fn(&mut Asm)) -> DaisySystem<PpcIsa> {
         let (sys, stop) = run_program(&build);
 
         let mut a = Asm::new(0x1000);
@@ -1098,7 +1060,7 @@ mod tests {
         os.rfi();
         let os_prog = os.finish().unwrap();
 
-        let mut sys = DaisySystem::new(0x40000);
+        let mut sys = DaisySystem::<PpcIsa>::new(0x40000);
         sys.load(&prog).unwrap();
         os_prog.load_into(&mut sys.mem).unwrap();
         sys.cpu.vectored = true;

@@ -21,6 +21,7 @@
 //! ```
 //! use daisy::prelude::*;
 //! use daisy::trace::{RingSink, TraceEvent};
+//! use daisy_ppc::{Asm, Gpr, PpcIsa};
 //!
 //! let sink = RingSink::new(1024);
 //! let mut a = Asm::new(0x1000);
@@ -28,7 +29,7 @@
 //! a.sc();
 //! let prog = a.finish().unwrap();
 //!
-//! let mut sys = DaisySystem::builder().trace_sink(sink.clone()).build();
+//! let mut sys = DaisySystem::<PpcIsa>::builder().trace_sink(sink.clone()).build();
 //! sys.load(&prog).unwrap();
 //! sys.run(1_000_000).unwrap();
 //! assert!(matches!(sink.events()[0], TraceEvent::Translate { entry: 0x1000, .. }));
@@ -82,6 +83,7 @@ pub enum ExcClass {
 /// stream can be correlated with the original binary without access to
 /// the translation cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TraceEvent {
     /// A group was translated (first touch, or retranslation after an
     /// invalidation / cast-out / alias / hot promotion).

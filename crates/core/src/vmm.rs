@@ -19,10 +19,11 @@ use crate::engine::GroupCode;
 use crate::error::{Degradation, DegradeCause, Rung};
 use crate::sched::{translate_group_with_hints, Hints, TierPolicy, TranslatorConfig, XlateCost};
 use crate::trace::{Tier, TraceEvent, Tracer};
-use daisy_ppc::insn::BranchKind;
-use daisy_ppc::interp::{Cpu, Event};
-use daisy_ppc::mem::Memory;
+use daisy_isa::convert::BranchKind;
+use daisy_isa::mem::Memory;
+use daisy_isa::{DecodeCache, Event, GuestCpu, Isa, IsaId, PAGE_SIZE};
 use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
 use std::rc::Rc;
 
 /// Where the translated-code area begins in VLIW address space
@@ -98,15 +99,22 @@ impl PageTable {
     }
 }
 
+/// Key of one translated page: the guest ISA that produced the
+/// translation plus the page index. Carrying the ISA id keeps the
+/// shared translated-code area sound even when several frontends feed
+/// the same pool — identical guest addresses from different ISAs can
+/// never alias each other's translations.
+type PageKey = (IsaId, u32);
+
 /// The Virtual Machine Monitor's translation cache.
 #[derive(Debug)]
-pub struct Vmm {
+pub struct Vmm<I: Isa> {
     /// Translator configuration (machine, page size, window…).
     pub cfg: TranslatorConfig,
-    /// page index → direct-mapped entry table for that page.
-    pages: HashMap<u32, PageTable>,
+    /// (ISA id, page index) → direct-mapped entry table for that page.
+    pages: HashMap<PageKey, PageTable>,
     /// Per-page last-use tick for LRU cast-out.
-    last_use: HashMap<u32, u64>,
+    last_use: HashMap<PageKey, u64>,
     tick: u64,
     /// Capacity of the translated-code area, if bounded.
     capacity: Option<u64>,
@@ -132,12 +140,13 @@ pub struct Vmm {
     /// the system appends its dispatch-path degradations here too, so
     /// one list holds the run's full fallback history.
     degradations: Vec<Degradation>,
+    _isa: PhantomData<I>,
 }
 
-impl Vmm {
+impl<I: Isa> Vmm<I> {
     /// Creates an empty VMM with the given translator configuration and
     /// an unbounded translated-code area.
-    pub fn new(cfg: TranslatorConfig) -> Vmm {
+    pub fn new(cfg: TranslatorConfig) -> Vmm<I> {
         Vmm {
             cfg,
             pages: HashMap::new(),
@@ -154,6 +163,7 @@ impl Vmm {
             stats: VmmStats::default(),
             tracer: Tracer::disabled(),
             degradations: Vec::new(),
+            _isa: PhantomData,
         }
     }
 
@@ -166,7 +176,7 @@ impl Vmm {
         self.capacity = bytes;
     }
 
-    fn cast_out_lru(&mut self, keep: u32) {
+    fn cast_out_lru(&mut self, keep: PageKey) {
         let Some(cap) = self.capacity else { return };
         while self.stats.code_bytes > cap && self.pages.len() > 1 {
             let Some((&victim, _)) = self
@@ -184,7 +194,7 @@ impl Vmm {
                 }
                 self.stats.cast_outs += 1;
                 self.tracer
-                    .emit(|| TraceEvent::CastOut { page: victim, groups: table.live as u32 });
+                    .emit(|| TraceEvent::CastOut { page: victim.1, groups: table.live as u32 });
             }
             self.last_use.remove(&victim);
         }
@@ -192,6 +202,12 @@ impl Vmm {
 
     fn page_of(&self, addr: u32) -> u32 {
         addr / self.cfg.page_size
+    }
+
+    /// Full translation-table key for `addr`: this frontend's ISA id
+    /// plus the page index.
+    fn page_key(&self, addr: u32) -> PageKey {
+        (I::ID, self.page_of(addr))
     }
 
     /// Word-offset slot of `addr` within its page's direct-mapped table.
@@ -212,14 +228,15 @@ impl Vmm {
         &mut self,
         mem: &mut Memory,
         addr: u32,
-        cpu: Option<&Cpu>,
+        cpu: Option<&I::Cpu>,
     ) -> Rc<GroupCode> {
         let page = self.page_of(addr);
+        let key = self.page_key(addr);
         let slot = self.slot_of(addr);
         self.tick += 1;
         let tick = self.tick;
-        self.last_use.insert(page, tick);
-        if let Some(g) = self.pages.get(&page).and_then(|t| t.get(slot)) {
+        self.last_use.insert(key, tick);
+        if let Some(g) = self.pages.get(&key).and_then(|t| t.get(slot)) {
             return Rc::clone(g);
         }
         // Pick the tier: hot entries (promoted by the profiler) rebuild
@@ -239,7 +256,7 @@ impl Vmm {
         }
         let hints = match cpu {
             Some(cpu) if cfg.interpretive => {
-                let (hints, exhausted) = gather_hints(&cfg, mem, cpu, addr);
+                let (hints, exhausted) = gather_hints::<I>(&cfg, mem, cpu, addr);
                 if exhausted {
                     // The interpret-ahead window ran dry before a group
                     // boundary: the translation built below is sound
@@ -258,7 +275,7 @@ impl Vmm {
             }
             _ => Hints::default(),
         };
-        let (group, cost) = translate_group_with_hints(&cfg, mem, addr, &hints);
+        let (group, cost) = translate_group_with_hints::<I>(&cfg, mem, addr, &hints);
         self.cost.add(&cost);
         self.stats.groups_translated += 1;
         // Lay the group's tree instructions out contiguously in the
@@ -281,14 +298,14 @@ impl Vmm {
         // 4 KiB unit(s) covering the translation page.)
         let lo = page * self.cfg.page_size;
         let hi = lo + self.cfg.page_size - 1;
-        let mut unit = lo / daisy_ppc::PAGE_SIZE * daisy_ppc::PAGE_SIZE;
+        let mut unit = lo / PAGE_SIZE * PAGE_SIZE;
         while unit <= hi {
             mem.set_translated_bit(unit);
-            unit += daisy_ppc::PAGE_SIZE;
+            unit += PAGE_SIZE;
         }
 
         let nslots = (self.cfg.page_size / 4) as usize;
-        let table = self.pages.entry(page).or_insert_with(|| {
+        let table = self.pages.entry(key).or_insert_with(|| {
             // First translation for this page.
             PageTable::new(nslots)
         });
@@ -310,7 +327,7 @@ impl Vmm {
         // Stay within the translated-code area, casting out LRU pages
         // (their stale read-only bits are harmless: a store there takes
         // one spurious, idempotent code-modification service).
-        self.cast_out_lru(page);
+        self.cast_out_lru(key);
         rc
     }
 
@@ -334,9 +351,9 @@ impl Vmm {
     /// other entries alone), so the next dispatch retranslates it.
     /// Inbound chain links sever automatically when the `Rc` drops.
     fn drop_entry(&mut self, entry: u32) {
-        let page = self.page_of(entry);
+        let key = self.page_key(entry);
         let slot = self.slot_of(entry);
-        if let Some(table) = self.pages.get_mut(&page) {
+        if let Some(table) = self.pages.get_mut(&key) {
             if let Some(g) = table.remove(slot) {
                 self.stats.code_bytes =
                     self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
@@ -367,19 +384,19 @@ impl Vmm {
     /// Returns the existing translation for `addr`, if any — one page
     /// hash plus one array index.
     pub fn lookup(&self, addr: u32) -> Option<Rc<GroupCode>> {
-        self.pages.get(&self.page_of(addr)).and_then(|t| t.get(self.slot_of(addr))).cloned()
+        self.pages.get(&self.page_key(addr)).and_then(|t| t.get(self.slot_of(addr))).cloned()
     }
 
     /// Destroys every translation overlapping the 4 KiB base unit with
     /// index `unit_index` (a code-modification event, §3.2), clearing
     /// the unit's translated bit.
     pub fn invalidate_unit(&mut self, mem: &mut Memory, unit_index: u32) {
-        let unit_lo = unit_index * daisy_ppc::PAGE_SIZE;
-        let unit_hi = unit_lo + daisy_ppc::PAGE_SIZE - 1;
+        let unit_lo = unit_index * PAGE_SIZE;
+        let unit_hi = unit_lo + PAGE_SIZE - 1;
         let first_page = unit_lo / self.cfg.page_size;
         let last_page = unit_hi / self.cfg.page_size;
         for page in first_page..=last_page {
-            if let Some(table) = self.pages.remove(&page) {
+            if let Some(table) = self.pages.remove(&(I::ID, page)) {
                 self.stats.invalidations += 1;
                 for g in table.groups() {
                     self.stats.code_bytes =
@@ -449,7 +466,7 @@ impl Vmm {
     /// the interpret rung. Returns the number of groups destroyed.
     pub fn drop_page_of(&mut self, addr: u32) -> usize {
         let page = self.page_of(addr);
-        let Some(table) = self.pages.remove(&page) else { return 0 };
+        let Some(table) = self.pages.remove(&(I::ID, page)) else { return 0 };
         for g in table.groups() {
             self.stats.code_bytes =
                 self.stats.code_bytes.saturating_sub(u64::from(g.group.code_bytes()));
@@ -478,7 +495,7 @@ impl Vmm {
         let mut v: Vec<u32> = self
             .pages
             .iter()
-            .flat_map(|(&page, table)| {
+            .flat_map(|(&(_, page), table)| {
                 table.slots.iter().enumerate().filter_map(move |(slot, g)| {
                     g.as_ref().map(|_| page * self.cfg.page_size + slot as u32 * 4)
                 })
@@ -499,13 +516,18 @@ impl Vmm {
 /// point: the hints are then *truncated*, not complete, and the caller
 /// must surface that as a typed [`Degradation`] rather than silently
 /// building a lower-quality translation from them.
-fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> (Hints, bool) {
+fn gather_hints<I: Isa>(
+    cfg: &TranslatorConfig,
+    mem: &Memory,
+    cpu: &I::Cpu,
+    addr: u32,
+) -> (Hints, bool) {
     let mut sim_mem = mem.clone();
     let mut sim = cpu.clone();
-    sim.pc = addr;
+    sim.set_pc(addr);
     let mut counts: HashMap<u32, (u64, u64)> = HashMap::new();
     let mut indirect = HashMap::new();
-    let mut dcache = daisy_ppc::decode::DecodeCache::new();
+    let mut dcache = DecodeCache::<I::Insn>::new(I::ID);
     let budget = u64::from(cfg.window_size) * 8;
     let mut exhausted = true;
     for _ in 0..budget {
@@ -513,8 +535,8 @@ fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> (
             exhausted = false;
             break;
         };
-        let pc = sim.pc;
-        let info = insn.branch_info(pc);
+        let pc = sim.pc();
+        let info = I::branch_info(&insn, pc);
         if !matches!(sim.execute(&mut sim_mem, insn), Event::Continue) {
             exhausted = false;
             break;
@@ -525,13 +547,13 @@ fn gather_hints(cfg: &TranslatorConfig, mem: &Memory, cpu: &Cpu, addr: u32) -> (
                     if !info.unconditional {
                         let c = counts.entry(pc).or_insert((0, 0));
                         c.0 += 1;
-                        if sim.pc != pc.wrapping_add(4) {
+                        if sim.pc() != pc.wrapping_add(4) {
                             c.1 += 1;
                         }
                     }
                 }
                 BranchKind::ViaLr | BranchKind::ViaCtr => {
-                    indirect.entry(pc).or_insert(sim.pc);
+                    indirect.entry(pc).or_insert(sim.pc());
                 }
             }
         }
@@ -565,7 +587,7 @@ mod tests {
     #[test]
     fn translation_is_cached() {
         let mut mem = mem_with_program();
-        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let mut vmm = Vmm::<daisy_ppc::PpcIsa>::new(TranslatorConfig::default());
         let g1 = vmm.entry(&mut mem, 0x1000);
         let g2 = vmm.entry(&mut mem, 0x1000);
         assert!(Rc::ptr_eq(&g1, &g2));
@@ -576,7 +598,7 @@ mod tests {
     #[test]
     fn separate_entries_same_page() {
         let mut mem = mem_with_program();
-        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let mut vmm = Vmm::<daisy_ppc::PpcIsa>::new(TranslatorConfig::default());
         vmm.entry(&mut mem, 0x1000);
         vmm.entry(&mut mem, 0x1004);
         assert_eq!(vmm.stats.groups_translated, 2);
@@ -587,7 +609,7 @@ mod tests {
     #[test]
     fn invalidation_clears_page() {
         let mut mem = mem_with_program();
-        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let mut vmm = Vmm::<daisy_ppc::PpcIsa>::new(TranslatorConfig::default());
         vmm.entry(&mut mem, 0x1000);
         assert_eq!(vmm.live_pages(), 1);
         vmm.invalidate_unit(&mut mem, 0x1000 / daisy_ppc::PAGE_SIZE);
@@ -602,7 +624,7 @@ mod tests {
     #[test]
     fn code_layout_is_contiguous_from_vliw_base() {
         let mut mem = mem_with_program();
-        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let mut vmm = Vmm::<daisy_ppc::PpcIsa>::new(TranslatorConfig::default());
         let g = vmm.entry(&mut mem, 0x1000);
         assert_eq!(g.vliw_addrs[0], VLIW_BASE);
         for w in g.vliw_addrs.windows(2) {
@@ -623,7 +645,7 @@ mod tests {
         let mut mem = Memory::new(0x20000);
         prog.load_into(&mut mem).unwrap();
 
-        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let mut vmm = Vmm::<daisy_ppc::PpcIsa>::new(TranslatorConfig::default());
         let g1 = vmm.entry(&mut mem, 0x1000);
         let one_page = u64::from(g1.group.code_bytes());
         vmm.set_code_capacity(Some(one_page + one_page / 2));
@@ -640,7 +662,7 @@ mod tests {
     #[test]
     fn unbounded_vmm_never_casts_out() {
         let mut mem = mem_with_program();
-        let mut vmm = Vmm::new(TranslatorConfig::default());
+        let mut vmm = Vmm::<daisy_ppc::PpcIsa>::new(TranslatorConfig::default());
         for i in 0..4 {
             vmm.entry(&mut mem, 0x1000 + 4 * i);
         }
@@ -653,7 +675,7 @@ mod tests {
         // all of them.
         let mut mem = mem_with_program();
         let cfg = TranslatorConfig { page_size: 256, ..TranslatorConfig::default() };
-        let mut vmm = Vmm::new(cfg);
+        let mut vmm = Vmm::<daisy_ppc::PpcIsa>::new(cfg);
         vmm.entry(&mut mem, 0x1000);
         vmm.entry(&mut mem, 0x1100);
         assert_eq!(vmm.live_pages(), 2);

@@ -12,10 +12,11 @@ use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
 use daisy_ppc::reg::{CrField, Gpr, Spr};
 use daisy_ppc::vectors;
+use daisy_ppc::PpcIsa;
 use daisy_vliw::op::OpKind;
 
-fn run_daisy(prog: &daisy_ppc::asm::Program, mem_size: u32) -> (DaisySystem, StopReason) {
-    let mut sys = DaisySystem::builder().mem_size(mem_size).build();
+fn run_daisy(prog: &daisy_ppc::asm::Program, mem_size: u32) -> (DaisySystem<PpcIsa>, StopReason) {
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(mem_size).build();
     sys.load(prog).unwrap();
     let stop = sys.run(100_000_000).unwrap();
     (sys, stop)
@@ -85,7 +86,8 @@ fn figure_2_2_consumer_reads_renamed_register() {
 
     let mut mem = Memory::new(0x20000);
     prog.load_into(&mut mem).unwrap();
-    let (group, _) = daisy::sched::translate_group(&TranslatorConfig::default(), &mem, 0x1000);
+    let (group, _) =
+        daisy::sched::translate_group::<PpcIsa>(&TranslatorConfig::default(), &mem, 0x1000);
     // Find the cntlz parcel and check its source is non-architected.
     let cntlz = group
         .vliws
@@ -152,7 +154,7 @@ fn post_rfi_interpretation_window() {
     os.rfi();
     let os_prog = os.finish().unwrap();
 
-    let mut sys = DaisySystem::builder().mem_size(0x20000).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x20000).build();
     sys.load(&prog).unwrap();
     os_prog.load_into(&mut sys.mem).unwrap();
     sys.cpu.vectored = true;
@@ -215,7 +217,7 @@ fn cast_out_thrashing_is_slow_but_correct() {
     let cpu = run_interp(&prog, 0x20000);
 
     // Capacity far too small: ~one tiny group.
-    let mut sys = DaisySystem::builder().mem_size(0x20000).code_capacity(40).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x20000).code_capacity(40).build();
     sys.load(&prog).unwrap();
     let stop = sys.run(100_000_000).unwrap();
     assert_eq!(stop, StopReason::Syscall);
@@ -260,7 +262,7 @@ fn context_switches_carry_only_architected_state() {
     let ref_b = run_interp(&prog_b, 0x10000);
 
     // One machine, two "processes", round-robin every 200 cycles.
-    let mut sys = DaisySystem::builder().mem_size(0x10000).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x10000).build();
     prog_a.load_into(&mut sys.mem).unwrap();
     prog_b.load_into(&mut sys.mem).unwrap();
     let mut cpus = [Cpu::new(prog_a.entry), Cpu::new(prog_b.entry)];
@@ -309,7 +311,7 @@ fn timer_interrupts_are_transparent_to_the_computation() {
     let os_prog = os.finish().unwrap();
 
     // rfi restores EE because SRR1 snapshots the MSR at delivery.
-    let mut sys = DaisySystem::builder().mem_size(0x20000).timer_period(50).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x20000).timer_period(50).build();
     sys.load(&prog).unwrap();
     os_prog.load_into(&mut sys.mem).unwrap();
     sys.cpu.msr |= daisy_ppc::reg::msr_bits::EE;
@@ -329,14 +331,14 @@ fn alias_heavy_entries_get_retranslated_conservatively() {
     let prog = w.program();
 
     // Baseline: speculation kept, aliases accumulate.
-    let mut base = DaisySystem::builder().mem_size(w.mem_size).build();
+    let mut base = DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).build();
     base.load(&prog).unwrap();
     base.run(50 * w.max_instrs).unwrap();
     w.check(&base.cpu, &base.mem).unwrap();
     assert!(base.stats.alias_failures > 100, "hist should alias a lot by default");
 
     // Remedy on: the storm is cut off after the threshold.
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).build();
     sys.vmm.alias_retranslate_after = Some(5);
     sys.load(&prog).unwrap();
     sys.run(50 * w.max_instrs).unwrap();
@@ -373,7 +375,7 @@ fn interpretive_specializes_on_page_indirect_targets() {
     let cpu = run_interp(&prog, 0x10000);
 
     let cfg = TranslatorConfig { interpretive: true, ..TranslatorConfig::default() };
-    let mut sys = DaisySystem::builder()
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(0x10000)
         .translator(cfg)
         .cache(Hierarchy::infinite())

@@ -1,0 +1,70 @@
+//! Interpreter-step outcomes, run-stop reasons, and architected
+//! exceptions — the vocabulary shared by every guest frontend.
+
+/// What a single interpreter step produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Normal completion; keep going.
+    Continue,
+    /// A system call executed (PC already advanced past it).
+    Syscall,
+    /// A trap condition fired (PC still at the trap).
+    Trap,
+    /// Privileged or illegal instruction in user state (PC at the instruction).
+    Program,
+    /// Data storage fault: no translation or protection violation.
+    Dsi {
+        /// Faulting effective address.
+        addr: u32,
+        /// True for a store.
+        write: bool,
+    },
+    /// Instruction storage fault at the current PC.
+    Isi,
+}
+
+/// Why an interpreter run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A system call executed and vectored delivery is disabled.
+    Syscall,
+    /// A trap fired and vectored delivery is disabled.
+    Trap,
+    /// Program (illegal/privileged) exception, vectored delivery disabled.
+    Program,
+    /// Unhandled storage fault.
+    StorageFault {
+        /// Faulting effective address (instruction address for fetch faults).
+        addr: u32,
+        /// True for a store fault.
+        write: bool,
+        /// True for an instruction-fetch fault.
+        fetch: bool,
+    },
+    /// Instruction budget exhausted.
+    MaxInstrs,
+}
+
+/// An architected exception to deliver to the guest, in ISA-neutral
+/// terms. Each frontend maps these onto its own vectors and
+/// save/restore conventions in `GuestCpu::deliver`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exception {
+    /// External (timer) interrupt.
+    External,
+    /// System-call exception.
+    Syscall,
+    /// Program exception (illegal or privileged instruction).
+    Program,
+    /// Trap-instruction exception.
+    Trap,
+    /// Data storage exception.
+    Data {
+        /// Faulting effective address.
+        addr: u32,
+        /// True for a store.
+        write: bool,
+    },
+    /// Instruction storage exception.
+    Instruction,
+}

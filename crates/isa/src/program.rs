@@ -1,0 +1,54 @@
+//! Assembled guest program images.
+
+use crate::mem::{MemFault, Memory};
+use std::collections::HashMap;
+
+/// An assembled program image, produced by a guest assembler and
+/// consumed by the loader and harnesses without regard to which ISA
+/// the code words encode.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Address of the first code word.
+    pub base: u32,
+    /// Execution entry point.
+    pub entry: u32,
+    /// Assembled instruction words, contiguous from `base`.
+    pub code: Vec<u32>,
+    /// Data blobs to place at absolute addresses.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Label addresses, for tests and harnesses.
+    pub labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Copies code and data into emulated memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`MemFault`] if any region falls outside
+    /// physical memory.
+    pub fn load_into(&self, mem: &mut Memory) -> Result<(), MemFault> {
+        for (i, w) in self.code.iter().enumerate() {
+            mem.write_u32(self.base + 4 * i as u32, *w)?;
+        }
+        for (addr, bytes) in &self.data {
+            mem.write_bytes(*addr, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Code size in bytes.
+    pub fn code_size(&self) -> u32 {
+        4 * self.code.len() as u32
+    }
+
+    /// Address of a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not exist (programmer error in a test
+    /// or harness).
+    pub fn addr_of(&self, label: &str) -> u32 {
+        self.labels[label]
+    }
+}

@@ -1,0 +1,45 @@
+//! Benchmark workloads, generic over the guest frontend.
+
+use crate::mem::Memory;
+use crate::{Isa, Program};
+
+/// A benchmark: a program builder plus a result checker, for guest `I`.
+///
+/// The same algorithm implemented for two guests (with the same result
+/// memory layout) gives the cross-ISA differential harness its
+/// observable-output comparison axis.
+pub struct Workload<I: Isa> {
+    /// Benchmark name as used in the paper's tables.
+    pub name: &'static str,
+    /// Emulated physical memory required.
+    pub mem_size: u32,
+    /// Interpreter/engine instruction budget (generous).
+    pub max_instrs: u64,
+    /// Assembles the program image.
+    pub build: fn() -> Program,
+    /// Validates final architected state against a Rust recomputation.
+    pub check: fn(&I::Cpu, &Memory) -> Result<(), String>,
+}
+
+impl<I: Isa> Workload<I> {
+    /// Assembles the program image.
+    pub fn program(&self) -> Program {
+        (self.build)()
+    }
+
+    /// Validates the final architected state against a Rust
+    /// recomputation of the expected result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn check(&self, cpu: &I::Cpu, mem: &Memory) -> Result<(), String> {
+        (self.check)(cpu, mem)
+    }
+}
+
+impl<I: Isa> std::fmt::Debug for Workload<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}

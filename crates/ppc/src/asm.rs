@@ -26,7 +26,6 @@ use crate::encode::encode;
 use crate::insn::{
     bo, Arith2Op, ArithOp, CrOp, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp,
 };
-use crate::mem::{MemFault, Memory};
 use crate::reg::{CrBit, CrField, Gpr, Spr};
 use std::collections::HashMap;
 use std::fmt;
@@ -88,53 +87,9 @@ enum Item {
     },
 }
 
-/// An assembled program image.
-#[derive(Debug, Clone)]
-pub struct Program {
-    /// Address of the first code word.
-    pub base: u32,
-    /// Execution entry point.
-    pub entry: u32,
-    /// Assembled instruction words, contiguous from `base`.
-    pub code: Vec<u32>,
-    /// Data blobs to place at absolute addresses.
-    pub data: Vec<(u32, Vec<u8>)>,
-    /// Label addresses, for tests and harnesses.
-    pub labels: HashMap<String, u32>,
-}
-
-impl Program {
-    /// Copies code and data into emulated memory.
-    ///
-    /// # Errors
-    ///
-    /// Returns the underlying [`MemFault`] if any region falls outside
-    /// physical memory.
-    pub fn load_into(&self, mem: &mut Memory) -> Result<(), MemFault> {
-        for (i, w) in self.code.iter().enumerate() {
-            mem.write_u32(self.base + 4 * i as u32, *w)?;
-        }
-        for (addr, bytes) in &self.data {
-            mem.write_bytes(*addr, bytes)?;
-        }
-        Ok(())
-    }
-
-    /// Code size in bytes.
-    pub fn code_size(&self) -> u32 {
-        4 * self.code.len() as u32
-    }
-
-    /// Address of a label.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the label does not exist (programmer error in a test
-    /// or harness).
-    pub fn addr_of(&self, label: &str) -> u32 {
-        self.labels[label]
-    }
-}
+// The assembled image type is ISA-neutral and shared across guest
+// frontends; it keeps its historical path here.
+pub use daisy_isa::Program;
 
 /// The assembler. Instructions append at increasing addresses from the
 /// base; labels name the next instruction's address.
@@ -771,6 +726,7 @@ impl Asm {
 mod tests {
     use super::*;
     use crate::interp::{Cpu, StopReason};
+    use crate::mem::Memory;
 
     #[test]
     fn forward_and_backward_branches_resolve() {

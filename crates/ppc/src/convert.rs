@@ -1,98 +1,25 @@
-//! Conversion of base-architecture instructions into VLIW RISC primitives.
+//! Conversion of PowerPC instructions into VLIW RISC primitives.
 //!
 //! "Each operation is immediately scheduled in a VLIW … as soon as it is
 //! disassembled from the binary original code, and converted into RISC
-//! primitives (if a CISCy operation)" (paper §2). This module is that
-//! disassemble-and-convert front end, shared by the scheduler, the
-//! oracle schedulers, and the traditional-compiler baseline.
+//! primitives (if a CISCy operation)" (paper §2). This module is the
+//! PowerPC disassemble-and-convert front end, reached by the scheduler,
+//! the oracle schedulers, and the traditional-compiler baseline through
+//! the [`daisy_isa::Isa`] boundary.
 //!
 //! The produced primitives name *architected* resources; renaming into
-//! the non-architected pool is the scheduler's job.
+//! the non-architected pool is the scheduler's job. The output types
+//! ([`Converted`], [`Flow`], [`CondSpec`]) are the ISA-neutral ones from
+//! the frontend boundary.
 
-use daisy_ppc::insn::{
+use crate::insn::{
     bo, Arith2Op, ArithOp, BranchKind, Insn, LogicImmOp, LogicOp, MemWidth, ShiftOp, UnaryOp,
 };
-use daisy_ppc::reg::{CrField, Gpr};
+use crate::reg::{CrField, Gpr};
+use daisy_isa::convert::{CondSpec, Converted, Flow};
 use daisy_vliw::op::{OpKind, Operation};
 use daisy_vliw::reg::Reg;
 use daisy_vliw::tree::IndirectVia;
-
-/// A branch condition in architected terms (before renaming): test one
-/// bit of a condition field register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CondSpec {
-    /// The architected register holding the 4-bit condition value. For
-    /// CTR-decrement branches this is a placeholder filled by the
-    /// scheduler with the freshly computed compare result.
-    pub field: Reg,
-    /// Bit mask within the field (LT = 0b1000 … SO = 0b0001).
-    pub mask: u32,
-    /// Taken when the bit equals this.
-    pub want_set: bool,
-}
-
-/// The control behaviour of a converted instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Flow {
-    /// Straight-line: fall through to the next instruction.
-    Fall,
-    /// Unconditional direct branch.
-    Jump {
-        /// Resolved target address.
-        target: u32,
-    },
-    /// Conditional direct branch. When `ctr_compare` is set, the
-    /// scheduler must point the condition at the result of the *last*
-    /// op in `ops` (the CTR-vs-0 compare), not at an architected field.
-    CondJump {
-        /// The tested condition.
-        cond: CondSpec,
-        /// Taken target.
-        target: u32,
-        /// Condition comes from the emitted CTR compare op.
-        ctr_compare: bool,
-    },
-    /// Unconditional indirect branch through LR or CTR.
-    IndirectJump {
-        /// Which register supplies the target.
-        via: IndirectVia,
-    },
-    /// Conditional indirect branch (e.g. `bnelr`).
-    CondIndirect {
-        /// The tested condition.
-        cond: CondSpec,
-        /// Which register supplies the target.
-        via: IndirectVia,
-        /// Condition comes from the emitted CTR compare op.
-        ctr_compare: bool,
-    },
-    /// Must be handed to the VMM's interpreter (`sc`, `rfi`,
-    /// privileged SPR/MSR access, unsupported encodings).
-    Interp,
-}
-
-/// A converted instruction: its RISC primitives plus control behaviour.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Converted {
-    /// Primitives in execution order (architected operands).
-    pub ops: Vec<Operation>,
-    /// Control flow after the ops.
-    pub flow: Flow,
-    /// True when the instruction writes the link register (the
-    /// scheduler emits the LR-update primitive itself so it can capture
-    /// the pre-update LR for `bclrl`).
-    pub links: bool,
-}
-
-impl Converted {
-    fn fall(ops: Vec<Operation>) -> Converted {
-        Converted { ops, flow: Flow::Fall, links: false }
-    }
-
-    fn interp() -> Converted {
-        Converted { ops: Vec::new(), flow: Flow::Interp, links: false }
-    }
-}
 
 fn g(r: Gpr) -> Reg {
     Reg::gpr(r)
@@ -274,7 +201,7 @@ pub fn convert(insn: &Insn, addr: u32) -> Converted {
                 .dst(g(ra))
                 .src(g(rs))
                 .with_imm(i32::from(sh))
-                .with_imm2(daisy_ppc::interp::rlw_mask(mb, me))];
+                .with_imm2(daisy_vliw::op::rlw_mask(mb, me))];
             if rc {
                 push_record(&mut ops, g(ra), addr);
             }
@@ -286,7 +213,7 @@ pub fn convert(insn: &Insn, addr: u32) -> Converted {
                 .src(g(rs))
                 .src(g(ra))
                 .with_imm(i32::from(sh))
-                .with_imm2(daisy_ppc::interp::rlw_mask(mb, me))];
+                .with_imm2(daisy_vliw::op::rlw_mask(mb, me))];
             if rc {
                 push_record(&mut ops, g(ra), addr);
             }
@@ -297,7 +224,7 @@ pub fn convert(insn: &Insn, addr: u32) -> Converted {
                 .dst(g(ra))
                 .src(g(rs))
                 .src(g(rb))
-                .with_imm2(daisy_ppc::interp::rlw_mask(mb, me))];
+                .with_imm2(daisy_vliw::op::rlw_mask(mb, me))];
             if rc {
                 push_record(&mut ops, g(ra), addr);
             }
@@ -461,13 +388,11 @@ pub fn convert(insn: &Insn, addr: u32) -> Converted {
             Converted::fall(ops)
         }
         Insn::Mfspr { rt, spr } => match spr {
-            daisy_ppc::reg::Spr::Lr => {
-                Converted::fall(vec![op0(OpKind::Copy).dst(g(rt)).src(Reg::LR)])
-            }
-            daisy_ppc::reg::Spr::Ctr => {
+            crate::reg::Spr::Lr => Converted::fall(vec![op0(OpKind::Copy).dst(g(rt)).src(Reg::LR)]),
+            crate::reg::Spr::Ctr => {
                 Converted::fall(vec![op0(OpKind::Copy).dst(g(rt)).src(Reg::CTR)])
             }
-            daisy_ppc::reg::Spr::Xer => Converted::fall(vec![op0(OpKind::XerCompose)
+            crate::reg::Spr::Xer => Converted::fall(vec![op0(OpKind::XerCompose)
                 .dst(g(rt))
                 .src(Reg::CA)
                 .src(Reg::OV)
@@ -475,13 +400,11 @@ pub fn convert(insn: &Insn, addr: u32) -> Converted {
             _ => Converted::interp(),
         },
         Insn::Mtspr { spr, rs } => match spr {
-            daisy_ppc::reg::Spr::Lr => {
-                Converted::fall(vec![op0(OpKind::Copy).dst(Reg::LR).src(g(rs))])
-            }
-            daisy_ppc::reg::Spr::Ctr => {
+            crate::reg::Spr::Lr => Converted::fall(vec![op0(OpKind::Copy).dst(Reg::LR).src(g(rs))]),
+            crate::reg::Spr::Ctr => {
                 Converted::fall(vec![op0(OpKind::Copy).dst(Reg::CTR).src(g(rs))])
             }
-            daisy_ppc::reg::Spr::Xer => Converted::fall(vec![
+            crate::reg::Spr::Xer => Converted::fall(vec![
                 op0(OpKind::XerExtract).dst(Reg::CA).src(g(rs)).with_imm(29),
                 op0(OpKind::XerExtract).dst(Reg::OV).src(g(rs)).with_imm(30),
                 op0(OpKind::XerExtract).dst(Reg::SO).src(g(rs)).with_imm(31),
@@ -514,12 +437,12 @@ enum BranchDest {
 fn convert_cond_branch(
     addr: u32,
     b: u8,
-    bi: daisy_ppc::reg::CrBit,
+    bi: crate::reg::CrBit,
     lk: bool,
     dest: BranchDest,
 ) -> Converted {
     let mut ops = Vec::new();
-    let mut ctr_compare = false;
+    let mut cond_compare = false;
     // CTR-decrementing forms: explicit decrement + compare, so the
     // count can rename and loop iterations overlap (paper Appendix D).
     let ctr_cond = if !bo::ignores_ctr(b) {
@@ -533,7 +456,7 @@ fn convert_cond_branch(
             .src(Reg::SO)
             .with_imm(0);
         ops.push(cmp);
-        ctr_compare = true;
+        cond_compare = true;
         Some(CondSpec {
             field: Reg::cr(CrField(0)), // placeholder; scheduler substitutes
             mask: 0b0010,               // EQ bit of the compare
@@ -561,8 +484,8 @@ fn convert_cond_branch(
     let flow = match (cond, dest) {
         (None, BranchDest::Direct(target)) => Flow::Jump { target },
         (None, BranchDest::Via(via)) => Flow::IndirectJump { via },
-        (Some(cond), BranchDest::Direct(target)) => Flow::CondJump { cond, target, ctr_compare },
-        (Some(cond), BranchDest::Via(via)) => Flow::CondIndirect { cond, via, ctr_compare },
+        (Some(cond), BranchDest::Direct(target)) => Flow::CondJump { cond, target, cond_compare },
+        (Some(cond), BranchDest::Via(via)) => Flow::CondIndirect { cond, via, cond_compare },
     };
     Converted { ops, flow, links: lk }
 }
@@ -570,7 +493,7 @@ fn convert_cond_branch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daisy_ppc::reg::CrBit;
+    use crate::reg::CrBit;
 
     #[test]
     fn add_converts_to_one_primitive() {
@@ -629,9 +552,9 @@ mod tests {
         assert_eq!(c.ops[0].dest, Some(Reg::CTR));
         assert_eq!(c.ops[0].imm, -1);
         match c.flow {
-            Flow::CondJump { cond, target, ctr_compare } => {
+            Flow::CondJump { cond, target, cond_compare } => {
                 assert_eq!(target, 0xF8);
-                assert!(ctr_compare);
+                assert!(cond_compare);
                 assert_eq!(cond.mask, 0b0010);
                 assert!(!cond.want_set); // bdnz: taken when CTR != 0
             }
@@ -650,9 +573,9 @@ mod tests {
     fn conditional_blr() {
         let c = convert(&Insn::BranchClr { bo: bo::IF_FALSE, bi: CrBit(2), lk: false }, 0);
         match c.flow {
-            Flow::CondIndirect { cond, via, ctr_compare } => {
+            Flow::CondIndirect { cond, via, cond_compare } => {
                 assert_eq!(via, IndirectVia::Lr);
-                assert!(!ctr_compare);
+                assert!(!cond_compare);
                 assert_eq!(cond.mask, 0b0010);
                 assert!(!cond.want_set);
             }
@@ -665,7 +588,7 @@ mod tests {
         assert_eq!(convert(&Insn::Rfi, 0).flow, Flow::Interp);
         assert_eq!(convert(&Insn::Sc, 0).flow, Flow::Interp);
         assert_eq!(
-            convert(&Insn::Mfspr { rt: Gpr(1), spr: daisy_ppc::reg::Spr::Srr0 }, 0).flow,
+            convert(&Insn::Mfspr { rt: Gpr(1), spr: crate::reg::Spr::Srr0 }, 0).flow,
             Flow::Interp
         );
     }

@@ -157,64 +157,11 @@ pub fn decode(w: u32) -> Insn {
 
 /// Memoizes [`decode`] results per instruction-word address.
 ///
-/// The interpreter hot loops (trace generation, interpretive
-/// compilation's interpret-ahead) revisit the same words millions of
-/// times; decode is a pure function of the word, so its result can be
-/// reused. The cache is direct-mapped by word offset, and each entry
-/// remembers the raw word it decoded: a store that rewrites an
-/// instruction in place changes the word, the comparison on the next
-/// fetch misses, and the entry is re-decoded — self-invalidation
-/// without any store-side hook.
-#[derive(Debug, Clone)]
-pub struct DecodeCache {
-    entries: Vec<DecodeEntry>,
-    mask: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct DecodeEntry {
-    addr: u32,
-    word: u32,
-    insn: Insn,
-}
-
-impl DecodeCache {
-    /// Default number of slots; covers an 8 KiB working set of code.
-    const DEFAULT_SLOTS: usize = 2048;
-
-    /// Creates a cache with the default slot count.
-    pub fn new() -> DecodeCache {
-        DecodeCache::with_slots(Self::DEFAULT_SLOTS)
-    }
-
-    /// Creates a cache with at least `slots` entries (rounded up to a
-    /// power of two).
-    pub fn with_slots(slots: usize) -> DecodeCache {
-        let slots = slots.next_power_of_two().max(16);
-        DecodeCache {
-            entries: vec![DecodeEntry { addr: u32::MAX, word: 0, insn: Insn::Invalid(0) }; slots],
-            mask: slots - 1,
-        }
-    }
-
-    /// Decodes the instruction `word` fetched from `addr`, reusing the
-    /// cached decode when the same word is still at that address.
-    pub fn decode_at(&mut self, addr: u32, word: u32) -> Insn {
-        let e = &mut self.entries[((addr >> 2) as usize) & self.mask];
-        if e.addr == addr && e.word == word {
-            return e.insn;
-        }
-        let insn = decode(word);
-        *e = DecodeEntry { addr, word, insn };
-        insn
-    }
-}
-
-impl Default for DecodeCache {
-    fn default() -> DecodeCache {
-        DecodeCache::new()
-    }
-}
+/// This is the shared direct-mapped memo table from the frontend
+/// boundary, instantiated for PowerPC instructions and salted with the
+/// PowerPC ISA id; see [`daisy_isa::DecodeCache`] for the
+/// self-invalidation story.
+pub type DecodeCache = daisy_isa::DecodeCache<Insn>;
 
 fn decode_op19(w: u32) -> Insn {
     let xo = (w >> 1) & 0x3FF;
@@ -347,18 +294,18 @@ mod tests {
 
     #[test]
     fn decode_cache_hits_and_self_invalidates() {
-        let mut c = DecodeCache::with_slots(16);
+        let mut c = DecodeCache::with_slots(daisy_isa::IsaId::PPC, 16);
         let addi = 0x3860_0001; // li r3,1
-        assert_eq!(c.decode_at(0x1000, addi), decode(addi));
+        assert_eq!(c.decode_at(0x1000, addi, decode), decode(addi));
         // Same word at the same address: served from the cache.
-        assert_eq!(c.decode_at(0x1000, addi), Insn::Addi { rt: Gpr(3), ra: Gpr(0), si: 1 });
+        assert_eq!(c.decode_at(0x1000, addi, decode), Insn::Addi { rt: Gpr(3), ra: Gpr(0), si: 1 });
         // The word changed in place (self-modifying code): the stale
         // entry must not be returned.
         let sc = 0x4400_0002;
-        assert_eq!(c.decode_at(0x1000, sc), Insn::Sc);
+        assert_eq!(c.decode_at(0x1000, sc, decode), Insn::Sc);
         // A conflicting address mapping to the same slot evicts cleanly.
-        assert_eq!(c.decode_at(0x1000 + 16 * 4, addi), decode(addi));
-        assert_eq!(c.decode_at(0x1000, sc), Insn::Sc);
+        assert_eq!(c.decode_at(0x1000 + 16 * 4, addi, decode), decode(addi));
+        assert_eq!(c.decode_at(0x1000, sc, decode), Insn::Sc);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 use crate::reg::{CrBit, CrField, Gpr, Spr};
 use std::fmt;
 
+// Shared with the ISA-neutral layers; historical paths preserved here.
+pub use daisy_isa::convert::{BranchInfo, BranchKind};
+pub use daisy_vliw::op::{CrOp, MemWidth};
+
 /// Three-register XO-form arithmetic operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArithOp {
@@ -120,49 +124,6 @@ pub enum UnaryOp {
     Extsh,
 }
 
-/// CR-logical operations (op 19).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CrOp {
-    /// `crand bt,ba,bb`
-    And,
-    /// `cror bt,ba,bb`
-    Or,
-    /// `crxor bt,ba,bb`
-    Xor,
-    /// `crnand bt,ba,bb`
-    Nand,
-    /// `crnor bt,ba,bb`
-    Nor,
-    /// `creqv bt,ba,bb`
-    Eqv,
-    /// `crandc bt,ba,bb`
-    Andc,
-    /// `crorc bt,ba,bb`
-    Orc,
-}
-
-/// Access width of a load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MemWidth {
-    /// 1 byte.
-    Byte,
-    /// 2 bytes (big-endian).
-    Half,
-    /// 4 bytes (big-endian).
-    Word,
-}
-
-impl MemWidth {
-    /// Width in bytes.
-    pub fn bytes(self) -> u32 {
-        match self {
-            MemWidth::Byte => 1,
-            MemWidth::Half => 2,
-            MemWidth::Word => 4,
-        }
-    }
-}
-
 /// A decoded PowerPC instruction.
 ///
 /// Field names follow the architecture manual: `rt` target, `ra`/`rb`
@@ -264,30 +225,6 @@ pub enum Insn {
     Twi { to: u8, ra: Gpr, si: i16 },
     /// A word that does not decode to a supported instruction.
     Invalid(u32),
-}
-
-/// Where a branch may transfer control to, resolved against its own address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BranchKind {
-    /// Direct target address known statically.
-    Direct(u32),
-    /// Indirect through the link register.
-    ViaLr,
-    /// Indirect through the count register.
-    ViaCtr,
-}
-
-/// Static description of an instruction's control flow, from [`Insn::branch_info`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BranchInfo {
-    /// Destination on taken.
-    pub kind: BranchKind,
-    /// True for unconditional branches (BO says "always" or I-form).
-    pub unconditional: bool,
-    /// True when the instruction writes the link register.
-    pub links: bool,
-    /// True when the BO field decrements CTR.
-    pub decrements_ctr: bool,
 }
 
 /// BO-field helpers (PowerPC numbers BO bits 0..4 most-significant first).

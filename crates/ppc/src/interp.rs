@@ -20,61 +20,9 @@ use crate::mem::{Memory, Mmu, XlateFault};
 use crate::reg::{msr_bits, xer_bits, CrBit, CrField, Gpr, Spr};
 use crate::vectors;
 
-/// Rotate-left-word mask for `mb..me` in big-endian bit numbering
-/// (bit 0 = MSB), with the wrap-around form when `mb > me`.
-pub fn rlw_mask(mb: u8, me: u8) -> u32 {
-    let m1 = 0xFFFF_FFFFu32 >> (mb & 31);
-    let m2 = 0xFFFF_FFFFu32 << (31 - (me & 31));
-    if mb <= me {
-        m1 & m2
-    } else {
-        m1 | m2
-    }
-}
-
-/// What a single [`Cpu::step`] produced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Event {
-    /// Normal completion; keep going.
-    Continue,
-    /// An `sc` instruction executed (PC already advanced past it).
-    Syscall,
-    /// A `tw`/`twi` trap condition fired (PC still at the trap).
-    Trap,
-    /// Privileged or illegal instruction in user state (PC at the instruction).
-    Program,
-    /// Data storage fault: no translation or protection violation.
-    Dsi {
-        /// Faulting effective address.
-        addr: u32,
-        /// True for a store.
-        write: bool,
-    },
-    /// Instruction storage fault at the current PC.
-    Isi,
-}
-
-/// Why [`Cpu::run`] stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StopReason {
-    /// An `sc` executed and vectored delivery is disabled.
-    Syscall,
-    /// A trap fired and vectored delivery is disabled.
-    Trap,
-    /// Program (illegal/privileged) exception, vectored delivery disabled.
-    Program,
-    /// Unhandled storage fault.
-    StorageFault {
-        /// Faulting effective address (instruction address for Isi).
-        addr: u32,
-        /// True for a store fault.
-        write: bool,
-        /// True for an instruction-fetch fault.
-        fetch: bool,
-    },
-    /// Instruction budget exhausted.
-    MaxInstrs,
-}
+// Shared with every guest frontend; historical paths preserved here.
+pub use daisy_isa::{Event, StopReason};
+pub use daisy_vliw::op::{compare, rlw_mask, trap_taken};
 
 /// Full architected processor state of the emulated PowerPC.
 ///
@@ -265,7 +213,7 @@ impl Cpu {
     pub fn fetch_cached(&self, mem: &Memory, dcache: &mut DecodeCache) -> Result<Insn, Event> {
         let pa = self.xlate_fetch(self.pc)?;
         let word = mem.read_u32(pa).map_err(|_| Event::Isi)?;
-        Ok(dcache.decode_at(pa, word))
+        Ok(dcache.decode_at(pa, word, decode))
     }
 
     /// Executes one instruction. On [`Event::Continue`]/[`Event::Syscall`]
@@ -711,10 +659,16 @@ impl Cpu {
 
     fn data_fault(&mut self, e: Event) -> Event {
         if let Event::Dsi { addr, write } = e {
-            self.dar = addr;
-            self.dsisr = if write { 0x4200_0000 } else { 0x4000_0000 };
+            self.record_data_fault_regs(addr, write);
         }
         e
+    }
+
+    /// Records a data-fault address and direction in DAR/DSISR without
+    /// redirecting control.
+    pub fn record_data_fault_regs(&mut self, addr: u32, write: bool) {
+        self.dar = addr;
+        self.dsisr = if write { 0x4200_0000 } else { 0x4000_0000 };
     }
 
     fn branch(&mut self, insn: Insn, next: u32) -> Event {
@@ -797,7 +751,9 @@ impl Cpu {
         self.pc = vector;
     }
 
-    fn handle_event(&mut self, ev: Event) -> Option<StopReason> {
+    /// Resolves an interpreter event: delivers it to an architected
+    /// vector (when [`Cpu::vectored`](Cpu)) or turns it into a stop.
+    pub fn handle_event(&mut self, ev: Event) -> Option<StopReason> {
         match ev {
             Event::Continue => None,
             Event::Syscall => {
@@ -851,7 +807,7 @@ impl Cpu {
         mut trace: impl FnMut(u32, &Insn),
     ) -> Result<StopReason, MemTooSmall> {
         let limit = self.ninstrs.saturating_add(max_instrs);
-        let mut dcache = DecodeCache::new();
+        let mut dcache = DecodeCache::new(daisy_isa::IsaId::PPC);
         while self.ninstrs < limit {
             let pc = self.pc;
             let ev = match self.fetch_cached(mem, &mut dcache) {
@@ -884,30 +840,6 @@ impl std::fmt::Display for MemTooSmall {
 }
 
 impl std::error::Error for MemTooSmall {}
-
-/// 4-bit CR field value comparing `a` against `b`.
-#[inline]
-pub fn compare(a: u32, b: u32, signed: bool, so: bool) -> u32 {
-    let ord = if signed { (a as i32).cmp(&(b as i32)) } else { a.cmp(&b) };
-    let base = match ord {
-        std::cmp::Ordering::Less => 0b1000,
-        std::cmp::Ordering::Greater => 0b0100,
-        std::cmp::Ordering::Equal => 0b0010,
-    };
-    base | u32::from(so)
-}
-
-/// Evaluates a trap-word condition field against two operands.
-#[inline]
-pub fn trap_taken(to: u8, a: u32, b: u32) -> bool {
-    let sa = a as i32;
-    let sb = b as i32;
-    (to & 16 != 0 && sa < sb)
-        || (to & 8 != 0 && sa > sb)
-        || (to & 4 != 0 && a == b)
-        || (to & 2 != 0 && a < b)
-        || (to & 1 != 0 && a > b)
-}
 
 #[cfg(test)]
 mod tests {

@@ -40,24 +40,28 @@
 //! ```
 
 pub mod asm;
+pub mod convert;
 pub mod decode;
 pub mod encode;
+pub mod frontend;
 pub mod insn;
 pub mod interp;
-pub mod mem;
+pub use daisy_isa::mem;
 pub mod parse;
 pub mod reg;
 
 pub use asm::{Asm, Program};
 pub use decode::decode;
 pub use encode::encode;
+pub use frontend::PpcIsa;
 pub use insn::Insn;
 pub use interp::Cpu;
 pub use mem::Memory;
 pub use reg::{CrBit, CrField, Gpr, Spr};
 
-/// Size of a base-architecture page in bytes (PowerPC uses 4 KiB).
-pub const PAGE_SIZE: u32 = 4096;
+/// Size of a base-architecture page in bytes (PowerPC uses 4 KiB; the
+/// shared value lives at the frontend boundary).
+pub use daisy_isa::PAGE_SIZE;
 
 /// PowerPC exception vector offsets (real addresses), per the paper's §3.3.
 pub mod vectors {

@@ -2,55 +2,10 @@
 
 use std::fmt;
 
-/// A general-purpose register, `r0`–`r31`.
-///
-/// The PowerPC architects 32 GPRs; DAISY's migrant VLIW extends the file
-/// to 64, with `r32`–`r63` invisible to the base architecture (see
-/// `daisy_vliw::reg`). This type only ever names the architected 32.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Gpr(pub u8);
-
-impl Gpr {
-    /// Returns the register number, guaranteed `< 32` for valid values.
-    pub fn num(self) -> u8 {
-        self.0
-    }
-
-    /// Returns true if this names one of the 32 architected GPRs.
-    pub fn is_valid(self) -> bool {
-        self.0 < 32
-    }
-}
-
-impl fmt::Display for Gpr {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "r{}", self.0)
-    }
-}
-
-/// A condition-register field, `cr0`–`cr7`.
-///
-/// Each field holds four bits: LT, GT, EQ, SO (most significant first).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct CrField(pub u8);
-
-impl CrField {
-    /// Returns the field number, `< 8` for valid values.
-    pub fn num(self) -> u8 {
-        self.0
-    }
-
-    /// Returns true if this names one of the 8 architected CR fields.
-    pub fn is_valid(self) -> bool {
-        self.0 < 8
-    }
-}
-
-impl fmt::Display for CrField {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cr{}", self.0)
-    }
-}
+// The GPR and CR-field names are shared with the VLIW's unified
+// register file and live at that layer; they keep their historical
+// paths here.
+pub use daisy_vliw::reg::{CrField, Gpr};
 
 /// Bit masks within a 4-bit CR field value.
 pub mod cr_bits {

@@ -1,0 +1,441 @@
+//! Label-based RV32I assembler and program builder.
+//!
+//! The RV32 workload ports are written against this API and assembled
+//! to genuine 32-bit RISC-V words, which the DAISY translator then
+//! consumes exactly as it would consume a real binary. The shape
+//! mirrors the PowerPC assembler: instructions append from a base
+//! address, labels name the next instruction, and `finish` patches
+//! branch displacements.
+//!
+//! # Example
+//!
+//! ```
+//! use daisy_rv32::asm::Asm;
+//! use daisy_rv32::insn::Xr;
+//!
+//! let mut a = Asm::new(0x1000);
+//! a.li(Xr(10), 0);
+//! a.li(Xr(5), 10);
+//! a.label("loop");
+//! a.addi(Xr(10), Xr(10), 2);
+//! a.addi(Xr(5), Xr(5), -1);
+//! a.bne(Xr(5), Xr(0), "loop");
+//! a.ecall();
+//! let prog = a.finish().unwrap();
+//! assert_eq!(prog.code.len(), 6);
+//! ```
+
+use crate::insn::{encode, AluImmOp, AluOp, BranchCond, Insn, MemWidth, ShiftOp, Xr};
+use std::collections::HashMap;
+use std::fmt;
+
+// The assembled image type is ISA-neutral and shared across guest
+// frontends.
+pub use daisy_isa::Program;
+
+/// Assembly-time errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch displacement exceeded its encoding range (±4 KiB for
+    /// conditional branches, ±1 MiB for `jal`).
+    BranchOutOfRange {
+        /// The target label.
+        label: String,
+        /// Displacement in bytes.
+        displacement: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, displacement } => {
+                write!(f, "branch to `{label}` out of range ({displacement} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Insn(Insn),
+    /// Conditional branch with a label target to fix up.
+    BranchTo {
+        cond: BranchCond,
+        rs1: Xr,
+        rs2: Xr,
+        label: String,
+    },
+    /// `jal` with a label target.
+    JalTo {
+        rd: Xr,
+        label: String,
+    },
+}
+
+/// The assembler. Instructions append at increasing addresses from the
+/// base; labels name the next instruction's address.
+#[derive(Debug, Clone)]
+pub struct Asm {
+    base: u32,
+    items: Vec<Item>,
+    labels: HashMap<String, u32>,
+    data: Vec<(u32, Vec<u8>)>,
+    error: Option<AsmError>,
+}
+
+impl Asm {
+    /// Starts assembling at `base` (must be word-aligned).
+    pub fn new(base: u32) -> Asm {
+        Asm {
+            base: base & !3,
+            items: Vec::new(),
+            labels: HashMap::new(),
+            data: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Address the next emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.base + 4 * self.items.len() as u32
+    }
+
+    /// Defines a label at the current address.
+    pub fn label(&mut self, name: &str) {
+        if self.labels.insert(name.to_owned(), self.here()).is_some() && self.error.is_none() {
+            self.error = Some(AsmError::DuplicateLabel(name.to_owned()));
+        }
+    }
+
+    /// Attaches raw bytes at an absolute address in the image.
+    pub fn data(&mut self, addr: u32, bytes: &[u8]) {
+        self.data.push((addr, bytes.to_vec()));
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, insn: Insn) {
+        self.items.push(Item::Insn(insn));
+    }
+
+    /// Resolves labels and produces the program image.
+    pub fn finish(self) -> Result<Program, AsmError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let lookup = |label: &str| -> Result<u32, AsmError> {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_owned()))
+        };
+        let mut code = Vec::with_capacity(self.items.len());
+        for (i, item) in self.items.iter().enumerate() {
+            let pc = self.base + 4 * i as u32;
+            let insn = match item {
+                Item::Insn(insn) => *insn,
+                Item::BranchTo { cond, rs1, rs2, label } => {
+                    let target = lookup(label)?;
+                    let disp = i64::from(target) - i64::from(pc);
+                    if !(-4096..4096).contains(&disp) {
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            displacement: disp,
+                        });
+                    }
+                    Insn::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, off: disp as i16 }
+                }
+                Item::JalTo { rd, label } => {
+                    let target = lookup(label)?;
+                    let disp = i64::from(target) - i64::from(pc);
+                    if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            displacement: disp,
+                        });
+                    }
+                    Insn::Jal { rd: *rd, off: disp as i32 }
+                }
+            };
+            code.push(encode(&insn));
+        }
+        Ok(Program {
+            base: self.base,
+            entry: self.base,
+            code,
+            data: self.data,
+            labels: self.labels,
+        })
+    }
+
+    // ---- Mnemonics ------------------------------------------------------
+
+    /// `addi rd, rs1, imm` (−2048..=2047).
+    pub fn addi(&mut self, rd: Xr, rs1: Xr, imm: i16) {
+        self.emit(Insn::OpImm { op: AluImmOp::Addi, rd, rs1, imm });
+    }
+
+    /// Loads a 32-bit constant with `addi` or `lui`+`addi`.
+    pub fn li(&mut self, rd: Xr, v: i32) {
+        let v = v as u32;
+        let lo = ((v << 20) as i32 >> 20) as i16; // sign-extended low 12
+        if lo as i32 as u32 == v {
+            self.addi(rd, Xr(0), lo);
+            return;
+        }
+        // Pre-compensate the upper part for the sign of the low half.
+        let hi = v.wrapping_add(0x800) & 0xFFFF_F000;
+        self.emit(Insn::Lui { rd, imm: hi });
+        if lo != 0 {
+            self.addi(rd, rd, lo);
+        }
+    }
+
+    /// Loads a 32-bit constant (unsigned convenience form of [`Asm::li`]).
+    pub fn li32(&mut self, rd: Xr, v: u32) {
+        self.li(rd, v as i32);
+    }
+
+    /// `mv rd, rs` (`addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Xr, rs: Xr) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Xr, rs1: Xr, rs2: Xr) {
+        self.emit(Insn::Op { op: AluOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Xr, rs1: Xr, rs2: Xr) {
+        self.emit(Insn::Op { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: Xr, rs1: Xr, rs2: Xr) {
+        self.emit(Insn::Op { op: AluOp::And, rd, rs1, rs2 });
+    }
+
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: Xr, rs1: Xr, rs2: Xr) {
+        self.emit(Insn::Op { op: AluOp::Or, rd, rs1, rs2 });
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: Xr, rs1: Xr, rs2: Xr) {
+        self.emit(Insn::Op { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+
+    /// `slt rd, rs1, rs2`.
+    pub fn slt(&mut self, rd: Xr, rs1: Xr, rs2: Xr) {
+        self.emit(Insn::Op { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: Xr, rs1: Xr, rs2: Xr) {
+        self.emit(Insn::Op { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Xr, rs1: Xr, imm: i16) {
+        self.emit(Insn::OpImm { op: AluImmOp::Andi, rd, rs1, imm });
+    }
+
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: Xr, rs1: Xr, imm: i16) {
+        self.emit(Insn::OpImm { op: AluImmOp::Ori, rd, rs1, imm });
+    }
+
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: Xr, rs1: Xr, imm: i16) {
+        self.emit(Insn::OpImm { op: AluImmOp::Xori, rd, rs1, imm });
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: Xr, rs1: Xr, shamt: u8) {
+        self.emit(Insn::ShiftImm { op: ShiftOp::Sll, rd, rs1, shamt });
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: Xr, rs1: Xr, shamt: u8) {
+        self.emit(Insn::ShiftImm { op: ShiftOp::Srl, rd, rs1, shamt });
+    }
+
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: Xr, rs1: Xr, shamt: u8) {
+        self.emit(Insn::ShiftImm { op: ShiftOp::Sra, rd, rs1, shamt });
+    }
+
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(&mut self, rd: Xr, rs1: Xr, rs2: Xr) {
+        self.emit(Insn::OpShift { op: ShiftOp::Sll, rd, rs1, rs2 });
+    }
+
+    /// `lb rd, off(rs1)`.
+    pub fn lb(&mut self, rd: Xr, off: i16, rs1: Xr) {
+        self.emit(Insn::Load { rd, rs1, off, width: MemWidth::Byte, unsigned: false });
+    }
+
+    /// `lbu rd, off(rs1)`.
+    pub fn lbu(&mut self, rd: Xr, off: i16, rs1: Xr) {
+        self.emit(Insn::Load { rd, rs1, off, width: MemWidth::Byte, unsigned: true });
+    }
+
+    /// `lh rd, off(rs1)`.
+    pub fn lh(&mut self, rd: Xr, off: i16, rs1: Xr) {
+        self.emit(Insn::Load { rd, rs1, off, width: MemWidth::Half, unsigned: false });
+    }
+
+    /// `lhu rd, off(rs1)`.
+    pub fn lhu(&mut self, rd: Xr, off: i16, rs1: Xr) {
+        self.emit(Insn::Load { rd, rs1, off, width: MemWidth::Half, unsigned: true });
+    }
+
+    /// `lw rd, off(rs1)`.
+    pub fn lw(&mut self, rd: Xr, off: i16, rs1: Xr) {
+        self.emit(Insn::Load { rd, rs1, off, width: MemWidth::Word, unsigned: false });
+    }
+
+    /// `sb rs2, off(rs1)`.
+    pub fn sb(&mut self, rs2: Xr, off: i16, rs1: Xr) {
+        self.emit(Insn::Store { rs2, rs1, off, width: MemWidth::Byte });
+    }
+
+    /// `sh rs2, off(rs1)`.
+    pub fn sh(&mut self, rs2: Xr, off: i16, rs1: Xr) {
+        self.emit(Insn::Store { rs2, rs1, off, width: MemWidth::Half });
+    }
+
+    /// `sw rs2, off(rs1)`.
+    pub fn sw(&mut self, rs2: Xr, off: i16, rs1: Xr) {
+        self.emit(Insn::Store { rs2, rs1, off, width: MemWidth::Word });
+    }
+
+    fn branch(&mut self, cond: BranchCond, rs1: Xr, rs2: Xr, label: &str) {
+        self.items.push(Item::BranchTo { cond, rs1, rs2, label: label.to_owned() });
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Xr, rs2: Xr, label: &str) {
+        self.branch(BranchCond::Eq, rs1, rs2, label);
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Xr, rs2: Xr, label: &str) {
+        self.branch(BranchCond::Ne, rs1, rs2, label);
+    }
+
+    /// `blt rs1, rs2, label` (signed).
+    pub fn blt(&mut self, rs1: Xr, rs2: Xr, label: &str) {
+        self.branch(BranchCond::Lt, rs1, rs2, label);
+    }
+
+    /// `bge rs1, rs2, label` (signed).
+    pub fn bge(&mut self, rs1: Xr, rs2: Xr, label: &str) {
+        self.branch(BranchCond::Ge, rs1, rs2, label);
+    }
+
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: Xr, rs2: Xr, label: &str) {
+        self.branch(BranchCond::Ltu, rs1, rs2, label);
+    }
+
+    /// `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: Xr, rs2: Xr, label: &str) {
+        self.branch(BranchCond::Geu, rs1, rs2, label);
+    }
+
+    /// `ble rs1, rs2, label` — pseudo: `bge rs2, rs1, label`.
+    pub fn ble(&mut self, rs1: Xr, rs2: Xr, label: &str) {
+        self.branch(BranchCond::Ge, rs2, rs1, label);
+    }
+
+    /// `bgt rs1, rs2, label` — pseudo: `blt rs2, rs1, label`.
+    pub fn bgt(&mut self, rs1: Xr, rs2: Xr, label: &str) {
+        self.branch(BranchCond::Lt, rs2, rs1, label);
+    }
+
+    /// `j label` — pseudo: `jal x0, label`.
+    pub fn j(&mut self, label: &str) {
+        self.items.push(Item::JalTo { rd: Xr(0), label: label.to_owned() });
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: Xr, label: &str) {
+        self.items.push(Item::JalTo { rd, label: label.to_owned() });
+    }
+
+    /// `jalr rd, off(rs1)`.
+    pub fn jalr(&mut self, rd: Xr, rs1: Xr, off: i16) {
+        self.emit(Insn::Jalr { rd, rs1, off });
+    }
+
+    /// `ecall`.
+    pub fn ecall(&mut self) {
+        self.emit(Insn::Ecall);
+    }
+
+    /// `ebreak`.
+    pub fn ebreak(&mut self) {
+        self.emit(Insn::Ebreak);
+    }
+
+    /// `mret`.
+    pub fn mret(&mut self) {
+        self.emit(Insn::Mret);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn li_expands_and_roundtrips() {
+        for v in [0i32, 1, -1, 42, -2048, 2047, 0x3_0000, -0x1234_5678, 0x7FFF_FFFF, 0x800] {
+            let mut a = Asm::new(0x1000);
+            a.li(Xr(5), v);
+            a.ecall();
+            let prog = a.finish().unwrap();
+            let mut mem = daisy_isa::mem::Memory::new(0x1_0000);
+            prog.load_into(&mut mem).unwrap();
+            let mut cpu = crate::interp::Cpu::new(prog.entry);
+            assert_eq!(cpu.run(&mut mem, 10), daisy_isa::StopReason::Syscall);
+            assert_eq!(cpu.x[5], v as u32, "li {v:#x}");
+        }
+    }
+
+    #[test]
+    fn branch_fixups_resolve_both_directions() {
+        let mut a = Asm::new(0x1000);
+        a.li(Xr(5), 3);
+        a.label("loop");
+        a.addi(Xr(5), Xr(5), -1);
+        a.bne(Xr(5), Xr(0), "loop");
+        a.j("done");
+        a.ebreak();
+        a.label("done");
+        a.ecall();
+        let prog = a.finish().unwrap();
+        let mut mem = daisy_isa::mem::Memory::new(0x1_0000);
+        prog.load_into(&mut mem).unwrap();
+        let mut cpu = crate::interp::Cpu::new(prog.entry);
+        assert_eq!(cpu.run(&mut mem, 100), daisy_isa::StopReason::Syscall);
+        assert_eq!(cpu.x[5], 0);
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new(0x1000);
+        a.j("nowhere");
+        assert_eq!(a.finish().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+}

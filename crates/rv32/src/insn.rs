@@ -1,0 +1,570 @@
+//! RV32I (subset) instruction set: decoded form, decoder, and encoder.
+//!
+//! The subset covers the RV32I base integer instructions the workload
+//! suite and the translator need: LUI/AUIPC, JAL/JALR, the six
+//! conditional branches, byte/half/word loads and stores, the
+//! register-immediate and register-register ALU groups, FENCE (a
+//! no-op here), and ECALL/EBREAK/MRET. CSR accesses and everything
+//! outside RV32I decode to [`Insn::Invalid`], which the interpreter
+//! raises as an illegal-instruction event — the decoder is total, like
+//! the PowerPC frontend's.
+
+use std::fmt;
+
+pub use daisy_vliw::op::MemWidth;
+
+/// A guest integer register `x0..x31`. `x0` is architecturally wired
+/// to zero: writes are discarded, reads yield 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Xr(pub u8);
+
+impl fmt::Display for Xr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Conditional-branch comparison (the B-type funct3 space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchCond {
+    /// `beq` — equal.
+    Eq,
+    /// `bne` — not equal.
+    Ne,
+    /// `blt` — signed less-than.
+    Lt,
+    /// `bge` — signed greater-or-equal.
+    Ge,
+    /// `bltu` — unsigned less-than.
+    Ltu,
+    /// `bgeu` — unsigned greater-or-equal.
+    Geu,
+}
+
+impl BranchCond {
+    fn funct3(self) -> u32 {
+        match self {
+            BranchCond::Eq => 0,
+            BranchCond::Ne => 1,
+            BranchCond::Lt => 4,
+            BranchCond::Ge => 5,
+            BranchCond::Ltu => 6,
+            BranchCond::Geu => 7,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+}
+
+/// Register-immediate ALU operation (OP-IMM funct3, shifts excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluImmOp {
+    /// `addi`.
+    Addi,
+    /// `slti` — set if signed less-than immediate.
+    Slti,
+    /// `sltiu` — set if unsigned less-than (sign-extended) immediate.
+    Sltiu,
+    /// `xori`.
+    Xori,
+    /// `ori`.
+    Ori,
+    /// `andi`.
+    Andi,
+}
+
+impl AluImmOp {
+    fn funct3(self) -> u32 {
+        match self {
+            AluImmOp::Addi => 0,
+            AluImmOp::Slti => 2,
+            AluImmOp::Sltiu => 3,
+            AluImmOp::Xori => 4,
+            AluImmOp::Ori => 6,
+            AluImmOp::Andi => 7,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+        }
+    }
+}
+
+/// Shift kind shared by the immediate and register shift forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftOp {
+    /// `sll`/`slli` — logical left.
+    Sll,
+    /// `srl`/`srli` — logical right.
+    Srl,
+    /// `sra`/`srai` — arithmetic right.
+    Sra,
+}
+
+impl ShiftOp {
+    fn imm_name(self) -> &'static str {
+        match self {
+            ShiftOp::Sll => "slli",
+            ShiftOp::Srl => "srli",
+            ShiftOp::Sra => "srai",
+        }
+    }
+}
+
+/// Register-register ALU operation (OP funct3/funct7, shifts excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// `add`.
+    Add,
+    /// `sub`.
+    Sub,
+    /// `slt` — set if signed less-than.
+    Slt,
+    /// `sltu` — set if unsigned less-than.
+    Sltu,
+    /// `xor`.
+    Xor,
+    /// `or`.
+    Or,
+    /// `and`.
+    And,
+}
+
+impl AluOp {
+    fn name(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+        }
+    }
+}
+
+/// A decoded RV32I (subset) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings follow the RISC-V spec formats
+pub enum Insn {
+    /// `lui rd, imm` — `imm` holds the already-shifted upper value.
+    Lui { rd: Xr, imm: u32 },
+    /// `auipc rd, imm` — `imm` holds the already-shifted upper value.
+    Auipc { rd: Xr, imm: u32 },
+    /// `jal rd, off` — `off` is the byte offset from this instruction.
+    Jal { rd: Xr, off: i32 },
+    /// `jalr rd, off(rs1)`.
+    Jalr { rd: Xr, rs1: Xr, off: i16 },
+    /// Conditional branch; `off` is the byte offset from this
+    /// instruction.
+    Branch { cond: BranchCond, rs1: Xr, rs2: Xr, off: i16 },
+    /// Load; `unsigned` selects `lbu`/`lhu` (ignored for words).
+    Load { rd: Xr, rs1: Xr, off: i16, width: MemWidth, unsigned: bool },
+    /// Store.
+    Store { rs2: Xr, rs1: Xr, off: i16, width: MemWidth },
+    /// Register-immediate ALU.
+    OpImm { op: AluImmOp, rd: Xr, rs1: Xr, imm: i16 },
+    /// Immediate shift.
+    ShiftImm { op: ShiftOp, rd: Xr, rs1: Xr, shamt: u8 },
+    /// Register-register ALU.
+    Op { op: AluOp, rd: Xr, rs1: Xr, rs2: Xr },
+    /// Register shift.
+    OpShift { op: ShiftOp, rd: Xr, rs1: Xr, rs2: Xr },
+    /// `fence` — a no-op on this single-hart machine.
+    Fence,
+    /// `ecall`.
+    Ecall,
+    /// `ebreak`.
+    Ebreak,
+    /// `mret` — machine-mode trap return.
+    Mret,
+    /// Any word outside the subset; raises an illegal-instruction
+    /// event when executed.
+    Invalid(u32),
+}
+
+// Opcode (bits 6:0) values of the subset.
+mod opc {
+    pub const LOAD: u32 = 0x03;
+    pub const FENCE: u32 = 0x0F;
+    pub const OP_IMM: u32 = 0x13;
+    pub const AUIPC: u32 = 0x17;
+    pub const STORE: u32 = 0x23;
+    pub const OP: u32 = 0x33;
+    pub const LUI: u32 = 0x37;
+    pub const BRANCH: u32 = 0x63;
+    pub const JALR: u32 = 0x67;
+    pub const JAL: u32 = 0x6F;
+    pub const SYSTEM: u32 = 0x73;
+}
+
+fn rd_of(w: u32) -> Xr {
+    Xr(((w >> 7) & 0x1F) as u8)
+}
+
+fn rs1_of(w: u32) -> Xr {
+    Xr(((w >> 15) & 0x1F) as u8)
+}
+
+fn rs2_of(w: u32) -> Xr {
+    Xr(((w >> 20) & 0x1F) as u8)
+}
+
+/// Sign-extended 12-bit I-type immediate (bits 31:20).
+fn imm_i(w: u32) -> i16 {
+    ((w as i32) >> 20) as i16
+}
+
+/// Sign-extended 12-bit S-type immediate.
+fn imm_s(w: u32) -> i16 {
+    let v = ((w >> 25) << 5) | ((w >> 7) & 0x1F);
+    ((v << 20) as i32 >> 20) as i16
+}
+
+/// Sign-extended 13-bit B-type immediate (bit 0 is zero).
+fn imm_b(w: u32) -> i16 {
+    let v = ((w >> 31) << 12)
+        | (((w >> 7) & 1) << 11)
+        | (((w >> 25) & 0x3F) << 5)
+        | (((w >> 8) & 0xF) << 1);
+    ((v << 19) as i32 >> 19) as i16
+}
+
+/// Sign-extended 21-bit J-type immediate (bit 0 is zero).
+fn imm_j(w: u32) -> i32 {
+    let v = ((w >> 31) << 20)
+        | (((w >> 12) & 0xFF) << 12)
+        | (((w >> 20) & 1) << 11)
+        | (((w >> 21) & 0x3FF) << 1);
+    (v << 11) as i32 >> 11
+}
+
+/// Decodes one instruction word. Total: words outside the subset
+/// return [`Insn::Invalid`].
+#[allow(clippy::too_many_lines)]
+pub fn decode(w: u32) -> Insn {
+    let funct3 = (w >> 12) & 7;
+    let funct7 = w >> 25;
+    match w & 0x7F {
+        opc::LUI => Insn::Lui { rd: rd_of(w), imm: w & 0xFFFF_F000 },
+        opc::AUIPC => Insn::Auipc { rd: rd_of(w), imm: w & 0xFFFF_F000 },
+        opc::JAL => Insn::Jal { rd: rd_of(w), off: imm_j(w) },
+        opc::JALR if funct3 == 0 => Insn::Jalr { rd: rd_of(w), rs1: rs1_of(w), off: imm_i(w) },
+        opc::BRANCH => {
+            let cond = match funct3 {
+                0 => BranchCond::Eq,
+                1 => BranchCond::Ne,
+                4 => BranchCond::Lt,
+                5 => BranchCond::Ge,
+                6 => BranchCond::Ltu,
+                7 => BranchCond::Geu,
+                _ => return Insn::Invalid(w),
+            };
+            Insn::Branch { cond, rs1: rs1_of(w), rs2: rs2_of(w), off: imm_b(w) }
+        }
+        opc::LOAD => {
+            let (width, unsigned) = match funct3 {
+                0 => (MemWidth::Byte, false),
+                1 => (MemWidth::Half, false),
+                2 => (MemWidth::Word, false),
+                4 => (MemWidth::Byte, true),
+                5 => (MemWidth::Half, true),
+                _ => return Insn::Invalid(w),
+            };
+            Insn::Load { rd: rd_of(w), rs1: rs1_of(w), off: imm_i(w), width, unsigned }
+        }
+        opc::STORE => {
+            let width = match funct3 {
+                0 => MemWidth::Byte,
+                1 => MemWidth::Half,
+                2 => MemWidth::Word,
+                _ => return Insn::Invalid(w),
+            };
+            Insn::Store { rs2: rs2_of(w), rs1: rs1_of(w), off: imm_s(w), width }
+        }
+        opc::OP_IMM => match funct3 {
+            1 | 5 => {
+                let op = match (funct3, funct7) {
+                    (1, 0x00) => ShiftOp::Sll,
+                    (5, 0x00) => ShiftOp::Srl,
+                    (5, 0x20) => ShiftOp::Sra,
+                    _ => return Insn::Invalid(w),
+                };
+                Insn::ShiftImm { op, rd: rd_of(w), rs1: rs1_of(w), shamt: rs2_of(w).0 }
+            }
+            _ => {
+                let op = match funct3 {
+                    0 => AluImmOp::Addi,
+                    2 => AluImmOp::Slti,
+                    3 => AluImmOp::Sltiu,
+                    4 => AluImmOp::Xori,
+                    6 => AluImmOp::Ori,
+                    7 => AluImmOp::Andi,
+                    _ => return Insn::Invalid(w),
+                };
+                Insn::OpImm { op, rd: rd_of(w), rs1: rs1_of(w), imm: imm_i(w) }
+            }
+        },
+        opc::OP => {
+            let (rd, rs1, rs2) = (rd_of(w), rs1_of(w), rs2_of(w));
+            match (funct3, funct7) {
+                (0, 0x00) => Insn::Op { op: AluOp::Add, rd, rs1, rs2 },
+                (0, 0x20) => Insn::Op { op: AluOp::Sub, rd, rs1, rs2 },
+                (1, 0x00) => Insn::OpShift { op: ShiftOp::Sll, rd, rs1, rs2 },
+                (2, 0x00) => Insn::Op { op: AluOp::Slt, rd, rs1, rs2 },
+                (3, 0x00) => Insn::Op { op: AluOp::Sltu, rd, rs1, rs2 },
+                (4, 0x00) => Insn::Op { op: AluOp::Xor, rd, rs1, rs2 },
+                (5, 0x00) => Insn::OpShift { op: ShiftOp::Srl, rd, rs1, rs2 },
+                (5, 0x20) => Insn::OpShift { op: ShiftOp::Sra, rd, rs1, rs2 },
+                (6, 0x00) => Insn::Op { op: AluOp::Or, rd, rs1, rs2 },
+                (7, 0x00) => Insn::Op { op: AluOp::And, rd, rs1, rs2 },
+                _ => Insn::Invalid(w),
+            }
+        }
+        opc::FENCE if funct3 == 0 => Insn::Fence,
+        opc::SYSTEM if funct3 == 0 && rd_of(w).0 == 0 && rs1_of(w).0 == 0 => match w >> 20 {
+            0x000 => Insn::Ecall,
+            0x001 => Insn::Ebreak,
+            0x302 => Insn::Mret,
+            _ => Insn::Invalid(w),
+        },
+        _ => Insn::Invalid(w),
+    }
+}
+
+fn enc_r(funct7: u32, rs2: Xr, rs1: Xr, funct3: u32, rd: Xr, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | (u32::from(rs2.0) << 20)
+        | (u32::from(rs1.0) << 15)
+        | (funct3 << 12)
+        | (u32::from(rd.0) << 7)
+        | opcode
+}
+
+fn enc_i(imm: i16, rs1: Xr, funct3: u32, rd: Xr, opcode: u32) -> u32 {
+    ((imm as u32 & 0xFFF) << 20)
+        | (u32::from(rs1.0) << 15)
+        | (funct3 << 12)
+        | (u32::from(rd.0) << 7)
+        | opcode
+}
+
+fn enc_s(imm: i16, rs2: Xr, rs1: Xr, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32 & 0xFFF;
+    ((imm >> 5) << 25)
+        | (u32::from(rs2.0) << 20)
+        | (u32::from(rs1.0) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn enc_b(off: i16, rs2: Xr, rs1: Xr, funct3: u32, opcode: u32) -> u32 {
+    let imm = off as u32 & 0x1FFF;
+    ((imm >> 12) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (u32::from(rs2.0) << 20)
+        | (u32::from(rs1.0) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+}
+
+fn enc_j(off: i32, rd: Xr, opcode: u32) -> u32 {
+    let imm = off as u32 & 0x1F_FFFF;
+    ((imm >> 20) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (u32::from(rd.0) << 7)
+        | opcode
+}
+
+/// Encodes an instruction back to its word.
+///
+/// # Panics
+///
+/// Panics if an immediate is out of its encoding range (the assembler
+/// range-checks before encoding).
+pub fn encode(insn: &Insn) -> u32 {
+    match *insn {
+        Insn::Lui { rd, imm } => imm | (u32::from(rd.0) << 7) | opc::LUI,
+        Insn::Auipc { rd, imm } => imm | (u32::from(rd.0) << 7) | opc::AUIPC,
+        Insn::Jal { rd, off } => enc_j(off, rd, opc::JAL),
+        Insn::Jalr { rd, rs1, off } => enc_i(off, rs1, 0, rd, opc::JALR),
+        Insn::Branch { cond, rs1, rs2, off } => enc_b(off, rs2, rs1, cond.funct3(), opc::BRANCH),
+        Insn::Load { rd, rs1, off, width, unsigned } => {
+            let funct3 = match (width, unsigned) {
+                (MemWidth::Byte, false) => 0,
+                (MemWidth::Half, false) => 1,
+                (MemWidth::Word, _) => 2,
+                (MemWidth::Byte, true) => 4,
+                (MemWidth::Half, true) => 5,
+            };
+            enc_i(off, rs1, funct3, rd, opc::LOAD)
+        }
+        Insn::Store { rs2, rs1, off, width } => {
+            let funct3 = match width {
+                MemWidth::Byte => 0,
+                MemWidth::Half => 1,
+                MemWidth::Word => 2,
+            };
+            enc_s(off, rs2, rs1, funct3, opc::STORE)
+        }
+        Insn::OpImm { op, rd, rs1, imm } => enc_i(imm, rs1, op.funct3(), rd, opc::OP_IMM),
+        Insn::ShiftImm { op, rd, rs1, shamt } => {
+            let (funct3, funct7) = match op {
+                ShiftOp::Sll => (1, 0x00),
+                ShiftOp::Srl => (5, 0x00),
+                ShiftOp::Sra => (5, 0x20),
+            };
+            enc_r(funct7, Xr(shamt), rs1, funct3, rd, opc::OP_IMM)
+        }
+        Insn::Op { op, rd, rs1, rs2 } => {
+            let (funct3, funct7) = match op {
+                AluOp::Add => (0, 0x00),
+                AluOp::Sub => (0, 0x20),
+                AluOp::Slt => (2, 0x00),
+                AluOp::Sltu => (3, 0x00),
+                AluOp::Xor => (4, 0x00),
+                AluOp::Or => (6, 0x00),
+                AluOp::And => (7, 0x00),
+            };
+            enc_r(funct7, rs2, rs1, funct3, rd, opc::OP)
+        }
+        Insn::OpShift { op, rd, rs1, rs2 } => {
+            let (funct3, funct7) = match op {
+                ShiftOp::Sll => (1, 0x00),
+                ShiftOp::Srl => (5, 0x00),
+                ShiftOp::Sra => (5, 0x20),
+            };
+            enc_r(funct7, rs2, rs1, funct3, rd, opc::OP)
+        }
+        Insn::Fence => 0x0000_000F,
+        Insn::Ecall => 0x0000_0073,
+        Insn::Ebreak => 0x0010_0073,
+        Insn::Mret => 0x3020_0073,
+        Insn::Invalid(w) => w,
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Insn::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", imm >> 12),
+            Insn::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", imm >> 12),
+            Insn::Jal { rd, off } => write!(f, "jal {rd}, {off}"),
+            Insn::Jalr { rd, rs1, off } => write!(f, "jalr {rd}, {off}({rs1})"),
+            Insn::Branch { cond, rs1, rs2, off } => {
+                write!(f, "{} {rs1}, {rs2}, {off}", cond.name())
+            }
+            Insn::Load { rd, rs1, off, width, unsigned } => {
+                let m = match (width, unsigned) {
+                    (MemWidth::Byte, false) => "lb",
+                    (MemWidth::Half, false) => "lh",
+                    (MemWidth::Word, _) => "lw",
+                    (MemWidth::Byte, true) => "lbu",
+                    (MemWidth::Half, true) => "lhu",
+                };
+                write!(f, "{m} {rd}, {off}({rs1})")
+            }
+            Insn::Store { rs2, rs1, off, width } => {
+                let m = match width {
+                    MemWidth::Byte => "sb",
+                    MemWidth::Half => "sh",
+                    MemWidth::Word => "sw",
+                };
+                write!(f, "{m} {rs2}, {off}({rs1})")
+            }
+            Insn::OpImm { op, rd, rs1, imm } => write!(f, "{} {rd}, {rs1}, {imm}", op.name()),
+            Insn::ShiftImm { op, rd, rs1, shamt } => {
+                write!(f, "{} {rd}, {rs1}, {shamt}", op.imm_name())
+            }
+            Insn::Op { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", op.name()),
+            Insn::OpShift { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    ShiftOp::Sll => "sll",
+                    ShiftOp::Srl => "srl",
+                    ShiftOp::Sra => "sra",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Insn::Fence => write!(f, "fence"),
+            Insn::Ecall => write!(f, "ecall"),
+            Insn::Ebreak => write!(f, "ebreak"),
+            Insn::Mret => write!(f, "mret"),
+            Insn::Invalid(w) => write!(f, ".word {w:#010x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_representative_encodings() {
+        let cases = [
+            Insn::Lui { rd: Xr(5), imm: 0xDEAD_B000 },
+            Insn::Auipc { rd: Xr(31), imm: 0x0000_1000 },
+            Insn::Jal { rd: Xr(1), off: -2048 },
+            Insn::Jal { rd: Xr(0), off: 0xF_FFFE },
+            Insn::Jalr { rd: Xr(1), rs1: Xr(2), off: -4 },
+            Insn::Branch { cond: BranchCond::Geu, rs1: Xr(3), rs2: Xr(4), off: -4096 },
+            Insn::Branch { cond: BranchCond::Eq, rs1: Xr(3), rs2: Xr(4), off: 4094 },
+            Insn::Load { rd: Xr(7), rs1: Xr(8), off: -1, width: MemWidth::Half, unsigned: true },
+            Insn::Store { rs2: Xr(9), rs1: Xr(10), off: 2047, width: MemWidth::Word },
+            Insn::OpImm { op: AluImmOp::Sltiu, rd: Xr(11), rs1: Xr(12), imm: -2048 },
+            Insn::ShiftImm { op: ShiftOp::Sra, rd: Xr(13), rs1: Xr(14), shamt: 31 },
+            Insn::Op { op: AluOp::Sub, rd: Xr(15), rs1: Xr(16), rs2: Xr(17) },
+            Insn::OpShift { op: ShiftOp::Sll, rd: Xr(18), rs1: Xr(19), rs2: Xr(20) },
+            Insn::Fence,
+            Insn::Ecall,
+            Insn::Ebreak,
+            Insn::Mret,
+        ];
+        for insn in cases {
+            assert_eq!(decode(encode(&insn)), insn, "{insn}");
+        }
+    }
+
+    #[test]
+    fn known_words_decode() {
+        // addi x10, x0, 42
+        assert_eq!(
+            decode(0x02A0_0513),
+            Insn::OpImm { op: AluImmOp::Addi, rd: Xr(10), rs1: Xr(0), imm: 42 }
+        );
+        // sw x2, 8(x1)
+        assert_eq!(
+            decode(0x0020_A423),
+            Insn::Store { rs2: Xr(2), rs1: Xr(1), off: 8, width: MemWidth::Word }
+        );
+        assert_eq!(decode(0x3020_0073), Insn::Mret);
+    }
+
+    #[test]
+    fn unknown_words_are_invalid() {
+        for w in [0x0000_0000, 0xFFFF_FFFF, 0x0000_001F, 0x0000_3073] {
+            assert!(matches!(decode(w), Insn::Invalid(_)), "{w:#x}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! RV32I (subset) guest frontend for the DAISY reproduction.
+//!
+//! The second guest ISA behind the [`daisy_isa::Isa`] boundary,
+//! proving the translation core is guest-agnostic: the same scheduler,
+//! VMM, engine, and recovery machinery that runs PowerPC binaries runs
+//! RV32I binaries through `DaisySystem<Rv32Isa>`. The crate provides:
+//!
+//! * [`insn`] — the RV32I (subset) instruction set as a typed enum
+//!   with bit-exact encode/decode,
+//! * [`asm`] — a label-based assembler / program builder,
+//! * [`interp`] — a reference interpreter with machine-mode trap CSRs
+//!   (`mepc`, `mcause`, `mtval`, `mstatus.MIE/MPIE`) that defines the
+//!   semantics DAISY must preserve,
+//! * [`convert`] — lowering to the shared VLIW RISC primitives,
+//! * [`frontend`] — the [`Rv32Isa`] marker wiring it all to the
+//!   boundary,
+//! * [`workloads`] — ports of benchmark workloads consuming the same
+//!   synthetic inputs as their PowerPC counterparts, for cross-ISA
+//!   differential testing.
+//!
+//! Like the rest of this reproduction's guest memory, the emulated
+//! memory image is big-endian; the interpreter and the translated code
+//! agree on that convention, so the guest is self-consistent (its
+//! oracle *is* this interpreter).
+//!
+//! # Example
+//!
+//! ```
+//! use daisy_rv32::asm::Asm;
+//! use daisy_rv32::insn::Xr;
+//! use daisy_rv32::interp::Cpu;
+//! use daisy_rv32::mem::Memory;
+//! use daisy_isa::StopReason;
+//!
+//! // a0 = 6 + 7, then exit via ecall.
+//! let mut a = Asm::new(0x1000);
+//! a.li(Xr(5), 6);
+//! a.addi(Xr(10), Xr(5), 7);
+//! a.ecall();
+//! let prog = a.finish().unwrap();
+//!
+//! let mut mem = Memory::new(0x1_0000);
+//! prog.load_into(&mut mem).unwrap();
+//! let mut cpu = Cpu::new(prog.entry);
+//! assert_eq!(cpu.run(&mut mem, 100), StopReason::Syscall);
+//! assert_eq!(cpu.x[10], 13);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod convert;
+pub mod frontend;
+pub mod insn;
+pub mod interp;
+pub mod workloads;
+
+// Emulated guest memory is ISA-neutral and shared across frontends.
+pub use daisy_isa::mem;
+pub use daisy_isa::mem::Memory;
+
+pub use asm::{Asm, AsmError, Program};
+pub use frontend::Rv32Isa;
+pub use insn::{decode, encode, Insn, Xr};
+pub use interp::{mcause, Cpu, DecodeCache, TRAP_VECTOR};

@@ -17,9 +17,88 @@
 //! the baselines.
 
 use crate::reg::Reg;
-use daisy_ppc::insn::{CrOp, MemWidth};
-use daisy_ppc::interp::{compare, trap_taken};
 use std::fmt;
+
+/// CR-logical operations (from PowerPC's op-19 family; the primitive
+/// repertoire keeps them because they are ordinary 1-bit ALU ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrOp {
+    /// `crand bt,ba,bb`
+    And,
+    /// `cror bt,ba,bb`
+    Or,
+    /// `crxor bt,ba,bb`
+    Xor,
+    /// `crnand bt,ba,bb`
+    Nand,
+    /// `crnor bt,ba,bb`
+    Nor,
+    /// `creqv bt,ba,bb`
+    Eqv,
+    /// `crandc bt,ba,bb`
+    Andc,
+    /// `crorc bt,ba,bb`
+    Orc,
+}
+
+/// Access width of a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    Byte,
+    /// 2 bytes (big-endian).
+    Half,
+    /// 4 bytes (big-endian).
+    Word,
+}
+
+impl MemWidth {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// Rotate-left-word mask for `mb..me` in big-endian bit numbering
+/// (bit 0 = MSB), with the wrap-around form when `mb > me`.
+pub fn rlw_mask(mb: u8, me: u8) -> u32 {
+    let m1 = 0xFFFF_FFFFu32 >> (mb & 31);
+    let m2 = 0xFFFF_FFFFu32 << (31 - (me & 31));
+    if mb <= me {
+        m1 & m2
+    } else {
+        m1 | m2
+    }
+}
+
+/// 4-bit condition value comparing `a` against `b` (LT/GT/EQ bits plus
+/// a summary-overflow copy in the low bit).
+#[inline]
+pub fn compare(a: u32, b: u32, signed: bool, so: bool) -> u32 {
+    let ord = if signed { (a as i32).cmp(&(b as i32)) } else { a.cmp(&b) };
+    let base = match ord {
+        std::cmp::Ordering::Less => 0b1000,
+        std::cmp::Ordering::Greater => 0b0100,
+        std::cmp::Ordering::Equal => 0b0010,
+    };
+    base | u32::from(so)
+}
+
+/// Evaluates a trap-word condition field against two operands.
+#[inline]
+pub fn trap_taken(to: u8, a: u32, b: u32) -> bool {
+    let sa = a as i32;
+    let sb = b as i32;
+    (to & 16 != 0 && sa < sb)
+        || (to & 8 != 0 && sa > sb)
+        || (to & 4 != 0 && a == b)
+        || (to & 2 != 0 && a < b)
+        || (to & 1 != 0 && a > b)
+}
 
 /// The operation repertoire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -495,8 +574,6 @@ fn effective_address_impl(op: &Operation, vals: &[u32]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daisy_ppc::interp::rlw_mask;
-
     fn op(kind: OpKind) -> Operation {
         Operation::new(kind, 0)
     }

@@ -19,8 +19,59 @@
 //! bitmask in the paper's Figure A.4 (Appendix D discusses renaming CTR
 //! and CA this way).
 
-use daisy_ppc::reg::{CrField, Gpr};
 use std::fmt;
+
+/// A general-purpose register of the base architecture, `r0`–`r31`.
+///
+/// Base architectures architect 32 GPRs; DAISY's migrant VLIW extends
+/// the file to 64, with `r32`–`r63` invisible to the base architecture.
+/// This type only ever names the architected 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gpr(pub u8);
+
+impl Gpr {
+    /// Returns the register number, guaranteed `< 32` for valid values.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Returns true if this names one of the 32 architected GPRs.
+    pub fn is_valid(self) -> bool {
+        self.0 < 32
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A condition-register field, `cr0`–`cr7`.
+///
+/// Each field holds four bits: LT, GT, EQ, SO (most significant first).
+/// RV32 has no condition register; its frontend simply never allocates
+/// CR-field resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CrField(pub u8);
+
+impl CrField {
+    /// Returns the field number, `< 8` for valid values.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Returns true if this names one of the 8 architected CR fields.
+    pub fn is_valid(self) -> bool {
+        self.0 < 8
+    }
+}
+
+impl fmt::Display for CrField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cr{}", self.0)
+    }
+}
 
 /// A register in the unified VLIW file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

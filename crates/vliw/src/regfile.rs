@@ -6,15 +6,13 @@
 //! a non-speculative commit operation, or any non-speculative operation,
 //! an exception occurs" (paper §2.1).
 //!
-//! The file extends the base architecture's state; [`RegFile::from_cpu`]
-//! and [`RegFile::write_back`] convert between the two. Non-architected
-//! registers are *not* part of base state and are deliberately dropped
-//! by `write_back` — the paper's point that nothing extra needs saving
-//! at context switches.
+//! The file extends the base architecture's state; each frontend's
+//! `GuestCpu::fill_regfile` and `GuestCpu::write_back` convert between
+//! the two. Non-architected registers are *not* part of base state and
+//! are deliberately dropped on write-back — the paper's point that
+//! nothing extra needs saving at context switches.
 
 use crate::reg::{Reg, NUM_REGS};
-use daisy_ppc::interp::Cpu;
-use daisy_ppc::reg::{xer_bits, CrField};
 
 /// Runtime register values plus exception tags.
 #[derive(Debug, Clone)]
@@ -65,79 +63,11 @@ impl RegFile {
     pub fn arrays_mut(&mut self) -> (&mut [u32; NUM_REGS], &mut [bool; NUM_REGS]) {
         (&mut self.vals, &mut self.tags)
     }
-
-    /// Loads architected base state into the unified file (rename
-    /// registers are zeroed — they carry no base state).
-    pub fn from_cpu(cpu: &Cpu) -> RegFile {
-        let mut f = RegFile::new();
-        for i in 0..32 {
-            f.vals[i] = cpu.gpr[i];
-        }
-        for c in 0..8u8 {
-            f.vals[Reg::cr(CrField(c)).index()] = cpu.cr_field(CrField(c));
-        }
-        f.vals[Reg::LR.index()] = cpu.lr;
-        f.vals[Reg::CTR.index()] = cpu.ctr;
-        f.vals[Reg::CA.index()] = u32::from(cpu.xer & xer_bits::CA != 0);
-        f.vals[Reg::OV.index()] = u32::from(cpu.xer & xer_bits::OV != 0);
-        f.vals[Reg::SO.index()] = u32::from(cpu.xer & xer_bits::SO != 0);
-        f
-    }
-
-    /// Stores the architected portion back into base state. The PC and
-    /// MSR are managed by the VMM, not the register file.
-    pub fn write_back(&self, cpu: &mut Cpu) {
-        for i in 0..32 {
-            cpu.gpr[i] = self.vals[i];
-        }
-        for c in 0..8u8 {
-            cpu.set_cr_field(CrField(c), self.vals[Reg::cr(CrField(c)).index()]);
-        }
-        cpu.lr = self.vals[Reg::LR.index()];
-        cpu.ctr = self.vals[Reg::CTR.index()];
-        let mut xer = cpu.xer & !(xer_bits::CA | xer_bits::OV | xer_bits::SO);
-        if self.vals[Reg::CA.index()] & 1 != 0 {
-            xer |= xer_bits::CA;
-        }
-        if self.vals[Reg::OV.index()] & 1 != 0 {
-            xer |= xer_bits::OV;
-        }
-        if self.vals[Reg::SO.index()] & 1 != 0 {
-            xer |= xer_bits::SO;
-        }
-        cpu.xer = xer;
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daisy_ppc::reg::Gpr;
-
-    #[test]
-    fn roundtrip_through_cpu() {
-        let mut cpu = Cpu::new(0x1000);
-        cpu.gpr[5] = 0xDEAD;
-        cpu.set_cr_field(CrField(2), 0b1010);
-        cpu.lr = 0x44;
-        cpu.ctr = 7;
-        cpu.xer = xer_bits::CA | xer_bits::SO;
-
-        let f = RegFile::from_cpu(&cpu);
-        assert_eq!(f.get(Reg::gpr(Gpr(5))), 0xDEAD);
-        assert_eq!(f.get(Reg::cr(CrField(2))), 0b1010);
-        assert_eq!(f.get(Reg::CA), 1);
-        assert_eq!(f.get(Reg::OV), 0);
-        assert_eq!(f.get(Reg::SO), 1);
-
-        let mut cpu2 = Cpu::new(0);
-        f.write_back(&mut cpu2);
-        assert_eq!(cpu2.gpr[5], 0xDEAD);
-        assert_eq!(cpu2.cr_field(CrField(2)), 0b1010);
-        assert_eq!(cpu2.lr, 0x44);
-        assert_eq!(cpu2.ctr, 7);
-        assert_eq!(cpu2.xer, xer_bits::CA | xer_bits::SO);
-    }
 
     #[test]
     fn set_clears_tag() {
@@ -148,15 +78,5 @@ mod tests {
         f.set(r, 9);
         assert!(!f.tag(r));
         assert_eq!(f.get(r), 9);
-    }
-
-    #[test]
-    fn write_back_ignores_rename_registers() {
-        let mut f = RegFile::new();
-        f.set(Reg::rename(0), 123);
-        let mut cpu = Cpu::new(0);
-        f.write_back(&mut cpu);
-        // No architected register changed.
-        assert!(cpu.gpr.iter().all(|&g| g == 0));
     }
 }

@@ -385,7 +385,7 @@ impl Group {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daisy_ppc::insn::MemWidth;
+    use crate::op::MemWidth;
 
     fn alu_op() -> Operation {
         Operation::new(OpKind::Add, 0).dst(Reg(32)).src(Reg(1)).src(Reg(2))

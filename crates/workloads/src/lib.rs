@@ -39,44 +39,9 @@ pub mod sort;
 pub mod wc;
 pub mod xlat;
 
-use daisy_ppc::asm::Program;
-use daisy_ppc::interp::Cpu;
-use daisy_ppc::mem::Memory;
-
-/// A benchmark: a program builder plus a result checker.
-pub struct Workload {
-    /// Benchmark name as used in the paper's tables.
-    pub name: &'static str,
-    /// Emulated physical memory required.
-    pub mem_size: u32,
-    /// Interpreter/engine instruction budget (generous).
-    pub max_instrs: u64,
-    build: fn() -> Program,
-    check: fn(&Cpu, &Memory) -> Result<(), String>,
-}
-
-impl Workload {
-    /// Assembles the program image.
-    pub fn program(&self) -> Program {
-        (self.build)()
-    }
-
-    /// Validates the final architected state against a Rust
-    /// recomputation of the expected result.
-    ///
-    /// # Errors
-    ///
-    /// Returns a description of the first mismatch.
-    pub fn check(&self, cpu: &Cpu, mem: &Memory) -> Result<(), String> {
-        (self.check)(cpu, mem)
-    }
-}
-
-impl std::fmt::Debug for Workload {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
-    }
-}
+/// A benchmark for the PowerPC guest: the guest-generic
+/// [`daisy_isa::Workload`] instantiated with [`daisy_ppc::PpcIsa`].
+pub type Workload = daisy_isa::Workload<daisy_ppc::PpcIsa>;
 
 /// All workloads: the paper's Table 5.1 list (with `xlat` standing in
 /// for `gcc`), plus `hist`, this reproduction's addition for exercising
@@ -100,82 +65,16 @@ pub fn by_name(name: &str) -> Option<Workload> {
     all().into_iter().find(|w| w.name == name)
 }
 
-/// Deterministic xorshift32 generator used for synthetic inputs (the
-/// same sequence is reproduced by checkers).
-#[derive(Debug, Clone)]
-pub struct XorShift(pub u32);
-
-impl XorShift {
-    /// Next pseudo-random value.
-    pub fn next_u32(&mut self) -> u32 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 17;
-        x ^= x << 5;
-        self.0 = x;
-        x
-    }
-}
-
-/// Builds the synthetic "prose" input shared by `wc`, `fgrep`, and
-/// `compress`: words of 1–9 lowercase letters, spaces, newlines, with
-/// the literal word `needle` sprinkled in deterministically.
-pub fn prose(len: usize, seed: u32) -> Vec<u8> {
-    let mut rng = XorShift(seed);
-    let mut out = Vec::with_capacity(len);
-    while out.len() < len {
-        let r = rng.next_u32();
-        if r.is_multiple_of(97) {
-            out.extend_from_slice(b"needle");
-        } else {
-            let wl = 1 + (r % 9) as usize;
-            for i in 0..wl {
-                out.push(b'a' + ((r >> (3 * i)) % 26) as u8);
-            }
-        }
-        if rng.next_u32().is_multiple_of(11) {
-            out.push(b'\n');
-        } else {
-            out.push(b' ');
-        }
-    }
-    out.truncate(len);
-    out
-}
-
-/// Builds the synthetic "source code" input for `lex`.
-pub fn source_text(len: usize, seed: u32) -> Vec<u8> {
-    let mut rng = XorShift(seed);
-    let idents = ["count", "i", "total", "buf", "x1", "tmp", "offset"];
-    let puncts = ["= ", "+ ", "; ", "( ", ") ", "* ", "{ ", "} "];
-    let mut out = Vec::with_capacity(len);
-    while out.len() < len {
-        match rng.next_u32() % 4 {
-            0 => {
-                out.extend_from_slice(
-                    idents[(rng.next_u32() % idents.len() as u32) as usize].as_bytes(),
-                );
-                out.push(b' ');
-            }
-            1 => {
-                let n = rng.next_u32() % 10_000;
-                out.extend_from_slice(n.to_string().as_bytes());
-                out.push(b' ');
-            }
-            2 => out.extend_from_slice(
-                puncts[(rng.next_u32() % puncts.len() as u32) as usize].as_bytes(),
-            ),
-            _ => out.push(b'\n'),
-        }
-    }
-    out.truncate(len);
-    out
-}
+// The synthetic-input generators moved to the guest-agnostic crate so
+// other frontends' workload ports consume byte-identical inputs; these
+// re-exports keep the original paths working.
+pub use daisy_isa::synth::{prose, source_text, XorShift};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use daisy_ppc::interp::StopReason;
+    use daisy_ppc::interp::{Cpu, StopReason};
+    use daisy_ppc::mem::Memory;
 
     #[test]
     fn all_workloads_run_and_check_on_the_interpreter() {
@@ -197,11 +96,5 @@ mod tests {
             names,
             ["compress", "lex", "fgrep", "wc", "cmp", "sort", "c_sieve", "xlat", "hist"]
         );
-    }
-
-    #[test]
-    fn prose_is_deterministic() {
-        assert_eq!(prose(1000, 42), prose(1000, 42));
-        assert_ne!(prose(1000, 42), prose(1000, 43));
     }
 }

@@ -7,6 +7,7 @@
 //! ```
 
 use daisy::prelude::*;
+use daisy_ppc::PpcIsa;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "c_sieve".to_owned());
@@ -14,7 +15,7 @@ fn main() {
     let w = daisy_workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
     let prog = w.program();
 
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).build();
     sys.load(&prog).unwrap();
     sys.run(50 * w.max_instrs).unwrap();
     w.check(&sys.cpu, &sys.mem).expect("workload result verified");

@@ -12,6 +12,7 @@
 use daisy::oracle::run_oracle_to_stop;
 use daisy::prelude::*;
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
 use daisy_vliw::machine::MachineConfig;
 
 fn main() {
@@ -22,14 +23,14 @@ fn main() {
     for w in daisy_workloads::all() {
         let prog = w.program();
 
-        let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+        let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).build();
         sys.load(&prog).unwrap();
         sys.run(50 * w.max_instrs).unwrap();
 
         let oracle = |machine: Option<MachineConfig>| {
             let mut mem = Memory::new(w.mem_size);
             prog.load_into(&mut mem).unwrap();
-            let (r, _) = run_oracle_to_stop(&mut mem, prog.entry, machine, w.max_instrs);
+            let (r, _) = run_oracle_to_stop::<PpcIsa>(&mut mem, prog.entry, machine, w.max_instrs);
             (r.ilp(), r.instrs)
         };
         let (inf, instrs) = oracle(None);

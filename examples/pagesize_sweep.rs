@@ -9,6 +9,7 @@
 use daisy::prelude::*;
 use daisy_ppc::interp::Cpu;
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "c_sieve".to_owned());
@@ -28,7 +29,7 @@ fn main() {
     );
     for page_size in [128u32, 256, 512, 1024, 2048, 4096, 8192, 16384] {
         let cfg = TranslatorConfig { page_size, ..TranslatorConfig::default() };
-        let mut sys = DaisySystem::builder()
+        let mut sys = DaisySystem::<PpcIsa>::builder()
             .mem_size(w.mem_size)
             .translator(cfg)
             .cache(Hierarchy::infinite())

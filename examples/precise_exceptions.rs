@@ -16,6 +16,8 @@ use daisy::prelude::*;
 use daisy_ppc::insn::Insn;
 use daisy_ppc::reg::Spr;
 use daisy_ppc::vectors;
+use daisy_ppc::PpcIsa;
+use daisy_ppc::{Asm, Gpr};
 
 fn main() {
     // User program: walks pointers, one of which is bad. The loads are
@@ -43,7 +45,7 @@ fn main() {
     os.rfi();
     let os_prog = os.finish().unwrap();
 
-    let mut sys = DaisySystem::builder().mem_size(0x20000).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x20000).build();
     sys.load(&prog).unwrap();
     os_prog.load_into(&mut sys.mem).unwrap();
     sys.mem.write_u32(0x8000, 35).unwrap();

@@ -9,6 +9,8 @@ use daisy::prelude::*;
 use daisy_ppc::interp::Cpu;
 use daisy_ppc::mem::Memory;
 use daisy_ppc::reg::CrField;
+use daisy_ppc::PpcIsa;
+use daisy_ppc::{Asm, Gpr};
 
 fn main() {
     // A PowerPC program: sum of squares 1..=100 via a counted loop.
@@ -34,7 +36,7 @@ fn main() {
 
     // The same binary under DAISY: translated to VLIW tree code on
     // first touch, then executed in parallel.
-    let mut sys = DaisySystem::builder().mem_size(0x10000).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x10000).build();
     sys.load(&prog).unwrap();
     sys.run(1_000_000).unwrap();
     println!(

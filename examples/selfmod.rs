@@ -14,6 +14,8 @@
 use daisy::prelude::*;
 use daisy_ppc::encode::encode;
 use daisy_ppc::insn::Insn;
+use daisy_ppc::PpcIsa;
+use daisy_ppc::{Asm, Gpr};
 
 fn main() {
     let mut a = Asm::new(0x1000);
@@ -28,7 +30,7 @@ fn main() {
     a.sc();
     let prog = a.finish().unwrap();
 
-    let mut sys = DaisySystem::builder().mem_size(0x10000).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x10000).build();
     sys.load(&prog).unwrap();
     sys.run(1_000_000).unwrap();
 

@@ -12,6 +12,17 @@ if git ls-files | grep -E '(^|/)target/' >/dev/null; then
   exit 1
 fi
 
+# Guest-agnosticism gate: the translation core must not depend on any
+# frontend crate unless its feature is asked for. `cargo tree` with
+# default features shows the dependency graph the `daisy-rv32` tests
+# compile against; a stray `daisy-ppc` edge here means PowerPC types
+# leaked back into the core API.
+if cargo tree -p daisy -e normal | grep -q 'daisy-ppc'; then
+  echo "error: daisy (core) depends on daisy-ppc without the 'ppc' feature:" >&2
+  cargo tree -p daisy -e normal >&2
+  exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -20,6 +31,14 @@ cargo test --workspace --doc
 # Bench smoke-run: single-iteration (no timing, no JSON) — keeps the
 # bench harnesses compiling and their correctness asserts honest.
 cargo test -q -p daisy-bench --benches
+
+# Cross-ISA differential smoke: the same algorithms on the PowerPC and
+# RV32 guests, each through translation and its interpreter oracle,
+# must agree bit-exactly (scalar results and, for hist, counter
+# memory). Also runs the RV32-only pin that the core builds and
+# translates with the RV32 frontend alone (no `ppc` feature).
+cargo test -q --test cross_isa
+cargo test -q -p daisy-rv32 --test translate
 
 # Fault-injection smoke: a fixed 32-seed sweep of every fault kind on
 # the fast workloads. Fails on any panic, unrecoverable error, oracle

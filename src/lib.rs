@@ -4,7 +4,9 @@
 //! reach the whole system through one dependency. See the member crates
 //! for the real APIs:
 //!
-//! * [`ppc`] — the PowerPC base-architecture substrate
+//! * [`isa`] — the guest-agnostic frontend boundary (`Isa`, `GuestCpu`)
+//! * [`ppc`] — the PowerPC base-architecture frontend
+//! * [`rv32`] — the RV32I-subset frontend
 //! * [`vliw`] — the migrant VLIW tree-instruction architecture
 //! * [`cachesim`] — the memory-hierarchy simulator
 //! * [`daisy`] — the dynamic translator, VMM, and system driver
@@ -14,6 +16,8 @@
 pub use daisy;
 pub use daisy_baseline as baseline;
 pub use daisy_cachesim as cachesim;
+pub use daisy_isa as isa;
 pub use daisy_ppc as ppc;
+pub use daisy_rv32 as rv32;
 pub use daisy_vliw as vliw;
 pub use daisy_workloads as workloads;

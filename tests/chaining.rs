@@ -10,6 +10,8 @@ use daisy_ppc::encode::encode;
 use daisy_ppc::insn::Insn;
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
+use daisy_ppc::{Asm, Gpr};
 use proptest::prelude::*;
 
 const PAGE: u32 = 256;
@@ -82,8 +84,12 @@ fn run_reference(prog: &daisy_ppc::asm::Program, mem_size: u32) -> (Cpu, Memory)
     (cpu, mem)
 }
 
-fn run_chained(prog: &daisy_ppc::asm::Program, mem_size: u32, chaining: bool) -> DaisySystem {
-    let mut sys = DaisySystem::builder()
+fn run_chained(
+    prog: &daisy_ppc::asm::Program,
+    mem_size: u32,
+    chaining: bool,
+) -> DaisySystem<PpcIsa> {
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(mem_size)
         .translator(small_page_config())
         .chaining(chaining)
@@ -94,7 +100,7 @@ fn run_chained(prog: &daisy_ppc::asm::Program, mem_size: u32, chaining: bool) ->
     sys
 }
 
-fn assert_state_matches(sys: &DaisySystem, cpu: &Cpu, mem: &Memory, what: &str) {
+fn assert_state_matches(sys: &DaisySystem<PpcIsa>, cpu: &Cpu, mem: &Memory, what: &str) {
     assert_eq!(sys.cpu.gpr, cpu.gpr, "{what}: GPR state diverged");
     assert_eq!(sys.cpu.cr, cpu.cr, "{what}: CR diverged");
     assert_eq!(sys.cpu.ctr, cpu.ctr, "{what}: CTR diverged");
@@ -161,7 +167,7 @@ fn selfmod_loop_severs_chain_links() {
 fn alias_restart_through_chained_edge_retranslates_conservatively() {
     let w = daisy_workloads::by_name("hist").expect("hist workload");
     let prog = w.program();
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).build();
     sys.vmm.alias_retranslate_after = Some(3);
     sys.load(&prog).unwrap();
     sys.run(50 * w.max_instrs).unwrap();
@@ -187,7 +193,8 @@ fn chaining_cuts_vmm_dispatches_without_changing_results() {
         let w = daisy_workloads::by_name(name).expect("workload");
         let prog = w.program();
         let run = |chaining: bool| {
-            let mut sys = DaisySystem::builder().mem_size(w.mem_size).chaining(chaining).build();
+            let mut sys =
+                DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).chaining(chaining).build();
             sys.load(&prog).unwrap();
             let stop = sys.run(50 * w.max_instrs).unwrap();
             assert_eq!(stop, StopReason::Syscall, "{name}: run did not finish");
@@ -307,7 +314,7 @@ proptest! {
         prop_assert_eq!(stop, StopReason::Syscall);
 
         let mut sys =
-            DaisySystem::builder().mem_size(0x2_0000).translator(small_page_config()).build();
+            DaisySystem::<PpcIsa>::builder().mem_size(0x2_0000).translator(small_page_config()).build();
         sys.load(&prog).unwrap();
         handler.load_into(&mut sys.mem).unwrap();
         sys.cpu.msr |= msr_bits::EE;

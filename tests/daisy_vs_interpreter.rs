@@ -6,6 +6,7 @@
 use daisy::system::DaisySystem;
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
 use daisy_workloads::Workload;
 
 fn run_reference(w: &Workload) -> (Cpu, Memory) {
@@ -18,9 +19,9 @@ fn run_reference(w: &Workload) -> (Cpu, Memory) {
     (cpu, mem)
 }
 
-fn run_daisy(w: &Workload) -> DaisySystem {
+fn run_daisy(w: &Workload) -> DaisySystem<PpcIsa> {
     let prog = w.program();
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).build();
     sys.load(&prog).unwrap();
     let stop = sys.run(10 * w.max_instrs).unwrap();
     assert_eq!(stop, StopReason::Syscall, "{}: DAISY run did not finish", w.name);
@@ -66,7 +67,7 @@ fn finite_caches_never_change_semantics() {
         let (ref_cpu, _) = run_reference(&w);
         for cache in [Hierarchy::paper_default(), Hierarchy::paper_eight_issue()] {
             let prog = w.program();
-            let mut sys = daisy::system::DaisySystem::builder()
+            let mut sys = daisy::system::DaisySystem::<PpcIsa>::builder()
                 .mem_size(w.mem_size)
                 .translator(TranslatorConfig::default())
                 .cache(cache)

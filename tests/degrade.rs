@@ -8,6 +8,8 @@ use daisy::prelude::*;
 use daisy::DegradeCause;
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
+use daisy_ppc::{Asm, Gpr};
 use daisy_workloads::Workload;
 
 fn run_reference(w: &Workload) -> (Cpu, Memory) {
@@ -20,7 +22,7 @@ fn run_reference(w: &Workload) -> (Cpu, Memory) {
     (cpu, mem)
 }
 
-fn assert_state_matches(w: &Workload, sys: &DaisySystem, ref_cpu: &Cpu, ref_mem: &Memory) {
+fn assert_state_matches(w: &Workload, sys: &DaisySystem<PpcIsa>, ref_cpu: &Cpu, ref_mem: &Memory) {
     assert_eq!(sys.cpu.gpr, ref_cpu.gpr, "{}: GPR state diverged", w.name);
     assert_eq!(sys.cpu.cr, ref_cpu.cr, "{}: CR diverged", w.name);
     assert_eq!(sys.cpu.lr, ref_cpu.lr, "{}: LR diverged", w.name);
@@ -46,7 +48,7 @@ fn clamped_cache_is_bit_exact_on_all_workloads() {
         let (ref_cpu, ref_mem) = run_reference(&w);
 
         let prog = w.program();
-        let mut sys = DaisySystem::builder()
+        let mut sys = DaisySystem::<PpcIsa>::builder()
             .mem_size(w.mem_size)
             .translator(TranslatorConfig { page_size: 256, ..TranslatorConfig::default() })
             .code_capacity(512)
@@ -74,7 +76,7 @@ fn full_ladder_walk_is_bit_exact() {
         let (ref_cpu, ref_mem) = run_reference(&w);
 
         let prog = w.program();
-        let mut sys = DaisySystem::builder().mem_size(w.mem_size).build();
+        let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).build();
         sys.load(&prog).unwrap();
         let entry = prog.entry;
         for expect_to in [daisy::Rung::Tree, daisy::Rung::Conservative, daisy::Rung::Interpret] {
@@ -112,7 +114,7 @@ fn hint_budget_exhaustion_is_surfaced() {
     let prog = a.finish().unwrap();
 
     let sink = RingSink::new(1024);
-    let mut sys = DaisySystem::builder()
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(0x20000)
         .translator(TranslatorConfig {
             interpretive: true,
@@ -148,7 +150,8 @@ fn hint_budget_exhaustion_is_surfaced() {
 fn guest_profile_survives_ladder_walk() {
     let w = daisy_workloads::by_name("cmp").expect("known workload");
     let prog = w.program();
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).guest_profiling(true).build();
+    let mut sys =
+        DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).guest_profiling(true).build();
     sys.load(&prog).unwrap();
     let entry = prog.entry;
     // Two rungs down: Conservative still dispatches translated groups,
@@ -199,7 +202,7 @@ fn guest_profile_records_cast_outs_under_clamp() {
         let (ref_cpu, ref_mem) = run_reference(&w);
 
         let prog = w.program();
-        let mut sys = DaisySystem::builder()
+        let mut sys = DaisySystem::<PpcIsa>::builder()
             .mem_size(w.mem_size)
             .translator(TranslatorConfig { page_size: 256, ..TranslatorConfig::default() })
             .code_capacity(512)
@@ -237,7 +240,7 @@ fn hint_budget_not_exhausted_on_short_code() {
     a.sc();
     let prog = a.finish().unwrap();
 
-    let mut sys = DaisySystem::builder()
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(0x20000)
         .translator(TranslatorConfig { interpretive: true, ..TranslatorConfig::default() })
         .build();

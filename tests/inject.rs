@@ -6,6 +6,7 @@
 //! a smaller always-on slice in `cargo test`.
 
 use daisy::inject::{run_campaign, CampaignConfig, FaultKind};
+use daisy_ppc::PpcIsa;
 
 /// Every fault kind on a real workload, a few seeds each: zero
 /// divergence, and at least one ladder step recorded per kind.
@@ -83,7 +84,8 @@ fn degraded_events_reach_the_trace_stream() {
     let w = daisy_workloads::by_name("wc").expect("wc workload");
     let prog = w.program();
     let sink = RingSink::new(4096);
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).trace_sink(sink.clone()).build();
+    let mut sys =
+        DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).trace_sink(sink.clone()).build();
     sys.load(&prog).unwrap();
     // Prime a translation, then force two ladder steps at the entry.
     sys.step().unwrap();

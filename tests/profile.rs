@@ -6,6 +6,7 @@ use daisy::prelude::*;
 use daisy::profile::{annotated_disassembly, folded_stacks, PcStats};
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
 use daisy_workloads::Workload;
 use std::collections::BTreeMap;
 
@@ -17,8 +18,8 @@ fn workload(name: &str) -> Workload {
     daisy_workloads::by_name(name).expect("known workload")
 }
 
-fn run_guest_profiled(w: &Workload, packed: bool) -> DaisySystem {
-    let mut sys = DaisySystem::builder()
+fn run_guest_profiled(w: &Workload, packed: bool) -> DaisySystem<PpcIsa> {
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(w.mem_size)
         .packed_execution(packed)
         .guest_profiling(true)
@@ -30,7 +31,7 @@ fn run_guest_profiled(w: &Workload, packed: bool) -> DaisySystem {
     sys
 }
 
-fn profile_map(sys: &DaisySystem) -> BTreeMap<(u32, u32), PcStats> {
+fn profile_map(sys: &DaisySystem<PpcIsa>) -> BTreeMap<(u32, u32), PcStats> {
     sys.guest_profile
         .as_ref()
         .expect("guest profiling enabled")
@@ -172,7 +173,7 @@ fn annotated_disassembly_renders_decoded_instructions() {
     let w = workload("wc");
     let sys = run_guest_profiled(&w, true);
     let gp = sys.guest_profile.as_ref().unwrap();
-    let report = annotated_disassembly(gp, &sys.mem, w.name);
+    let report = annotated_disassembly::<PpcIsa>(gp, &sys.mem, w.name);
     assert!(report.contains("annotated guest disassembly: wc"));
     assert!(report.contains("spec ops:"));
     // Every profiled PC lies in mapped code, so no line may fail to
@@ -188,7 +189,8 @@ fn annotated_disassembly_renders_decoded_instructions() {
 fn attribution_survives_forced_degradation() {
     let w = workload("cmp");
     let prog = w.program();
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).guest_profiling(true).build();
+    let mut sys =
+        DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).guest_profiling(true).build();
     sys.load(&prog).unwrap();
     sys.degrade(prog.entry, daisy::DegradeCause::Forced).expect("rung below packed");
     let stop = sys.run(50 * w.max_instrs).unwrap();

@@ -9,7 +9,9 @@
 //! to each other — any drift in either is a miscompilation waiting to
 //! happen.
 
-use daisy::convert::{convert, Flow};
+use daisy_isa::convert::Flow;
+use daisy_isa::GuestCpu;
+use daisy_ppc::convert::convert;
 use daisy_ppc::insn::{Arith2Op, ArithOp, Insn, LogicImmOp, LogicOp, ShiftOp, UnaryOp};
 use daisy_ppc::interp::{Cpu, Event};
 use daisy_ppc::mem::Memory;
@@ -185,7 +187,8 @@ proptest! {
         // unified register file seeded with the same state.
         let conv = convert(&insn, 0x1000);
         prop_assert_eq!(conv.flow, Flow::Fall, "computational insns fall through");
-        let mut rf = RegFile::from_cpu(&cpu_before);
+        let mut rf = RegFile::new();
+        cpu_before.fill_regfile(&mut rf);
         for op in &conv.ops {
             let vals: Vec<u32> = op.srcs().iter().map(|s| rf.get(*s)).collect();
             match eval(op, &vals) {
@@ -201,7 +204,7 @@ proptest! {
             }
         }
         let mut cpu_via_ops = cpu_before.clone();
-        rf.write_back(&mut cpu_via_ops);
+        cpu_via_ops.write_back(&rf);
 
         prop_assert_eq!(cpu_via_ops.gpr, cpu.gpr, "GPRs for {}", insn);
         prop_assert_eq!(cpu_via_ops.cr, cpu.cr, "CR for {}", insn);

@@ -17,6 +17,7 @@ use daisy_ppc::insn::{bo, Insn};
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
 use daisy_ppc::reg::{CrBit, CrField, Gpr};
+use daisy_ppc::PpcIsa;
 use daisy_vliw::machine::MachineConfig;
 use proptest::prelude::*;
 
@@ -231,7 +232,7 @@ fn emit(a: &mut Asm, steps: &[Step]) {
     a.sc();
 }
 
-fn run_both(steps: &[Step], seeds: &[u32], cfg: TranslatorConfig) -> (Cpu, DaisySystem) {
+fn run_both(steps: &[Step], seeds: &[u32], cfg: TranslatorConfig) -> (Cpu, DaisySystem<PpcIsa>) {
     let mut a = Asm::new(0x1000);
     emit(&mut a, steps);
     let prog = a.finish().expect("generated program assembles");
@@ -240,7 +241,7 @@ fn run_both(steps: &[Step], seeds: &[u32], cfg: TranslatorConfig) -> (Cpu, Daisy
     {
         let mut mem = Memory::new(0x2_0000);
         prog.load_into(&mut mem).unwrap();
-        let (group, _) = daisy::sched::translate_group(&cfg, &mem, prog.entry);
+        let (group, _) = daisy::sched::translate_group::<PpcIsa>(&cfg, &mem, prog.entry);
         group.validate().expect("translated group is structurally valid");
     }
 
@@ -257,7 +258,7 @@ fn run_both(steps: &[Step], seeds: &[u32], cfg: TranslatorConfig) -> (Cpu, Daisy
     let stop = cpu.run(&mut mem, 1_000_000).unwrap();
     assert_eq!(stop, StopReason::Syscall);
 
-    let mut sys = DaisySystem::builder()
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(0x2_0000)
         .translator(cfg)
         .cache(Hierarchy::infinite())
@@ -274,7 +275,7 @@ fn run_both(steps: &[Step], seeds: &[u32], cfg: TranslatorConfig) -> (Cpu, Daisy
     (cpu, sys)
 }
 
-fn assert_same(cpu: &Cpu, sys: &DaisySystem, ctx: &str) {
+fn assert_same(cpu: &Cpu, sys: &DaisySystem<PpcIsa>, ctx: &str) {
     assert_eq!(sys.cpu.gpr, cpu.gpr, "{ctx}: GPRs diverged");
     assert_eq!(sys.cpu.cr, cpu.cr, "{ctx}: CR diverged");
     assert_eq!(sys.cpu.lr, cpu.lr, "{ctx}: LR diverged");

@@ -16,6 +16,7 @@ use daisy_ppc::encode::encode;
 use daisy_ppc::insn::{bo, Insn};
 use daisy_ppc::interp::StopReason;
 use daisy_ppc::reg::{CrBit, CrField, Gpr};
+use daisy_ppc::PpcIsa;
 use daisy_vliw::machine::MachineConfig;
 use proptest::prelude::*;
 
@@ -183,6 +184,9 @@ fn emit(a: &mut Asm, steps: &[Step]) {
     a.sc();
 }
 
+/// A finished run: the system plus its captured trace.
+type TracedRun = (DaisySystem<PpcIsa>, Vec<TraceEvent>);
+
 /// Runs one program under both engines — identical systems except for
 /// `packed_execution` — returning `(tree, packed)` with their traces.
 fn run_twins(
@@ -190,10 +194,10 @@ fn run_twins(
     seeds: &[u32],
     cfg: TranslatorConfig,
     cache: &Hierarchy,
-) -> ((DaisySystem, Vec<TraceEvent>), (DaisySystem, Vec<TraceEvent>)) {
+) -> (TracedRun, TracedRun) {
     let run = |packed: bool| {
         let sink = RingSink::new(1 << 16);
-        let mut sys = DaisySystem::builder()
+        let mut sys = DaisySystem::<PpcIsa>::builder()
             .mem_size(0x2_0000)
             .translator(cfg.clone())
             .cache(cache.clone())
@@ -217,8 +221,8 @@ fn run_twins(
 
 /// Every observation the two engines make must agree.
 fn assert_indistinguishable(
-    (tree, tree_ev): &(DaisySystem, Vec<TraceEvent>),
-    (packed, packed_ev): &(DaisySystem, Vec<TraceEvent>),
+    (tree, tree_ev): &(DaisySystem<PpcIsa>, Vec<TraceEvent>),
+    (packed, packed_ev): &(DaisySystem<PpcIsa>, Vec<TraceEvent>),
     ctx: &str,
 ) {
     assert_eq!(packed.cpu.gpr, tree.cpu.gpr, "{ctx}: GPRs diverged");
@@ -272,7 +276,7 @@ proptest! {
         for kind in [FaultKind::IllegalOp, FaultKind::InterruptStorm, FaultKind::ChainSever] {
             for packed in [false, true] {
                 let cfg = CampaignConfig { packed, ..CampaignConfig::new(kind, seed) };
-                run_campaign_on_program(&prog, 0x2_0000, 1_000_000, &cfg).unwrap_or_else(|e| {
+                run_campaign_on_program::<PpcIsa>(&prog, 0x2_0000, 1_000_000, &cfg).unwrap_or_else(|e| {
                     panic!("injection broke the {} engine: {e}",
                         if packed { "packed" } else { "tree" })
                 });
@@ -310,8 +314,10 @@ fn workloads_bit_exact_across_engines() {
     for w in daisy_workloads::all() {
         let prog = w.program();
         let run = |packed: bool| {
-            let mut sys =
-                DaisySystem::builder().mem_size(w.mem_size).packed_execution(packed).build();
+            let mut sys = DaisySystem::<PpcIsa>::builder()
+                .mem_size(w.mem_size)
+                .packed_execution(packed)
+                .build();
             sys.load(&prog).unwrap();
             let stop = sys.run(50 * w.max_instrs).unwrap();
             assert_eq!(stop, StopReason::Syscall, "{}: did not finish", w.name);
@@ -370,7 +376,7 @@ fn packed_links_sever_on_invalidation() {
 
     let cfg = TranslatorConfig { page_size: PAGE, ..TranslatorConfig::default() };
     let run = |packed: bool| {
-        let mut sys = DaisySystem::builder()
+        let mut sys = DaisySystem::<PpcIsa>::builder()
             .mem_size(0x2_0000)
             .translator(cfg.clone())
             .chaining(true)

@@ -12,6 +12,7 @@ use daisy_baseline::{ppc604e, trad};
 use daisy_cachesim::Hierarchy;
 use daisy_ppc::interp::Cpu;
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
 use daisy_vliw::machine::MachineConfig;
 use daisy_workloads::Workload;
 
@@ -32,10 +33,11 @@ fn base_instrs(w: &Workload) -> u64 {
     cpu.ninstrs
 }
 
-fn ilp_with(w: &Workload, cfg: TranslatorConfig, cache: Hierarchy) -> (f64, DaisySystem) {
+fn ilp_with(w: &Workload, cfg: TranslatorConfig, cache: Hierarchy) -> (f64, DaisySystem<PpcIsa>) {
     let base = base_instrs(w);
     let prog = w.program();
-    let mut sys = DaisySystem::builder().mem_size(w.mem_size).translator(cfg).cache(cache).build();
+    let mut sys =
+        DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).translator(cfg).cache(cache).build();
     sys.load(&prog).unwrap();
     sys.run(50 * w.max_instrs).unwrap();
     w.check(&sys.cpu, &sys.mem).unwrap();
@@ -262,10 +264,11 @@ fn chapter_6_shape_oracle_dominates_daisy() {
         let prog = w.program();
         let mut mem = Memory::new(w.mem_size);
         prog.load_into(&mut mem).unwrap();
-        let (inf, _) = daisy::oracle::run_oracle_to_stop(&mut mem, prog.entry, None, w.max_instrs);
+        let (inf, _) =
+            daisy::oracle::run_oracle_to_stop::<PpcIsa>(&mut mem, prog.entry, None, w.max_instrs);
         let mut mem = Memory::new(w.mem_size);
         prog.load_into(&mut mem).unwrap();
-        let (capped, _) = daisy::oracle::run_oracle_to_stop(
+        let (capped, _) = daisy::oracle::run_oracle_to_stop::<PpcIsa>(
             &mut mem,
             prog.entry,
             Some(MachineConfig::big()),

@@ -11,6 +11,8 @@ use daisy_ppc::encode::encode;
 use daisy_ppc::insn::Insn;
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
+use daisy_ppc::{Asm, Gpr};
 
 const PAGE: u32 = 256;
 const TABLE: u32 = 0x8000;
@@ -49,7 +51,7 @@ fn interpret_floor_count_is_exact() {
     let prog = loop_program(50);
     let exact = reference_ninstrs(&prog, 0x20000);
 
-    let mut sys = DaisySystem::builder().mem_size(0x20000).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder().mem_size(0x20000).build();
     sys.load(&prog).unwrap();
     for _ in 0..3 {
         sys.degrade(prog.entry, DegradeCause::Forced).expect("ladder has a rung left");
@@ -109,7 +111,7 @@ fn selfmod_store_counts_once_per_execution() {
     let prog = selfmod_program(imms);
     let exact = reference_ninstrs(&prog, 0x2_0000);
 
-    let mut sys = DaisySystem::builder()
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(0x2_0000)
         .translator(TranslatorConfig { page_size: PAGE, ..TranslatorConfig::default() })
         .build();

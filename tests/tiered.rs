@@ -6,6 +6,8 @@
 use daisy::prelude::*;
 use daisy_ppc::interp::{Cpu, StopReason};
 use daisy_ppc::mem::Memory;
+use daisy_ppc::PpcIsa;
+use daisy_ppc::{Asm, Gpr};
 use daisy_workloads::Workload;
 
 fn run_reference(w: &Workload) -> (Cpu, Memory) {
@@ -25,7 +27,7 @@ fn tiered_retranslation_is_bit_exact_on_all_workloads() {
         let (ref_cpu, ref_mem) = run_reference(&w);
 
         let prog = w.program();
-        let mut sys = DaisySystem::builder()
+        let mut sys = DaisySystem::<PpcIsa>::builder()
             .mem_size(w.mem_size)
             .tiered(TierPolicy::with_threshold(8))
             .build();
@@ -72,8 +74,10 @@ fn hot_promotion_retranslates_wider() {
     a.sc();
     let prog = a.finish().unwrap();
 
-    let mut sys =
-        DaisySystem::builder().mem_size(0x20000).tiered(TierPolicy::with_threshold(4)).build();
+    let mut sys = DaisySystem::<PpcIsa>::builder()
+        .mem_size(0x20000)
+        .tiered(TierPolicy::with_threshold(4))
+        .build();
     sys.load(&prog).unwrap();
     let stop = sys.run(1_000_000).unwrap();
     assert_eq!(stop, StopReason::Syscall);

@@ -9,6 +9,8 @@ use daisy::trace::Tier;
 use daisy_ppc::encode::encode;
 use daisy_ppc::insn::Insn;
 use daisy_ppc::interp::StopReason;
+use daisy_ppc::PpcIsa;
+use daisy_ppc::{Asm, Gpr};
 
 const PAGE: u32 = 256;
 const TABLE: u32 = 0x8000;
@@ -47,9 +49,9 @@ fn small_pages() -> TranslatorConfig {
     TranslatorConfig { page_size: PAGE, ..TranslatorConfig::default() }
 }
 
-fn run_selfmod(sink: Option<RingSink>) -> DaisySystem {
+fn run_selfmod(sink: Option<RingSink>) -> DaisySystem<PpcIsa> {
     let prog = selfmod_program(&[11, 31, 50]);
-    let mut b = DaisySystem::builder().mem_size(0x2_0000).translator(small_pages());
+    let mut b = DaisySystem::<PpcIsa>::builder().mem_size(0x2_0000).translator(small_pages());
     if let Some(sink) = sink {
         b = b.trace_sink(sink);
     }
@@ -74,7 +76,7 @@ fn no_sink_records_nothing() {
 #[test]
 fn null_sink_stores_no_events() {
     let prog = selfmod_program(&[11, 31, 50]);
-    let mut sys = DaisySystem::builder()
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(0x2_0000)
         .translator(small_pages())
         .trace_sink(NullSink)
@@ -181,7 +183,7 @@ fn hot_promotion_emits_tagged_retranslation() {
     let prog = a.finish().unwrap();
 
     let sink = RingSink::new(256);
-    let mut sys = DaisySystem::builder()
+    let mut sys = DaisySystem::<PpcIsa>::builder()
         .mem_size(0x2_0000)
         .trace_sink(sink.clone())
         .tiered(TierPolicy::with_threshold(4))
