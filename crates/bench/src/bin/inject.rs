@@ -4,13 +4,14 @@
 //! record a ladder step.
 //!
 //! ```text
-//! inject [--seed N] [--seeds N] [--kind NAME] [--tree] [--no-chain] [WORKLOAD ...]
+//! inject [--seed N] [--seeds N] [--kind NAME] [--tree] [--no-chain] [--native] [WORKLOAD ...]
 //!
 //!   --seed N      run exactly one seed (default: a seed sweep)
 //!   --seeds N     seeds per (workload, kind) pair (default 32)
 //!   --kind NAME   restrict to one fault kind (default: all six)
 //!   --tree        use the reference tree engine instead of packed
 //!   --no-chain    disable direct group chaining
+//!   --native      start the ladder at the native x86-64 rung
 //!   WORKLOAD      workload names (default: c_sieve wc cmp hist)
 //! ```
 //!
@@ -27,6 +28,7 @@ struct Options {
     kinds: Vec<FaultKind>,
     packed: bool,
     chaining: bool,
+    native: bool,
     workloads: Vec<String>,
 }
 
@@ -37,6 +39,7 @@ fn parse_args() -> Options {
         kinds: FaultKind::ALL.to_vec(),
         packed: true,
         chaining: true,
+        native: false,
         workloads: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -58,9 +61,11 @@ fn parse_args() -> Options {
             }
             "--tree" => opts.packed = false,
             "--no-chain" => opts.chaining = false,
+            "--native" => opts.native = true,
             "--help" | "-h" => {
                 println!(
-                    "inject [--seed N] [--seeds N] [--kind NAME] [--tree] [--no-chain] [WORKLOAD ...]"
+                    "inject [--seed N] [--seeds N] [--kind NAME] [--tree] [--no-chain] \
+                     [--native] [WORKLOAD ...]"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +99,7 @@ fn main() {
                 let cfg = CampaignConfig {
                     packed: opts.packed,
                     chaining: opts.chaining,
+                    native: opts.native,
                     ..CampaignConfig::new(kind, seed)
                 };
                 match catch_unwind(AssertUnwindSafe(|| run_campaign(&w, &cfg))) {

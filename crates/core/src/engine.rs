@@ -272,7 +272,7 @@ impl EngineScratch {
 
     /// Clears the event record and every table slot populated by the
     /// previous dispatch.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.events.clear();
         self.visited.clear();
         for i in self.touched.drain(..) {
@@ -348,7 +348,49 @@ pub fn run_group(
     stats: &mut RunStats,
     scratch: &mut EngineScratch,
 ) -> GroupExit {
-    run_group_impl::<false>(code, rf, mem, cache, stats, scratch)
+    run_group_impl::<false, false>(code, rf, mem, cache, stats, scratch, ResumePoint::default())
+}
+
+/// Where a native bail-out left off inside a group: the packed engine
+/// re-enters mid-group at exactly the parcel whose side effect was
+/// about to happen.
+///
+/// All counters for work *before* this point were already merged from
+/// the native counter block, so the resumed run must not re-count the
+/// current tree instruction or reset the (already reconstructed)
+/// scratch state — `run_group_resume` encodes those rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResumePoint {
+    /// VLIW index of the bail site.
+    pub vliw: usize,
+    /// Absolute packed-node index of the bail site.
+    pub node: usize,
+    /// Absolute op-arena index of the first parcel still to execute.
+    pub op: usize,
+    /// Parcels already counted toward the current tree instruction's
+    /// issue-histogram bucket (includes the whole bail node — the
+    /// packed walk adds a node's parcels when it enters the node).
+    pub parcels: usize,
+    /// The `last_base` commit-dedup register at the bail.
+    pub last_base: u32,
+}
+
+/// Resumes packed execution of `code` mid-group after a native-tier
+/// bail-out. The caller (the native dispatcher) has already merged the
+/// native counter deltas into `stats` and reconstructed `scratch` up
+/// to the bail point, so this entry skips the per-dispatch scratch
+/// reset and the current tree instruction's cycle/issue accounting.
+#[inline]
+pub fn run_group_resume(
+    code: &GroupCode,
+    rf: &mut RegFile,
+    mem: &mut Memory,
+    cache: &mut Hierarchy,
+    stats: &mut RunStats,
+    scratch: &mut EngineScratch,
+    resume: ResumePoint,
+) -> GroupExit {
+    run_group_impl::<false, true>(code, rf, mem, cache, stats, scratch, resume)
 }
 
 /// [`run_group`] with guest-PC attribution enabled: identical
@@ -367,23 +409,30 @@ pub fn run_group_profiled(
     stats: &mut RunStats,
     scratch: &mut EngineScratch,
 ) -> GroupExit {
-    run_group_impl::<true>(code, rf, mem, cache, stats, scratch)
+    run_group_impl::<true, false>(code, rf, mem, cache, stats, scratch, ResumePoint::default())
 }
 
-fn run_group_impl<const PROFILE: bool>(
+fn run_group_impl<const PROFILE: bool, const RESUME: bool>(
     code: &GroupCode,
     rf: &mut RegFile,
     mem: &mut Memory,
     cache: &mut Hierarchy,
     stats: &mut RunStats,
     scratch: &mut EngineScratch,
+    resume: ResumePoint,
 ) -> GroupExit {
-    scratch.reset();
+    if !RESUME {
+        scratch.reset();
+    }
     let packed = &code.packed;
     let infinite = cache.is_infinite();
     let (vals, tags) = rf.arrays_mut();
-    let mut last_base = u32::MAX;
-    let mut vliw = 0usize;
+    let mut last_base = if RESUME { resume.last_base } else { u32::MAX };
+    let mut vliw = if RESUME { resume.vliw } else { 0usize };
+    // True only for the first tree instruction of a resumed run: its
+    // entry accounting already happened natively, and execution starts
+    // mid-node at `resume.op`.
+    let mut resuming = RESUME;
 
     // One completed base instruction per distinct originating address
     // (several parcels can share one base instruction).
@@ -397,21 +446,27 @@ fn run_group_impl<const PROFILE: bool>(
     }
 
     loop {
-        stats.vliws_executed += 1;
-        if !infinite {
-            let iacc = cache.access_instr(code.vliw_addrs[vliw]);
-            stats.stall_cycles += u64::from(iacc.penalty);
+        if !resuming {
+            stats.vliws_executed += 1;
+            if !infinite {
+                let iacc = cache.access_instr(code.vliw_addrs[vliw]);
+                stats.stall_cycles += u64::from(iacc.penalty);
+            }
         }
 
-        let mut node = packed.roots[vliw] as usize;
-        let mut parcels_this_vliw = 0usize;
+        let mut node = if resuming { resume.node } else { packed.roots[vliw] as usize };
+        let mut parcels_this_vliw = if resuming { resume.parcels } else { 0usize };
         loop {
             if PROFILE {
                 scratch.visited.push(node as u32);
             }
             let n = &packed.nodes[node];
-            parcels_this_vliw += n.len as usize;
-            for k in n.start as usize..(n.start + n.len) as usize {
+            let first_op = if resuming { resume.op } else { n.start as usize };
+            if !resuming {
+                parcels_this_vliw += n.len as usize;
+            }
+            resuming = false;
+            for k in first_op..(n.start + n.len) as usize {
                 let op = &packed.ops[k];
                 let m = &packed.meta[k];
                 let (s0, s1, s2) = (m.s[0] as usize, m.s[1] as usize, m.s[2] as usize);

@@ -13,12 +13,15 @@
 //!
 //! The ladder, top to bottom:
 //!
-//! 1. [`Rung::Packed`] — the packed-format engine (fastest).
-//! 2. [`Rung::Tree`] — the reference tree-walking engine on the same
+//! 1. [`Rung::Native`] — hot groups lowered to host machine code (the
+//!    top rung when the native tier is enabled and the host supports
+//!    it; otherwise entries start at `Packed`).
+//! 2. [`Rung::Packed`] — the packed-format engine.
+//! 3. [`Rung::Tree`] — the reference tree-walking engine on the same
 //!    translation.
-//! 3. [`Rung::Conservative`] — the entry is retranslated with load
+//! 4. [`Rung::Conservative`] — the entry is retranslated with load
 //!    speculation inhibited.
-//! 4. [`Rung::Interpret`] — the entry's whole translation page is
+//! 5. [`Rung::Interpret`] — the entry's whole translation page is
 //!    abandoned and executed by the reference interpreter. Groups never
 //!    span pages, so page-granular interpretation is always sound.
 //!
@@ -33,6 +36,10 @@ use std::fmt;
 /// One rung of the graceful-degradation ladder, ordered fastest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rung {
+    /// Hot groups lowered to host machine code (x86-64 only; entries
+    /// on other hosts, or with the native tier disabled, start at
+    /// [`Rung::Packed`]).
+    Native,
     /// Packed-format engine (the default execution mode).
     Packed,
     /// Reference tree-walking engine over the same translation.
@@ -47,6 +54,7 @@ impl Rung {
     /// Short lowercase name, for reports and JSON.
     pub fn name(self) -> &'static str {
         match self {
+            Rung::Native => "native",
             Rung::Packed => "packed",
             Rung::Tree => "tree",
             Rung::Conservative => "conservative",
@@ -59,6 +67,7 @@ impl Rung {
     /// behaviour, so there is nothing left to fall back to).
     pub fn next_down(self) -> Option<Rung> {
         match self {
+            Rung::Native => Some(Rung::Packed),
             Rung::Packed => Some(Rung::Tree),
             Rung::Tree => Some(Rung::Conservative),
             Rung::Conservative => Some(Rung::Interpret),
@@ -194,7 +203,7 @@ mod tests {
 
     #[test]
     fn ladder_is_finite_and_ordered() {
-        let mut rung = Rung::Packed;
+        let mut rung = Rung::Native;
         let mut steps = 0;
         while let Some(next) = rung.next_down() {
             assert!(next > rung, "ladder must strictly descend");
@@ -202,7 +211,7 @@ mod tests {
             steps += 1;
         }
         assert_eq!(rung, Rung::Interpret);
-        assert_eq!(steps, 3);
+        assert_eq!(steps, 4);
     }
 
     #[test]

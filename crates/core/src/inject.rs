@@ -151,6 +151,12 @@ pub struct CampaignConfig {
     /// Run the packed engine (true, the default) or the reference tree
     /// engine, so campaigns can differentially test both.
     pub packed: bool,
+    /// Start entries on the native host-code rung (default false): the
+    /// campaign runs with [`crate::native`] enabled at a low compile
+    /// threshold, so perturbations land while compiled x86-64 groups
+    /// and patched native chains are live. A no-op on hosts without
+    /// native support (the builder falls back to packed execution).
+    pub native: bool,
     /// Enable direct group chaining (default true — chaining is where
     /// most of the recovery surface lives).
     pub chaining: bool,
@@ -165,7 +171,14 @@ impl CampaignConfig {
     /// A default campaign: packed engine, chaining on, three forced
     /// ladder steps.
     pub fn new(kind: FaultKind, seed: u64) -> CampaignConfig {
-        CampaignConfig { kind, seed, packed: true, chaining: true, max_degrades: 3 }
+        CampaignConfig { kind, seed, packed: true, native: false, chaining: true, max_degrades: 3 }
+    }
+
+    /// The same campaign with the native host-code tier on (low
+    /// threshold, so short campaign runs still reach compiled code).
+    pub fn with_native(mut self) -> CampaignConfig {
+        self.native = true;
+        self
     }
 }
 
@@ -324,7 +337,9 @@ pub fn run_campaign_on_program<I: Isa>(
     let mut builder = DaisySystem::<I>::builder()
         .mem_size(mem_size)
         .chaining(cfg.chaining)
-        .packed_execution(cfg.packed);
+        .packed_execution(cfg.packed)
+        .native_execution(cfg.native)
+        .native_threshold(2);
     if kind == FaultKind::CastOutThrash {
         // Tiny translation pages (so even the most compact workloads
         // span several) plus a capacity of roughly one or two pages'

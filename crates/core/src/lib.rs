@@ -73,6 +73,7 @@
 pub mod engine;
 pub mod error;
 pub mod inject;
+pub mod native;
 pub mod oracle;
 pub mod overhead;
 pub mod precise;
@@ -118,6 +119,7 @@ pub mod ppc {
 /// ```
 pub mod prelude {
     pub use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
+    pub use crate::native::NativeStats;
     pub use crate::profile::{GuestProfile, OverheadReport, PcStats, TimelineEvent};
     pub use crate::sched::{TierPolicy, TranslatorConfig};
     pub use crate::stats::{ChainStats, RunStats};

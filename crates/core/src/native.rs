@@ -1,0 +1,497 @@
+//! The native host-code tier: dispatch policy and statistics
+//! reconciliation around the `daisy-jit` compiler.
+//!
+//! The top rung of the execution ladder. Hot [`GroupCode`]s are
+//! lowered to x86-64 (see `daisy_jit::lower`) and entered directly;
+//! the compiled code mirrors every [`RunStats`] counter the packed
+//! engine would have bumped, so a native dispatch is *observationally
+//! identical* to a packed one — same architected state, same
+//! statistics, same trace stream. `tests/prop_native.rs` pins that
+//! equivalence over the full workload suite.
+//!
+//! Three mechanisms keep the tier honest:
+//!
+//! * **Refusal** — groups whose parcels fall outside the template set
+//!   (trap checks, load-verify commits, intra-group back edges) are
+//!   never compiled; they stay on the packed engine forever.
+//! * **Bail-out** — compiled code stops *before* any side effect it
+//!   cannot reproduce exactly (a faulting access, a store to a
+//!   translated page). The dispatcher then reconstructs the packed
+//!   engine's architected-event trail from the branch-direction path
+//!   log (`reconstruct_events`) and resumes the same group mid-node
+//!   on the packed engine ([`crate::engine::run_group_resume`]), so
+//!   §3.5 precise-exception recovery works unchanged.
+//! * **Severing** — chained direct jumps between compiled groups are
+//!   guarded by per-group alive bytes and a global patch log; any
+//!   invalidation or cast-out in the VMM flushes every native edge
+//!   (the analogue of the weak-`Rc` chain links severing), and
+//!   execution falls back to dispatcher boundaries.
+
+use crate::engine::{EngineScratch, GroupCode, GroupExit, ResumePoint};
+use crate::precise::ArchEvent;
+use crate::stats::RunStats;
+use crate::trace::{TraceEvent, Tracer};
+use daisy_isa::mem::Memory;
+use daisy_jit::ctx::{EXIT_BAIL, EXIT_INDIRECT, EXIT_INTERP};
+use daisy_jit::{ctx::JitCtx, CompiledGroup, Jit, DEFAULT_ARENA_BYTES, LOG_CAPACITY};
+use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup};
+use daisy_vliw::reg::Reg;
+use daisy_vliw::regfile::RegFile;
+use daisy_vliw::tree::IndirectVia;
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+/// Default dispatch count before a group is lowered to native code.
+pub const DEFAULT_NATIVE_THRESHOLD: u64 = 8;
+
+/// Tree instructions a single native entry may execute before chain
+/// stubs stop following patched edges and return to the dispatcher
+/// (bounds chained loops; also the granularity of run-budget checks).
+const NATIVE_VLIW_BUDGET: u64 = 16_384;
+
+/// Counters of the native tier itself (compilation and dispatch
+/// behaviour; the *architectural* counters go straight into
+/// [`RunStats`], where they are indistinguishable from packed
+/// execution's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeStats {
+    /// Groups successfully lowered to host code.
+    pub compiles: u64,
+    /// Groups refused by the lowerer (see `daisy_jit::lower::Refusal`).
+    pub refusals: u64,
+    /// Dispatches that entered native code.
+    pub dispatches: u64,
+    /// Group-to-group transfers that stayed inside native code
+    /// (patched chain edges followed without a dispatcher boundary).
+    pub chained: u64,
+    /// Native runs that bailed back to the packed engine mid-group.
+    pub bails: u64,
+    /// Chain edges patched into direct jumps.
+    pub edge_patches: u64,
+    /// Global severs: every patched edge restored and every compiled
+    /// group retired (invalidation, cast-out, ladder engagement).
+    pub flushes: u64,
+    /// Tree instructions executed natively (numerator of native
+    /// coverage; the denominator is [`RunStats::vliws_executed`]).
+    pub vliws_native: u64,
+    /// Parcels covered by successful compilations.
+    pub parcels_compiled: u64,
+    /// Parcels in refused groups (template-coverage ablation data).
+    pub parcels_refused: u64,
+}
+
+/// Per-entry compilation state.
+enum Slot {
+    /// Seen `n` native-eligible dispatches; compiles at the threshold.
+    Cold(u64),
+    /// Lowered and installed.
+    Compiled(Rc<CompiledGroup>),
+    /// Permanently outside the template set (for this translation).
+    Refused,
+}
+
+struct EntryState {
+    /// Identity of the translation this state describes: if the VMM
+    /// rebuilds the entry (retranslation, promotion), the state resets.
+    identity: Weak<GroupCode>,
+    slot: Slot,
+}
+
+/// Registry row resolving a compiled group id (`JitCtx::cur_group`)
+/// back to its guest entry and translation.
+struct RegEntry {
+    entry: u32,
+    code: Weak<GroupCode>,
+    compiled: Weak<CompiledGroup>,
+}
+
+/// Outcome of one native dispatch.
+pub enum NativeRun {
+    /// The run completed natively; `exit` is exactly what the packed
+    /// engine would have returned from the *final* group executed
+    /// (`final_entry`, whose translation is `final_code` for chain
+    /// bookkeeping).
+    Done {
+        /// The group exit, packed-engine-identical.
+        exit: GroupExit,
+        /// Entry of the group that produced the exit (chained runs may
+        /// end groups away from the dispatched one).
+        final_entry: u32,
+        /// Translation of that group, for pending-chain bookkeeping.
+        final_code: Option<Rc<GroupCode>>,
+    },
+    /// The run bailed pre-side-effect; the caller must resume `code`
+    /// on the packed engine at `point` (scratch already reconstructed).
+    Resume {
+        /// Translation of the group that bailed.
+        code: Rc<GroupCode>,
+        /// Entry of that group.
+        entry: u32,
+        /// Where the packed engine re-enters.
+        point: ResumePoint,
+    },
+}
+
+/// The native tier: compiler, code cache, per-entry warm-up counters,
+/// and the dispatch context block.
+pub struct NativeTier {
+    jit: Jit,
+    threshold: u64,
+    entries: HashMap<u32, EntryState>,
+    registry: HashMap<u32, RegEntry>,
+    ctx: JitCtx,
+    log: Vec<u8>,
+    /// `(invalidations, cast_outs)` snapshot; any drift severs all
+    /// native chain edges and retires all compiled groups.
+    epoch: (u64, u64),
+    /// Native-tier counters.
+    pub stats: NativeStats,
+}
+
+impl std::fmt::Debug for NativeTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeTier")
+            .field("threshold", &self.threshold)
+            .field("entries", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl NativeTier {
+    /// Creates the tier, mapping the code arena. `None` when the host
+    /// cannot execute emitted code (non-x86-64/Linux) — callers then
+    /// run everything on the packed engine.
+    pub fn new(threshold: u64) -> Option<NativeTier> {
+        Some(NativeTier {
+            jit: Jit::new(DEFAULT_ARENA_BYTES)?,
+            threshold: threshold.max(1),
+            entries: HashMap::new(),
+            registry: HashMap::new(),
+            ctx: JitCtx::new(),
+            log: vec![0u8; LOG_CAPACITY],
+            epoch: (0, 0),
+            stats: NativeStats::default(),
+        })
+    }
+
+    /// Severs every patched chain edge and retires every compiled
+    /// group (their alive bytes flip, so even a stale patched edge
+    /// could never enter them). Warm-up counts and refusals survive —
+    /// they describe the *translations*, whose staleness the per-entry
+    /// identity check handles — and retired entries stay hot, so a
+    /// still-live hot group recompiles on its next dispatch instead of
+    /// re-warming from zero under invalidation churn.
+    pub fn flush(&mut self) {
+        self.jit.unlink_all();
+        let threshold = self.threshold;
+        for st in self.entries.values_mut() {
+            if matches!(st.slot, Slot::Compiled(_)) {
+                st.slot = Slot::Cold(threshold);
+            }
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Compares the VMM's invalidation/cast-out counters against the
+    /// last-seen snapshot and flushes on any drift — the native
+    /// analogue of weak chain links severing when translations die.
+    pub fn sync_epoch(&mut self, invalidations: u64, cast_outs: u64) {
+        if self.epoch != (invalidations, cast_outs) {
+            self.epoch = (invalidations, cast_outs);
+            if !self.entries.is_empty() || self.jit.active_patches() > 0 {
+                self.flush();
+            }
+        }
+    }
+
+    /// Looks up (or counts toward, or performs) the compilation of
+    /// `code`. Returns the compiled group when this dispatch should
+    /// run natively; `None` keeps it on the packed engine.
+    pub fn prepare(
+        &mut self,
+        code: &Rc<GroupCode>,
+        page_size: u32,
+        mem: &mut Memory,
+        tracer: &mut Tracer,
+    ) -> Option<Rc<CompiledGroup>> {
+        let entry = code.group.entry;
+        // Reset state that describes a dead or replaced translation
+        // (retranslation, hot promotion): its compiled body retires.
+        let stale = self
+            .entries
+            .get(&entry)
+            .is_some_and(|s| !s.identity.upgrade().is_some_and(|c| Rc::ptr_eq(&c, code)));
+        if stale {
+            self.entries.remove(&entry);
+        }
+        let state = self
+            .entries
+            .entry(entry)
+            .or_insert_with(|| EntryState { identity: Rc::downgrade(code), slot: Slot::Cold(0) });
+        let due = match &mut state.slot {
+            Slot::Compiled(cg) => return Some(Rc::clone(cg)),
+            Slot::Refused => return None,
+            Slot::Cold(n) => {
+                *n += 1;
+                *n >= self.threshold
+            }
+        };
+        if !due {
+            return None;
+        }
+        let (_, mem_len, _) = mem.jit_view();
+        let parcels = code.packed.ops.len() as u64;
+        match self.jit.compile(&code.packed, entry, page_size, mem_len, Memory::page_shift()) {
+            Ok(cg) => {
+                self.stats.compiles += 1;
+                self.stats.parcels_compiled += parcels;
+                self.registry.insert(
+                    cg.group_id,
+                    RegEntry { entry, code: Rc::downgrade(code), compiled: Rc::downgrade(&cg) },
+                );
+                tracer.emit(|| TraceEvent::NativeCompile { entry, outcome: "ok" });
+                let out = Rc::clone(&cg);
+                if let Some(s) = self.entries.get_mut(&entry) {
+                    s.slot = Slot::Compiled(cg);
+                }
+                Some(out)
+            }
+            Err(r) => {
+                self.stats.refusals += 1;
+                self.stats.parcels_refused += parcels;
+                tracer.emit(|| TraceEvent::NativeCompile { entry, outcome: r.as_str() });
+                if let Some(s) = self.entries.get_mut(&entry) {
+                    s.slot = Slot::Refused;
+                }
+                None
+            }
+        }
+    }
+
+    fn compiled_for(&self, code: &Rc<GroupCode>) -> Option<Rc<CompiledGroup>> {
+        let st = self.entries.get(&code.group.entry)?;
+        if !st.identity.upgrade().is_some_and(|c| Rc::ptr_eq(&c, code)) {
+            return None;
+        }
+        match &st.slot {
+            Slot::Compiled(cg) => Some(Rc::clone(cg)),
+            _ => None,
+        }
+    }
+
+    /// Patches the chain edge `from --slot--> to` into a direct native
+    /// jump when both ends are compiled. Called at the dispatcher
+    /// boundary that just followed the corresponding [`GroupCode`]
+    /// link, so a patched edge always mirrors an installed link.
+    pub fn try_patch(&mut self, from: &Rc<GroupCode>, slot: usize, to: &Rc<GroupCode>) {
+        let (Some(fc), Some(tc)) = (self.compiled_for(from), self.compiled_for(to)) else {
+            return;
+        };
+        self.stats.edge_patches += self.jit.link(&fc, slot as u32, &tc) as u64;
+    }
+
+    /// Runs `cg` (the compilation of `code`) natively and reconciles
+    /// the counter deltas into `stats`. On a bail-out, reconstructs
+    /// `scratch` up to the bail point and returns
+    /// [`NativeRun::Resume`] for the packed engine to finish.
+    pub fn execute(
+        &mut self,
+        cg: &CompiledGroup,
+        code: &Rc<GroupCode>,
+        rf: &mut RegFile,
+        mem: &mut Memory,
+        stats: &mut RunStats,
+        scratch: &mut EngineScratch,
+    ) -> NativeRun {
+        let (mem_base, _len, translated) = mem.jit_view();
+        self.ctx.reset_counters();
+        let (vals, _tags) = rf.arrays_mut();
+        self.ctx.vals = vals.as_mut_ptr();
+        self.ctx.mem_base = mem_base;
+        self.ctx.translated_base = translated as *const u8;
+        self.ctx.log_base = self.log.as_mut_ptr();
+        self.ctx.budget_vliws = NATIVE_VLIW_BUDGET;
+        // SAFETY: every pointer set above is valid for the run — vals
+        // is the register file's fixed array, mem/translated never
+        // reallocate, the log holds LOG_CAPACITY bytes, and `cg` was
+        // compiled by this tier's own `Jit` into its sealed arena.
+        unsafe { self.jit.run(&mut self.ctx, cg) };
+
+        stats.vliws_executed += self.ctx.vliws;
+        stats.base_instrs += self.ctx.base_instrs;
+        stats.loads += self.ctx.loads;
+        stats.stores += self.ctx.stores;
+        stats.chain.chained_dispatches += self.ctx.chained_dispatches;
+        stats.onpage_dispatches += self.ctx.onpage_dispatches;
+        stats.crosspage.direct += self.ctx.crosspage_direct;
+        for (h, d) in stats.issue_histogram.iter_mut().zip(self.ctx.histogram.iter()) {
+            *h += d;
+        }
+        self.stats.dispatches += 1;
+        self.stats.chained += self.ctx.chained_dispatches;
+        self.stats.vliws_native += self.ctx.vliws;
+
+        // Resolve the group that produced the exit (chained runs end
+        // away from the dispatched group). A registry row can only be
+        // stale for the dispatched group itself, whose `code` we hold.
+        let (final_entry, final_code, final_cg) = match self.registry.get(&self.ctx.cur_group) {
+            Some(row) => (row.entry, row.code.upgrade(), row.compiled.upgrade()),
+            None => (code.group.entry, Some(Rc::clone(code)), None),
+        };
+
+        match self.ctx.exit_kind {
+            EXIT_INDIRECT => NativeRun::Done {
+                exit: GroupExit::Branch {
+                    target: self.ctx.exit_a,
+                    via: Some(if self.ctx.exit_b == 0 {
+                        IndirectVia::Lr
+                    } else {
+                        IndirectVia::Ctr
+                    }),
+                    slot: None,
+                },
+                final_entry,
+                final_code,
+            },
+            EXIT_INTERP => NativeRun::Done {
+                exit: GroupExit::Interp { addr: self.ctx.exit_a },
+                final_entry,
+                final_code,
+            },
+            EXIT_BAIL => {
+                self.stats.bails += 1;
+                let rcode = final_code.unwrap_or_else(|| Rc::clone(code));
+                let bail_cg = match final_cg {
+                    Some(c) => c,
+                    // The dispatched group itself (never chained-into),
+                    // whose compilation the caller holds.
+                    None => match self.compiled_for(&rcode) {
+                        Some(c) => c,
+                        None => unreachable!("bailing group's compilation is live during its run"),
+                    },
+                };
+                let bail = bail_cg.bails[self.ctx.exit_b as usize];
+                let log_len =
+                    (self.ctx.log_end as usize).saturating_sub(self.log.as_ptr() as usize);
+                scratch.reset();
+                reconstruct_events(
+                    &rcode.packed,
+                    &self.log[..log_len.min(self.log.len())],
+                    bail.node as usize,
+                    bail.op as usize,
+                    scratch,
+                );
+                NativeRun::Resume {
+                    entry: final_entry,
+                    point: ResumePoint {
+                        vliw: rcode.packed.node_vliw(bail.node as usize) as usize,
+                        node: bail.node as usize,
+                        op: bail.op as usize,
+                        parcels: bail.parcels as usize,
+                        last_base: self.ctx.last_base,
+                    },
+                    code: rcode,
+                }
+            }
+            // EXIT_BRANCH (0) — also the defensive default.
+            _ => NativeRun::Done {
+                exit: GroupExit::Branch {
+                    target: self.ctx.exit_a,
+                    via: None,
+                    slot: Some(self.ctx.exit_b as usize),
+                },
+                final_entry,
+                final_code,
+            },
+        }
+    }
+}
+
+/// Rebuilds the packed engine's architected-event trail for a native
+/// run that bailed: replays the group's control flow from its entry
+/// using the recorded branch-direction bytes (one per executed
+/// condition), pushing exactly the events the packed engine would have
+/// pushed for every parcel *before* the bail site. Values are not
+/// recomputed — only event structure matters, and it is fully
+/// determined by the path plus the op/meta tables (a native group has
+/// no trap checks, no bypassed stores, and no faulting accesses before
+/// the bail, so no exception tags are ever set on this prefix).
+fn reconstruct_events(
+    packed: &PackedGroup,
+    dirs: &[u8],
+    bail_node: usize,
+    bail_op: usize,
+    scratch: &mut EngineScratch,
+) {
+    let mut di = 0usize;
+    let mut vliw = match packed.roots.first() {
+        Some(_) => 0usize,
+        None => return,
+    };
+    'group: loop {
+        let mut node = packed.roots[vliw] as usize;
+        loop {
+            let n = &packed.nodes[node];
+            for k in n.start as usize..(n.start + n.len) as usize {
+                if node == bail_node && k == bail_op {
+                    break 'group;
+                }
+                let op = &packed.ops[k];
+                let m = &packed.meta[k];
+                match m.class {
+                    OpClass::Copy
+                    | OpClass::LoadImm
+                    | OpClass::Add
+                    | OpClass::AddImm
+                    | OpClass::CmpSImm
+                    | OpClass::RotlImmMask => {
+                        scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                    }
+                    OpClass::Value => {
+                        if m.d1 != OpMeta::NONE {
+                            scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: op.dest2 });
+                        }
+                    }
+                    OpClass::SpecValue => {}
+                    OpClass::Load => {
+                        if !op.speculative {
+                            scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: None });
+                        }
+                    }
+                    OpClass::Store => scratch.events.push(ArchEvent::Store),
+                    // Refused at compile time; unreachable on a
+                    // lowered group's path.
+                    OpClass::General => debug_assert!(false, "General parcel in a lowered group"),
+                }
+            }
+            match n.ctrl {
+                PackedCtrl::Cond { cond, taken, fall } => {
+                    let t = dirs.get(di).copied().unwrap_or(0) != 0;
+                    di += 1;
+                    match cond.spec_target {
+                        Some(spec) => scratch.events.push(ArchEvent::IndirectDir(if t {
+                            None
+                        } else {
+                            Some(spec)
+                        })),
+                        None => scratch.events.push(ArchEvent::Dir(t)),
+                    }
+                    node = if t { taken } else { fall } as usize;
+                }
+                PackedCtrl::Next { vliw: nv } => {
+                    vliw = nv as usize;
+                    break;
+                }
+                // A leaf before the bail site cannot happen on the
+                // actually-executed path; stop defensively.
+                PackedCtrl::Leave { .. }
+                | PackedCtrl::Indirect { .. }
+                | PackedCtrl::Interp { .. } => {
+                    debug_assert!(false, "walker reached a leaf before the bail site");
+                    break 'group;
+                }
+            }
+        }
+    }
+}

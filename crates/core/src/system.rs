@@ -17,10 +17,11 @@
 //! ISA it is running.
 
 use crate::engine::{
-    run_group, run_group_profiled, run_group_tree, run_group_tree_profiled, ChainLink,
-    EngineScratch, ExcKind, GroupCode, GroupExit,
+    run_group, run_group_profiled, run_group_resume, run_group_tree, run_group_tree_profiled,
+    ChainLink, EngineScratch, ExcKind, GroupCode, GroupExit,
 };
 use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
+use crate::native::{NativeRun, NativeStats, NativeTier, DEFAULT_NATIVE_THRESHOLD};
 use crate::precise::{self, ArchEvent, RecoverError};
 use crate::profile::GuestProfile;
 use crate::sched::{TierPolicy, TranslatorConfig};
@@ -104,6 +105,13 @@ pub struct DaisySystem<I: Isa> {
     /// True once anything was ever degraded: the one flag the hot
     /// dispatch path tests before touching `ladder`/`interp_pages`.
     ladder_engaged: bool,
+    /// The native host-code tier (see [`crate::native`]): present only
+    /// when enabled through [`DaisySystemBuilder::native_execution`]
+    /// *and* the host can execute emitted x86-64. When present, entries
+    /// default to [`Rung::Native`] and hot groups run as compiled host
+    /// code; everything else (cold groups, refused groups, other
+    /// ladder rungs) runs on the packed engine as before.
+    native: Option<NativeTier>,
 }
 
 /// Configures and creates a [`DaisySystem`]; obtained from
@@ -136,6 +144,8 @@ pub struct DaisySystemBuilder<I: Isa> {
     guest_profiling: bool,
     tier_policy: Option<TierPolicy>,
     packed: bool,
+    native: bool,
+    native_threshold: u64,
     _isa: std::marker::PhantomData<I>,
 }
 
@@ -154,6 +164,8 @@ impl<I: Isa> Default for DaisySystemBuilder<I> {
             guest_profiling: false,
             tier_policy: None,
             packed: true,
+            native: false,
+            native_threshold: DEFAULT_NATIVE_THRESHOLD,
             _isa: std::marker::PhantomData,
         }
     }
@@ -216,6 +228,28 @@ impl<I: Isa> DaisySystemBuilder<I> {
         self
     }
 
+    /// Enables the native host-code tier (default off): groups whose
+    /// dispatch count crosses [`DaisySystemBuilder::native_threshold`]
+    /// are lowered to executable x86-64 and entered directly, with
+    /// chained direct jumps between compiled groups (see
+    /// [`crate::native`] and `docs/jit.md`). Requires packed execution;
+    /// silently falls back to the packed engine when the host is not
+    /// x86-64 Linux, when guest profiling is enabled (native code
+    /// records no retirement trace), or when the cache hierarchy is
+    /// finite (native code does not probe the cache model).
+    pub fn native_execution(mut self, on: bool) -> Self {
+        self.native = on;
+        self
+    }
+
+    /// Dispatches before a group is lowered to native code (default
+    /// [`DEFAULT_NATIVE_THRESHOLD`]; clamped to at least 1). Only
+    /// meaningful with [`DaisySystemBuilder::native_execution`] on.
+    pub fn native_threshold(mut self, dispatches: u64) -> Self {
+        self.native_threshold = dispatches;
+        self
+    }
+
     /// Installs a structured-event sink (see [`crate::trace`]). Without
     /// one, tracing is disabled and event closures are never evaluated.
     pub fn trace_sink(mut self, sink: impl TraceSink + 'static) -> Self {
@@ -270,6 +304,16 @@ impl<I: Isa> DaisySystemBuilder<I> {
         }
         let hot_threshold = self.tier_policy.as_ref().map(|p| p.hot_threshold);
         vmm.tier_policy = self.tier_policy;
+        // The native tier only composes with configurations it can
+        // reproduce exactly: packed execution (it lowers the packed
+        // format), no guest profiling (native code records no
+        // retirement trace), and an infinite cache (native code does
+        // not probe the cache model). `NativeTier::new` additionally
+        // returns `None` on hosts that cannot execute emitted x86-64.
+        let native =
+            (self.native && self.packed && !self.guest_profiling && self.cache.is_infinite())
+                .then(|| NativeTier::new(self.native_threshold))
+                .flatten();
         DaisySystem {
             mem: Memory::new(self.mem_size),
             cpu: <I::Cpu as GuestCpu>::new(0),
@@ -290,6 +334,7 @@ impl<I: Isa> DaisySystemBuilder<I> {
             ladder: HashMap::new(),
             interp_pages: HashSet::new(),
             ladder_engaged: false,
+            native,
         }
     }
 }
@@ -443,11 +488,21 @@ impl<I: Isa> DaisySystem<I> {
         // translation a store killed, so its links cannot upgrade).
         let pending = self.pending_chain.take();
         let mut chained: Option<Rc<GroupCode>> = None;
+        // A direct link followed at this boundary, remembered so the
+        // native tier can patch the same edge into a direct jump (only
+        // under configurations where skipping the dispatcher between
+        // these two groups is invisible — see `native_patching_ok`).
+        let mut followed_edge: Option<(Rc<GroupCode>, usize)> = None;
         if self.chaining {
             match &pending {
                 Some(PendingChain::Direct { from, slot, target }) if *target == pc => {
                     match from.follow_link(*slot) {
-                        ChainLink::Live(code) => chained = Some(code),
+                        ChainLink::Live(code) => {
+                            if self.native.is_some() {
+                                followed_edge = Some((Rc::clone(from), *slot));
+                            }
+                            chained = Some(code);
+                        }
                         ChainLink::Severed => {
                             self.stats.chain.severs += 1;
                             from.clear_link(*slot);
@@ -519,8 +574,6 @@ impl<I: Isa> DaisySystem<I> {
                 code
             }
         };
-        let from_page = pc / self.vmm.cfg.page_size;
-
         let profiled_before =
             self.profiler.as_ref().map(|_| (self.stats.vliws_executed, self.stats.stall_cycles));
         let guest_before =
@@ -534,25 +587,85 @@ impl<I: Isa> DaisySystem<I> {
         // Entries faulted down the ladder run on the reference tree
         // engine (the conservative rung also retranslated without
         // load speculation, upstream in the VMM).
+        let default_rung = if self.native.is_some() { Rung::Native } else { Rung::Packed };
         let rung = if self.ladder_engaged {
-            self.ladder.get(&code.group.entry).copied().unwrap_or(Rung::Packed)
+            self.ladder.get(&code.group.entry).copied().unwrap_or(default_rung)
         } else {
-            Rung::Packed
+            default_rung
         };
-        let engine = match (self.packed && rung == Rung::Packed, self.guest_profile.is_some()) {
-            (true, false) => run_group,
-            (true, true) => run_group_profiled,
-            (false, false) => run_group_tree,
-            (false, true) => run_group_tree_profiled,
+        // Native tier: compile-or-count the entry, enter compiled code,
+        // and (where the dispatcher can be skipped invisibly) patch the
+        // chain edge just followed into a direct native jump. A bailed
+        // native run resumes the same group mid-node on the packed
+        // engine with the architected-event trail reconstructed, so
+        // everything downstream (recovery cross-check, exception
+        // delivery, exit handling) is rung-oblivious. `run_from` names
+        // the group that produced the exit — a chained native run may
+        // end groups away from the dispatched one.
+        let mut native_result: Option<(GroupExit, u32, Option<Rc<GroupCode>>)> = None;
+        if rung == Rung::Native {
+            let patching_ok = self.native_patching_ok();
+            if let Some(nt) = self.native.as_mut() {
+                nt.sync_epoch(self.vmm.stats.invalidations, self.vmm.stats.cast_outs);
+                if let Some(cg) =
+                    nt.prepare(&code, self.vmm.cfg.page_size, &mut self.mem, &mut self.vmm.tracer)
+                {
+                    if patching_ok {
+                        if let Some((pfrom, pslot)) = &followed_edge {
+                            nt.try_patch(pfrom, *pslot, &code);
+                        }
+                    }
+                    match nt.execute(
+                        &cg,
+                        &code,
+                        &mut rf,
+                        &mut self.mem,
+                        &mut self.stats,
+                        &mut self.scratch,
+                    ) {
+                        NativeRun::Done { exit, final_entry, final_code } => {
+                            native_result = Some((exit, final_entry, final_code));
+                        }
+                        NativeRun::Resume { code: rcode, entry, point } => {
+                            let exit = run_group_resume(
+                                &rcode,
+                                &mut rf,
+                                &mut self.mem,
+                                &mut self.cache,
+                                &mut self.stats,
+                                &mut self.scratch,
+                                point,
+                            );
+                            native_result = Some((exit, entry, Some(rcode)));
+                        }
+                    }
+                }
+            }
+        }
+        let (exit, run_entry, run_code) = match native_result {
+            Some(r) => r,
+            None => {
+                let engine = match (
+                    self.packed && matches!(rung, Rung::Packed | Rung::Native),
+                    self.guest_profile.is_some(),
+                ) {
+                    (true, false) => run_group,
+                    (true, true) => run_group_profiled,
+                    (false, false) => run_group_tree,
+                    (false, true) => run_group_tree_profiled,
+                };
+                let exit = engine(
+                    &code,
+                    &mut rf,
+                    &mut self.mem,
+                    &mut self.cache,
+                    &mut self.stats,
+                    &mut self.scratch,
+                );
+                (exit, code.group.entry, None)
+            }
         };
-        let exit = engine(
-            &code,
-            &mut rf,
-            &mut self.mem,
-            &mut self.cache,
-            &mut self.stats,
-            &mut self.scratch,
-        );
+        let from_page = run_entry / self.vmm.cfg.page_size;
         // §3.5 recovery cross-check, *before* committing the
         // register file: a failed check means the translation's
         // metadata cannot be trusted, and retrying the group one
@@ -561,7 +674,7 @@ impl<I: Isa> DaisySystem<I> {
         // clean unless a store committed before the fault.
         if let GroupExit::Exception { base_addr, fault_idx, .. } = exit {
             if self.check_precise_recovery
-                && self.recovery_cross_check(code.group.entry, base_addr, fault_idx)?
+                && self.recovery_cross_check(run_entry, base_addr, fault_idx)?
             {
                 // Discard `rf`; architected state is untouched, so the
                 // next step re-dispatches the same PC one rung down.
@@ -626,14 +739,17 @@ impl<I: Isa> DaisySystem<I> {
                 self.cpu.set_pc(target);
                 if self.chaining {
                     // The slot was lowered into the packed exit at
-                    // translation time — no exit-table search here.
+                    // translation time — no exit-table search here. The
+                    // link hangs off the group that produced the exit
+                    // (for a chained native run, the final group).
+                    let from = run_code.unwrap_or(code);
                     self.pending_chain = match via {
                         None => slot.map(|slot| PendingChain::Direct {
-                            from: Rc::clone(&code),
+                            from: Rc::clone(&from),
                             slot,
                             target,
                         }),
-                        Some(_) => Some(PendingChain::Indirect { from: Rc::clone(&code), target }),
+                        Some(_) => Some(PendingChain::Indirect { from, target }),
                     };
                 }
             }
@@ -775,8 +891,20 @@ impl<I: Isa> DaisySystem<I> {
                 self.interp_pages.insert(entry / self.vmm.cfg.page_size);
                 self.vmm.drop_page_of(entry);
             }
-            // invariant: next_down never yields the top rung.
+            // Native→Packed: nothing to rebuild — the ladder entry
+            // alone routes the entry to the packed engine, and the
+            // flush below retires its compiled body.
             Rung::Packed => {}
+            // invariant: next_down never yields the top rung.
+            Rung::Native => {}
+        }
+        // Any step down retires the native tier's compiled code and
+        // severs its patched edges: a patched chain could otherwise
+        // carry execution natively *through* a degraded entry without
+        // consulting the ladder. Engaging the ladder also disables
+        // future patching, so boundaries stay visible from here on.
+        if let Some(nt) = self.native.as_mut() {
+            nt.flush();
         }
         // The pending chain may target a translation the step above
         // just dropped, or carry execution past the ladder check.
@@ -786,16 +914,48 @@ impl<I: Isa> DaisySystem<I> {
         Some(d)
     }
 
-    /// The ladder rung `entry` currently executes at ([`Rung::Packed`]
-    /// unless it was degraded; every entry on an interpret-rung page
-    /// reports [`Rung::Interpret`]).
+    /// The ladder rung `entry` currently executes at ([`Rung::Native`]
+    /// with the native tier present, [`Rung::Packed`] otherwise, unless
+    /// it was degraded; every entry on an interpret-rung page reports
+    /// [`Rung::Interpret`]).
     pub fn rung(&self, entry: u32) -> Rung {
         if !self.interp_pages.is_empty()
             && self.interp_pages.contains(&(entry / self.vmm.cfg.page_size))
         {
             return Rung::Interpret;
         }
-        self.ladder.get(&entry).copied().unwrap_or(Rung::Packed)
+        let default_rung = if self.native.is_some() { Rung::Native } else { Rung::Packed };
+        self.ladder.get(&entry).copied().unwrap_or(default_rung)
+    }
+
+    /// Whether the native host-code tier is active (enabled through the
+    /// builder *and* supported by this host and configuration).
+    pub fn native_enabled(&self) -> bool {
+        self.native.is_some()
+    }
+
+    /// The native tier's own counters (compiles, refusals, bails,
+    /// patched edges…), when the tier is active. The *architectural*
+    /// counters of native runs land in [`DaisySystem::stats`], exactly
+    /// where packed execution puts them.
+    pub fn native_stats(&self) -> Option<NativeStats> {
+        self.native.as_ref().map(|nt| nt.stats)
+    }
+
+    /// Whether chain edges between compiled native groups may be
+    /// patched into direct jumps. Patching removes the dispatcher
+    /// boundary between the linked groups, so it is only sound when
+    /// nothing observes that boundary: no per-group profiler, no guest
+    /// profile, no timer (interrupts are taken at boundaries), and no
+    /// engaged degradation ladder (rung checks happen at boundaries).
+    /// In every other configuration native groups still run one group
+    /// per dispatch, which preserves boundary-exact behaviour.
+    fn native_patching_ok(&self) -> bool {
+        self.chaining
+            && self.profiler.is_none()
+            && self.guest_profile.is_none()
+            && self.timer_period.is_none()
+            && !self.ladder_engaged
     }
 
     /// Every ladder step taken this run, in order.
@@ -810,6 +970,13 @@ impl<I: Isa> DaisySystem<I> {
     /// campaigns exercise exactly this).
     pub fn sever_chains(&mut self) {
         self.pending_chain = None;
+        // Patched native edges mirror installed links; cutting the
+        // links must cut the native jumps too, or a patched chain
+        // would carry execution across an edge the Rust side believes
+        // severed.
+        if let Some(nt) = self.native.as_mut() {
+            nt.flush();
+        }
         self.vmm.sever_all_links();
     }
 

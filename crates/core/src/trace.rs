@@ -172,6 +172,15 @@ pub enum TraceEvent {
         /// Dispatch count at promotion.
         dispatches: u64,
     },
+    /// A hot group was lowered to native host code — or refused, with
+    /// the stable refusal label as the outcome.
+    NativeCompile {
+        /// Entry point of the group.
+        entry: u32,
+        /// `"ok"`, or a refusal label (`"general-parcel"`,
+        /// `"too-large"`, …).
+        outcome: &'static str,
+    },
     /// An entry point stepped down the graceful-degradation ladder
     /// (see [`crate::error`]): a recoverable fault was absorbed by
     /// falling back to a slower-but-sound execution mode instead of
@@ -206,6 +215,7 @@ impl TraceEvent {
             TraceEvent::Exception { .. } => "exception",
             TraceEvent::ExternalInterrupt { .. } => "external_interrupt",
             TraceEvent::HotPromotion { .. } => "hot_promotion",
+            TraceEvent::NativeCompile { .. } => "native_compile",
             TraceEvent::Degraded { .. } => "degraded",
         }
     }
@@ -261,6 +271,9 @@ impl TraceEvent {
             }
             TraceEvent::HotPromotion { entry, dispatches } => {
                 format!("{{\"event\": \"{k}\", \"entry\": {entry}, \"dispatches\": {dispatches}}}")
+            }
+            TraceEvent::NativeCompile { entry, outcome } => {
+                format!("{{\"event\": \"{k}\", \"entry\": {entry}, \"outcome\": \"{outcome}\"}}")
             }
             TraceEvent::Degraded { entry, from, to, cause } => {
                 format!(
@@ -640,6 +653,7 @@ mod tests {
             TraceEvent::Exception { class: ExcClass::StoreFault, base_addr: 16 },
             TraceEvent::ExternalInterrupt { pc: 20 },
             TraceEvent::HotPromotion { entry: 4, dispatches: 64 },
+            TraceEvent::NativeCompile { entry: 4, outcome: "ok" },
             TraceEvent::Degraded {
                 entry: 4,
                 from: Rung::Packed,

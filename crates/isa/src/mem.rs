@@ -274,6 +274,27 @@ impl Memory {
     pub fn has_code_writes(&self) -> bool {
         !self.code_writes.is_empty()
     }
+
+    /// Raw view for the native (JIT) tier: base pointer and length of
+    /// the byte array plus the translated-bit array (one byte per 4 KiB
+    /// page — `Vec<bool>` stores each flag as a byte, which is exactly
+    /// the shape compiled probes test with `cmp byte [..], 0`).
+    ///
+    /// Compiled code accesses guest bytes directly but bails back to
+    /// the packed engine *before* any store whose target page has its
+    /// translated bit set, so the code-modification bookkeeping above
+    /// is never bypassed. Both arrays are sized at construction and
+    /// never reallocate, so the pointers stay valid for the `Memory`'s
+    /// lifetime.
+    pub fn jit_view(&mut self) -> (*mut u8, u32, *const bool) {
+        (self.bytes.as_mut_ptr(), self.bytes.len() as u32, self.translated.as_ptr())
+    }
+
+    /// log2 of the translated-bit granule, for the native tier's
+    /// compiled page probes.
+    pub const fn page_shift() -> u32 {
+        PAGE_SIZE.trailing_zeros()
+    }
 }
 
 /// Why an address translation failed.

@@ -1,0 +1,295 @@
+//! The W^X executable code arena.
+//!
+//! One anonymous `mmap` region holds every compiled group plus the
+//! shared entry thunk and epilogue. The mapping is normally `r-x`; it
+//! flips to `rw-` only for the duration of a write (initial group
+//! installation, chain-edge patching) and back before any guest code
+//! runs — writable and executable are never both set, and execution
+//! is single-threaded so there is no window where another thread could
+//! run code mid-write.
+//!
+//! Allocation is a bump pointer and freed code is never reclaimed:
+//! compiled groups are retired by flipping their alive byte (see
+//! [`crate::AliveSlab`]), which unpatches nothing and reuses nothing,
+//! so stale chain edges can never jump into recycled bytes. A full
+//! arena simply stops further compilation — execution falls back to
+//! the packed tier, never fails.
+//!
+//! The container has no libc crate, so the three needed syscalls are
+//! issued directly.
+
+use std::cell::{Cell, RefCell};
+
+const PROT_READ: usize = 1;
+const PROT_WRITE: usize = 2;
+const PROT_EXEC: usize = 4;
+const MAP_PRIVATE: usize = 0x02;
+const MAP_ANONYMOUS: usize = 0x20;
+
+const SYS_MMAP: usize = 9;
+const SYS_MPROTECT: usize = 10;
+const SYS_MUNMAP: usize = 11;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+unsafe fn syscall6(
+    nr: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// An executable bump-allocated mapping.
+///
+/// All methods take `&self`: interior mutability keeps the arena
+/// shareable behind `Rc` from every compiled group (whose code must
+/// stay mapped as long as any of them is alive).
+#[derive(Debug)]
+pub struct Arena {
+    base: *mut u8,
+    len: usize,
+    used: Cell<usize>,
+    writable: Cell<bool>,
+    /// Registered patch points: `(offset of a rel32 field, original
+    /// target offset)` — enough to restore every chain edge to its
+    /// fallback path on a global unpatch.
+    patches: RefCell<Vec<PatchSite>>,
+}
+
+/// One installed chain-edge patch, recorded so severs can undo it.
+#[derive(Debug, Clone, Copy)]
+pub struct PatchSite {
+    /// Offset of the patched `jmp` rel32 field within the arena.
+    pub site: usize,
+    /// Arena offset the site jumps to while patched (the chain stub).
+    pub stub: usize,
+    /// Arena offset the site jumps to when unpatched (the fallback).
+    pub fallback: usize,
+}
+
+impl Arena {
+    /// Maps `len` bytes of executable memory. Returns `None` when the
+    /// platform cannot provide it (non-x86-64, non-Linux, or mmap
+    /// failure) — callers then keep executing on the packed tier.
+    pub fn new(len: usize) -> Option<Arena> {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            let addr = unsafe {
+                syscall6(
+                    SYS_MMAP,
+                    0,
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS,
+                    usize::MAX, // fd = -1
+                    0,
+                )
+            };
+            if !(0..isize::MAX).contains(&addr) || addr == 0 {
+                return None;
+            }
+            Some(Arena {
+                base: addr as *mut u8,
+                len,
+                used: Cell::new(0),
+                writable: Cell::new(true),
+                patches: RefCell::new(Vec::new()),
+            })
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        {
+            let _ = len;
+            None
+        }
+    }
+
+    /// Base address of the mapping.
+    pub fn base(&self) -> *const u8 {
+        self.base
+    }
+
+    /// Bytes already handed out.
+    pub fn used(&self) -> usize {
+        self.used.get()
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.len - self.used.get()
+    }
+
+    /// The absolute address `install` would place the next blob at
+    /// (accounting for its 16-byte alignment).
+    pub fn next_addr(&self) -> u64 {
+        self.base as u64 + ((self.used.get() + 15) & !15) as u64
+    }
+
+    fn set_prot(&self, prot: usize) {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            let r = unsafe { syscall6(SYS_MPROTECT, self.base as usize, self.len, prot, 0, 0, 0) };
+            debug_assert_eq!(r, 0, "mprotect failed");
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        let _ = prot;
+    }
+
+    fn make_writable(&self) {
+        if !self.writable.get() {
+            self.set_prot(PROT_READ | PROT_WRITE);
+            self.writable.set(true);
+        }
+    }
+
+    /// Flips the whole mapping to `r-x`. Must be called after any
+    /// write sequence, before guest code re-enters the arena.
+    pub fn seal(&self) {
+        if self.writable.get() {
+            self.set_prot(PROT_READ | PROT_EXEC);
+            self.writable.set(false);
+        }
+    }
+
+    /// Copies `code` into the arena at the current bump position and
+    /// returns its offset. Returns `None` when the arena is full. The
+    /// mapping is left writable; call [`Arena::seal`] before executing.
+    pub fn install(&self, code: &[u8]) -> Option<usize> {
+        // Align each blob so patched rel32 stores stay within the blob.
+        let at = (self.used.get() + 15) & !15;
+        if at + code.len() > self.len {
+            return None;
+        }
+        self.make_writable();
+        unsafe {
+            std::ptr::copy_nonoverlapping(code.as_ptr(), self.base.add(at), code.len());
+        }
+        self.used.set(at + code.len());
+        Some(at)
+    }
+
+    /// Absolute address of arena offset `off`.
+    pub fn addr_of(&self, off: usize) -> u64 {
+        debug_assert!(off < self.len);
+        self.base as u64 + off as u64
+    }
+
+    /// Rewrites the rel32 field at arena offset `at` to land on the
+    /// absolute address `target`, then records nothing — use
+    /// [`Arena::patch_edge`] for tracked chain edges.
+    pub fn write_rel32(&self, at: usize, target: u64) {
+        self.make_writable();
+        let next = self.base as u64 + at as u64 + 4;
+        let rel = (target as i64).wrapping_sub(next as i64) as i32;
+        unsafe {
+            std::ptr::copy_nonoverlapping(rel.to_le_bytes().as_ptr(), self.base.add(at), 4);
+        }
+    }
+
+    /// Writes an imm64 field at arena offset `at`.
+    pub fn write_imm64(&self, at: usize, v: u64) {
+        self.make_writable();
+        unsafe {
+            std::ptr::copy_nonoverlapping(v.to_le_bytes().as_ptr(), self.base.add(at), 8);
+        }
+    }
+
+    /// Activates a chain edge: points `site.site` at `site.stub` and
+    /// records the site so [`Arena::unpatch_all`] can restore it.
+    pub fn patch_edge(&self, site: PatchSite) {
+        self.write_rel32(site.site, self.addr_of(site.stub));
+        self.patches.borrow_mut().push(site);
+    }
+
+    /// Restores every patched chain edge to its fallback path (the
+    /// exit-record sequence that returns to the dispatcher). Returns
+    /// how many were restored.
+    pub fn unpatch_all(&self) -> u64 {
+        let sites = std::mem::take(&mut *self.patches.borrow_mut());
+        let n = sites.len() as u64;
+        for s in &sites {
+            self.write_rel32(s.site, self.addr_of(s.fallback));
+        }
+        if n > 0 {
+            self.seal();
+        }
+        n
+    }
+
+    /// Number of currently active chain-edge patches.
+    pub fn active_patches(&self) -> usize {
+        self.patches.borrow().len()
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        unsafe {
+            syscall6(SYS_MUNMAP, self.base as usize, self.len, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64", target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_install_execute_roundtrip() {
+        let arena = Arena::new(1 << 16).expect("mmap");
+        // lea eax, [rdi+1]; ret  — fn(i32-ish in rdi low) -> edi+1
+        let off = arena.install(&[0x8D, 0x47, 0x01, 0xC3]).expect("fits");
+        arena.seal();
+        let f: extern "sysv64" fn(u64) -> u32 = unsafe { std::mem::transmute(arena.addr_of(off)) };
+        assert_eq!(f(41), 42);
+    }
+
+    #[test]
+    fn patch_and_unpatch_rewrite_jump_targets() {
+        let arena = Arena::new(1 << 16).expect("mmap");
+        // jmp +0 (to fallback); fallback: mov eax,1; ret; stub: mov eax,2; ret
+        let mut code = vec![0xE9, 0, 0, 0, 0]; // site at 0, rel at 1
+        let fallback = code.len();
+        code.extend_from_slice(&[0xB8, 1, 0, 0, 0, 0xC3]);
+        let stub = code.len();
+        code.extend_from_slice(&[0xB8, 2, 0, 0, 0, 0xC3]);
+        let off = arena.install(&code).expect("fits");
+        arena.write_rel32(off + 1, arena.addr_of(off + fallback));
+        arena.seal();
+        let f: extern "sysv64" fn() -> u32 = unsafe { std::mem::transmute(arena.addr_of(off)) };
+        assert_eq!(f(), 1);
+        arena.patch_edge(PatchSite { site: off + 1, stub: off + stub, fallback: off + fallback });
+        arena.seal();
+        assert_eq!(f(), 2);
+        assert_eq!(arena.unpatch_all(), 1);
+        assert_eq!(f(), 1);
+        assert_eq!(arena.active_patches(), 0);
+    }
+
+    #[test]
+    fn full_arena_refuses_cleanly() {
+        let arena = Arena::new(4096).expect("mmap");
+        assert!(arena.install(&[0x90; 4000]).is_some());
+        assert!(arena.install(&[0x90; 200]).is_none());
+    }
+}

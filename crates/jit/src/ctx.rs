@@ -1,0 +1,190 @@
+//! The native-call context block.
+//!
+//! Compiled code receives a single pointer (held in `rbx` for the
+//! whole run) to a [`JitCtx`], a `#[repr(C)]` block whose field
+//! offsets are frozen as `OFF_*` constants and referenced by the
+//! emitter in `lower.rs`. The dispatcher fills the input fields,
+//! calls the shared entry thunk, and reads the exit record plus the
+//! counter deltas back out. Keeping every counter in the block (one
+//! `inc qword [rbx+OFF]` each) is what lets native runs reproduce
+//! `RunStats` bit-for-bit against packed execution.
+
+/// Exit kinds written to [`JitCtx::exit_kind`] by compiled code.
+pub const EXIT_BRANCH: u32 = 0;
+pub const EXIT_INDIRECT: u32 = 1;
+pub const EXIT_INTERP: u32 = 2;
+pub const EXIT_BAIL: u32 = 3;
+
+/// The context block shared between the dispatcher and compiled code.
+///
+/// Field order is ABI: the `OFF_*` constants below must match, and a
+/// unit test pins them with `core::mem::offset_of!`.
+#[repr(C)]
+pub struct JitCtx {
+    /// `*mut u32` — the 77-entry architected value array.
+    pub vals: *mut u32,
+    /// Base of guest memory bytes.
+    pub mem_base: *mut u8,
+    /// Base of the per-page translated-bit array (one byte per 4 KiB page).
+    pub translated_base: *const u8,
+    /// Base of the branch-direction path log (one byte per `Cond`).
+    pub log_base: *mut u8,
+    /// VLIW budget: chain stubs stop following edges once
+    /// `vliws >= budget_vliws`, returning to the dispatcher.
+    pub budget_vliws: u64,
+    /// Counter mirror of `RunStats.vliws_executed` (delta).
+    pub vliws: u64,
+    /// Counter mirror of `RunStats.base_instrs` (delta).
+    pub base_instrs: u64,
+    /// Counter mirror of `RunStats.loads` (delta).
+    pub loads: u64,
+    /// Counter mirror of `RunStats.stores` (delta).
+    pub stores: u64,
+    /// Chain-follow count (delta for `ChainStats.chained_dispatches`).
+    pub chained_dispatches: u64,
+    /// Same-page chain follows (delta for `RunStats.onpage_dispatches`).
+    pub onpage_dispatches: u64,
+    /// Cross-page direct chain follows (delta for `CrossPage.direct`).
+    pub crosspage_direct: u64,
+    /// Path-log cursor at exit (written from `r14` by the epilogue).
+    pub log_end: *mut u8,
+    /// One of the `EXIT_*` constants.
+    pub exit_kind: u32,
+    /// Branch: exit target. Indirect: computed target. Interp: addr.
+    /// Bail: unused.
+    pub exit_a: u32,
+    /// Branch: exit slot. Indirect: via discriminant (0=Lr, 1=Ctr).
+    /// Bail: bail-site id.
+    pub exit_b: u32,
+    /// `last_base` dedup register at exit (written from `r15d`).
+    pub last_base: u32,
+    /// Group id of the group executing at exit (for chain attribution).
+    pub cur_group: u32,
+    pub _pad: u32,
+    /// Mirror of `RunStats.issue_histogram` (deltas).
+    pub histogram: [u64; 25],
+}
+
+pub const OFF_VALS: i32 = 0;
+pub const OFF_MEM_BASE: i32 = 8;
+pub const OFF_TRANSLATED: i32 = 16;
+pub const OFF_LOG_BASE: i32 = 24;
+pub const OFF_BUDGET: i32 = 32;
+pub const OFF_VLIWS: i32 = 40;
+pub const OFF_BASE_INSTRS: i32 = 48;
+pub const OFF_LOADS: i32 = 56;
+pub const OFF_STORES: i32 = 64;
+pub const OFF_CHAINED: i32 = 72;
+pub const OFF_ONPAGE: i32 = 80;
+pub const OFF_CROSSPAGE: i32 = 88;
+pub const OFF_LOG_END: i32 = 96;
+pub const OFF_EXIT_KIND: i32 = 104;
+pub const OFF_EXIT_A: i32 = 108;
+pub const OFF_EXIT_B: i32 = 112;
+pub const OFF_LAST_BASE: i32 = 116;
+pub const OFF_CUR_GROUP: i32 = 120;
+pub const OFF_HISTOGRAM: i32 = 128;
+
+impl JitCtx {
+    /// A zeroed context with dangling (never-dereferenced-as-is)
+    /// pointers; the dispatcher overwrites every pointer field before
+    /// each entry.
+    pub fn new() -> JitCtx {
+        JitCtx {
+            vals: std::ptr::null_mut(),
+            mem_base: std::ptr::null_mut(),
+            translated_base: std::ptr::null(),
+            log_base: std::ptr::null_mut(),
+            budget_vliws: 0,
+            vliws: 0,
+            base_instrs: 0,
+            loads: 0,
+            stores: 0,
+            chained_dispatches: 0,
+            onpage_dispatches: 0,
+            crosspage_direct: 0,
+            log_end: std::ptr::null_mut(),
+            exit_kind: 0,
+            exit_a: 0,
+            exit_b: 0,
+            last_base: 0,
+            cur_group: 0,
+            _pad: 0,
+            histogram: [0; 25],
+        }
+    }
+
+    /// Clears the per-run counters and exit record (pointers and
+    /// budget are left for the caller to set).
+    pub fn reset_counters(&mut self) {
+        self.vliws = 0;
+        self.base_instrs = 0;
+        self.loads = 0;
+        self.stores = 0;
+        self.chained_dispatches = 0;
+        self.onpage_dispatches = 0;
+        self.crosspage_direct = 0;
+        self.log_end = std::ptr::null_mut();
+        self.exit_kind = 0;
+        self.exit_a = 0;
+        self.exit_b = 0;
+        self.last_base = 0;
+        self.cur_group = 0;
+        self.histogram = [0; 25];
+    }
+}
+
+impl Default for JitCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Calls compiled code: `thunk` is the absolute address of the shared
+/// entry thunk, `entry` the absolute address of a group body.
+///
+/// # Safety
+/// `thunk`/`entry` must point at code emitted by this crate into a
+/// sealed (`r-x`) arena, and every pointer field of `ctx` must be
+/// valid for the accesses the compiled group performs (vals: 77×u32,
+/// mem/translated: full guest image, log: the compiler-checked
+/// capacity).
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub unsafe fn enter(thunk: u64, ctx: *mut JitCtx, entry: u64) {
+    let f: extern "sysv64" fn(*mut JitCtx, u64) = unsafe { std::mem::transmute(thunk) };
+    f(ctx, entry);
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+pub unsafe fn enter(_thunk: u64, _ctx: *mut JitCtx, _entry: u64) {
+    unreachable!("native tier is gated off on this platform");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::mem::offset_of;
+
+    #[test]
+    fn offsets_match_emitter_constants() {
+        assert_eq!(offset_of!(JitCtx, vals), OFF_VALS as usize);
+        assert_eq!(offset_of!(JitCtx, mem_base), OFF_MEM_BASE as usize);
+        assert_eq!(offset_of!(JitCtx, translated_base), OFF_TRANSLATED as usize);
+        assert_eq!(offset_of!(JitCtx, log_base), OFF_LOG_BASE as usize);
+        assert_eq!(offset_of!(JitCtx, budget_vliws), OFF_BUDGET as usize);
+        assert_eq!(offset_of!(JitCtx, vliws), OFF_VLIWS as usize);
+        assert_eq!(offset_of!(JitCtx, base_instrs), OFF_BASE_INSTRS as usize);
+        assert_eq!(offset_of!(JitCtx, loads), OFF_LOADS as usize);
+        assert_eq!(offset_of!(JitCtx, stores), OFF_STORES as usize);
+        assert_eq!(offset_of!(JitCtx, chained_dispatches), OFF_CHAINED as usize);
+        assert_eq!(offset_of!(JitCtx, onpage_dispatches), OFF_ONPAGE as usize);
+        assert_eq!(offset_of!(JitCtx, crosspage_direct), OFF_CROSSPAGE as usize);
+        assert_eq!(offset_of!(JitCtx, log_end), OFF_LOG_END as usize);
+        assert_eq!(offset_of!(JitCtx, exit_kind), OFF_EXIT_KIND as usize);
+        assert_eq!(offset_of!(JitCtx, exit_a), OFF_EXIT_A as usize);
+        assert_eq!(offset_of!(JitCtx, exit_b), OFF_EXIT_B as usize);
+        assert_eq!(offset_of!(JitCtx, last_base), OFF_LAST_BASE as usize);
+        assert_eq!(offset_of!(JitCtx, cur_group), OFF_CUR_GROUP as usize);
+        assert_eq!(offset_of!(JitCtx, histogram), OFF_HISTOGRAM as usize);
+    }
+}

@@ -1,0 +1,279 @@
+//! `daisy-jit` — the native host-code tier.
+//!
+//! Lowers hot [`PackedGroup`]s to executable x86-64 in a W^X
+//! [`arena::Arena`], with chained direct jumps between compiled groups
+//! and pre-side-effect bail-out back to the packed engine for anything
+//! the templates cannot reproduce exactly. See `docs/jit.md` for the
+//! design: arena layout, template coverage, bail-out semantics, and
+//! how the `Native` rung composes with the degradation ladder.
+//!
+//! This crate is deliberately engine-agnostic: it knows the packed
+//! format and the [`ctx::JitCtx`] ABI, but dispatch policy, statistics
+//! reconciliation, and resume-after-bail all live in the core crate's
+//! `engine::native` module.
+//!
+//! On non-x86-64 (or non-Linux) hosts [`Jit::new`] returns `None` and
+//! every caller falls back to packed execution; the crate still
+//! compiles everywhere.
+
+pub mod arena;
+pub mod asm;
+pub mod ctx;
+pub mod lower;
+
+use arena::{Arena, PatchSite};
+use ctx::JitCtx;
+use daisy_vliw::packed::PackedGroup;
+use lower::{ExitSite, LowerParams, Lowered, Refusal};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default arena size: enough for thousands of compiled groups; a full
+/// arena only stops further compilation.
+pub const DEFAULT_ARENA_BYTES: usize = 16 << 20;
+
+/// Path-log capacity handed to compiled code: one byte per executed
+/// condition, bounded by [`lower::MAX_NODES`] per group entry.
+pub const LOG_CAPACITY: usize = lower::MAX_NODES;
+
+/// Allocator for *alive bytes*: one byte per compiled group, flipped
+/// to 0 when the group's owner drops it. Chain stubs poll the byte
+/// before jumping, so severing every inbound patched edge is a single
+/// non-atomic store — the native analogue of the weak-`Rc` links the
+/// interpreted tiers use.
+///
+/// Bytes are never freed or reused: a stale patched edge can therefore
+/// never observe a recycled "alive" byte that belongs to a different
+/// group.
+#[derive(Default)]
+pub struct AliveSlab {
+    // One Box per byte on purpose: compiled code polls each byte by
+    // raw address, so it must never move or be freed; a Vec<u8> would
+    // reallocate and relocate every byte under live patched edges.
+    #[allow(clippy::vec_box)]
+    bytes: RefCell<Vec<Box<u8>>>,
+}
+
+impl AliveSlab {
+    /// Allocates a fresh alive byte, set to 1.
+    fn alloc(self: &Rc<Self>) -> AliveHandle {
+        let b = Box::new(1u8);
+        let ptr = &*b as *const u8 as *mut u8;
+        self.bytes.borrow_mut().push(b);
+        AliveHandle { _slab: Rc::clone(self), ptr }
+    }
+}
+
+/// Ownership of one alive byte; dropping it marks the group dead.
+pub struct AliveHandle {
+    _slab: Rc<AliveSlab>,
+    ptr: *mut u8,
+}
+
+impl AliveHandle {
+    /// Address chain stubs poll.
+    pub fn addr(&self) -> u64 {
+        self.ptr as u64
+    }
+}
+
+impl Drop for AliveHandle {
+    fn drop(&mut self) {
+        // Single-threaded by construction; the byte outlives every
+        // edge because the slab never frees.
+        unsafe { *self.ptr = 0 };
+    }
+}
+
+impl std::fmt::Debug for AliveHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AliveHandle({:p})", self.ptr)
+    }
+}
+
+/// One group compiled into the arena. Dropping it severs all inbound
+/// patched edges (via the alive byte); the arena mapping itself is
+/// kept alive by the shared `Rc`.
+#[derive(Debug)]
+pub struct CompiledGroup {
+    arena: Rc<Arena>,
+    /// Blob offset within the arena.
+    off: usize,
+    /// Registry id baked into the code (`JitCtx::cur_group`).
+    pub group_id: u32,
+    /// Guest entry address of the group.
+    pub entry: u32,
+    /// Patchable direct exits (offsets relative to the blob).
+    pub exits: Vec<ExitSite>,
+    /// Bail-site table; `JitCtx::exit_b` indexes it on a bail exit.
+    pub bails: Vec<lower::BailSite>,
+    /// Parcels covered by this compilation (coverage accounting).
+    pub parcels: u32,
+    alive: AliveHandle,
+}
+
+impl CompiledGroup {
+    /// Absolute address of the group's entry point.
+    pub fn entry_addr(&self) -> u64 {
+        self.arena.addr_of(self.off)
+    }
+}
+
+/// The native-tier compiler and code cache: one W^X arena, the shared
+/// entry thunk and epilogue, the alive-byte slab, and the patch log.
+pub struct Jit {
+    arena: Rc<Arena>,
+    slab: Rc<AliveSlab>,
+    thunk: u64,
+    epilogue: u64,
+    next_id: std::cell::Cell<u32>,
+}
+
+impl Jit {
+    /// Maps the arena and emits the shared thunk and epilogue. `None`
+    /// when the host cannot execute emitted code.
+    pub fn new(arena_bytes: usize) -> Option<Jit> {
+        if !cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+            return None;
+        }
+        let arena = Rc::new(Arena::new(arena_bytes)?);
+        let (thunk_code, epilogue_code) = shared_code();
+        let thunk_off = arena.install(&thunk_code)?;
+        let epilogue_off = arena.install(&epilogue_code)?;
+        let jit = Jit {
+            thunk: arena.addr_of(thunk_off),
+            epilogue: arena.addr_of(epilogue_off),
+            arena,
+            slab: Rc::new(AliveSlab::default()),
+            next_id: std::cell::Cell::new(0),
+        };
+        jit.arena.seal();
+        Some(jit)
+    }
+
+    /// Bytes of arena space consumed so far.
+    pub fn arena_used(&self) -> usize {
+        self.arena.used()
+    }
+
+    /// Number of currently patched chain edges.
+    pub fn active_patches(&self) -> usize {
+        self.arena.active_patches()
+    }
+
+    /// Compiles `g` and installs it. The returned group is live
+    /// immediately (alive byte set), with all exits unpatched.
+    pub fn compile(
+        &self,
+        g: &PackedGroup,
+        entry: u32,
+        page_size: u32,
+        mem_len: u32,
+        mem_page_shift: u32,
+    ) -> Result<Rc<CompiledGroup>, Refusal> {
+        let group_id = self.next_id.get();
+        let params = LowerParams {
+            group_id,
+            entry,
+            page_size,
+            mem_len,
+            mem_page_shift,
+            base: self.arena.next_addr(),
+            epilogue: self.epilogue,
+        };
+        let lowered: Lowered = lower::lower(g, params)?;
+        // `install` bumps by the aligned position `next_addr` predicted
+        // (install aligns first, and next_addr accounts for that).
+        let off = self.arena.install(&lowered.code).ok_or(Refusal::ArenaFull)?;
+        debug_assert_eq!(self.arena.addr_of(off), params.base);
+        self.arena.seal();
+        self.next_id.set(group_id + 1);
+        Ok(Rc::new(CompiledGroup {
+            arena: Rc::clone(&self.arena),
+            off,
+            group_id,
+            entry,
+            exits: lowered.exits,
+            bails: lowered.bails,
+            parcels: lowered.parcels,
+            alive: self.slab.alloc(),
+        }))
+    }
+
+    /// Patches every exit of `from` that carries chain-link slot
+    /// `slot` into a direct jump to `to` (through the budget/alive
+    /// stub). Returns the number of sites patched.
+    pub fn link(&self, from: &CompiledGroup, slot: u32, to: &CompiledGroup) -> usize {
+        let mut n = 0;
+        for e in from.exits.iter().filter(|e| e.slot == slot) {
+            self.arena.write_imm64(from.off + e.stub_alive_imm, to.alive.addr());
+            self.arena.write_rel32(from.off + e.stub_jmp, to.entry_addr());
+            self.arena.patch_edge(PatchSite {
+                site: from.off + e.site,
+                stub: from.off + e.stub,
+                fallback: from.off + e.fallback,
+            });
+            n += 1;
+        }
+        self.arena.seal();
+        n
+    }
+
+    /// Restores every patched edge in the arena to its fallback path.
+    /// The native analogue of severing all chain links: every
+    /// group-to-group transfer goes back through the dispatcher.
+    pub fn unlink_all(&self) -> u64 {
+        self.arena.unpatch_all()
+    }
+
+    /// Runs compiled code starting at `group`.
+    ///
+    /// # Safety
+    ///
+    /// Every pointer field of `ctx` must be valid for the run (see
+    /// [`ctx::enter`]); in particular `log_base` must provide
+    /// [`LOG_CAPACITY`] writable bytes and `vals` the full register
+    /// file.
+    pub unsafe fn run(&self, ctx_ptr: *mut JitCtx, group: &CompiledGroup) {
+        unsafe { ctx::enter(self.thunk, ctx_ptr, group.entry_addr()) }
+    }
+}
+
+impl std::fmt::Debug for Jit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Jit")
+            .field("arena_used", &self.arena.used())
+            .field("active_patches", &self.arena.active_patches())
+            .finish()
+    }
+}
+
+/// Emits the shared entry thunk and epilogue.
+///
+/// Thunk (`extern "sysv64" fn(*mut JitCtx, u64)`): saves the
+/// callee-saved registers the templates claim, loads the pinned
+/// context registers, and tail-jumps to the group entry in `rsi`.
+/// Epilogue: stores the log cursor and `last_base` back to the context
+/// and unwinds.
+fn shared_code() -> (Vec<u8>, Vec<u8>) {
+    use asm::{Asm, Mem, R12, R13, R14, R15, RBP, RBX, RDI, RSI};
+    let mut t = Asm::new(0);
+    for r in [RBX, RBP, R12, R13, R14, R15] {
+        t.push_r64(r);
+    }
+    t.sub_rsp_imm8(8);
+    t.mov_rr64(RBX, RDI);
+    t.mov_r64_m(R12, Mem::base_disp(RBX, ctx::OFF_VALS));
+    t.mov_r64_m(R13, Mem::base_disp(RBX, ctx::OFF_MEM_BASE));
+    t.jmp_r64(RSI);
+
+    let mut e = Asm::new(0);
+    e.mov_m_r64(Mem::base_disp(RBX, ctx::OFF_LOG_END), R14);
+    e.mov_m_r32(Mem::base_disp(RBX, ctx::OFF_LAST_BASE), R15);
+    e.add_rsp_imm8(8);
+    for r in [R15, R14, R13, R12, RBP, RBX] {
+        e.pop_r64(r);
+    }
+    e.ret();
+    (t.finish(), e.finish())
+}

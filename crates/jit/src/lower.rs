@@ -1,0 +1,952 @@
+//! The template lowerer: [`PackedGroup`] → x86-64 bytes.
+//!
+//! Every parcel class has an inline template that reproduces the
+//! packed engine's semantics instruction for instruction — same
+//! wrapping arithmetic, same carry conventions, same big-endian
+//! memory accesses, same counter increments. There are no runtime
+//! helper calls: a compiled group touches only the register-file
+//! array, guest memory, the path log, and the [`crate::ctx::JitCtx`]
+//! counter block.
+//!
+//! Anything the templates cannot reproduce exactly is handled by
+//! *refusal* (the whole group stays on the packed tier: trap checks,
+//! load-verify commits, oversized groups) or by *bailing out* at run
+//! time before any side effect (memory faults, stores to translated
+//! pages) so the packed engine can resume mid-group and produce the
+//! architecturally identical outcome.
+//!
+//! Register plan, fixed for the whole native run:
+//!
+//! | reg  | role                                        |
+//! |------|---------------------------------------------|
+//! | rbx  | [`crate::ctx::JitCtx`] pointer              |
+//! | r12  | architected value array (`vals`)            |
+//! | r13  | guest memory bytes base                     |
+//! | r14  | path-log cursor (one byte per condition)    |
+//! | r15d | `last_base` dedup register                  |
+//! | rax, rcx, rdx, rsi, rdi | per-template scratch     |
+
+use crate::asm::{
+    Asm, Label, Mem, CC_A, CC_AE, CC_B, CC_C, CC_E, CC_G, CC_L, CC_NE, R12, R13, R14, R15, RAX,
+    RBX, RCX, RDI, RDX, RSI,
+};
+use crate::ctx::{
+    EXIT_BAIL, EXIT_BRANCH, EXIT_INDIRECT, EXIT_INTERP, OFF_BASE_INSTRS, OFF_BUDGET, OFF_CHAINED,
+    OFF_CROSSPAGE, OFF_CUR_GROUP, OFF_EXIT_A, OFF_EXIT_B, OFF_EXIT_KIND, OFF_HISTOGRAM, OFF_LOADS,
+    OFF_LOG_BASE, OFF_ONPAGE, OFF_STORES, OFF_VLIWS,
+};
+use daisy_vliw::op::{CrOp, MemWidth, OpKind, Operation};
+use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup};
+use daisy_vliw::tree::IndirectVia;
+
+/// Structural ceiling on lowered groups: bounds emitter recursion and
+/// guarantees the path log (one byte per executed condition, each node
+/// executing at most once per group entry) fits the dispatcher's
+/// buffer.
+pub const MAX_NODES: usize = 2048;
+
+/// Why a group could not be lowered. Refusal is permanent for the
+/// group (recorded by the tier) and never an error: execution simply
+/// stays packed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// Contains a [`OpClass::General`] parcel (trap check or
+    /// load-verify commit) whose full semantics live only in the
+    /// packed engine.
+    GeneralParcel,
+    /// Contains a bypassed-store load (run-time alias tracking needs
+    /// the engine's pending-load table).
+    BypassedStore,
+    /// Node count exceeds [`MAX_NODES`].
+    TooLarge,
+    /// Contains an intra-group backward `Next` edge, which would loop
+    /// natively without passing a budget check.
+    BackEdge,
+    /// The code arena is out of space.
+    ArenaFull,
+    /// The host cannot execute emitted code (non-x86-64 build).
+    Unsupported,
+}
+
+impl Refusal {
+    /// Stable label for stats and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Refusal::GeneralParcel => "general-parcel",
+            Refusal::BypassedStore => "bypassed-store",
+            Refusal::TooLarge => "too-large",
+            Refusal::BackEdge => "back-edge",
+            Refusal::ArenaFull => "arena-full",
+            Refusal::Unsupported => "unsupported",
+        }
+    }
+}
+
+/// Compile-time parameters of one group lowering.
+#[derive(Debug, Clone, Copy)]
+pub struct LowerParams {
+    /// Registry id the compiled code writes to `JitCtx::cur_group`.
+    pub group_id: u32,
+    /// Guest entry address of the group (for on-page accounting).
+    pub entry: u32,
+    /// Guest page size used by dispatch-locality stats.
+    pub page_size: u32,
+    /// Guest memory size in bytes (bounds checks are compile-time
+    /// immediates — the memory image never grows).
+    pub mem_len: u32,
+    /// log2 of the translated-bit granule of guest memory.
+    pub mem_page_shift: u32,
+    /// Absolute address the blob will be installed at.
+    pub base: u64,
+    /// Absolute address of the shared epilogue.
+    pub epilogue: u64,
+}
+
+/// One `Leave` exit emission: a patchable 5-byte `jmp` plus its chain
+/// stub and fallback, all as offsets relative to the blob start.
+#[derive(Debug, Clone, Copy)]
+pub struct ExitSite {
+    /// Chain-link slot this exit was lowered from.
+    pub slot: u32,
+    /// Guest target address.
+    pub target: u32,
+    /// Offset of the patchable `jmp` rel32 field.
+    pub site: usize,
+    /// Offset of the chain stub (patch target when linked).
+    pub stub: usize,
+    /// Offset of the stub's alive-pointer imm64 field.
+    pub stub_alive_imm: usize,
+    /// Offset of the stub's final `jmp` rel32 field (retargeted to the
+    /// linked group's entry).
+    pub stub_jmp: usize,
+    /// Offset of the fallback exit-record sequence (patch target when
+    /// unlinked).
+    pub fallback: usize,
+}
+
+/// One potential runtime bail point (a memory parcel), identifying
+/// where the packed engine must resume.
+#[derive(Debug, Clone, Copy)]
+pub struct BailSite {
+    /// Absolute packed-node index being executed.
+    pub node: u32,
+    /// Absolute op-arena index of the bailing parcel.
+    pub op: u32,
+    /// `parcels_this_vliw` at the bail point (the current node's run
+    /// is already counted, matching the packed engine's loop).
+    pub parcels: u32,
+}
+
+/// A lowered group, ready to install.
+#[derive(Debug)]
+pub struct Lowered {
+    /// The machine code (entry at offset 0).
+    pub code: Vec<u8>,
+    /// Patchable direct exits, one per `Leave` leaf.
+    pub exits: Vec<ExitSite>,
+    /// Runtime bail points; `JitCtx::exit_b` indexes this table.
+    pub bails: Vec<BailSite>,
+    /// Total parcels in the group (template-coverage accounting).
+    pub parcels: u32,
+}
+
+struct PendingLeave {
+    fallback_label: Label,
+    site: usize,
+    slot: u32,
+    target: u32,
+}
+
+struct PendingBail {
+    label: Label,
+    node: u32,
+    op: u32,
+    parcels: u32,
+}
+
+struct Emitter<'a> {
+    a: Asm,
+    g: &'a PackedGroup,
+    p: LowerParams,
+    vliw_labels: Vec<Label>,
+    leaves: Vec<PendingLeave>,
+    bails: Vec<PendingBail>,
+}
+
+fn ctx(off: i32) -> Mem {
+    Mem::base_disp(RBX, off)
+}
+
+fn vreg(s: u8) -> Mem {
+    Mem::base_disp(R12, 4 * i32::from(s))
+}
+
+/// Lowers `g` for installation at `p.base`. Pure byte generation — no
+/// arena interaction; the caller installs and links.
+pub fn lower(g: &PackedGroup, p: LowerParams) -> Result<Lowered, Refusal> {
+    if g.nodes.len() > MAX_NODES {
+        return Err(Refusal::TooLarge);
+    }
+    for (op, m) in g.ops.iter().zip(&g.meta) {
+        if m.class == OpClass::General {
+            return Err(Refusal::GeneralParcel);
+        }
+        if op.bypassed_store {
+            return Err(Refusal::BypassedStore);
+        }
+    }
+    // Intra-group back edges (a `Next` to an earlier or current VLIW)
+    // would loop natively without ever reaching a chain stub's budget
+    // check, and could overflow the one-byte-per-condition path log.
+    // The scheduler builds forward-only groups (loops close through
+    // `Leave` back to the group entry), so refusing is belt-and-braces.
+    for (idx, n) in g.nodes.iter().enumerate() {
+        if let PackedCtrl::Next { vliw } = n.ctrl {
+            if vliw <= g.node_vliw(idx) {
+                return Err(Refusal::BackEdge);
+            }
+        }
+    }
+    let mut e = Emitter {
+        a: Asm::new(p.base),
+        g,
+        p,
+        vliw_labels: Vec::new(),
+        leaves: Vec::new(),
+        bails: Vec::new(),
+    };
+    e.vliw_labels = (0..g.roots.len()).map(|_| e.a.label()).collect();
+
+    // Group entry: register for chain attribution, reset the path-log
+    // cursor and the last_base dedup register (mirrors the packed
+    // engine's per-dispatch `last_base = u32::MAX`).
+    e.a.mov_m32_imm(ctx(OFF_CUR_GROUP), p.group_id);
+    e.a.mov_r64_m(R14, ctx(OFF_LOG_BASE));
+    e.a.mov_r32_imm(R15, u32::MAX);
+
+    for (vi, &root) in g.roots.iter().enumerate() {
+        let l = e.vliw_labels[vi];
+        e.a.bind(l);
+        // stats.vliws_executed += 1 (per tree instruction).
+        e.a.inc_m64(ctx(OFF_VLIWS));
+        e.emit_node(root as usize, 0);
+    }
+    let stub_offs = e.emit_deferred();
+
+    let parcels = g.ops.len() as u32;
+    let bails =
+        e.bails.iter().map(|b| BailSite { node: b.node, op: b.op, parcels: b.parcels }).collect();
+    let exits = e
+        .leaves
+        .iter()
+        .zip(&stub_offs)
+        .map(|(l, &(fallback, stub, stub_alive_imm, stub_jmp))| ExitSite {
+            slot: l.slot,
+            target: l.target,
+            site: l.site,
+            stub,
+            stub_alive_imm,
+            stub_jmp,
+            fallback,
+        })
+        .collect();
+    Ok(Lowered { code: e.a.finish(), exits, bails, parcels })
+}
+
+impl<'a> Emitter<'a> {
+    /// Emits the fallbacks, chain stubs, and bail stubs referenced by
+    /// the bodies; returns `(fallback, stub, alive_imm, stub_jmp)`
+    /// offsets per leaf.
+    fn emit_deferred(&mut self) -> Vec<(usize, usize, usize, usize)> {
+        // Fallback + chain stub per Leave leaf. The stub is only
+        // reachable once the tier patches the site, and its own final
+        // jmp is patched to the target group's entry at the same time;
+        // until then it points harmlessly at the epilogue.
+        let mut stub_offs = Vec::with_capacity(self.leaves.len());
+        let leaves = std::mem::take(&mut self.leaves);
+        for l in &leaves {
+            let fallback = self.a.pos();
+            self.a.bind(l.fallback_label);
+            self.a.mov_m32_imm(ctx(OFF_EXIT_KIND), EXIT_BRANCH);
+            self.a.mov_m32_imm(ctx(OFF_EXIT_A), l.target);
+            self.a.mov_m32_imm(ctx(OFF_EXIT_B), l.slot);
+            self.a.jmp_abs(self.p.epilogue);
+
+            let stub = self.a.pos();
+            // Budget: stop following edges once the VLIW quota is
+            // spent, returning control to the dispatcher.
+            self.a.mov_r64_m(RAX, ctx(OFF_VLIWS));
+            self.a.cmp_r64_m(RAX, ctx(OFF_BUDGET));
+            self.a.jcc(CC_AE, l.fallback_label);
+            // Aliveness: the imm64 is patched to the target's alive
+            // byte; a dead target (invalidated, cast out, or
+            // retranslated) routes back through the VMM like a severed
+            // weak link.
+            let alive_imm = self.a.mov_r64_imm(RAX, 0);
+            self.a.cmp_m8_imm(Mem::base_disp(RAX, 0), 0);
+            self.a.jcc(CC_E, l.fallback_label);
+            // This follow is a chained dispatch; its page locality is
+            // known statically (both entries are compile-time guest
+            // addresses).
+            self.a.inc_m64(ctx(OFF_CHAINED));
+            let onpage = l.target / self.p.page_size == self.p.entry / self.p.page_size;
+            self.a.inc_m64(ctx(if onpage { OFF_ONPAGE } else { OFF_CROSSPAGE }));
+            let stub_jmp = self.a.jmp_abs(self.p.epilogue);
+            stub_offs.push((fallback, stub, alive_imm, stub_jmp));
+        }
+        self.leaves = leaves;
+        // Bail stubs: record which site bailed and return.
+        let bails = std::mem::take(&mut self.bails);
+        for (i, b) in bails.iter().enumerate() {
+            self.a.bind(b.label);
+            self.a.mov_m32_imm(ctx(OFF_EXIT_KIND), EXIT_BAIL);
+            self.a.mov_m32_imm(ctx(OFF_EXIT_B), i as u32);
+            self.a.jmp_abs(self.p.epilogue);
+        }
+        self.bails = bails;
+        stub_offs
+    }
+
+    fn emit_node(&mut self, idx: usize, parcels_before: u32) {
+        let n = self.g.nodes[idx];
+        let parcels = parcels_before + n.len;
+        for k in n.start..n.start + n.len {
+            self.emit_parcel(idx as u32, k, parcels);
+        }
+        match n.ctrl {
+            PackedCtrl::Cond { cond, taken, fall } => {
+                // Every executed condition commits its originating
+                // branch instruction (dedup'd via last_base), on both
+                // paths — so commit before splitting.
+                self.commit_base(cond.origin);
+                self.a.mov_r32_m(RAX, vreg(cond.src.0));
+                self.a.test_r32_imm(RAX, cond.mask);
+                let t_label = self.a.label();
+                self.a.jcc(if cond.want_set { CC_NE } else { CC_E }, t_label);
+                // Not-taken path: log direction 0.
+                self.a.mov_m8_imm(Mem::base_disp(R14, 0), 0);
+                self.a.inc_r64(R14);
+                self.emit_node(fall as usize, parcels);
+                self.a.bind(t_label);
+                self.a.mov_m8_imm(Mem::base_disp(R14, 0), 1);
+                self.a.inc_r64(R14);
+                self.emit_node(taken as usize, parcels);
+            }
+            PackedCtrl::Next { vliw } => {
+                self.hist(parcels);
+                let l = self.vliw_labels[vliw as usize];
+                self.a.jmp(l);
+            }
+            PackedCtrl::Leave { target, slot } => {
+                self.hist(parcels);
+                let fallback_label = self.a.label();
+                let site = self.a.pos() + 1; // rel32 field of the jmp
+                self.a.jmp(fallback_label);
+                self.leaves.push(PendingLeave { fallback_label, site, slot, target });
+            }
+            PackedCtrl::Indirect { src, via } => {
+                self.hist(parcels);
+                self.a.mov_r32_m(RAX, vreg(src.0));
+                self.a.and_r32_imm(RAX, !3);
+                self.a.mov_m_r32(ctx(OFF_EXIT_A), RAX);
+                self.a.mov_m32_imm(ctx(OFF_EXIT_KIND), EXIT_INDIRECT);
+                let via_code = match via {
+                    IndirectVia::Lr => 0,
+                    IndirectVia::Ctr => 1,
+                };
+                self.a.mov_m32_imm(ctx(OFF_EXIT_B), via_code);
+                self.a.jmp_abs(self.p.epilogue);
+            }
+            PackedCtrl::Interp { addr } => {
+                self.hist(parcels);
+                self.a.mov_m32_imm(ctx(OFF_EXIT_KIND), EXIT_INTERP);
+                self.a.mov_m32_imm(ctx(OFF_EXIT_A), addr);
+                self.a.jmp_abs(self.p.epilogue);
+            }
+        }
+    }
+
+    /// `issue_histogram[min(parcels, 24)] += 1` — the VLIW just
+    /// finished; its parcel count along this emitted path is a
+    /// compile-time constant.
+    fn hist(&mut self, parcels: u32) {
+        let bucket = parcels.min(24) as i32;
+        self.a.inc_m64(ctx(OFF_HISTOGRAM + 8 * bucket));
+    }
+
+    /// `if last_base != addr { last_base = addr; base_instrs += 1 }`.
+    fn commit_base(&mut self, addr: u32) {
+        let skip = self.a.label();
+        self.a.cmp_r32_imm(R15, addr as i32);
+        self.a.jcc(CC_E, skip);
+        self.a.mov_r32_imm(R15, addr);
+        self.a.inc_m64(ctx(OFF_BASE_INSTRS));
+        self.a.bind(skip);
+    }
+
+    fn bail_label(&mut self, node: u32, op: u32, parcels: u32) -> Label {
+        let label = self.a.label();
+        self.bails.push(PendingBail { label, node, op, parcels });
+        label
+    }
+
+    fn emit_parcel(&mut self, node: u32, k: u32, parcels: u32) {
+        let op = &self.g.ops[k as usize];
+        let m = &self.g.meta[k as usize];
+        match m.class {
+            OpClass::Load => self.emit_load(op, m, node, k, parcels),
+            OpClass::Store => self.emit_store(op, m, node, k, parcels),
+            OpClass::General => unreachable!("refused before emission"),
+            OpClass::SpecValue => {
+                let carry = self.emit_value(op, m);
+                self.store_results(m, carry);
+                // Renamed destinations: no architected event, no commit.
+            }
+            _ => {
+                let carry = self.emit_value(op, m);
+                self.store_results(m, carry);
+                if m.d1 != OpMeta::NONE {
+                    self.commit_base(op.base_addr);
+                }
+            }
+        }
+    }
+
+    /// Writes eax to d1 and the carry (edx, or a fresh zero when the
+    /// template produces none) to d2, mirroring the packed Value arm.
+    fn store_results(&mut self, m: &OpMeta, carry_in_edx: bool) {
+        if m.d1 != OpMeta::NONE {
+            self.a.mov_m_r32(vreg(m.d1), RAX);
+        }
+        if m.d2 != OpMeta::NONE {
+            if !carry_in_edx {
+                self.a.xor_rr32(RDX, RDX);
+            }
+            self.a.mov_m_r32(vreg(m.d2), RDX);
+        }
+    }
+
+    /// Effective address into ecx: sum of the value registers named by
+    /// `srcs`, plus the signed displacement.
+    fn ea_into_ecx(&mut self, srcs: &[u8], imm: i32) {
+        match srcs.split_first() {
+            None => self.a.mov_r32_imm(RCX, imm as u32),
+            Some((first, rest)) => {
+                self.a.mov_r32_m(RCX, vreg(*first));
+                for s in rest {
+                    self.a.add_r32_m(RCX, vreg(*s));
+                }
+                if imm != 0 {
+                    self.a.add_r32_imm(RCX, imm);
+                }
+            }
+        }
+    }
+
+    fn emit_load(&mut self, op: &Operation, m: &OpMeta, node: u32, k: u32, parcels: u32) {
+        let OpKind::Load { width, algebraic } = op.kind else { unreachable!() };
+        let bail = self.bail_label(node, k, parcels);
+        self.ea_into_ecx(&m.s[..m.nsrc as usize], op.imm);
+        // Bounds: ea > mem_len - width ⇔ ea + width > mem_len. Any
+        // fault bails pre-side-effect; the packed engine resumes at
+        // this parcel and raises (or poisons) exactly as it would have.
+        self.a.cmp_r32_imm(RCX, (self.p.mem_len - width.bytes()) as i32);
+        self.a.jcc(CC_A, bail);
+        let at = Mem::base_index(R13, RCX);
+        match width {
+            // Byte loads zero-extend unconditionally (the packed
+            // engine ignores `algebraic` for byte width).
+            MemWidth::Byte => self.a.movzx_r32_m8(RAX, at),
+            MemWidth::Half => {
+                self.a.movzx_r32_m16(RAX, at);
+                self.a.ror_r16_imm(RAX, 8); // big-endian
+                if algebraic {
+                    self.a.movsx_r32_r16(RAX, RAX);
+                }
+            }
+            MemWidth::Word => {
+                self.a.mov_r32_m(RAX, at);
+                self.a.bswap_r32(RAX);
+            }
+        }
+        self.a.inc_m64(ctx(OFF_LOADS));
+        debug_assert!(m.d1 != OpMeta::NONE);
+        self.a.mov_m_r32(vreg(m.d1), RAX);
+        if !op.speculative {
+            self.commit_base(op.base_addr);
+        }
+    }
+
+    fn emit_store(&mut self, op: &Operation, m: &OpMeta, node: u32, k: u32, parcels: u32) {
+        let OpKind::Store { width } = op.kind else { unreachable!() };
+        let bail = self.bail_label(node, k, parcels);
+        // Address from srcs[1..]; src0 is the value.
+        self.ea_into_ecx(&m.s[1..m.nsrc as usize], op.imm);
+        self.a.cmp_r32_imm(RCX, (self.p.mem_len - width.bytes()) as i32);
+        self.a.jcc(CC_A, bail);
+        // Translated-bit probe, *before* the write: a store into
+        // translated code must take the packed engine's §3.2
+        // CodeModified path, so the whole store re-executes there.
+        self.a.mov_rr32(RAX, RCX);
+        self.a.shr_r32_imm(RAX, self.p.mem_page_shift as u8);
+        self.a.mov_r64_m(RDX, ctx(crate::ctx::OFF_TRANSLATED));
+        self.a.cmp_m8_imm(Mem::base_index(RDX, RAX), 0);
+        self.a.jcc(CC_NE, bail);
+        if width.bytes() > 1 {
+            self.a.lea_r32_m(RAX, Mem::base_disp(RCX, (width.bytes() - 1) as i32));
+            self.a.shr_r32_imm(RAX, self.p.mem_page_shift as u8);
+            self.a.cmp_m8_imm(Mem::base_index(RDX, RAX), 0);
+            self.a.jcc(CC_NE, bail);
+        }
+        self.a.mov_r32_m(RAX, vreg(m.s[0]));
+        let at = Mem::base_index(R13, RCX);
+        match width {
+            MemWidth::Byte => self.a.mov_m_r8(at, RAX),
+            MemWidth::Half => {
+                self.a.ror_r16_imm(RAX, 8);
+                self.a.mov_m_r16(at, RAX);
+            }
+            MemWidth::Word => {
+                self.a.bswap_r32(RAX);
+                self.a.mov_m_r32(at, RAX);
+            }
+        }
+        self.a.inc_m64(ctx(OFF_STORES));
+        self.commit_base(op.base_addr);
+    }
+
+    /// Leaves the op's value in eax; returns true when edx holds the
+    /// carry-out (0/1).
+    fn emit_value(&mut self, op: &Operation, m: &OpMeta) -> bool {
+        use OpKind::*;
+        let s = |i: usize| vreg(m.s[i]);
+        let a = &mut self.a;
+        match op.kind {
+            Nop => a.xor_rr32(RAX, RAX),
+            Li => a.mov_r32_imm(RAX, op.imm as u32),
+            Copy => a.mov_r32_m(RAX, s(0)),
+            Add => {
+                a.mov_r32_m(RAX, s(0));
+                a.add_r32_m(RAX, s(1));
+            }
+            Subf => {
+                a.mov_r32_m(RAX, s(1));
+                a.sub_r32_m(RAX, s(0));
+            }
+            AddImm => {
+                a.mov_r32_m(RAX, s(0));
+                if op.imm != 0 {
+                    a.add_r32_imm(RAX, op.imm);
+                }
+            }
+            Mul => {
+                a.mov_r32_m(RAX, s(0));
+                a.imul_r32_m(RAX, s(1));
+            }
+            MulImm => a.imul_r32_m_imm(RAX, s(0), op.imm),
+            Mulh => {
+                a.mov_r32_m(RAX, s(0));
+                a.mov_r32_m(RCX, s(1));
+                a.imul_r32(RCX);
+                a.mov_rr32(RAX, RDX);
+            }
+            Mulhu => {
+                a.mov_r32_m(RAX, s(0));
+                a.mov_r32_m(RCX, s(1));
+                a.mul_r32(RCX);
+                a.mov_rr32(RAX, RDX);
+            }
+            Div => {
+                a.mov_r32_m(RAX, s(0));
+                a.mov_r32_m(RCX, s(1));
+                let zero = a.label();
+                let go = a.label();
+                let done = a.label();
+                a.test_rr32(RCX, RCX);
+                a.jcc(CC_E, zero);
+                a.cmp_r32_imm(RCX, -1);
+                a.jcc(CC_NE, go);
+                a.cmp_r32_imm(RAX, i32::MIN);
+                a.jcc(CC_E, zero);
+                a.bind(go);
+                a.cdq();
+                a.idiv_r32(RCX);
+                a.jmp(done);
+                a.bind(zero);
+                a.xor_rr32(RAX, RAX);
+                a.bind(done);
+            }
+            Divu => {
+                a.mov_r32_m(RAX, s(0));
+                a.mov_r32_m(RCX, s(1));
+                let zero = a.label();
+                let done = a.label();
+                a.test_rr32(RCX, RCX);
+                a.jcc(CC_E, zero);
+                a.xor_rr32(RDX, RDX);
+                a.div_r32(RCX);
+                a.jmp(done);
+                a.bind(zero);
+                a.xor_rr32(RAX, RAX);
+                a.bind(done);
+            }
+            Neg => {
+                a.mov_r32_m(RAX, s(0));
+                a.neg_r32(RAX);
+            }
+            AddC => {
+                a.mov_r32_m(RAX, s(0));
+                a.add_r32_m(RAX, s(1));
+                return set_carry(a);
+            }
+            AddE => {
+                a.mov_r32_m(RAX, s(0));
+                a.mov_r32_m(RCX, s(2));
+                a.bt_r32_imm(RCX, 0);
+                a.adc_r32_m(RAX, s(1));
+                return set_carry(a);
+            }
+            SubfC => {
+                // !a + b + 1 = b - a; carry-out ⇔ no borrow.
+                a.mov_r32_m(RAX, s(1));
+                a.sub_r32_m(RAX, s(0));
+                a.setcc_r8(CC_AE, RDX);
+                a.movzx_r32_r8(RDX, RDX);
+                return true;
+            }
+            SubfE => {
+                a.mov_r32_m(RAX, s(0));
+                a.not_r32(RAX);
+                a.mov_r32_m(RCX, s(2));
+                a.bt_r32_imm(RCX, 0);
+                a.adc_r32_m(RAX, s(1));
+                return set_carry(a);
+            }
+            AddZe => {
+                a.mov_r32_m(RAX, s(0));
+                a.mov_r32_m(RCX, s(1));
+                a.and_r32_imm(RCX, 1);
+                a.add_rr32(RAX, RCX);
+                return set_carry(a);
+            }
+            AddMe => {
+                a.mov_r32_m(RAX, s(0));
+                a.mov_r32_m(RCX, s(1));
+                a.bt_r32_imm(RCX, 0);
+                a.adc_r32_imm(RAX, -1);
+                return set_carry(a);
+            }
+            SubfZe => {
+                a.mov_r32_m(RAX, s(0));
+                a.not_r32(RAX);
+                a.mov_r32_m(RCX, s(1));
+                a.and_r32_imm(RCX, 1);
+                a.add_rr32(RAX, RCX);
+                return set_carry(a);
+            }
+            SubfMe => {
+                a.mov_r32_m(RAX, s(0));
+                a.not_r32(RAX);
+                a.mov_r32_m(RCX, s(1));
+                a.bt_r32_imm(RCX, 0);
+                a.adc_r32_imm(RAX, -1);
+                return set_carry(a);
+            }
+            AddImmC => {
+                a.mov_r32_m(RAX, s(0));
+                a.add_r32_imm(RAX, op.imm);
+                return set_carry(a);
+            }
+            SubfImmC => {
+                // !a + imm + 1, via adc with a forced carry-in.
+                a.mov_r32_m(RAX, s(0));
+                a.not_r32(RAX);
+                a.stc();
+                a.adc_r32_imm(RAX, op.imm);
+                return set_carry(a);
+            }
+            And => {
+                a.mov_r32_m(RAX, s(0));
+                a.and_r32_m(RAX, s(1));
+            }
+            Or => {
+                a.mov_r32_m(RAX, s(0));
+                a.or_r32_m(RAX, s(1));
+            }
+            Xor => {
+                a.mov_r32_m(RAX, s(0));
+                a.xor_r32_m(RAX, s(1));
+            }
+            Nand => {
+                a.mov_r32_m(RAX, s(0));
+                a.and_r32_m(RAX, s(1));
+                a.not_r32(RAX);
+            }
+            Nor => {
+                a.mov_r32_m(RAX, s(0));
+                a.or_r32_m(RAX, s(1));
+                a.not_r32(RAX);
+            }
+            Andc => {
+                a.mov_r32_m(RCX, s(1));
+                a.not_r32(RCX);
+                a.mov_r32_m(RAX, s(0));
+                a.and_rr32(RAX, RCX);
+            }
+            Orc => {
+                a.mov_r32_m(RCX, s(1));
+                a.not_r32(RCX);
+                a.mov_r32_m(RAX, s(0));
+                a.or_rr32(RAX, RCX);
+            }
+            Eqv => {
+                a.mov_r32_m(RAX, s(0));
+                a.xor_r32_m(RAX, s(1));
+                a.not_r32(RAX);
+            }
+            AndImm => {
+                a.mov_r32_m(RAX, s(0));
+                a.and_r32_imm(RAX, op.imm2 as i32);
+            }
+            OrImm => {
+                a.mov_r32_m(RAX, s(0));
+                a.or_r32_imm(RAX, op.imm2 as i32);
+            }
+            XorImm => {
+                a.mov_r32_m(RAX, s(0));
+                a.xor_r32_imm(RAX, op.imm2 as i32);
+            }
+            Sll | Srl => {
+                // n = src1 & 0x3F; result 0 when n ≥ 32 (x86 masks the
+                // count to 5 bits, so patch over with a cmov).
+                a.mov_r32_m(RCX, s(1));
+                a.and_r32_imm(RCX, 0x3F);
+                a.mov_r32_m(RAX, s(0));
+                if matches!(op.kind, Sll) {
+                    a.shl_r32_cl(RAX);
+                } else {
+                    a.shr_r32_cl(RAX);
+                }
+                a.xor_rr32(RDX, RDX);
+                a.cmp_r32_imm(RCX, 32);
+                a.cmovcc_rr32(CC_AE, RAX, RDX);
+            }
+            Sra => return emit_sra_reg(a, s(0), s(1)),
+            SraImm => return emit_sra_imm(a, s(0), op.imm as u32 & 31),
+            RotlImmMask => {
+                a.mov_r32_m(RAX, s(0));
+                let n = (op.imm as u32 & 31) as u8;
+                if n != 0 {
+                    a.rol_r32_imm(RAX, n);
+                }
+                a.and_r32_imm(RAX, op.imm2 as i32);
+            }
+            RotlRegMask => {
+                a.mov_r32_m(RCX, s(1));
+                a.mov_r32_m(RAX, s(0));
+                a.rol_r32_cl(RAX); // hardware masks cl & 31, matching the semantics
+                a.and_r32_imm(RAX, op.imm2 as i32);
+            }
+            RotlImmInsert => {
+                a.mov_r32_m(RAX, s(0));
+                let n = (op.imm as u32 & 31) as u8;
+                if n != 0 {
+                    a.rol_r32_imm(RAX, n);
+                }
+                a.and_r32_imm(RAX, op.imm2 as i32);
+                a.mov_r32_m(RCX, s(1));
+                a.and_r32_imm(RCX, !op.imm2 as i32);
+                a.or_rr32(RAX, RCX);
+            }
+            Cntlz => {
+                a.mov_r32_m(RCX, s(0));
+                a.bsr_rr32(RDX, RCX); // ZF set when the source is 0
+                a.mov_r32_imm(RAX, 32);
+                let done = a.label();
+                a.jcc(CC_E, done);
+                a.mov_r32_imm(RAX, 31);
+                a.sub_rr32(RAX, RDX);
+                a.bind(done);
+            }
+            Extsb => {
+                a.mov_r32_m(RAX, s(0));
+                a.movsx_r32_r8(RAX, RAX);
+            }
+            Exts => {
+                a.mov_r32_m(RAX, s(0));
+                a.movsx_r32_r16(RAX, RAX);
+            }
+            CmpS | CmpU => {
+                a.mov_r32_m(RCX, s(2));
+                a.and_r32_imm(RCX, 1);
+                a.mov_r32_m(RAX, s(0));
+                a.cmp_r32_m(RAX, s(1));
+                emit_compare_result(a, matches!(op.kind, CmpS));
+            }
+            CmpSImm | CmpUImm => {
+                a.mov_r32_m(RCX, s(1));
+                a.and_r32_imm(RCX, 1);
+                a.mov_r32_m(RAX, s(0));
+                a.cmp_r32_imm(RAX, op.imm);
+                emit_compare_result(a, matches!(op.kind, CmpSImm));
+            }
+            CrBit { op: o, bt, ba, bb } => {
+                a.mov_r32_m(RAX, s(0));
+                a.shr_r32_imm(RAX, 3 - ba);
+                a.and_r32_imm(RAX, 1);
+                a.mov_r32_m(RCX, s(1));
+                a.shr_r32_imm(RCX, 3 - bb);
+                a.and_r32_imm(RCX, 1);
+                match o {
+                    CrOp::And => a.and_rr32(RAX, RCX),
+                    CrOp::Or => a.or_rr32(RAX, RCX),
+                    CrOp::Xor => a.xor_rr32(RAX, RCX),
+                    CrOp::Nand => {
+                        a.and_rr32(RAX, RCX);
+                        a.xor_r32_imm(RAX, 1);
+                    }
+                    CrOp::Nor => {
+                        a.or_rr32(RAX, RCX);
+                        a.xor_r32_imm(RAX, 1);
+                    }
+                    CrOp::Eqv => {
+                        a.xor_rr32(RAX, RCX);
+                        a.xor_r32_imm(RAX, 1);
+                    }
+                    CrOp::Andc => {
+                        a.xor_r32_imm(RCX, 1);
+                        a.and_rr32(RAX, RCX);
+                    }
+                    CrOp::Orc => {
+                        a.xor_r32_imm(RCX, 1);
+                        a.or_rr32(RAX, RCX);
+                    }
+                }
+                if bt != 3 {
+                    a.shl_r32_imm(RAX, 3 - bt);
+                }
+                let mask = 1u32 << (3 - bt);
+                a.mov_r32_m(RCX, s(2));
+                a.and_r32_imm(RCX, !mask as i32);
+                a.or_rr32(RAX, RCX);
+            }
+            ExtractField => {
+                let sh = (4 * ((7 - op.imm as u32) & 7)) as u8;
+                a.mov_r32_m(RAX, s(0));
+                if sh != 0 {
+                    a.shr_r32_imm(RAX, sh);
+                }
+                a.and_r32_imm(RAX, 0xF);
+            }
+            InsertField => {
+                let sh = (4 * ((7 - op.imm as u32) & 7)) as u8;
+                a.mov_r32_m(RCX, s(1));
+                a.and_r32_imm(RCX, 0xF);
+                if sh != 0 {
+                    a.shl_r32_imm(RCX, sh);
+                }
+                a.mov_r32_m(RAX, s(0));
+                a.or_rr32(RAX, RCX);
+            }
+            XerCompose => {
+                a.mov_r32_m(RAX, s(0));
+                a.and_r32_imm(RAX, 1);
+                a.shl_r32_imm(RAX, 29);
+                a.mov_r32_m(RCX, s(1));
+                a.and_r32_imm(RCX, 1);
+                a.shl_r32_imm(RCX, 30);
+                a.or_rr32(RAX, RCX);
+                a.mov_r32_m(RCX, s(2));
+                a.shl_r32_imm(RCX, 31);
+                a.or_rr32(RAX, RCX);
+            }
+            XerExtract => {
+                a.mov_r32_m(RAX, s(0));
+                let sh = (op.imm as u32 & 31) as u8;
+                if sh != 0 {
+                    a.shr_r32_imm(RAX, sh);
+                }
+                a.and_r32_imm(RAX, 1);
+            }
+            TrapIf { .. } | Load { .. } | Store { .. } => {
+                unreachable!("refused or handled by memory templates")
+            }
+        }
+        false
+    }
+}
+
+/// Captures CF into edx as 0/1 right after the carry-producing
+/// instruction.
+fn set_carry(a: &mut Asm) -> bool {
+    a.setcc_r8(CC_C, RDX);
+    a.movzx_r32_r8(RDX, RDX);
+    true
+}
+
+/// Materializes the packed `compare` result: eax = LT 0b1000 / GT
+/// 0b0100 / EQ 0b0010, or'd with the summary-overflow bit already in
+/// ecx. Flags from the preceding `cmp` are live on entry.
+fn emit_compare_result(a: &mut Asm, signed: bool) {
+    a.mov_r32_imm(RAX, 0b0010);
+    a.mov_r32_imm(RDX, 0b1000);
+    a.cmovcc_rr32(if signed { CC_L } else { CC_B }, RAX, RDX);
+    a.mov_r32_imm(RDX, 0b0100);
+    a.cmovcc_rr32(if signed { CC_G } else { CC_A }, RAX, RDX);
+    a.or_rr32(RAX, RCX);
+}
+
+/// `sra` with a register count (`src1 & 0x3F`): result in eax, carry
+/// in edx. Carry is set when the value is negative and 1-bits were
+/// shifted out; for counts ≥ 32 that reduces to "negative".
+fn emit_sra_reg(a: &mut Asm, src0: Mem, src1: Mem) -> bool {
+    a.mov_r32_m(RCX, src1);
+    a.and_r32_imm(RCX, 0x3F);
+    a.mov_r32_m(RAX, src0);
+    let big = a.label();
+    let done = a.label();
+    a.cmp_r32_imm(RCX, 32);
+    a.jcc(CC_AE, big);
+    // Small count: lost = n > 0 && (s & ((1 << n) - 1)) != 0 — with
+    // n = 0 the mask is 0, so the n > 0 condition is implicit.
+    a.mov_r32_imm(RSI, 1);
+    a.shl_r32_cl(RSI);
+    a.add_r32_imm(RSI, -1);
+    a.and_rr32(RSI, RAX);
+    a.xor_rr32(RDX, RDX);
+    a.test_rr32(RSI, RSI);
+    a.setcc_r8(CC_NE, RDX);
+    a.mov_rr32(RDI, RAX);
+    a.shr_r32_imm(RDI, 31);
+    a.and_rr32(RDX, RDI);
+    a.sar_r32_cl(RAX);
+    a.jmp(done);
+    a.bind(big);
+    // Count ≥ 32: fill with the sign; carry ⇔ negative (a negative
+    // value is never zero).
+    a.mov_rr32(RDX, RAX);
+    a.shr_r32_imm(RDX, 31);
+    a.sar_r32_imm(RAX, 31);
+    a.bind(done);
+    true
+}
+
+/// `sra` with an immediate count already masked to 0..=31.
+fn emit_sra_imm(a: &mut Asm, src0: Mem, n: u32) -> bool {
+    a.mov_r32_m(RAX, src0);
+    if n == 0 {
+        a.xor_rr32(RDX, RDX);
+        return true;
+    }
+    let mask = (1u32 << n) - 1;
+    a.mov_rr32(RCX, RAX);
+    a.and_r32_imm(RCX, mask as i32);
+    a.xor_rr32(RDX, RDX);
+    a.test_rr32(RCX, RCX);
+    a.setcc_r8(CC_NE, RDX);
+    a.mov_rr32(RCX, RAX);
+    a.shr_r32_imm(RCX, 31);
+    a.and_rr32(RDX, RCX);
+    a.sar_r32_imm(RAX, n as u8);
+    true
+}

@@ -1,0 +1,288 @@
+//! End-to-end tests: build tiny tree groups with the `daisy-vliw`
+//! API, lower them to packed form, compile to native code, execute,
+//! and check architected state, the counter mirrors, the path log,
+//! and the exit record — the same observables the core crate's
+//! native≡packed property tests compare at scale.
+#![cfg(all(target_arch = "x86_64", target_os = "linux"))]
+
+use daisy_jit::ctx::{JitCtx, EXIT_BAIL, EXIT_BRANCH};
+use daisy_jit::{CompiledGroup, Jit, LOG_CAPACITY};
+use daisy_vliw::op::{MemWidth, OpKind, Operation};
+use daisy_vliw::tree::{Cond, Exit, ROOT};
+use daisy_vliw::{Group, PackedGroup, Reg};
+use std::rc::Rc;
+
+const MEM_LEN: usize = 1 << 16;
+const PAGE: u32 = 4096;
+
+/// Everything a native run needs, owned in one place so pointers stay
+/// valid for the duration of `run`.
+struct Harness {
+    vals: Vec<u32>,
+    mem: Vec<u8>,
+    translated: Vec<u8>,
+    log: Vec<u8>,
+    ctx: JitCtx,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness {
+            vals: vec![0u32; 80],
+            mem: vec![0u8; MEM_LEN],
+            translated: vec![0u8; MEM_LEN >> 12],
+            log: vec![0u8; LOG_CAPACITY],
+            ctx: JitCtx::new(),
+        }
+    }
+
+    fn run(&mut self, jit: &Jit, group: &CompiledGroup, budget: u64) {
+        self.ctx.reset_counters();
+        self.ctx.vals = self.vals.as_mut_ptr();
+        self.ctx.mem_base = self.mem.as_mut_ptr();
+        self.ctx.translated_base = self.translated.as_ptr();
+        self.ctx.log_base = self.log.as_mut_ptr();
+        self.ctx.budget_vliws = budget;
+        unsafe { jit.run(&mut self.ctx, group) };
+    }
+
+    fn log_len(&self) -> usize {
+        self.ctx.log_end as usize - self.log.as_ptr() as usize
+    }
+}
+
+fn compile(jit: &Jit, g: &Group, entry: u32) -> Rc<CompiledGroup> {
+    let p = PackedGroup::lower(g);
+    jit.compile(&p, entry, PAGE, MEM_LEN as u32, 12).expect("group lowers to native")
+}
+
+#[test]
+fn straight_line_alu_state_counters_and_exit_record() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let mut g = Group::new(0x1000);
+    let v0 = &mut g.vliws[0];
+    v0.add_op(ROOT, Operation::new(OpKind::Li, 0x1000).dst(Reg(5)).with_imm(-7));
+    v0.add_op(ROOT, Operation::new(OpKind::Add, 0x1004).dst(Reg(3)).src(Reg(1)).src(Reg(2)));
+    v0.add_op(ROOT, Operation::new(OpKind::AddImm, 0x1008).dst(Reg(4)).src(Reg(1)).with_imm(100));
+    v0.seal(ROOT, Exit::Branch { target: 0x2000 });
+    let cg = compile(&jit, &g, 0x1000);
+
+    let mut h = Harness::new();
+    h.vals[1] = 7;
+    h.vals[2] = 9;
+    h.run(&jit, &cg, u64::MAX);
+
+    assert_eq!(h.vals[5], (-7i32) as u32);
+    assert_eq!(h.vals[3], 16);
+    assert_eq!(h.vals[4], 107);
+    assert_eq!(h.ctx.exit_kind, EXIT_BRANCH);
+    assert_eq!(h.ctx.exit_a, 0x2000);
+    assert_eq!(h.ctx.exit_b, 0); // only exit target → slot 0
+    assert_eq!(h.ctx.cur_group, cg.group_id);
+    assert_eq!(h.ctx.vliws, 1);
+    assert_eq!(h.ctx.base_instrs, 3);
+    assert_eq!(h.ctx.histogram[3], 1);
+    assert_eq!(h.log_len(), 0);
+}
+
+#[test]
+fn conditional_logs_direction_and_picks_exit() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let mut g = Group::new(0x1000);
+    let v0 = &mut g.vliws[0];
+    let cond =
+        Cond { src: Reg(64), mask: 0b0010, want_set: true, spec_target: None, origin: 0x1000 };
+    let (t, f) = v0.split(ROOT, cond);
+    v0.seal(t, Exit::Branch { target: 0x2000 });
+    v0.seal(f, Exit::Branch { target: 0x3000 });
+    let cg = compile(&jit, &g, 0x1000);
+
+    let mut h = Harness::new();
+    h.vals[64] = 0b0010;
+    h.run(&jit, &cg, u64::MAX);
+    assert_eq!(h.ctx.exit_a, 0x2000);
+    assert_eq!(h.log_len(), 1);
+    assert_eq!(h.log[0], 1); // taken
+
+    h.vals[64] = 0;
+    h.run(&jit, &cg, u64::MAX);
+    assert_eq!(h.ctx.exit_a, 0x3000);
+    assert_eq!(h.log_len(), 1);
+    assert_eq!(h.log[0], 0); // fall-through
+}
+
+#[test]
+fn store_then_load_roundtrips_big_endian() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let mut g = Group::new(0x1000);
+    let v0 = &mut g.vliws[0];
+    // mem[r2+4] <- r1 (word), then r3 <- mem[r2+4] (word)
+    v0.add_op(
+        ROOT,
+        Operation::new(OpKind::Store { width: MemWidth::Word }, 0x1000)
+            .src(Reg(1))
+            .src(Reg(2))
+            .with_imm(4),
+    );
+    v0.add_op(
+        ROOT,
+        Operation::new(OpKind::Load { width: MemWidth::Word, algebraic: false }, 0x1004)
+            .dst(Reg(3))
+            .src(Reg(2))
+            .with_imm(4),
+    );
+    v0.seal(ROOT, Exit::Branch { target: 0x2000 });
+    let cg = compile(&jit, &g, 0x1000);
+
+    let mut h = Harness::new();
+    h.vals[1] = 0x1122_3344;
+    h.vals[2] = 0x100;
+    h.run(&jit, &cg, u64::MAX);
+
+    assert_eq!(h.vals[3], 0x1122_3344);
+    assert_eq!(&h.mem[0x104..0x108], &[0x11, 0x22, 0x33, 0x44]); // big-endian guest
+    assert_eq!(h.ctx.loads, 1);
+    assert_eq!(h.ctx.stores, 1);
+    assert_eq!(h.ctx.exit_kind, EXIT_BRANCH);
+}
+
+#[test]
+fn store_to_translated_page_bails_before_side_effects() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let mut g = Group::new(0x1000);
+    let v0 = &mut g.vliws[0];
+    v0.add_op(
+        ROOT,
+        Operation::new(OpKind::Store { width: MemWidth::Word }, 0x1000).src(Reg(1)).src(Reg(2)),
+    );
+    v0.seal(ROOT, Exit::Branch { target: 0x2000 });
+    let cg = compile(&jit, &g, 0x1000);
+
+    let mut h = Harness::new();
+    h.vals[1] = 0xdead_beef;
+    h.vals[2] = 0x2000;
+    h.translated[0x2000 >> 12] = 1; // guest code lives on that page
+    h.run(&jit, &cg, u64::MAX);
+
+    assert_eq!(h.ctx.exit_kind, EXIT_BAIL);
+    let bail = &cg.bails[h.ctx.exit_b as usize];
+    assert_eq!(bail.op, 0); // first parcel in the arena
+    assert_eq!(h.ctx.stores, 0);
+    assert_eq!(&h.mem[0x2000..0x2004], &[0, 0, 0, 0]); // nothing written
+}
+
+#[test]
+fn out_of_bounds_access_bails() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let mut g = Group::new(0x1000);
+    let v0 = &mut g.vliws[0];
+    v0.add_op(
+        ROOT,
+        Operation::new(OpKind::Load { width: MemWidth::Word, algebraic: false }, 0x1000)
+            .dst(Reg(3))
+            .src(Reg(2)),
+    );
+    v0.seal(ROOT, Exit::Branch { target: 0x2000 });
+    let cg = compile(&jit, &g, 0x1000);
+
+    let mut h = Harness::new();
+    h.vals[2] = MEM_LEN as u32 - 2; // word load straddles the end
+    h.run(&jit, &cg, u64::MAX);
+    assert_eq!(h.ctx.exit_kind, EXIT_BAIL);
+    assert_eq!(h.ctx.loads, 0);
+}
+
+fn leave_group(entry: u32, dst_reg: u8, li: i32, target: u32) -> Group {
+    let mut g = Group::new(entry);
+    let v0 = &mut g.vliws[0];
+    v0.add_op(ROOT, Operation::new(OpKind::Li, entry).dst(Reg(dst_reg)).with_imm(li));
+    v0.seal(ROOT, Exit::Branch { target });
+    g
+}
+
+#[test]
+fn patched_chain_edge_runs_both_groups_in_one_entry() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    // A at 0x1000 leaves to 0x1100 (same page → onpage); B leaves to
+    // 0x3000 and stays unlinked, so the run returns from B.
+    let a = compile(&jit, &leave_group(0x1000, 1, 11, 0x1100), 0x1000);
+    let b = compile(&jit, &leave_group(0x1100, 2, 22, 0x3000), 0x1100);
+    assert_eq!(jit.link(&a, 0, &b), 1);
+    assert_eq!(jit.active_patches(), 1);
+
+    let mut h = Harness::new();
+    h.run(&jit, &a, 1 << 20);
+    assert_eq!((h.vals[1], h.vals[2]), (11, 22));
+    assert_eq!(h.ctx.exit_kind, EXIT_BRANCH);
+    assert_eq!(h.ctx.exit_a, 0x3000);
+    assert_eq!(h.ctx.cur_group, b.group_id); // attribution follows the chain
+    assert_eq!(h.ctx.vliws, 2);
+    assert_eq!(h.ctx.chained_dispatches, 1);
+    assert_eq!(h.ctx.onpage_dispatches, 1);
+    assert_eq!(h.ctx.crosspage_direct, 0);
+
+    // Severing restores the dispatcher boundary.
+    assert_eq!(jit.unlink_all(), 1);
+    let mut h2 = Harness::new();
+    h2.run(&jit, &a, 1 << 20);
+    assert_eq!(h2.ctx.exit_a, 0x1100);
+    assert_eq!(h2.ctx.chained_dispatches, 0);
+    assert_eq!(h2.vals[2], 0); // B never ran
+}
+
+#[test]
+fn cross_page_chain_counts_as_crosspage_direct() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let a = compile(&jit, &leave_group(0x1000, 1, 1, 0x2000), 0x1000);
+    let b = compile(&jit, &leave_group(0x2000, 2, 2, 0x3000), 0x2000);
+    jit.link(&a, 0, &b);
+    let mut h = Harness::new();
+    h.run(&jit, &a, 1 << 20);
+    assert_eq!(h.ctx.chained_dispatches, 1);
+    assert_eq!(h.ctx.onpage_dispatches, 0);
+    assert_eq!(h.ctx.crosspage_direct, 1);
+    jit.unlink_all();
+}
+
+#[test]
+fn budget_stops_self_loop() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let a = compile(&jit, &leave_group(0x1000, 1, 1, 0x1000), 0x1000);
+    jit.link(&a, 0, &a);
+    let mut h = Harness::new();
+    h.run(&jit, &a, 10);
+    // Each entry executes one VLIW; the stub refuses the 11th entry.
+    assert_eq!(h.ctx.vliws, 10);
+    assert_eq!(h.ctx.chained_dispatches, 9);
+    assert_eq!(h.ctx.exit_kind, EXIT_BRANCH);
+    assert_eq!(h.ctx.exit_a, 0x1000);
+    jit.unlink_all();
+}
+
+#[test]
+fn dropping_a_group_severs_inbound_edges_via_alive_byte() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let a = compile(&jit, &leave_group(0x1000, 1, 1, 0x1100), 0x1000);
+    let b = compile(&jit, &leave_group(0x1100, 2, 2, 0x3000), 0x1100);
+    jit.link(&a, 0, &b);
+    drop(b); // cast-out / invalidation: alive byte flips to 0
+    let mut h = Harness::new();
+    h.run(&jit, &a, 1 << 20);
+    // The patched edge is still installed but the stub refuses it.
+    assert_eq!(h.ctx.exit_kind, EXIT_BRANCH);
+    assert_eq!(h.ctx.exit_a, 0x1100);
+    assert_eq!(h.ctx.chained_dispatches, 0);
+    assert_eq!(h.vals[2], 0);
+    jit.unlink_all();
+}
+
+#[test]
+fn general_parcels_are_refused() {
+    let jit = Jit::new(1 << 20).expect("host supports the native tier");
+    let mut g = Group::new(0x1000);
+    let v0 = &mut g.vliws[0];
+    v0.add_op(ROOT, Operation::new(OpKind::TrapIf { to: 0 }, 0x1000).src(Reg(1)));
+    v0.seal(ROOT, Exit::Branch { target: 0x2000 });
+    let p = PackedGroup::lower(&g);
+    assert!(jit.compile(&p, 0x1000, PAGE, MEM_LEN as u32, 12).is_err());
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (files and #anchors) in the given docs.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+A link is broken if its target file does not exist, or its #anchor
+does not match any ATX heading in the target document under GitHub's
+slug rules (lowercase; spaces to hyphens; punctuation dropped).
+External (scheme://) and mailto links are ignored. Exits non-zero
+listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+
+
+def slugify(heading: str) -> str:
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    out = []
+    for ch in text.lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-" if ch == " " else ch)
+    return "".join(out)
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        body = f.read()
+    # Strip fenced code blocks so commented '#' lines aren't headings.
+    body = re.sub(r"```.*?```", "", body, flags=re.S)
+    return {slugify(h) for h in HEADING.findall(body)}
+
+
+def main(files):
+    broken = []
+    for src in files:
+        with open(src, encoding="utf-8") as f:
+            text = f.read()
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in LINK.findall(text):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            path, _, frag = target.partition("#")
+            resolved = (
+                os.path.normpath(os.path.join(os.path.dirname(src), path))
+                if path
+                else src
+            )
+            if not os.path.exists(resolved):
+                broken.append(f"{src}: missing file {target}")
+            elif frag and resolved.endswith(".md") and slugify(frag) not in anchors_of(resolved):
+                broken.append(f"{src}: dead anchor {target}")
+    if broken:
+        print("broken documentation links:", file=sys.stderr)
+        for b in broken:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    print(f"doc links ok ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

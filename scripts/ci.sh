@@ -28,6 +28,11 @@ cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo test --workspace --doc
 
+# Docs link check: every relative markdown link in README.md and
+# docs/*.md must point at an existing file, and every #anchor at a
+# real heading in the target document.
+scripts/check_doc_links.py README.md docs/*.md
+
 # Bench smoke-run: single-iteration (no timing, no JSON) — keeps the
 # bench harnesses compiling and their correctness asserts honest.
 cargo test -q -p daisy-bench --benches
@@ -60,3 +65,20 @@ scripts/check_report_shape.sh "$artifacts/BENCH_report.smoke.json" 2
   echo "error: sort Chrome trace artifact missing" >&2
   exit 1
 }
+
+# Native-tier smoke (x86-64 only): the nine-workload native ≡ packed
+# observational-equivalence test, then a 16-seed injection sweep of
+# the two invalidation-heavy fault kinds with the ladder starting at
+# the native rung. Other hosts build the same code but the tier
+# declines to engage, so there is nothing extra to test.
+if [ "$(uname -m)" = "x86_64" ]; then
+  cargo test -q --test prop_native \
+    native_is_observably_the_packed_engine_on_every_workload
+  for kind in hot_patch chain_sever; do
+    cargo run -q --release -p daisy-bench --bin inject -- \
+      --native --seeds 16 --kind "$kind"
+  done
+else
+  echo "skip: native-tier smoke needs an x86-64 host (this is $(uname -m));"
+  echo "      the native tier falls back to packed execution here."
+fi

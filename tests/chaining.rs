@@ -222,6 +222,106 @@ fn chaining_cuts_vmm_dispatches_without_changing_results() {
 }
 
 // ---------------------------------------------------------------------
+// The native tier's chain edges: compiled groups jump directly to each
+// other through patched stubs, which must obey exactly the sever
+// protocol the Rust-level weak links do — invalidation retires them
+// before the next entry, and an explicit sever cuts them with the
+// links.
+
+fn run_native_chained(prog: &daisy_ppc::asm::Program, mem_size: u32) -> DaisySystem<PpcIsa> {
+    let mut sys = DaisySystem::<PpcIsa>::builder()
+        .mem_size(mem_size)
+        .translator(small_page_config())
+        .native_execution(true)
+        .native_threshold(2)
+        .build();
+    sys.load(prog).unwrap();
+    let stop = sys.run(10_000_000).unwrap();
+    assert_eq!(stop, StopReason::Syscall, "native DAISY run did not finish");
+    sys
+}
+
+/// The self-modifying loop under the native tier: every store over the
+/// patch page invalidates, and the invalidation must retire compiled
+/// code and patched native jumps before the next dispatch could enter
+/// stale host code. Stale code would execute the previous iteration's
+/// immediate and corrupt the accumulator — so bit-exactness *is* the
+/// sever check; the flush counter pins that it happened natively too.
+#[test]
+fn selfmod_loop_severs_native_slots() {
+    let imms: Vec<i16> = (1..=8).collect();
+    let prog = selfmod_program(&imms, &[1, 2]);
+    let (cpu, mem) = run_reference(&prog, 0x2_0000);
+    let sys = run_native_chained(&prog, 0x2_0000);
+    assert_state_matches(&sys, &cpu, &mem, "native selfmod sever");
+    assert_eq!(sys.cpu.gpr[7], 36);
+    assert!(sys.stats.code_modifications >= 2);
+    assert!(
+        sys.stats.chain.severs >= 1,
+        "invalidating the patch page must sever inbound links; stats: {:?}",
+        sys.stats.chain
+    );
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    {
+        let ns = sys.native_stats().expect("native tier active");
+        assert!(ns.compiles >= 1, "the hot loop should compile: {ns:?}");
+        assert!(
+            ns.flushes >= 1,
+            "each invalidation epoch must flush native code and patches: {ns:?}"
+        );
+    }
+}
+
+/// An explicit [`DaisySystem::sever_chains`] mid-run must cut patched
+/// native jumps together with the Rust-level links — a patched edge
+/// surviving the sever would carry execution across a boundary the
+/// dispatcher believes severed.
+#[test]
+fn sever_chains_retires_native_patches() {
+    let w = daisy_workloads::by_name("compress").expect("compress workload");
+    let mut sys = DaisySystem::<PpcIsa>::builder()
+        .mem_size(w.mem_size)
+        .native_execution(true)
+        .native_threshold(2)
+        .build();
+    sys.load(&w.program()).unwrap();
+    // Warm up until edges exist, then sever, then run to completion.
+    for _ in 0..400 {
+        if sys.step().unwrap().is_some() {
+            panic!("compress finished during warmup");
+        }
+    }
+    sys.sever_chains();
+    let stop = sys.run(10 * w.max_instrs).unwrap();
+    assert_eq!(stop, StopReason::Syscall);
+    w.check(&sys.cpu, &sys.mem).expect("compress result exact across the sever");
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    {
+        let ns = sys.native_stats().expect("native tier active");
+        assert!(ns.flushes >= 1, "sever_chains must flush the native tier: {ns:?}");
+        assert!(ns.dispatches > 0, "compress should run natively: {ns:?}");
+    }
+}
+
+/// Alias-restart retranslation reached through native dispatch: the
+/// retranslated entry's old compiled body must be retired (identity
+/// check), and results stay exact.
+#[test]
+fn alias_restart_retranslation_retires_native_code() {
+    let w = daisy_workloads::by_name("hist").expect("hist workload");
+    let mut sys = DaisySystem::<PpcIsa>::builder()
+        .mem_size(w.mem_size)
+        .native_execution(true)
+        .native_threshold(2)
+        .build();
+    sys.vmm.alias_retranslate_after = Some(3);
+    sys.load(&w.program()).unwrap();
+    sys.run(50 * w.max_instrs).unwrap();
+    w.check(&sys.cpu, &sys.mem).expect("hist result exact under retranslation");
+    assert!(sys.vmm.stats.alias_retranslations >= 1, "threshold should trip");
+}
+
+// ---------------------------------------------------------------------
 // Interrupt storms under chaining (§3.7): external interrupts delivered
 // at every group boundary while the dispatch loop is chaining hot exits
 // must still be *precise* — every SRR0 the handler observes is an
