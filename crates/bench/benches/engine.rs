@@ -136,6 +136,17 @@ fn bench_engine(c: &mut Criterion) {
             .native_stats()
             .map(|ns| ns.vliws_native as f64 / nsys.stats.vliws_executed.max(1) as f64)
             .unwrap_or(0.0);
+        // Why the tier fell short of full coverage, by refusal kind
+        // (all zeros on a fully covered workload).
+        let refusals = nsys
+            .native_stats()
+            .map(|ns| ns.refusal_histogram)
+            .unwrap_or([0; daisy::native::Refusal::COUNT]);
+        let refusal_json = daisy::native::Refusal::ALL
+            .iter()
+            .map(|r| format!("\"{}\": {}", r.as_str(), refusals[r.index()]))
+            .collect::<Vec<_>>()
+            .join(", ");
         let mut row = String::new();
         let _ = write!(
             row,
@@ -144,7 +155,7 @@ fn bench_engine(c: &mut Criterion) {
                 "\"tree\": {{\"wall_ms\": {:.3}, \"ns_per_guest_instr\": {:.2}}}, ",
                 "\"packed\": {{\"wall_ms\": {:.3}, \"ns_per_guest_instr\": {:.2}}}, ",
                 "\"native\": {{\"wall_ms\": {:.3}, \"ns_per_guest_instr\": {:.2}, ",
-                "\"coverage\": {:.3}}}, ",
+                "\"coverage\": {:.3}, \"refusals\": {{{}}}}}, ",
                 "\"speedup\": {:.3}, \"native_speedup\": {:.3}}}"
             ),
             w.name,
@@ -155,6 +166,7 @@ fn bench_engine(c: &mut Criterion) {
             native_s * 1e3,
             native_s * 1e9 / guest,
             coverage,
+            refusal_json,
             ratio,
             native_ratio
         );

@@ -1,0 +1,83 @@
+//! Native-coverage gate: runs every paper workload on the native tier
+//! and compares the measured coverage (fraction of tree instructions
+//! executed as compiled x86-64) against the values committed in
+//! `BENCH_engine.json`. Coverage is a deterministic property of the
+//! translator and lowerer — unlike wall-clock timings it does not move
+//! with host load — so CI can fail on regressions without flakiness.
+//!
+//! Usage: `coverage --check BENCH_engine.json [--tolerance 0.05]`
+//!
+//! Exits nonzero if any workload's coverage drops more than
+//! `tolerance` below its committed value. Without `--check` it just
+//! prints the measured table (for refreshing expectations by eye).
+
+use daisy::system::DaisySystem;
+use daisy_ppc::PpcIsa;
+
+fn measured_coverage(name: &str) -> f64 {
+    let w = daisy_workloads::by_name(name).unwrap();
+    let mut sys =
+        DaisySystem::<PpcIsa>::builder().mem_size(w.mem_size).native_execution(true).build();
+    sys.load(&w.program()).unwrap();
+    sys.run(10 * w.max_instrs).unwrap();
+    w.check(&sys.cpu, &sys.mem).unwrap_or_else(|e| panic!("{name}: wrong guest result: {e}"));
+    sys.native_stats()
+        .map(|ns| ns.vliws_native as f64 / sys.stats.vliws_executed.max(1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// Pulls `"coverage": <float>` out of the workload's row in the
+/// committed JSON (the file is written by the engine bench with a
+/// fixed shape; no JSON dependency needed).
+fn committed_coverage(json: &str, name: &str) -> Option<f64> {
+    let row_start = json.find(&format!("\"name\": \"{name}\""))?;
+    let row = &json[row_start..];
+    let row = &row[..row.find('\n').unwrap_or(row.len())];
+    let key = "\"coverage\": ";
+    let at = row.find(key)? + key.len();
+    let rest = &row[at..];
+    let end = rest.find(|c: char| c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = Some(it.next().expect("--check needs a path").clone()),
+            "--tolerance" => {
+                tolerance = it.next().expect("--tolerance needs a value").parse().unwrap()
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let committed = check
+        .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read {p}: {e}")));
+    let mut failures = 0;
+    for w in &daisy_workloads::all() {
+        let got = measured_coverage(w.name);
+        match committed.as_deref().and_then(|j| committed_coverage(j, w.name)) {
+            Some(want) => {
+                let ok = got >= want - tolerance;
+                println!(
+                    "{:10} coverage {:.3} committed {:.3} {}",
+                    w.name,
+                    got,
+                    want,
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                if !ok {
+                    failures += 1;
+                }
+            }
+            None => println!("{:10} coverage {:.3}", w.name, got),
+        }
+    }
+    if failures > 0 {
+        eprintln!("error: native coverage regressed on {failures} workload(s)");
+        std::process::exit(1);
+    }
+}

@@ -18,16 +18,22 @@ use daisy_vliw::op::{
     compare, effective_address, effective_address_inline, eval, eval_inline, EvalOut, MemWidth,
     OpKind, Operation,
 };
-use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup};
+use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup, BACKEDGE_VLIW_BUDGET};
 use daisy_vliw::reg::{Reg, NUM_REGS};
 use daisy_vliw::regfile::RegFile;
 use daisy_vliw::tree::{Exit, Group, IndirectVia, NodeKind, VliwId, ROOT};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::{Rc, Weak};
 
-/// Entries in each group's inline indirect-dispatch cache (direct
-/// mapped by target address).
-const ICACHE_WAYS: usize = 4;
+/// Entries in each group's inline indirect-dispatch cache. The cache
+/// is fully associative with round-robin replacement: indirect-branch
+/// targets are group entries, which real programs align (dispatch
+/// tables with power-of-two handler strides), so any way function
+/// built from target bits collapses under exactly the workloads that
+/// need the cache most. Eight entries cover the paper workloads'
+/// largest indirect working set (xlat's translate dispatch) with room
+/// to spare.
+pub(crate) const ICACHE_WAYS: usize = 8;
 
 /// One inline indirect-dispatch cache entry: the last translation seen
 /// for a target reached through LR or CTR.
@@ -79,6 +85,9 @@ pub struct GroupCode {
     links: RefCell<Vec<Option<Weak<GroupCode>>>>,
     /// Inline dispatch cache for this group's indirect (LR/CTR) exits.
     icache: RefCell<[Option<IndirectEntry>; ICACHE_WAYS]>,
+    /// Round-robin victim cursor for `icache` (advanced only when an
+    /// install finds neither a matching tag nor an empty way).
+    icache_victim: Cell<u8>,
 }
 
 impl GroupCode {
@@ -95,6 +104,7 @@ impl GroupCode {
             tier: Tier::Cold,
             links,
             icache: RefCell::new([const { None }; ICACHE_WAYS]),
+            icache_victim: Cell::new(0),
         }
     }
 
@@ -133,22 +143,33 @@ impl GroupCode {
     }
 
     /// Looks up a live translation for an indirect-branch `target` in
-    /// this group's inline dispatch cache.
-    pub fn icache_lookup(&self, target: u32) -> Option<Rc<GroupCode>> {
-        self.icache.borrow()[Self::icache_way(target)]
-            .as_ref()
-            .filter(|e| e.target == target)
-            .and_then(|e| e.code.upgrade())
+    /// this group's inline dispatch cache. On a hit, also returns the
+    /// way it was found in (the native tier mirrors per-way into the
+    /// group's inline IBTC).
+    pub fn icache_lookup(&self, target: u32) -> Option<(Rc<GroupCode>, usize)> {
+        self.icache.borrow().iter().enumerate().find_map(|(way, e)| match e {
+            Some(e) if e.target == target => Some((e.code.upgrade()?, way)),
+            _ => None,
+        })
     }
 
-    /// Records the translation for an indirect-branch `target`.
-    pub fn icache_install(&self, target: u32, to: &Rc<GroupCode>) {
-        self.icache.borrow_mut()[Self::icache_way(target)] =
-            Some(IndirectEntry { target, code: Rc::downgrade(to) });
-    }
-
-    fn icache_way(target: u32) -> usize {
-        (target >> 2) as usize & (ICACHE_WAYS - 1)
+    /// Records the translation for an indirect-branch `target`,
+    /// returning the way it landed in: a way already tagged `target`
+    /// (possibly holding a dead weak ref), else the first empty way,
+    /// else the round-robin victim.
+    pub fn icache_install(&self, target: u32, to: &Rc<GroupCode>) -> usize {
+        let mut cache = self.icache.borrow_mut();
+        let way = cache
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.target == target))
+            .or_else(|| cache.iter().position(|e| e.is_none()))
+            .unwrap_or_else(|| {
+                let v = self.icache_victim.get() as usize;
+                self.icache_victim.set(((v + 1) % ICACHE_WAYS) as u8);
+                v
+            });
+        cache[way] = Some(IndirectEntry { target, code: Rc::downgrade(to) });
+        way
     }
 
     /// Severs every outbound chain link and empties the inline
@@ -161,6 +182,7 @@ impl GroupCode {
             *l = None;
         }
         *self.icache.borrow_mut() = [const { None }; ICACHE_WAYS];
+        self.icache_victim.set(0);
     }
 }
 
@@ -280,6 +302,22 @@ impl EngineScratch {
             self.pending[i as usize] = None;
         }
     }
+
+    /// Re-seeds one bypassed-load row (used by the native tier when it
+    /// bails out of a group mid-way: still-live rows in the native
+    /// pending table are rehydrated here so the packed resume's verify
+    /// commits see them).
+    pub(crate) fn set_pending(
+        &mut self,
+        i: usize,
+        ea: u32,
+        width: MemWidth,
+        algebraic: bool,
+        value: u32,
+    ) {
+        self.pending[i] = Some(PendingLoad { ea, width, algebraic, value });
+        self.touched.push(i as u8);
+    }
 }
 
 impl Default for EngineScratch {
@@ -373,6 +411,10 @@ pub struct ResumePoint {
     pub parcels: usize,
     /// The `last_base` commit-dedup register at the bail.
     pub last_base: u32,
+    /// Absolute `vliws_executed` at the bailing group's *entry*, so the
+    /// resumed run enforces the same back-edge budget limit the native
+    /// prologue snapshotted (`budget_base + BACKEDGE_VLIW_BUDGET`).
+    pub budget_base: u64,
 }
 
 /// Resumes packed execution of `code` mid-group after a native-tier
@@ -429,6 +471,12 @@ fn run_group_impl<const PROFILE: bool, const RESUME: bool>(
     let (vals, tags) = rf.arrays_mut();
     let mut last_base = if RESUME { resume.last_base } else { u32::MAX };
     let mut vliw = if RESUME { resume.vliw } else { 0usize };
+    // Back-edge budget: a backward `Next` past this point leaves the
+    // group at the loop header instead of iterating natively forever,
+    // so the dispatch loop (ladder checks, timer) regains control. A
+    // resumed run inherits the budget base its native prologue set.
+    let backedge_limit =
+        (if RESUME { resume.budget_base } else { stats.vliws_executed }) + BACKEDGE_VLIW_BUDGET;
     // True only for the first tree instruction of a resumed run: its
     // entry accounting already happened natively, and execution starts
     // mid-node at `resume.op`.
@@ -699,6 +747,13 @@ fn run_group_impl<const PROFILE: bool, const RESUME: bool>(
                 }
                 PackedCtrl::Next { vliw: next } => {
                     stats.issue_histogram[parcels_this_vliw.min(24)] += 1;
+                    if next as usize <= vliw && stats.vliws_executed >= backedge_limit {
+                        return GroupExit::Branch {
+                            target: packed.anchor(next as usize),
+                            via: None,
+                            slot: None,
+                        };
+                    }
                     vliw = next as usize;
                     break;
                 }
@@ -970,6 +1025,9 @@ fn run_group_tree_impl<const PROFILE: bool>(
     let mut pending: [Option<PendingLoad>; NUM_REGS] = [None; NUM_REGS];
     let mut last_base = u32::MAX;
     let mut cur = VliwId(0);
+    // Same back-edge budget as the packed engine: bounded native-style
+    // looping inside a group, then yield at the loop header.
+    let backedge_limit = stats.vliws_executed + BACKEDGE_VLIW_BUDGET;
 
     loop {
         let vliw = group.vliw(cur);
@@ -1028,6 +1086,13 @@ fn run_group_tree_impl<const PROFILE: bool>(
                     stats.issue_histogram[parcels_this_vliw.min(24)] += 1;
                     match e {
                         Exit::Goto(next) => {
+                            if next.0 <= cur.0 && stats.vliws_executed >= backedge_limit {
+                                return GroupExit::Branch {
+                                    target: group.vliw(*next).base_entry,
+                                    via: None,
+                                    slot: None,
+                                };
+                            }
                             cur = *next;
                             break;
                         }

@@ -11,9 +11,13 @@
 //!
 //! Three mechanisms keep the tier honest:
 //!
-//! * **Refusal** — groups whose parcels fall outside the template set
-//!   (trap checks, load-verify commits, intra-group back edges) are
-//!   never compiled; they stay on the packed engine forever.
+//! * **Refusal** — groups whose shape falls outside what the lowerer
+//!   can reproduce (pathological condition depth, arena exhaustion,
+//!   or — under ablation — `General`-class parcels) are never
+//!   compiled; they stay on the packed engine forever. Trap checks,
+//!   load-verify commits and intra-group back edges all lower to
+//!   templates now, so a default-configured tier refuses almost
+//!   nothing.
 //! * **Bail-out** — compiled code stops *before* any side effect it
 //!   cannot reproduce exactly (a faulting access, a store to a
 //!   translated page). The dispatcher then reconstructs the packed
@@ -33,9 +37,11 @@ use crate::stats::RunStats;
 use crate::trace::{TraceEvent, Tracer};
 use daisy_isa::mem::Memory;
 use daisy_jit::ctx::{EXIT_BAIL, EXIT_INDIRECT, EXIT_INTERP};
-use daisy_jit::{ctx::JitCtx, CompiledGroup, Jit, DEFAULT_ARENA_BYTES, LOG_CAPACITY};
-use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup};
-use daisy_vliw::reg::Reg;
+pub use daisy_jit::lower::Refusal;
+use daisy_jit::{ctx::JitCtx, CompileOpts, CompiledGroup, Jit, DEFAULT_ARENA_BYTES, LOG_CAPACITY};
+use daisy_vliw::op::{MemWidth, OpKind};
+use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup, BACKEDGE_VLIW_BUDGET};
+use daisy_vliw::reg::{Reg, NUM_REGS};
 use daisy_vliw::regfile::RegFile;
 use daisy_vliw::tree::IndirectVia;
 use std::collections::HashMap;
@@ -78,6 +84,49 @@ pub struct NativeStats {
     pub parcels_compiled: u64,
     /// Parcels in refused groups (template-coverage ablation data).
     pub parcels_refused: u64,
+    /// Refusals broken down by [`Refusal`] variant (index via
+    /// [`Refusal::index`]).
+    pub refusal_histogram: [u64; Refusal::COUNT],
+    /// Indirect exits resolved by a group's inline indirect-branch
+    /// target cache without a dispatcher boundary. Architecturally
+    /// these count as icache hits + chained dispatches in [`RunStats`];
+    /// this tier-side counter isolates the inline mechanism.
+    pub ibtc_hits: u64,
+}
+
+/// Default predicted-coverage floor below which a warm entry is
+/// refused as not worthwhile (see [`NativeTierConfig::min_coverage`]).
+pub const DEFAULT_NATIVE_MIN_COVERAGE: f64 = 0.25;
+
+/// Configuration of the native tier (the ablation levers plus the
+/// warm-up threshold).
+#[derive(Debug, Clone, Copy)]
+pub struct NativeTierConfig {
+    /// Dispatch count before a group is lowered (min 1).
+    pub threshold: u64,
+    /// Give groups with indirect exits an inline indirect-branch
+    /// target cache (IBTC).
+    pub ibtc: bool,
+    /// Lower `General`-class parcels (trap checks, load-verify
+    /// commits) instead of refusing groups that contain them.
+    pub general_templates: bool,
+    /// Worthwhile-ness floor: a warm entry whose statically predicted
+    /// template coverage (lowerable parcels / total parcels) falls
+    /// below this fraction is refused without attempting compilation.
+    /// With `general_templates` on the prediction is always 1.0, so
+    /// this only bites under ablation.
+    pub min_coverage: f64,
+}
+
+impl Default for NativeTierConfig {
+    fn default() -> Self {
+        NativeTierConfig {
+            threshold: DEFAULT_NATIVE_THRESHOLD,
+            ibtc: true,
+            general_templates: true,
+            min_coverage: DEFAULT_NATIVE_MIN_COVERAGE,
+        }
+    }
 }
 
 /// Per-entry compilation state.
@@ -136,14 +185,21 @@ pub enum NativeRun {
 /// and the dispatch context block.
 pub struct NativeTier {
     jit: Jit,
-    threshold: u64,
+    config: NativeTierConfig,
     entries: HashMap<u32, EntryState>,
     registry: HashMap<u32, RegEntry>,
     ctx: JitCtx,
     log: Vec<u8>,
-    /// `(invalidations, cast_outs)` snapshot; any drift severs all
-    /// native chain edges and retires all compiled groups.
-    epoch: (u64, u64),
+    /// Bypassed-load pending table: [`NUM_REGS`] rows of 32 bytes
+    /// (`{gen: u64, ea: u32, value: u32, meta: u32, pad}`), written by
+    /// the bypassed-load template and read by the verify-commit
+    /// template. `u64` elements so the generation word is aligned; the
+    /// prologue's `pending_gen` bump invalidates all rows at once.
+    pending: Vec<u64>,
+    /// `(invalidations, cast_outs, alias_retranslations)` snapshot;
+    /// any drift severs all native chain edges and retires all
+    /// compiled groups.
+    epoch: (u64, u64, u64),
     /// Native-tier counters.
     pub stats: NativeStats,
 }
@@ -151,26 +207,34 @@ pub struct NativeTier {
 impl std::fmt::Debug for NativeTier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NativeTier")
-            .field("threshold", &self.threshold)
+            .field("config", &self.config)
             .field("entries", &self.entries.len())
             .field("stats", &self.stats)
             .finish()
     }
 }
 
+/// Bytes per pending-table row (must match the lowerer's layout).
+const PENDING_ROW_BYTES: usize = 32;
+
+// The inline IBTC reuses the dispatcher icache's way function, so the
+// two must agree on geometry (see `GroupCode::icache_way`).
+const _: () = assert!(daisy_jit::IBTC_WAYS == crate::engine::ICACHE_WAYS);
+
 impl NativeTier {
     /// Creates the tier, mapping the code arena. `None` when the host
     /// cannot execute emitted code (non-x86-64/Linux) — callers then
     /// run everything on the packed engine.
-    pub fn new(threshold: u64) -> Option<NativeTier> {
+    pub fn new(config: NativeTierConfig) -> Option<NativeTier> {
         Some(NativeTier {
             jit: Jit::new(DEFAULT_ARENA_BYTES)?,
-            threshold: threshold.max(1),
+            config: NativeTierConfig { threshold: config.threshold.max(1), ..config },
             entries: HashMap::new(),
             registry: HashMap::new(),
             ctx: JitCtx::new(),
             log: vec![0u8; LOG_CAPACITY],
-            epoch: (0, 0),
+            pending: vec![0u64; NUM_REGS * PENDING_ROW_BYTES / 8],
+            epoch: (0, 0, 0),
             stats: NativeStats::default(),
         })
     }
@@ -184,21 +248,28 @@ impl NativeTier {
     /// re-warming from zero under invalidation churn.
     pub fn flush(&mut self) {
         self.jit.unlink_all();
-        let threshold = self.threshold;
+        let threshold = self.config.threshold;
         for st in self.entries.values_mut() {
-            if matches!(st.slot, Slot::Compiled(_)) {
+            if let Slot::Compiled(cg) = &st.slot {
+                // Drop the retiring group's inline indirect-target
+                // entries too: they are the IBTC analogue of the chain
+                // edges `unlink_all` just severed.
+                if let Some(t) = cg.ibtc() {
+                    t.clear();
+                }
                 st.slot = Slot::Cold(threshold);
             }
         }
         self.stats.flushes += 1;
     }
 
-    /// Compares the VMM's invalidation/cast-out counters against the
-    /// last-seen snapshot and flushes on any drift — the native
-    /// analogue of weak chain links severing when translations die.
-    pub fn sync_epoch(&mut self, invalidations: u64, cast_outs: u64) {
-        if self.epoch != (invalidations, cast_outs) {
-            self.epoch = (invalidations, cast_outs);
+    /// Compares the VMM's invalidation/cast-out/alias-retranslation
+    /// counters against the last-seen snapshot and flushes on any
+    /// drift — the native analogue of weak chain links severing when
+    /// translations die.
+    pub fn sync_epoch(&mut self, invalidations: u64, cast_outs: u64, alias_retranslations: u64) {
+        if self.epoch != (invalidations, cast_outs, alias_retranslations) {
+            self.epoch = (invalidations, cast_outs, alias_retranslations);
             if !self.entries.is_empty() || self.jit.active_patches() > 0 {
                 self.flush();
             }
@@ -234,7 +305,7 @@ impl NativeTier {
             Slot::Refused => return None,
             Slot::Cold(n) => {
                 *n += 1;
-                *n >= self.threshold
+                *n >= self.config.threshold
             }
         };
         if !due {
@@ -242,7 +313,32 @@ impl NativeTier {
         }
         let (_, mem_len, _) = mem.jit_view();
         let parcels = code.packed.ops.len() as u64;
-        match self.jit.compile(&code.packed, entry, page_size, mem_len, Memory::page_shift()) {
+        // Worthwhile-ness gate: predict the template coverage this
+        // compilation would achieve and skip entries that would mostly
+        // refuse anyway. Lowerable means "has a template": with the
+        // general templates enabled every parcel class does, so the
+        // prediction is 1.0 and the gate never fires outside ablation.
+        let lowerable = if self.config.general_templates {
+            parcels
+        } else {
+            code.packed.meta.iter().filter(|m| m.class != OpClass::General).count() as u64
+        };
+        let predicted = if parcels == 0 { 1.0 } else { lowerable as f64 / parcels as f64 };
+        if predicted < self.config.min_coverage {
+            let r = Refusal::NotWorthwhile;
+            self.stats.refusals += 1;
+            self.stats.parcels_refused += parcels;
+            self.stats.refusal_histogram[r.index()] += 1;
+            tracer.emit(|| TraceEvent::NativeCompile { entry, outcome: r.as_str() });
+            state.slot = Slot::Refused;
+            return None;
+        }
+        let opts = CompileOpts {
+            general_templates: self.config.general_templates,
+            ibtc: self.config.ibtc,
+        };
+        match self.jit.compile(&code.packed, entry, page_size, mem_len, Memory::page_shift(), opts)
+        {
             Ok(cg) => {
                 self.stats.compiles += 1;
                 self.stats.parcels_compiled += parcels;
@@ -260,6 +356,7 @@ impl NativeTier {
             Err(r) => {
                 self.stats.refusals += 1;
                 self.stats.parcels_refused += parcels;
+                self.stats.refusal_histogram[r.index()] += 1;
                 tracer.emit(|| TraceEvent::NativeCompile { entry, outcome: r.as_str() });
                 if let Some(s) = self.entries.get_mut(&entry) {
                     s.slot = Slot::Refused;
@@ -291,6 +388,32 @@ impl NativeTier {
         self.stats.edge_patches += self.jit.link(&fc, slot as u32, &tc) as u64;
     }
 
+    /// Mirrors a dispatcher indirect-icache event into `from`'s inline
+    /// IBTC. Called whenever the dispatcher hits or installs way `way`
+    /// of `from`'s icache for indirect target `target`: when both ends
+    /// are compiled and inline dispatch is `allowed` (patching safe,
+    /// IBTC enabled) the way is installed pointing at `to`'s native
+    /// entry; otherwise that way is invalidated — the dispatcher just
+    /// (re)wrote it, so whatever the inline cache held is stale. The
+    /// invalidate half is mandatory for correctness: way overwrites
+    /// must never leave an old native entry reachable under a new tag.
+    pub fn icache_sync(
+        &mut self,
+        from: &Rc<GroupCode>,
+        target: u32,
+        way: usize,
+        to: Option<&Rc<GroupCode>>,
+        allowed: bool,
+    ) {
+        let Some(fc) = self.compiled_for(from) else { return };
+        let Some(tbl) = fc.ibtc() else { return };
+        let tc = if allowed { to.and_then(|t| self.compiled_for(t)) } else { None };
+        match tc {
+            Some(tc) => tbl.install(way, target, tc.entry_addr(), tc.alive_addr()),
+            None => tbl.invalidate(way),
+        }
+    }
+
     /// Runs `cg` (the compilation of `code`) natively and reconciles
     /// the counter deltas into `stats`. On a bail-out, reconstructs
     /// `scratch` up to the bail point and returns
@@ -311,6 +434,7 @@ impl NativeTier {
         self.ctx.mem_base = mem_base;
         self.ctx.translated_base = translated as *const u8;
         self.ctx.log_base = self.log.as_mut_ptr();
+        self.ctx.pending_base = self.pending.as_mut_ptr() as *mut u8;
         self.ctx.budget_vliws = NATIVE_VLIW_BUDGET;
         // SAFETY: every pointer set above is valid for the run — vals
         // is the register file's fixed array, mem/translated never
@@ -323,13 +447,17 @@ impl NativeTier {
         stats.loads += self.ctx.loads;
         stats.stores += self.ctx.stores;
         stats.chain.chained_dispatches += self.ctx.chained_dispatches;
+        stats.chain.icache_hits += self.ctx.icache_hits;
         stats.onpage_dispatches += self.ctx.onpage_dispatches;
         stats.crosspage.direct += self.ctx.crosspage_direct;
+        stats.crosspage.via_lr += self.ctx.crosspage_via_lr;
+        stats.crosspage.via_ctr += self.ctx.crosspage_via_ctr;
         for (h, d) in stats.issue_histogram.iter_mut().zip(self.ctx.histogram.iter()) {
             *h += d;
         }
         self.stats.dispatches += 1;
         self.stats.chained += self.ctx.chained_dispatches;
+        self.stats.ibtc_hits += self.ctx.icache_hits;
         self.stats.vliws_native += self.ctx.vliws;
 
         // Resolve the group that produced the exit (chained runs end
@@ -382,6 +510,35 @@ impl NativeTier {
                     bail.op as usize,
                     scratch,
                 );
+                // Rehydrate bypassed loads the bailing group issued
+                // before the bail: rows stamped with the current
+                // generation are live, and the packed resume's verify
+                // commits must see them.
+                let words = PENDING_ROW_BYTES / 8;
+                for i in 0..NUM_REGS {
+                    let row = &self.pending[i * words..(i + 1) * words];
+                    if row[0] == self.ctx.pending_gen {
+                        let meta = row[2] as u32;
+                        let width = match meta & 3 {
+                            0 => MemWidth::Byte,
+                            1 => MemWidth::Half,
+                            _ => MemWidth::Word,
+                        };
+                        scratch.set_pending(
+                            i,
+                            row[1] as u32,
+                            width,
+                            meta & 4 != 0,
+                            (row[1] >> 32) as u32,
+                        );
+                    }
+                }
+                // Absolute vliws_executed at the bailing group's
+                // entry: the merge above already added ctx.vliws, and
+                // the prologue stored entry-relative-vliws + BUDGET in
+                // entry_vliws.
+                let budget_base = (stats.vliws_executed - self.ctx.vliws)
+                    + (self.ctx.entry_vliws - BACKEDGE_VLIW_BUDGET);
                 NativeRun::Resume {
                     entry: final_entry,
                     point: ResumePoint {
@@ -390,16 +547,21 @@ impl NativeTier {
                         op: bail.op as usize,
                         parcels: bail.parcels as usize,
                         last_base: self.ctx.last_base,
+                        budget_base,
                     },
                     code: rcode,
                 }
             }
-            // EXIT_BRANCH (0) — also the defensive default.
+            // EXIT_BRANCH (0) — also the defensive default. A
+            // `u32::MAX` slot is the back-edge budget stub's sentinel:
+            // that exit is a yield at the loop header, not a chainable
+            // group edge (the packed engine returns `slot: None` for
+            // the same event).
             _ => NativeRun::Done {
                 exit: GroupExit::Branch {
                     target: self.ctx.exit_a,
                     via: None,
-                    slot: Some(self.ctx.exit_b as usize),
+                    slot: (self.ctx.exit_b != u32::MAX).then_some(self.ctx.exit_b as usize),
                 },
                 final_entry,
                 final_code,
@@ -414,9 +576,15 @@ impl NativeTier {
 /// condition), pushing exactly the events the packed engine would have
 /// pushed for every parcel *before* the bail site. Values are not
 /// recomputed — only event structure matters, and it is fully
-/// determined by the path plus the op/meta tables (a native group has
-/// no trap checks, no bypassed stores, and no faulting accesses before
-/// the bail, so no exception tags are ever set on this prefix).
+/// determined by the path plus the op/meta tables (native code bails
+/// *before* any faulting access, firing trap check, or failing load
+/// verify, so no exception tags are ever set on this prefix and every
+/// executed General parcel took its completing path).
+///
+/// The direction log holds one byte per executed condition (0/1) and
+/// one `2` byte per taken backward `Next` edge; the bail site is the
+/// *last* visit to `(bail_node, bail_op)` — the one that has consumed
+/// the whole log — since any revisit consumes at least one byte.
 fn reconstruct_events(
     packed: &PackedGroup,
     dirs: &[u8],
@@ -434,7 +602,7 @@ fn reconstruct_events(
         loop {
             let n = &packed.nodes[node];
             for k in n.start as usize..(n.start + n.len) as usize {
-                if node == bail_node && k == bail_op {
+                if node == bail_node && k == bail_op && di == dirs.len() {
                     break 'group;
                 }
                 let op = &packed.ops[k];
@@ -460,9 +628,18 @@ fn reconstruct_events(
                         }
                     }
                     OpClass::Store => scratch.events.push(ArchEvent::Store),
-                    // Refused at compile time; unreachable on a
-                    // lowered group's path.
-                    OpClass::General => debug_assert!(false, "General parcel in a lowered group"),
+                    // Lowered by the general templates. On the
+                    // pre-bail path a trap check completed without
+                    // firing and a verify commit completed without an
+                    // alias restart — the same events the packed
+                    // engine's general interpreter pushes.
+                    OpClass::General => {
+                        if matches!(op.kind, OpKind::TrapIf { .. }) {
+                            scratch.events.push(ArchEvent::TrapCheck);
+                        } else if !op.speculative && m.d1 != OpMeta::NONE {
+                            scratch.events.push(ArchEvent::Def { d1: Reg(m.d1), d2: op.dest2 });
+                        }
+                    }
                 }
             }
             match n.ctrl {
@@ -480,6 +657,12 @@ fn reconstruct_events(
                     node = if t { taken } else { fall } as usize;
                 }
                 PackedCtrl::Next { vliw: nv } => {
+                    // A taken backward edge logged one `2` byte (so
+                    // loop iterations are distinguishable); consume it.
+                    if nv as usize <= vliw {
+                        debug_assert_eq!(dirs.get(di).copied(), Some(2), "missing back-edge byte");
+                        di += 1;
+                    }
                     vliw = nv as usize;
                     break;
                 }

@@ -21,7 +21,7 @@ use crate::engine::{
     ChainLink, EngineScratch, ExcKind, GroupCode, GroupExit,
 };
 use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
-use crate::native::{NativeRun, NativeStats, NativeTier, DEFAULT_NATIVE_THRESHOLD};
+use crate::native::{NativeRun, NativeStats, NativeTier, NativeTierConfig};
 use crate::precise::{self, ArchEvent, RecoverError};
 use crate::profile::GuestProfile;
 use crate::sched::{TierPolicy, TranslatorConfig};
@@ -145,7 +145,7 @@ pub struct DaisySystemBuilder<I: Isa> {
     tier_policy: Option<TierPolicy>,
     packed: bool,
     native: bool,
-    native_threshold: u64,
+    native_config: NativeTierConfig,
     _isa: std::marker::PhantomData<I>,
 }
 
@@ -165,7 +165,7 @@ impl<I: Isa> Default for DaisySystemBuilder<I> {
             tier_policy: None,
             packed: true,
             native: false,
-            native_threshold: DEFAULT_NATIVE_THRESHOLD,
+            native_config: NativeTierConfig::default(),
             _isa: std::marker::PhantomData,
         }
     }
@@ -243,10 +243,40 @@ impl<I: Isa> DaisySystemBuilder<I> {
     }
 
     /// Dispatches before a group is lowered to native code (default
-    /// [`DEFAULT_NATIVE_THRESHOLD`]; clamped to at least 1). Only
-    /// meaningful with [`DaisySystemBuilder::native_execution`] on.
+    /// [`crate::native::DEFAULT_NATIVE_THRESHOLD`]; clamped to at
+    /// least 1). Only meaningful with
+    /// [`DaisySystemBuilder::native_execution`] on.
     pub fn native_threshold(mut self, dispatches: u64) -> Self {
-        self.native_threshold = dispatches;
+        self.native_config.threshold = dispatches;
+        self
+    }
+
+    /// Inline indirect-branch target cache (default on): compiled
+    /// groups with indirect exits resolve guest target → native entry
+    /// inside the arena, skipping the dispatcher boundary the
+    /// icache-hit path would otherwise take. Ablation lever for
+    /// `EXPERIMENTS.md`.
+    pub fn native_ibtc(mut self, on: bool) -> Self {
+        self.native_config.ibtc = on;
+        self
+    }
+
+    /// General-parcel templates and partial-group compilation (default
+    /// on): trap checks and load-verify commits lower to native
+    /// templates instead of refusing the whole group, with mid-group
+    /// bails resuming on the packed engine. Ablation lever for
+    /// `EXPERIMENTS.md`.
+    pub fn native_partial_groups(mut self, on: bool) -> Self {
+        self.native_config.general_templates = on;
+        self
+    }
+
+    /// Worthwhile-ness floor for native compilation (default
+    /// [`crate::native::DEFAULT_NATIVE_MIN_COVERAGE`]): warm entries
+    /// whose statically predicted template coverage falls below this
+    /// fraction are refused without attempting compilation.
+    pub fn native_min_coverage(mut self, fraction: f64) -> Self {
+        self.native_config.min_coverage = fraction;
         self
     }
 
@@ -312,7 +342,7 @@ impl<I: Isa> DaisySystemBuilder<I> {
         // returns `None` on hosts that cannot execute emitted x86-64.
         let native =
             (self.native && self.packed && !self.guest_profiling && self.cache.is_infinite())
-                .then(|| NativeTier::new(self.native_threshold))
+                .then(|| NativeTier::new(self.native_config))
                 .flatten();
         DaisySystem {
             mem: Memory::new(self.mem_size),
@@ -516,8 +546,17 @@ impl<I: Isa> DaisySystem<I> {
                 }
                 Some(PendingChain::Indirect { from, target }) if *target == pc => {
                     match from.icache_lookup(pc) {
-                        Some(code) => {
+                        Some((code, way)) => {
                             self.stats.chain.icache_hits += 1;
+                            // Mirror the hit into `from`'s inline IBTC
+                            // so the next indirect exit resolves
+                            // without this dispatcher boundary (or
+                            // drop the stale way if inline dispatch
+                            // is currently unsafe).
+                            let allowed = self.native_patching_ok();
+                            if let Some(nt) = self.native.as_mut() {
+                                nt.icache_sync(from, pc, way, Some(&code), allowed);
+                            }
                             chained = Some(code);
                         }
                         None => self.stats.chain.icache_misses += 1,
@@ -560,7 +599,15 @@ impl<I: Isa> DaisySystem<I> {
                             });
                         }
                         Some(PendingChain::Indirect { from, target }) if target == pc => {
-                            from.icache_install(pc, &code);
+                            let way = from.icache_install(pc, &code);
+                            // The install overwrote a way: the inline
+                            // IBTC must never keep an entry the
+                            // dispatcher's icache no longer holds, so
+                            // sync (install or invalidate) that way.
+                            let allowed = self.native_patching_ok();
+                            if let Some(nt) = self.native.as_mut() {
+                                nt.icache_sync(&from, pc, way, Some(&code), allowed);
+                            }
                             let from_entry = from.group.entry;
                             self.vmm.tracer.emit(|| TraceEvent::ChainInstall {
                                 from: from_entry,
@@ -606,7 +653,11 @@ impl<I: Isa> DaisySystem<I> {
         if rung == Rung::Native {
             let patching_ok = self.native_patching_ok();
             if let Some(nt) = self.native.as_mut() {
-                nt.sync_epoch(self.vmm.stats.invalidations, self.vmm.stats.cast_outs);
+                nt.sync_epoch(
+                    self.vmm.stats.invalidations,
+                    self.vmm.stats.cast_outs,
+                    self.vmm.stats.alias_retranslations,
+                );
                 if let Some(cg) =
                     nt.prepare(&code, self.vmm.cfg.page_size, &mut self.mem, &mut self.vmm.tracer)
                 {
@@ -812,8 +863,12 @@ impl<I: Isa> DaisySystem<I> {
                 // Re-commence from the point of the load; the fresh
                 // dispatch re-executes it after the aliasing store.
                 // Repeated offenders may trigger a conservative
-                // retranslation of their entry point.
-                let entry = code.group.entry;
+                // retranslation of their entry point. Attribute the
+                // restart to the group whose verify failed — for a
+                // chained native run that is the bailed group, not the
+                // dispatched one (matching what the packed engine
+                // reports when it dispatches that group directly).
+                let entry = run_entry;
                 self.vmm.tracer.emit(|| TraceEvent::AliasRestart { entry, addr });
                 self.vmm.note_alias_restart(entry);
                 self.cpu.set_pc(addr);

@@ -63,6 +63,28 @@ pub struct JitCtx {
     pub _pad: u32,
     /// Mirror of `RunStats.issue_histogram` (deltas).
     pub histogram: [u64; 25],
+    /// Base of the bypassed-load pending table: one 32-byte row per
+    /// architected register (`{gen: u64, ea: u32, value: u32,
+    /// meta: u32, pad}`), owned by the native tier.
+    pub pending_base: *mut u8,
+    /// Monotonic pending-table generation. Every compiled group's
+    /// prologue increments it, so rows written by an earlier group
+    /// entry are stale exactly when the packed engine's per-dispatch
+    /// pending reset would have cleared them. Never reset.
+    pub pending_gen: u64,
+    /// Inline indirect-cache hits (delta for `ChainStats.icache_hits`;
+    /// each is also a chained dispatch).
+    pub icache_hits: u64,
+    /// Cross-page LR-indirect chain follows (delta for
+    /// `CrossPage.via_lr`).
+    pub crosspage_via_lr: u64,
+    /// Cross-page CTR-indirect chain follows (delta for
+    /// `CrossPage.via_ctr`).
+    pub crosspage_via_ctr: u64,
+    /// Back-edge budget limit of the currently executing group:
+    /// `vliws`-at-entry plus the shared back-edge budget, snapshotted
+    /// by every group prologue.
+    pub entry_vliws: u64,
 }
 
 pub const OFF_VALS: i32 = 0;
@@ -84,6 +106,12 @@ pub const OFF_EXIT_B: i32 = 112;
 pub const OFF_LAST_BASE: i32 = 116;
 pub const OFF_CUR_GROUP: i32 = 120;
 pub const OFF_HISTOGRAM: i32 = 128;
+pub const OFF_PENDING_BASE: i32 = 328;
+pub const OFF_PENDING_GEN: i32 = 336;
+pub const OFF_ICACHE_HITS: i32 = 344;
+pub const OFF_CROSSPAGE_VIA_LR: i32 = 352;
+pub const OFF_CROSSPAGE_VIA_CTR: i32 = 360;
+pub const OFF_ENTRY_VLIWS: i32 = 368;
 
 impl JitCtx {
     /// A zeroed context with dangling (never-dereferenced-as-is)
@@ -111,6 +139,12 @@ impl JitCtx {
             cur_group: 0,
             _pad: 0,
             histogram: [0; 25],
+            pending_base: std::ptr::null_mut(),
+            pending_gen: 0,
+            icache_hits: 0,
+            crosspage_via_lr: 0,
+            crosspage_via_ctr: 0,
+            entry_vliws: 0,
         }
     }
 
@@ -131,6 +165,13 @@ impl JitCtx {
         self.last_base = 0;
         self.cur_group = 0;
         self.histogram = [0; 25];
+        self.icache_hits = 0;
+        self.crosspage_via_lr = 0;
+        self.crosspage_via_ctr = 0;
+        // `pending_gen` is deliberately *not* reset: row validity is
+        // "gen matches the current value", and monotonicity guarantees
+        // zeroed rows (gen 0) can never become valid again.
+        // `entry_vliws` is overwritten by every group prologue.
     }
 }
 
@@ -186,5 +227,11 @@ mod tests {
         assert_eq!(offset_of!(JitCtx, last_base), OFF_LAST_BASE as usize);
         assert_eq!(offset_of!(JitCtx, cur_group), OFF_CUR_GROUP as usize);
         assert_eq!(offset_of!(JitCtx, histogram), OFF_HISTOGRAM as usize);
+        assert_eq!(offset_of!(JitCtx, pending_base), OFF_PENDING_BASE as usize);
+        assert_eq!(offset_of!(JitCtx, pending_gen), OFF_PENDING_GEN as usize);
+        assert_eq!(offset_of!(JitCtx, icache_hits), OFF_ICACHE_HITS as usize);
+        assert_eq!(offset_of!(JitCtx, crosspage_via_lr), OFF_CROSSPAGE_VIA_LR as usize);
+        assert_eq!(offset_of!(JitCtx, crosspage_via_ctr), OFF_CROSSPAGE_VIA_CTR as usize);
+        assert_eq!(offset_of!(JitCtx, entry_vliws), OFF_ENTRY_VLIWS as usize);
     }
 }

@@ -32,9 +32,113 @@ use std::rc::Rc;
 /// arena only stops further compilation.
 pub const DEFAULT_ARENA_BYTES: usize = 16 << 20;
 
-/// Path-log capacity handed to compiled code: one byte per executed
-/// condition, bounded by [`lower::MAX_NODES`] per group entry.
-pub const LOG_CAPACITY: usize = lower::MAX_NODES;
+/// Path-log capacity handed to compiled code. Re-exported from
+/// `lower`, where the static per-group bound (cond depth × executable
+/// VLIW entries under the back-edge budget) is derived and enforced.
+pub const LOG_CAPACITY: usize = lower::LOG_CAPACITY;
+
+/// Associativity of the inline indirect-branch target cache. Must
+/// equal the packed engine's icache associativity so the inline hit
+/// set is exactly the dispatcher's hit set (the table mirrors the
+/// dispatcher's icache way-for-way) and chain statistics stay
+/// bit-identical. The cache is fully associative — compiled probes
+/// scan every row — because indirect targets are dispatch-table
+/// handlers whose aligned strides defeat any bit-sliced way index.
+pub const IBTC_WAYS: usize = 8;
+
+/// Sentinel tag no guest target can carry: guest branch targets are
+/// 4-byte aligned, so bit 0 set never matches `target & !3`.
+const IBTC_INVALID_TAG: u32 = 1;
+
+/// One way of a group's inline indirect-branch target cache.
+///
+/// `#[repr(C)]` with the layout compiled code scans: tag at +0,
+/// alive-byte address at +8, native entry at +16, in 32-byte rows.
+#[repr(C)]
+pub struct IbtcEntry {
+    tag: std::cell::Cell<u32>,
+    _pad0: u32,
+    alive: std::cell::Cell<u64>,
+    entry: std::cell::Cell<u64>,
+    _pad1: u64,
+}
+
+/// A compiled group's inline indirect-branch target cache: one row per
+/// icache way, mirroring the dispatcher's set for this group's page.
+/// Heap-allocated (`Box`) before lowering so its address is stable for
+/// the lifetime of the compiled code that bakes it in.
+#[repr(C)]
+pub struct IbtcTable {
+    ways: [IbtcEntry; IBTC_WAYS],
+}
+
+impl std::fmt::Debug for IbtcTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let live = self.ways.iter().filter(|w| w.tag.get() != IBTC_INVALID_TAG).count();
+        write!(f, "IbtcTable({live}/{IBTC_WAYS} live)")
+    }
+}
+
+impl IbtcTable {
+    fn new() -> Box<IbtcTable> {
+        Box::new(IbtcTable {
+            ways: std::array::from_fn(|_| IbtcEntry {
+                tag: std::cell::Cell::new(IBTC_INVALID_TAG),
+                _pad0: 0,
+                alive: std::cell::Cell::new(0),
+                entry: std::cell::Cell::new(0),
+                _pad1: 0,
+            }),
+        })
+    }
+
+    /// Installs `target -> (entry, alive)` in `way`, evicting whatever
+    /// was there. `way` is the dispatcher icache way the event landed
+    /// in — the table mirrors that set way-for-way so a probe hit here
+    /// is exactly a dispatcher hit.
+    pub fn install(&self, way: usize, target: u32, entry: u64, alive: u64) {
+        let w = &self.ways[way];
+        w.entry.set(entry);
+        w.alive.set(alive);
+        w.tag.set(target & !3);
+    }
+
+    /// Invalidates `way` (unconditionally: the dispatcher just
+    /// overwrote that way, so whatever the inline cache held there is
+    /// stale).
+    pub fn invalidate(&self, way: usize) {
+        self.ways[way].tag.set(IBTC_INVALID_TAG);
+    }
+
+    /// Drops every entry (epoch flush / sever).
+    pub fn clear(&self) {
+        for w in &self.ways {
+            w.tag.set(IBTC_INVALID_TAG);
+        }
+    }
+
+    fn base_addr(&self) -> u64 {
+        self as *const IbtcTable as u64
+    }
+}
+
+/// Per-compilation feature switches (ablation levers; both default
+/// on in the real system).
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOpts {
+    /// Lower `General`-class parcels (trap checks, bypassed-store
+    /// commits and verifying loads) instead of refusing the group.
+    pub general_templates: bool,
+    /// Give groups with indirect exits an inline indirect-branch
+    /// target cache.
+    pub ibtc: bool,
+}
+
+impl Default for CompileOpts {
+    fn default() -> Self {
+        CompileOpts { general_templates: true, ibtc: true }
+    }
+}
 
 /// Allocator for *alive bytes*: one byte per compiled group, flipped
 /// to 0 when the group's owner drops it. Chain stubs poll the byte
@@ -109,6 +213,10 @@ pub struct CompiledGroup {
     pub bails: Vec<lower::BailSite>,
     /// Parcels covered by this compilation (coverage accounting).
     pub parcels: u32,
+    /// Inline indirect-branch target cache, present when the group has
+    /// indirect exits and the cache was enabled at compile time. Boxed
+    /// so the address baked into the code never moves.
+    ibtc: Option<Box<IbtcTable>>,
     alive: AliveHandle,
 }
 
@@ -116,6 +224,17 @@ impl CompiledGroup {
     /// Absolute address of the group's entry point.
     pub fn entry_addr(&self) -> u64 {
         self.arena.addr_of(self.off)
+    }
+
+    /// The group's inline indirect-branch cache, if it has one.
+    pub fn ibtc(&self) -> Option<&IbtcTable> {
+        self.ibtc.as_deref()
+    }
+
+    /// Address of this group's alive byte (for installing into other
+    /// groups' inline caches).
+    pub fn alive_addr(&self) -> u64 {
+        self.alive.addr()
     }
 }
 
@@ -170,8 +289,18 @@ impl Jit {
         page_size: u32,
         mem_len: u32,
         mem_page_shift: u32,
+        opts: CompileOpts,
     ) -> Result<Rc<CompiledGroup>, Refusal> {
         let group_id = self.next_id.get();
+        let ibtc = if opts.ibtc
+            && g.nodes
+                .iter()
+                .any(|n| matches!(n.ctrl, daisy_vliw::packed::PackedCtrl::Indirect { .. }))
+        {
+            Some(IbtcTable::new())
+        } else {
+            None
+        };
         let params = LowerParams {
             group_id,
             entry,
@@ -180,6 +309,8 @@ impl Jit {
             mem_page_shift,
             base: self.arena.next_addr(),
             epilogue: self.epilogue,
+            ibtc_base: ibtc.as_ref().map_or(0, |t| t.base_addr()),
+            general_templates: opts.general_templates,
         };
         let lowered: Lowered = lower::lower(g, params)?;
         // `install` bumps by the aligned position `next_addr` predicted
@@ -196,6 +327,7 @@ impl Jit {
             exits: lowered.exits,
             bails: lowered.bails,
             parcels: lowered.parcels,
+            ibtc,
             alive: self.slab.alloc(),
         }))
     }

@@ -9,11 +9,14 @@
 //! counter block.
 //!
 //! Anything the templates cannot reproduce exactly is handled by
-//! *refusal* (the whole group stays on the packed tier: trap checks,
-//! load-verify commits, oversized groups) or by *bailing out* at run
+//! *refusal* (the whole group stays on the packed tier: oversized
+//! groups, over-deep condition nesting) or by *bailing out* at run
 //! time before any side effect (memory faults, stores to translated
-//! pages) so the packed engine can resume mid-group and produce the
-//! architecturally identical outcome.
+//! pages, firing trap checks, failed load-verify commits) so the
+//! packed engine can resume mid-group and produce the architecturally
+//! identical outcome. Indirect exits carry an inline branch-target
+//! cache probe; rerolled loops carry a per-entry back-edge budget
+//! check; both fall back to the ordinary dispatcher exit on any miss.
 //!
 //! Register plan, fixed for the whole native run:
 //!
@@ -32,18 +35,33 @@ use crate::asm::{
 };
 use crate::ctx::{
     EXIT_BAIL, EXIT_BRANCH, EXIT_INDIRECT, EXIT_INTERP, OFF_BASE_INSTRS, OFF_BUDGET, OFF_CHAINED,
-    OFF_CROSSPAGE, OFF_CUR_GROUP, OFF_EXIT_A, OFF_EXIT_B, OFF_EXIT_KIND, OFF_HISTOGRAM, OFF_LOADS,
-    OFF_LOG_BASE, OFF_ONPAGE, OFF_STORES, OFF_VLIWS,
+    OFF_CROSSPAGE, OFF_CROSSPAGE_VIA_CTR, OFF_CROSSPAGE_VIA_LR, OFF_CUR_GROUP, OFF_ENTRY_VLIWS,
+    OFF_EXIT_A, OFF_EXIT_B, OFF_EXIT_KIND, OFF_HISTOGRAM, OFF_ICACHE_HITS, OFF_LOADS, OFF_LOG_BASE,
+    OFF_ONPAGE, OFF_PENDING_BASE, OFF_PENDING_GEN, OFF_STORES, OFF_VLIWS,
 };
 use daisy_vliw::op::{CrOp, MemWidth, OpKind, Operation};
-use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup};
+use daisy_vliw::packed::{OpClass, OpMeta, PackedCtrl, PackedGroup, BACKEDGE_VLIW_BUDGET};
 use daisy_vliw::tree::IndirectVia;
 
 /// Structural ceiling on lowered groups: bounds emitter recursion and
-/// guarantees the path log (one byte per executed condition, each node
-/// executing at most once per group entry) fits the dispatcher's
-/// buffer.
+/// (with [`MAX_COND_DEPTH`]) the path log.
 pub const MAX_NODES: usize = 2048;
+
+/// Ceiling on conditional nesting along any root-to-leaf path of a
+/// single VLIW. Enforced at lowering (refuse [`Refusal::TooLarge`])
+/// so the path-log bound below is a static guarantee — compiled code
+/// never checks log capacity at run time (an early exit there would
+/// diverge from packed execution).
+pub const MAX_COND_DEPTH: usize = 128;
+
+/// Static path-log capacity: one byte per executed condition plus one
+/// per taken back edge. Per group entry the back-edge budget bounds
+/// executed VLIW entries by `BACKEDGE_VLIW_BUDGET + MAX_NODES + 2`
+/// (once over budget, only forward — acyclic — progress remains), and
+/// each entry logs at most `MAX_COND_DEPTH` condition bytes plus one
+/// back-edge byte.
+pub const LOG_CAPACITY: usize =
+    (BACKEDGE_VLIW_BUDGET as usize + MAX_NODES + 2) * (MAX_COND_DEPTH + 1);
 
 /// Why a group could not be lowered. Refusal is permanent for the
 /// group (recorded by the tier) and never an error: execution simply
@@ -51,33 +69,60 @@ pub const MAX_NODES: usize = 2048;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Refusal {
     /// Contains a [`OpClass::General`] parcel (trap check or
-    /// load-verify commit) whose full semantics live only in the
-    /// packed engine.
+    /// load-verify commit). Only issued when the general-parcel
+    /// templates are ablated off ([`LowerParams::general_templates`]).
     GeneralParcel,
-    /// Contains a bypassed-store load (run-time alias tracking needs
-    /// the engine's pending-load table).
+    /// Contains a bypassed-store load. Only issued when the
+    /// general-parcel templates are ablated off (the pending-table
+    /// templates handle it otherwise).
     BypassedStore,
-    /// Node count exceeds [`MAX_NODES`].
+    /// Node count exceeds [`MAX_NODES`], or conditional nesting
+    /// exceeds [`MAX_COND_DEPTH`].
     TooLarge,
-    /// Contains an intra-group backward `Next` edge, which would loop
-    /// natively without passing a budget check.
-    BackEdge,
     /// The code arena is out of space.
     ArenaFull,
     /// The host cannot execute emitted code (non-x86-64 build).
     Unsupported,
+    /// Predicted template coverage is below the tier's worthwhile
+    /// threshold (issued by the tier before lowering, never here).
+    NotWorthwhile,
 }
 
 impl Refusal {
+    /// Number of variants (refusal-histogram size).
+    pub const COUNT: usize = 6;
+
+    /// All variants, in [`Refusal::index`] order (histogram labelling).
+    pub const ALL: [Refusal; Refusal::COUNT] = [
+        Refusal::GeneralParcel,
+        Refusal::BypassedStore,
+        Refusal::TooLarge,
+        Refusal::ArenaFull,
+        Refusal::Unsupported,
+        Refusal::NotWorthwhile,
+    ];
+
+    /// Dense index for per-variant histograms.
+    pub fn index(self) -> usize {
+        match self {
+            Refusal::GeneralParcel => 0,
+            Refusal::BypassedStore => 1,
+            Refusal::TooLarge => 2,
+            Refusal::ArenaFull => 3,
+            Refusal::Unsupported => 4,
+            Refusal::NotWorthwhile => 5,
+        }
+    }
+
     /// Stable label for stats and traces.
     pub fn as_str(self) -> &'static str {
         match self {
             Refusal::GeneralParcel => "general-parcel",
             Refusal::BypassedStore => "bypassed-store",
             Refusal::TooLarge => "too-large",
-            Refusal::BackEdge => "back-edge",
             Refusal::ArenaFull => "arena-full",
             Refusal::Unsupported => "unsupported",
+            Refusal::NotWorthwhile => "not-worthwhile",
         }
     }
 }
@@ -100,6 +145,14 @@ pub struct LowerParams {
     pub base: u64,
     /// Absolute address of the shared epilogue.
     pub epilogue: u64,
+    /// Absolute address of the group's inline indirect-branch target
+    /// cache, or 0 when the group has none (no indirect exits, or the
+    /// cache is ablated off).
+    pub ibtc_base: u64,
+    /// Lower `General`-class parcels and bypassed-store loads with the
+    /// pending-table templates; when false they refuse the group (the
+    /// seed behavior, kept as an ablation lever).
+    pub general_templates: bool,
 }
 
 /// One `Leave` exit emission: a patchable 5-byte `jmp` plus its chain
@@ -164,6 +217,15 @@ struct PendingBail {
     parcels: u32,
 }
 
+/// One deferred back-edge budget-exit stub: a clean architected
+/// `Branch` exit through the target VLIW's anchor, shared by every
+/// back edge into that VLIW.
+struct PendingBudgetExit {
+    label: Label,
+    /// Guest anchor of the back edge's target VLIW.
+    anchor: u32,
+}
+
 struct Emitter<'a> {
     a: Asm,
     g: &'a PackedGroup,
@@ -171,6 +233,7 @@ struct Emitter<'a> {
     vliw_labels: Vec<Label>,
     leaves: Vec<PendingLeave>,
     bails: Vec<PendingBail>,
+    budget_exits: Vec<PendingBudgetExit>,
 }
 
 fn ctx(off: i32) -> Mem {
@@ -187,23 +250,30 @@ pub fn lower(g: &PackedGroup, p: LowerParams) -> Result<Lowered, Refusal> {
     if g.nodes.len() > MAX_NODES {
         return Err(Refusal::TooLarge);
     }
-    for (op, m) in g.ops.iter().zip(&g.meta) {
-        if m.class == OpClass::General {
-            return Err(Refusal::GeneralParcel);
-        }
-        if op.bypassed_store {
-            return Err(Refusal::BypassedStore);
+    if !p.general_templates {
+        for (op, m) in g.ops.iter().zip(&g.meta) {
+            if m.class == OpClass::General {
+                return Err(Refusal::GeneralParcel);
+            }
+            if op.bypassed_store {
+                return Err(Refusal::BypassedStore);
+            }
         }
     }
-    // Intra-group back edges (a `Next` to an earlier or current VLIW)
-    // would loop natively without ever reaching a chain stub's budget
-    // check, and could overflow the one-byte-per-condition path log.
-    // The scheduler builds forward-only groups (loops close through
-    // `Leave` back to the group entry), so refusing is belt-and-braces.
-    for (idx, n) in g.nodes.iter().enumerate() {
-        if let PackedCtrl::Next { vliw } = n.ctrl {
-            if vliw <= g.node_vliw(idx) {
-                return Err(Refusal::BackEdge);
+    // Static log bound: nested conditions deeper than MAX_COND_DEPTH
+    // would void the LOG_CAPACITY guarantee (a runtime capacity check
+    // is not an option — exiting early where packed would continue
+    // diverges the statistics). Each VLIW's nodes form a tree, so a
+    // plain DFS terminates.
+    for &root in &g.roots {
+        let mut stack = vec![(root as usize, 0usize)];
+        while let Some((idx, depth)) = stack.pop() {
+            if let PackedCtrl::Cond { taken, fall, .. } = g.nodes[idx].ctrl {
+                if depth + 1 > MAX_COND_DEPTH {
+                    return Err(Refusal::TooLarge);
+                }
+                stack.push((taken as usize, depth + 1));
+                stack.push((fall as usize, depth + 1));
             }
         }
     }
@@ -214,15 +284,23 @@ pub fn lower(g: &PackedGroup, p: LowerParams) -> Result<Lowered, Refusal> {
         vliw_labels: Vec::new(),
         leaves: Vec::new(),
         bails: Vec::new(),
+        budget_exits: Vec::new(),
     };
     e.vliw_labels = (0..g.roots.len()).map(|_| e.a.label()).collect();
 
     // Group entry: register for chain attribution, reset the path-log
     // cursor and the last_base dedup register (mirrors the packed
-    // engine's per-dispatch `last_base = u32::MAX`).
+    // engine's per-dispatch `last_base = u32::MAX`), invalidate every
+    // pending-table row written by earlier group entries (mirrors the
+    // packed engine's per-dispatch pending reset), and snapshot the
+    // back-edge budget limit `vliws-at-entry + BACKEDGE_VLIW_BUDGET`.
     e.a.mov_m32_imm(ctx(OFF_CUR_GROUP), p.group_id);
     e.a.mov_r64_m(R14, ctx(OFF_LOG_BASE));
     e.a.mov_r32_imm(R15, u32::MAX);
+    e.a.inc_m64(ctx(OFF_PENDING_GEN));
+    e.a.mov_r64_m(RAX, ctx(OFF_VLIWS));
+    e.a.add_r64_imm(RAX, BACKEDGE_VLIW_BUDGET as i32);
+    e.a.mov_m_r64(ctx(OFF_ENTRY_VLIWS), RAX);
 
     for (vi, &root) in g.roots.iter().enumerate() {
         let l = e.vliw_labels[vi];
@@ -304,7 +382,102 @@ impl<'a> Emitter<'a> {
             self.a.jmp_abs(self.p.epilogue);
         }
         self.bails = bails;
+        // Back-edge budget exits: a clean architected `Branch` through
+        // the loop header's anchor (state is complete at every VLIW
+        // boundary, so this is an ordinary group exit, not a bail).
+        // `exit_b = u32::MAX` marks "no chain slot": the anchor is a
+        // VLIW root, not an entry of the exit-target table.
+        let budget_exits = std::mem::take(&mut self.budget_exits);
+        for pe in &budget_exits {
+            self.a.bind(pe.label);
+            self.a.mov_m32_imm(ctx(OFF_EXIT_KIND), EXIT_BRANCH);
+            self.a.mov_m32_imm(ctx(OFF_EXIT_A), pe.anchor);
+            self.a.mov_m32_imm(ctx(OFF_EXIT_B), u32::MAX);
+            self.a.jmp_abs(self.p.epilogue);
+        }
+        self.budget_exits = budget_exits;
         stub_offs
+    }
+
+    /// Shared budget-exit stub for back edges into `vliw` (keyed by the
+    /// target's anchor, so every back edge to one header shares it).
+    fn budget_exit_label(&mut self, vliw: u32) -> Label {
+        let anchor = self.g.anchor(vliw as usize);
+        if let Some(pe) = self.budget_exits.iter().find(|pe| pe.anchor == anchor) {
+            return pe.label;
+        }
+        let label = self.a.label();
+        self.budget_exits.push(PendingBudgetExit { label, anchor });
+        label
+    }
+
+    /// Inline indirect-branch target cache probe. On entry eax holds
+    /// the masked guest target; on a hit the code performs the
+    /// dispatcher's two steps — locality accounting for the indirect
+    /// transfer, then a chained icache-hit dispatch — and jumps
+    /// straight to the cached group's native entry. Any miss falls
+    /// through to the ordinary indirect exit record, where the
+    /// dispatcher counts exactly the same things itself, so the probe
+    /// never changes statistics — only where they are counted.
+    fn emit_ibtc_probe(&mut self, via: IndirectVia) {
+        let miss = self.a.label();
+        // Fully-associative probe: compare the target against every
+        // row's tag (32-byte rows; rcx ends as the hit row's byte
+        // offset). The table mirrors the dispatcher's icache
+        // way-for-way, so the tag set here is exactly the dispatcher's
+        // hit set.
+        self.a.mov_r64_imm(RDX, self.p.ibtc_base);
+        let found = self.a.label();
+        let mut hit_rows = Vec::with_capacity(crate::IBTC_WAYS);
+        for row in 0..crate::IBTC_WAYS {
+            self.a.mov_r32_m(RSI, Mem::base_disp(RDX, (32 * row) as i32));
+            self.a.cmp_rr32(RSI, RAX);
+            let h = self.a.label();
+            self.a.jcc(CC_E, h);
+            hit_rows.push(h);
+        }
+        self.a.jmp(miss);
+        for (row, h) in hit_rows.into_iter().enumerate() {
+            self.a.bind(h);
+            self.a.mov_r32_imm(RCX, (32 * row) as u32);
+            if row + 1 != crate::IBTC_WAYS {
+                self.a.jmp(found);
+            }
+        }
+        self.a.bind(found);
+        // Budget: stop chaining once the run quota is spent, so a hot
+        // indirect loop still returns to the dispatcher (ladder,
+        // timer, profiler preemption).
+        self.a.mov_r64_m(RSI, ctx(OFF_VLIWS));
+        self.a.cmp_r64_m(RSI, ctx(OFF_BUDGET));
+        self.a.jcc(CC_AE, miss);
+        // Aliveness of the cached target (retired groups flip it).
+        self.a.mov_r64_m(RSI, Mem::base_index_disp(RDX, RCX, 8));
+        self.a.cmp_m8_imm(Mem::base_disp(RSI, 0), 0);
+        self.a.jcc(CC_E, miss);
+        self.a.inc_m64(ctx(OFF_CHAINED));
+        self.a.inc_m64(ctx(OFF_ICACHE_HITS));
+        // Locality of the transfer: the dispatcher compares the target
+        // page against the exiting group's entry page — a compile-time
+        // constant here.
+        let page_lo = (self.p.entry / self.p.page_size) * self.p.page_size;
+        let crosspage = self.a.label();
+        let go = self.a.label();
+        self.a.mov_rr32(RSI, RAX);
+        self.a.add_r32_imm(RSI, page_lo.wrapping_neg() as i32);
+        self.a.cmp_r32_imm(RSI, self.p.page_size as i32);
+        self.a.jcc(CC_AE, crosspage);
+        self.a.inc_m64(ctx(OFF_ONPAGE));
+        self.a.jmp(go);
+        self.a.bind(crosspage);
+        self.a.inc_m64(ctx(match via {
+            IndirectVia::Lr => OFF_CROSSPAGE_VIA_LR,
+            IndirectVia::Ctr => OFF_CROSSPAGE_VIA_CTR,
+        }));
+        self.a.bind(go);
+        self.a.mov_r64_m(RSI, Mem::base_index_disp(RDX, RCX, 16));
+        self.a.jmp_r64(RSI);
+        self.a.bind(miss);
     }
 
     fn emit_node(&mut self, idx: usize, parcels_before: u32) {
@@ -335,6 +508,21 @@ impl<'a> Emitter<'a> {
             PackedCtrl::Next { vliw } => {
                 self.hist(parcels);
                 let l = self.vliw_labels[vliw as usize];
+                if vliw <= self.g.node_vliw(idx) {
+                    // Backward edge (rerolled loop): check the
+                    // per-entry budget first — once spent, leave the
+                    // group through the target's anchor like any
+                    // direct branch, so the dispatcher (ladder, timer,
+                    // profiler) regains control. A taken back edge
+                    // logs direction byte 2 (bail reconstruction must
+                    // know the walk revisits nodes).
+                    let stub = self.budget_exit_label(vliw);
+                    self.a.mov_r64_m(RAX, ctx(OFF_VLIWS));
+                    self.a.cmp_r64_m(RAX, ctx(OFF_ENTRY_VLIWS));
+                    self.a.jcc(CC_AE, stub);
+                    self.a.mov_m8_imm(Mem::base_disp(R14, 0), 2);
+                    self.a.inc_r64(R14);
+                }
                 self.a.jmp(l);
             }
             PackedCtrl::Leave { target, slot } => {
@@ -348,6 +536,9 @@ impl<'a> Emitter<'a> {
                 self.hist(parcels);
                 self.a.mov_r32_m(RAX, vreg(src.0));
                 self.a.and_r32_imm(RAX, !3);
+                if self.p.ibtc_base != 0 {
+                    self.emit_ibtc_probe(via);
+                }
                 self.a.mov_m_r32(ctx(OFF_EXIT_A), RAX);
                 self.a.mov_m32_imm(ctx(OFF_EXIT_KIND), EXIT_INDIRECT);
                 let via_code = match via {
@@ -396,7 +587,7 @@ impl<'a> Emitter<'a> {
         match m.class {
             OpClass::Load => self.emit_load(op, m, node, k, parcels),
             OpClass::Store => self.emit_store(op, m, node, k, parcels),
-            OpClass::General => unreachable!("refused before emission"),
+            OpClass::General => self.emit_general(op, m, node, k, parcels),
             OpClass::SpecValue => {
                 let carry = self.emit_value(op, m);
                 self.store_results(m, carry);
@@ -409,6 +600,97 @@ impl<'a> Emitter<'a> {
                     self.commit_base(op.base_addr);
                 }
             }
+        }
+    }
+
+    /// `General`-class parcels: trap checks and load-verify commits
+    /// (the only two shapes the scheduler produces in this class). An
+    /// unrecognized shape bails statically — defensive, never reached
+    /// today.
+    fn emit_general(&mut self, op: &Operation, m: &OpMeta, node: u32, k: u32, parcels: u32) {
+        if let OpKind::TrapIf { to } = op.kind {
+            let bail = self.bail_label(node, k, parcels);
+            self.a.mov_r32_m(RAX, vreg(m.s[0]));
+            if m.nsrc > 1 {
+                self.a.cmp_r32_m(RAX, vreg(m.s[1]));
+            } else {
+                self.a.cmp_r32_imm(RAX, op.imm);
+            }
+            // PowerPC TO bits: 16 = signed <, 8 = signed >, 4 = equal,
+            // 2 = unsigned <, 1 = unsigned >. A firing trap raises a
+            // precise exception only the packed engine can deliver —
+            // bail pre-side-effect and let it re-evaluate the check.
+            // Flags survive across jcc, so one cmp serves every bit.
+            for (bit, cc) in [(16, CC_L), (8, CC_G), (4, CC_E), (2, CC_B), (1, CC_A)] {
+                if to & bit != 0 {
+                    self.a.jcc(cc, bail);
+                }
+            }
+            // No fire: the check completes like any committed op.
+            self.commit_base(op.base_addr);
+        } else if op.is_commit && op.bypassed_store {
+            self.emit_verify_commit(op, m, node, k, parcels);
+        } else {
+            let bail = self.bail_label(node, k, parcels);
+            self.a.jmp(bail);
+        }
+    }
+
+    /// Commit of a load that was moved above a store: re-read the
+    /// recorded effective address and compare against the recorded
+    /// value (the packed engine's pending-load verify). A stale
+    /// generation means no pending load — the packed engine's
+    /// `pending[s0] == None`. A mismatch means an aliasing store
+    /// intervened: bail, and the packed engine re-runs the verify,
+    /// counts the alias failure, and raises `AliasRestart` itself.
+    /// On a match nothing is counted (the verify reload is not a
+    /// load) and the row stays valid, exactly like the packed arm.
+    fn emit_verify_commit(&mut self, op: &Operation, m: &OpMeta, node: u32, k: u32, parcels: u32) {
+        let bail = self.bail_label(node, k, parcels);
+        let row = 32 * i32::from(m.s[0]);
+        let skip = self.a.label();
+        self.a.mov_r64_m(RDX, ctx(OFF_PENDING_BASE));
+        self.a.mov_r64_m(RAX, Mem::base_disp(RDX, row));
+        self.a.cmp_r64_m(RAX, ctx(OFF_PENDING_GEN));
+        self.a.jcc(CC_NE, skip);
+        // Valid row: reload with the recorded width (runtime dispatch;
+        // the address was bounds-checked by the original load and the
+        // guest image never shrinks, so no bounds check here).
+        self.a.mov_r32_m(RCX, Mem::base_disp(RDX, row + 8)); // ea
+        self.a.mov_r32_m(RSI, Mem::base_disp(RDX, row + 16)); // meta
+        let at = Mem::base_index(R13, RCX);
+        let half = self.a.label();
+        let byte = self.a.label();
+        let join = self.a.label();
+        self.a.mov_rr32(RDI, RSI);
+        self.a.and_r32_imm(RDI, 3);
+        self.a.test_rr32(RDI, RDI);
+        self.a.jcc(CC_E, byte);
+        self.a.cmp_r32_imm(RDI, 1);
+        self.a.jcc(CC_E, half);
+        self.a.mov_r32_m(RAX, at);
+        self.a.bswap_r32(RAX);
+        self.a.jmp(join);
+        self.a.bind(half);
+        self.a.movzx_r32_m16(RAX, at);
+        self.a.ror_r16_imm(RAX, 8);
+        self.a.test_r32_imm(RSI, 4); // algebraic?
+        self.a.jcc(CC_E, join);
+        self.a.movsx_r32_r16(RAX, RAX);
+        self.a.jmp(join);
+        self.a.bind(byte);
+        // Byte reloads ignore the algebraic bit, like the packed
+        // engine's byte loads.
+        self.a.movzx_r32_m8(RAX, at);
+        self.a.bind(join);
+        self.a.cmp_r32_m(RAX, Mem::base_disp(RDX, row + 12));
+        self.a.jcc(CC_NE, bail);
+        self.a.bind(skip);
+        // Value path of the commit, identical to a plain parcel.
+        let carry = self.emit_value(op, m);
+        self.store_results(m, carry);
+        if !op.speculative && m.d1 != OpMeta::NONE {
+            self.commit_base(op.base_addr);
         }
     }
 
@@ -472,6 +754,24 @@ impl<'a> Emitter<'a> {
         self.a.inc_m64(ctx(OFF_LOADS));
         debug_assert!(m.d1 != OpMeta::NONE);
         self.a.mov_m_r32(vreg(m.d1), RAX);
+        if op.bypassed_store {
+            // Record the pending load for the later verify commit
+            // (the packed engine's `scratch.pending[dest]`), tagged
+            // with the current generation. ecx still holds the
+            // effective address; eax the loaded value.
+            let row = 32 * i32::from(m.d1);
+            self.a.mov_r64_m(RDX, ctx(OFF_PENDING_BASE));
+            self.a.mov_r64_m(RSI, ctx(OFF_PENDING_GEN));
+            self.a.mov_m_r64(Mem::base_disp(RDX, row), RSI);
+            self.a.mov_m_r32(Mem::base_disp(RDX, row + 8), RCX);
+            self.a.mov_m_r32(Mem::base_disp(RDX, row + 12), RAX);
+            let meta = match width {
+                MemWidth::Byte => 0u32,
+                MemWidth::Half => 1,
+                MemWidth::Word => 2,
+            } | if algebraic { 4 } else { 0 };
+            self.a.mov_m32_imm(Mem::base_disp(RDX, row + 16), meta);
+        }
         if !op.speculative {
             self.commit_base(op.base_addr);
         }
@@ -869,7 +1169,7 @@ impl<'a> Emitter<'a> {
                 a.and_r32_imm(RAX, 1);
             }
             TrapIf { .. } | Load { .. } | Store { .. } => {
-                unreachable!("refused or handled by memory templates")
+                unreachable!("handled by the dedicated memory/general templates")
             }
         }
         false

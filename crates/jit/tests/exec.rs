@@ -6,7 +6,7 @@
 #![cfg(all(target_arch = "x86_64", target_os = "linux"))]
 
 use daisy_jit::ctx::{JitCtx, EXIT_BAIL, EXIT_BRANCH};
-use daisy_jit::{CompiledGroup, Jit, LOG_CAPACITY};
+use daisy_jit::{CompileOpts, CompiledGroup, Jit, LOG_CAPACITY};
 use daisy_vliw::op::{MemWidth, OpKind, Operation};
 use daisy_vliw::tree::{Cond, Exit, ROOT};
 use daisy_vliw::{Group, PackedGroup, Reg};
@@ -53,7 +53,8 @@ impl Harness {
 
 fn compile(jit: &Jit, g: &Group, entry: u32) -> Rc<CompiledGroup> {
     let p = PackedGroup::lower(g);
-    jit.compile(&p, entry, PAGE, MEM_LEN as u32, 12).expect("group lowers to native")
+    jit.compile(&p, entry, PAGE, MEM_LEN as u32, 12, CompileOpts::default())
+        .expect("group lowers to native")
 }
 
 #[test]
@@ -276,13 +277,16 @@ fn dropping_a_group_severs_inbound_edges_via_alive_byte() {
     jit.unlink_all();
 }
 
+/// With the general templates ablated off, a trap-check parcel still
+/// refuses the whole group (the pre-scan that used to be the default).
 #[test]
-fn general_parcels_are_refused() {
+fn general_parcels_are_refused_under_ablation() {
     let jit = Jit::new(1 << 20).expect("host supports the native tier");
     let mut g = Group::new(0x1000);
     let v0 = &mut g.vliws[0];
     v0.add_op(ROOT, Operation::new(OpKind::TrapIf { to: 0 }, 0x1000).src(Reg(1)));
     v0.seal(ROOT, Exit::Branch { target: 0x2000 });
     let p = PackedGroup::lower(&g);
-    assert!(jit.compile(&p, 0x1000, PAGE, MEM_LEN as u32, 12).is_err());
+    let opts = CompileOpts { general_templates: false, ..CompileOpts::default() };
+    assert!(jit.compile(&p, 0x1000, PAGE, MEM_LEN as u32, 12, opts).is_err());
 }

@@ -326,8 +326,10 @@ impl Group {
     /// satisfy; returns the first violation.
     ///
     /// * no node is left `Open` (every path was sealed),
-    /// * every `Goto` targets a strictly later VLIW (execution through a
-    ///   group is acyclic — loops re-enter through the VMM),
+    /// * every `Goto` targets a VLIW of the group (backward targets are
+    ///   legal: loop rerolling closes single-group loops with a
+    ///   backward `Goto`, and every engine bounds them with the shared
+    ///   back-edge budget),
     /// * branch and child node ids are in range,
     /// * commit parcels write architected registers from renamed ones.
     ///
@@ -369,9 +371,6 @@ impl Group {
                     NodeKind::Exit(Exit::Goto(t)) => {
                         if t.0 as usize >= self.vliws.len() {
                             return Err(format!("v{vi}/n{ni}: goto out of range"));
-                        }
-                        if t.0 as usize <= vi {
-                            return Err(format!("v{vi}/n{ni}: goto does not move forward"));
                         }
                     }
                     NodeKind::Exit(_) => {}
@@ -462,10 +461,13 @@ mod tests {
         let g = Group::new(0x1000);
         assert!(g.validate().unwrap_err().contains("open"));
 
-        // Backward goto.
+        // Backward goto is legal (loop rerolling); out-of-range is not.
         let mut g = Group::new(0x1000);
         g.vliw_mut(VliwId(0)).seal(ROOT, Exit::Goto(VliwId(0)));
-        assert!(g.validate().unwrap_err().contains("forward"));
+        assert!(g.validate().is_ok());
+        let mut g = Group::new(0x1000);
+        g.vliw_mut(VliwId(0)).seal(ROOT, Exit::Goto(VliwId(7)));
+        assert!(g.validate().unwrap_err().contains("range"));
 
         // Speculative op writing an architected register.
         let mut g = Group::new(0x1000);

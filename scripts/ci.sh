@@ -78,6 +78,11 @@ if [ "$(uname -m)" = "x86_64" ]; then
     cargo run -q --release -p daisy-bench --bin inject -- \
       --native --seeds 16 --kind "$kind"
   done
+  # Coverage gate: native template coverage is deterministic, so any
+  # workload dropping more than 5 points below the committed
+  # BENCH_engine.json is a real lowering regression, not noise.
+  cargo run -q --release -p daisy-bench --bin coverage -- \
+    --check BENCH_engine.json --tolerance 0.05
 else
   echo "skip: native-tier smoke needs an x86-64 host (this is $(uname -m));"
   echo "      the native tier falls back to packed execution here."

@@ -285,8 +285,14 @@ fn sever_chains_retires_native_patches() {
         .native_threshold(2)
         .build();
     sys.load(&w.program()).unwrap();
-    // Warm up until edges exist, then sever, then run to completion.
+    // Warm up until patched edges exist, then sever, then run to
+    // completion. (Bounded: with the general templates and the inline
+    // indirect-branch cache, whole chained regions execute in a single
+    // step, so a fixed large warmup could finish the workload.)
     for _ in 0..400 {
+        if sys.native_stats().is_some_and(|ns| ns.edge_patches > 0) {
+            break;
+        }
         if sys.step().unwrap().is_some() {
             panic!("compress finished during warmup");
         }

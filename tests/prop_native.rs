@@ -148,9 +148,9 @@ fn native_matches_packed_without_chaining() {
 // ---------------------------------------------------------------------
 // Randomized programs (compact cousin of `prop_packed`'s generator:
 // ALU work, CR-driven skips, CTR loops, calls through LR, loads and
-// stores in a private data window, and trap parcels — the last force
-// compile-time refusals, so generated runs mix native and packed
-// dispatch in one execution).
+// stores in a private data window, and trap parcels — the last lower
+// through the general-parcel trap-check template, so generated runs
+// exercise the never-taken trap fast path in compiled code).
 // ---------------------------------------------------------------------
 
 const DATA: u32 = 0x8000;
@@ -264,7 +264,8 @@ fn emit(a: &mut Asm, steps: &[Step]) {
                 a.bl(&func);
             }
             Step::Trap => {
-                // Never fires, but makes the group refuse compilation.
+                // Never fires; lowered by the general-parcel trap-check
+                // template, so generated runs exercise it on real code.
                 a.emit(Insn::Tw { to: 16, ra: Gpr(0), rb: Gpr(0) });
             }
         }
