@@ -8,7 +8,9 @@
 //!
 //!   --seed N      run exactly one seed (default: a seed sweep)
 //!   --seeds N     seeds per (workload, kind) pair (default 32)
-//!   --kind NAME   restrict to one fault kind (default: all six)
+//!   --kind NAME   restrict to one fault kind (default: all six;
+//!                 `preempt` selects preemption fuzzing against the
+//!                 modeled SoC and defaults WORKLOAD to soc_firmware)
 //!   --tree        use the reference tree engine instead of packed
 //!   --no-chain    disable direct group chaining
 //!   --native      start the ladder at the native x86-64 rung
@@ -73,7 +75,14 @@ fn parse_args() -> Options {
         }
     }
     if opts.workloads.is_empty() {
-        opts.workloads = ["c_sieve", "wc", "cmp", "hist"].map(String::from).to_vec();
+        // Preemption fuzzing targets interrupt-handling firmware; the
+        // user-style kernels can't satisfy its clock-exactness
+        // contract (they contain unconditional branches).
+        if opts.kinds == [FaultKind::Preempt] {
+            opts.workloads = vec!["soc_firmware".to_string()];
+        } else {
+            opts.workloads = ["c_sieve", "wc", "cmp", "hist"].map(String::from).to_vec();
+        }
     }
     opts
 }
@@ -93,19 +102,26 @@ fn main() {
         for &kind in &opts.kinds {
             let mut injections = 0u64;
             let mut degradations = 0usize;
+            let mut interrupts = 0u64;
+            let mut native_yields = 0u64;
             let mut kind_failures = 0u64;
             for &seed in &seeds {
                 ran += 1;
-                let cfg = CampaignConfig {
+                let mut cfg = CampaignConfig {
                     packed: opts.packed,
                     chaining: opts.chaining,
                     native: opts.native,
                     ..CampaignConfig::new(kind, seed)
                 };
+                if kind == FaultKind::Preempt {
+                    cfg = cfg.with_bus(daisy_soc::standard_bus);
+                }
                 match catch_unwind(AssertUnwindSafe(|| run_campaign(&w, &cfg))) {
                     Ok(Ok(out)) => {
                         injections += out.injections;
                         degradations += out.degradations;
+                        interrupts += out.interrupts_taken;
+                        native_yields += out.native_yield_preempts;
                     }
                     Ok(Err(e)) => {
                         eprintln!("FAIL {name}/{kind} seed {seed}: {e}");
@@ -123,8 +139,9 @@ fn main() {
             }
             failures += kind_failures;
             println!(
-                "{name:>10} {kind:>15}  seeds {:>3}  injections {injections:>6}  \
-                 degradations {degradations:>4}  failures {kind_failures}",
+                "{name:>12} {kind:>15}  seeds {:>3}  injections {injections:>6}  \
+                 degradations {degradations:>4}  interrupts {interrupts:>5}  \
+                 native-yield-preempts {native_yields:>4}  failures {kind_failures}",
                 seeds.len()
             );
         }

@@ -244,6 +244,18 @@ pub enum GroupExit {
         /// Address of the load instruction.
         addr: u32,
     },
+    /// A memory parcel targets the MMIO window. Architected state is
+    /// exact just before the instruction at `addr`; the VMM re-executes
+    /// it on the interpreter so the device access (which may have side
+    /// effects) happens exactly once, in program order. Every engine
+    /// tier raises this *before* touching the device: a speculative
+    /// MMIO load poisons its destination instead (tag info carries the
+    /// MMIO flag) and the first non-speculative consumer — in practice
+    /// the load's commit — converts the poison into this exit.
+    Mmio {
+        /// Address of the device-accessing instruction.
+        addr: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -275,7 +287,8 @@ pub struct EngineScratch {
     /// touch it (the `PROFILE` const generic compiles the recording
     /// out), so the hot loop stays provenance-free.
     pub(crate) visited: Vec<u32>,
-    tag_info: [Option<(u32, bool)>; NUM_REGS],
+    /// Per poisoned register: (faulting address, is-store, is-MMIO).
+    tag_info: [Option<(u32, bool, bool)>; NUM_REGS],
     pending: [Option<PendingLoad>; NUM_REGS],
     touched: Vec<u8>,
 }
@@ -639,6 +652,23 @@ fn run_group_impl<const PROFILE: bool, const RESUME: bool>(
                         };
                         let sv = [vals[s0], vals[s1], vals[s2]];
                         let ea = effective_address_inline(op, &sv[..m.nsrc as usize]);
+                        // Device reads have side effects: never touch
+                        // the MMIO window from translated code. A
+                        // speculative MMIO load poisons like a fault
+                        // (flagged so its commit bails instead of
+                        // raising a DSI); a non-speculative one bails
+                        // to the interpreter here, state exact.
+                        if mem.is_mmio_inline(ea) {
+                            if op.speculative {
+                                let d = m.d1 as usize;
+                                vals[d] = 0;
+                                tags[d] = true;
+                                scratch.tag_info[d] = Some((ea, false, true));
+                                scratch.touched.push(d as u8);
+                                continue;
+                            }
+                            return GroupExit::Mmio { addr: op.base_addr };
+                        }
                         match read_mem_fast(mem, ea, width, algebraic) {
                             Ok(v) => {
                                 if !infinite {
@@ -671,7 +701,7 @@ fn run_group_impl<const PROFILE: bool, const RESUME: bool>(
                                     let d = m.d1 as usize;
                                     vals[d] = 0;
                                     tags[d] = true;
-                                    scratch.tag_info[d] = Some((ea, false));
+                                    scratch.tag_info[d] = Some((ea, false, false));
                                     scratch.touched.push(d as u8);
                                 } else {
                                     return GroupExit::Exception {
@@ -689,6 +719,11 @@ fn run_group_impl<const PROFILE: bool, const RESUME: bool>(
                         };
                         let sv = [vals[s0], vals[s1], vals[s2]];
                         let ea = effective_address_inline(op, &sv[..m.nsrc as usize]);
+                        // Stores are never speculative; bail to the
+                        // interpreter before the device sees the write.
+                        if mem.is_mmio_inline(ea) {
+                            return GroupExit::Mmio { addr: op.base_addr };
+                        }
                         match write_mem_fast(mem, ea, width, sv[0]) {
                             Ok(()) => {
                                 if !infinite {
@@ -827,7 +862,13 @@ fn exec_parcel_general(
             }
             return Ok(());
         }
-        let (addr, write) = scratch.tag_info[t.index()].unwrap_or((0, false));
+        let (addr, write, mmio) = scratch.tag_info[t.index()].unwrap_or((0, false, false));
+        if mmio {
+            // The poison marks a speculative MMIO load, not a fault:
+            // bail so the interpreter performs the device read once,
+            // in program order, at this commit point.
+            return Err(GroupExit::Mmio { addr: op.base_addr });
+        }
         return Err(GroupExit::Exception {
             kind: ExcKind::Dsi { addr, write },
             base_addr: op.base_addr,
@@ -845,6 +886,18 @@ fn exec_parcel_general(
     match op.kind {
         OpKind::Load { width, algebraic } => {
             let ea = effective_address_inline(op, src_vals);
+            // Same MMIO discipline as the class-dispatched Load arm.
+            if mem.is_mmio_inline(ea) {
+                if op.speculative {
+                    let d = op.dest.expect("loads have destinations");
+                    vals[d.index()] = 0;
+                    tags[d.index()] = true;
+                    scratch.tag_info[d.index()] = Some((ea, false, true));
+                    scratch.touched.push(d.index() as u8);
+                    return Ok(());
+                }
+                return Err(GroupExit::Mmio { addr: op.base_addr });
+            }
             match read_mem_fast(mem, ea, width, algebraic) {
                 Ok(v) => {
                     if !infinite {
@@ -876,7 +929,7 @@ fn exec_parcel_general(
                         let d = op.dest.expect("loads have destinations");
                         vals[d.index()] = 0;
                         tags[d.index()] = true;
-                        scratch.tag_info[d.index()] = Some((ea, false));
+                        scratch.tag_info[d.index()] = Some((ea, false, false));
                         scratch.touched.push(d.index() as u8);
                     } else {
                         return Err(GroupExit::Exception {
@@ -890,6 +943,9 @@ fn exec_parcel_general(
         }
         OpKind::Store { width } => {
             let ea = effective_address_inline(op, src_vals);
+            if mem.is_mmio_inline(ea) {
+                return Err(GroupExit::Mmio { addr: op.base_addr });
+            }
             match write_mem_fast(mem, ea, width, src_vals[0]) {
                 Ok(()) => {
                     if !infinite {
@@ -1021,7 +1077,7 @@ fn run_group_tree_impl<const PROFILE: bool>(
     scratch.reset();
     let events = &mut scratch.events;
     let group = &code.group;
-    let mut tag_info: [Option<(u32, bool)>; NUM_REGS] = [None; NUM_REGS];
+    let mut tag_info: [Option<(u32, bool, bool)>; NUM_REGS] = [None; NUM_REGS];
     let mut pending: [Option<PendingLoad>; NUM_REGS] = [None; NUM_REGS];
     let mut last_base = u32::MAX;
     let mut cur = VliwId(0);
@@ -1129,7 +1185,7 @@ fn exec_parcel(
     cache: &mut Hierarchy,
     stats: &mut RunStats,
     events: &mut Vec<ArchEvent>,
-    tag_info: &mut [Option<(u32, bool)>; NUM_REGS],
+    tag_info: &mut [Option<(u32, bool, bool)>; NUM_REGS],
     pending: &mut [Option<PendingLoad>; NUM_REGS],
     last_base: &mut u32,
 ) -> Result<(), GroupExit> {
@@ -1156,7 +1212,11 @@ fn exec_parcel(
             }
             return Ok(());
         }
-        let (addr, write) = tag_info[t.index()].unwrap_or((0, false));
+        let (addr, write, mmio) = tag_info[t.index()].unwrap_or((0, false, false));
+        if mmio {
+            // Speculative MMIO load: bail at the commit, not a DSI.
+            return Err(GroupExit::Mmio { addr: op.base_addr });
+        }
         return Err(GroupExit::Exception {
             kind: ExcKind::Dsi { addr, write },
             base_addr: op.base_addr,
@@ -1174,6 +1234,18 @@ fn exec_parcel(
     match op.kind {
         OpKind::Load { width, algebraic } => {
             let ea = effective_address(op, vals);
+            // Same MMIO discipline as the packed engine: never touch
+            // the device from translated code.
+            if mem.is_mmio_inline(ea) {
+                if op.speculative {
+                    let d = op.dest.expect("loads have destinations");
+                    rf.set(d, 0);
+                    rf.set_tag(d, true);
+                    tag_info[d.index()] = Some((ea, false, true));
+                    return Ok(());
+                }
+                return Err(GroupExit::Mmio { addr: op.base_addr });
+            }
             match read_mem(mem, ea, width, algebraic) {
                 Ok(v) => {
                     let acc = cache.access_data(ea, false);
@@ -1200,7 +1272,7 @@ fn exec_parcel(
                         let d = op.dest.expect("loads have destinations");
                         rf.set(d, 0);
                         rf.set_tag(d, true);
-                        tag_info[d.index()] = Some((ea, false));
+                        tag_info[d.index()] = Some((ea, false, false));
                     } else {
                         return Err(GroupExit::Exception {
                             kind: ExcKind::Dsi { addr: ea, write: false },
@@ -1213,6 +1285,9 @@ fn exec_parcel(
         }
         OpKind::Store { width } => {
             let ea = effective_address(op, vals);
+            if mem.is_mmio_inline(ea) {
+                return Err(GroupExit::Mmio { addr: op.base_addr });
+            }
             match write_mem(mem, ea, width, vals[0]) {
                 Ok(()) => {
                     let acc = cache.access_data(ea, true);

@@ -34,9 +34,15 @@ use crate::error::{DaisyError, DegradeCause};
 use crate::stats::RunStats;
 use crate::system::DaisySystem;
 use crate::vmm::VmmStats;
-use daisy_isa::mem::Memory;
-use daisy_isa::{GuestCpu, Isa, Program, StopReason, Workload};
+use daisy_isa::mem::{Bus, Memory};
+use daisy_isa::{Event, Exception, GuestCpu, Isa, Program, StopReason, Workload};
 use std::fmt;
+
+/// Factory for a fresh MMIO device tree: `(window base, window length,
+/// device)`. Preemption campaigns instantiate it twice — once for the
+/// perturbed system, once for the oracle — so both runs talk to
+/// bit-identical device state.
+pub type BusFactory = fn() -> (u32, u32, Box<dyn Bus>);
 
 /// SplitMix64: a tiny, high-quality, dependency-free generator. One
 /// seed fully determines a campaign's perturbation schedule.
@@ -89,6 +95,16 @@ pub enum FaultKind {
     /// A randomly chosen live translation dropped out from under the
     /// dispatch loop every few boundaries.
     TranslationDrop,
+    /// Preemption fuzzing: timer/device interrupts forced at
+    /// seed-jittered group boundaries — phase-jittered single posts,
+    /// back-to-back storms, and out-of-band UART RX bytes — against a
+    /// guest that *handles* them (context-switching firmware), with the
+    /// delivery schedule recorded and replayed instruction-exactly on
+    /// the oracle. Not in [`FaultKind::ALL`]: it needs a bus factory
+    /// ([`CampaignConfig::with_bus`]) and a clock-exact guest program
+    /// (see `docs/soc.md`), so generic campaign matrices must not pick
+    /// it up implicitly.
+    Preempt,
 }
 
 impl FaultKind {
@@ -111,11 +127,16 @@ impl FaultKind {
             FaultKind::InterruptStorm => "interrupt_storm",
             FaultKind::ChainSever => "chain_sever",
             FaultKind::TranslationDrop => "translation_drop",
+            FaultKind::Preempt => "preempt",
         }
     }
 
-    /// Parses a [`FaultKind::name`] back.
+    /// Parses a [`FaultKind::name`] back. Recognizes `preempt` even
+    /// though it is excluded from [`FaultKind::ALL`].
     pub fn by_name(name: &str) -> Option<FaultKind> {
+        if name == FaultKind::Preempt.name() {
+            return Some(FaultKind::Preempt);
+        }
         FaultKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
@@ -129,6 +150,7 @@ impl FaultKind {
             FaultKind::InterruptStorm => DegradeCause::InterruptStorm,
             FaultKind::ChainSever => DegradeCause::ChainUnstable,
             FaultKind::TranslationDrop => DegradeCause::TranslationDropped,
+            FaultKind::Preempt => DegradeCause::InterruptStorm,
         }
     }
 }
@@ -165,19 +187,39 @@ pub struct CampaignConfig {
     /// every campaign also exercises the tree / conservative /
     /// interpret rungs. Default 3 — one full walk to the floor.
     pub max_degrades: u32,
+    /// MMIO device-tree factory, required by [`FaultKind::Preempt`]
+    /// campaigns (and ignored by every other kind): the campaign
+    /// attaches one fresh instance to the perturbed system and one to
+    /// the oracle, and diffs their snapshots bit for bit at the end.
+    pub bus: Option<BusFactory>,
 }
 
 impl CampaignConfig {
     /// A default campaign: packed engine, chaining on, three forced
     /// ladder steps.
     pub fn new(kind: FaultKind, seed: u64) -> CampaignConfig {
-        CampaignConfig { kind, seed, packed: true, native: false, chaining: true, max_degrades: 3 }
+        CampaignConfig {
+            kind,
+            seed,
+            packed: true,
+            native: false,
+            chaining: true,
+            max_degrades: 3,
+            bus: None,
+        }
     }
 
     /// The same campaign with the native host-code tier on (low
     /// threshold, so short campaign runs still reach compiled code).
     pub fn with_native(mut self) -> CampaignConfig {
         self.native = true;
+        self
+    }
+
+    /// The same campaign with an MMIO device tree attached (required
+    /// for [`FaultKind::Preempt`]).
+    pub fn with_bus(mut self, factory: BusFactory) -> CampaignConfig {
+        self.bus = Some(factory);
         self
     }
 }
@@ -198,6 +240,14 @@ pub struct CampaignOutcome {
     pub injections: u64,
     /// Ladder steps recorded (forced and organic).
     pub degradations: usize,
+    /// External interrupts actually delivered to the guest (a subset of
+    /// `injections` for preemption campaigns: posts coalesce while the
+    /// guest runs with interrupts disabled).
+    pub interrupts_taken: u64,
+    /// Deliveries that landed at a boundary where the previous group
+    /// ran on the native x86-64 tier — the rerolled back-edge yields
+    /// the preemption fuzzer exists to hit.
+    pub native_yield_preempts: u64,
     /// Engine statistics of the perturbed run.
     pub stats: RunStats,
     /// VMM statistics of the perturbed run.
@@ -234,6 +284,13 @@ pub enum CampaignError {
         /// Seed used.
         seed: u64,
     },
+    /// The campaign configuration is unusable for this fault kind.
+    Config {
+        /// Perturbation family.
+        kind: FaultKind,
+        /// What is missing or wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -247,6 +304,9 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::Budget { kind, seed } => {
                 write!(f, "campaign {kind} seed {seed}: cycle budget exceeded (livelock?)")
+            }
+            CampaignError::Config { kind, what } => {
+                write!(f, "campaign {kind}: bad configuration: {what}")
             }
         }
     }
@@ -305,6 +365,9 @@ pub fn run_campaign_on_program<I: Isa>(
     oracle_budget: u64,
     cfg: &CampaignConfig,
 ) -> Result<CampaignOutcome, CampaignError> {
+    if cfg.kind == FaultKind::Preempt {
+        return run_preempt_campaign_on_program::<I>(prog, mem_size, oracle_budget, cfg);
+    }
     let kind = cfg.kind;
     let seed = cfg.seed;
     let storm = kind == FaultKind::InterruptStorm;
@@ -375,7 +438,8 @@ pub fn run_campaign_on_program<I: Isa>(
             return Err(CampaignError::Budget { kind, seed });
         }
         match kind {
-            FaultKind::IllegalOp | FaultKind::CastOutThrash => {}
+            // Preempt dispatches to its own driver before this loop.
+            FaultKind::IllegalOp | FaultKind::CastOutThrash | FaultKind::Preempt => {}
             FaultKind::InterruptStorm => {
                 sys.post_external_interrupt();
                 injections += 1;
@@ -451,6 +515,243 @@ pub fn run_campaign_on_program<I: Isa>(
         boundaries,
         injections,
         degradations: sys.degradations().len(),
+        interrupts_taken: sys.stats.interrupts_taken,
+        native_yield_preempts: sys.native_yield_preempts(),
+        stats: sys.stats,
+        vmm_stats: sys.vmm.stats,
+    })
+}
+
+/// Preemption-fuzzing campaign: the inverse of the other kinds' flow.
+///
+/// The other campaigns run the oracle first because their perturbations
+/// are architecturally invisible (or applied identically to both
+/// images). A preemption campaign's perturbation — *when* each external
+/// interrupt is taken — is decided by the perturbed run itself, so here
+/// the perturbed system runs first with delivery recording on
+/// ([`crate::system::DaisySystemBuilder::record_deliveries`]), and the
+/// oracle then *replays* the recorded schedule: it single-steps the
+/// interpreter and delivers each interrupt at the exact retired-
+/// instruction count the translated run delivered it, asserting the
+/// architected PC matches the recorded one. Out-of-band UART RX bytes
+/// injected by the fuzzer are logged the same way (device clock, byte)
+/// and re-injected at the same instants.
+///
+/// This replay contract leans on the retired-instruction clock
+/// ([`RunStats::approx_base_instrs`]) being **exact**, which it is only
+/// for guests free of unconditional non-linking branches — the SoC
+/// firmware is written that way (see `docs/soc.md`). A guest that
+/// breaks the contract fails loudly at the recorded-PC assertion.
+///
+/// At the end, stop reason, every architected register, all of RAM,
+/// *and the device snapshot* (UART transcript included) are diffed bit
+/// for bit.
+fn run_preempt_campaign_on_program<I: Isa>(
+    prog: &Program,
+    mem_size: u32,
+    oracle_budget: u64,
+    cfg: &CampaignConfig,
+) -> Result<CampaignOutcome, CampaignError> {
+    let kind = cfg.kind;
+    let seed = cfg.seed;
+    let factory = cfg.bus.ok_or(CampaignError::Config {
+        kind,
+        what: "FaultKind::Preempt needs a bus factory: CampaignConfig::with_bus",
+    })?;
+    let rfi_word = I::interrupt_return_word();
+    // Firmware images carry their own handler at the external vector;
+    // anything else gets the storm treatment (pure-rfi handler splice)
+    // so vanilla workloads remain usable for quick checks.
+    let vector = I::external_vector();
+    let code_end = prog.base + 4 * prog.code.len() as u32;
+    let own_handler = prog.base <= vector && vector < code_end;
+    let halt_at = prog.labels.get("halt").copied();
+
+    // ---- Perturbed, recording run (first: its delivery schedule
+    // defines the experiment the oracle replays). ----
+    let mut rng = Rng::new(seed);
+    let mut sys = DaisySystem::<I>::builder()
+        .mem_size(mem_size)
+        .chaining(cfg.chaining)
+        .packed_execution(cfg.packed)
+        .native_execution(cfg.native)
+        .native_threshold(2)
+        .record_deliveries(true)
+        .build();
+    let (bus_base, bus_len, dev) = factory();
+    sys.mem.attach_bus(bus_base, bus_len, dev);
+    // invariant: workload images fit their own declared mem_size.
+    prog.load_into(&mut sys.mem).ok();
+    sys.cpu.set_pc(prog.entry);
+    if !own_handler {
+        let _ = sys.mem.write_u32(vector, rfi_word);
+        sys.cpu.enable_interrupts();
+    }
+
+    // Seed-driven schedule: phase-jittered single posts, occasional
+    // back-to-back storms, and a bounded number of RX-byte injections.
+    let jitter_period = 2 + rng.below(9);
+    let mut storm_left = 0u64;
+    let mut rx_budget = 4 + rng.below(13);
+    let mut rx_log: Vec<(u64, u32)> = Vec::new();
+    let mut injections = 0u64;
+    let max_cycles = oracle_budget.saturating_mul(8).saturating_add(100_000);
+    let mut degrades_left = cfg.max_degrades;
+    let mut boundaries = 0u64;
+
+    let stop = loop {
+        if sys.stats.cycles() >= max_cycles {
+            return Err(CampaignError::Budget { kind, seed });
+        }
+        if storm_left > 0 {
+            storm_left -= 1;
+            sys.post_external_interrupt();
+            injections += 1;
+        } else if rng.below(jitter_period) == 0 {
+            if rng.below(6) == 0 {
+                storm_left = 1 + rng.below(7);
+            }
+            sys.post_external_interrupt();
+            injections += 1;
+        }
+        if rx_budget > 0 && rng.below(97) == 0 {
+            rx_budget -= 1;
+            let byte = 0x21 + rng.below(94) as u32; // printable ASCII
+                                                    // The device clock may be stale from the previous boundary
+                                                    // (a whole group has retired since): stamp it before
+                                                    // injecting so the log instant is the one the oracle sees.
+            let now = sys.stats.approx_base_instrs();
+            sys.mem.set_bus_time(now);
+            sys.mem.bus_host_inject(byte);
+            rx_log.push((now, byte));
+            injections += 1;
+        }
+        // Same ladder driver as the generic campaigns: every campaign
+        // also exercises the tree / conservative / interpret rungs.
+        if degrades_left > 0
+            && boundaries.is_multiple_of(7)
+            && sys.degrade(sys.cpu.pc(), kind.cause()).is_some()
+        {
+            degrades_left -= 1;
+        }
+        let stepped = sys.step();
+        boundaries += 1;
+        match stepped {
+            Ok(None) => {}
+            Ok(Some(stop)) => break stop,
+            Err(error) => return Err(CampaignError::Run { kind, seed, error }),
+        }
+        // Firmware parks at its `halt` label with interrupts disabled
+        // (the interpreter has no halt instruction); detect the park
+        // instead of spinning out the budget.
+        if let Some(h) = halt_at {
+            if sys.cpu.pc() == h && !sys.cpu.interrupts_enabled() {
+                break StopReason::Halted;
+            }
+        }
+    };
+    let deliveries: Vec<(u64, u32)> = sys.delivery_log().unwrap_or(&[]).to_vec();
+
+    // ---- Oracle: single-stepped interpreter replaying the schedule. ----
+    let mut omem = Memory::new(mem_size);
+    let (obase, olen, odev) = factory();
+    omem.attach_bus(obase, olen, odev);
+    prog.load_into(&mut omem).ok();
+    let mut ocpu = <I::Cpu as GuestCpu>::new(prog.entry);
+    if !own_handler {
+        let _ = omem.write_u32(vector, rfi_word);
+        ocpu.enable_interrupts();
+    }
+    let mut di = 0usize;
+    let mut ri = 0usize;
+    let ostop = loop {
+        let now = ocpu.instret();
+        if now >= oracle_budget {
+            break StopReason::MaxInstrs;
+        }
+        omem.set_bus_time(now);
+        while ri < rx_log.len() && rx_log[ri].0 == now {
+            omem.bus_host_inject(rx_log[ri].1);
+            ri += 1;
+        }
+        if di < deliveries.len() && deliveries[di].0 == now {
+            let (want_now, want_pc) = deliveries[di];
+            let at = ocpu.pc();
+            if at != want_pc {
+                return Err(CampaignError::Divergence {
+                    kind,
+                    seed,
+                    what: format!(
+                        "delivery {di} replayed at instret {want_now}: oracle pc {at:#010x} vs \
+                         recorded pc {want_pc:#010x} (retired-instruction clock drift? preempt \
+                         campaigns need a clock-exact guest, see docs/soc.md)"
+                    ),
+                });
+            }
+            ocpu.deliver(Exception::External, at);
+            di += 1;
+            continue;
+        }
+        if let Some(h) = halt_at {
+            if di == deliveries.len() && ocpu.pc() == h && !ocpu.interrupts_enabled() {
+                break StopReason::Halted;
+            }
+        }
+        let ev = match ocpu.fetch(&omem) {
+            Ok(insn) => ocpu.execute(&mut omem, insn),
+            Err(e) => e,
+        };
+        if !matches!(ev, Event::Continue) {
+            if let Some(stop) = ocpu.handle_event(ev) {
+                break stop;
+            }
+        }
+    };
+
+    if stop != ostop {
+        return Err(CampaignError::Divergence {
+            kind,
+            seed,
+            what: format!("stop reason: daisy {stop:?} vs oracle {ostop:?}"),
+        });
+    }
+    if let Some(what) = diff_state(&sys, &ocpu, &omem, false) {
+        return Err(CampaignError::Divergence { kind, seed, what });
+    }
+    // Device diff, snapshots taken at a common instant (the two runs'
+    // final clocks differ by the halt-spin length, which is
+    // architecturally invisible but shifts time-derived fields like a
+    // timer's line level).
+    let t = sys.stats.approx_base_instrs().max(ocpu.instret());
+    sys.mem.set_bus_time(t);
+    omem.set_bus_time(t);
+    let (dsnap, osnap) = (sys.mem.bus_snapshot(), omem.bus_snapshot());
+    if dsnap != osnap {
+        let what = match (&dsnap, &osnap) {
+            (Some(a), Some(b)) => match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+                Some(at) => format!(
+                    "device snapshot at byte {at}: {:#04x} vs oracle {:#04x} (lengths {} vs {})",
+                    a[at],
+                    b[at],
+                    a.len(),
+                    b.len()
+                ),
+                None => format!("device snapshot lengths: {} vs oracle {}", a.len(), b.len()),
+            },
+            _ => "device snapshot: one side has no bus".to_owned(),
+        };
+        return Err(CampaignError::Divergence { kind, seed, what });
+    }
+
+    Ok(CampaignOutcome {
+        kind,
+        seed,
+        stop,
+        boundaries,
+        injections,
+        degradations: sys.degradations().len(),
+        interrupts_taken: sys.stats.interrupts_taken,
+        native_yield_preempts: sys.native_yield_preempts(),
         stats: sys.stats,
         vmm_stats: sys.vmm.stats,
     })
@@ -516,6 +817,27 @@ mod tests {
         for k in FaultKind::ALL {
             assert_eq!(FaultKind::by_name(k.name()), Some(k));
         }
+        // Preempt is deliberately outside ALL but must still parse.
+        assert!(!FaultKind::ALL.contains(&FaultKind::Preempt));
+        assert_eq!(FaultKind::by_name("preempt"), Some(FaultKind::Preempt));
         assert_eq!(FaultKind::by_name("nope"), None);
+    }
+
+    /// A preempt campaign without a bus factory is a typed
+    /// configuration error, not a panic (the core crate's no-panic
+    /// policy covers harness misuse too).
+    #[test]
+    fn preempt_without_bus_is_a_config_error() {
+        let prog = Program {
+            base: 0x1000,
+            entry: 0x1000,
+            code: vec![0x4400_0002], // sc
+            data: Vec::new(),
+            labels: std::collections::HashMap::new(),
+        };
+        let cfg = CampaignConfig::new(FaultKind::Preempt, 0);
+        let err =
+            run_campaign_on_program::<daisy_ppc::PpcIsa>(&prog, 0x1_0000, 1_000, &cfg).unwrap_err();
+        assert!(matches!(err, CampaignError::Config { .. }), "{err}");
     }
 }

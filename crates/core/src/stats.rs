@@ -73,6 +73,12 @@ pub struct RunStats {
     pub exceptions: u64,
     /// Code-modification (self-modifying code) invalidations taken.
     pub code_modifications: u64,
+    /// MMIO device accesses serviced (each one a bail from translated
+    /// code to the interpreter, counted at the `step()` boundary so
+    /// every engine tier reports the same value).
+    pub mmio_ops: u64,
+    /// External interrupts delivered to the guest.
+    pub interrupts_taken: u64,
     /// See [`RunStats::approx_base_instrs`].
     pub(crate) base_instrs: u64,
     /// Histogram of parcels executed per tree instruction (taken path;

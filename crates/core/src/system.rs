@@ -74,6 +74,18 @@ pub struct DaisySystem<I: Isa> {
     pub timer_period: Option<u64>,
     next_timer: u64,
     pending_external: bool,
+    /// Recorded external-interrupt deliveries — `(retired guest
+    /// instructions, architected PC)` per delivery — when enabled
+    /// through [`DaisySystemBuilder::record_deliveries`]. The
+    /// preemption-fuzz harness replays this log on the interpreter
+    /// oracle to reproduce the exact delivery schedule.
+    delivery_log: Option<Vec<(u64, u32)>>,
+    /// External interrupts delivered at a boundary produced by a
+    /// native-tier run (including rerolled back-edge yields).
+    native_yield_preempts: u64,
+    /// Whether the previous dispatch executed (at least partly) as
+    /// native host code.
+    last_exit_native: bool,
     scratch: EngineScratch,
     /// Follow direct group-to-group chain links, skipping the VMM on
     /// hot exits (on by default; [`DaisySystem::builder`] can disable
@@ -146,6 +158,7 @@ pub struct DaisySystemBuilder<I: Isa> {
     packed: bool,
     native: bool,
     native_config: NativeTierConfig,
+    record_deliveries: bool,
     _isa: std::marker::PhantomData<I>,
 }
 
@@ -166,6 +179,7 @@ impl<I: Isa> Default for DaisySystemBuilder<I> {
             packed: true,
             native: false,
             native_config: NativeTierConfig::default(),
+            record_deliveries: false,
             _isa: std::marker::PhantomData,
         }
     }
@@ -280,6 +294,16 @@ impl<I: Isa> DaisySystemBuilder<I> {
         self
     }
 
+    /// Records every external-interrupt delivery as `(retired guest
+    /// instructions, PC)` in [`DaisySystem::delivery_log`] (default
+    /// off). The preemption-fuzz harness replays the log on the
+    /// interpreter oracle to reproduce a translated run's exact
+    /// delivery schedule.
+    pub fn record_deliveries(mut self, on: bool) -> Self {
+        self.record_deliveries = on;
+        self
+    }
+
     /// Installs a structured-event sink (see [`crate::trace`]). Without
     /// one, tracing is disabled and event closures are never evaluated.
     pub fn trace_sink(mut self, sink: impl TraceSink + 'static) -> Self {
@@ -354,6 +378,9 @@ impl<I: Isa> DaisySystemBuilder<I> {
             timer_period: self.timer_period,
             next_timer: 0,
             pending_external: false,
+            delivery_log: self.record_deliveries.then(Vec::new),
+            native_yield_preempts: 0,
+            last_exit_native: false,
             scratch: EngineScratch::new(),
             chaining: self.chaining,
             pending_chain: None,
@@ -484,20 +511,42 @@ impl<I: Isa> DaisySystem<I> {
             );
         }
         // Timer tick / posted external interrupts, at precise group
-        // boundaries (every architected register is exact here).
+        // boundaries (every architected register is exact here). The
+        // cadence is fixed: ticks land on multiples of `period`
+        // regardless of how far a long group overshot the deadline,
+        // and overshooting several periods yields one tick, not a
+        // burst (the level stays asserted until delivered anyway).
         if let Some(period) = self.timer_period {
             if self.stats.cycles() >= self.next_timer {
-                self.next_timer = self.stats.cycles() + period;
+                let missed = (self.stats.cycles() - self.next_timer) / period;
+                self.next_timer += period * (missed + 1);
                 self.pending_external = true;
             }
         }
+        // Advance the modeled SoC's device clock to the retired-
+        // instruction count — the one clock the interpreter oracle
+        // reproduces exactly — then sample its interrupt line.
+        // Level-triggered: the line is *not* latched into
+        // `pending_external`; it stays asserted until the handler
+        // acknowledges the device.
+        let bus_line = self.mem.has_bus() && {
+            self.mem.set_bus_time(self.stats.base_instrs);
+            self.mem.bus_irq_level()
+        };
         // Gated by the architected interrupt-enable state alone (clear
         // by default), so harnesses can take timer ticks while still
         // stopping at a final system call with vectored delivery off.
-        if self.pending_external && self.cpu.interrupts_enabled() {
+        if (self.pending_external || bus_line) && self.cpu.interrupts_enabled() {
             self.pending_external = false;
             self.stats.exceptions += 1;
+            self.stats.interrupts_taken += 1;
+            if self.last_exit_native {
+                self.native_yield_preempts += 1;
+            }
             let at = self.cpu.pc();
+            if let Some(log) = &mut self.delivery_log {
+                log.push((self.stats.base_instrs, at));
+            }
             self.vmm.tracer.emit(|| TraceEvent::ExternalInterrupt { pc: at });
             self.cpu.deliver(Exception::External, at);
         }
@@ -507,6 +556,7 @@ impl<I: Isa> DaisySystem<I> {
         // never span pages, so page granularity is always sound).
         if self.ladder_engaged && self.interp_pages.contains(&(pc / self.vmm.cfg.page_size)) {
             self.pending_chain = None;
+            self.last_exit_native = false;
             return Ok(self.interp_burst());
         }
         // Chained dispatch: follow the link installed on the
@@ -693,6 +743,7 @@ impl<I: Isa> DaisySystem<I> {
                 }
             }
         }
+        self.last_exit_native = native_result.is_some();
         let (exit, run_entry, run_code) = match native_result {
             Some(r) => r,
             None => {
@@ -805,6 +856,20 @@ impl<I: Isa> DaisySystem<I> {
                 }
             }
             GroupExit::Interp { addr } => {
+                self.cpu.set_pc(addr);
+                if let Some(stop) = self.interp_service() {
+                    return Ok(Some(stop));
+                }
+            }
+            GroupExit::Mmio { addr } => {
+                // A translated load/store reached a device window. The
+                // engines bail *before* touching the device, with every
+                // architected register exact at the accessing
+                // instruction — re-execute it on the interpreter, which
+                // routes the access through the bus at the precise
+                // retired-instruction time.
+                self.stats.mmio_ops += 1;
+                self.vmm.tracer.emit(|| TraceEvent::MmioBail { addr });
                 self.cpu.set_pc(addr);
                 if let Some(stop) = self.interp_service() {
                     return Ok(Some(stop));
@@ -1010,12 +1075,31 @@ impl<I: Isa> DaisySystem<I> {
             && self.profiler.is_none()
             && self.guest_profile.is_none()
             && self.timer_period.is_none()
+            && !self.mem.has_bus()
             && !self.ladder_engaged
     }
 
     /// Every ladder step taken this run, in order.
     pub fn degradations(&self) -> &[Degradation] {
         self.vmm.degradations()
+    }
+
+    /// The recorded delivery schedule, when
+    /// [`DaisySystemBuilder::record_deliveries`] was enabled: one
+    /// `(retired guest instructions, PC)` pair per external interrupt
+    /// delivered, in delivery order. The instruction counts are
+    /// strictly increasing — delivery clears the architected
+    /// interrupt-enable bit, and re-enabling retires at least the
+    /// interrupt return.
+    pub fn delivery_log(&self) -> Option<&[(u64, u32)]> {
+        self.delivery_log.as_deref()
+    }
+
+    /// External interrupts that preempted the guest at a boundary a
+    /// native-tier run produced (direct exits and rerolled back-edge
+    /// yields alike).
+    pub fn native_yield_preempts(&self) -> u64 {
+        self.native_yield_preempts
     }
 
     /// Severs every chain link in the system: all outbound links and
@@ -1057,6 +1141,12 @@ impl<I: Isa> DaisySystem<I> {
     /// Interprets exactly one instruction, handling its events. Returns
     /// a stop reason when execution cannot continue.
     fn interp_one(&mut self) -> Option<StopReason> {
+        // MMIO accesses interpret here; the device observes the
+        // retired-instruction clock as of *before* this instruction —
+        // exactly what an oracle stepping `instret` sees.
+        if self.mem.has_bus() {
+            self.mem.set_bus_time(self.stats.base_instrs);
+        }
         let insn = match self.cpu.fetch(&self.mem) {
             Ok(i) => i,
             Err(_) => {
@@ -1123,6 +1213,9 @@ impl<I: Isa> DaisySystem<I> {
     }
 
     fn interp_one_decoded(&mut self, insn: I::Insn) -> Option<StopReason> {
+        if self.mem.has_bus() {
+            self.mem.set_bus_time(self.stats.base_instrs);
+        }
         let ev = self.cpu.execute(&mut self.mem, insn);
         if matches!(ev, Event::Continue | Event::Syscall) {
             self.stats.interp_instrs += 1;
@@ -1308,5 +1401,148 @@ mod tests {
             a.sc();
         });
         assert_eq!(sys.stats.crosspage.via_ctr, 1);
+    }
+
+    #[test]
+    fn timer_ticks_on_fixed_cadence() {
+        // Every timer re-arm must land on the fixed grid (a multiple
+        // of the period), no matter how far a long group overshot the
+        // previous deadline — and overshooting several periods yields
+        // one tick, not a burst. This pins against the drifting re-arm
+        // `next_timer = cycles() + period`, which re-phases at every
+        // tick and (with a prime period) lands off-grid almost surely.
+        let mut a = Asm::new(0x1000);
+        a.li(Gpr(3), 0);
+        a.li(Gpr(4), 2000);
+        a.mtctr(Gpr(4));
+        a.label("loop");
+        a.addi(Gpr(3), Gpr(3), 1);
+        a.bdnz("loop");
+        a.sc();
+        let prog = a.finish().unwrap();
+
+        let period = 997;
+        let mut sys =
+            DaisySystem::<PpcIsa>::builder().mem_size(0x40000).timer_period(period).build();
+        sys.load(&prog).unwrap();
+        let _ = sys.mem.write_u32(PpcIsa::external_vector(), PpcIsa::interrupt_return_word());
+        sys.cpu.enable_interrupts();
+        let stop = sys.run(1_000_000).unwrap();
+        assert_eq!(stop, StopReason::Syscall);
+        assert!(sys.stats.interrupts_taken >= 2, "timer must fire repeatedly");
+        assert_eq!(sys.next_timer % period, 0, "re-arm must stay on the fixed grid");
+    }
+
+    #[test]
+    fn posted_interrupt_survives_ladder_degradation() {
+        // An interrupt posted mid-run must survive degradation steps
+        // and the retry they force: delivered exactly once — never
+        // dropped, never doubled. Degradation flushes translations,
+        // native code, and chains, but interrupt state is the guest's.
+        let mut a = Asm::new(0x1000);
+        a.li(Gpr(3), 0);
+        a.li(Gpr(4), 400);
+        a.mtctr(Gpr(4));
+        a.label("loop");
+        a.addi(Gpr(3), Gpr(3), 1);
+        a.bdnz("loop");
+        a.sc();
+        let prog = a.finish().unwrap();
+
+        let mut sys = DaisySystem::<PpcIsa>::new(0x40000);
+        sys.load(&prog).unwrap();
+        let _ = sys.mem.write_u32(PpcIsa::external_vector(), PpcIsa::interrupt_return_word());
+        let entry = prog.addr_of("loop");
+        let mut steps = 0u64;
+        let stop = loop {
+            if steps == 3 {
+                // Post while interrupts are disabled, then knock the
+                // hot loop down the ladder twice with the post still
+                // pending.
+                sys.post_external_interrupt();
+                sys.degrade(entry, DegradeCause::Forced);
+                sys.degrade(entry, DegradeCause::Forced);
+                assert_eq!(sys.stats.interrupts_taken, 0, "EE clear: not deliverable yet");
+                sys.cpu.enable_interrupts();
+            }
+            if let Some(stop) = sys.step().unwrap() {
+                break stop;
+            }
+            steps += 1;
+            assert!(steps < 1_000_000, "runaway");
+        };
+        assert_eq!(stop, StopReason::Syscall);
+        assert_eq!(sys.stats.interrupts_taken, 1, "delivered exactly once");
+        assert!(sys.degradations().len() >= 2, "the ladder really stepped");
+        assert_eq!(sys.cpu.gpr[3], 400, "loop result intact across degrade + preempt");
+    }
+
+    /// Minimal MMIO device for bail-path tests: a write latches a
+    /// value, a read returns it plus the register offset.
+    #[derive(Debug, Clone, Default)]
+    struct Latch {
+        last: u32,
+        reads: u32,
+        writes: u32,
+    }
+
+    impl daisy_isa::mem::Bus for Latch {
+        fn read(&mut self, _now: u64, offset: u32, _width: u32) -> u32 {
+            self.reads += 1;
+            self.last.wrapping_add(offset)
+        }
+        fn write(&mut self, _now: u64, _offset: u32, _width: u32, value: u32) {
+            self.writes += 1;
+            self.last = value;
+        }
+        fn irq_level(&mut self, _now: u64) -> bool {
+            false
+        }
+        fn snapshot(&mut self, _now: u64) -> Vec<u8> {
+            let mut v = self.last.to_be_bytes().to_vec();
+            v.extend([self.reads as u8, self.writes as u8]);
+            v
+        }
+        fn clone_box(&self) -> Box<dyn daisy_isa::mem::Bus> {
+            Box::new(self.clone())
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn mmio_accesses_bail_to_the_interpreter() {
+        // A translated load/store that reaches the device window must
+        // bail pre-side-effect and re-execute on the interpreter: the
+        // device sees each access exactly once, on both the packed and
+        // tree tiers, and `mmio_ops` counts each bail.
+        let mut a = Asm::new(0x1000);
+        a.li32(Gpr(9), 0x2000_0000);
+        a.li(Gpr(5), 77);
+        a.stw(Gpr(5), 0, Gpr(9)); // MMIO store
+        a.lwz(Gpr(3), 4, Gpr(9)); // MMIO load: 77 + 4
+        a.addi(Gpr(3), Gpr(3), 1);
+        a.sc();
+        let prog = a.finish().unwrap();
+
+        for packed in [true, false] {
+            let mut sys =
+                DaisySystem::<PpcIsa>::builder().mem_size(0x40000).packed_execution(packed).build();
+            sys.mem.attach_bus(0x2000_0000, 0x100, Box::new(Latch::default()));
+            sys.load(&prog).unwrap();
+            let stop = sys.run(1_000_000).unwrap();
+            assert_eq!(stop, StopReason::Syscall, "packed={packed}");
+            assert_eq!(sys.cpu.gpr[3], 82, "store then load through the device");
+            assert_eq!(sys.stats.mmio_ops, 2, "one bail per device access");
+            let dev = sys
+                .mem
+                .with_bus(|_, dev| {
+                    let latch = dev.as_any_mut().downcast_mut::<Latch>().unwrap();
+                    (latch.reads, latch.writes)
+                })
+                .unwrap();
+            assert_eq!(dev, (1, 1), "device saw each access exactly once");
+        }
     }
 }

@@ -164,6 +164,13 @@ pub enum TraceEvent {
         /// Architected PC at delivery.
         pc: u32,
     },
+    /// Translated code bailed to the interpreter for an MMIO device
+    /// access (device reads/writes have side effects and must execute
+    /// exactly once, in program order).
+    MmioBail {
+        /// Base address of the device-accessing instruction.
+        addr: u32,
+    },
     /// A group's dispatch count crossed the hot threshold; its cold
     /// translation was dropped for hot-tier retranslation.
     HotPromotion {
@@ -214,6 +221,7 @@ impl TraceEvent {
             TraceEvent::AliasRetranslate { .. } => "alias_retranslate",
             TraceEvent::Exception { .. } => "exception",
             TraceEvent::ExternalInterrupt { .. } => "external_interrupt",
+            TraceEvent::MmioBail { .. } => "mmio_bail",
             TraceEvent::HotPromotion { .. } => "hot_promotion",
             TraceEvent::NativeCompile { .. } => "native_compile",
             TraceEvent::Degraded { .. } => "degraded",
@@ -268,6 +276,9 @@ impl TraceEvent {
             }
             TraceEvent::ExternalInterrupt { pc } => {
                 format!("{{\"event\": \"{k}\", \"pc\": {pc}}}")
+            }
+            TraceEvent::MmioBail { addr } => {
+                format!("{{\"event\": \"{k}\", \"addr\": {addr}}}")
             }
             TraceEvent::HotPromotion { entry, dispatches } => {
                 format!("{{\"event\": \"{k}\", \"entry\": {entry}, \"dispatches\": {dispatches}}}")
@@ -652,6 +663,7 @@ mod tests {
             TraceEvent::AliasRetranslate { entry: 4 },
             TraceEvent::Exception { class: ExcClass::StoreFault, base_addr: 16 },
             TraceEvent::ExternalInterrupt { pc: 20 },
+            TraceEvent::MmioBail { addr: 24 },
             TraceEvent::HotPromotion { entry: 4, dispatches: 64 },
             TraceEvent::NativeCompile { entry: 4, outcome: "ok" },
             TraceEvent::Degraded {

@@ -43,6 +43,12 @@ pub enum StopReason {
     },
     /// Instruction budget exhausted.
     MaxInstrs,
+    /// The guest quiesced: it parked at an architected idle point with
+    /// interrupts disabled, so no further event can ever wake it.
+    /// Interrupt-driven firmware ends this way instead of via
+    /// `Syscall`; the condition is observed by harness drivers, not by
+    /// the interpreter core itself.
+    Halted,
 }
 
 /// An architected exception to deliver to the guest, in ISA-neutral

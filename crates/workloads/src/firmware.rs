@@ -1,0 +1,473 @@
+//! `soc_firmware` — interrupt-driven firmware for the modeled SoC
+//! ([`daisy_soc`]): a tiny round-robin scheduler whose timer interrupt
+//! preempts three tasks at arbitrary points, context-switching every
+//! architected register through an interrupt frame and logging progress
+//! to the UART.
+//!
+//! This is the system-code workload the paper's compatibility claim is
+//! really about (§3.5 precise exceptions, §3.7 group-boundary interrupt
+//! delivery): unlike the Chapter 5 user-style kernels, nearly every
+//! interesting event here — timer fire, context switch, MMIO access —
+//! lands *between* two arbitrary guest instructions, wherever the
+//! preemption fuzzer forces it.
+//!
+//! # Clock exactness (why there is no `b` in this program)
+//!
+//! The preemption-fuzz harness records each interrupt delivery's
+//! retired-instruction count in the translated run and replays it at
+//! the same count on the interpreter oracle. The translated tiers
+//! count retired instructions at architected commits and branch
+//! resolutions, which misses unconditional non-linking branches (`b`,
+//! `blr`, `bctr` — they commit nothing and resolve nothing). So this
+//! program contains **none**: every unconditional jump is an
+//! always-taken `beq cr7, target` with `cr7` pinned EQ, and there are
+//! no subroutines (the handler and tasks are jump-threaded instead).
+//! That makes the translated tiers' instruction clock *exact*, which
+//! in turn makes even the time-dependent code (reading `TIMER_COUNT`,
+//! claim-loop iteration counts) bit-reproducible on the oracle.
+//!
+//! # Memory map
+//!
+//! | address | contents |
+//! |---|---|
+//! | `0x500..` | interrupt handler (at the external vector), then boot + tasks |
+//! | `0x2_0000` | three 0x100-byte task control blocks (saved GPRs, LR, CTR, CR, XER, SRR0/1) |
+//! | `0x2_0400` | `SAVE_PTR`: current task's TCB |
+//! | `0x2_0404` | `CUR_IDX`: current task index |
+//! | `0x2_0408` | three done flags (bytes) |
+//! | `0x2_0410` | three iteration counters (words) |
+//! | `0x2_0420` | three result accumulators (words) |
+//! | `0x2_0430` | RX log: count word, then received bytes |
+//!
+//! Each task runs a distinct arithmetic kernel for a fixed quota of
+//! iterations, transmitting one UART byte per iteration from its own
+//! alphabet (`A–J`, `K–T`, `a–j` — disjoint, so the interleaved
+//! transcript can be checked per task regardless of schedule). Task 2
+//! additionally reads `TIMER_COUNT` each iteration, so an MMIO load
+//! sits in a hot loop body on every tier. When all three tasks have
+//! set their done flags, the handler `rfi`s to the `halt` label with
+//! interrupts disabled; the harness detects that park as a clean halt.
+
+use crate::Workload;
+use daisy_ppc::asm::{Asm, Program};
+use daisy_ppc::interp::Cpu;
+use daisy_ppc::mem::Memory;
+use daisy_ppc::reg::{CrField, Gpr, Spr};
+use daisy_ppc::vectors;
+use daisy_soc::{reg, Soc, SOC_BASE};
+
+/// Three task control blocks, 0x100 bytes each.
+const TCB_BASE: u32 = 0x2_0000;
+/// Word holding the current task's TCB address.
+const SAVE_PTR: u32 = 0x2_0400;
+/// Word holding the current task index (0..3).
+const CUR_IDX: u32 = 0x2_0404;
+/// Three per-task done flags (bytes).
+const DONE: u32 = 0x2_0408;
+/// Three per-task iteration counters (words).
+const COUNTS: u32 = 0x2_0410;
+/// Three per-task result accumulators (words).
+const RESULTS: u32 = 0x2_0420;
+/// UART RX log: count word at `RX_COUNT`, bytes from `RX_BYTES`.
+const RX_COUNT: u32 = 0x2_0430;
+/// First received byte of the RX log.
+const RX_BYTES: u32 = 0x2_0434;
+
+/// TCB frame offsets: GPR `i` at `4 * i`, then the specials.
+const OFF_LR: i16 = 0x80;
+const OFF_CTR: i16 = 0x84;
+const OFF_CR: i16 = 0x88;
+const OFF_XER: i16 = 0x8C;
+const OFF_SRR0: i16 = 0x90;
+const OFF_SRR1: i16 = 0x94;
+
+/// Per-task iteration quotas.
+pub const QUOTAS: [u32; 3] = [40, 30, 35];
+/// Per-task UART alphabets (ten consecutive bytes each, disjoint).
+pub const BASES: [u8; 3] = [b'A', b'K', b'a'];
+/// Timer period in retired guest instructions.
+pub const TIMER_TICK: u32 = 250;
+/// MSR image with external interrupts enabled.
+const MSR_EE: u32 = 0x8000;
+
+/// Pins `cr7` to EQ so `beq cr7, …` is an always-taken — but still
+/// *conditional*, hence clock-exact — jump. `scratch` is clobbered.
+fn pin_cr7(a: &mut Asm, scratch: Gpr) {
+    a.li(scratch, 0);
+    a.cmpwi(CrField(7), scratch, 0);
+}
+
+fn build() -> Program {
+    let mut a = Asm::new(vectors::EXTERNAL);
+    let cr0 = CrField(0);
+    let cr7 = CrField(7);
+    let (r0, r3, r4, r5) = (Gpr(0), Gpr(3), Gpr(4), Gpr(5));
+    let (r6, r7, r8, r9) = (Gpr(6), Gpr(7), Gpr(8), Gpr(9));
+
+    // ---- Interrupt handler, placed exactly at the external vector ----
+    // Save the full architected context into the current task's TCB.
+    a.label("handler");
+    a.emit(daisy_ppc::Insn::Mtspr { spr: Spr::Sprg0, rs: r3 });
+    a.li32(r3, SAVE_PTR);
+    a.lwz(r3, 0, r3);
+    a.stmw(r0, 0, r3); // r0..r31; the r3 slot holds the clobbered r3
+    a.emit(daisy_ppc::Insn::Mfspr { rt: r4, spr: Spr::Sprg0 });
+    a.stw(r4, 12, r3); // fix the r3 slot
+    a.mflr(r4);
+    a.stw(r4, OFF_LR, r3);
+    a.mfctr(r4);
+    a.stw(r4, OFF_CTR, r3);
+    a.mfcr(r4);
+    a.stw(r4, OFF_CR, r3);
+    a.emit(daisy_ppc::Insn::Mfspr { rt: r4, spr: Spr::Xer });
+    a.stw(r4, OFF_XER, r3);
+    a.emit(daisy_ppc::Insn::Mfspr { rt: r4, spr: Spr::Srr0 });
+    a.stw(r4, OFF_SRR0, r3);
+    a.emit(daisy_ppc::Insn::Mfspr { rt: r4, spr: Spr::Srr1 });
+    a.stw(r4, OFF_SRR1, r3);
+
+    pin_cr7(&mut a, r4);
+    a.li32(r5, SOC_BASE);
+
+    // Claim-and-service loop: drain every pending enabled source.
+    // Tolerates spurious deliveries (fuzzer posts with nothing
+    // pending): claim reads 0 and we fall straight through.
+    a.label("claim");
+    a.lwz(r4, reg::IRQ_CLAIM as i16, r5);
+    a.cmpwi(cr0, r4, 0);
+    a.beq(cr0, "claim_done");
+    a.cmpwi(cr0, r4, (daisy_soc::IRQ_TIMER + 1) as i16);
+    a.beq(cr0, "ack_timer");
+    // Otherwise: UART RX available. Pop the byte and append it to the
+    // RX log in RAM (so received data lands in the bit-diffed state).
+    a.lwz(r6, reg::UART_RX as i16, r5);
+    a.li32(r7, RX_COUNT);
+    a.lwz(r8, 0, r7);
+    a.li32(r9, RX_BYTES);
+    a.add(r9, r9, r8);
+    a.stb(r6, 0, r9);
+    a.addi(r8, r8, 1);
+    a.stw(r8, 0, r7);
+    a.beq(cr7, "claim");
+    a.label("ack_timer");
+    a.li(r6, 1);
+    a.stw(r6, reg::TIMER_ACK as i16, r5);
+    a.beq(cr7, "claim");
+
+    // All tasks done? Then rfi to the halt park with interrupts off.
+    a.label("claim_done");
+    a.li32(r4, DONE);
+    a.lbz(r6, 0, r4);
+    a.lbz(r7, 1, r4);
+    a.lbz(r8, 2, r4);
+    a.add(r6, r6, r7);
+    a.add(r6, r6, r8);
+    a.cmpwi(cr0, r6, 3);
+    a.beq(cr0, "shutdown");
+
+    // Round-robin: idx = (idx + 1) % 3, switch SAVE_PTR to that TCB.
+    a.li32(r4, CUR_IDX);
+    a.lwz(r6, 0, r4);
+    a.addi(r6, r6, 1);
+    a.cmpwi(cr0, r6, 3);
+    a.blt(cr0, "idx_ok");
+    a.li(r6, 0);
+    a.label("idx_ok");
+    a.stw(r6, 0, r4);
+    a.slwi(r7, r6, 8);
+    a.li32(r3, TCB_BASE);
+    a.add(r3, r3, r7);
+    a.li32(r4, SAVE_PTR);
+    a.stw(r3, 0, r4);
+
+    // Restore the incoming task's full context and return to it.
+    a.lwz(r4, OFF_LR, r3);
+    a.mtlr(r4);
+    a.lwz(r4, OFF_CTR, r3);
+    a.mtctr(r4);
+    a.lwz(r4, OFF_CR, r3);
+    a.mtcrf(0xFF, r4);
+    a.lwz(r4, OFF_XER, r3);
+    a.emit(daisy_ppc::Insn::Mtspr { spr: Spr::Xer, rs: r4 });
+    a.lwz(r4, OFF_SRR0, r3);
+    a.emit(daisy_ppc::Insn::Mtspr { spr: Spr::Srr0, rs: r4 });
+    a.lwz(r4, OFF_SRR1, r3);
+    a.emit(daisy_ppc::Insn::Mtspr { spr: Spr::Srr1, rs: r4 });
+    a.lmw(r4, 16, r3); // r4..r31
+    a.lwz(r0, 0, r3);
+    a.lwz(Gpr(1), 4, r3);
+    a.lwz(Gpr(2), 8, r3);
+    a.lwz(r3, 12, r3);
+    a.rfi();
+
+    a.label("shutdown");
+    a.la(r4, "halt");
+    a.emit(daisy_ppc::Insn::Mtspr { spr: Spr::Srr0, rs: r4 });
+    a.li(r4, 0); // MSR with EE clear: the park is interrupt-proof
+    a.emit(daisy_ppc::Insn::Mtspr { spr: Spr::Srr1, rs: r4 });
+    a.rfi();
+
+    // ---- Boot: build TCBs, program the SoC, launch task 0 ----
+    a.entry_here();
+    a.label("boot");
+    pin_cr7(&mut a, r4);
+    a.li32(r4, CUR_IDX);
+    a.li(r5, 0);
+    a.stw(r5, 0, r4);
+    a.li32(r4, SAVE_PTR);
+    a.li32(r5, TCB_BASE);
+    a.stw(r5, 0, r4);
+    // Fresh TCBs: RAM is zeroed, so only SRR0 (task entry) and SRR1
+    // (interrupts enabled) need seeding.
+    a.li32(r4, TCB_BASE);
+    a.li32(r6, MSR_EE);
+    a.la(r5, "task0");
+    a.stw(r5, OFF_SRR0, r4);
+    a.stw(r6, OFF_SRR1, r4);
+    a.addi(r4, r4, 0x100);
+    a.la(r5, "task1");
+    a.stw(r5, OFF_SRR0, r4);
+    a.stw(r6, OFF_SRR1, r4);
+    a.addi(r4, r4, 0x100);
+    a.la(r5, "task2");
+    a.stw(r5, OFF_SRR0, r4);
+    a.stw(r6, OFF_SRR1, r4);
+    // Program the SoC: timer tick, both IRQ lines, timer on (enable
+    // last, so the first tick is anchored here).
+    a.li32(r5, SOC_BASE);
+    a.li(r4, TIMER_TICK as i16);
+    a.stw(r4, reg::TIMER_PERIOD as i16, r5);
+    a.li(r4, 0b11);
+    a.stw(r4, reg::IRQ_ENABLE as i16, r5);
+    a.li(r4, 1);
+    a.stw(r4, reg::TIMER_CTRL as i16, r5);
+    // Banner, then return-from-interrupt into task 0 with EE on.
+    a.li(r4, i16::from(b'='));
+    a.stw(r4, reg::UART_TX as i16, r5);
+    a.li(r4, i16::from(b'>'));
+    a.stw(r4, reg::UART_TX as i16, r5);
+    a.la(r4, "task0");
+    a.emit(daisy_ppc::Insn::Mtspr { spr: Spr::Srr0, rs: r4 });
+    a.li32(r4, MSR_EE);
+    a.emit(daisy_ppc::Insn::Mtspr { spr: Spr::Srr1, rs: r4 });
+    a.rfi();
+
+    // ---- Tasks ----
+    // Register plan (per task, context-switched so tasks don't
+    // interfere): r20 SoC base, r21 counter cell, r22 result cell,
+    // r23 accumulator, r24 quota, r25 counter, r26 modulus 10,
+    // r27 scratch, r28 done-flag cell.
+    let (r20, r21, r22, r23) = (Gpr(20), Gpr(21), Gpr(22), Gpr(23));
+    let (r24, r25, r26, r27, r28) = (Gpr(24), Gpr(25), Gpr(26), Gpr(27), Gpr(28));
+    for i in 0..3u32 {
+        let task = format!("task{i}");
+        let lp = format!("task{i}_loop");
+        let idle = format!("task{i}_idle");
+        a.label(&task);
+        pin_cr7(&mut a, r27);
+        a.li32(r20, SOC_BASE);
+        a.li32(r21, COUNTS + 4 * i);
+        a.li32(r22, RESULTS + 4 * i);
+        a.li32(r28, DONE + i);
+        a.li32(r24, QUOTAS[i as usize]);
+        a.li(r25, 0);
+        a.li(r23, 0);
+        a.li(r26, 10);
+        a.label(&lp);
+        match i {
+            // Task 0: acc += 3k + 1.
+            0 => {
+                a.mulli(r27, r25, 3);
+                a.addi(r27, r27, 1);
+                a.add(r23, r23, r27);
+            }
+            // Task 1: acc = (acc ^ (k << 1)) + 5.
+            1 => {
+                a.slwi(r27, r25, 1);
+                a.xor(r23, r23, r27);
+                a.addi(r23, r23, 5);
+            }
+            // Task 2: acc += TIMER_COUNT & 0xFF — an MMIO load in the
+            // hot loop body, exercising the bail path on every tier.
+            _ => {
+                a.lwz(r27, reg::TIMER_COUNT as i16, r20);
+                a.clrlwi(r27, r27, 24);
+                a.add(r23, r23, r27);
+            }
+        }
+        // Transmit alphabet[k % 10]: k - (k / 10) * 10 + base.
+        a.divwu(r27, r25, r26);
+        a.mullw(r27, r27, r26);
+        a.subf(r27, r27, r25);
+        a.addi(r27, r27, i16::from(BASES[i as usize]));
+        a.stw(r27, reg::UART_TX as i16, r20);
+        a.addi(r25, r25, 1);
+        a.stw(r25, 0, r21);
+        a.stw(r23, 0, r22);
+        a.cmpw(cr0, r25, r24);
+        a.blt(cr0, &lp);
+        a.li(r27, 1);
+        a.stb(r27, 0, r28);
+        // Quota reached: spin until the scheduler takes us off the CPU
+        // for good (all-done check happens in the handler).
+        a.label(&idle);
+        a.beq(cr7, &idle);
+    }
+
+    // The post-shutdown park. The harness watches for pc == halt with
+    // interrupts disabled; the spin keeps the guest architecturally
+    // live (the interpreter has no halt instruction) without ever
+    // changing state.
+    a.label("halt");
+    a.beq(cr7, "halt");
+
+    a.finish().expect("soc_firmware assembles")
+}
+
+/// Rust recomputation of task 0's accumulator.
+pub fn expected_result0() -> u32 {
+    (0..QUOTAS[0]).map(|k| 3 * k + 1).fold(0u32, u32::wrapping_add)
+}
+
+/// Rust recomputation of task 1's accumulator.
+pub fn expected_result1() -> u32 {
+    let mut acc = 0u32;
+    for k in 0..QUOTAS[1] {
+        acc = (acc ^ (k << 1)).wrapping_add(5);
+    }
+    acc
+}
+
+/// The expected UART transcript byte count: the boot banner plus one
+/// byte per task iteration.
+pub fn expected_tx_len() -> usize {
+    2 + QUOTAS.iter().sum::<u32>() as usize
+}
+
+fn check(_cpu: &Cpu, mem: &Memory) -> Result<(), String> {
+    for i in 0..3u32 {
+        let quota = QUOTAS[i as usize];
+        let count = mem.read_u32(COUNTS + 4 * i).map_err(|e| format!("{e:?}"))?;
+        if count != quota {
+            return Err(format!("task {i} iterations: got {count}, want {quota}"));
+        }
+        let done = mem.read_u8(DONE + i).map_err(|e| format!("{e:?}"))?;
+        if done != 1 {
+            return Err(format!("task {i} done flag: got {done}, want 1"));
+        }
+    }
+    let r0 = mem.read_u32(RESULTS).map_err(|e| format!("{e:?}"))?;
+    if r0 != expected_result0() {
+        return Err(format!("task 0 result: got {r0:#x}, want {:#x}", expected_result0()));
+    }
+    let r1 = mem.read_u32(RESULTS + 4).map_err(|e| format!("{e:?}"))?;
+    if r1 != expected_result1() {
+        return Err(format!("task 1 result: got {r1:#x}, want {:#x}", expected_result1()));
+    }
+    // (Task 2's accumulator is timer-derived — schedule-dependent by
+    // design — so it is checked only by the campaign's oracle diff.)
+
+    let tx = mem
+        .with_bus(|_, b| b.as_any_mut().downcast_mut::<Soc>().map(|s| s.transcript().to_vec()))
+        .ok_or_else(|| "no bus attached (firmware needs daisy_soc::standard_bus)".to_owned())?
+        .ok_or_else(|| "attached bus is not a daisy_soc::Soc".to_owned())?;
+    if !tx.starts_with(b"=>") {
+        return Err(format!("transcript missing boot banner: {tx:?}"));
+    }
+    if tx.len() != expected_tx_len() {
+        return Err(format!("transcript length: got {}, want {}", tx.len(), expected_tx_len()));
+    }
+    // The tasks' alphabets are disjoint, so each task's bytes must form
+    // its exact cyclic sequence no matter how the scheduler interleaved
+    // them.
+    for i in 0..3 {
+        let lo = BASES[i];
+        let got: Vec<u8> = tx.iter().copied().filter(|&b| b >= lo && b < lo + 10).collect();
+        let want: Vec<u8> = (0..QUOTAS[i]).map(|k| lo + (k % 10) as u8).collect();
+        if got != want {
+            return Err(format!("task {i} transcript bytes: got {got:?}, want {want:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// The workload descriptor. Not part of [`crate::all`]: the firmware
+/// needs a SoC bus attached and never executes `sc`, so the generic
+/// run-to-syscall harnesses cannot drive it — use the preemption-fuzz
+/// campaign ([`FaultKind::Preempt`]) or a harness that watches for the
+/// `halt` park.
+///
+/// [`FaultKind::Preempt`]: ../daisy/inject/enum.FaultKind.html
+pub fn workload() -> Workload {
+    Workload { name: "soc_firmware", mem_size: 0x4_0000, max_instrs: 2_000_000, build, check }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_isa::{Exception, GuestCpu};
+
+    /// Free-runs the firmware on the pure interpreter with a level-
+    /// sensitive delivery loop (the same contract `DaisySystem::step`
+    /// implements), to the `halt` park. Returns `(cpu, mem)`.
+    fn interp_run_firmware() -> (Cpu, Memory) {
+        let w = workload();
+        let prog = w.program();
+        let mut mem = Memory::new(w.mem_size);
+        let (base, len, dev) = daisy_soc::standard_bus();
+        mem.attach_bus(base, len, dev);
+        prog.load_into(&mut mem).unwrap();
+        let halt = prog.labels["halt"];
+        let mut cpu = Cpu::new(prog.entry);
+        let mut budget = w.max_instrs;
+        loop {
+            mem.set_bus_time(cpu.instret());
+            if mem.bus_irq_level() && cpu.interrupts_enabled() {
+                let at = GuestCpu::pc(&cpu);
+                GuestCpu::deliver(&mut cpu, Exception::External, at);
+                continue;
+            }
+            if GuestCpu::pc(&cpu) == halt && !cpu.interrupts_enabled() {
+                break;
+            }
+            let ev = cpu.step(&mut mem);
+            if let Some(stop) = GuestCpu::handle_event(&mut cpu, ev) {
+                panic!("firmware stopped unexpectedly: {stop:?}");
+            }
+            budget -= 1;
+            assert!(budget > 0, "firmware ran away (pc {:#x})", GuestCpu::pc(&cpu));
+        }
+        (cpu, mem)
+    }
+
+    #[test]
+    fn firmware_runs_to_halt_and_checks_on_the_interpreter() {
+        let w = workload();
+        let (cpu, mem) = interp_run_firmware();
+        (w.check)(&cpu, &mem).unwrap();
+        // Every task got preempted mid-quota at least once: the timer
+        // tick is far smaller than a task's full quota of work.
+        let idx = mem.read_u32(super::CUR_IDX).unwrap();
+        assert!(idx < 3);
+    }
+
+    #[test]
+    fn firmware_is_free_of_clock_blind_instructions() {
+        // The preemption-fuzz replay contract requires the translated
+        // tiers' retired-instruction clock to be exact, which it is
+        // only without unconditional non-linking branches (`b`, `blr`,
+        // `bctr`) — and without linking ones either (`bl`, `bctrl`),
+        // which this program also never needs.
+        let prog = workload().program();
+        for (i, &w) in prog.code.iter().enumerate() {
+            let insn = daisy_ppc::decode(w);
+            let text = format!("{insn}");
+            let mnemonic = text.split_whitespace().next().unwrap_or("");
+            assert!(
+                !matches!(mnemonic, "b" | "ba" | "bl" | "bla" | "blr" | "bctr" | "bctrl"),
+                "clock-blind branch {text:?} at word {i} (pc {:#x})",
+                prog.base + 4 * i as u32
+            );
+        }
+    }
+}

@@ -50,6 +50,15 @@ cargo test -q -p daisy-rv32 --test translate
 # divergence, or a fault kind that never records a ladder step.
 cargo run -q --release -p daisy-bench --bin inject -- --seeds 32
 
+# Preemption-fuzz smoke: 32 seeds of timer/UART interrupt schedules
+# against the SoC firmware on the packed and (below, on x86-64) native
+# tiers; each campaign's delivery schedule is replayed instruction-
+# exactly on the interpreter oracle and diffed bit for bit, UART
+# transcript included (docs/soc.md). The full 256-seed matrix is
+# `cargo test --release --test preempt -- --ignored`.
+cargo run -q --release -p daisy-bench --bin inject -- \
+  --seeds 32 --kind preempt
+
 # Guest-profile report smoke: two workloads through the full
 # provenance → attribution → export pipeline. The shape assertion
 # checks all five metrics per workload; the sort Chrome trace is kept
@@ -74,10 +83,14 @@ scripts/check_report_shape.sh "$artifacts/BENCH_report.smoke.json" 2
 if [ "$(uname -m)" = "x86_64" ]; then
   cargo test -q --test prop_native \
     native_is_observably_the_packed_engine_on_every_workload
-  for kind in hot_patch chain_sever; do
+  for kind in hot_patch chain_sever interrupt_storm; do
     cargo run -q --release -p daisy-bench --bin inject -- \
       --native --seeds 16 --kind "$kind"
   done
+  # Preemption fuzzing with compiled native groups live: deliveries
+  # must land precisely at rerolled back-edge yields.
+  cargo run -q --release -p daisy-bench --bin inject -- \
+    --native --seeds 32 --kind preempt
   # Coverage gate: native template coverage is deterministic, so any
   # workload dropping more than 5 points below the committed
   # BENCH_engine.json is a real lowering regression, not noise.

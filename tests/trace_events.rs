@@ -168,6 +168,87 @@ fn ring_sink_caps_and_counts_drops() {
     assert_eq!(kinds, vec!["chain_sever", "translate", "chain_install"]);
 }
 
+/// Interrupt delivery ordering, pinned for a timer firing inside a
+/// chained hot loop: the `external_interrupt` event carries the
+/// group-boundary PC (the loop head — §3.7: delivery only where every
+/// architected register is exact), the interrupted group is *not*
+/// degraded (delivery is not an error path), and the next translation
+/// after the first delivery is the handler group at the external
+/// vector, first touched by that delivery.
+#[test]
+fn external_interrupt_orders_before_handler_translate_in_hot_loop() {
+    use daisy_ppc::vectors;
+
+    // Handler at the vector: count deliveries in r10, return.
+    let mut a = Asm::new(vectors::EXTERNAL);
+    a.addi(Gpr(10), Gpr(10), 1);
+    a.rfi();
+    // A tight self-chaining loop, hot for thousands of dispatches.
+    a.entry_here();
+    a.li(Gpr(3), 0);
+    a.li32(Gpr(4), 20_000);
+    a.mtctr(Gpr(4));
+    a.label("loop");
+    a.addi(Gpr(3), Gpr(3), 1);
+    a.bdnz("loop");
+    a.sc();
+    let prog = a.finish().unwrap();
+    let loop_head = prog.labels["loop"];
+
+    let sink = RingSink::new(4096);
+    let mut sys = DaisySystem::<PpcIsa>::builder()
+        .mem_size(0x2_0000)
+        .trace_sink(sink.clone())
+        .timer_period(397)
+        .build();
+    sys.load(&prog).unwrap();
+    sys.cpu.enable_interrupts();
+    let stop = sys.run(1_000_000).unwrap();
+    assert_eq!(stop, StopReason::Syscall);
+    assert_eq!(sys.cpu.gpr[3], 20_000, "loop result survived preemption");
+    assert!(sys.cpu.gpr[10] >= 2, "timer delivered fewer than two interrupts");
+
+    let events = sink.events();
+    let first_irq = events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::ExternalInterrupt { .. }))
+        .expect("delivery must emit external_interrupt");
+    // Once the loop is chained and hot, deliveries land on its head:
+    // the only group boundary left in steady state.
+    let first_chain = events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::ChainInstall { .. }))
+        .expect("the loop must chain");
+    assert!(
+        events[first_chain..]
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ExternalInterrupt { pc } if *pc == loop_head)),
+        "no delivery ever landed on the chained loop's head boundary"
+    );
+    // Delivery is not an error path: nothing is ever degraded.
+    assert!(
+        !events.iter().any(|e| matches!(e, TraceEvent::Degraded { .. })),
+        "interrupt delivery must not degrade the interrupted group"
+    );
+    // The next translation after the delivery is the handler group,
+    // first touched by this delivery.
+    let next_translate = events[first_irq..]
+        .iter()
+        .find(|e| matches!(e, TraceEvent::Translate { .. }))
+        .expect("the handler group must be translated after the first delivery");
+    match next_translate {
+        TraceEvent::Translate { entry, .. } => assert_eq!(*entry, vectors::EXTERNAL),
+        _ => unreachable!(),
+    }
+    // And the handler was never translated *before* the delivery.
+    assert!(
+        !events[..first_irq].iter().any(
+            |e| matches!(e, TraceEvent::Translate { entry, .. } if *entry == vectors::EXTERNAL)
+        ),
+        "handler group translated before any delivery"
+    );
+}
+
 /// Hot promotion shows up in the event stream: with a low threshold a
 /// tight loop emits `hot_promotion` followed by a hot-tier translate.
 #[test]
