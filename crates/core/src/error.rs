@@ -51,6 +51,22 @@ pub enum Rung {
 }
 
 impl Rung {
+    /// Every rung, top (fastest) to bottom, in [`Rung::index`] order.
+    pub const ALL: [Rung; 5] =
+        [Rung::Native, Rung::Packed, Rung::Tree, Rung::Conservative, Rung::Interpret];
+
+    /// Stable position in [`Rung::ALL`] (0 = [`Rung::Native`]), used by
+    /// [`crate::metrics`] for per-rung occupancy arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Native => 0,
+            Rung::Packed => 1,
+            Rung::Tree => 2,
+            Rung::Conservative => 3,
+            Rung::Interpret => 4,
+        }
+    }
+
     /// Short lowercase name, for reports and JSON.
     pub fn name(self) -> &'static str {
         match self {
@@ -111,6 +127,35 @@ pub enum DegradeCause {
 }
 
 impl DegradeCause {
+    /// Every cause, in [`DegradeCause::index`] order.
+    pub const ALL: [DegradeCause; 9] = [
+        DegradeCause::RecoveryMismatch,
+        DegradeCause::IllegalOp,
+        DegradeCause::CodeRewrite,
+        DegradeCause::CastOutPressure,
+        DegradeCause::InterruptStorm,
+        DegradeCause::ChainUnstable,
+        DegradeCause::TranslationDropped,
+        DegradeCause::HintBudget,
+        DegradeCause::Forced,
+    ];
+
+    /// Stable position in [`DegradeCause::ALL`], used by
+    /// [`crate::metrics`] for per-cause counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DegradeCause::RecoveryMismatch => 0,
+            DegradeCause::IllegalOp => 1,
+            DegradeCause::CodeRewrite => 2,
+            DegradeCause::CastOutPressure => 3,
+            DegradeCause::InterruptStorm => 4,
+            DegradeCause::ChainUnstable => 5,
+            DegradeCause::TranslationDropped => 6,
+            DegradeCause::HintBudget => 7,
+            DegradeCause::Forced => 8,
+        }
+    }
+
     /// Short lowercase name, for reports and JSON.
     pub fn name(self) -> &'static str {
         match self {
@@ -212,6 +257,16 @@ mod tests {
         }
         assert_eq!(rung, Rung::Interpret);
         assert_eq!(steps, 4);
+    }
+
+    #[test]
+    fn index_tables_match_all_order() {
+        for (i, r) in Rung::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        for (i, c) in DegradeCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! ```
 
 use crate::error::{DaisyError, DegradeCause};
+use crate::metrics::PostMortem;
 use crate::stats::RunStats;
 use crate::system::DaisySystem;
 use crate::vmm::VmmStats;
@@ -252,6 +253,12 @@ pub struct CampaignOutcome {
     pub stats: RunStats,
     /// VMM statistics of the perturbed run.
     pub vmm_stats: VmmStats,
+    /// The flight-recorder post-mortem captured at the run's last
+    /// ladder degradation (see
+    /// [`crate::system::DaisySystem::take_post_mortem`]); `None` only
+    /// when the campaign forced no ladder steps (`max_degrades: 0`)
+    /// and nothing degraded organically.
+    pub post_mortem: Option<PostMortem>,
 }
 
 /// Why a campaign failed. Any of these in a CI smoke run is a real bug:
@@ -313,6 +320,13 @@ impl fmt::Display for CampaignError {
 }
 
 impl std::error::Error for CampaignError {}
+
+/// Appends the system's flight-recorder post-mortem to a divergence
+/// description, so every [`CampaignError::Divergence`] report carries
+/// the events, degradation chain, and metrics that led up to it.
+fn with_post_mortem<I: Isa>(sys: &DaisySystem<I>, what: String) -> String {
+    format!("{what}\n{}", sys.request_post_mortem("fault-injection divergence"))
+}
 
 /// An instruction word the frontend guarantees never decodes to a
 /// valid instruction ([`Isa::illegal_words`]); the guarantee is
@@ -497,11 +511,14 @@ pub fn run_campaign_on_program<I: Isa>(
         return Err(CampaignError::Divergence {
             kind,
             seed,
-            what: format!("stop reason: daisy {stop:?} vs oracle {ostop:?}"),
+            what: with_post_mortem(
+                &sys,
+                format!("stop reason: daisy {stop:?} vs oracle {ostop:?}"),
+            ),
         });
     }
     if let Some(what) = diff_state(&sys, &ocpu, &omem, storm) {
-        return Err(CampaignError::Divergence { kind, seed, what });
+        return Err(CampaignError::Divergence { kind, seed, what: with_post_mortem(&sys, what) });
     }
     if kind == FaultKind::CastOutThrash {
         // The perturbation is the capacity clamp itself; each forced
@@ -519,6 +536,7 @@ pub fn run_campaign_on_program<I: Isa>(
         native_yield_preempts: sys.native_yield_preempts(),
         stats: sys.stats,
         vmm_stats: sys.vmm.stats,
+        post_mortem: sys.take_post_mortem(),
     })
 }
 
@@ -681,10 +699,14 @@ fn run_preempt_campaign_on_program<I: Isa>(
                 return Err(CampaignError::Divergence {
                     kind,
                     seed,
-                    what: format!(
-                        "delivery {di} replayed at instret {want_now}: oracle pc {at:#010x} vs \
-                         recorded pc {want_pc:#010x} (retired-instruction clock drift? preempt \
-                         campaigns need a clock-exact guest, see docs/soc.md)"
+                    what: with_post_mortem(
+                        &sys,
+                        format!(
+                            "delivery {di} replayed at instret {want_now}: oracle pc \
+                             {at:#010x} vs recorded pc {want_pc:#010x} (retired-instruction \
+                             clock drift? preempt campaigns need a clock-exact guest, see \
+                             docs/soc.md)"
+                        ),
                     ),
                 });
             }
@@ -712,11 +734,14 @@ fn run_preempt_campaign_on_program<I: Isa>(
         return Err(CampaignError::Divergence {
             kind,
             seed,
-            what: format!("stop reason: daisy {stop:?} vs oracle {ostop:?}"),
+            what: with_post_mortem(
+                &sys,
+                format!("stop reason: daisy {stop:?} vs oracle {ostop:?}"),
+            ),
         });
     }
     if let Some(what) = diff_state(&sys, &ocpu, &omem, false) {
-        return Err(CampaignError::Divergence { kind, seed, what });
+        return Err(CampaignError::Divergence { kind, seed, what: with_post_mortem(&sys, what) });
     }
     // Device diff, snapshots taken at a common instant (the two runs'
     // final clocks differ by the halt-spin length, which is
@@ -740,7 +765,7 @@ fn run_preempt_campaign_on_program<I: Isa>(
             },
             _ => "device snapshot: one side has no bus".to_owned(),
         };
-        return Err(CampaignError::Divergence { kind, seed, what });
+        return Err(CampaignError::Divergence { kind, seed, what: with_post_mortem(&sys, what) });
     }
 
     Ok(CampaignOutcome {
@@ -754,6 +779,7 @@ fn run_preempt_campaign_on_program<I: Isa>(
         native_yield_preempts: sys.native_yield_preempts(),
         stats: sys.stats,
         vmm_stats: sys.vmm.stats,
+        post_mortem: sys.take_post_mortem(),
     })
 }
 

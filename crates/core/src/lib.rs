@@ -31,6 +31,11 @@
 //!   per-guest-PC cycles, stalls, speculation waste, the §4.2
 //!   VMM-overhead clock, and Chrome-trace / flamegraph / annotated
 //!   disassembly exporters.
+//! * [`metrics`] — the always-on third observability mode: a lock-free
+//!   registry of atomic counters/gauges/histograms published at group
+//!   boundaries, diffable [`metrics::MetricsSnapshot`]s (JSON and
+//!   Prometheus exposition), and the flight-recorder
+//!   [`metrics::PostMortem`] captured on ladder degradation.
 //! * [`error`] — typed faults: [`DaisyError`], and the graceful
 //!   degradation ladder's [`Rung`]/[`Degradation`] vocabulary.
 //! * [`inject`] — deterministic, seed-driven fault-injection campaigns
@@ -73,6 +78,7 @@
 pub mod engine;
 pub mod error;
 pub mod inject;
+pub mod metrics;
 pub mod native;
 pub mod oracle;
 pub mod overhead;
@@ -119,6 +125,7 @@ pub mod ppc {
 /// ```
 pub mod prelude {
     pub use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
+    pub use crate::metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, PostMortem};
     pub use crate::native::NativeStats;
     pub use crate::profile::{GuestProfile, OverheadReport, PcStats, TimelineEvent};
     pub use crate::sched::{TierPolicy, TranslatorConfig};

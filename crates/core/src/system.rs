@@ -21,12 +21,16 @@ use crate::engine::{
     ChainLink, EngineScratch, ExcKind, GroupCode, GroupExit,
 };
 use crate::error::{DaisyError, Degradation, DegradeCause, Rung};
+use crate::metrics::{IrqLatency, MetricsRegistry, MetricsSnapshot, MetricsSource, PostMortem};
 use crate::native::{NativeRun, NativeStats, NativeTier, NativeTierConfig};
 use crate::precise::{self, ArchEvent, RecoverError};
 use crate::profile::GuestProfile;
 use crate::sched::{TierPolicy, TranslatorConfig};
 use crate::stats::RunStats;
-use crate::trace::{ExcClass, GroupProfiler, Tier, TraceEvent, TraceSink, Tracer};
+use crate::trace::{
+    ExcClass, FlightRecorder, GroupProfiler, Tier, TraceEvent, TraceSink, Tracer,
+    DEFAULT_FLIGHT_RECORDER_CAPACITY,
+};
 use crate::vmm::Vmm;
 use daisy_cachesim::Hierarchy;
 use daisy_isa::convert::BranchKind;
@@ -36,6 +40,12 @@ use daisy_vliw::regfile::RegFile;
 use daisy_vliw::tree::IndirectVia;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+
+/// Default group-boundary cadence of metrics publication: the system
+/// republishes its [`MetricsSnapshot`] into the registry every this
+/// many dispatch boundaries (see
+/// [`DaisySystemBuilder::metrics_publish_period`]).
+pub const DEFAULT_METRICS_PUBLISH_PERIOD: u32 = 1024;
 
 /// How the previous group exited, carried to the next dispatch so a
 /// chain link can be followed or installed.
@@ -124,6 +134,24 @@ pub struct DaisySystem<I: Isa> {
     /// code; everything else (cold groups, refused groups, other
     /// ladder rungs) runs on the packed engine as before.
     native: Option<NativeTier>,
+    /// The metrics registry this system publishes into (`None` unless
+    /// enabled through [`DaisySystemBuilder::metrics`] or
+    /// [`DaisySystemBuilder::metrics_registry`]).
+    metrics: Option<MetricsRegistry>,
+    /// Boundaries between registry publications.
+    metrics_period: u32,
+    /// Boundaries left until the next publication.
+    metrics_countdown: u32,
+    /// Interrupt post-to-delivery latency accumulator (observed at
+    /// group boundaries — see the delivery block in `step`).
+    irq_latency: IrqLatency,
+    /// Retired-instruction count at the boundary where the currently
+    /// pending interrupt was first observed undeliverable.
+    irq_posted_at: Option<u64>,
+    /// The most recent automatic flight-recorder dump (captured on
+    /// every ladder degradation; boxed — it is large and usually
+    /// absent).
+    last_post_mortem: Option<Box<PostMortem>>,
 }
 
 /// Configures and creates a [`DaisySystem`]; obtained from
@@ -159,6 +187,10 @@ pub struct DaisySystemBuilder<I: Isa> {
     native: bool,
     native_config: NativeTierConfig,
     record_deliveries: bool,
+    metrics: Option<MetricsRegistry>,
+    metrics_period: u32,
+    flight_recorder: bool,
+    flight_capacity: usize,
     _isa: std::marker::PhantomData<I>,
 }
 
@@ -180,6 +212,10 @@ impl<I: Isa> Default for DaisySystemBuilder<I> {
             native: false,
             native_config: NativeTierConfig::default(),
             record_deliveries: false,
+            metrics: None,
+            metrics_period: DEFAULT_METRICS_PUBLISH_PERIOD,
+            flight_recorder: true,
+            flight_capacity: DEFAULT_FLIGHT_RECORDER_CAPACITY,
             _isa: std::marker::PhantomData,
         }
     }
@@ -311,6 +347,51 @@ impl<I: Isa> DaisySystemBuilder<I> {
         self
     }
 
+    /// Enables metrics publication into a fresh
+    /// [`MetricsRegistry`] (default off; read it back through
+    /// [`DaisySystem::metrics_registry`]). Publication happens on the
+    /// [`DaisySystemBuilder::metrics_publish_period`] cadence at group
+    /// boundaries and costs nothing on in-group hot paths;
+    /// [`DaisySystem::metrics_snapshot`] works with or without this.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on.then(MetricsRegistry::new);
+        self
+    }
+
+    /// Publishes into an existing shared registry handle instead of a
+    /// fresh one (a monitoring thread — or the forthcoming translation
+    /// server — holds a clone and snapshots it while the system runs).
+    pub fn metrics_registry(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Group boundaries between registry publications (default
+    /// [`DEFAULT_METRICS_PUBLISH_PERIOD`]; clamped to at least 1).
+    /// Snapshots are exact regardless of cadence — the registry is a
+    /// periodically refreshed *copy* of counters every layer maintains
+    /// continuously.
+    pub fn metrics_publish_period(mut self, boundaries: u32) -> Self {
+        self.metrics_period = boundaries.max(1);
+        self
+    }
+
+    /// Enables or disables the always-on flight recorder (default on):
+    /// a fixed ring of recent trace events kept with no sink installed,
+    /// dumped as a [`PostMortem`] on ladder degradation (see
+    /// [`crate::trace::FlightRecorder`]).
+    pub fn flight_recorder(mut self, on: bool) -> Self {
+        self.flight_recorder = on;
+        self
+    }
+
+    /// Capacity of the flight-recorder ring (default
+    /// [`DEFAULT_FLIGHT_RECORDER_CAPACITY`]; clamped to at least 1).
+    pub fn flight_recorder_capacity(mut self, events: usize) -> Self {
+        self.flight_capacity = events;
+        self
+    }
+
     /// Enables the per-group execution profiler
     /// ([`DaisySystem::profiler`]): dispatch counts, VLIWs retired, and
     /// stall cycles attributed per group entry (default off; implied by
@@ -356,6 +437,11 @@ impl<I: Isa> DaisySystemBuilder<I> {
         if let Some(sink) = self.trace_sink {
             vmm.tracer = Tracer::new(sink);
         }
+        vmm.tracer.recorder = if self.flight_recorder {
+            FlightRecorder::with_capacity(self.flight_capacity)
+        } else {
+            FlightRecorder::disabled()
+        };
         let hot_threshold = self.tier_policy.as_ref().map(|p| p.hot_threshold);
         vmm.tier_policy = self.tier_policy;
         // The native tier only composes with configurations it can
@@ -392,6 +478,12 @@ impl<I: Isa> DaisySystemBuilder<I> {
             interp_pages: HashSet::new(),
             ladder_engaged: false,
             native,
+            metrics: self.metrics,
+            metrics_period: self.metrics_period,
+            metrics_countdown: self.metrics_period,
+            irq_latency: IrqLatency::default(),
+            irq_posted_at: None,
+            last_post_mortem: None,
         }
     }
 }
@@ -500,6 +592,16 @@ impl<I: Isa> DaisySystem<I> {
     #[inline]
     pub fn step(&mut self) -> Result<Option<StopReason>, DaisyError> {
         self.handle_code_writes();
+        // Metrics publication cadence: one decrement-and-test per
+        // boundary when enabled, with the publication itself outlined
+        // and cold. Snapshots read counters the layers maintain anyway,
+        // so the cadence bounds staleness, not accuracy.
+        if self.metrics.is_some() {
+            self.metrics_countdown -= 1;
+            if self.metrics_countdown == 0 {
+                self.publish_metrics_now();
+            }
+        }
         // Mirror VMM events (degradations, cast-outs) into the guest
         // profile's timeline; syncing at the group boundary keeps the
         // hot paths that produce them free of profiling hooks.
@@ -536,19 +638,33 @@ impl<I: Isa> DaisySystem<I> {
         // Gated by the architected interrupt-enable state alone (clear
         // by default), so harnesses can take timer ticks while still
         // stopping at a final system call with vectored delivery off.
-        if (self.pending_external || bus_line) && self.cpu.interrupts_enabled() {
-            self.pending_external = false;
-            self.stats.exceptions += 1;
-            self.stats.interrupts_taken += 1;
-            if self.last_exit_native {
-                self.native_yield_preempts += 1;
+        // With no interrupt asserted this whole block is the same
+        // single short-circuit test it always was; latency bookkeeping
+        // only runs while one is pending.
+        if self.pending_external || bus_line {
+            if self.cpu.interrupts_enabled() {
+                self.pending_external = false;
+                self.stats.exceptions += 1;
+                self.stats.interrupts_taken += 1;
+                if self.last_exit_native {
+                    self.native_yield_preempts += 1;
+                }
+                // Post-to-delivery latency, observed at boundaries: an
+                // interrupt first seen here with interrupts *enabled*
+                // is delivered at its observing boundary (latency 0);
+                // one that had to wait measures from the boundary that
+                // first saw it blocked.
+                let posted = self.irq_posted_at.take().unwrap_or(self.stats.base_instrs);
+                self.irq_latency.record(self.stats.base_instrs.saturating_sub(posted));
+                let at = self.cpu.pc();
+                if let Some(log) = &mut self.delivery_log {
+                    log.push((self.stats.base_instrs, at));
+                }
+                self.vmm.tracer.emit(|| TraceEvent::ExternalInterrupt { pc: at });
+                self.cpu.deliver(Exception::External, at);
+            } else if self.irq_posted_at.is_none() {
+                self.irq_posted_at = Some(self.stats.base_instrs);
             }
-            let at = self.cpu.pc();
-            if let Some(log) = &mut self.delivery_log {
-                log.push((self.stats.base_instrs, at));
-            }
-            self.vmm.tracer.emit(|| TraceEvent::ExternalInterrupt { pc: at });
-            self.cpu.deliver(Exception::External, at);
         }
         let pc = self.cpu.pc();
         // Pages on the bottom ladder rung bypass translation
@@ -1031,7 +1147,95 @@ impl<I: Isa> DaisySystem<I> {
         self.pending_chain = None;
         let d = Degradation { entry, from, to, cause };
         self.vmm.record_degradation(d);
+        // Auto-dump: every ladder step captures a post-mortem from the
+        // always-on flight recorder (the `Degraded` event just emitted
+        // is the ring's newest entry), replacing the previous one so
+        // [`DaisySystem::post_mortem`] always shows the latest — whose
+        // chain ends with the full degradation history.
+        self.last_post_mortem =
+            Some(Box::new(self.build_post_mortem(format!("ladder degradation: {d}"))));
         Some(d)
+    }
+
+    /// Gathers a [`MetricsSnapshot`] directly from the system's
+    /// counters, bypassing the registry: exact at any group boundary
+    /// regardless of the publish cadence, and available with metrics
+    /// publication off.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut rung_entries = [0u64; Rung::ALL.len()];
+        for r in self.ladder.values() {
+            rung_entries[r.index()] += 1;
+        }
+        MetricsSnapshot::gather(&MetricsSource {
+            stats: &self.stats,
+            vmm: &self.vmm.stats,
+            native: self.native.as_ref().map(|nt| &nt.stats),
+            degradations: self.vmm.degradations(),
+            rung_entries,
+            live_pages: self.vmm.live_pages() as u64,
+            live_groups: self.vmm.live_groups() as u64,
+            interp_pages: self.interp_pages.len() as u64,
+            native_yield_preempts: self.native_yield_preempts,
+            irq_latency: &self.irq_latency,
+            flight_dropped: self.vmm.tracer.recorder.dropped(),
+        })
+    }
+
+    /// Publishes a fresh snapshot into the registry immediately and
+    /// re-arms the cadence countdown. A no-op without a registry.
+    ///
+    /// Outlined and cold: `step` only pays the call on the publish
+    /// cadence, never on the per-boundary path.
+    #[cold]
+    #[inline(never)]
+    pub fn publish_metrics_now(&mut self) {
+        self.metrics_countdown = self.metrics_period;
+        if self.metrics.is_some() {
+            let snap = self.metrics_snapshot();
+            if let Some(reg) = &self.metrics {
+                reg.publish(&snap);
+            }
+        }
+    }
+
+    /// The registry this system publishes into, when metrics are
+    /// enabled. Clone it to read snapshots elsewhere while the system
+    /// runs.
+    pub fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// The always-on flight recorder (ring of recent trace events).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.vmm.tracer.recorder
+    }
+
+    /// The latest automatic post-mortem, captured when the ladder last
+    /// degraded. `None` on the happy path.
+    pub fn post_mortem(&self) -> Option<&PostMortem> {
+        self.last_post_mortem.as_deref()
+    }
+
+    /// Takes ownership of the latest automatic post-mortem, leaving
+    /// `None` (fault-injection outcomes carry it out this way).
+    pub fn take_post_mortem(&mut self) -> Option<PostMortem> {
+        self.last_post_mortem.take().map(|b| *b)
+    }
+
+    /// Builds a post-mortem on request — same structure as the
+    /// automatic ladder dump, with the caller's `reason`.
+    pub fn request_post_mortem(&self, reason: &str) -> PostMortem {
+        self.build_post_mortem(reason.to_string())
+    }
+
+    fn build_post_mortem(&self, reason: String) -> PostMortem {
+        PostMortem {
+            reason,
+            events: self.vmm.tracer.recorder.events(),
+            dropped: self.vmm.tracer.recorder.dropped(),
+            chain: self.vmm.degradations().to_vec(),
+            snapshot: self.metrics_snapshot(),
+        }
     }
 
     /// The ladder rung `entry` currently executes at ([`Rung::Native`]

@@ -11,10 +11,16 @@
 //! signal that profile-guided reoptimization (§4.3 of the paper, and
 //! [`crate::sched::TierPolicy`] here) consumes.
 //!
-//! Tracing is **zero-cost when disabled**: the [`Tracer`] holds an
-//! `Option<Box<dyn TraceSink>>`, and [`Tracer::emit`] takes a closure
-//! that is never evaluated without an installed sink, so a disabled
-//! tracer costs one branch per event site and allocates nothing.
+//! Tracing is **cheap by default and free when silenced**: the
+//! [`Tracer`] holds an `Option<Box<dyn TraceSink>>` plus an always-on
+//! [`FlightRecorder`] — a small fixed ring of the most recent events
+//! kept for post-mortems (see [`crate::metrics::PostMortem`]).
+//! [`Tracer::emit`] takes a closure that is only evaluated when a sink
+//! is installed *or* the recorder is enabled; with the recorder
+//! disabled and no sink, a tracer costs one branch per event site and
+//! allocates nothing. Event sites are translation-lifecycle
+//! transitions, never in-group hot paths, so the default-on recorder
+//! costs one ring write per lifecycle event.
 //!
 //! # Example
 //!
@@ -74,6 +80,17 @@ pub enum ExcClass {
     StoreFault,
     /// Trap instruction (program interrupt).
     Trap,
+}
+
+impl ExcClass {
+    /// Stable lowercase name, for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExcClass::LoadFault => "load_fault",
+            ExcClass::StoreFault => "store_fault",
+            ExcClass::Trap => "trap",
+        }
+    }
 }
 
 /// One structured observability event.
@@ -267,12 +284,10 @@ impl TraceEvent {
                 format!("{{\"event\": \"{k}\", \"entry\": {entry}}}")
             }
             TraceEvent::Exception { class, base_addr } => {
-                let c = match class {
-                    ExcClass::LoadFault => "load_fault",
-                    ExcClass::StoreFault => "store_fault",
-                    ExcClass::Trap => "trap",
-                };
-                format!("{{\"event\": \"{k}\", \"class\": \"{c}\", \"base_addr\": {base_addr}}}")
+                format!(
+                    "{{\"event\": \"{k}\", \"class\": \"{}\", \"base_addr\": {base_addr}}}",
+                    class.name()
+                )
             }
             TraceEvent::ExternalInterrupt { pc } => {
                 format!("{{\"event\": \"{k}\", \"pc\": {pc}}}")
@@ -294,6 +309,61 @@ impl TraceEvent {
                     to.name(),
                     cause.name()
                 )
+            }
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// Human-readable one-liner, used by the flight-recorder post-mortem
+    /// dump. Pinned by `tests/display_pin.rs` — treat the formats as
+    /// stable output, not debug text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Translate { entry, vliws, code_bytes, tier, conservative, .. } => {
+                write!(
+                    f,
+                    "translate 0x{entry:x}: {vliws} vliws, {code_bytes} bytes ({}{})",
+                    tier.name(),
+                    if conservative { ", conservative" } else { "" }
+                )
+            }
+            TraceEvent::CastOut { page, groups } => {
+                write!(f, "cast out page {page} ({groups} groups)")
+            }
+            TraceEvent::Invalidate { page } => write!(f, "invalidate page {page}"),
+            TraceEvent::CodeModified { addr } => write!(f, "code modified by store at 0x{addr:x}"),
+            TraceEvent::ChainInstall { from, to, indirect } => {
+                write!(
+                    f,
+                    "chain 0x{from:x} -> 0x{to:x}{}",
+                    if indirect { " (indirect)" } else { "" }
+                )
+            }
+            TraceEvent::ChainSever { from, target } => {
+                write!(f, "sever 0x{from:x} -> 0x{target:x}")
+            }
+            TraceEvent::AliasRestart { entry, addr } => {
+                write!(f, "alias restart in 0x{entry:x} at load 0x{addr:x}")
+            }
+            TraceEvent::AliasRetranslate { entry } => {
+                write!(f, "alias retranslate 0x{entry:x}")
+            }
+            TraceEvent::Exception { class, base_addr } => {
+                write!(f, "exception {} at 0x{base_addr:x}", class.name())
+            }
+            TraceEvent::ExternalInterrupt { pc } => {
+                write!(f, "external interrupt at 0x{pc:x}")
+            }
+            TraceEvent::MmioBail { addr } => write!(f, "mmio bail at 0x{addr:x}"),
+            TraceEvent::HotPromotion { entry, dispatches } => {
+                write!(f, "hot promotion 0x{entry:x} after {dispatches} dispatches")
+            }
+            TraceEvent::NativeCompile { entry, outcome } => {
+                write!(f, "native compile 0x{entry:x}: {outcome}")
+            }
+            TraceEvent::Degraded { entry, from, to, cause } => {
+                write!(f, "degraded entry 0x{entry:x}: {from} -> {to} ({cause})")
             }
         }
     }
@@ -444,39 +514,134 @@ impl<W: Write> TraceSink for JsonlSink<W> {
     }
 }
 
-/// The emission front-end owned by the VMM: either a sink, or nothing.
+/// Default capacity of the always-on [`FlightRecorder`] ring.
+pub const DEFAULT_FLIGHT_RECORDER_CAPACITY: usize = 256;
+
+/// The always-on flight recorder: a fixed-size ring of the most recent
+/// [`TraceEvent`]s, kept even when no [`TraceSink`] is installed, so a
+/// post-mortem ([`crate::metrics::PostMortem`]) can show what led up to
+/// a ladder degradation or a fault-injection divergence.
+///
+/// Each retained event carries a global sequence number (0-based count
+/// of events ever recorded), so dumps stay correlatable after the ring
+/// wraps; [`FlightRecorder::dropped`] counts what fell off.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: VecDeque<(u64, TraceEvent)>,
+    seq: u64,
+    /// Whether events are recorded; a disabled recorder is free.
+    pub enabled: bool,
+}
+
+impl Default for FlightRecorder {
+    /// Enabled, with [`DEFAULT_FLIGHT_RECORDER_CAPACITY`] slots.
+    fn default() -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_RECORDER_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// An enabled recorder retaining at most `cap` events.
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        FlightRecorder { cap: cap.max(1), buf: VecDeque::new(), seq: 0, enabled: true }
+    }
+
+    /// A disabled recorder (records nothing, retains nothing).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { enabled: false, ..FlightRecorder::default() }
+    }
+
+    /// Records one event (a no-op when disabled).
+    pub fn record(&mut self, ev: &TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((self.seq, *ev));
+        self.seq += 1;
+    }
+
+    /// The retained events with their sequence numbers, oldest first.
+    pub fn events(&self) -> Vec<(u64, TraceEvent)> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever recorded (sequence numbers run `0..recorded()`).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.seq - self.buf.len() as u64
+    }
+
+    /// Clears the buffer; sequence numbering (and thus
+    /// [`FlightRecorder::dropped`]) keeps counting.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+/// The emission front-end owned by the VMM: an optional sink plus the
+/// always-on [`FlightRecorder`].
 ///
 /// Event sites call [`Tracer::emit`] with a closure building the event;
-/// without a sink the closure is never run, so a disabled tracer costs
-/// one `Option` discriminant test per site.
+/// the closure is only run when a sink is installed or the recorder is
+/// enabled, so a fully silenced tracer costs one branch per site.
 #[derive(Debug, Default)]
 pub struct Tracer {
     sink: Option<Box<dyn TraceSink>>,
+    /// The post-mortem ring. Public so the owning system can snapshot
+    /// it, resize it, or disable it wholesale.
+    pub recorder: FlightRecorder,
 }
 
 impl Tracer {
-    /// A disabled tracer (no sink).
+    /// A tracer with no sink. The flight recorder is still on (the
+    /// default); silence it too with
+    /// [`Tracer::recorder`]`= FlightRecorder::disabled()`.
     pub fn disabled() -> Tracer {
-        Tracer { sink: None }
+        Tracer::default()
     }
 
-    /// A tracer delivering to `sink`.
+    /// A tracer delivering to `sink` (and to the flight recorder).
     pub fn new(sink: Box<dyn TraceSink>) -> Tracer {
-        Tracer { sink: Some(sink) }
+        Tracer { sink: Some(sink), recorder: FlightRecorder::default() }
     }
 
-    /// True when a sink is installed.
+    /// True when a sink is installed. (The flight recorder is
+    /// independent: `emit` may retain events while `enabled()` is
+    /// false.)
     #[inline]
     pub fn enabled(&self) -> bool {
         self.sink.is_some()
     }
 
-    /// Emits the event built by `f` — only evaluated with a sink
-    /// installed.
+    /// Emits the event built by `f` — evaluated only when a sink is
+    /// installed or the flight recorder is enabled.
     #[inline]
     pub fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.sink.is_none() && !self.recorder.enabled {
+            return;
+        }
+        let ev = f();
+        self.recorder.record(&ev);
         if let Some(sink) = &mut self.sink {
-            sink.record(&f());
+            sink.record(&ev);
         }
     }
 
@@ -582,10 +747,54 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_tracer_never_builds_events() {
+    fn silenced_tracer_never_builds_events() {
         let mut t = Tracer::disabled();
+        t.recorder = FlightRecorder::disabled();
         assert!(!t.enabled());
-        t.emit(|| unreachable!("closure must not run without a sink"));
+        t.emit(|| unreachable!("closure must not run with no sink and no recorder"));
+    }
+
+    #[test]
+    fn default_tracer_flight_records_without_a_sink() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled(), "no sink installed");
+        assert!(t.recorder.enabled, "the flight recorder is on by default");
+        t.emit(|| TraceEvent::Invalidate { page: 7 });
+        assert_eq!(t.recorder.events(), vec![(0, TraceEvent::Invalidate { page: 7 })]);
+    }
+
+    #[test]
+    fn flight_recorder_wraps_and_keeps_sequence_numbers() {
+        let mut r = FlightRecorder::with_capacity(3);
+        for page in 0..5 {
+            r.record(&TraceEvent::Invalidate { page });
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 2);
+        let seqs: Vec<u64> = r.events().iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "survivors keep their global sequence numbers");
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 5, "clearing does not rewind numbering");
+        let mut off = FlightRecorder::disabled();
+        off.record(&TraceEvent::Invalidate { page: 0 });
+        assert!(off.is_empty() && off.recorded() == 0);
+    }
+
+    #[test]
+    fn display_one_liners_are_compact() {
+        let ev = TraceEvent::Degraded {
+            entry: 0x1000,
+            from: Rung::Packed,
+            to: Rung::Tree,
+            cause: DegradeCause::CastOutPressure,
+        };
+        assert_eq!(ev.to_string(), "degraded entry 0x1000: packed -> tree (cast_out_pressure)");
+        assert_eq!(
+            TraceEvent::CastOut { page: 4, groups: 2 }.to_string(),
+            "cast out page 4 (2 groups)"
+        );
     }
 
     #[test]

@@ -75,6 +75,19 @@ scripts/check_report_shape.sh "$artifacts/BENCH_report.smoke.json" 2
   exit 1
 }
 
+# Live-metrics health smoke: two workloads through the metrics
+# registry with periodic snapshots, then the shape assertion over the
+# JSON document and the Prometheus exposition (the structural
+# validation is crates/bench/tests/health_schema.rs; the committed
+# nine-workload document is BENCH_health.json — regenerate with
+# `cargo run --release -p daisy-bench --bin health`).
+cargo run -q --release -p daisy-bench --bin health -- \
+  --out "$artifacts/BENCH_health.smoke.json" \
+  --prom "$artifacts/health.smoke.prom" cmp hist
+scripts/check_health_shape.sh \
+  "$artifacts/BENCH_health.smoke.json" "$artifacts/health.smoke.prom" 2
+scripts/check_health_shape.sh BENCH_health.json "" 9
+
 # Native-tier smoke (x86-64 only): the nine-workload native ≡ packed
 # observational-equivalence test, then a 16-seed injection sweep of
 # the two invalidation-heavy fault kinds with the ladder starting at

@@ -63,13 +63,37 @@ fn run_selfmod(sink: Option<RingSink>) -> DaisySystem<PpcIsa> {
     sys
 }
 
-/// Without a sink the tracer is disabled: nothing is recorded anywhere,
-/// and the run still performs the same work (events are a pure tap).
+/// Without a sink the tracer reports disabled (no sink to feed) but
+/// the always-on flight recorder still taps the stream: the recent
+/// ring is populated, capped at its capacity, and the run performs the
+/// same work (events are a pure tap). Building with
+/// `.flight_recorder(false)` silences even that.
 #[test]
 fn no_sink_records_nothing() {
     let sys = run_selfmod(None);
     assert!(!sys.vmm.tracer.enabled());
     assert!(sys.stats.code_modifications >= 1);
+
+    let rec = sys.flight_recorder();
+    assert!(rec.enabled, "the flight recorder is on by default");
+    assert!(rec.recorded() > 0, "the ring taps events with no sink installed");
+    assert!(rec.len() as u64 <= daisy::trace::DEFAULT_FLIGHT_RECORDER_CAPACITY as u64);
+    assert_eq!(rec.dropped(), rec.recorded() - rec.len() as u64);
+    assert!(
+        rec.events().iter().any(|(_, ev)| matches!(ev, TraceEvent::CodeModified { .. })),
+        "the self-modifying store reached the ring"
+    );
+
+    let prog = selfmod_program(&[11, 31, 50]);
+    let mut sys = DaisySystem::<PpcIsa>::builder()
+        .mem_size(0x2_0000)
+        .translator(small_pages())
+        .flight_recorder(false)
+        .build();
+    sys.load(&prog).unwrap();
+    sys.run(1_000_000).unwrap();
+    assert_eq!(sys.cpu.gpr[7], 92);
+    assert_eq!(sys.flight_recorder().recorded(), 0, "opting out silences the ring");
 }
 
 /// `NullSink` accepts every event and stores none of them.
